@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension study: the Section 8 frame buffer in main memory.
+ *
+ * "Among the more interesting capabilities of such a system is to
+ * build a framebuffer that retrieves its data from the main memory
+ * as it refreshes a screen" — feasible because scan-out consumes
+ * only a small slice of the device's 1.6 GB/s internal bandwidth.
+ * This bench quantifies that slice for real display modes, together
+ * with the ordinary DRAM refresh tax, by running a memory-hungry
+ * workload with the agents on and off.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/pim_device.hh"
+#include "workloads/spec_suite.hh"
+
+using namespace memwall;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Extension - framebuffer scan-out and DRAM "
+                      "refresh",
+                      opt);
+
+    const std::uint64_t refs =
+        opt.refs ? opt.refs : (opt.quick ? 300'000 : 2'000'000);
+    const SpecWorkload &swim = findWorkload("102.swim");
+
+    struct Mode
+    {
+        const char *name;
+        bool fb;
+        std::uint32_t w, h, bpp;
+        bool refresh;
+    };
+    const Mode modes[] = {
+        {"no I/O (baseline)", false, 0, 0, 0, false},
+        {"refresh only", false, 0, 0, 0, true},
+        {"1024x768x8 @72Hz", true, 1024, 768, 8, true},
+        {"1280x1024x16 @72Hz", true, 1280, 1024, 16, true},
+        {"1920x1080x24 @72Hz", true, 1920, 1080, 24, true},
+    };
+
+    TextTable table("102.swim CPI under scan-out + refresh traffic");
+    table.setHeader({"mode", "scan-out MB/s", "% of 1.6 GB/s",
+                     "CPI", "slowdown"});
+    double base_cpi = 0.0;
+    for (const Mode &mode : modes) {
+        PimDeviceConfig cfg;
+        cfg.refresh_enabled = mode.refresh;
+        cfg.framebuffer_enabled = mode.fb;
+        if (mode.fb) {
+            cfg.framebuffer.width = mode.w;
+            cfg.framebuffer.height = mode.h;
+            cfg.framebuffer.bits_per_pixel = mode.bpp;
+        }
+        PimDevice device(cfg);
+        SyntheticWorkload source(swim.proxy);
+        const double cpi = device.runWorkload(source, refs);
+        if (base_cpi == 0.0)
+            base_cpi = cpi;
+        const double mbps =
+            mode.fb ? cfg.framebuffer.bandwidthMBps() : 0.0;
+        table.addRow({mode.name, TextTable::num(mbps, 1),
+                      TextTable::num(100.0 * mbps / 1600.0, 2) + "%",
+                      TextTable::num(cpi, 4),
+                      TextTable::num(cpi / base_cpi, 3) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: even a 1920x1080x24 display — over a "
+                 "quarter of a conventional\nmemory bus — costs well "
+                 "under 1% CPI here, because the sixteen banks "
+                 "absorb\nthe scan-out in parallel: the integration "
+                 "dividend that makes the\nsilicon-less motherboard's "
+                 "memory-resident framebuffer practical.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: Inter-Node Cache associativity.
+ *
+ * The 512-byte column layout gives the INC 7 ways for free
+ * (Figure 6). This bench replays a conflict-heavy imported-block
+ * stream against INC organisations from direct-mapped to 7-way at
+ * equal reserved DRAM, showing why the column layout's
+ * associativity matters for remote data.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "mem/cache.hh"
+
+using namespace memwall;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Ablation - inter-node cache associativity",
+                      opt);
+
+    const std::uint64_t refs =
+        opt.refs ? opt.refs : (opt.quick ? 200'000 : 2'000'000);
+
+    // Imported-block stream: several remote regions whose blocks
+    // collide in the low index bits (the typical page-coloured NUMA
+    // pathologies), plus a uniform component.
+    const unsigned streams = 9;
+    const std::uint64_t region = 40 * KiB;
+
+    TextTable table("INC miss % vs associativity (nine congruent "
+                    "40 KiB import streams)");
+    table.setHeader({"organisation", "miss %"});  // 9 x 40 KiB streams
+
+    for (std::uint32_t ways : {1u, 2u, 4u, 7u, 14u}) {
+        // Equal data capacity: 2048 sets x 7 ways in the paper.
+        const std::uint64_t lines = 2048ull * 7;
+        CacheConfig cfg;
+        cfg.line_size = 32;
+        cfg.assoc = ways;
+        // Round sets down to a power of two.
+        std::uint64_t sets = lines / ways;
+        std::uint64_t pow2 = 1;
+        while (pow2 * 2 <= sets)
+            pow2 *= 2;
+        cfg.capacity = pow2 * ways * 32;
+        cfg.name = "inc-" + std::to_string(ways) + "w";
+        Cache inc(cfg);
+
+        Rng rng(opt.seed);
+        std::vector<std::uint64_t> cursors(streams, 0);
+        for (std::uint64_t i = 0; i < refs; ++i) {
+            const std::size_t s = rng.uniformInt(streams);
+            Addr addr;
+            if (rng.bernoulli(0.7)) {
+                // Sequential walk within the stream's region; bases
+                // congruent modulo the sets so they collide.
+                addr = s * 8ull * MiB + cursors[s];
+                cursors[s] = (cursors[s] + 32) % region;
+            } else {
+                addr = s * 8ull * MiB +
+                       rng.uniformInt(region / 32) * 32;
+            }
+            inc.access(addr, false);
+        }
+        table.addRow({std::to_string(ways) + "-way (" +
+                          TextTable::num(
+                              static_cast<double>(cfg.capacity) /
+                                  KiB,
+                              0) +
+                          " KiB)",
+                      TextTable::num(inc.stats().missRate() * 100,
+                                     2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: direct-mapped INC thrashes on "
+                 "congruent imports; the column-layout's\n7 ways "
+                 "absorb them at no extra storage cost.\n";
+    return 0;
+}

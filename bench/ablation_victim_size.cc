@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: victim-cache size.
+ *
+ * Section 5.4 sizes the victim cache at exactly one column
+ * (16 x 32 B) so its fill rides the DRAM access window for free.
+ * This bench sweeps the entry count to show that sixteen entries
+ * already capture most of the conflict-absorption benefit for the
+ * benchmarks the paper highlights.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "mem/column_cache.hh"
+#include "workloads/spec_suite.hh"
+
+using namespace memwall;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Ablation - victim cache entries", opt);
+
+    const std::uint64_t refs =
+        opt.refs ? opt.refs : (opt.quick ? 400'000 : 3'000'000);
+
+    TextTable table("D-cache miss % vs victim entries");
+    table.setHeader({"benchmark", "0 (none)", "4", "8",
+                     "16 (paper)", "32", "64"});
+
+    for (const char *name : {"101.tomcatv", "102.swim", "103.su2cor",
+                             "130.li", "099.go", "146.wave5"}) {
+        const SpecWorkload &w = findWorkload(name);
+        std::vector<std::string> row{w.name};
+        for (std::uint32_t entries : {0u, 4u, 8u, 16u, 32u, 64u}) {
+            ColumnCacheConfig cfg;
+            cfg.victim_enabled = entries > 0;
+            if (entries > 0)
+                cfg.victim.entries = entries;
+            ColumnDataCache cache(cfg);
+            SyntheticWorkload source(w.proxy);
+            const RefSink sink = [&](const MemRef &ref) {
+                if (ref.type != RefType::IFetch)
+                    cache.access(ref.addr,
+                                 ref.type == RefType::Store);
+            };
+            source.generate(refs / 4, sink);
+            cache.resetStats();
+            source.generate(refs, sink);
+            row.push_back(
+                TextTable::num(cache.stats().missRate() * 100, 3));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: a steep drop by 16 entries for the "
+                 "conflict benchmarks, then\ndiminishing returns — "
+                 "the single-column victim cache is the sweet spot "
+                 "(and\nanything larger would no longer fill for "
+                 "free during the miss window).\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: speculative writebacks (Section 4.1).
+ *
+ * "The fact that an entire cache line can be transferred in a
+ * single DRAM access ... enable[s] speculative writebacks, removing
+ * contention between cache misses and dirty lines." This bench
+ * disables that property — dirty-column writebacks then serialise
+ * with the fill — and measures the CPI cost on store-heavy
+ * workloads.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/pim_device.hh"
+#include "workloads/spec_suite.hh"
+
+using namespace memwall;
+
+namespace {
+
+double
+runCpi(const SpecWorkload &w, bool speculative, std::uint64_t refs)
+{
+    PimDeviceConfig cfg;
+    cfg.speculative_writeback = speculative;
+    PimDevice device(cfg);
+    SyntheticWorkload source(w.proxy);
+    PipelineSim pipe(device, PipelineConfig{});
+    source.generate(refs / 4, pipe.sink());
+    const std::uint64_t wi = pipe.instructions();
+    const Tick wc = pipe.cycles();
+    source.generate(refs, pipe.sink());
+    pipe.drain();
+    return static_cast<double>(pipe.cycles() - wc) /
+           static_cast<double>(pipe.instructions() - wi);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Ablation - speculative writebacks", opt);
+
+    const std::uint64_t refs =
+        opt.refs ? opt.refs : (opt.quick ? 400'000 : 3'000'000);
+
+    TextTable table("Pipeline CPI with and without speculative "
+                    "writebacks");
+    table.setHeader({"benchmark", "speculative (paper)",
+                     "serialised", "penalty"});
+    for (const char *name : {"102.swim", "101.tomcatv", "099.go",
+                             "129.compress", "147.vortex"}) {
+        const SpecWorkload &w = findWorkload(name);
+        const double spec = runCpi(w, true, refs);
+        const double serial = runCpi(w, false, refs);
+        table.addRow({w.name, TextTable::num(spec, 3),
+                      TextTable::num(serial, 3),
+                      TextTable::num(100.0 * (serial - spec) / spec,
+                                     1) +
+                          "%"});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected: measurable penalties exactly where "
+                 "dirty columns churn (the\nconflict-heavy FP codes "
+                 "and store-heavy integer codes), supporting the "
+                 "paper's\ncase for the third column buffer.\n";
+    return 0;
+}

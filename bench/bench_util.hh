@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure regeneration binaries.
+ *
+ * Every bench accepts:
+ *   --refs N     measured references per workload (default varies)
+ *   --quick      cut the workload sizes ~10x for smoke runs
+ *   --seed S     RNG seed
+ */
+
+#ifndef MEMWALL_BENCH_BENCH_UTIL_HH
+#define MEMWALL_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace memwall::benchutil {
+
+struct Options
+{
+    std::uint64_t refs = 0;  ///< 0 = use the bench's default
+    bool quick = false;
+    std::uint64_t seed = 42;
+};
+
+inline Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.quick = true;
+        } else if (std::strcmp(argv[i], "--refs") == 0 &&
+                   i + 1 < argc) {
+            opt.refs = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--refs N] [--quick] [--seed S]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+inline void
+banner(const std::string &what, const Options &opt)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("memwall reproduction: %s\n", what.c_str());
+    std::printf("seed=%llu%s\n",
+                static_cast<unsigned long long>(opt.seed),
+                opt.quick ? "  (quick mode)" : "");
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+} // namespace memwall::benchutil
+
+#endif // MEMWALL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates Figure 13: total execution time of SPLASH LU-decomposition
+ * (200x200-matrix) on 1..16 processors, comparing the
+ * reference CC-NUMA (16 KB FLC + infinite SLC) against the
+ * integrated design with and without the victim cache.
+ */
+
+#include "splash_driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return memwall::benchutil::runSplashFigure(
+        "Figure 13", "lu", "200x200-matrix", argc, argv, 0.5);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates Figure 14: total execution time of SPLASH MP3D
+ * (10K-particles-10-steps) on 1..16 processors, comparing the
+ * reference CC-NUMA (16 KB FLC + infinite SLC) against the
+ * integrated design with and without the victim cache.
+ */
+
+#include "splash_driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return memwall::benchutil::runSplashFigure(
+        "Figure 14", "mp3d", "10K-particles-10-steps", argc, argv, 1.0);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates Figure 16: total execution time of SPLASH WATER
+ * (288-molecules-4-steps) on 1..16 processors, comparing the
+ * reference CC-NUMA (16 KB FLC + infinite SLC) against the
+ * integrated design with and without the victim cache.
+ */
+
+#include "splash_driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return memwall::benchutil::runSplashFigure(
+        "Figure 16", "water", "288-molecules-4-steps", argc, argv, 1.0);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates Figure 17: total execution time of SPLASH PTHOR
+ * (RISC-circuit-1000-steps) on 1..16 processors, comparing the
+ * reference CC-NUMA (16 KB FLC + infinite SLC) against the
+ * integrated design with and without the victim cache.
+ */
+
+#include "splash_driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return memwall::benchutil::runSplashFigure(
+        "Figure 17", "pthor", "RISC-circuit-1000-steps", argc, argv, 0.3);
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates Figure 2: memory access time of the SS-5 and SS-10/61
+ * exposed by walking arrays of increasing size with various strides.
+ * The SS-10's prefetch unit hides main-memory latency for small
+ * linear strides (the paper's footnote 2), and codes that miss the
+ * SS-10's 1 MB L2 see LOWER access times on the SS-5.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "mem/hierarchy.hh"
+#include "trace/stride_walker.hh"
+
+using namespace memwall;
+
+namespace {
+
+double
+walk(const HierarchyConfig &config, std::uint64_t array_bytes,
+     std::uint32_t stride, std::uint64_t refs)
+{
+    MemoryHierarchy machine(config);
+    StrideWalker walker(0x10000000, array_bytes, stride);
+    const RefSink sink = [&](const MemRef &ref) {
+        machine.access(RefKind::Load, ref.addr);
+    };
+    // Warm: one full pass over the array (or the ref budget).
+    walker.generate(std::max<std::uint64_t>(array_bytes / stride, 64),
+                    sink);
+    machine.resetStats();
+    walker.generate(refs, sink);
+    return machine.meanLatencyNs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Figure 2 - SS-5 vs SS-10 latency walk", opt);
+
+    const std::uint64_t refs =
+        opt.refs ? opt.refs : (opt.quick ? 40'000 : 400'000);
+
+    const HierarchyConfig machines[] = {HierarchyConfig::ss5(),
+                                        HierarchyConfig::ss10()};
+    const std::uint32_t strides[] = {16, 128, 4096};
+
+    for (std::uint32_t stride : strides) {
+        SeriesChart chart(
+            "Figure 2: loaded latency, stride " +
+                std::to_string(stride) + " bytes",
+            "array size (KB)", "mean access time (ns)");
+        for (const auto &m : machines) {
+            for (std::uint64_t kb = 4; kb <= 16 * 1024; kb *= 2) {
+                const double ns =
+                    walk(m, kb * KiB, stride, refs);
+                chart.addPoint(m.name, static_cast<double>(kb), ns);
+            }
+        }
+        chart.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout << "Expected shape: plateaus at each cache level; "
+                 "beyond ~1MB the SS-10 curve rises\nABOVE the SS-5 "
+                 "curve (the paper's key observation), except at "
+                 "small strides where\nthe SS-10's prefetch unit "
+                 "hides memory latency.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 7: instruction-cache miss rates of the proposed
+ * 8 KB column-buffer cache (512-byte lines) vs conventional
+ * direct-mapped caches (32-byte lines) of 8/16/32/64 KB.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/missrate.hh"
+
+using namespace memwall;
+using namespace memwall::cachelabels;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Figure 7 - instruction cache miss rates", opt);
+
+    MissRateParams params;
+    params.measured_refs = opt.refs ? opt.refs
+                                    : (opt.quick ? 400'000 : 4'000'000);
+    params.warmup_refs = params.measured_refs / 4;
+
+    TextTable table("Figure 7: I-cache miss probability (%)");
+    table.setHeader({"benchmark", "proposed 8K/512B", "conv 8K",
+                     "conv 16K", "conv 32K", "conv 64K",
+                     "conv8K/proposed"});
+
+    BarChart chart("Figure 7 (bars): I-cache miss rates", "%");
+
+    for (const auto &w : specSuite()) {
+        const auto rates = measureMissRates(w, params);
+        const double prop = rates.icache(proposed).missRate();
+        const double c8 = rates.icache(conv8).missRate();
+        const double c16 = rates.icache(conv16).missRate();
+        const double c32 = rates.icache(conv32).missRate();
+        const double c64 = rates.icache(conv64).missRate();
+        table.addRow({w.name, TextTable::num(prop * 100, 3),
+                      TextTable::num(c8 * 100, 3),
+                      TextTable::num(c16 * 100, 3),
+                      TextTable::num(c32 * 100, 3),
+                      TextTable::num(c64 * 100, 3),
+                      prop > 0 ? TextTable::num(c8 / prop, 1) : "inf"});
+        chart.add(w.name, "proposed", prop * 100);
+        chart.add(w.name, "conv-8K ", c8 * 100);
+        chart.add(w.name, "conv-64K", c64 * 100);
+    }
+
+    table.print(std::cout);
+    std::cout << '\n';
+    chart.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * cache access, DRAM timing, reference generation, GSPN stepping,
+ * the NUMA protocol and the MW32 interpreter. These guard the
+ * engineering health of the library (simulation throughput), not a
+ * paper result.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/memwall.hh"
+
+using namespace memwall;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.capacity = 16 * KiB;
+    cfg.line_size = 32;
+    cfg.assoc = static_cast<std::uint32_t>(state.range(0));
+    Cache cache(cfg);
+    std::uint64_t x = 12345;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        benchmark::DoNotOptimize(
+            cache.access((x >> 16) % (256 * KiB), false).hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(8);
+
+void
+BM_ColumnDataCacheAccess(benchmark::State &state)
+{
+    ColumnDataCache cache;
+    std::uint64_t x = 999;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        benchmark::DoNotOptimize(
+            cache.access((x >> 16) % (128 * KiB), (x & 1) != 0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColumnDataCacheAccess);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    Dram dram;
+    Tick now = 0;
+    std::uint64_t x = 7;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        benchmark::DoNotOptimize(dram.access(now, x % (32 * MiB)));
+        now += 20;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_SyntheticGeneration(benchmark::State &state)
+{
+    SyntheticWorkload source(findWorkload("126.gcc").proxy);
+    std::uint64_t sink_count = 0;
+    for (auto _ : state) {
+        source.generate(1024, [&](const MemRef &r) {
+            sink_count += r.addr;
+        });
+    }
+    benchmark::DoNotOptimize(sink_count);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+void
+BM_GspnStep(benchmark::State &state)
+{
+    ProcessorModelParams params;
+    params.icache_hit = 0.99;
+    params.load_hit = 0.95;
+    params.store_hit = 0.95;
+    ProcessorModel model = ProcessorModel::build(params);
+    GspnSimulator sim(model.net, 42);
+    for (auto _ : state) {
+        sim.runUntilFirings(model.issue, 64);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_GspnStep);
+
+void
+BM_NumaProtocol(benchmark::State &state)
+{
+    NumaConfig cfg;
+    cfg.nodes = 4;
+    cfg.arch = NodeArch::Integrated;
+    NumaMachine machine(cfg);
+    std::uint64_t x = 31;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const unsigned cpu = (x >> 8) & 3;
+        benchmark::DoNotOptimize(machine.access(
+            cpu, 0x100000 + (x >> 16) % (1 * MiB), (x & 1) != 0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NumaProtocol);
+
+void
+BM_InterpreterStep(benchmark::State &state)
+{
+    const auto prog = assembleOrDie(R"(
+        start:
+            addi r1, r0, 1000
+        loop:
+            addi r2, r2, 3
+            xor  r3, r2, r1
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            b    start
+    )");
+    BackingStore mem;
+    prog.loadInto(mem);
+    Interpreter cpu(mem);
+    cpu.setPc(prog.entry);
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            cpu.step();
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_InterpreterStep);
+
+void
+BM_EccEncodeDecode(benchmark::State &state)
+{
+    SecDedCode code(128);
+    std::array<std::uint64_t, 2> data{0x1234, 0x5678};
+    for (auto _ : state) {
+        const auto check = code.encode(data);
+        benchmark::DoNotOptimize(code.decode(data, check));
+        data[0] += 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EccEncodeDecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

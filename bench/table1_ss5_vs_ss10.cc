@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Regenerates Table 1: the SparcStation 5 (slower CPU, close memory)
+ * beats the SparcStation 10/61 (faster CPU, 1 MB L2, distant memory)
+ * on the large-working-set Synopsys workload, while losing on
+ * cache-friendly SPEC'92-like code.
+ *
+ * The paper's absolute numbers are wall-clock minutes of the real
+ * machines; here both machines execute the same instruction stream
+ * through their hierarchy timing models, so we report execution time
+ * per billion instructions and the SS-10/SS-5 runtime ratio (paper:
+ * 44 min / 32 min = 1.38 on Synopsys, and the inverse relation on
+ * SPEC'92).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "mem/hierarchy.hh"
+#include "workloads/spec_suite.hh"
+
+using namespace memwall;
+
+namespace {
+
+struct MachineRun
+{
+    double cpi = 0.0;
+    double seconds_per_ginstr = 0.0;
+    double mem_cpi = 0.0;
+};
+
+MachineRun
+run(const SpecWorkload &w, const HierarchyConfig &config,
+    std::uint64_t refs)
+{
+    MemoryHierarchy machine(config);
+    SyntheticWorkload source(w.proxy);
+
+    std::uint64_t instructions = 0;
+    double cycles = 0;
+    const RefSink sink = [&](const MemRef &ref) {
+        const RefKind kind = ref.type == RefType::IFetch
+            ? RefKind::IFetch
+            : (ref.type == RefType::Store ? RefKind::Store
+                                          : RefKind::Load);
+        const auto res = machine.access(kind, ref.addr);
+        if (kind == RefKind::IFetch) {
+            ++instructions;
+            // Base issue slot (superscalar cores spend less than a
+            // cycle per instruction) plus any fetch stall.
+            cycles += 1.0 / config.issue_width +
+                      static_cast<double>(res.latency - 1);
+        } else {
+            // Data latency beyond one cycle stalls the pipeline.
+            cycles += static_cast<double>(res.latency - 1);
+        }
+    };
+    // Warm up.
+    source.generate(refs / 4, sink);
+    instructions = 0;
+    cycles = 0;
+    source.generate(refs, sink);
+
+    MachineRun out;
+    out.cpi = instructions
+        ? cycles / static_cast<double>(instructions)
+        : 0.0;
+    out.seconds_per_ginstr =
+        out.cpi * 1e9 / (config.freq_mhz * 1e6);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Table 1 - SS-5 vs SS-10/61 on Synopsys", opt);
+
+    const std::uint64_t refs =
+        opt.refs ? opt.refs : (opt.quick ? 500'000 : 6'000'000);
+
+    const HierarchyConfig ss5 = HierarchyConfig::ss5();
+    const HierarchyConfig ss10 = HierarchyConfig::ss10();
+
+    // Large-working-set EDA workload (the paper's Synopsys run).
+    const SpecWorkload &synopsys = findWorkload("synopsys");
+    const MachineRun syn5 = run(synopsys, ss5, refs);
+    const MachineRun syn10 = run(synopsys, ss10, refs);
+
+    // A cache-friendly composite standing in for the SPEC'92 rating:
+    // small-working-set integer codes.
+    const SpecWorkload &small1 = findWorkload("130.li");
+    const SpecWorkload &small2 = findWorkload("132.ijpeg");
+    const MachineRun li5 = run(small1, ss5, refs / 2);
+    const MachineRun li10 = run(small1, ss10, refs / 2);
+    const MachineRun jp5 = run(small2, ss5, refs / 2);
+    const MachineRun jp10 = run(small2, ss10, refs / 2);
+    // "Spec'92-like" score: instructions/second on the composite,
+    // normalised to the SS-5 = 64 of the paper's table.
+    const double ips5 =
+        2.0 / (li5.seconds_per_ginstr + jp5.seconds_per_ginstr);
+    const double ips10 =
+        2.0 / (li10.seconds_per_ginstr + jp10.seconds_per_ginstr);
+    const double spec5 = 64.0;
+    const double spec10 = 64.0 * ips10 / ips5;
+
+    TextTable table("Table 1: SS-5 vs SS-10 Synopsys performance");
+    table.setHeader({"Machine", "Spec'92-like score",
+                     "Synopsys CPI", "Synopsys s/Ginstr",
+                     "normalised run time"});
+    table.addRow({"SS-5", TextTable::num(spec5, 0),
+                  TextTable::num(syn5.cpi, 2),
+                  TextTable::num(syn5.seconds_per_ginstr, 1),
+                  TextTable::num(1.0, 2)});
+    table.addRow({"SS-10/61", TextTable::num(spec10, 0),
+                  TextTable::num(syn10.cpi, 2),
+                  TextTable::num(syn10.seconds_per_ginstr, 1),
+                  TextTable::num(syn10.seconds_per_ginstr /
+                                     syn5.seconds_per_ginstr,
+                                 2)});
+    table.print(std::cout);
+
+    std::cout << "\nPaper: SS-5 = 32 min, SS-10/61 = 44 min "
+                 "(ratio 1.38) despite the SS-10's higher\nSPEC'92 "
+                 "rating (89 vs 64) - the SS-5 wins when the working "
+                 "set blows through the\nL2 because its main memory "
+                 "is closer.\n";
+    return 0;
+}

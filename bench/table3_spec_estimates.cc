@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Table 3: per-benchmark CPI (cpu + memory) and SPEC
+ * ratio of the proposed 200 MHz integrated device with a 30 ns DRAM
+ * array and NO victim cache. The paper's own numbers are printed
+ * alongside for comparison.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/spec_eval.hh"
+
+using namespace memwall;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Table 3 - SPEC'95 estimates, no victim cache",
+                      opt);
+
+    SpecEvalParams params;
+    params.seed = opt.seed;
+    if (opt.quick) {
+        params.missrate.measured_refs = 400'000;
+        params.missrate.warmup_refs = 100'000;
+        params.gspn_instructions = 30'000;
+    }
+    if (opt.refs) {
+        params.missrate.measured_refs = opt.refs;
+        params.missrate.warmup_refs = opt.refs / 4;
+    }
+
+    TextTable table("Table 3: SPEC'95 estimates (no victim cache)");
+    table.setHeader({"name", "CPI [cpu+mem]", "Spec-ratio",
+                     "paper CPI", "paper ratio"});
+
+    bool fp_rule_done = false;
+    for (const auto &w : specSuite()) {
+        if (!w.in_spec_tables)
+            continue;
+        if (w.floating_point && !fp_rule_done) {
+            table.addRule();
+            fp_rule_done = true;
+        }
+        const SpecEstimate est =
+            estimateIntegrated(w, /*victim_cache=*/false, params);
+        table.addRow(
+            {w.name,
+             TextTable::num(est.cpi.base, 2) + " + " +
+                 TextTable::num(est.cpi.memory, 2),
+             TextTable::num(est.spec_ratio, 1),
+             TextTable::num(w.base_cpi, 2) + " + " +
+                 TextTable::num(w.paper_mem_cpi_novc, 2),
+             TextTable::num(w.paper_ratio_novc, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}

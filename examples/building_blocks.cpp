@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The "Lego brick" vision (Section 8): plug more integrated
+ * processor/memory devices into a silicon-less motherboard and the
+ * machine grows into a cache-coherent shared-memory multiprocessor.
+ *
+ * This example scales SPLASH OCEAN from 1 to 8 devices on the
+ * execution-driven CC-NUMA model, comparing the integrated design
+ * (with victim cache) against the idealised conventional CC-NUMA of
+ * Section 6.1, and prints the coherence traffic each configuration
+ * generated.
+ *
+ * Run: ./build/examples/building_blocks [scale]
+ *      (scale 1.0 = the paper's 128x128 grid; default 0.3)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/memwall.hh"
+#include "workloads/splash/splash.hh"
+
+using namespace memwall;
+
+int
+main(int argc, char **argv)
+{
+    const double scale =
+        argc > 1 ? std::strtod(argv[1], nullptr) : 0.3;
+
+    std::printf("Scaling SPLASH OCEAN across integrated "
+                "processor/memory building blocks\n(scale %.2f; 1.0 "
+                "= the paper's 128x128 grid)\n\n",
+                scale);
+
+    TextTable table("OCEAN execution time and coherence traffic");
+    table.setHeader({"nodes", "architecture", "Mcycles",
+                     "speedup", "remote loads", "invalidations"});
+
+    for (const char *arch : {"reference", "integrated+vc"}) {
+        double base = 0.0;
+        for (unsigned nodes : {1u, 2u, 4u, 8u}) {
+            NumaConfig machine;
+            machine.nodes = nodes;
+            if (std::string(arch) == "reference") {
+                machine.arch = NodeArch::ReferenceCcNuma;
+            } else {
+                machine.arch = NodeArch::Integrated;
+                machine.victim_cache = true;
+            }
+            SplashParams params;
+            params.nprocs = nodes;
+            params.machine = machine;
+            params.scale = scale;
+            const SplashResult res = runSplash("ocean", params);
+            if (nodes == 1)
+                base = static_cast<double>(res.makespan);
+            table.addRow(
+                {std::to_string(nodes), arch,
+                 TextTable::num(res.makespan / 1e6, 2),
+                 TextTable::num(base / res.makespan, 2) + "x",
+                 TextTable::intWithCommas(res.remote_loads),
+                 TextTable::intWithCommas(res.invalidations)});
+        }
+        table.addRule();
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nEach added device brings its own DRAM, its own banks and "
+        "its own serial links,\nso memory bandwidth and capacity "
+        "grow with the compute - the paper's Figure 18\nvision of "
+        "incremental, silicon-less-motherboard scaling.\n");
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The paper's motivating scenario (Sections 1-2): a big EDA job —
+ * the Synopsys logic-synthesis proxy with a >50 MB working set —
+ * running on three machines:
+ *
+ *   - the SS-5-class "low end" (slow CPU, close memory),
+ *   - the SS-10/61-class "high end" (fast CPU, 1 MB L2, far memory),
+ *   - the proposed integrated processor/memory device.
+ *
+ * SPEC-style small benchmarks reward the high-end machine; the CAD
+ * job rewards whoever has the lowest memory latency. The integrated
+ * device wins both ways.
+ *
+ * Run: ./build/examples/cad_workstation [refs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/memwall.hh"
+
+using namespace memwall;
+
+namespace {
+
+struct RunResult
+{
+    double cpi = 0.0;
+    double ns_per_instr = 0.0;
+};
+
+/** Run @p workload's stream through a conventional machine model. */
+RunResult
+runConventional(const SpecWorkload &workload,
+                const HierarchyConfig &config, std::uint64_t refs)
+{
+    MemoryHierarchy machine(config);
+    SyntheticWorkload source(workload.proxy);
+    std::uint64_t instructions = 0;
+    double cycles = 0;
+    const RefSink sink = [&](const MemRef &ref) {
+        const RefKind kind = ref.type == RefType::IFetch
+            ? RefKind::IFetch
+            : (ref.type == RefType::Store ? RefKind::Store
+                                          : RefKind::Load);
+        const auto res = machine.access(kind, ref.addr);
+        if (kind == RefKind::IFetch) {
+            ++instructions;
+            cycles += 1.0 / config.issue_width +
+                      static_cast<double>(res.latency - 1);
+        } else {
+            cycles += static_cast<double>(res.latency - 1);
+        }
+    };
+    source.generate(refs / 4, sink);  // warm
+    instructions = 0;
+    cycles = 0;
+    source.generate(refs, sink);
+    RunResult out;
+    out.cpi = cycles / static_cast<double>(instructions);
+    out.ns_per_instr = out.cpi * 1000.0 / config.freq_mhz;
+    return out;
+}
+
+/** Run @p workload on the integrated device's pipeline. */
+RunResult
+runIntegrated(const SpecWorkload &workload, std::uint64_t refs)
+{
+    PimDevice device;
+    SyntheticWorkload source(workload.proxy);
+    PipelineSim pipeline(device, PipelineConfig{});
+    source.generate(refs / 4, pipeline.sink());  // warm
+    const std::uint64_t warm_instr = pipeline.instructions();
+    const Tick warm_cycles = pipeline.cycles();
+    source.generate(refs, pipeline.sink());
+    pipeline.drain();
+    RunResult out;
+    out.cpi = static_cast<double>(pipeline.cycles() - warm_cycles) /
+              static_cast<double>(pipeline.instructions() -
+                                  warm_instr);
+    out.ns_per_instr =
+        out.cpi * 1000.0 / device.config().clock.freq_mhz;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t refs =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 4'000'000;
+
+    const HierarchyConfig ss5 = HierarchyConfig::ss5();
+    const HierarchyConfig ss10 = HierarchyConfig::ss10();
+
+    std::printf("The CAD-workstation scenario: who runs a >50MB "
+                "logic-synthesis job fastest?\n\n");
+
+    TextTable table("Synopsys proxy vs. a cache-friendly code "
+                    "(132.ijpeg), ns per instruction");
+    table.setHeader({"machine", "clock", "ijpeg ns/instr",
+                     "synopsys ns/instr", "synopsys CPI"});
+
+    const SpecWorkload &synopsys = findWorkload("synopsys");
+    const SpecWorkload &ijpeg = findWorkload("132.ijpeg");
+
+    struct Machine
+    {
+        const char *name;
+        double mhz;
+        RunResult ijpeg;
+        RunResult syn;
+    };
+    Machine machines[3];
+    machines[0] = {"SS-5 (85 MHz)", ss5.freq_mhz,
+                   runConventional(ijpeg, ss5, refs / 2),
+                   runConventional(synopsys, ss5, refs)};
+    machines[1] = {"SS-10/61 (60 MHz + 1MB L2)", ss10.freq_mhz,
+                   runConventional(ijpeg, ss10, refs / 2),
+                   runConventional(synopsys, ss10, refs)};
+    machines[2] = {"integrated PIM (200 MHz)", 200.0,
+                   runIntegrated(ijpeg, refs / 2),
+                   runIntegrated(synopsys, refs)};
+
+    for (const auto &m : machines) {
+        table.addRow({m.name, TextTable::num(m.mhz, 0) + " MHz",
+                      TextTable::num(m.ijpeg.ns_per_instr, 1),
+                      TextTable::num(m.syn.ns_per_instr, 1),
+                      TextTable::num(m.syn.cpi, 2)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nReading the table:\n"
+                " - On the cache-friendly code, the high-end SS-10 "
+                "style machine beats the SS-5.\n"
+                " - On the big EDA job the ranking flips: the SS-5's "
+                "closer memory wins (the\n   paper's Table 1 "
+                "anecdote).\n"
+                " - The integrated device wins both, because its "
+                "memory is ON the chip: a 30ns\n   array access "
+                "instead of a system bus.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interactive version of the Figure 2 experiment: walk an array of
+ * a chosen size and stride through any of the bundled machine
+ * models and see the average loaded access time, level by level.
+ *
+ * Run: ./build/examples/latency_explorer [machine] [stride]
+ *      machine: ss5 | ss10 | reference   (default: both SS models)
+ *      stride : bytes between accesses   (default: 128)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "core/memwall.hh"
+
+using namespace memwall;
+
+namespace {
+
+double
+walk(const HierarchyConfig &config, std::uint64_t array_bytes,
+     std::uint32_t stride, std::uint64_t refs)
+{
+    MemoryHierarchy machine(config);
+    StrideWalker walker(0x10000000, array_bytes, stride);
+    const RefSink sink = [&](const MemRef &ref) {
+        machine.access(RefKind::Load, ref.addr);
+    };
+    walker.generate(
+        std::max<std::uint64_t>(array_bytes / stride, 64), sink);
+    machine.resetStats();
+    walker.generate(refs, sink);
+    return machine.meanLatencyNs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<HierarchyConfig> machines;
+    if (argc > 1 && std::strcmp(argv[1], "ss5") == 0)
+        machines.push_back(HierarchyConfig::ss5());
+    else if (argc > 1 && std::strcmp(argv[1], "ss10") == 0)
+        machines.push_back(HierarchyConfig::ss10());
+    else if (argc > 1 && std::strcmp(argv[1], "reference") == 0)
+        machines.push_back(HierarchyConfig::reference());
+    else {
+        machines.push_back(HierarchyConfig::ss5());
+        machines.push_back(HierarchyConfig::ss10());
+    }
+    const std::uint32_t stride =
+        argc > 2 ? static_cast<std::uint32_t>(
+                       std::strtoul(argv[2], nullptr, 0))
+                 : 128;
+
+    SeriesChart chart("Loaded memory latency, stride " +
+                          std::to_string(stride) + " bytes",
+                      "array KB", "ns / access");
+    for (const auto &m : machines) {
+        std::printf("walking %s (L1 %lluK", m.name.c_str(),
+                    static_cast<unsigned long long>(
+                        m.l1d.capacity / KiB));
+        if (m.has_l2)
+            std::printf(" + L2 %lluK",
+                        static_cast<unsigned long long>(
+                            m.l2.capacity / KiB));
+        std::printf(", memory %.0f ns)...\n", m.memory_ns);
+        for (std::uint64_t kb = 4; kb <= 32 * 1024; kb *= 2) {
+            chart.addPoint(m.name, static_cast<double>(kb),
+                           walk(m, kb * KiB, stride, 300'000));
+        }
+    }
+    std::printf("\n");
+    chart.print(std::cout);
+    std::printf("\nEach plateau is a cache level; the cliff past "
+                "the last level is the memory\nwall this library is "
+                "about.\n");
+    return 0;
+}

@@ -1,0 +1,425 @@
+#include "coherence/numa.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+NumaMachine::NumaMachine(NumaConfig config)
+    : config_(config), directory_(config.nodes)
+{
+    MW_ASSERT(config_.nodes >= 1 &&
+                  config_.nodes <= DirEntry::max_nodes,
+              "node count out of range");
+    MW_ASSERT(isPowerOfTwo(config_.page_bytes),
+              "page size must be a power of two");
+    nodes_.resize(config_.nodes);
+    frames_used_.assign(config_.nodes, 0);
+    if (config_.model_fabric_contention) {
+        fabric_ = std::make_unique<Fabric>(config_.nodes,
+                                           config_.fabric);
+        engine_free_.assign(config_.nodes, 0);
+    }
+    for (auto &node : nodes_) {
+        switch (config_.arch) {
+          case NodeArch::Integrated: {
+            ColumnCacheConfig cc = config_.columns;
+            cc.victim_enabled = config_.victim_cache;
+            node.columns = std::make_unique<ColumnDataCache>(cc);
+            node.inc = std::make_unique<InterNodeCache>(config_.inc);
+            break;
+          }
+          case NodeArch::SimpleComa: {
+            ColumnCacheConfig cc = config_.columns;
+            cc.victim_enabled = config_.victim_cache;
+            node.columns = std::make_unique<ColumnDataCache>(cc);
+            // No INC: the attraction memory subsumes it.
+            break;
+          }
+          case NodeArch::ReferenceCcNuma:
+            node.flc = std::make_unique<Cache>(config_.flc);
+            break;
+        }
+    }
+}
+
+unsigned
+NumaMachine::homeOf(Addr addr) const
+{
+    const std::uint64_t page = addr / config_.page_bytes;
+    auto it = pages_.find(page);
+    if (it != pages_.end())
+        return it->second.home;
+    return static_cast<unsigned>(page % config_.nodes);
+}
+
+unsigned
+NumaMachine::resolveHome(Addr addr, unsigned toucher)
+{
+    const std::uint64_t page = addr / config_.page_bytes;
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+        const unsigned home = config_.first_touch
+            ? toucher
+            : static_cast<unsigned>(page % config_.nodes);
+        it = pages_
+                 .emplace(page,
+                          PagePlacement{home, frames_used_[home]++})
+                 .first;
+    }
+    return it->second.home;
+}
+
+Addr
+NumaMachine::cacheView(unsigned node, Addr addr) const
+{
+    const Addr block = blockAddr(addr);
+    const std::uint64_t page = addr / config_.page_bytes;
+    if (config_.arch == NodeArch::SimpleComa) {
+        // Every page the node uses is replicated into its local
+        // attraction memory, at a per-node local frame.
+        const Node &n = nodes_[node];
+        auto fit = n.frames.find(page);
+        const std::uint64_t frame =
+            fit != n.frames.end() ? fit->second : n.next_frame;
+        return (Addr{1} << 47) | (frame * config_.page_bytes +
+                                  block % config_.page_bytes);
+    }
+    auto it = pages_.find(page);
+    if (it == pages_.end() || it->second.home != node)
+        return block;  // imported blocks are tagged globally
+    // Local pages are contiguous in the node's physical DRAM, and
+    // the column buffers / FLC are physically indexed — without
+    // this translation the interleaved global addresses of a P-node
+    // machine would alias into a fraction of the cache sets.
+    const Addr local =
+        it->second.local_frame * config_.page_bytes +
+        block % config_.page_bytes;
+    // Disjoint from the global space so imported and local tags
+    // can share one structure without false matches.
+    return (Addr{1} << 47) | local;
+}
+
+const NodeStats &
+NumaMachine::nodeStats(unsigned cpu) const
+{
+    MW_ASSERT(cpu < nodes_.size(), "bad cpu id");
+    return nodes_[cpu].stats;
+}
+
+bool
+NumaMachine::nodeHolds(unsigned node, Addr block) const
+{
+    const Node &n = nodes_[node];
+    const Addr view = cacheView(node, block);
+    switch (config_.arch) {
+      case NodeArch::Integrated:
+        return n.columns->probe(view) || n.inc->probe(block);
+      case NodeArch::SimpleComa:
+        return n.attraction.count(block) > 0;
+      case NodeArch::ReferenceCcNuma:
+        break;
+    }
+    return n.flc->probe(view) || n.slc.count(block) > 0;
+}
+
+void
+NumaMachine::fillLocal(unsigned node, Addr block, bool store)
+{
+    Node &n = nodes_[node];
+    if (config_.arch == NodeArch::SimpleComa) {
+        // Allocate the page's local frame on first use, then fill
+        // the column from the attraction memory.
+        const std::uint64_t page =
+            block / config_.page_bytes;
+        if (!n.frames.count(page))
+            n.frames.emplace(page, n.next_frame++);
+        n.attraction.insert(block);
+        n.columns->access(cacheView(node, block), store);
+        return;
+    }
+    const Addr view = cacheView(node, block);
+    if (config_.arch == NodeArch::Integrated) {
+        // Home data: the whole column lands in a buffer.
+        n.columns->access(view, store);
+    } else {
+        n.flc->access(view, store);
+        n.slc.insert(block);
+    }
+}
+
+void
+NumaMachine::invalidateAt(unsigned node, Addr block)
+{
+    Node &n = nodes_[node];
+    const Addr view = cacheView(node, block);
+    switch (config_.arch) {
+      case NodeArch::Integrated:
+        n.columns->invalidateBlock(view);
+        n.inc->invalidate(block);
+        return;
+      case NodeArch::SimpleComa:
+        n.columns->invalidateBlock(view);
+        n.attraction.erase(block);
+        return;
+      case NodeArch::ReferenceCcNuma:
+        n.flc->invalidate(view);
+        n.slc.erase(block);
+        return;
+    }
+}
+
+void
+NumaMachine::invalidateSharers(const DirEntry &entry, Addr block,
+                               unsigned keep)
+{
+    switch (entry.state()) {
+      case DirState::Uncached:
+        return;
+      case DirState::Modified:
+        if (entry.owner() != keep)
+            invalidateAt(entry.owner(), block);
+        return;
+      case DirState::Shared:
+        for (unsigned s : entry.sharers())
+            if (s != keep)
+                invalidateAt(s, block);
+        return;
+      case DirState::SharedBcast:
+        // Pointer overflow: the invalidation must broadcast.
+        for (unsigned node = 0; node < config_.nodes; ++node)
+            if (node != keep)
+                invalidateAt(node, block);
+        return;
+    }
+}
+
+Cycles
+NumaMachine::remoteRoundTrip(unsigned cpu, unsigned home, Tick now,
+                             Cycles floor)
+{
+    if (!fabric_ || home == cpu)
+        return floor;
+    // Request across the fabric, service at the home node's
+    // protocol engine (which serialises transactions), reply with
+    // the 32-byte payload.
+    const Tick req =
+        fabric_->send(now, cpu, home, MsgType::ReadRequest);
+    const Tick start = std::max(req, engine_free_[home]);
+    const Tick done = start + config_.engine_occupancy;
+    engine_free_[home] = done;
+    const Tick reply =
+        fabric_->send(done, home, cpu, MsgType::ReadReply);
+    const Cycles contended =
+        static_cast<Cycles>(reply > now ? reply - now : 0);
+    return std::max(floor, contended);
+}
+
+Cycles
+NumaMachine::access(unsigned cpu, Addr addr, bool store, Tick now)
+{
+    MW_ASSERT(cpu < nodes_.size(), "bad cpu id");
+    const Addr block = blockAddr(addr);
+    const unsigned home = resolveHome(addr, cpu);
+    Node &n = nodes_[cpu];
+    n.stats.total.inc();
+
+    DirEntry &e = directory_.entry(block);
+    const LatencyTable &lat = config_.latency;
+
+    // --- First-level structures --------------------------------------
+    const Addr view = cacheView(cpu, addr);
+    bool l1_hit;
+    if (config_.arch == NodeArch::ReferenceCcNuma)
+        l1_hit = n.flc->access(view, store).hit;
+    else
+        l1_hit = n.columns->accessNoFill(view, store) !=
+                 DAccessOutcome::Miss;
+
+    // Invariant: a cached copy is coherent (invalidations remove
+    // copies eagerly), so a load hit — or a store hit with ownership
+    // — completes in one cycle.
+    if (l1_hit &&
+        (!store ||
+         (e.state() == DirState::Modified && e.owner() == cpu))) {
+        n.stats.cache_hits.inc();
+        last_service_ = ServiceLevel::CacheHit;
+        return lat.cache_hit;
+    }
+
+    // Cost of re-reaching data this node can already access
+    // (L1 miss but local home / INC / SLC), shared by several paths.
+    auto local_refetch = [&](bool st) -> Cycles {
+        if (config_.arch == NodeArch::SimpleComa) {
+            if (n.attraction.count(block)) {
+                // Valid in the local attraction memory: a plain
+                // local DRAM access regardless of the block's home.
+                fillLocal(cpu, block, st);
+                last_service_ = ServiceLevel::LocalMemory;
+                n.stats.local_mem.inc();
+                return lat.local_memory;
+            }
+            // Not replicated yet: fetch across the fabric (or from
+            // the local home) and install in attraction memory.
+            fillLocal(cpu, block, st);
+            if (home == cpu) {
+                last_service_ = ServiceLevel::LocalMemory;
+                n.stats.local_mem.inc();
+                return lat.local_memory;
+            }
+            last_service_ = ServiceLevel::Remote;
+            n.stats.remote_loads.inc();
+            return remoteRoundTrip(cpu, home, now, lat.remote_load);
+        }
+        if (home == cpu) {
+            fillLocal(cpu, block, st);
+            last_service_ = ServiceLevel::LocalMemory;
+            n.stats.local_mem.inc();
+            return lat.local_memory;
+        }
+        if (config_.arch == NodeArch::Integrated) {
+            if (n.inc->access(block, st)) {
+                n.columns->stageRemoteBlock(block);
+                last_service_ = ServiceLevel::IncHit;
+                n.stats.inc_hits.inc();
+                return lat.inc_access + lat.inc_tag_extra;
+            }
+            // Fell out of the INC as well: fetch again.
+            n.inc->insert(block);
+            n.columns->stageRemoteBlock(block);
+            last_service_ = ServiceLevel::Remote;
+            n.stats.remote_loads.inc();
+            return remoteRoundTrip(cpu, home, now, lat.remote_load);
+        }
+        if (n.slc.count(block)) {
+            n.flc->access(block, st);
+            last_service_ = ServiceLevel::LocalMemory;
+            n.stats.local_mem.inc();
+            return lat.local_memory;  // SLC hit (Table 6: 6 cycles)
+        }
+        n.flc->access(block, st);
+        n.slc.insert(block);
+        last_service_ = ServiceLevel::Remote;
+        n.stats.remote_loads.inc();
+        return remoteRoundTrip(cpu, home, now, lat.remote_load);
+    };
+
+    // Import a remote block after a fabric transaction.
+    auto remote_import = [&](bool st) {
+        if (config_.arch == NodeArch::SimpleComa || home == cpu) {
+            fillLocal(cpu, block, st);
+        } else if (config_.arch == NodeArch::Integrated) {
+            n.inc->insert(block);
+            n.columns->stageRemoteBlock(block);
+        } else {
+            n.flc->access(block, st);
+            n.slc.insert(block);
+        }
+    };
+
+    if (!store) {
+        // ---- Load miss -----------------------------------------------
+        if (e.state() == DirState::Modified) {
+            if (e.owner() == cpu) {
+                // Reading our own dirty block: ownership is kept
+                // (no directory transition), just refetch the data.
+                return local_refetch(false);
+            }
+            // Dirty elsewhere: round trip through the owner, which
+            // downgrades to shared and keeps its copy.
+            e.addSharer(cpu);
+            remote_import(false);
+            last_service_ = ServiceLevel::Remote;
+            n.stats.remote_loads.inc();
+            return remoteRoundTrip(cpu, e.owner(), now,
+                                   lat.remote_load);
+        }
+        e.addSharer(cpu);
+        return local_refetch(false);
+    }
+
+    // ---- Store ---------------------------------------------------------
+    if (e.state() == DirState::Modified && e.owner() == cpu) {
+        // Ownership retained but the data slipped out of the L1.
+        return local_refetch(true);
+    }
+
+    // Exclusivity is required. Count copies elsewhere.
+    bool others = false;
+    switch (e.state()) {
+      case DirState::Uncached:
+        others = false;
+        break;
+      case DirState::Modified:
+        others = e.owner() != cpu;
+        break;
+      case DirState::Shared: {
+        for (unsigned s : e.sharers())
+            if (s != cpu)
+                others = true;
+        break;
+      }
+      case DirState::SharedBcast:
+        others = true;
+        break;
+    }
+
+    Cycles cost;
+    if (others) {
+        // Invalidation round trip covers both the permission grant
+        // and, for dirty blocks, the data forward (Table 6).
+        invalidateSharers(e, block, cpu);
+        n.stats.invalidations.inc();
+        last_service_ = ServiceLevel::Invalidation;
+        cost = remoteRoundTrip(cpu, home == cpu ? (cpu + 1) %
+                                       config_.nodes
+                                                : home,
+                               now, lat.invalidation_round_trip);
+    } else if (home == cpu) {
+        // Sole (or no) copy, local home: the directory grant is a
+        // local memory transaction.
+        last_service_ = ServiceLevel::LocalMemory;
+        n.stats.local_mem.inc();
+        cost = lat.local_memory;
+    } else {
+        // Sole (or no) copy, remote home: the grant is a fabric
+        // round trip whether or not the data is already here.
+        last_service_ = ServiceLevel::Remote;
+        n.stats.remote_loads.inc();
+        cost = remoteRoundTrip(cpu, home, now, lat.remote_load);
+    }
+    e.setModified(cpu);
+    if (!l1_hit)
+        remote_import(true);
+    return cost;
+}
+
+std::uint64_t
+NumaMachine::totalAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &node : nodes_)
+        total += node.stats.total.value();
+    return total;
+}
+
+std::uint64_t
+NumaMachine::totalRemoteLoads() const
+{
+    std::uint64_t total = 0;
+    for (const auto &node : nodes_)
+        total += node.stats.remote_loads.value();
+    return total;
+}
+
+std::uint64_t
+NumaMachine::totalInvalidations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &node : nodes_)
+        total += node.stats.invalidations.value();
+    return total;
+}
+
+} // namespace memwall

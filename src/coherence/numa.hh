@@ -1,0 +1,214 @@
+/**
+ * @file
+ * CC-NUMA machine models for the multiprocessor evaluation
+ * (Section 6).
+ *
+ * Two node architectures are compared, both running the same
+ * directory-based write-invalidate protocol on 32-byte units with
+ * the Table 6 latencies:
+ *
+ *  - Integrated: the proposed device. The column-buffer data cache
+ *    (2-way, 512-byte lines) with an optional victim cache filters
+ *    accesses; remote data is cached in a 7-way INC held in DRAM;
+ *    imported blocks stage through the victim cache.
+ *
+ *  - ReferenceCcNuma: a conventional node with a 16 KB direct-mapped
+ *    first-level cache (32-byte lines) and an INFINITE second-level
+ *    cache, the idealised comparison system of Section 6.1 (no SLC
+ *    capacity misses; only cold and coherence misses remain).
+ *
+ * The model is execution-driven and synchronous: each access runs
+ * the full protocol immediately and returns its latency; remote
+ * operations invalidate/downgrade the other nodes' cache structures
+ * directly, so presence information is always consistent.
+ */
+
+#ifndef MEMWALL_COHERENCE_NUMA_HH
+#define MEMWALL_COHERENCE_NUMA_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "interconnect/fabric.hh"
+#include "coherence/inc.hh"
+#include "coherence/protocol.hh"
+#include "mem/cache.hh"
+#include "mem/column_cache.hh"
+
+namespace memwall {
+
+/** Node architecture selector. */
+enum class NodeArch {
+    Integrated,       ///< CC-NUMA: column buffers (+ VC) + INC
+    ReferenceCcNuma,  ///< 16 KB DM FLC + infinite SLC
+    /**
+     * Simple-COMA on the integrated device (Section 4.2 says both
+     * are supported; the authors' HPCA'95 "An Argument for Simple
+     * COMA" is reference [21]). Memory behaves as an attraction
+     * cache: pages are replicated into the local DRAM on first use
+     * (page-grain allocation, 32-byte-grain coherence), so re-used
+     * remote data costs a 6-cycle local access instead of an INC
+     * lookup, at the price of replication storage.
+     */
+    SimpleComa,
+};
+
+/** Machine-wide configuration. */
+struct NumaConfig
+{
+    unsigned nodes = 16;
+    NodeArch arch = NodeArch::Integrated;
+    /** Victim cache present (Integrated only). */
+    bool victim_cache = true;
+    /** Table 6 latencies. */
+    LatencyTable latency = {};
+    /** INC geometry (Integrated only). */
+    IncConfig inc = {};
+    /** Home interleaving granularity (bytes, power of two). */
+    std::uint32_t page_bytes = 4 * KiB;
+    /**
+     * First-touch page placement: a page's home is the first CPU
+     * that references it (the standard NUMA policy of the era and
+     * the behaviour SPLASH codes were tuned for). When false, pages
+     * interleave round-robin.
+     */
+    bool first_touch = true;
+    /** FLC geometry for the reference node. */
+    CacheConfig flc = {16 * KiB, 32, 1, ReplPolicy::LRU, 32, "flc"};
+    /**
+     * Model fabric and protocol-engine contention instead of the
+     * fixed Table 6 remote latencies. Remote transactions then
+     * occupy one of the sender's four serial links and the home
+     * node's protocol engine; the charged latency is the larger of
+     * the Table 6 figure and the contended round trip. (The paper
+     * notes its fixed numbers are conservative for an unloaded
+     * fabric; this switch explores the loaded case.)
+     */
+    bool model_fabric_contention = false;
+    /** Serial-link fabric parameters (contention mode). */
+    FabricConfig fabric = {};
+    /** Protocol-engine occupancy per remote transaction (cycles),
+     * from the S3.mp engine microcode budget. */
+    Cycles engine_occupancy = 12;
+    /** Column cache geometry for the integrated node. */
+    ColumnCacheConfig columns = {};
+};
+
+/** Per-node access statistics. */
+struct NodeStats
+{
+    Counter cache_hits;
+    Counter local_mem;
+    Counter inc_hits;
+    Counter remote_loads;
+    Counter invalidations;
+    Counter total;
+
+    std::uint64_t hits() const { return cache_hits.value(); }
+};
+
+/**
+ * The shared-memory machine. Thread-compatible with the MP
+ * scheduler: only one simulated CPU executes at a time, so no
+ * internal locking is needed.
+ */
+class NumaMachine
+{
+  public:
+    explicit NumaMachine(NumaConfig config = {});
+
+    /**
+     * Perform one data access by CPU @p cpu at time @p now (the
+     * timestamp only matters in fabric-contention mode).
+     * @return the access latency in cycles.
+     */
+    Cycles access(unsigned cpu, Addr addr, bool store,
+                  Tick now = 0);
+
+    /** Service level of the most recent access (for tests). */
+    ServiceLevel lastService() const { return last_service_; }
+
+    /**
+     * Home node of @p addr: the assigned first-touch home, or the
+     * round-robin interleave for pages never touched (or when
+     * first_touch is off).
+     */
+    unsigned homeOf(Addr addr) const;
+
+    const NumaConfig &config() const { return config_; }
+    const NodeStats &nodeStats(unsigned cpu) const;
+    const Directory &directory() const { return directory_; }
+
+    /** Aggregate counters across nodes. */
+    std::uint64_t totalAccesses() const;
+    std::uint64_t totalRemoteLoads() const;
+    std::uint64_t totalInvalidations() const;
+
+  private:
+    struct Node
+    {
+        // Integrated structures.
+        std::unique_ptr<ColumnDataCache> columns;
+        std::unique_ptr<InterNodeCache> inc;
+        // Reference structures.
+        std::unique_ptr<Cache> flc;
+        std::unordered_set<Addr> slc;  ///< infinite SLC contents
+        // Simple-COMA structures: blocks currently valid in this
+        // node's attraction memory, and the local frame assigned to
+        // each replicated page.
+        std::unordered_set<Addr> attraction;
+        std::unordered_map<std::uint64_t, std::uint64_t> frames;
+        std::uint64_t next_frame = 0;
+        NodeStats stats;
+    };
+
+    /**
+     * Tag/index under which @p node's physically indexed caches see
+     * @p addr: imported blocks keep their global block address;
+     * local-home blocks translate to the node's contiguous local
+     * DRAM space (disjoint range).
+     */
+    Addr cacheView(unsigned node, Addr addr) const;
+
+    /** @return true iff @p node's caches hold @p block. */
+    bool nodeHolds(unsigned node, Addr block) const;
+    /** Fill @p block into @p node's local cache structures. */
+    void fillLocal(unsigned node, Addr block, bool store);
+    /** Remove @p block from @p node (invalidation). */
+    void invalidateAt(unsigned node, Addr block);
+    /** Invalidate every copy except @p keep's. */
+    void invalidateSharers(const DirEntry &entry, Addr block,
+                           unsigned keep);
+
+    /** Assign (or look up) the home of @p addr's page. */
+    unsigned resolveHome(Addr addr, unsigned toucher);
+
+    struct PagePlacement
+    {
+        unsigned home;
+        /** Index of this page within its home's local DRAM. */
+        std::uint64_t local_frame;
+    };
+
+    /** Contended cost of a request/reply round trip to @p home. */
+    Cycles remoteRoundTrip(unsigned cpu, unsigned home, Tick now,
+                           Cycles floor);
+
+    NumaConfig config_;
+    Directory directory_;
+    std::unique_ptr<Fabric> fabric_;
+    /** Per-node protocol-engine ready times (contention mode). */
+    std::vector<Tick> engine_free_;
+    std::vector<Node> nodes_;
+    ServiceLevel last_service_ = ServiceLevel::CacheHit;
+    std::unordered_map<std::uint64_t, PagePlacement> pages_;
+    std::vector<std::uint64_t> frames_used_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_COHERENCE_NUMA_HH

@@ -1,0 +1,162 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+void
+SampleStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+SampleStat::reset()
+{
+    *this = SampleStat{};
+}
+
+double
+SampleStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+SampleStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, unsigned buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / std::max(1u, buckets)),
+      buckets_(std::max(1u, buckets), 0)
+{
+    MW_ASSERT(hi > lo, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    count_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+    } else if (x >= hi_) {
+        overflow_ += weight;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        idx = std::min(idx, buckets_.size() - 1);
+        buckets_[idx] += weight;
+    }
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    count_ = 0;
+}
+
+double
+Histogram::bucketLow(unsigned i) const
+{
+    return lo_ + width_ * i;
+}
+
+double
+Histogram::bucketHigh(unsigned i) const
+{
+    return lo_ + width_ * (i + 1);
+}
+
+double
+Histogram::quantile(double p) const
+{
+    MW_ASSERT(p >= 0.0 && p <= 1.0, "quantile fraction out of range");
+    if (count_ == 0)
+        return lo_;
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_));
+    std::uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target) {
+            // Linear interpolation within the bucket.
+            const auto before = seen - buckets_[i];
+            const double frac = buckets_[i]
+                ? static_cast<double>(target - before) /
+                      static_cast<double>(buckets_[i])
+                : 0.0;
+            return bucketLow(i) + frac * width_;
+        }
+    }
+    return hi_;
+}
+
+double
+AccessStats::missRate() const
+{
+    const auto total = accesses();
+    return total ? static_cast<double>(misses()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+AccessStats::loadMissRate() const
+{
+    const auto total = accesses();
+    return total ? static_cast<double>(load_misses.value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+AccessStats::storeMissRate() const
+{
+    const auto total = accesses();
+    return total ? static_cast<double>(store_misses.value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+AccessStats::reset()
+{
+    load_hits.reset();
+    load_misses.reset();
+    store_hits.reset();
+    store_misses.reset();
+}
+
+std::string
+percentString(double fraction, int digits)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+} // namespace memwall

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by every timing model.
+ *
+ * The design borrows gem5's idea of named, self-describing statistics
+ * grouped per component, but stays deliberately small: counters,
+ * ratios (formulas over two counters), scalar samples with
+ * mean/stddev, and fixed-bucket histograms.
+ */
+
+#ifndef MEMWALL_COMMON_STATS_HH
+#define MEMWALL_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memwall {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Accumulates scalar samples and reports mean / variance / extrema.
+ * Uses Welford's algorithm so long runs stay numerically stable.
+ */
+class SampleStat
+{
+  public:
+    void add(double x);
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double total() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram over [lo, hi) with equal-width buckets plus underflow and
+ * overflow bins.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned buckets);
+
+    void add(double x, std::uint64_t weight = 1);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    double bucketLow(unsigned i) const;
+    double bucketHigh(unsigned i) const;
+
+    /** @return the p-quantile (0 <= p <= 1) estimated from buckets. */
+    double quantile(double p) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * The miss-rate bookkeeping every cache model exposes, split by
+ * access type exactly as Figure 8 of the paper plots it (load misses
+ * and store misses stack into the total miss fraction).
+ */
+struct AccessStats
+{
+    Counter load_hits;
+    Counter load_misses;
+    Counter store_hits;
+    Counter store_misses;
+
+    std::uint64_t loads() const
+    {
+        return load_hits.value() + load_misses.value();
+    }
+    std::uint64_t stores() const
+    {
+        return store_hits.value() + store_misses.value();
+    }
+    std::uint64_t accesses() const { return loads() + stores(); }
+    std::uint64_t misses() const
+    {
+        return load_misses.value() + store_misses.value();
+    }
+
+    /** Total miss fraction over all accesses (0 when idle). */
+    double missRate() const;
+    /** Load-miss fraction over all accesses (Figure 8's lower bar). */
+    double loadMissRate() const;
+    /** Store-miss fraction over all accesses (Figure 8's upper bar). */
+    double storeMissRate() const;
+
+    void reset();
+};
+
+/** Render a rate as a percentage string with @p digits decimals. */
+std::string percentString(double fraction, int digits = 2);
+
+} // namespace memwall
+
+#endif // MEMWALL_COMMON_STATS_HH

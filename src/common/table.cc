@@ -1,0 +1,257 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+TextTable::TextTable(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (!header_.empty())
+        cells.resize(header_.size());
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths over header and all rows.
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.cells.size());
+    std::vector<std::size_t> widths(cols, 0);
+    auto scan = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    scan(header_);
+    for (const auto &row : rows_)
+        if (!row.rule)
+            scan(row.cells);
+
+    std::size_t total = cols ? (cols - 1) * 3 : 0;
+    for (auto w : widths)
+        total += w;
+
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : std::string{};
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << cell;
+            if (i + 1 < cols)
+                os << " | ";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty()) {
+        os << title_ << '\n';
+        os << std::string(std::max(total, title_.size()), '=') << '\n';
+    }
+    if (!header_.empty()) {
+        print_cells(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_) {
+        if (row.rule)
+            os << std::string(total, '-') << '\n';
+        else
+            print_cells(row.cells);
+    }
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::intWithCommas(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+BarChart::BarChart(std::string title, std::string unit)
+    : title_(std::move(title)), unit_(std::move(unit))
+{
+}
+
+void
+BarChart::add(const std::string &group, const std::string &label,
+              double value)
+{
+    bars_.push_back(Bar{group, label, value});
+}
+
+void
+BarChart::print(std::ostream &os) const
+{
+    if (!title_.empty()) {
+        os << title_ << '\n'
+           << std::string(title_.size(), '=') << '\n';
+    }
+    double max_value = 0.0;
+    std::size_t label_width = 0;
+    for (const auto &bar : bars_) {
+        max_value = std::max(max_value, bar.value);
+        label_width = std::max(label_width, bar.label.size());
+    }
+    const double scale =
+        max_value > 0.0 ? static_cast<double>(width_) / max_value : 0.0;
+
+    std::string last_group;
+    for (const auto &bar : bars_) {
+        if (bar.group != last_group) {
+            os << bar.group << '\n';
+            last_group = bar.group;
+        }
+        const auto len =
+            static_cast<unsigned>(std::lround(bar.value * scale));
+        os << "  " << std::left
+           << std::setw(static_cast<int>(label_width)) << bar.label
+           << " |" << std::string(len, '#')
+           << std::string(width_ - std::min(len, width_), ' ') << "| "
+           << TextTable::num(bar.value, 4);
+        if (!unit_.empty())
+            os << ' ' << unit_;
+        os << '\n';
+    }
+}
+
+std::string
+BarChart::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+SeriesChart::SeriesChart(std::string title, std::string x_label,
+                         std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)),
+      y_label_(std::move(y_label))
+{
+}
+
+void
+SeriesChart::addSeries(const std::string &name)
+{
+    if (!find(name))
+        series_.push_back(Series{name, {}});
+}
+
+void
+SeriesChart::addPoint(const std::string &name, double x, double y)
+{
+    Series *s = find(name);
+    if (!s) {
+        addSeries(name);
+        s = find(name);
+    }
+    s->points.emplace_back(x, y);
+}
+
+const SeriesChart::Series *
+SeriesChart::find(const std::string &name) const
+{
+    for (const auto &s : series_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+SeriesChart::Series *
+SeriesChart::find(const std::string &name)
+{
+    return const_cast<Series *>(
+        static_cast<const SeriesChart *>(this)->find(name));
+}
+
+void
+SeriesChart::print(std::ostream &os) const
+{
+    // Collect the union of x values, sorted, then print one row per x
+    // with one column per series.
+    std::map<double, std::vector<double>> grid;
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        for (const auto &[x, y] : series_[si].points) {
+            auto &row = grid[x];
+            row.resize(series_.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+            row[si] = y;
+        }
+    }
+    for (auto &[x, row] : grid)
+        row.resize(series_.size(),
+                   std::numeric_limits<double>::quiet_NaN());
+
+    TextTable table(title_ + "   [y: " + y_label_ + "]");
+    std::vector<std::string> header{x_label_};
+    for (const auto &s : series_)
+        header.push_back(s.name);
+    table.setHeader(std::move(header));
+    for (const auto &[x, row] : grid) {
+        std::vector<std::string> cells{TextTable::num(x, 3)};
+        for (double y : row)
+            cells.push_back(std::isnan(y) ? "-" : TextTable::num(y, 4));
+        table.addRow(std::move(cells));
+    }
+    table.print(os);
+}
+
+std::string
+SeriesChart::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace memwall

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * ASCII rendering of tables and simple charts.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * on stdout. Tables render with aligned columns; "figures" render as
+ * labelled horizontal bar charts or x/y series listings, which is the
+ * closest faithful representation in a terminal.
+ */
+
+#ifndef MEMWALL_COMMON_TABLE_HH
+#define MEMWALL_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace memwall {
+
+/** Column-aligned text table with an optional title and rules. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row (padded/truncated to the column count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addRule();
+
+    /** Render to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Helper: fixed-precision number formatting. */
+    static std::string num(double v, int digits = 2);
+    /** Helper: integer with thousands separators. */
+    static std::string intWithCommas(std::uint64_t v);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool rule = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/**
+ * Horizontal bar chart: one labelled bar per entry, scaled to a
+ * shared maximum so relative magnitude is visible at a glance. Used
+ * to render the miss-rate "figures" (Figures 7 and 8).
+ */
+class BarChart
+{
+  public:
+    explicit BarChart(std::string title, std::string unit = "");
+
+    /** Add a bar. @p group labels cluster bars visually. */
+    void add(const std::string &group, const std::string &label,
+             double value);
+
+    /** Set the character width of the longest bar (default 50). */
+    void setWidth(unsigned width) { width_ = width; }
+
+    void print(std::ostream &os) const;
+    std::string str() const;
+
+  private:
+    struct Bar
+    {
+        std::string group;
+        std::string label;
+        double value;
+    };
+
+    std::string title_;
+    std::string unit_;
+    unsigned width_ = 50;
+    std::vector<Bar> bars_;
+};
+
+/**
+ * x/y series printout for line-plot figures (Figures 2, 11-17): each
+ * series is listed as aligned columns so it can be eyeballed or piped
+ * into a plotting tool.
+ */
+class SeriesChart
+{
+  public:
+    SeriesChart(std::string title, std::string x_label,
+                std::string y_label);
+
+    /** Add a named series; all series should share x values. */
+    void addSeries(const std::string &name);
+
+    /** Append a point to series @p name. */
+    void addPoint(const std::string &name, double x, double y);
+
+    void print(std::ostream &os) const;
+    std::string str() const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        std::vector<std::pair<double, double>> points;
+    };
+
+    const Series *find(const std::string &name) const;
+    Series *find(const std::string &name);
+
+    std::string title_;
+    std::string x_label_;
+    std::string y_label_;
+    std::vector<Series> series_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_COMMON_TABLE_HH

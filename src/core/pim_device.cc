@@ -1,0 +1,120 @@
+#include "core/pim_device.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+void
+PimDeviceConfig::validate() const
+{
+    dram.validate();
+    if (caches.banks != dram.banks)
+        MW_FATAL("cache sets (", caches.banks,
+                 ") must equal DRAM banks (", dram.banks, ")");
+    if (caches.column_bytes != dram.column_bytes)
+        MW_FATAL("cache line size must equal the DRAM column size");
+}
+
+PimDevice::PimDevice(PimDeviceConfig config)
+    : config_(config),
+      dram_(config.dram),
+      icache_(config.caches),
+      dcache_(config.caches)
+{
+    config_.validate();
+    if (config_.framebuffer_enabled)
+        framebuffer_ =
+            std::make_unique<FramebufferAgent>(config_.framebuffer);
+    if (config_.refresh_enabled)
+        refresh_ = std::make_unique<RefreshAgent>(config_.refresh,
+                                                  config_.dram);
+}
+
+void
+PimDevice::drainAgents(Tick now)
+{
+    // Background traffic due before `now` claims its bank slots
+    // first; CPU requests then queue behind it naturally.
+    if (refresh_)
+        refresh_->drainUpTo(dram_, now);
+    if (framebuffer_)
+        framebuffer_->drainUpTo(dram_, now);
+}
+
+Cycles
+PimDevice::fetchLatency(Addr pc, Tick now)
+{
+    drainAgents(now);
+    if (icache_.fetch(pc))
+        return 1;
+    // Column reload: wait for the bank (access + any queueing); the
+    // full 512-byte line lands in one cycle after the array access,
+    // so the only cost is the array timing itself.
+    const DramResult res = dram_.access(now, pc);
+    return static_cast<Cycles>(res.done - now) + 1;
+}
+
+Cycles
+PimDevice::dataLatency(Addr addr, bool store, Tick now)
+{
+    drainAgents(now);
+    const DAccessOutcome outcome = dcache_.access(addr, store);
+    switch (outcome) {
+      case DAccessOutcome::HitColumn:
+      case DAccessOutcome::HitVictim:
+        // Both structures are searched in the same cycle
+        // (Section 5.4).
+        return 1;
+      case DAccessOutcome::Miss: {
+        // The victim-cache copy of the displaced sub-block happens
+        // inside the array-access window: no extra cost. Dirty
+        // column writebacks retire through a spare column buffer
+        // and do not block the fill (Section 4.1: "speculative
+        // writebacks, removing contention between cache misses and
+        // dirty lines") — unless speculation is disabled, in which
+        // case the writeback's array access goes first.
+        Tick start = now;
+        if (!config_.speculative_writeback &&
+            dcache_.lastEvictionDirty()) {
+            const DramResult wb = dram_.access(now, addr);
+            start = wb.done;
+        }
+        const DramResult res = dram_.access(start, addr);
+        return static_cast<Cycles>(res.done - now) + 1;
+      }
+    }
+    return 1;
+}
+
+double
+PimDevice::runWorkload(RefSource &source, std::uint64_t refs)
+{
+    PipelineSim pipeline(*this, config_.pipeline);
+    source.generate(refs, pipeline.sink());
+    pipeline.drain();
+    return pipeline.cpi();
+}
+
+PimDeviceStats
+PimDevice::stats() const
+{
+    PimDeviceStats s;
+    s.icache = icache_.stats();
+    s.dcache = dcache_.stats();
+    s.victim = dcache_.victimStats();
+    s.dram_accesses = dram_.totalAccesses();
+    s.dram_queued_cycles = dram_.totalQueuedCycles();
+    return s;
+}
+
+void
+PimDevice::reset()
+{
+    icache_.flush();
+    icache_.resetStats();
+    dcache_.flush();
+    dcache_.resetStats();
+    dram_.resetStats();
+}
+
+} // namespace memwall

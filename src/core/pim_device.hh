@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The paper's contribution as one object: the integrated
+ * processor/memory device of Section 4 (Figure 3).
+ *
+ * A PimDevice bundles
+ *  - a 16-bank 256 Mbit DRAM array (30 ns access),
+ *  - the column-buffer instruction cache (16 x 512 B, direct
+ *    mapped) and data cache (2-way, 32 x 512 B) with the 16 x 32 B
+ *    victim cache,
+ *  - a single-scalar 5-stage 200 MHz pipeline model,
+ * and implements the MemorySystem timing interface so the pipeline
+ * (or any other consumer) can charge accesses to it.
+ *
+ * Misses fill an entire 512-byte column in a single array access —
+ * the "zero fill cost" property integration buys (Section 5.2); the
+ * victim-cache copy happens during the array access and is free.
+ */
+
+#ifndef MEMWALL_CORE_PIM_DEVICE_HH
+#define MEMWALL_CORE_PIM_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cpu/pipeline.hh"
+#include "mem/column_cache.hh"
+#include "io/framebuffer.hh"
+#include "io/refresh.hh"
+#include "mem/dram.hh"
+#include "trace/ref.hh"
+
+namespace memwall {
+
+/** Full configuration of one integrated device. */
+struct PimDeviceConfig
+{
+    /** Core clock (200 MHz). */
+    ClockParams clock = {};
+    /** DRAM array geometry/timing. */
+    DramConfig dram = {};
+    /** Column-buffer cache organisation (+ victim cache). */
+    ColumnCacheConfig caches = {};
+    /** Pipeline behaviour. */
+    PipelineConfig pipeline = {};
+    /** Scan a frame buffer out of main memory (Section 8). */
+    bool framebuffer_enabled = false;
+    FramebufferConfig framebuffer = {};
+    /** Model distributed DRAM refresh stealing bank time. */
+    bool refresh_enabled = false;
+    RefreshConfig refresh = {};
+    /**
+     * Speculative writebacks (Section 4.1): the spare column buffer
+     * retires dirty columns to the array off the critical path, so
+     * a miss that displaces a dirty column costs nothing extra.
+     * When false, the writeback's array access serialises with the
+     * fill (the conventional behaviour the paper contrasts with).
+     */
+    bool speculative_writeback = true;
+
+    /** Keep cache geometry consistent with the DRAM banking. */
+    void validate() const;
+};
+
+/** Counters exposed by a device after a run. */
+struct PimDeviceStats
+{
+    AccessStats icache;
+    AccessStats dcache;
+    AccessStats victim;
+    std::uint64_t dram_accesses = 0;
+    std::uint64_t dram_queued_cycles = 0;
+};
+
+/**
+ * The integrated processor/memory building block.
+ *
+ * Use runWorkload() for a self-contained execution, or treat the
+ * device as a MemorySystem and drive an external PipelineSim.
+ */
+class PimDevice : public MemorySystem
+{
+  public:
+    explicit PimDevice(PimDeviceConfig config = {});
+
+    // MemorySystem interface -------------------------------------------
+    Cycles fetchLatency(Addr pc, Tick now) override;
+    Cycles dataLatency(Addr addr, bool store, Tick now) override;
+
+    /**
+     * Run @p refs references of @p source through a fresh pipeline.
+     * @return the pipeline CPI.
+     */
+    double runWorkload(RefSource &source, std::uint64_t refs);
+
+    /** Aggregated statistics snapshot. */
+    PimDeviceStats stats() const;
+
+    /** Reset caches and statistics. */
+    void reset();
+
+    const PimDeviceConfig &config() const { return config_; }
+    Dram &dram() { return dram_; }
+    ColumnInstrCache &icache() { return icache_; }
+    ColumnDataCache &dcache() { return dcache_; }
+    /** Scan-out agent (null unless framebuffer_enabled). */
+    const FramebufferAgent *framebuffer() const
+    {
+        return framebuffer_.get();
+    }
+    /** Refresh agent (null unless refresh_enabled). */
+    const RefreshAgent *refreshAgent() const
+    {
+        return refresh_.get();
+    }
+
+  private:
+    /** Let background agents issue traffic due before @p now. */
+    void drainAgents(Tick now);
+
+    PimDeviceConfig config_;
+    Dram dram_;
+    ColumnInstrCache icache_;
+    ColumnDataCache dcache_;
+    std::unique_ptr<FramebufferAgent> framebuffer_;
+    std::unique_ptr<RefreshAgent> refresh_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_CORE_PIM_DEVICE_HH

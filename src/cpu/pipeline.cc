@@ -1,0 +1,97 @@
+#include "cpu/pipeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+PipelineSim::PipelineSim(MemorySystem &mem, PipelineConfig config)
+    : mem_(mem), config_(config)
+{
+}
+
+void
+PipelineSim::stallUntil(Tick when, std::uint64_t &bucket)
+{
+    if (when > now_) {
+        bucket += when - now_;
+        now_ = when;
+    }
+}
+
+void
+PipelineSim::consume(const MemRef &ref)
+{
+    switch (ref.type) {
+      case RefType::IFetch: {
+        // Scoreboard: if a load is still pending and the window is
+        // exhausted, the next instruction cannot issue until the
+        // load completes.
+        if (pending_load_done_ != 0) {
+            if (pending_load_done_ <= now_) {
+                pending_load_done_ = 0;
+            } else if (issued_past_load_ >= config_.scoreboard_window) {
+                stallUntil(pending_load_done_, data_stalls_);
+                pending_load_done_ = 0;
+            } else {
+                ++issued_past_load_;
+            }
+        }
+        const Cycles lat = mem_.fetchLatency(ref.pc, now_);
+        MW_ASSERT(lat >= 1, "fetch latency below one cycle");
+        // One cycle to issue; any extra latency is a front-end stall.
+        now_ += 1;
+        if (lat > 1)
+            stallUntil(now_ + (lat - 1), fetch_stalls_);
+        ++instructions_;
+        break;
+      }
+
+      case RefType::Load: {
+        // Structural hazard: a single outstanding memory operation.
+        stallUntil(std::max(lsq_busy_until_, pending_load_done_),
+                   data_stalls_);
+        pending_load_done_ = 0;
+        const Cycles lat = mem_.dataLatency(ref.addr, false, now_);
+        MW_ASSERT(lat >= 1, "load latency below one cycle");
+        lsq_busy_until_ = now_ + lat;
+        if (lat > 1) {
+            // Incomplete load: issue may run ahead a bounded amount.
+            pending_load_done_ = lsq_busy_until_;
+            issued_past_load_ = 0;
+        }
+        break;
+      }
+
+      case RefType::Store: {
+        // The store buffer hides store latency from issue, but the
+        // load/store unit stays busy while the store drains.
+        stallUntil(std::max(lsq_busy_until_, pending_load_done_),
+                   data_stalls_);
+        pending_load_done_ = 0;
+        const Cycles lat = mem_.dataLatency(ref.addr, true, now_);
+        lsq_busy_until_ = now_ + lat;
+        break;
+      }
+    }
+}
+
+void
+PipelineSim::drain()
+{
+    stallUntil(std::max(lsq_busy_until_, pending_load_done_),
+               data_stalls_);
+    pending_load_done_ = 0;
+}
+
+double
+PipelineSim::cpi() const
+{
+    return instructions_
+        ? static_cast<double>(now_) /
+              static_cast<double>(instructions_)
+        : 0.0;
+}
+
+} // namespace memwall

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * In-order single-scalar pipeline timing model.
+ *
+ * Models the paper's 5-stage R4300i/MicroSparc-II-class core
+ * (Section 4.1) at the level that matters for the memory study:
+ *
+ *  - one instruction issues per cycle when nothing stalls;
+ *  - instruction-fetch misses stall the front end for the miss
+ *    latency;
+ *  - the load/store unit allows ONE outstanding operation (the P10
+ *    token of Figure 10);
+ *  - a store buffer lets stores retire without stalling issue;
+ *  - scoreboarding lets issue continue for a bounded number of
+ *    instructions past an incomplete load before stalling (the T23
+ *    behaviour; window 0 = no scoreboarding).
+ *
+ * The pipeline is driven by a MemRef stream (from a workload proxy
+ * or the MW32 interpreter) and charges memory latencies through a
+ * MemorySystem interface, so the same pipeline runs against the
+ * integrated device or any conventional hierarchy.
+ */
+
+#ifndef MEMWALL_CPU_PIPELINE_HH
+#define MEMWALL_CPU_PIPELINE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/ref.hh"
+
+namespace memwall {
+
+/** Timing interface the pipeline charges its memory accesses to. */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /**
+     * Latency of an instruction fetch issued at @p now.
+     * A return of 1 means "streamed, no stall".
+     */
+    virtual Cycles fetchLatency(Addr pc, Tick now) = 0;
+
+    /** Latency of a data access issued at @p now. */
+    virtual Cycles dataLatency(Addr addr, bool store, Tick now) = 0;
+};
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    /**
+     * Instructions that may issue past an incomplete load before
+     * the pipeline stalls. The paper's scoreboarded core averages 1;
+     * 0 models no scoreboarding (stall immediately).
+     */
+    unsigned scoreboard_window = 1;
+};
+
+/** Cycle-accounting pipeline simulator. */
+class PipelineSim
+{
+  public:
+    PipelineSim(MemorySystem &mem, PipelineConfig config = {});
+
+    /** Feed one reference from the instruction/data stream. */
+    void consume(const MemRef &ref);
+
+    /** @return a sink feeding consume(). */
+    RefSink sink()
+    {
+        return [this](const MemRef &r) { consume(r); };
+    }
+
+    /** Drain outstanding memory operations (end of run). */
+    void drain();
+
+    std::uint64_t instructions() const { return instructions_; }
+    Tick cycles() const { return now_; }
+    double cpi() const;
+
+    /** Cycles lost to instruction-fetch stalls. */
+    std::uint64_t fetchStallCycles() const { return fetch_stalls_; }
+    /** Cycles lost to load-use and LSQ-structural stalls. */
+    std::uint64_t dataStallCycles() const { return data_stalls_; }
+
+  private:
+    void stallUntil(Tick when, std::uint64_t &bucket);
+
+    MemorySystem &mem_;
+    PipelineConfig config_;
+    Tick now_ = 0;
+    std::uint64_t instructions_ = 0;
+
+    /** Completion time of the single in-flight memory operation. */
+    Tick lsq_busy_until_ = 0;
+    /** Completion time of an incomplete load, or 0 when none. */
+    Tick pending_load_done_ = 0;
+    /** Instructions issued since the pending load started. */
+    unsigned issued_past_load_ = 0;
+
+    std::uint64_t fetch_stalls_ = 0;
+    std::uint64_t data_stalls_ = 0;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_CPU_PIPELINE_HH

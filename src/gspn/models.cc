@@ -1,0 +1,393 @@
+#include "gspn/models.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+namespace {
+
+/** Weighted immediate switch probabilities for one access class. */
+struct SwitchProbs
+{
+    double hit;
+    double l2;
+    double mem;
+};
+
+SwitchProbs
+splitProbs(double hit, double l2_cond, bool has_l2)
+{
+    SwitchProbs p;
+    p.hit = hit;
+    const double miss = 1.0 - hit;
+    if (has_l2) {
+        p.l2 = miss * l2_cond;
+        p.mem = miss * (1.0 - l2_cond);
+    } else {
+        p.l2 = 0.0;
+        p.mem = miss;
+    }
+    return p;
+}
+
+constexpr double min_weight = 1e-12;
+
+} // namespace
+
+ProcessorModel
+ProcessorModel::build(const ProcessorModelParams &params)
+{
+    MW_ASSERT(params.banks >= 1, "need at least one memory bank");
+    MW_ASSERT(params.p_load + params.p_store <= 1.0,
+              "instruction mix probabilities exceed 1");
+
+    ProcessorModel model;
+    model.banks = params.banks;
+    PetriNet &net = model.net;
+
+    // ---- Core places -------------------------------------------------
+    const PlaceId p_fetch_ready = net.addPlace("fetch_ready", 1);
+    const PlaceId p_inst_ready = net.addPlace("inst_ready", 0);
+    const PlaceId p_dispatch = net.addPlace("dispatch", 0);
+    const PlaceId p_ie = net.addPlace("issue_enable", 1);
+    const PlaceId p_stall = net.addPlace("stalled", 0);
+    const PlaceId p_lsq = net.addPlace("lsq_free", 1);  // P10
+    const PlaceId p_pending_load = net.addPlace("pending_load", 0);
+    const PlaceId p_load_done = net.addPlace("load_done", 0);
+    const PlaceId p_ld_fin = net.addPlace("load_fin", 0);
+    const PlaceId p_ld_wait = net.addPlace("load_wait", 0);
+    const PlaceId p_st_wait = net.addPlace("store_wait", 0);
+
+    model.issue_enable = p_ie;
+
+    // The L2 port (P6 in Figure 10) serialises instruction and data
+    // traffic through the second-level cache and memory interface of
+    // the conventional reference system.
+    PlaceId p_l2_port = 0;
+    if (params.has_l2)
+        p_l2_port = net.addPlace("l2_port", 1);
+
+    // ---- Memory banks (Figure 9, replicated per bank) ---------------
+    std::vector<PlaceId> p_bank_free(params.banks);
+    std::vector<PlaceId> p_bank_pre(params.banks);
+    for (unsigned b = 0; b < params.banks; ++b) {
+        p_bank_free[b] =
+            net.addPlace("bank" + std::to_string(b) + "_free", 1);
+        p_bank_pre[b] =
+            net.addPlace("bank" + std::to_string(b) + "_pre", 0);
+        // T2: precharge returns the bank to service.
+        const TransitionId t_pre = net.addDeterministic(
+            "T2_precharge" + std::to_string(b), params.bank_precharge);
+        net.input(t_pre, p_bank_pre[b]);
+        net.output(t_pre, p_bank_free[b]);
+    }
+    model.bank_free = p_bank_free;
+
+    // Helper: build a "go to memory" subpath for one access class.
+    // Routes a token from `from` through a uniformly selected bank
+    // and delivers it to `to` after the access completes. The L2
+    // lookup that precedes the memory access in the reference system
+    // adds its latency and holds the port.
+    auto memory_path = [&](const std::string &prefix, PlaceId from,
+                           PlaceId to) {
+        for (unsigned b = 0; b < params.banks; ++b) {
+            const std::string suffix =
+                prefix + "_bank" + std::to_string(b);
+            const PlaceId p_req = net.addPlace("req_" + suffix, 0);
+            // Uniform random bank selection (immediate switch).
+            const TransitionId t_sel =
+                net.addImmediate("sel_" + suffix, 1.0);
+            net.input(t_sel, from);
+            net.output(t_sel, p_req);
+            // T1/T3: the array access itself.
+            const double access = params.bank_access +
+                (params.has_l2 ? params.l2_latency : 0.0);
+            const TransitionId t_acc =
+                net.addDeterministic("acc_" + suffix, access);
+            net.input(t_acc, p_req);
+            net.input(t_acc, p_bank_free[b]);
+            net.output(t_acc, to);
+            net.output(t_acc, p_bank_pre[b]);
+            if (params.has_l2) {
+                net.input(t_acc, p_l2_port);
+                net.output(t_acc, p_l2_port);
+            }
+        }
+    };
+
+    // Helper: an L2 access subpath (deterministic T24/T25).
+    auto l2_path = [&](const std::string &name, PlaceId from,
+                       PlaceId to) {
+        const TransitionId t =
+            net.addDeterministic(name, params.l2_latency);
+        net.input(t, from);
+        net.input(t, p_l2_port);
+        net.output(t, to);
+        net.output(t, p_l2_port);
+    };
+
+    // ---- Instruction fetch -------------------------------------------
+    const SwitchProbs ifp = splitProbs(params.icache_hit,
+                                       params.icache_l2_hit,
+                                       params.has_l2);
+    // T2 (hit): instruction available immediately (the fetch pipeline
+    // stage itself is part of the 1-cycle issue transition).
+    if (ifp.hit > min_weight) {
+        const TransitionId t = net.addImmediate("T2_ifetch_hit",
+                                                ifp.hit);
+        net.input(t, p_fetch_ready);
+        net.output(t, p_inst_ready);
+    }
+    if (params.has_l2 && ifp.l2 > min_weight) {
+        const PlaceId p = net.addPlace("ifetch_l2", 0);
+        const TransitionId t = net.addImmediate("T3_ifetch_l2", ifp.l2);
+        net.input(t, p_fetch_ready);
+        net.output(t, p);
+        l2_path("T24_ifetch_l2_acc", p, p_inst_ready);
+    }
+    if (ifp.mem > min_weight) {
+        const PlaceId p = net.addPlace("ifetch_mem", 0);
+        const TransitionId t = net.addImmediate("T4_ifetch_mem",
+                                                ifp.mem);
+        net.input(t, p_fetch_ready);
+        net.output(t, p);
+        memory_path("ifetch", p, p_inst_ready);
+    }
+
+    // ---- Issue (T1) ----------------------------------------------------
+    // One instruction per cycle when an instruction is ready, the
+    // scoreboard allows it, and no memory operation is blocked
+    // waiting for the load/store unit.
+    const TransitionId t_issue = net.addDeterministic("T1_issue", 1.0);
+    net.input(t_issue, p_inst_ready);
+    net.test(t_issue, p_ie);
+    net.inhibitor(t_issue, p_ld_wait);
+    net.inhibitor(t_issue, p_st_wait);
+    net.output(t_issue, p_fetch_ready);
+    net.output(t_issue, p_dispatch);
+    model.issue = t_issue;
+
+    // ---- Instruction-type switch (T7/T8/T9 from P7) ---------------------
+    const double p_other = 1.0 - params.p_load - params.p_store;
+    if (p_other > min_weight) {
+        const TransitionId t = net.addImmediate("T7_other", p_other);
+        net.input(t, p_dispatch);
+    }
+    if (params.p_load > min_weight) {
+        const TransitionId t = net.addImmediate("T8_load",
+                                                params.p_load);
+        net.input(t, p_dispatch);
+        net.output(t, p_ld_wait);
+    }
+    if (params.p_store > min_weight) {
+        const TransitionId t = net.addImmediate("T9_store",
+                                                params.p_store);
+        net.input(t, p_dispatch);
+        net.output(t, p_st_wait);
+    }
+
+    // ---- Load path -----------------------------------------------------
+    const PlaceId p_ld_route = net.addPlace("load_route", 0);
+    {
+        // Claim the load/store unit (P10).
+        const TransitionId t = net.addImmediate("load_claim_lsq", 1.0,
+                                                /*priority=*/1);
+        net.input(t, p_ld_wait);
+        net.input(t, p_lsq);
+        net.output(t, p_ld_route);
+    }
+    const SwitchProbs ldp = splitProbs(params.load_hit,
+                                       params.load_l2_hit,
+                                       params.has_l2);
+    if (ldp.hit > min_weight) {
+        // T14: first-level hit, 1 cycle, never stalls issue.
+        const PlaceId p = net.addPlace("load_hit_busy", 0);
+        const TransitionId t = net.addImmediate("T14_load_hit",
+                                                ldp.hit);
+        net.input(t, p_ld_route);
+        net.output(t, p);
+        const TransitionId t_done =
+            net.addDeterministic("load_hit_done", 1.0);
+        net.input(t_done, p);
+        net.output(t_done, p_lsq);
+    }
+    if (params.has_l2 && ldp.l2 > min_weight) {
+        const PlaceId p = net.addPlace("load_l2", 0);
+        const TransitionId t = net.addImmediate("T15_load_l2", ldp.l2);
+        net.input(t, p_ld_route);
+        net.output(t, p);
+        net.output(t, p_pending_load);
+        l2_path("T25_load_l2_acc", p, p_load_done);
+    }
+    if (ldp.mem > min_weight) {
+        const PlaceId p = net.addPlace("load_mem", 0);
+        const TransitionId t = net.addImmediate("T12_load_mem",
+                                                ldp.mem);
+        net.input(t, p_ld_route);
+        net.output(t, p);
+        net.output(t, p_pending_load);
+        memory_path("load", p, p_load_done);
+    }
+    {
+        // Load completion: release the LSQ and clear the pending flag.
+        const TransitionId t = net.addImmediate("load_complete", 1.0,
+                                                /*priority=*/3);
+        net.input(t, p_load_done);
+        net.input(t, p_pending_load);
+        net.output(t, p_lsq);
+        net.output(t, p_ld_fin);
+        // Un-stall the pipeline if the scoreboard had stopped it.
+        const TransitionId t_restore =
+            net.addImmediate("load_unstall", 1.0, /*priority=*/2);
+        net.input(t_restore, p_ld_fin);
+        net.input(t_restore, p_stall);
+        net.output(t_restore, p_ie);
+        const TransitionId t_nostall =
+            net.addImmediate("load_fin_nostall", 1.0, /*priority=*/1);
+        net.input(t_nostall, p_ld_fin);
+        net.inhibitor(t_nostall, p_stall);
+    }
+
+    // ---- Scoreboard stall (T23) -----------------------------------------
+    if (params.scoreboarding) {
+        // On average `scoreboard_rate` cycles of useful work happen
+        // before an incomplete load stalls the pipeline.
+        const TransitionId t23 =
+            net.addExponential("T23_scoreboard",
+                               params.scoreboard_rate);
+        net.input(t23, p_ie);
+        net.test(t23, p_pending_load);
+        net.output(t23, p_stall);
+    } else {
+        // No scoreboarding: an incomplete load stalls immediately
+        // (the paper sets the rate of T23 to infinity).
+        const TransitionId t23 = net.addImmediate("T23_stall_now", 1.0,
+                                                  /*priority=*/2);
+        net.input(t23, p_ie);
+        net.test(t23, p_pending_load);
+        net.output(t23, p_stall);
+    }
+
+    // ---- Store path ------------------------------------------------------
+    const PlaceId p_st_route = net.addPlace("store_route", 0);
+    {
+        const TransitionId t = net.addImmediate("store_claim_lsq", 1.0,
+                                                /*priority=*/1);
+        net.input(t, p_st_wait);
+        net.input(t, p_lsq);
+        net.output(t, p_st_route);
+    }
+    const SwitchProbs stp = splitProbs(params.store_hit,
+                                       params.store_l2_hit,
+                                       params.has_l2);
+    if (stp.hit > min_weight) {
+        const PlaceId p = net.addPlace("store_hit_busy", 0);
+        const TransitionId t = net.addImmediate("T13_store_hit",
+                                                stp.hit);
+        net.input(t, p_st_route);
+        net.output(t, p);
+        const TransitionId t_done =
+            net.addDeterministic("store_hit_done", 1.0);
+        net.input(t_done, p);
+        net.output(t_done, p_lsq);
+    }
+    if (params.has_l2 && stp.l2 > min_weight) {
+        const PlaceId p = net.addPlace("store_l2", 0);
+        const TransitionId t = net.addImmediate("T16_store_l2",
+                                                stp.l2);
+        net.input(t, p_st_route);
+        net.output(t, p);
+        l2_path("store_l2_acc", p, p_lsq);
+    }
+    if (stp.mem > min_weight) {
+        const PlaceId p = net.addPlace("store_mem", 0);
+        const TransitionId t = net.addImmediate("T17_store_mem",
+                                                stp.mem);
+        net.input(t, p_st_route);
+        net.output(t, p);
+        memory_path("store", p, p_lsq);
+    }
+
+    net.validate();
+    return model;
+}
+
+CpiEstimate
+estimateCpi(const ProcessorModelParams &params,
+            std::uint64_t instructions, std::uint64_t seed)
+{
+    ProcessorModel model = ProcessorModel::build(params);
+    GspnSimulator sim(model.net, seed);
+
+    // Warm-up: discard an initial transient.
+    const std::uint64_t warmup = instructions / 20 + 100;
+    sim.runUntilFirings(model.issue, warmup);
+    const double t0 = sim.now();
+    const std::uint64_t f0 = sim.firings(model.issue);
+
+    const bool ok = sim.runUntilFirings(model.issue, instructions);
+    if (!ok)
+        MW_PANIC("processor GSPN deadlocked");
+
+    CpiEstimate est;
+    est.instructions = sim.firings(model.issue) - f0;
+    est.cpi = (sim.now() - t0) / static_cast<double>(est.instructions);
+    est.memory_cpi = est.cpi - 1.0;
+    // The bank-free place is empty only during precharge (tokens
+    // stay in their places while a timed transition counts down),
+    // so scale the observed empty fraction up to the full
+    // access+precharge service window.
+    const double window = params.bank_access + params.bank_precharge;
+    const double scale = params.bank_precharge > 0.0
+        ? window / params.bank_precharge
+        : 1.0;
+    double busy = 0.0;
+    for (const PlaceId p : model.bank_free)
+        busy += (1.0 - sim.probNonEmpty(p)) * scale;
+    est.bank_utilisation =
+        std::min(1.0, busy / static_cast<double>(model.banks));
+    return est;
+}
+
+BankModel
+BankModel::build(double access, double precharge, double instr_rate,
+                 double data_rate)
+{
+    BankModel model;
+    PetriNet &net = model.net;
+
+    const PlaceId p1 = net.addPlace("P1_instr_req", 0);
+    const PlaceId p2 = net.addPlace("P2_data_req", 0);
+    model.bank_free = net.addPlace("bank_free", 1);
+    const PlaceId p_pre = net.addPlace("precharging", 0);
+
+    // Poisson request sources standing in for the immediate
+    // transitions from the fetch and load/store units.
+    const TransitionId src_i = net.addExponential("instr_source",
+                                                  instr_rate);
+    net.output(src_i, p1);
+    const TransitionId src_d = net.addExponential("data_source",
+                                                  data_rate);
+    net.output(src_d, p2);
+
+    model.serve_instr = net.addDeterministic("T1_serve_instr", access);
+    net.input(model.serve_instr, p1);
+    net.input(model.serve_instr, model.bank_free);
+    net.output(model.serve_instr, p_pre);
+
+    model.serve_data = net.addDeterministic("T3_serve_data", access);
+    net.input(model.serve_data, p2);
+    net.input(model.serve_data, model.bank_free);
+    net.output(model.serve_data, p_pre);
+
+    model.precharge = net.addDeterministic("T2_precharge", precharge);
+    net.input(model.precharge, p_pre);
+    net.output(model.precharge, model.bank_free);
+
+    return model;
+}
+
+} // namespace memwall

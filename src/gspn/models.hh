@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The paper's GSPN performance models (Figures 9 and 10).
+ *
+ * Figure 9: one memory bank that serves either an instruction-cache
+ * miss or a data-cache miss, with deterministic access transitions
+ * (T1/T3) and a precharge transition (T2) that blocks the bank for a
+ * while after each access.
+ *
+ * Figure 10: the processor model. An instruction-fetch unit issues
+ * one instruction per cycle when nothing stalls; immediate random
+ * switches route fetches and loads/stores to the first-level cache,
+ * the optional second-level cache (the grey "reference system"
+ * components) or a randomly chosen memory bank. The load/store unit
+ * holds a single token (one outstanding operation); a store buffer
+ * lets stores retire without stalling; an exponential transition T23
+ * models how long issue continues past an incomplete load
+ * (rate 1 = scoreboarding, rate -> infinity = stall immediately).
+ *
+ * The builder assembles both figures into one net parameterised by
+ * the measured cache hit ratios, producing the CPI estimates of
+ * Figures 11/12 and Tables 3/4.
+ */
+
+#ifndef MEMWALL_GSPN_MODELS_HH
+#define MEMWALL_GSPN_MODELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gspn/petri_net.hh"
+#include "gspn/simulator.hh"
+
+namespace memwall {
+
+/**
+ * Parameters of the combined processor/memory GSPN. Defaults are the
+ * integrated device of Section 4.1 with perfect caches.
+ */
+struct ProcessorModelParams
+{
+    /** Fraction of instructions that are loads. */
+    double p_load = 0.20;
+    /** Fraction of instructions that are stores. */
+    double p_store = 0.10;
+
+    /** I-fetch first-level hit probability. */
+    double icache_hit = 1.0;
+    /**
+     * Conditional probability that an I-fetch miss hits the L2
+     * (ignored when has_l2 is false).
+     */
+    double icache_l2_hit = 0.9;
+
+    /** Load first-level hit probability. */
+    double load_hit = 1.0;
+    /** Conditional L2 hit probability for load misses. */
+    double load_l2_hit = 0.9;
+
+    /** Store first-level hit probability. */
+    double store_hit = 1.0;
+    /** Conditional L2 hit probability for store misses. */
+    double store_l2_hit = 0.9;
+
+    /** Whether the grey reference-system L2 components are present. */
+    bool has_l2 = false;
+    /** L2 access latency in cycles (transitions T24/T25). */
+    double l2_latency = 6.0;
+
+    /** Number of independent memory banks. */
+    unsigned banks = 16;
+    /** Bank access time in cycles (transitions T1/T3). */
+    double bank_access = 6.0;
+    /** Bank precharge time in cycles (transition T2). */
+    double bank_precharge = 4.0;
+
+    /**
+     * Scoreboarding: mean instructions issued past an incomplete
+     * load before stalling (rate of T23). Set scoreboarding=false to
+     * model an immediate stall.
+     */
+    bool scoreboarding = true;
+    double scoreboard_rate = 1.0;
+};
+
+/**
+ * A built processor/memory net plus the ids needed to read results
+ * out of a simulation.
+ */
+struct ProcessorModel
+{
+    PetriNet net;
+    /** Instruction-issue transition; CPI = time / firings. */
+    TransitionId issue;
+    /** One "bank free" place per bank, for utilisation statistics. */
+    std::vector<PlaceId> bank_free;
+    /** Place holding the issue-enable token (empty while stalled). */
+    PlaceId issue_enable;
+    /** Number of banks in the model. */
+    unsigned banks;
+
+    /** Build the net for @p params. */
+    static ProcessorModel build(const ProcessorModelParams &params);
+};
+
+/** Result of evaluating a ProcessorModel by Monte-Carlo simulation. */
+struct CpiEstimate
+{
+    /** Cycles per instruction including memory stalls. */
+    double cpi = 0.0;
+    /** The memory component: cpi - 1.0 (issue is 1 cycle). */
+    double memory_cpi = 0.0;
+    /** Mean bank busy probability (Section 5.6 statistic). */
+    double bank_utilisation = 0.0;
+    /** Instructions simulated. */
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * Build and run the model for @p params.
+ *
+ * @param instructions Monte-Carlo length in instructions
+ * @param seed         RNG seed
+ */
+CpiEstimate estimateCpi(const ProcessorModelParams &params,
+                        std::uint64_t instructions = 200'000,
+                        std::uint64_t seed = 42);
+
+/**
+ * Build the standalone Figure 9 bank net: two request sources
+ * (I-fetch and data) competing for one bank.
+ */
+struct BankModel
+{
+    PetriNet net;
+    PlaceId bank_free;
+    TransitionId serve_instr;  ///< T1
+    TransitionId serve_data;   ///< T3
+    TransitionId precharge;    ///< T2
+
+    static BankModel build(double access = 6.0, double precharge = 4.0,
+                           double instr_rate = 0.02,
+                           double data_rate = 0.02);
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_GSPN_MODELS_HH

@@ -1,0 +1,99 @@
+#include "gspn/petri_net.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+PlaceId
+PetriNet::addPlace(std::string name, std::uint32_t initial)
+{
+    places_.push_back(Place{std::move(name), initial});
+    return static_cast<PlaceId>(places_.size() - 1);
+}
+
+TransitionId
+PetriNet::addImmediate(std::string name, double weight, int priority)
+{
+    MW_ASSERT(weight > 0.0, "immediate transition weight must be > 0");
+    transitions_.push_back(Transition{std::move(name),
+                                      TransitionKind::Immediate, weight,
+                                      priority, {}, {}, {}, {}});
+    return static_cast<TransitionId>(transitions_.size() - 1);
+}
+
+TransitionId
+PetriNet::addDeterministic(std::string name, double delay)
+{
+    MW_ASSERT(delay >= 0.0, "deterministic delay must be >= 0");
+    transitions_.push_back(Transition{std::move(name),
+                                      TransitionKind::Deterministic,
+                                      delay, 0, {}, {}, {}, {}});
+    return static_cast<TransitionId>(transitions_.size() - 1);
+}
+
+TransitionId
+PetriNet::addExponential(std::string name, double rate)
+{
+    MW_ASSERT(rate > 0.0, "exponential rate must be > 0");
+    transitions_.push_back(Transition{std::move(name),
+                                      TransitionKind::Exponential, rate,
+                                      0, {}, {}, {}, {}});
+    return static_cast<TransitionId>(transitions_.size() - 1);
+}
+
+void
+PetriNet::addArc(TransitionId t, PlaceId place, ArcKind kind,
+                 std::uint32_t weight)
+{
+    MW_ASSERT(t < transitions_.size(), "bad transition id");
+    MW_ASSERT(place < places_.size(), "bad place id");
+    MW_ASSERT(weight > 0, "arc weight must be positive");
+    Transition &trans = transitions_[t];
+    switch (kind) {
+      case ArcKind::Input:
+        trans.inputs.push_back(Arc{place, weight});
+        break;
+      case ArcKind::Output:
+        trans.outputs.push_back(Arc{place, weight});
+        break;
+      case ArcKind::Inhibitor:
+        trans.inhibitors.push_back(Arc{place, weight});
+        break;
+      case ArcKind::Test:
+        trans.tests.push_back(Arc{place, weight});
+        break;
+    }
+}
+
+const std::string &
+PetriNet::placeName(PlaceId p) const
+{
+    MW_ASSERT(p < places_.size(), "bad place id");
+    return places_[p].name;
+}
+
+const std::string &
+PetriNet::transitionName(TransitionId t) const
+{
+    MW_ASSERT(t < transitions_.size(), "bad transition id");
+    return transitions_[t].name;
+}
+
+TransitionKind
+PetriNet::transitionKind(TransitionId t) const
+{
+    MW_ASSERT(t < transitions_.size(), "bad transition id");
+    return transitions_[t].kind;
+}
+
+void
+PetriNet::validate() const
+{
+    for (const auto &t : transitions_) {
+        if (t.inputs.empty() && t.tests.empty())
+            MW_WARN("transition '", t.name,
+                    "' has no input or test arcs; it can fire forever");
+    }
+}
+
+} // namespace memwall

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Generalized Stochastic Petri Nets (GSPN).
+ *
+ * The paper evaluates processor throughput with GSPN models "that
+ * take into account contention for shared resources (such as memory
+ * banks) and event dependencies" (Section 5.5), citing Marsan &
+ * Conti. This library implements the net structure:
+ *
+ *  - places holding non-negative token counts;
+ *  - immediate transitions (zero firing time, priority + weight
+ *    resolved random switches);
+ *  - deterministically timed transitions (fixed delay);
+ *  - exponentially timed transitions (rate lambda);
+ *  - input, output, inhibitor and test (read) arcs with multiplicity.
+ *
+ * Timed transitions use single-server semantics with the race /
+ * enabling-memory-discard policy: a timer is sampled when the
+ * transition becomes enabled and discarded if it gets disabled.
+ * The companion GspnSimulator runs the net by Monte-Carlo simulation
+ * (the evaluation method named in the paper).
+ */
+
+#ifndef MEMWALL_GSPN_PETRI_NET_HH
+#define MEMWALL_GSPN_PETRI_NET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memwall {
+
+/** Index of a place within its net. */
+using PlaceId = std::uint32_t;
+/** Index of a transition within its net. */
+using TransitionId = std::uint32_t;
+
+/** Firing-time distribution of a transition. */
+enum class TransitionKind {
+    Immediate,      ///< fires in zero time, by priority then weight
+    Deterministic,  ///< fixed delay
+    Exponential,    ///< Exp(rate) delay
+};
+
+/** How an arc constrains/affects its transition. */
+enum class ArcKind {
+    Input,      ///< requires and consumes tokens
+    Output,     ///< produces tokens on firing
+    Inhibitor,  ///< transition disabled while place holds >= weight
+    Test,       ///< requires tokens but does not consume them
+};
+
+/**
+ * Static structure of a GSPN. Build once, then hand to one or more
+ * GspnSimulator instances (the net itself holds no marking).
+ */
+class PetriNet
+{
+  public:
+    /** Add a place with @p initial tokens. @return its id. */
+    PlaceId addPlace(std::string name, std::uint32_t initial = 0);
+
+    /**
+     * Add an immediate transition.
+     * @param weight   relative probability among enabled immediate
+     *                 transitions of the same priority
+     * @param priority higher fires first
+     */
+    TransitionId addImmediate(std::string name, double weight = 1.0,
+                              int priority = 0);
+
+    /** Add a deterministic transition with fixed @p delay. */
+    TransitionId addDeterministic(std::string name, double delay);
+
+    /** Add an exponential transition with @p rate (mean 1/rate). */
+    TransitionId addExponential(std::string name, double rate);
+
+    /** Connect @p place to @p t with an arc of the given kind. */
+    void addArc(TransitionId t, PlaceId place, ArcKind kind,
+                std::uint32_t weight = 1);
+
+    /** Shorthand: input arc. */
+    void input(TransitionId t, PlaceId p, std::uint32_t w = 1)
+    {
+        addArc(t, p, ArcKind::Input, w);
+    }
+    /** Shorthand: output arc. */
+    void output(TransitionId t, PlaceId p, std::uint32_t w = 1)
+    {
+        addArc(t, p, ArcKind::Output, w);
+    }
+    /** Shorthand: inhibitor arc. */
+    void inhibitor(TransitionId t, PlaceId p, std::uint32_t w = 1)
+    {
+        addArc(t, p, ArcKind::Inhibitor, w);
+    }
+    /** Shorthand: test arc. */
+    void test(TransitionId t, PlaceId p, std::uint32_t w = 1)
+    {
+        addArc(t, p, ArcKind::Test, w);
+    }
+
+    std::size_t numPlaces() const { return places_.size(); }
+    std::size_t numTransitions() const { return transitions_.size(); }
+
+    const std::string &placeName(PlaceId p) const;
+    const std::string &transitionName(TransitionId t) const;
+    TransitionKind transitionKind(TransitionId t) const;
+
+    /** Sanity-check structural invariants; fatal on violation. */
+    void validate() const;
+
+  private:
+    friend class GspnSimulator;
+
+    struct Arc
+    {
+        PlaceId place;
+        std::uint32_t weight;
+    };
+
+    struct Place
+    {
+        std::string name;
+        std::uint32_t initial;
+    };
+
+    struct Transition
+    {
+        std::string name;
+        TransitionKind kind;
+        double param;  ///< weight / delay / rate
+        int priority;
+        std::vector<Arc> inputs;
+        std::vector<Arc> outputs;
+        std::vector<Arc> inhibitors;
+        std::vector<Arc> tests;
+    };
+
+    std::vector<Place> places_;
+    std::vector<Transition> transitions_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_GSPN_PETRI_NET_HH

@@ -1,0 +1,248 @@
+#include "gspn/simulator.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+GspnSimulator::GspnSimulator(const PetriNet &net, std::uint64_t seed)
+    : net_(net), rng_(seed), seed_(seed)
+{
+    marking_.resize(net_.numPlaces());
+    timer_.resize(net_.numTransitions());
+    firings_.resize(net_.numTransitions());
+    token_time_.resize(net_.numPlaces());
+    busy_time_.resize(net_.numPlaces());
+    reset();
+}
+
+void
+GspnSimulator::reset()
+{
+    now_ = 0.0;
+    total_firings_ = 0;
+    rng_ = Rng(seed_);
+    for (std::size_t p = 0; p < net_.places_.size(); ++p)
+        marking_[p] = net_.places_[p].initial;
+    std::fill(timer_.begin(), timer_.end(), -1.0);
+    std::fill(firings_.begin(), firings_.end(), 0);
+    std::fill(token_time_.begin(), token_time_.end(), 0.0);
+    std::fill(busy_time_.begin(), busy_time_.end(), 0.0);
+    fireImmediates();
+    refreshTimers();
+}
+
+std::uint32_t
+GspnSimulator::marking(PlaceId place) const
+{
+    MW_ASSERT(place < marking_.size(), "bad place id");
+    return marking_[place];
+}
+
+void
+GspnSimulator::setMarking(PlaceId place, std::uint32_t tokens)
+{
+    MW_ASSERT(place < marking_.size(), "bad place id");
+    marking_[place] = tokens;
+    fireImmediates();
+    refreshTimers();
+}
+
+bool
+GspnSimulator::isEnabled(TransitionId t) const
+{
+    const auto &trans = net_.transitions_[t];
+    for (const auto &arc : trans.inputs)
+        if (marking_[arc.place] < arc.weight)
+            return false;
+    for (const auto &arc : trans.tests)
+        if (marking_[arc.place] < arc.weight)
+            return false;
+    for (const auto &arc : trans.inhibitors)
+        if (marking_[arc.place] >= arc.weight)
+            return false;
+    return true;
+}
+
+void
+GspnSimulator::fire(TransitionId t)
+{
+    const auto &trans = net_.transitions_[t];
+    for (const auto &arc : trans.inputs) {
+        MW_ASSERT(marking_[arc.place] >= arc.weight,
+                  "firing disabled transition ", trans.name);
+        marking_[arc.place] -= arc.weight;
+    }
+    for (const auto &arc : trans.outputs)
+        marking_[arc.place] += arc.weight;
+    ++firings_[t];
+    ++total_firings_;
+}
+
+void
+GspnSimulator::fireImmediates()
+{
+    // Immediate transitions fire in priority order; ties are resolved
+    // as a random switch weighted by the transition weights.
+    constexpr std::uint64_t guard_limit = 100'000'000;
+    std::uint64_t guard = 0;
+    while (true) {
+        int best_prio = std::numeric_limits<int>::min();
+        double total_weight = 0.0;
+        // Two passes: find the max priority, then weight-sum it.
+        std::vector<TransitionId> candidates;
+        for (TransitionId t = 0; t < net_.transitions_.size(); ++t) {
+            const auto &trans = net_.transitions_[t];
+            if (trans.kind != TransitionKind::Immediate)
+                continue;
+            if (!isEnabled(t))
+                continue;
+            if (trans.priority > best_prio) {
+                best_prio = trans.priority;
+                candidates.clear();
+                total_weight = 0.0;
+            }
+            if (trans.priority == best_prio) {
+                candidates.push_back(t);
+                total_weight += trans.param;
+            }
+        }
+        if (candidates.empty())
+            return;
+        TransitionId chosen = candidates.back();
+        if (candidates.size() > 1) {
+            double pick = rng_.uniformReal() * total_weight;
+            for (TransitionId t : candidates) {
+                pick -= net_.transitions_[t].param;
+                if (pick <= 0.0) {
+                    chosen = t;
+                    break;
+                }
+            }
+        }
+        fire(chosen);
+        if (++guard > guard_limit)
+            MW_PANIC("immediate-transition livelock in GSPN");
+    }
+}
+
+void
+GspnSimulator::refreshTimers()
+{
+    for (TransitionId t = 0; t < net_.transitions_.size(); ++t) {
+        const auto &trans = net_.transitions_[t];
+        if (trans.kind == TransitionKind::Immediate)
+            continue;
+        const bool enabled = isEnabled(t);
+        if (!enabled) {
+            // Race with enabling-memory discard: drop the timer.
+            timer_[t] = -1.0;
+        } else if (timer_[t] < 0.0) {
+            const double delay =
+                trans.kind == TransitionKind::Deterministic
+                    ? trans.param
+                    : rng_.exponential(1.0 / trans.param);
+            timer_[t] = now_ + delay;
+        }
+    }
+}
+
+void
+GspnSimulator::advanceTime(double to)
+{
+    const double dt = to - now_;
+    MW_ASSERT(dt >= 0.0, "GSPN time went backwards");
+    if (dt > 0.0) {
+        for (std::size_t p = 0; p < marking_.size(); ++p) {
+            token_time_[p] += dt * marking_[p];
+            if (marking_[p] > 0)
+                busy_time_[p] += dt;
+        }
+    }
+    now_ = to;
+}
+
+int
+GspnSimulator::nextTimed() const
+{
+    int best = -1;
+    for (TransitionId t = 0; t < net_.transitions_.size(); ++t) {
+        if (timer_[t] < 0.0)
+            continue;
+        if (best < 0 || timer_[t] < timer_[best])
+            best = static_cast<int>(t);
+    }
+    return best;
+}
+
+bool
+GspnSimulator::run(double time_limit)
+{
+    while (true) {
+        const int t = nextTimed();
+        if (t < 0)
+            return false;  // deadlock (only timed transitions advance)
+        if (timer_[t] > time_limit) {
+            advanceTime(time_limit);
+            return true;
+        }
+        advanceTime(timer_[t]);
+        timer_[t] = -1.0;
+        fire(static_cast<TransitionId>(t));
+        fireImmediates();
+        refreshTimers();
+    }
+}
+
+bool
+GspnSimulator::runUntilFirings(TransitionId transition,
+                               std::uint64_t count, double time_cap)
+{
+    const std::uint64_t target = firings_[transition] + count;
+    while (firings_[transition] < target) {
+        const int t = nextTimed();
+        if (t < 0)
+            return false;
+        if (timer_[t] > time_cap)
+            return false;
+        advanceTime(timer_[t]);
+        timer_[t] = -1.0;
+        fire(static_cast<TransitionId>(t));
+        fireImmediates();
+        refreshTimers();
+    }
+    return true;
+}
+
+std::uint64_t
+GspnSimulator::firings(TransitionId t) const
+{
+    MW_ASSERT(t < firings_.size(), "bad transition id");
+    return firings_[t];
+}
+
+double
+GspnSimulator::throughput(TransitionId t) const
+{
+    return now_ > 0.0
+        ? static_cast<double>(firings(t)) / now_
+        : 0.0;
+}
+
+double
+GspnSimulator::meanTokens(PlaceId place) const
+{
+    MW_ASSERT(place < token_time_.size(), "bad place id");
+    return now_ > 0.0 ? token_time_[place] / now_ : 0.0;
+}
+
+double
+GspnSimulator::probNonEmpty(PlaceId place) const
+{
+    MW_ASSERT(place < busy_time_.size(), "bad place id");
+    return now_ > 0.0 ? busy_time_[place] / now_ : 0.0;
+}
+
+} // namespace memwall

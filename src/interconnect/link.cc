@@ -1,0 +1,46 @@
+#include "interconnect/link.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+Cycles
+LinkConfig::serialisationCycles(std::uint32_t bytes) const
+{
+    // bits / (Gbit/s) = ns; ns * MHz / 1000 = cycles.
+    const double ns =
+        static_cast<double>(bytes) * 8.0 / gbit_per_sec;
+    const double cycles = ns * clock_mhz / 1000.0;
+    return static_cast<Cycles>(std::ceil(cycles));
+}
+
+SerialLink::SerialLink(LinkConfig config) : config_(config)
+{
+    if (config_.gbit_per_sec <= 0.0)
+        MW_FATAL("link rate must be positive");
+}
+
+Tick
+SerialLink::send(Tick now, std::uint32_t bytes)
+{
+    const Tick start = std::max(now, free_at_);
+    queued_.inc(start - now);
+    const Cycles ser = config_.serialisationCycles(bytes);
+    free_at_ = start + ser;
+    messages_.inc();
+    bytes_.inc(bytes);
+    return free_at_ + config_.flight_cycles;
+}
+
+void
+SerialLink::resetStats()
+{
+    messages_.reset();
+    bytes_.reset();
+    queued_.reset();
+}
+
+} // namespace memwall

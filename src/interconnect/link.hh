@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Serial-link interconnect model (Section 4.2).
+ *
+ * Off-chip communication uses four 2.5 Gbit/s serial links per
+ * device (the S-Connect fabric), giving 1.6 GB/s of I/O bandwidth
+ * that matches the internal memory bandwidth. The model charges
+ * serialisation time (message bits / link rate), a fixed
+ * flight/router latency, and queueing when a link is busy.
+ */
+
+#ifndef MEMWALL_INTERCONNECT_LINK_HH
+#define MEMWALL_INTERCONNECT_LINK_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace memwall {
+
+/** Timing parameters of one serial link. */
+struct LinkConfig
+{
+    /** Link signalling rate in Gbit/s. */
+    double gbit_per_sec = 2.5;
+    /** Core clock the returned latencies are expressed in (MHz). */
+    double clock_mhz = 200.0;
+    /** Fixed per-message flight + router latency in core cycles. */
+    Cycles flight_cycles = 10;
+
+    /** @return cycles to serialise @p bytes onto the link. */
+    Cycles serialisationCycles(std::uint32_t bytes) const;
+};
+
+/**
+ * One half-duplex serial link with FIFO queueing.
+ */
+class SerialLink
+{
+  public:
+    explicit SerialLink(LinkConfig config = {});
+
+    /**
+     * Send @p bytes at time @p now.
+     * @return the arrival time at the far end.
+     */
+    Tick send(Tick now, std::uint32_t bytes);
+
+    /** Earliest time a new message could start serialising. */
+    Tick freeAt() const { return free_at_; }
+
+    std::uint64_t messages() const { return messages_.value(); }
+    std::uint64_t bytesSent() const { return bytes_.value(); }
+    /** Cycles spent queueing behind earlier messages. */
+    std::uint64_t queuedCycles() const { return queued_.value(); }
+
+    const LinkConfig &config() const { return config_; }
+    void resetStats();
+
+  private:
+    LinkConfig config_;
+    Tick free_at_ = 0;
+    Counter messages_;
+    Counter bytes_;
+    Counter queued_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_INTERCONNECT_LINK_HH

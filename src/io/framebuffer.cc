@@ -1,0 +1,48 @@
+#include "io/framebuffer.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+FramebufferAgent::FramebufferAgent(FramebufferConfig config)
+    : config_(config)
+{
+    MW_ASSERT(config_.frameBytes() > 0, "empty frame buffer");
+    const double columns_per_frame =
+        static_cast<double>(config_.frameBytes()) / 512.0;
+    const double cycles_per_frame =
+        config_.clock_mhz * 1e6 / config_.refresh_hz;
+    interval_ = cycles_per_frame / columns_per_frame;
+    MW_ASSERT(interval_ > 0.0, "scan-out faster than the clock");
+}
+
+unsigned
+FramebufferAgent::drainUpTo(Dram &dram, Tick now)
+{
+    // If scan-out starts long after t=0 (e.g. the display was
+    // attached mid-run), skip whole missed frames instead of
+    // replaying them.
+    const double cycles_per_frame =
+        interval_ * (static_cast<double>(config_.frameBytes()) /
+                     512.0);
+    if (static_cast<double>(now) - next_due_ > cycles_per_frame)
+        next_due_ = static_cast<double>(now) -
+                    cycles_per_frame;
+
+    unsigned issued = 0;
+    while (next_due_ <= static_cast<double>(now)) {
+        const Addr addr = config_.base + scan_offset_;
+        const DramResult res =
+            dram.access(static_cast<Tick>(next_due_), addr);
+        queued_.inc(res.queued);
+        fetched_.inc();
+        ++issued;
+        scan_offset_ += 512;
+        if (scan_offset_ >= config_.frameBytes())
+            scan_offset_ = 0;  // vertical retrace
+        next_due_ += interval_;
+    }
+    return issued;
+}
+
+} // namespace memwall

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Frame-buffer I/O agent (Section 8).
+ *
+ * "Among the more interesting capabilities of such a system is to
+ * build a framebuffer that retrieves its data from the main memory
+ * as it refreshes a screen or LCD panel. This is made feasible by
+ * the high memory bandwidth that is available internally."
+ *
+ * The agent scans a frame-buffer region of the device's DRAM at the
+ * display refresh rate, fetching one 512-byte column per transaction
+ * (the natural unit: a whole column moves to a buffer in one array
+ * access). It shares the banks with the CPU, so the interesting
+ * questions are (a) how much of the internal bandwidth a display
+ * consumes, and (b) how much CPU CPI that steals — see
+ * bench/ablation_framebuffer.
+ */
+
+#ifndef MEMWALL_IO_FRAMEBUFFER_HH
+#define MEMWALL_IO_FRAMEBUFFER_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "mem/dram.hh"
+
+namespace memwall {
+
+/** Display and scan-out parameters. */
+struct FramebufferConfig
+{
+    std::uint32_t width = 1024;
+    std::uint32_t height = 768;
+    std::uint32_t bits_per_pixel = 8;
+    double refresh_hz = 72.0;
+    /** Core clock the scan-out is paced in. */
+    double clock_mhz = 200.0;
+    /** First byte of the frame buffer in device memory. */
+    Addr base = 24 * MiB;  // top of the 32 MiB device
+
+    /** Bytes per frame. */
+    std::uint64_t
+    frameBytes() const
+    {
+        return static_cast<std::uint64_t>(width) * height *
+               bits_per_pixel / 8;
+    }
+
+    /** Scan-out bandwidth in MB/s. */
+    double
+    bandwidthMBps() const
+    {
+        return static_cast<double>(frameBytes()) * refresh_hz / 1e6;
+    }
+};
+
+/**
+ * Cycle-paced scan-out engine. Call drainUpTo() before issuing CPU
+ * traffic at a given time; the agent issues every column fetch that
+ * was due since the last call, occupying banks like any other
+ * requester.
+ */
+class FramebufferAgent
+{
+  public:
+    explicit FramebufferAgent(FramebufferConfig config = {});
+
+    /** Cycles between consecutive column fetches. */
+    double columnInterval() const { return interval_; }
+
+    /**
+     * Issue all column fetches due at or before @p now into
+     * @p dram.
+     * @return the number of fetches issued.
+     */
+    unsigned drainUpTo(Dram &dram, Tick now);
+
+    /** Columns fetched so far. */
+    std::uint64_t columnsFetched() const
+    {
+        return fetched_.value();
+    }
+    /** Cycles fb requests spent queued behind CPU traffic. */
+    std::uint64_t queuedCycles() const { return queued_.value(); }
+
+    const FramebufferConfig &config() const { return config_; }
+
+  private:
+    FramebufferConfig config_;
+    double interval_;
+    /** Time the next column fetch is due. */
+    double next_due_ = 0.0;
+    /** Scan position within the frame (bytes). */
+    std::uint64_t scan_offset_ = 0;
+    Counter fetched_;
+    Counter queued_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_IO_FRAMEBUFFER_HH

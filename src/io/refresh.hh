@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DRAM refresh agent.
+ *
+ * A 256 Mbit DRAM must refresh every row periodically (the classic
+ * 64 ms retention window). Integration does not remove this tax:
+ * refresh operations occupy banks exactly like accesses, and on a
+ * device whose banks double as the processor's caches they briefly
+ * steal the memory pipeline. The agent issues distributed refresh
+ * (one row at a time, rotating across banks) and shares the Dram
+ * with the CPU and the frame buffer.
+ */
+
+#ifndef MEMWALL_IO_REFRESH_HH
+#define MEMWALL_IO_REFRESH_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "mem/dram.hh"
+
+namespace memwall {
+
+/** Retention and geometry parameters. */
+struct RefreshConfig
+{
+    /** Retention window in milliseconds. */
+    double interval_ms = 64.0;
+    /** Rows per bank needing refresh within the window. */
+    std::uint32_t rows_per_bank = 8192;
+    /** Core clock, MHz. */
+    double clock_mhz = 200.0;
+};
+
+/** Distributed-refresh generator. */
+class RefreshAgent
+{
+  public:
+    RefreshAgent(RefreshConfig config, const DramConfig &dram);
+
+    /** Cycles between consecutive row refreshes (any bank). */
+    double refreshInterval() const { return interval_; }
+
+    /** Issue all refreshes due at or before @p now. */
+    unsigned drainUpTo(Dram &dram, Tick now);
+
+    std::uint64_t refreshesIssued() const
+    {
+        return issued_.value();
+    }
+
+    /** Fraction of total bank time refresh consumes (analytic). */
+    double overheadFraction(const DramConfig &dram) const;
+
+  private:
+    RefreshConfig config_;
+    std::uint32_t banks_;
+    std::uint32_t column_bytes_;
+    double interval_;
+    double next_due_ = 0.0;
+    std::uint64_t rotor_ = 0;
+    Counter issued_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_IO_REFRESH_HH

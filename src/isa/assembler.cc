@@ -1,0 +1,590 @@
+#include "isa/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+namespace {
+
+/** Strip comments and surrounding whitespace. */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string line = raw;
+    const auto comment = line.find_first_of(";#");
+    if (comment != std::string::npos)
+        line.erase(comment);
+    const auto begin = line.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos)
+        return {};
+    const auto end = line.find_last_not_of(" \t\r\n");
+    return line.substr(begin, end - begin + 1);
+}
+
+/** Split "op a, b, c" into mnemonic and operand strings. */
+void
+splitOperands(const std::string &line, std::string &mnemonic,
+              std::vector<std::string> &operands)
+{
+    mnemonic.clear();
+    operands.clear();
+    std::size_t i = 0;
+    while (i < line.size() && !std::isspace(
+               static_cast<unsigned char>(line[i])))
+        mnemonic.push_back(static_cast<char>(std::tolower(
+            static_cast<unsigned char>(line[i++]))));
+    std::string rest = line.substr(i);
+    std::string cur;
+    for (char c : rest) {
+        if (c == ',') {
+            operands.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    operands.push_back(cur);
+    // Trim each operand; drop empties from trailing commas.
+    for (auto &op : operands) {
+        const auto b = op.find_first_not_of(" \t");
+        if (b == std::string::npos) {
+            op.clear();
+            continue;
+        }
+        const auto e = op.find_last_not_of(" \t");
+        op = op.substr(b, e - b + 1);
+    }
+    while (!operands.empty() && operands.back().empty())
+        operands.pop_back();
+}
+
+/** Parse a register name. */
+std::optional<unsigned>
+parseRegister(const std::string &tok)
+{
+    std::string t;
+    for (char c : tok)
+        t.push_back(static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c))));
+    if (t == "zero")
+        return 0u;
+    if (t == "ra")
+        return 31u;
+    if (t == "sp")
+        return 30u;
+    if (t.size() >= 2 && t[0] == 'r') {
+        unsigned n = 0;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                return std::nullopt;
+            n = n * 10 + static_cast<unsigned>(t[i] - '0');
+        }
+        if (n < 32)
+            return n;
+    }
+    return std::nullopt;
+}
+
+/** Lines of assembly, pre-tokenised once so both passes agree. */
+struct SourceLine
+{
+    unsigned number;
+    std::vector<std::string> labels;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+struct Assembler
+{
+    AssembledProgram out;
+    std::vector<SourceLine> lines;
+
+    void error(unsigned line, std::string msg)
+    {
+        out.errors.push_back(AsmError{line, std::move(msg)});
+    }
+
+    /** Parse an integer literal or symbol reference. */
+    std::optional<std::int64_t>
+    parseValue(const std::string &tok, unsigned line_no,
+               bool allow_undefined = false)
+    {
+        if (tok.empty()) {
+            error(line_no, "missing operand");
+            return std::nullopt;
+        }
+        // Numeric literal?
+        std::size_t pos = 0;
+        bool neg = false;
+        if (tok[pos] == '-' || tok[pos] == '+') {
+            neg = tok[pos] == '-';
+            ++pos;
+        }
+        if (pos < tok.size() &&
+            std::isdigit(static_cast<unsigned char>(tok[pos]))) {
+            std::int64_t value = 0;
+            try {
+                value = std::stoll(tok.substr(pos), nullptr, 0);
+            } catch (...) {
+                error(line_no, "bad numeric literal '" + tok + "'");
+                return std::nullopt;
+            }
+            return neg ? -value : value;
+        }
+        // Symbol.
+        auto it = out.symbols.find(tok);
+        if (it != out.symbols.end())
+            return static_cast<std::int64_t>(it->second);
+        if (!allow_undefined)
+            error(line_no, "undefined symbol '" + tok + "'");
+        return std::nullopt;
+    }
+
+    /** Number of words a (pseudo-)instruction expands to. */
+    unsigned
+    instructionWords(const std::string &mnemonic) const
+    {
+        if (mnemonic == "li" || mnemonic == "la")
+            return 2;
+        return 1;
+    }
+
+    /** First pass: tokenize, place labels, size everything. */
+    void
+    firstPass(const std::string &source)
+    {
+        std::istringstream is(source);
+        std::string raw;
+        unsigned line_no = 0;
+        Addr pc = 0;
+        bool org_seen = false;
+        std::vector<std::string> pending_labels;
+
+        while (std::getline(is, raw)) {
+            ++line_no;
+            std::string line = cleanLine(raw);
+            // Peel off leading labels ("foo:" possibly followed by
+            // an instruction on the same line).
+            while (true) {
+                const auto colon = line.find(':');
+                if (colon == std::string::npos)
+                    break;
+                const std::string head = line.substr(0, colon);
+                if (head.find_first_of(" \t") != std::string::npos)
+                    break;  // colon belongs to something else
+                if (head.empty()) {
+                    error(line_no, "empty label");
+                    line.erase(0, colon + 1);
+                    continue;
+                }
+                pending_labels.push_back(head);
+                line = cleanLine(line.substr(colon + 1));
+            }
+            if (line.empty()) {
+                continue;  // labels bind to the next emission
+            }
+
+            SourceLine sl;
+            sl.number = line_no;
+            splitOperands(line, sl.mnemonic, sl.operands);
+
+            if (sl.mnemonic == ".equ") {
+                if (sl.operands.size() != 2) {
+                    error(line_no, ".equ needs name, value");
+                    continue;
+                }
+                const auto v = parseValue(sl.operands[1], line_no);
+                if (v)
+                    out.symbols[sl.operands[0]] =
+                        static_cast<Addr>(*v);
+                continue;
+            }
+            if (sl.mnemonic == ".org") {
+                if (sl.operands.size() != 1) {
+                    error(line_no, ".org needs one value");
+                    continue;
+                }
+                const auto v = parseValue(sl.operands[0], line_no);
+                if (v) {
+                    pc = static_cast<Addr>(*v);
+                    org_seen = true;
+                }
+                // Keep the line so the second pass replays the
+                // location-counter change; labels before .org bind
+                // to the new location.
+                lines.push_back(std::move(sl));
+                continue;
+            }
+
+            // Bind pending labels here.
+            for (const auto &label : pending_labels) {
+                if (out.symbols.count(label))
+                    error(line_no, "duplicate label '" + label + "'");
+                out.symbols[label] = pc;
+            }
+            pending_labels.clear();
+
+            if (sl.mnemonic == ".word") {
+                pc += 4 * std::max<std::size_t>(1, sl.operands.size());
+            } else if (sl.mnemonic == ".byte") {
+                // Bytes are packed into words; round the total up.
+                pc += (std::max<std::size_t>(1,
+                                             sl.operands.size()) +
+                       3) /
+                      4 * 4;
+            } else if (sl.mnemonic == ".align") {
+                const auto v = parseValue(
+                    sl.operands.empty() ? "" : sl.operands[0],
+                    line_no);
+                if (v && *v > 0 && (*v & (*v - 1)) == 0)
+                    pc = (pc + *v - 1) & ~static_cast<Addr>(*v - 1);
+                else
+                    error(line_no,
+                          ".align needs a power-of-two value");
+            } else if (sl.mnemonic == ".space") {
+                const auto v = parseValue(
+                    sl.operands.empty() ? "" : sl.operands[0],
+                    line_no);
+                if (v && *v >= 0)
+                    pc += static_cast<Addr>((*v + 3) / 4 * 4);
+            } else {
+                pc += 4 * instructionWords(sl.mnemonic);
+            }
+            lines.push_back(std::move(sl));
+        }
+        for (const auto &label : pending_labels)
+            out.symbols[label] = pc;
+        (void)org_seen;
+    }
+
+    void
+    emit(Addr &pc, std::uint32_t word)
+    {
+        out.words[pc] = word;
+        pc += 4;
+    }
+
+    /** Encode one real (non-pseudo) instruction. */
+    void
+    encodeReal(Addr &pc, const SourceLine &sl, Opcode op)
+    {
+        const unsigned n = sl.number;
+        const auto &ops = sl.operands;
+        auto reg = [&](std::size_t i) -> unsigned {
+            if (i >= ops.size()) {
+                error(n, "missing register operand");
+                return 0;
+            }
+            const auto r = parseRegister(ops[i]);
+            if (!r) {
+                error(n, "bad register '" + ops[i] + "'");
+                return 0;
+            }
+            return *r;
+        };
+        auto imm = [&](std::size_t i) -> std::int32_t {
+            if (i >= ops.size()) {
+                error(n, "missing immediate operand");
+                return 0;
+            }
+            const auto v = parseValue(ops[i], n);
+            return v ? static_cast<std::int32_t>(*v) : 0;
+        };
+        // "imm(reg)" addressing for loads/stores.
+        auto memOperand = [&](std::size_t i, unsigned &base,
+                              std::int32_t &offset) {
+            if (i >= ops.size()) {
+                error(n, "missing memory operand");
+                base = 0;
+                offset = 0;
+                return;
+            }
+            const auto open = ops[i].find('(');
+            const auto close = ops[i].find(')');
+            if (open == std::string::npos ||
+                close == std::string::npos || close < open) {
+                error(n, "expected imm(reg), got '" + ops[i] + "'");
+                base = 0;
+                offset = 0;
+                return;
+            }
+            const std::string imm_str = ops[i].substr(0, open);
+            const std::string reg_str =
+                ops[i].substr(open + 1, close - open - 1);
+            const auto r = parseRegister(reg_str);
+            if (!r) {
+                error(n, "bad base register '" + reg_str + "'");
+                base = 0;
+            } else {
+                base = *r;
+            }
+            if (imm_str.empty()) {
+                offset = 0;
+            } else {
+                const auto v = parseValue(imm_str, n);
+                offset = v ? static_cast<std::int32_t>(*v) : 0;
+            }
+        };
+        auto branchTarget = [&](std::size_t i) -> std::int32_t {
+            const auto v = parseValue(i < ops.size() ? ops[i] : "", n);
+            if (!v)
+                return 0;
+            const std::int64_t delta =
+                (*v - static_cast<std::int64_t>(pc) - 4) / 4;
+            if (delta < -1024 || delta > 1023)
+                error(n, "branch target out of range");
+            return static_cast<std::int32_t>(
+                std::clamp<std::int64_t>(delta, -1024, 1023));
+        };
+
+        switch (opcodeFormat(op)) {
+          case InstrFormat::R:
+            emit(pc, Instruction::r(op, reg(0), reg(1),
+                                    reg(2)).encode());
+            break;
+          case InstrFormat::I: {
+            const std::int32_t v = imm(2);
+            if (v < -32768 || v > 32767)
+                error(n, "immediate out of 16-bit range");
+            emit(pc, Instruction::i(op, reg(0), reg(1), v).encode());
+            break;
+          }
+          case InstrFormat::LuiI: {
+            const std::int32_t v = imm(1);
+            emit(pc, Instruction::i(op, reg(0), 0, v).encode());
+            break;
+          }
+          case InstrFormat::LoadI:
+          case InstrFormat::StoreI: {
+            unsigned base = 0;
+            std::int32_t offset = 0;
+            memOperand(1, base, offset);
+            if (offset < -32768 || offset > 32767)
+                error(n, "displacement out of 16-bit range");
+            emit(pc, Instruction::i(op, reg(0), base,
+                                    offset).encode());
+            break;
+          }
+          case InstrFormat::Branch: {
+            const unsigned a = reg(0);
+            const unsigned b = reg(1);
+            const std::int32_t off = branchTarget(2);
+            emit(pc,
+                 Instruction::branch(op, a, b, off).encode());
+            break;
+          }
+          case InstrFormat::Jump:
+            if (op == Opcode::Jal) {
+                const unsigned rd = reg(0);
+                const auto v =
+                    parseValue(ops.size() > 1 ? ops[1] : "", n);
+                std::int32_t off = 0;
+                if (v)
+                    off = static_cast<std::int32_t>(
+                        (*v - static_cast<std::int64_t>(pc) - 4) / 4);
+                emit(pc, Instruction::jal(rd, off).encode());
+            } else {
+                emit(pc, Instruction::i(Opcode::Jalr, reg(0), reg(1),
+                                        ops.size() > 2 ? imm(2) : 0)
+                             .encode());
+            }
+            break;
+          case InstrFormat::None:
+            emit(pc, Instruction{op, 0, 0, 0, 0, 0}.encode());
+            break;
+        }
+    }
+
+    /** Second pass: encode instructions and data. */
+    void
+    secondPass()
+    {
+        // Recompute the location counter the same way pass one did.
+        Addr pc = 0;
+        // Build mnemonic lookup.
+        std::map<std::string, Opcode> mnemonics;
+        for (unsigned raw = 0; raw < 64; ++raw) {
+            if (opcodeValid(static_cast<std::uint8_t>(raw))) {
+                const auto op = static_cast<Opcode>(raw);
+                mnemonics[std::string(opcodeName(op))] = op;
+            }
+        }
+
+        for (const auto &sl : lines) {
+            const unsigned n = sl.number;
+            if (sl.mnemonic == ".org") {
+                const auto v = parseValue(
+                    sl.operands.empty() ? "" : sl.operands[0], n);
+                if (v)
+                    pc = static_cast<Addr>(*v);
+                continue;
+            }
+            if (sl.mnemonic == ".word") {
+                for (const auto &opnd : sl.operands) {
+                    const auto v = parseValue(opnd, n);
+                    emit(pc, v ? static_cast<std::uint32_t>(*v) : 0);
+                }
+                if (sl.operands.empty())
+                    emit(pc, 0);
+                continue;
+            }
+            if (sl.mnemonic == ".byte") {
+                // Pack little-endian into words.
+                std::uint32_t word = 0;
+                unsigned n_in_word = 0;
+                for (const auto &opnd : sl.operands) {
+                    const auto v = parseValue(opnd, n);
+                    if (v && (*v < -128 || *v > 255))
+                        error(n, "byte value out of range");
+                    word |= (static_cast<std::uint32_t>(
+                                 v ? *v : 0) &
+                             0xffu)
+                            << (8 * n_in_word);
+                    if (++n_in_word == 4) {
+                        emit(pc, word);
+                        word = 0;
+                        n_in_word = 0;
+                    }
+                }
+                if (n_in_word > 0 || sl.operands.empty())
+                    emit(pc, word);
+                continue;
+            }
+            if (sl.mnemonic == ".align") {
+                const auto v = parseValue(
+                    sl.operands.empty() ? "" : sl.operands[0], n);
+                if (v && *v > 0 && (*v & (*v - 1)) == 0)
+                    pc = (pc + *v - 1) & ~static_cast<Addr>(*v - 1);
+                continue;
+            }
+            if (sl.mnemonic == ".space") {
+                const auto v = parseValue(
+                    sl.operands.empty() ? "" : sl.operands[0], n);
+                if (v && *v >= 0)
+                    pc += static_cast<Addr>((*v + 3) / 4 * 4);
+                continue;
+            }
+            // Pseudo-instructions.
+            if (sl.mnemonic == "nop") {
+                emit(pc, Instruction::i(Opcode::Addi, 0, 0,
+                                        0).encode());
+                continue;
+            }
+            if (sl.mnemonic == "mv") {
+                const auto rd = parseRegister(
+                    sl.operands.size() > 0 ? sl.operands[0] : "");
+                const auto rs = parseRegister(
+                    sl.operands.size() > 1 ? sl.operands[1] : "");
+                if (!rd || !rs) {
+                    error(n, "mv needs two registers");
+                    emit(pc, 0);
+                    continue;
+                }
+                emit(pc, Instruction::i(Opcode::Addi, *rd, *rs,
+                                        0).encode());
+                continue;
+            }
+            if (sl.mnemonic == "b") {
+                // Unconditional branch via jal r0.
+                const auto v = parseValue(
+                    sl.operands.empty() ? "" : sl.operands[0], n);
+                std::int32_t off = 0;
+                if (v)
+                    off = static_cast<std::int32_t>(
+                        (*v - static_cast<std::int64_t>(pc) - 4) / 4);
+                emit(pc, Instruction::jal(0, off).encode());
+                continue;
+            }
+            if (sl.mnemonic == "ret") {
+                emit(pc, Instruction::i(Opcode::Jalr, 0, 31,
+                                        0).encode());
+                continue;
+            }
+            if (sl.mnemonic == "li" || sl.mnemonic == "la") {
+                const auto rd = parseRegister(
+                    sl.operands.empty() ? "" : sl.operands[0]);
+                const auto v = parseValue(
+                    sl.operands.size() > 1 ? sl.operands[1] : "", n);
+                if (!rd) {
+                    error(n, sl.mnemonic + " needs a register");
+                    emit(pc, 0);
+                    emit(pc, 0);
+                    continue;
+                }
+                const std::uint32_t value =
+                    v ? static_cast<std::uint32_t>(*v) : 0;
+                // lui rd, hi16 ; ori rd, rd, lo16
+                emit(pc, Instruction::i(Opcode::Lui, *rd, 0,
+                                        static_cast<std::int32_t>(
+                                            value >> 16))
+                             .encode());
+                emit(pc, Instruction::i(Opcode::Ori, *rd, *rd,
+                                        static_cast<std::int32_t>(
+                                            value & 0xffff))
+                             .encode());
+                continue;
+            }
+            auto it = mnemonics.find(sl.mnemonic);
+            if (it == mnemonics.end()) {
+                error(n, "unknown mnemonic '" + sl.mnemonic + "'");
+                emit(pc, 0);
+                continue;
+            }
+            encodeReal(pc, sl, it->second);
+        }
+    }
+};
+
+} // namespace
+
+void
+AssembledProgram::loadInto(BackingStore &mem) const
+{
+    for (const auto &[addr, word] : words)
+        mem.writeU32(addr, word);
+}
+
+Addr
+AssembledProgram::symbol(const std::string &label) const
+{
+    auto it = symbols.find(label);
+    if (it == symbols.end())
+        MW_FATAL("undefined symbol '", label, "'");
+    return it->second;
+}
+
+AssembledProgram
+assemble(const std::string &source)
+{
+    Assembler as;
+    as.firstPass(source);
+    as.secondPass();
+
+    if (!as.out.words.empty()) {
+        auto it = as.out.symbols.find("start");
+        as.out.entry = it != as.out.symbols.end()
+            ? it->second
+            : as.out.words.begin()->first;
+    }
+    return as.out;
+}
+
+AssembledProgram
+assembleOrDie(const std::string &source)
+{
+    AssembledProgram prog = assemble(source);
+    if (!prog.ok()) {
+        for (const auto &e : prog.errors)
+            MW_WARN("asm line ", e.line, ": ", e.message);
+        MW_FATAL("assembly failed with ", prog.errors.size(),
+                 " error(s)");
+    }
+    return prog;
+}
+
+} // namespace memwall

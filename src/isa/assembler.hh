@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Two-pass MW32 assembler.
+ *
+ * Accepts a small, conventional assembly dialect:
+ *
+ *     ; comments with ';' or '#'
+ *     .org   0x1000          ; set location counter
+ *     .word  0x1234, 42      ; literal data words
+ *     .space 64              ; reserve zeroed bytes
+ *     .equ   N, 100          ; named constant
+ *     start:
+ *         li   r1, 100000    ; pseudo: lui+ori
+ *         la   r2, buffer    ; pseudo: address of label
+ *     loop:
+ *         lw   r3, 0(r2)
+ *         addi r2, r2, 4
+ *         addi r1, r1, -1
+ *         bne  r1, r0, loop
+ *         halt
+ *     buffer:
+ *         .space 4096
+ *
+ * Registers: r0..r31 plus the aliases zero (r0), ra (r31), sp (r30).
+ * Pseudo-instructions: nop, li, la, mv, b, ret.
+ */
+
+#ifndef MEMWALL_ISA_ASSEMBLER_HH
+#define MEMWALL_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "mem/backing_store.hh"
+
+namespace memwall {
+
+/** One assembler diagnostic. */
+struct AsmError
+{
+    unsigned line = 0;
+    std::string message;
+};
+
+/** Result of assembling a source text. */
+struct AssembledProgram
+{
+    /** Emitted 32-bit words keyed by byte address. */
+    std::map<Addr, std::uint32_t> words;
+    /** Label table (also contains .equ constants). */
+    std::map<std::string, Addr> symbols;
+    /** Entry point: the 'start' label if present, else lowest addr. */
+    Addr entry = 0;
+    std::vector<AsmError> errors;
+
+    bool ok() const { return errors.empty(); }
+
+    /** Copy all emitted words into @p mem. */
+    void loadInto(BackingStore &mem) const;
+
+    /** Address of @p label; fatal if undefined. */
+    Addr symbol(const std::string &label) const;
+};
+
+/**
+ * Assemble @p source. Errors are collected per line rather than
+ * aborting, so tests can assert on diagnostics.
+ */
+AssembledProgram assemble(const std::string &source);
+
+/** Assemble, MW_FATAL-ing on any diagnostic. */
+AssembledProgram assembleOrDie(const std::string &source);
+
+} // namespace memwall
+
+#endif // MEMWALL_ISA_ASSEMBLER_HH

@@ -1,0 +1,200 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+namespace {
+
+std::int32_t
+signExtend(std::uint32_t value, unsigned bits)
+{
+    const std::uint32_t mask = 1u << (bits - 1);
+    value &= (1u << bits) - 1;
+    return static_cast<std::int32_t>((value ^ mask) - mask);
+}
+
+} // namespace
+
+std::uint32_t
+Instruction::encode() const
+{
+    std::uint32_t word = static_cast<std::uint32_t>(op) << 26;
+    const InstrFormat fmt = opcodeFormat(op);
+    switch (fmt) {
+      case InstrFormat::R:
+        word |= (rd & 31u) << 21;
+        word |= (rs1 & 31u) << 16;
+        word |= (rs2 & 31u) << 11;
+        break;
+      case InstrFormat::I:
+      case InstrFormat::LoadI:
+      case InstrFormat::LuiI:
+        word |= (rd & 31u) << 21;
+        word |= (rs1 & 31u) << 16;
+        word |= static_cast<std::uint32_t>(imm) & 0xffffu;
+        break;
+      case InstrFormat::StoreI:
+        // rd carries the value register for stores.
+        word |= (rd & 31u) << 21;
+        word |= (rs1 & 31u) << 16;
+        word |= static_cast<std::uint32_t>(imm) & 0xffffu;
+        break;
+      case InstrFormat::Branch:
+        word |= (rd & 31u) << 21;  // unused, kept zero by builders
+        word |= (rs1 & 31u) << 16;
+        word |= (rs2 & 31u) << 11;
+        // Branch displacement lives in the low 11 bits: +/-1024
+        // words, plenty for generated kernels.
+        word |= static_cast<std::uint32_t>(imm) & 0x7ffu;
+        break;
+      case InstrFormat::Jump:
+        if (op == Opcode::Jal) {
+            word |= (rd & 31u) << 21;
+            word |= static_cast<std::uint32_t>(target) & 0x1fffffu;
+        } else {  // Jalr
+            word |= (rd & 31u) << 21;
+            word |= (rs1 & 31u) << 16;
+            word |= static_cast<std::uint32_t>(imm) & 0xffffu;
+        }
+        break;
+      case InstrFormat::None:
+        break;
+    }
+    return word;
+}
+
+Instruction
+Instruction::decode(std::uint32_t word, bool *ok)
+{
+    Instruction inst;
+    const std::uint8_t raw_op = static_cast<std::uint8_t>(word >> 26);
+    if (!opcodeValid(raw_op)) {
+        if (ok)
+            *ok = false;
+        return inst;
+    }
+    if (ok)
+        *ok = true;
+    inst.op = static_cast<Opcode>(raw_op);
+    inst.rd = (word >> 21) & 31;
+    inst.rs1 = (word >> 16) & 31;
+    inst.rs2 = (word >> 11) & 31;
+    switch (opcodeFormat(inst.op)) {
+      case InstrFormat::I:
+      case InstrFormat::LoadI:
+      case InstrFormat::StoreI:
+      case InstrFormat::LuiI:
+        inst.imm = signExtend(word & 0xffffu, 16);
+        break;
+      case InstrFormat::Branch:
+        inst.imm = signExtend(word & 0x7ffu, 11);
+        break;
+      case InstrFormat::Jump:
+        if (inst.op == Opcode::Jal)
+            inst.target = signExtend(word & 0x1fffffu, 21);
+        else
+            inst.imm = signExtend(word & 0xffffu, 16);
+        break;
+      default:
+        break;
+    }
+    return inst;
+}
+
+std::string
+Instruction::disassemble() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    switch (opcodeFormat(op)) {
+      case InstrFormat::R:
+        os << " r" << +rd << ", r" << +rs1 << ", r" << +rs2;
+        break;
+      case InstrFormat::I:
+        os << " r" << +rd << ", r" << +rs1 << ", " << imm;
+        break;
+      case InstrFormat::LuiI:
+        os << " r" << +rd << ", " << imm;
+        break;
+      case InstrFormat::LoadI:
+        os << " r" << +rd << ", " << imm << "(r" << +rs1 << ")";
+        break;
+      case InstrFormat::StoreI:
+        os << " r" << +rd << ", " << imm << "(r" << +rs1 << ")";
+        break;
+      case InstrFormat::Branch:
+        os << " r" << +rs1 << ", r" << +rs2 << ", " << imm;
+        break;
+      case InstrFormat::Jump:
+        if (op == Opcode::Jal)
+            os << " r" << +rd << ", " << target;
+        else
+            os << " r" << +rd << ", r" << +rs1 << ", " << imm;
+        break;
+      case InstrFormat::None:
+        break;
+    }
+    return os.str();
+}
+
+Instruction
+Instruction::r(Opcode op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    MW_ASSERT(opcodeFormat(op) == InstrFormat::R, "not an R-format op");
+    Instruction inst;
+    inst.op = op;
+    inst.rd = static_cast<std::uint8_t>(rd);
+    inst.rs1 = static_cast<std::uint8_t>(rs1);
+    inst.rs2 = static_cast<std::uint8_t>(rs2);
+    return inst;
+}
+
+Instruction
+Instruction::i(Opcode op, unsigned rd, unsigned rs1, std::int32_t imm)
+{
+    const InstrFormat fmt = opcodeFormat(op);
+    MW_ASSERT(fmt == InstrFormat::I || fmt == InstrFormat::LoadI ||
+                  fmt == InstrFormat::StoreI ||
+                  fmt == InstrFormat::LuiI ||
+                  (fmt == InstrFormat::Jump && op == Opcode::Jalr),
+              "not an immediate-format op");
+    Instruction inst;
+    inst.op = op;
+    inst.rd = static_cast<std::uint8_t>(rd);
+    inst.rs1 = static_cast<std::uint8_t>(rs1);
+    inst.imm = imm;
+    return inst;
+}
+
+Instruction
+Instruction::branch(Opcode op, unsigned rs1, unsigned rs2,
+                    std::int32_t word_offset)
+{
+    MW_ASSERT(opcodeFormat(op) == InstrFormat::Branch,
+              "not a branch op");
+    MW_ASSERT(word_offset >= -1024 && word_offset <= 1023,
+              "branch offset out of range: ", word_offset);
+    Instruction inst;
+    inst.op = op;
+    inst.rs1 = static_cast<std::uint8_t>(rs1);
+    inst.rs2 = static_cast<std::uint8_t>(rs2);
+    inst.imm = word_offset;
+    return inst;
+}
+
+Instruction
+Instruction::jal(unsigned rd, std::int32_t word_offset)
+{
+    MW_ASSERT(word_offset >= -(1 << 20) && word_offset < (1 << 20),
+              "jal offset out of range: ", word_offset);
+    Instruction inst;
+    inst.op = Opcode::Jal;
+    inst.rd = static_cast<std::uint8_t>(rd);
+    inst.target = word_offset;
+    return inst;
+}
+
+} // namespace memwall

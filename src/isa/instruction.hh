@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MW32 instruction encode / decode / disassemble.
+ */
+
+#ifndef MEMWALL_ISA_INSTRUCTION_HH
+#define MEMWALL_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+
+namespace memwall {
+
+/** Decoded MW32 instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Halt;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    /** Sign-extended 16-bit immediate (I/Branch formats). */
+    std::int32_t imm = 0;
+    /** Sign-extended 26-bit word offset (Jal). */
+    std::int32_t target = 0;
+
+    /** Encode into the 32-bit machine word. */
+    std::uint32_t encode() const;
+
+    /**
+     * Decode @p word.
+     * @param[out] ok set to false when the opcode is invalid.
+     */
+    static Instruction decode(std::uint32_t word, bool *ok = nullptr);
+
+    /** Human-readable disassembly, e.g. "addi r5, r5, 1". */
+    std::string disassemble() const;
+
+    // Builder helpers used by tests and generated code.
+    static Instruction r(Opcode op, unsigned rd, unsigned rs1,
+                         unsigned rs2);
+    static Instruction i(Opcode op, unsigned rd, unsigned rs1,
+                         std::int32_t imm);
+    static Instruction branch(Opcode op, unsigned rs1, unsigned rs2,
+                              std::int32_t word_offset);
+    static Instruction jal(unsigned rd, std::int32_t word_offset);
+    static Instruction halt() { return Instruction{}; }
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_ISA_INSTRUCTION_HH

@@ -1,0 +1,200 @@
+#include "isa/interpreter.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+Interpreter::Interpreter(BackingStore &mem) : mem_(mem)
+{
+}
+
+bool
+Interpreter::step(const RefSink *sink)
+{
+    const Addr pc = state_.pc;
+    if (sink)
+        (*sink)(MemRef::fetch(pc));
+    const std::uint32_t word = mem_.readU32(pc);
+    bool ok = true;
+    const Instruction inst = Instruction::decode(word, &ok);
+    if (!ok) {
+        MW_WARN("invalid instruction 0x", std::hex, word, std::dec,
+                " at pc 0x", std::hex, pc, std::dec);
+        last_stop_ = StopReason::BadInstruction;
+        return false;
+    }
+
+    ++stats_.instructions;
+    Addr next_pc = pc + 4;
+    const std::uint32_t a = state_.reg(inst.rs1);
+    const std::uint32_t b = state_.reg(inst.rs2);
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    const auto imm = inst.imm;
+    const auto uimm = static_cast<std::uint32_t>(imm);
+
+    auto branch = [&](bool take) {
+        ++stats_.branches;
+        if (take) {
+            ++stats_.taken_branches;
+            next_pc = pc + 4 +
+                      static_cast<Addr>(
+                          static_cast<std::int64_t>(imm) * 4);
+        }
+    };
+
+    switch (inst.op) {
+      case Opcode::Add: state_.setReg(inst.rd, a + b); break;
+      case Opcode::Sub: state_.setReg(inst.rd, a - b); break;
+      case Opcode::And: state_.setReg(inst.rd, a & b); break;
+      case Opcode::Or: state_.setReg(inst.rd, a | b); break;
+      case Opcode::Xor: state_.setReg(inst.rd, a ^ b); break;
+      case Opcode::Sll: state_.setReg(inst.rd, a << (b & 31)); break;
+      case Opcode::Srl: state_.setReg(inst.rd, a >> (b & 31)); break;
+      case Opcode::Sra:
+        state_.setReg(inst.rd,
+                      static_cast<std::uint32_t>(sa >> (b & 31)));
+        break;
+      case Opcode::Slt:
+        state_.setReg(inst.rd, sa < sb ? 1 : 0);
+        break;
+      case Opcode::Sltu:
+        state_.setReg(inst.rd, a < b ? 1 : 0);
+        break;
+      case Opcode::Mul: state_.setReg(inst.rd, a * b); break;
+      case Opcode::Div:
+        state_.setReg(inst.rd,
+                      sb == 0 ? 0xffffffffu
+                              : static_cast<std::uint32_t>(sa / sb));
+        break;
+      case Opcode::Rem:
+        state_.setReg(inst.rd,
+                      sb == 0 ? a
+                              : static_cast<std::uint32_t>(sa % sb));
+        break;
+
+      case Opcode::Addi: state_.setReg(inst.rd, a + uimm); break;
+      // Logical immediates zero-extend (so lui+ori builds any
+      // 32-bit constant); addi sign-extends as usual.
+      case Opcode::Andi:
+        state_.setReg(inst.rd, a & (uimm & 0xffffu));
+        break;
+      case Opcode::Ori:
+        state_.setReg(inst.rd, a | (uimm & 0xffffu));
+        break;
+      case Opcode::Xori:
+        state_.setReg(inst.rd, a ^ (uimm & 0xffffu));
+        break;
+      case Opcode::Slli:
+        state_.setReg(inst.rd, a << (uimm & 31));
+        break;
+      case Opcode::Srli:
+        state_.setReg(inst.rd, a >> (uimm & 31));
+        break;
+      case Opcode::Srai:
+        state_.setReg(inst.rd,
+                      static_cast<std::uint32_t>(sa >> (uimm & 31)));
+        break;
+      case Opcode::Slti:
+        state_.setReg(inst.rd, sa < imm ? 1 : 0);
+        break;
+      case Opcode::Lui:
+        state_.setReg(inst.rd, uimm << 16);
+        break;
+
+      case Opcode::Lb:
+      case Opcode::Lbu:
+      case Opcode::Lh:
+      case Opcode::Lhu:
+      case Opcode::Lw: {
+        const Addr ea = static_cast<Addr>(a + uimm);
+        const auto size =
+            static_cast<std::uint8_t>(accessSize(inst.op));
+        if (sink)
+            (*sink)(MemRef::load(pc, ea, size));
+        ++stats_.loads;
+        std::uint32_t value = 0;
+        switch (inst.op) {
+          case Opcode::Lb:
+            value = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(
+                    static_cast<std::int8_t>(mem_.readU8(ea))));
+            break;
+          case Opcode::Lbu: value = mem_.readU8(ea); break;
+          case Opcode::Lh:
+            value = static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(
+                    static_cast<std::int16_t>(mem_.readU16(ea))));
+            break;
+          case Opcode::Lhu: value = mem_.readU16(ea); break;
+          default: value = mem_.readU32(ea); break;
+        }
+        state_.setReg(inst.rd, value);
+        break;
+      }
+
+      case Opcode::Sb:
+      case Opcode::Sh:
+      case Opcode::Sw: {
+        const Addr ea = static_cast<Addr>(a + uimm);
+        const auto size =
+            static_cast<std::uint8_t>(accessSize(inst.op));
+        if (sink)
+            (*sink)(MemRef::store(pc, ea, size));
+        ++stats_.stores;
+        const std::uint32_t value = state_.reg(inst.rd);
+        switch (inst.op) {
+          case Opcode::Sb:
+            mem_.writeU8(ea, static_cast<std::uint8_t>(value));
+            break;
+          case Opcode::Sh:
+            mem_.writeU16(ea, static_cast<std::uint16_t>(value));
+            break;
+          default: mem_.writeU32(ea, value); break;
+        }
+        break;
+      }
+
+      case Opcode::Beq: branch(a == b); break;
+      case Opcode::Bne: branch(a != b); break;
+      case Opcode::Blt: branch(sa < sb); break;
+      case Opcode::Bge: branch(sa >= sb); break;
+      case Opcode::Bltu: branch(a < b); break;
+      case Opcode::Bgeu: branch(a >= b); break;
+
+      case Opcode::Jal:
+        state_.setReg(inst.rd, static_cast<std::uint32_t>(pc + 4));
+        next_pc = pc + 4 +
+                  static_cast<Addr>(
+                      static_cast<std::int64_t>(inst.target) * 4);
+        break;
+      case Opcode::Jalr: {
+        const Addr dest = static_cast<Addr>(a + uimm) & ~Addr{3};
+        state_.setReg(inst.rd, static_cast<std::uint32_t>(pc + 4));
+        next_pc = dest;
+        break;
+      }
+
+      case Opcode::Halt:
+        last_stop_ = StopReason::Halted;
+        return false;
+      case Opcode::Sync:
+        break;  // uniprocessor: memory is always consistent
+    }
+
+    state_.pc = next_pc;
+    return true;
+}
+
+StopReason
+Interpreter::run(std::uint64_t max_instructions, const RefSink *sink)
+{
+    last_stop_ = StopReason::InstrLimit;
+    for (std::uint64_t i = 0; i < max_instructions; ++i) {
+        if (!step(sink))
+            return last_stop_;
+    }
+    return StopReason::InstrLimit;
+}
+
+} // namespace memwall

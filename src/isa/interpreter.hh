@@ -1,0 +1,93 @@
+/**
+ * @file
+ * MW32 functional interpreter.
+ *
+ * Executes assembled programs against a BackingStore and emits the
+ * instruction/data reference stream to an optional RefSink — the
+ * execution-driven analogue of the paper's Shade front end. The
+ * interpreter is purely functional (no timing); timing models consume
+ * the emitted stream.
+ */
+
+#ifndef MEMWALL_ISA_INTERPRETER_HH
+#define MEMWALL_ISA_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "isa/instruction.hh"
+#include "mem/backing_store.hh"
+#include "trace/ref.hh"
+
+namespace memwall {
+
+/** Architectural register state. */
+struct CpuState
+{
+    std::array<std::uint32_t, 32> regs{};
+    Addr pc = 0;
+
+    std::uint32_t reg(unsigned i) const { return regs[i & 31]; }
+    void
+    setReg(unsigned i, std::uint32_t v)
+    {
+        if ((i & 31) != 0)
+            regs[i & 31] = v;  // r0 is hard-wired to zero
+    }
+};
+
+/** Reasons run() stopped. */
+enum class StopReason {
+    Halted,        ///< executed a halt instruction
+    InstrLimit,    ///< reached the max_instructions budget
+    BadInstruction ///< decoded an invalid opcode
+};
+
+/** Execution statistics of an interpreter run. */
+struct ExecStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t taken_branches = 0;
+};
+
+/** Functional MW32 CPU. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(BackingStore &mem);
+
+    CpuState &state() { return state_; }
+    const CpuState &state() const { return state_; }
+
+    /** Set the program counter. */
+    void setPc(Addr pc) { state_.pc = pc; }
+
+    /**
+     * Execute one instruction; emits refs into @p sink when given.
+     * @return false if the CPU halted (or hit a bad instruction).
+     */
+    bool step(const RefSink *sink = nullptr);
+
+    /**
+     * Run until halt or @p max_instructions.
+     */
+    StopReason run(std::uint64_t max_instructions,
+                   const RefSink *sink = nullptr);
+
+    const ExecStats &stats() const { return stats_; }
+    StopReason lastStop() const { return last_stop_; }
+
+  private:
+    BackingStore &mem_;
+    CpuState state_;
+    ExecStats stats_;
+    StopReason last_stop_ = StopReason::InstrLimit;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_ISA_INTERPRETER_HH

@@ -1,0 +1,181 @@
+#include "isa/opcodes.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sltu: return "sltu";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Slti: return "slti";
+      case Opcode::Lui: return "lui";
+      case Opcode::Lb: return "lb";
+      case Opcode::Lbu: return "lbu";
+      case Opcode::Lh: return "lh";
+      case Opcode::Lhu: return "lhu";
+      case Opcode::Lw: return "lw";
+      case Opcode::Sb: return "sb";
+      case Opcode::Sh: return "sh";
+      case Opcode::Sw: return "sw";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Bltu: return "bltu";
+      case Opcode::Bgeu: return "bgeu";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Halt: return "halt";
+      case Opcode::Sync: return "sync";
+    }
+    return "?";
+}
+
+InstrFormat
+opcodeFormat(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Slt:
+      case Opcode::Sltu:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+        return InstrFormat::R;
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Slti:
+        return InstrFormat::I;
+      case Opcode::Lui:
+        return InstrFormat::LuiI;
+      case Opcode::Lb:
+      case Opcode::Lbu:
+      case Opcode::Lh:
+      case Opcode::Lhu:
+      case Opcode::Lw:
+        return InstrFormat::LoadI;
+      case Opcode::Sb:
+      case Opcode::Sh:
+      case Opcode::Sw:
+        return InstrFormat::StoreI;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+        return InstrFormat::Branch;
+      case Opcode::Jal:
+      case Opcode::Jalr:
+        return InstrFormat::Jump;
+      case Opcode::Halt:
+      case Opcode::Sync:
+        return InstrFormat::None;
+    }
+    return InstrFormat::None;
+}
+
+bool
+opcodeValid(std::uint8_t raw)
+{
+    switch (static_cast<Opcode>(raw)) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Slt:
+      case Opcode::Sltu:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Slti:
+      case Opcode::Lui:
+      case Opcode::Lb:
+      case Opcode::Lbu:
+      case Opcode::Lh:
+      case Opcode::Lhu:
+      case Opcode::Lw:
+      case Opcode::Sb:
+      case Opcode::Sh:
+      case Opcode::Sw:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+      case Opcode::Jal:
+      case Opcode::Jalr:
+      case Opcode::Halt:
+      case Opcode::Sync:
+        return true;
+    }
+    return false;
+}
+
+unsigned
+accessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lb:
+      case Opcode::Lbu:
+      case Opcode::Sb:
+        return 1;
+      case Opcode::Lh:
+      case Opcode::Lhu:
+      case Opcode::Sh:
+        return 2;
+      case Opcode::Lw:
+      case Opcode::Sw:
+        return 4;
+      default:
+        MW_PANIC("accessSize called on non-memory opcode ",
+                 opcodeName(op));
+    }
+}
+
+} // namespace memwall

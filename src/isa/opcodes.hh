@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The MW32 instruction set.
+ *
+ * MW32 is a small SPARC-flavoured load/store RISC used as the
+ * execution-driven front end: 32 general-purpose 32-bit registers
+ * (r0 hard-wired to zero), fixed 32-bit instructions, delayed
+ * nothing (no branch delay slots — the paper's pipeline discussion
+ * is orthogonal to the ISA, Section 4.1: "an ordinary, general-
+ * purpose, commodity ISA is assumed").
+ *
+ * Encoding (big picture):
+ *   [31:26] opcode
+ *   [25:21] rd
+ *   [20:16] rs1
+ *   [15:11] rs2          (R-format)
+ *   [15:0]  imm16 signed (I-format, branches)
+ *   [25:0]  target26     (J-format, word offset)
+ */
+
+#ifndef MEMWALL_ISA_OPCODES_HH
+#define MEMWALL_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace memwall {
+
+/** MW32 opcodes. Values are the 6-bit encodings. */
+enum class Opcode : std::uint8_t {
+    // R-format ALU
+    Add = 0x00,
+    Sub = 0x01,
+    And = 0x02,
+    Or = 0x03,
+    Xor = 0x04,
+    Sll = 0x05,
+    Srl = 0x06,
+    Sra = 0x07,
+    Slt = 0x08,
+    Sltu = 0x09,
+    Mul = 0x0a,
+    Div = 0x0b,
+    Rem = 0x0c,
+
+    // I-format ALU
+    Addi = 0x10,
+    Andi = 0x11,
+    Ori = 0x12,
+    Xori = 0x13,
+    Slli = 0x14,
+    Srli = 0x15,
+    Srai = 0x16,
+    Slti = 0x17,
+    Lui = 0x18,
+
+    // Loads / stores (I-format addressing: rs1 + imm16)
+    Lb = 0x20,
+    Lbu = 0x21,
+    Lh = 0x22,
+    Lhu = 0x23,
+    Lw = 0x24,
+    Sb = 0x25,
+    Sh = 0x26,
+    Sw = 0x27,
+
+    // Branches (I-format: compare rd? no — compare rs1, rs2;
+    // imm16 is a signed word offset from the next pc)
+    Beq = 0x30,
+    Bne = 0x31,
+    Blt = 0x32,
+    Bge = 0x33,
+    Bltu = 0x34,
+    Bgeu = 0x35,
+
+    // Jumps
+    Jal = 0x38,   ///< rd <- pc+4; pc <- pc+4 + signext(target26)*4
+    Jalr = 0x39,  ///< rd <- pc+4; pc <- rs1 + imm16
+
+    // System
+    Halt = 0x3e,
+    Sync = 0x3f,
+};
+
+/** Operand format classes used by the decoder and assembler. */
+enum class InstrFormat {
+    R,        ///< rd, rs1, rs2
+    I,        ///< rd, rs1, imm16
+    LoadI,    ///< rd, imm16(rs1)
+    StoreI,   ///< rs2?, imm16(rs1) — value register encoded in rd
+    Branch,   ///< rs1, rs2, label
+    Jump,     ///< rd, label (Jal) / rd, rs1, imm (Jalr)
+    LuiI,     ///< rd, imm16
+    None,     ///< no operands (Halt, Sync)
+};
+
+/** @return the mnemonic for @p op, or "?" if unassigned. */
+std::string_view opcodeName(Opcode op);
+
+/** @return the operand format of @p op. */
+InstrFormat opcodeFormat(Opcode op);
+
+/** @return true iff @p op is a valid MW32 opcode value. */
+bool opcodeValid(std::uint8_t raw);
+
+/** @return byte width of a load/store opcode (1, 2 or 4). */
+unsigned accessSize(Opcode op);
+
+} // namespace memwall
+
+#endif // MEMWALL_ISA_OPCODES_HH

@@ -1,0 +1,136 @@
+#include "mem/backing_store.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace memwall {
+
+std::uint8_t *
+BackingStore::pageFor(Addr addr)
+{
+    const std::uint64_t pn = addr / page_size;
+    auto it = pages_.find(pn);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<std::uint8_t[]>(page_size);
+        std::memset(page.get(), 0, page_size);
+        it = pages_.emplace(pn, std::move(page)).first;
+    }
+    return it->second.get();
+}
+
+const std::uint8_t *
+BackingStore::pageForRead(Addr addr) const
+{
+    const std::uint64_t pn = addr / page_size;
+    auto it = pages_.find(pn);
+    if (it == pages_.end())
+        return nullptr;  // unmaterialised pages read as zero
+    return it->second.get();
+}
+
+namespace {
+
+template <typename T>
+T
+readScalar(const BackingStore &store, Addr addr)
+{
+    std::uint8_t buf[sizeof(T)];
+    store.readBlock(addr, std::span(buf, sizeof(T)));
+    T v;
+    std::memcpy(&v, buf, sizeof(T));
+    return v;
+}
+
+template <typename T>
+void
+writeScalar(BackingStore &store, Addr addr, T v)
+{
+    std::uint8_t buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    store.writeBlock(addr, std::span<const std::uint8_t>(buf, sizeof(T)));
+}
+
+} // namespace
+
+std::uint8_t
+BackingStore::readU8(Addr addr) const
+{
+    const std::uint8_t *page = pageForRead(addr);
+    return page ? page[addr % page_size] : 0;
+}
+
+std::uint16_t
+BackingStore::readU16(Addr addr) const
+{
+    return readScalar<std::uint16_t>(*this, addr);
+}
+
+std::uint32_t
+BackingStore::readU32(Addr addr) const
+{
+    return readScalar<std::uint32_t>(*this, addr);
+}
+
+std::uint64_t
+BackingStore::readU64(Addr addr) const
+{
+    return readScalar<std::uint64_t>(*this, addr);
+}
+
+void
+BackingStore::writeU8(Addr addr, std::uint8_t v)
+{
+    pageFor(addr)[addr % page_size] = v;
+}
+
+void
+BackingStore::writeU16(Addr addr, std::uint16_t v)
+{
+    writeScalar(*this, addr, v);
+}
+
+void
+BackingStore::writeU32(Addr addr, std::uint32_t v)
+{
+    writeScalar(*this, addr, v);
+}
+
+void
+BackingStore::writeU64(Addr addr, std::uint64_t v)
+{
+    writeScalar(*this, addr, v);
+}
+
+void
+BackingStore::readBlock(Addr addr, std::span<std::uint8_t> out) const
+{
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const Addr cur = addr + done;
+        const std::uint64_t off = cur % page_size;
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(page_size - off, out.size() - done));
+        const std::uint8_t *page = pageForRead(cur);
+        if (page)
+            std::memcpy(out.data() + done, page + off, chunk);
+        else
+            std::memset(out.data() + done, 0, chunk);
+        done += chunk;
+    }
+}
+
+void
+BackingStore::writeBlock(Addr addr, std::span<const std::uint8_t> in)
+{
+    std::size_t done = 0;
+    while (done < in.size()) {
+        const Addr cur = addr + done;
+        const std::uint64_t off = cur % page_size;
+        const std::size_t chunk = static_cast<std::size_t>(
+            std::min<std::uint64_t>(page_size - off, in.size() - done));
+        std::memcpy(pageFor(cur) + off, in.data() + done, chunk);
+        done += chunk;
+    }
+}
+
+} // namespace memwall

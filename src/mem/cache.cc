@@ -1,0 +1,201 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+std::uint32_t
+CacheConfig::sets() const
+{
+    const std::uint64_t lines = capacity / line_size;
+    const std::uint64_t ways = assoc == 0 ? lines : assoc;
+    return static_cast<std::uint32_t>(lines / ways);
+}
+
+void
+CacheConfig::validate() const
+{
+    if (!isPowerOfTwo(line_size))
+        MW_FATAL(name, ": line size must be a power of two, got ",
+                 line_size);
+    if (capacity % line_size != 0)
+        MW_FATAL(name, ": capacity not a multiple of the line size");
+    const std::uint64_t lines = capacity / line_size;
+    const std::uint64_t ways = assoc == 0 ? lines : assoc;
+    if (ways == 0 || lines % ways != 0)
+        MW_FATAL(name, ": associativity ", assoc,
+                 " does not divide the ", lines, " lines");
+    if (!isPowerOfTwo(lines / ways))
+        MW_FATAL(name, ": set count must be a power of two, got ",
+                 lines / ways);
+    if (sub_block_size == 0 || line_size % sub_block_size != 0)
+        MW_FATAL(name, ": sub-block size must divide the line size");
+}
+
+Cache::Cache(CacheConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      rng_state_(seed ? seed : 1)
+{
+    config_.validate();
+    sets_ = config_.sets();
+    assoc_ = config_.assoc == 0
+        ? static_cast<std::uint32_t>(config_.capacity / config_.line_size)
+        : config_.assoc;
+    line_shift_ = floorLog2(config_.line_size);
+    line_mask_ = config_.line_size - 1;
+    tag_shift_ = line_shift_ + floorLog2(sets_);
+    lines_.resize(sets_ * assoc_);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> line_shift_) & (sets_ - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::Line &
+Cache::victimLine(std::uint64_t set)
+{
+    Line *base = &lines_[set * assoc_];
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < assoc_; ++w)
+        if (!base[w].valid)
+            return base[w];
+    if (config_.repl == ReplPolicy::Random) {
+        // xorshift64 keeps this dependency-free and deterministic.
+        rng_state_ ^= rng_state_ << 13;
+        rng_state_ ^= rng_state_ >> 7;
+        rng_state_ ^= rng_state_ << 17;
+        return base[rng_state_ % assoc_];
+    }
+    Line *victim = &base[0];
+    for (std::uint32_t w = 1; w < assoc_; ++w)
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    return *victim;
+}
+
+void
+Cache::touchLine(Line &line, Addr addr, bool store)
+{
+    line.lru = ++lru_clock_;
+    line.last_sub_block = static_cast<std::uint32_t>(
+        (addr & line_mask_) / config_.sub_block_size);
+    if (store)
+        line.dirty = true;
+}
+
+AccessResult
+Cache::access(Addr addr, bool store)
+{
+    AccessResult result;
+    if (Line *line = findLine(addr)) {
+        result.hit = true;
+        touchLine(*line, addr, store);
+        if (store)
+            stats_.store_hits.inc();
+        else
+            stats_.load_hits.inc();
+        return result;
+    }
+
+    if (store)
+        stats_.store_misses.inc();
+    else
+        stats_.load_misses.inc();
+
+    const std::uint64_t set = setIndex(addr);
+    Line &victim = victimLine(set);
+    if (victim.valid) {
+        // Reconstruct the evicted line's address from tag and set.
+        const Addr old_line =
+            (victim.tag << tag_shift_) | (set << line_shift_);
+        Eviction ev;
+        ev.line_addr = old_line;
+        ev.last_sub_block =
+            old_line + static_cast<Addr>(victim.last_sub_block) *
+                           config_.sub_block_size;
+        ev.dirty = victim.dirty;
+        result.eviction = ev;
+    }
+    victim.valid = true;
+    victim.tag = tagOf(addr);
+    victim.dirty = false;
+    touchLine(victim, addr, store);
+    return result;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Cache::touch(Addr addr, bool store)
+{
+    if (Line *line = findLine(addr)) {
+        touchLine(*line, addr, store);
+        return true;
+    }
+    return false;
+}
+
+std::optional<Eviction>
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        const std::uint64_t set = setIndex(addr);
+        Eviction ev;
+        const Addr old_line =
+            (line->tag << tag_shift_) | (set << line_shift_);
+        ev.line_addr = old_line;
+        ev.last_sub_block =
+            old_line + static_cast<Addr>(line->last_sub_block) *
+                           config_.sub_block_size;
+        ev.dirty = line->dirty;
+        line->valid = false;
+        line->dirty = false;
+        return ev;
+    }
+    return std::nullopt;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace memwall

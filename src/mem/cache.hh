@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Generic set-associative cache model for miss-ratio studies.
+ *
+ * This is a tag-only (functional) model: it tracks which line
+ * addresses are resident and reports hits/misses/evictions, exactly
+ * what the paper's Shade-driven methodology measured (Sections 5.2
+ * and 5.3). Timing is layered on top by the hierarchy and device
+ * models.
+ *
+ * The same class models both conventional caches (32-byte lines,
+ * 8 KB..256 KB) and the proposal's column-buffer caches (512-byte
+ * lines, 16 sets) — the column-buffer organisation is just a
+ * particular geometry plus DRAM-supplied fill timing.
+ */
+
+#ifndef MEMWALL_MEM_CACHE_HH
+#define MEMWALL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace memwall {
+
+/** Replacement policy for set-associative caches. */
+enum class ReplPolicy { LRU, Random };
+
+/** Geometry and policy of one cache. */
+struct CacheConfig
+{
+    /** Total capacity in bytes; must be assoc * line_size * sets. */
+    std::uint64_t capacity = 8 * KiB;
+    /** Line (block) size in bytes; power of two. */
+    std::uint32_t line_size = 32;
+    /** Associativity; 0 means fully associative. */
+    std::uint32_t assoc = 1;
+    /** Replacement policy within a set. */
+    ReplPolicy repl = ReplPolicy::LRU;
+    /**
+     * Sub-block granularity tracked for victim-cache hand-off
+     * (Section 5.4: "the most recently accessed 32-Byte block").
+     */
+    std::uint32_t sub_block_size = 32;
+    /** Name used in reports. */
+    std::string name = "cache";
+
+    /** @return number of sets implied by the other fields. */
+    std::uint32_t sets() const;
+    /** Validate the configuration; fatal on inconsistency. */
+    void validate() const;
+};
+
+/** Information about a line displaced by a fill. */
+struct Eviction
+{
+    /** Address of the first byte of the evicted line. */
+    Addr line_addr = invalid_addr;
+    /** Address of the most recently accessed sub-block in the line. */
+    Addr last_sub_block = invalid_addr;
+    /** Whether the line had been written. */
+    bool dirty = false;
+};
+
+/** Result of a single cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** Valid line displaced by the fill on a miss, if any. */
+    std::optional<Eviction> eviction;
+};
+
+/**
+ * Tag-array cache model.
+ *
+ * Misses allocate (fetch-on-write for stores, as a write-back
+ * write-allocate cache); invalidations support the coherence layer.
+ */
+class Cache
+{
+  public:
+    explicit Cache(CacheConfig config, std::uint64_t seed = 1);
+
+    /**
+     * Perform one access.
+     *
+     * @param addr   byte address accessed
+     * @param store  true for a store, false for a load
+     * @return hit/miss plus any eviction caused by the fill
+     */
+    AccessResult access(Addr addr, bool store);
+
+    /** @return true iff the line containing @p addr is resident. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Touch without filling: updates LRU/sub-block bookkeeping if the
+     * line is resident and reports whether it was. Used when another
+     * structure (e.g. a victim cache) services the access.
+     */
+    bool touch(Addr addr, bool store);
+
+    /**
+     * Drop the line containing @p addr if resident.
+     * @return the eviction record when a valid line was removed.
+     */
+    std::optional<Eviction> invalidate(Addr addr);
+
+    /** Invalidate everything (keeps statistics). */
+    void flush();
+
+    /** Reset statistics only. */
+    void resetStats() { stats_.reset(); }
+
+    const CacheConfig &config() const { return config_; }
+    const AccessStats &stats() const { return stats_; }
+
+    /** Number of valid lines currently resident. */
+    std::uint64_t residentLines() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+        std::uint32_t last_sub_block = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr & ~line_mask_; }
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const { return addr >> tag_shift_; }
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    Line &victimLine(std::uint64_t set);
+    void touchLine(Line &line, Addr addr, bool store);
+
+    CacheConfig config_;
+    std::uint64_t sets_;
+    std::uint32_t assoc_;
+    Addr line_mask_;
+    unsigned line_shift_;
+    unsigned tag_shift_;
+    std::vector<Line> lines_;
+    std::uint64_t lru_clock_ = 0;
+    std::uint64_t rng_state_;
+    AccessStats stats_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_MEM_CACHE_HH

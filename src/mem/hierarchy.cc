@@ -1,0 +1,180 @@
+#include "mem/hierarchy.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+Cycles
+HierarchyConfig::memoryCycles() const
+{
+    ClockParams clock;
+    clock.freq_mhz = freq_mhz;
+    return clock.nsToCycles(memory_ns);
+}
+
+HierarchyConfig
+HierarchyConfig::ss5()
+{
+    // SparcStation 5: 85 MHz MicroSparc-II, 16 KB I / 8 KB D on-chip
+    // caches, memory controller on the CPU die, so main memory is
+    // unusually close (~270 ns).
+    HierarchyConfig c;
+    c.name = "SS-5";
+    c.freq_mhz = 85.0;
+    c.l1i = {16 * KiB, 32, 1, ReplPolicy::LRU, 32, "ss5-l1i"};
+    c.l1d = {8 * KiB, 16, 1, ReplPolicy::LRU, 16, "ss5-l1d"};
+    c.l1_latency = 1;
+    c.has_l2 = false;
+    c.memory_ns = 270.0;
+    return c;
+}
+
+HierarchyConfig
+HierarchyConfig::ss10()
+{
+    // SparcStation 10/61: 60 MHz SuperSparc, 20 KB I / 16 KB D level-1
+    // caches, 1 MB unified level-2 cache, main memory behind the MBus
+    // (~480 ns), and a prefetch unit that hides memory latency on
+    // small linear strides (Figure 2, footnote 2).
+    HierarchyConfig c;
+    c.name = "SS-10/61";
+    c.freq_mhz = 60.0;
+    c.issue_width = 1.4;  // 3-issue SuperSparc, realistic IPC
+    // 20 KB L1I is 5-way 4 KB sets on real hardware; model the
+    // nearest power-of-two organisation.
+    c.l1i = {16 * KiB, 32, 4, ReplPolicy::LRU, 32, "ss10-l1i"};
+    c.l1d = {16 * KiB, 32, 4, ReplPolicy::LRU, 32, "ss10-l1d"};
+    c.l1_latency = 1;
+    c.has_l2 = true;
+    c.l2 = {1 * MiB, 64, 1, ReplPolicy::LRU, 64, "ss10-l2"};
+    c.l2_latency = 5;
+    c.memory_ns = 480.0;
+    c.linear_prefetch = true;
+    c.prefetch_max_stride = 64;
+    return c;
+}
+
+HierarchyConfig
+HierarchyConfig::reference(double memory_ns, Cycles l2_latency)
+{
+    HierarchyConfig c;
+    c.name = "reference-cpu";
+    c.freq_mhz = 200.0;
+    c.l1i = {16 * KiB, 32, 1, ReplPolicy::LRU, 32, "ref-l1i"};
+    c.l1d = {16 * KiB, 32, 1, ReplPolicy::LRU, 32, "ref-l1d"};
+    c.l1_latency = 1;
+    c.has_l2 = true;
+    c.l2 = {256 * KiB, 32, 1, ReplPolicy::LRU, 32, "ref-l2"};
+    c.l2_latency = l2_latency;
+    c.memory_ns = memory_ns;
+    return c;
+}
+
+MemoryHierarchy::MemoryHierarchy(HierarchyConfig config)
+    : config_(std::move(config)),
+      l1i_(config_.l1i),
+      l1d_(config_.l1d),
+      memory_cycles_(config_.memoryCycles())
+{
+    if (config_.has_l2)
+        l2_ = std::make_unique<Cache>(config_.l2);
+}
+
+HierarchyResult
+MemoryHierarchy::access(RefKind kind, Addr addr)
+{
+    const bool store = kind == RefKind::Store;
+    Cache &l1 = kind == RefKind::IFetch ? l1i_ : l1d_;
+
+    HierarchyResult result;
+    ++total_accesses_;
+
+    if (l1.access(addr, store).hit) {
+        result.latency = config_.l1_latency;
+        result.level = 1;
+        total_cycles_ += result.latency;
+        return result;
+    }
+
+    if (l2_) {
+        if (l2_->access(addr, store).hit) {
+            result.latency = config_.l1_latency + config_.l2_latency;
+            result.level = 2;
+            total_cycles_ += result.latency;
+            return result;
+        }
+    }
+
+    // Main-memory access; check the stream prefetcher first.
+    bool prefetched = false;
+    if (config_.linear_prefetch && kind != RefKind::IFetch) {
+        if (last_miss_addr_ != invalid_addr) {
+            const std::int64_t stride =
+                static_cast<std::int64_t>(addr) -
+                static_cast<std::int64_t>(last_miss_addr_);
+            if (stride == last_stride_ && stride != 0 &&
+                std::llabs(stride) <=
+                    static_cast<std::int64_t>(config_.prefetch_max_stride))
+                prefetched = true;
+            last_stride_ = stride;
+        }
+        last_miss_addr_ = addr;
+    }
+
+    if (prefetched) {
+        // The prefetch unit already fetched the line; pay only the
+        // cache-fill pipeline cost.
+        result.latency =
+            config_.l1_latency + (l2_ ? config_.l2_latency : 0);
+        result.level = 0;
+        prefetch_hits_.inc();
+    } else {
+        result.latency = config_.l1_latency +
+                         (l2_ ? config_.l2_latency : 0) + memory_cycles_;
+        result.level = 3;
+    }
+    total_cycles_ += result.latency;
+    return result;
+}
+
+double
+MemoryHierarchy::meanLatency() const
+{
+    return total_accesses_
+        ? static_cast<double>(total_cycles_) /
+              static_cast<double>(total_accesses_)
+        : 0.0;
+}
+
+double
+MemoryHierarchy::meanLatencyNs() const
+{
+    return meanLatency() * 1000.0 / config_.freq_mhz;
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    l1i_.resetStats();
+    l1d_.resetStats();
+    if (l2_)
+        l2_->resetStats();
+    total_cycles_ = 0;
+    total_accesses_ = 0;
+    prefetch_hits_.reset();
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    if (l2_)
+        l2_->flush();
+    last_miss_addr_ = invalid_addr;
+    last_stride_ = 0;
+}
+
+} // namespace memwall

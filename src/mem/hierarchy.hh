@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Conventional multi-level memory-hierarchy timing model.
+ *
+ * Used three ways:
+ *  - the SS-5 and SS-10/61 machine models behind Table 1 / Figure 2;
+ *  - the "reference system" of Section 5.5 (16 KB split L1,
+ *    256 KB unified L2, dual-banked main memory);
+ *  - the conventional comparison caches in Figures 7 and 8.
+ *
+ * Each access walks L1 -> optional L2 -> memory and returns the
+ * latency in CPU cycles. An optional linear-stride prefetcher models
+ * the SS-10's prefetch unit (paper footnote 2), which hides the
+ * memory access time for small linear strides.
+ */
+
+#ifndef MEMWALL_MEM_HIERARCHY_HH
+#define MEMWALL_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+
+namespace memwall {
+
+/** Kind of memory reference presented to a hierarchy. */
+enum class RefKind { IFetch, Load, Store };
+
+/** Full machine description for a conventional hierarchy. */
+struct HierarchyConfig
+{
+    std::string name = "machine";
+    /** Core clock, MHz (latencies are reported in this clock). */
+    double freq_mhz = 200.0;
+    /**
+     * Mean instructions issued per cycle when nothing stalls
+     * (superscalar factor; the SuperSparc of the SS-10 is a 3-issue
+     * core that averages ~1.4 on integer code, the MicroSparc-II
+     * and the proposed device are single-issue).
+     */
+    double issue_width = 1.0;
+
+    CacheConfig l1i;
+    CacheConfig l1d;
+    Cycles l1_latency = 1;
+
+    bool has_l2 = false;
+    CacheConfig l2;
+    Cycles l2_latency = 6;
+
+    /** Main-memory access time in nanoseconds. */
+    double memory_ns = 150.0;
+
+    /**
+     * Model a simple hardware prefetch unit that hides main-memory
+     * latency for small, linear strides (the SS-10 behaviour in
+     * Figure 2's footnote).
+     */
+    bool linear_prefetch = false;
+    /** Largest stride (bytes) the prefetcher recognises. */
+    std::uint32_t prefetch_max_stride = 64;
+
+    /** @return main-memory latency in CPU cycles. */
+    Cycles memoryCycles() const;
+
+    /** SparcStation 5 (85 MHz MicroSparc-II, no L2, fast memory). */
+    static HierarchyConfig ss5();
+    /** SparcStation 10/61 (SuperSparc, 1 MB L2, slower memory). */
+    static HierarchyConfig ss10();
+    /**
+     * The Section 5.5 reference system: 200 MHz, 16 KB split L1,
+     * 256 KB unified L2, main memory @p memory_ns away.
+     */
+    static HierarchyConfig reference(double memory_ns = 150.0,
+                                     Cycles l2_latency = 6);
+};
+
+/** Latency and service level of one hierarchy access. */
+struct HierarchyResult
+{
+    Cycles latency = 0;
+    /** 1 = L1, 2 = L2, 3 = memory, 0 = prefetched. */
+    int level = 0;
+};
+
+/** Walking timing model over Cache tag arrays. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(HierarchyConfig config);
+
+    /** Simulate one reference; returns its latency. */
+    HierarchyResult access(RefKind kind, Addr addr);
+
+    const HierarchyConfig &config() const { return config_; }
+    const AccessStats &l1iStats() const { return l1i_.stats(); }
+    const AccessStats &l1dStats() const { return l1d_.stats(); }
+    const AccessStats &l2Stats() const { return l2_->stats(); }
+    bool hasL2() const { return l2_ != nullptr; }
+
+    /** Total cycles accumulated over all accesses. */
+    std::uint64_t totalCycles() const { return total_cycles_; }
+    /** Number of accesses simulated. */
+    std::uint64_t totalAccesses() const { return total_accesses_; }
+    /** Mean access latency in cycles. */
+    double meanLatency() const;
+    /** Mean access latency in nanoseconds. */
+    double meanLatencyNs() const;
+
+    void resetStats();
+    void flush();
+
+  private:
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    std::unique_ptr<Cache> l2_;
+    Cycles memory_cycles_;
+
+    // Linear-prefetch stream detector state.
+    Addr last_miss_addr_ = invalid_addr;
+    std::int64_t last_stride_ = 0;
+
+    std::uint64_t total_cycles_ = 0;
+    std::uint64_t total_accesses_ = 0;
+    Counter prefetch_hits_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_MEM_HIERARCHY_HH

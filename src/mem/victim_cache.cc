@@ -1,0 +1,92 @@
+#include "mem/victim_cache.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+VictimCache::VictimCache(VictimCacheConfig config)
+    : config_(config), entries_(config.entries)
+{
+    if (config_.entries == 0)
+        MW_FATAL("victim cache needs at least one entry");
+    if (!isPowerOfTwo(config_.line_size))
+        MW_FATAL("victim cache line size must be a power of two");
+}
+
+bool
+VictimCache::access(Addr addr, bool store)
+{
+    const Addr block = blockAddr(addr);
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.block == block) {
+            entry.lru = ++lru_clock_;
+            if (store)
+                stats_.store_hits.inc();
+            else
+                stats_.load_hits.inc();
+            return true;
+        }
+    }
+    if (store)
+        stats_.store_misses.inc();
+    else
+        stats_.load_misses.inc();
+    return false;
+}
+
+bool
+VictimCache::probe(Addr addr) const
+{
+    const Addr block = blockAddr(addr);
+    for (const auto &entry : entries_)
+        if (entry.valid && entry.block == block)
+            return true;
+    return false;
+}
+
+void
+VictimCache::insert(Addr addr)
+{
+    const Addr block = blockAddr(addr);
+    Entry *victim = nullptr;
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.block == block) {
+            // Already present; treat the insert as a refresh.
+            entry.lru = ++lru_clock_;
+            return;
+        }
+        if (!entry.valid && !victim)
+            victim = &entry;
+    }
+    if (!victim) {
+        victim = &entries_[0];
+        for (auto &entry : entries_)
+            if (entry.lru < victim->lru)
+                victim = &entry;
+    }
+    victim->valid = true;
+    victim->block = block;
+    victim->lru = ++lru_clock_;
+}
+
+bool
+VictimCache::invalidate(Addr addr)
+{
+    const Addr block = blockAddr(addr);
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.block == block) {
+            entry.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VictimCache::flush()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace memwall

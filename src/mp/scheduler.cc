@@ -1,0 +1,176 @@
+#include "mp/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+void
+SimContext::advance(Cycles cycles)
+{
+    sched_->advance(cpu_, cycles);
+}
+
+Tick
+SimContext::now() const
+{
+    return sched_->timeOf(cpu_);
+}
+
+MpScheduler::MpScheduler(unsigned ncpus, Tick quantum)
+    : ncpus_(ncpus), quantum_(quantum), cvs_(ncpus),
+      time_(ncpus, 0), state_(ncpus, State::Finished)
+{
+    MW_ASSERT(ncpus_ >= 1, "need at least one cpu");
+}
+
+MpScheduler::~MpScheduler() = default;
+
+int
+MpScheduler::minRunnable() const
+{
+    int best = -1;
+    for (unsigned i = 0; i < ncpus_; ++i) {
+        if (state_[i] != State::Runnable)
+            continue;
+        if (best < 0 || time_[i] < time_[best])
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+MpScheduler::transferToken()
+{
+    const int next = minRunnable();
+    running_cpu_ = next;
+    if (next >= 0)
+        cvs_[next].notify_one();
+}
+
+void
+MpScheduler::waitForToken(std::unique_lock<std::mutex> &lock,
+                          unsigned cpu)
+{
+    cvs_[cpu].wait(lock, [&] {
+        return running_cpu_ == static_cast<int>(cpu);
+    });
+}
+
+void
+MpScheduler::advance(unsigned cpu, Cycles cycles)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    MW_ASSERT(cpu < ncpus_, "bad cpu id");
+    MW_ASSERT(running_cpu_ == static_cast<int>(cpu),
+              "advance without the execution token");
+    time_[cpu] += cycles;
+
+    // Keep the token while within the skew quantum of the slowest
+    // runnable peer.
+    const int min = minRunnable();
+    if (min < 0 || min == static_cast<int>(cpu) ||
+        time_[cpu] <= time_[min] + quantum_)
+        return;
+    transferToken();
+    waitForToken(lock, cpu);
+}
+
+Tick
+MpScheduler::timeOf(unsigned cpu) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    MW_ASSERT(cpu < ncpus_, "bad cpu id");
+    return time_[cpu];
+}
+
+void
+MpScheduler::block(unsigned cpu)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    MW_ASSERT(running_cpu_ == static_cast<int>(cpu),
+              "block without the execution token");
+    state_[cpu] = State::Blocked;
+    if (minRunnable() < 0)
+        MW_PANIC("MP workload deadlock: cpu ", cpu,
+                 " blocked and no peer is runnable");
+    transferToken();
+    // Wait until someone unblocks us AND the token reaches us.
+    cvs_[cpu].wait(lock, [&] {
+        return running_cpu_ == static_cast<int>(cpu) &&
+               state_[cpu] == State::Runnable;
+    });
+}
+
+void
+MpScheduler::unblock(unsigned cpu, Tick at)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    MW_ASSERT(state_[cpu] == State::Blocked,
+              "unblocking a cpu that is not blocked");
+    time_[cpu] = std::max(time_[cpu], at);
+    state_[cpu] = State::Runnable;
+    // No token transfer: the caller continues; the woken CPU gets
+    // the token at the caller's next yield point.
+}
+
+Tick
+MpScheduler::run(const std::function<void(SimContext &)> &body)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        MW_ASSERT(!running_, "scheduler already running");
+        running_ = true;
+        std::fill(time_.begin(), time_.end(), 0);
+        std::fill(state_.begin(), state_.end(), State::Runnable);
+        running_cpu_ = -1;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(ncpus_);
+    for (unsigned cpu = 0; cpu < ncpus_; ++cpu) {
+        threads.emplace_back([this, cpu, &body] {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                waitForToken(lock, cpu);
+            }
+            SimContext ctx(*this, cpu);
+            body(ctx);
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                state_[cpu] = State::Finished;
+                transferToken();
+            }
+        });
+    }
+    // Hand the token to the first CPU.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        transferToken();
+    }
+    for (auto &t : threads)
+        t.join();
+
+    Tick makespan = 0;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        running_ = false;
+        for (unsigned i = 0; i < ncpus_; ++i) {
+            MW_ASSERT(state_[i] == State::Finished,
+                      "cpu ", i, " did not finish");
+            makespan = std::max(makespan, time_[i]);
+        }
+    }
+    return makespan;
+}
+
+Tick
+MpScheduler::cpuTime(unsigned cpu) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    MW_ASSERT(cpu < ncpus_, "bad cpu id");
+    return time_[cpu];
+}
+
+} // namespace memwall

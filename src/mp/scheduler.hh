@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic execution-driven multiprocessor scheduler.
+ *
+ * The CacheMire-replacement (see DESIGN.md): SPLASH kernels run as
+ * real C++ code on one host thread per simulated CPU, but exactly
+ * ONE simulated CPU executes at any instant — an explicit ownership
+ * token is handed from CPU to CPU, so simulated machine state needs
+ * no locking. Every simulated memory access charges its latency via
+ * advance(); when a CPU runs more than a bounded quantum ahead of
+ * the slowest runnable CPU, the token moves on. Scheduling is a
+ * pure function of the virtual timeline, so runs are deterministic
+ * regardless of host thread scheduling; the quantum bounds the
+ * timing skew between interacting CPUs (quantum 0 = exact
+ * lowest-time-first interleaving).
+ */
+
+#ifndef MEMWALL_MP_SCHEDULER_HH
+#define MEMWALL_MP_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memwall {
+
+class MpScheduler;
+
+/** Handle the workload body uses to interact with simulated time. */
+class SimContext
+{
+  public:
+    SimContext(MpScheduler &sched, unsigned cpu)
+        : sched_(&sched), cpu_(cpu)
+    {
+    }
+
+    /** Simulated CPU id (0-based). */
+    unsigned cpuId() const { return cpu_; }
+
+    /** Charge @p cycles of virtual time (may switch CPUs). */
+    void advance(Cycles cycles);
+
+    /** Current virtual time of this CPU. */
+    Tick now() const;
+
+    MpScheduler &scheduler() { return *sched_; }
+
+  private:
+    MpScheduler *sched_;
+    unsigned cpu_;
+};
+
+/**
+ * Lowest-virtual-time-first scheduler over real threads with a
+ * bounded-skew quantum.
+ */
+class MpScheduler
+{
+  public:
+    /**
+     * @param ncpus   simulated processors
+     * @param quantum cycles a CPU may run ahead of the slowest
+     *                runnable CPU before yielding (0 = exact)
+     */
+    explicit MpScheduler(unsigned ncpus, Tick quantum = 64);
+    ~MpScheduler();
+
+    MpScheduler(const MpScheduler &) = delete;
+    MpScheduler &operator=(const MpScheduler &) = delete;
+
+    /**
+     * Run @p body once per CPU to completion.
+     * @return the makespan (max final virtual time).
+     */
+    Tick run(const std::function<void(SimContext &)> &body);
+
+    unsigned ncpus() const { return ncpus_; }
+    Tick quantum() const { return quantum_; }
+
+    /** Final virtual time of @p cpu after run(). */
+    Tick cpuTime(unsigned cpu) const;
+
+    // --- Interface for SimContext and the sync primitives ----------
+
+    /** Charge time to @p cpu; yields when too far ahead. */
+    void advance(unsigned cpu, Cycles cycles);
+
+    /** Current virtual time of @p cpu. */
+    Tick timeOf(unsigned cpu) const;
+
+    /**
+     * Block the calling CPU until another CPU calls unblock() on
+     * it. Must be called from @p cpu's own thread while it holds
+     * the execution token.
+     */
+    void block(unsigned cpu);
+
+    /**
+     * Mark @p cpu runnable again with its clock advanced to at
+     * least @p at. The caller KEEPS the execution token; the woken
+     * CPU runs when the token next reaches it.
+     */
+    void unblock(unsigned cpu, Tick at);
+
+  private:
+    enum class State { Runnable, Blocked, Finished };
+
+    /** Index of the minimum-time runnable CPU, or -1. */
+    int minRunnable() const;
+    /** Hand the token to the minimum-time runnable CPU. */
+    void transferToken();
+    void waitForToken(std::unique_lock<std::mutex> &lock,
+                      unsigned cpu);
+
+    unsigned ncpus_;
+    Tick quantum_;
+    mutable std::mutex mutex_;
+    std::vector<std::condition_variable> cvs_;
+    std::vector<Tick> time_;
+    std::vector<State> state_;
+    /** CPU currently holding the execution token, or -1. */
+    int running_cpu_ = -1;
+    bool running_ = false;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_MP_SCHEDULER_HH

@@ -1,0 +1,25 @@
+#include "mp/shared.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+MpRuntime::MpRuntime(unsigned ncpus, NumaConfig machine_config)
+    : sched_(ncpus), machine_(machine_config)
+{
+    MW_ASSERT(ncpus <= machine_config.nodes,
+              "more cpus than machine nodes");
+}
+
+Addr
+MpRuntime::allocate(std::uint64_t bytes, const std::string &name)
+{
+    const std::uint64_t page = machine_.config().page_bytes;
+    const Addr base = next_addr_;
+    next_addr_ += (bytes + page - 1) / page * page;
+    MW_VERBOSE("alloc ", name, ": ", bytes, " bytes at 0x", std::hex,
+               base, std::dec);
+    return base;
+}
+
+} // namespace memwall

@@ -1,0 +1,87 @@
+#include "mp/sync.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+SimBarrier::SimBarrier(unsigned parties, SyncCosts costs)
+    : parties_(parties), costs_(costs)
+{
+    MW_ASSERT(parties_ >= 1, "barrier needs at least one party");
+}
+
+void
+SimBarrier::wait(SimContext &ctx)
+{
+    MpScheduler &sched = ctx.scheduler();
+    const unsigned cpu = ctx.cpuId();
+
+    // Note: the scheduler serialises simulated CPUs, so this state
+    // is only ever touched by one thread at a time.
+    max_arrival_ = std::max(max_arrival_, ctx.now());
+    ++arrived_;
+    if (arrived_ < parties_) {
+        waiters_.push_back(cpu);
+        sched.block(cpu);
+        return;  // released by the last arriver, clock already set
+    }
+    // Last arriver: release everyone at the common leave time.
+    const Tick leave = max_arrival_ + costs_.barrier;
+    for (unsigned waiter : waiters_)
+        sched.unblock(waiter, leave);
+    waiters_.clear();
+    arrived_ = 0;
+    max_arrival_ = 0;
+    ++episodes_;
+    // Charge the last arriver up to the leave time as well.
+    const Tick now = ctx.now();
+    ctx.advance(leave > now ? leave - now : 0);
+}
+
+SimLock::SimLock(SyncCosts costs) : costs_(costs)
+{
+}
+
+void
+SimLock::acquire(SimContext &ctx)
+{
+    MpScheduler &sched = ctx.scheduler();
+    const unsigned cpu = ctx.cpuId();
+    ++acquisitions_;
+
+    if (!held_) {
+        held_ = true;
+        holder_ = static_cast<int>(cpu);
+        ctx.advance(costs_.lock_acquire);
+        return;
+    }
+    // Contended: queue in deterministic arrival order.
+    ++contended_;
+    queue_.push_back(cpu);
+    sched.block(cpu);
+    // When unblocked we own the lock and the clock has been set by
+    // release().
+}
+
+void
+SimLock::release(SimContext &ctx)
+{
+    MW_ASSERT(held_ && holder_ == static_cast<int>(ctx.cpuId()),
+              "release by non-holder cpu ", ctx.cpuId());
+    ctx.advance(costs_.lock_release);
+    release_time_ = ctx.now();
+    if (queue_.empty()) {
+        held_ = false;
+        holder_ = -1;
+        return;
+    }
+    const unsigned next = queue_.front();
+    queue_.pop_front();
+    holder_ = static_cast<int>(next);
+    ctx.scheduler().unblock(next,
+                            release_time_ + costs_.lock_handoff);
+}
+
+} // namespace memwall

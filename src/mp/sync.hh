@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulated synchronisation primitives.
+ *
+ * Deterministic barrier and FIFO lock over the virtual-time
+ * scheduler. Costs are explicit parameters: synchronisation in the
+ * modelled machine rides the same fabric as coherence traffic, so
+ * the defaults charge one invalidation-class round trip (Table 6)
+ * per operation.
+ */
+
+#ifndef MEMWALL_MP_SYNC_HH
+#define MEMWALL_MP_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mp/scheduler.hh"
+
+namespace memwall {
+
+/** Cost knobs for the simulated primitives. */
+struct SyncCosts
+{
+    /** Cycles charged to each participant of a barrier episode. */
+    Cycles barrier = 80;
+    /** Cycles to acquire an uncontended lock. */
+    Cycles lock_acquire = 80;
+    /** Cycles to hand a contended lock to the next waiter. */
+    Cycles lock_handoff = 80;
+    /** Cycles to release a lock. */
+    Cycles lock_release = 1;
+};
+
+/**
+ * All-arrive / all-leave barrier: every participant leaves at
+ * max(arrival times) + cost.
+ */
+class SimBarrier
+{
+  public:
+    SimBarrier(unsigned parties, SyncCosts costs = {});
+
+    /** Enter the barrier; returns when all parties have arrived. */
+    void wait(SimContext &ctx);
+
+    /** Completed barrier episodes. */
+    std::uint64_t episodes() const { return episodes_; }
+
+  private:
+    unsigned parties_;
+    SyncCosts costs_;
+    unsigned arrived_ = 0;
+    Tick max_arrival_ = 0;
+    std::vector<unsigned> waiters_;
+    std::uint64_t episodes_ = 0;
+};
+
+/**
+ * FIFO mutex in virtual time. The queue order is the order of
+ * acquire() calls in the deterministic schedule.
+ */
+class SimLock
+{
+  public:
+    explicit SimLock(SyncCosts costs = {});
+
+    void acquire(SimContext &ctx);
+    void release(SimContext &ctx);
+
+    std::uint64_t acquisitions() const { return acquisitions_; }
+    std::uint64_t contended() const { return contended_; }
+
+  private:
+    SyncCosts costs_;
+    bool held_ = false;
+    int holder_ = -1;
+    Tick release_time_ = 0;
+    std::deque<unsigned> queue_;
+    std::uint64_t acquisitions_ = 0;
+    std::uint64_t contended_ = 0;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_MP_SYNC_HH

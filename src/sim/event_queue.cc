@@ -1,0 +1,93 @@
+#include "sim/event_queue.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+EventQueue::~EventQueue()
+{
+    while (!heap_.empty()) {
+        delete heap_.top();
+        heap_.pop();
+    }
+}
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    MW_ASSERT(when >= now_, "cannot schedule event in the past (when=",
+              when, " now=", now_, ")");
+    auto *entry = new Entry{when, static_cast<int>(prio), next_seq_++,
+                            std::move(cb)};
+    heap_.push(entry);
+    return entry->seq;
+}
+
+bool
+EventQueue::deschedule(std::uint64_t ticket)
+{
+    // Lazy deletion: mark the entry cancelled; it is dropped when it
+    // reaches the top of the heap. A linear scan of the heap's
+    // container would break the heap property, so we track tickets.
+    // The heap entries are owned by the queue; we find the entry by
+    // scanning only when necessary — cheap because cancellations are
+    // rare in our models.
+    std::vector<Entry *> spill;
+    bool found = false;
+    while (!heap_.empty()) {
+        Entry *top = heap_.top();
+        heap_.pop();
+        if (top->seq == ticket && !top->cancelled) {
+            top->cancelled = true;
+            found = true;
+            spill.push_back(top);
+            break;
+        }
+        spill.push_back(top);
+    }
+    for (auto *e : spill)
+        heap_.push(e);
+    return found;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry *top = heap_.top();
+        heap_.pop();
+        if (top->cancelled) {
+            delete top;
+            continue;
+        }
+        MW_ASSERT(top->when >= now_, "event queue time went backwards");
+        now_ = top->when;
+        ++executed_;
+        Callback cb = std::move(top->cb);
+        delete top;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run(Tick limit)
+{
+    while (!heap_.empty() && heap_.top()->when <= limit) {
+        if (!step())
+            break;
+    }
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    run(when);
+    if (when > now_)
+        now_ = when;
+}
+
+} // namespace memwall

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel.
+ *
+ * The DRAM timing model, the interconnect fabric and the
+ * multiprocessor machine all advance simulated time by scheduling
+ * callbacks on an EventQueue. Events at the same tick fire in
+ * (priority, insertion order), which keeps runs deterministic.
+ */
+
+#ifndef MEMWALL_SIM_EVENT_QUEUE_HH
+#define MEMWALL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memwall {
+
+/** Scheduling priority; lower values fire first within a tick. */
+enum class EventPriority : int {
+    High = 0,
+    Default = 50,
+    Low = 100,
+};
+
+/**
+ * Time-ordered queue of callbacks.
+ *
+ * Not thread-safe; each simulated machine owns exactly one queue.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule @p cb at absolute time @p when (>= now).
+     * @return a ticket usable with deschedule().
+     */
+    std::uint64_t schedule(Tick when, Callback cb,
+                           EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    std::uint64_t
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(now_ + delta, std::move(cb), prio);
+    }
+
+    /** Cancel a pending event; returns false if already fired/unknown. */
+    bool deschedule(std::uint64_t ticket);
+
+    /** Run a single event; returns false if the queue is empty. */
+    bool step();
+
+    /** Run until the queue drains or @p limit is reached. */
+    void run(Tick limit = max_tick);
+
+    /**
+     * Advance simulated time to @p when without running events
+     * scheduled later; events up to @p when fire first.
+     */
+    void advanceTo(Tick when);
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct Order
+    {
+        bool
+        operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->prio != b->prio)
+                return a->prio > b->prio;
+            return a->seq > b->seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry *, std::vector<Entry *>, Order> heap_;
+    std::vector<Entry *> cancelled_;
+
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_SIM_EVENT_QUEUE_HH

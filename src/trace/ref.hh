@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory-reference stream abstractions.
+ *
+ * All uniprocessor evaluation front ends — the synthetic workload
+ * proxies, the stride walker and the MW32 interpreter — produce
+ * streams of MemRef records; all cache/hierarchy models consume
+ * them. This mirrors the paper's methodology of driving cache models
+ * from Shade-generated reference streams.
+ */
+
+#ifndef MEMWALL_TRACE_REF_HH
+#define MEMWALL_TRACE_REF_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace memwall {
+
+/** Kind of a memory reference. */
+enum class RefType : std::uint8_t {
+    IFetch = 0,
+    Load = 1,
+    Store = 2,
+};
+
+/** One memory reference. */
+struct MemRef
+{
+    /** Program counter of the referencing instruction. */
+    Addr pc = 0;
+    /** Effective address (equals pc for instruction fetches). */
+    Addr addr = 0;
+    /** Access size in bytes. */
+    std::uint8_t size = 4;
+    /** Reference kind. */
+    RefType type = RefType::IFetch;
+
+    static MemRef
+    fetch(Addr pc)
+    {
+        return MemRef{pc, pc, 4, RefType::IFetch};
+    }
+    static MemRef
+    load(Addr pc, Addr addr, std::uint8_t size = 4)
+    {
+        return MemRef{pc, addr, size, RefType::Load};
+    }
+    static MemRef
+    store(Addr pc, Addr addr, std::uint8_t size = 4)
+    {
+        return MemRef{pc, addr, size, RefType::Store};
+    }
+
+    bool operator==(const MemRef &) const = default;
+};
+
+/** Consumer callback for generated reference streams. */
+using RefSink = std::function<void(const MemRef &)>;
+
+/**
+ * Interface for anything that can replay a reference stream into a
+ * sink: workload proxies, captured traces, the interpreter.
+ */
+class RefSource
+{
+  public:
+    virtual ~RefSource() = default;
+
+    /**
+     * Generate up to @p max_refs references into @p sink.
+     * @return the number of references produced (less than
+     *         @p max_refs only if the source is exhausted).
+     */
+    virtual std::uint64_t generate(std::uint64_t max_refs,
+                                   const RefSink &sink) = 0;
+
+    /** Restart the stream from the beginning. */
+    virtual void reset() = 0;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_TRACE_REF_HH

@@ -1,0 +1,109 @@
+#include "trace/relayout.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+namespace {
+
+/** Cache sets (as a bitmask) touched by [base, base+length). */
+std::uint64_t
+setMask(Addr base, std::uint32_t length,
+        const RelayoutConfig &config)
+{
+    const std::uint64_t sets = config.way_bytes / config.line_bytes;
+    MW_ASSERT(sets <= 64, "relayout supports up to 64 sets");
+    std::uint64_t mask = 0;
+    const Addr first = base / config.line_bytes;
+    const Addr last = (base + length - 1) / config.line_bytes;
+    for (Addr line = first; line <= last; ++line)
+        mask |= 1ull << (line % sets);
+    return mask;
+}
+
+} // namespace
+
+bool
+routinesConflict(const CodeRoutine &a, const CodeRoutine &b,
+                 const RelayoutConfig &config)
+{
+    return (setMask(a.base, a.length, config) &
+            setMask(b.base, b.length, config)) != 0;
+}
+
+SyntheticSpec
+relayoutCode(const SyntheticSpec &spec, const RelayoutConfig &config)
+{
+    SyntheticSpec out = spec;
+    const std::size_t n = out.routines.size();
+    if (n == 0)
+        return out;
+
+    // Profile-guided placement order: hottest (weight x length)
+    // first, so the dominant code claims conflict-free ground.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                         const auto &a = spec.routines[x];
+                         const auto &b = spec.routines[y];
+                         return a.weight * a.length >
+                                b.weight * b.length;
+                     });
+
+    Addr cursor = config.code_base;
+    std::vector<bool> placed(n, false);
+
+    auto place = [&](std::size_t idx, std::uint64_t avoid_mask) {
+        CodeRoutine &r = out.routines[idx];
+        Addr base = cursor;
+        // Pad forward until the routine's set footprint avoids the
+        // mask (give up after a full wrap: footprints too large).
+        const std::uint64_t sets =
+            config.way_bytes / config.line_bytes;
+        for (std::uint64_t tries = 0; tries <= sets; ++tries) {
+            if ((setMask(base, r.length, config) & avoid_mask) == 0)
+                break;
+            base += config.line_bytes;
+        }
+        r.base = base;
+        placed[idx] = true;
+        cursor = base + ((r.length + 3) / 4) * 4;
+        // Keep 4-byte alignment.
+        cursor = (cursor + 3) & ~Addr{3};
+    };
+
+    for (std::size_t idx : order) {
+        if (placed[idx])
+            continue;
+        place(idx, 0);
+        // Immediately co-place any callee/caller partners so the
+        // pair is guaranteed disjoint.
+        const int callee = out.routines[idx].call_target;
+        if (callee >= 0 &&
+            !placed[static_cast<std::size_t>(callee)]) {
+            place(static_cast<std::size_t>(callee),
+                  setMask(out.routines[idx].base,
+                          out.routines[idx].length, config));
+        }
+        // If this routine is itself a callee of an unplaced caller,
+        // nothing to do — the caller will be placed later and only
+        // pairs placed together need the guarantee; handle the
+        // reverse direction too for completeness.
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!placed[j] &&
+                out.routines[j].call_target ==
+                    static_cast<int>(idx)) {
+                place(j, setMask(out.routines[idx].base,
+                                 out.routines[idx].length, config));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace memwall

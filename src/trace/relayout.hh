@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Conflict-avoiding code re-layout (the 125.turb3d remedy).
+ *
+ * Section 5.2: turb3d's extra misses are "an artifact of the reduced
+ * number of cache lines, but can be removed by a code profiler
+ * noting the subroutine being called by the loop — the respective
+ * loop and function code can then be re-laid by the compiler or
+ * linker to avoid the conflict."
+ *
+ * relayoutCode() is that linker pass for workload proxies: it keeps
+ * every routine's size and call structure but reassigns base
+ * addresses so that hot caller/callee pairs never share a cache set
+ * of the target instruction cache.
+ */
+
+#ifndef MEMWALL_TRACE_RELAYOUT_HH
+#define MEMWALL_TRACE_RELAYOUT_HH
+
+#include <cstdint>
+
+#include "trace/synthetic.hh"
+
+namespace memwall {
+
+/** Target I-cache geometry for the layout pass. */
+struct RelayoutConfig
+{
+    /** Way size of the target cache (capacity for direct-mapped). */
+    std::uint64_t way_bytes = 8 * KiB;
+    /** Line (set) granularity. */
+    std::uint32_t line_bytes = 512;
+    /** First byte of the code segment. */
+    Addr code_base = 0x00400000;
+};
+
+/**
+ * Re-place the routines of @p spec. Routines are packed in
+ * descending weight x length order (hot code first, like a
+ * profile-guided linker); whenever a routine calls another, the
+ * callee is padded forward until the pair's cache-set footprints
+ * are disjoint modulo the way size (when their combined size
+ * permits).
+ *
+ * @return the re-laid spec (streams and parameters untouched).
+ */
+SyntheticSpec relayoutCode(const SyntheticSpec &spec,
+                           const RelayoutConfig &config = {});
+
+/**
+ * @return true iff routines @p a and @p b of @p spec share at least
+ * one cache set of the @p config geometry (the conflict predicate
+ * the pass eliminates for call pairs).
+ */
+bool routinesConflict(const CodeRoutine &a, const CodeRoutine &b,
+                      const RelayoutConfig &config = {});
+
+} // namespace memwall
+
+#endif // MEMWALL_TRACE_RELAYOUT_HH

@@ -1,0 +1,35 @@
+#include "trace/stride_walker.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+StrideWalker::StrideWalker(Addr base, std::uint64_t array_bytes,
+                           std::uint32_t stride)
+    : base_(base), array_bytes_(array_bytes), stride_(stride)
+{
+    if (stride_ == 0)
+        MW_FATAL("stride walker stride must be non-zero");
+    if (array_bytes_ < stride_)
+        MW_FATAL("stride walker array smaller than one stride");
+}
+
+std::uint64_t
+StrideWalker::generate(std::uint64_t max_refs, const RefSink &sink)
+{
+    for (std::uint64_t i = 0; i < max_refs; ++i) {
+        sink(MemRef::load(/*pc=*/0x1000, base_ + offset_, 4));
+        offset_ += stride_;
+        if (offset_ >= array_bytes_)
+            offset_ -= array_bytes_;
+    }
+    return max_refs;
+}
+
+void
+StrideWalker::reset()
+{
+    offset_ = 0;
+}
+
+} // namespace memwall

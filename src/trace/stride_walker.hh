@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The Figure 2 microbenchmark: walk arrays of various sizes with
+ * various strides to expose the latency of each level of a memory
+ * hierarchy (the classic lmbench-style "memory mountain").
+ */
+
+#ifndef MEMWALL_TRACE_STRIDE_WALKER_HH
+#define MEMWALL_TRACE_STRIDE_WALKER_HH
+
+#include <cstdint>
+
+#include "trace/ref.hh"
+
+namespace memwall {
+
+/**
+ * Generates a load stream that repeatedly walks an @p array_bytes
+ * array with a fixed @p stride, wrapping at the end, exactly like
+ * the pointer-walk loops used to produce Figure 2.
+ */
+class StrideWalker : public RefSource
+{
+  public:
+    /**
+     * @param base        first byte of the array
+     * @param array_bytes array size (walk wraps here)
+     * @param stride      bytes between consecutive accesses
+     */
+    StrideWalker(Addr base, std::uint64_t array_bytes,
+                 std::uint32_t stride);
+
+    std::uint64_t generate(std::uint64_t max_refs,
+                           const RefSink &sink) override;
+    void reset() override;
+
+  private:
+    Addr base_;
+    std::uint64_t array_bytes_;
+    std::uint32_t stride_;
+    std::uint64_t offset_ = 0;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_TRACE_STRIDE_WALKER_HH

@@ -1,0 +1,113 @@
+#include "trace/trace_file.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+namespace {
+
+constexpr char magic[4] = {'M', 'W', 'T', 'R'};
+constexpr std::uint32_t version = 1;
+
+struct FileRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint8_t size;
+    std::uint8_t type;
+    std::uint8_t pad[6];
+};
+static_assert(sizeof(FileRecord) == 24, "trace record layout");
+
+} // namespace
+
+std::uint64_t
+TraceBuffer::generate(std::uint64_t max_refs, const RefSink &out)
+{
+    std::uint64_t emitted = 0;
+    while (emitted < max_refs && position_ < refs_.size()) {
+        out(refs_[position_++]);
+        ++emitted;
+    }
+    return emitted;
+}
+
+void
+TraceBuffer::clear()
+{
+    refs_.clear();
+    position_ = 0;
+}
+
+bool
+TraceBuffer::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os.write(magic, sizeof(magic));
+    const std::uint32_t ver = version;
+    os.write(reinterpret_cast<const char *>(&ver), sizeof(ver));
+    const std::uint64_t count = refs_.size();
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const MemRef &ref : refs_) {
+        FileRecord rec{};
+        rec.pc = ref.pc;
+        rec.addr = ref.addr;
+        rec.size = ref.size;
+        rec.type = static_cast<std::uint8_t>(ref.type);
+        os.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+TraceBuffer::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    char m[4];
+    is.read(m, sizeof(m));
+    if (!is || std::memcmp(m, magic, sizeof(magic)) != 0) {
+        MW_WARN("'", path, "' is not a MWTR trace file");
+        return false;
+    }
+    std::uint32_t ver = 0;
+    is.read(reinterpret_cast<char *>(&ver), sizeof(ver));
+    if (!is || ver != version) {
+        MW_WARN("'", path, "' has unsupported trace version ", ver);
+        return false;
+    }
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is)
+        return false;
+    refs_.clear();
+    refs_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        FileRecord rec{};
+        is.read(reinterpret_cast<char *>(&rec), sizeof(rec));
+        if (!is)
+            return false;
+        MemRef ref;
+        ref.pc = rec.pc;
+        ref.addr = rec.addr;
+        ref.size = rec.size;
+        if (rec.type > static_cast<std::uint8_t>(RefType::Store)) {
+            MW_WARN("'", path, "' contains a corrupt record");
+            return false;
+        }
+        ref.type = static_cast<RefType>(rec.type);
+        refs_.push_back(ref);
+    }
+    position_ = 0;
+    return true;
+}
+
+} // namespace memwall

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Capture and replay of reference streams.
+ *
+ * A TraceBuffer records MemRefs in memory and can replay them as a
+ * RefSource; save()/load() use a compact binary format so traces can
+ * be exchanged between tools (e.g. capture once from the MW32
+ * interpreter, replay into many cache configurations).
+ */
+
+#ifndef MEMWALL_TRACE_TRACE_FILE_HH
+#define MEMWALL_TRACE_TRACE_FILE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/ref.hh"
+
+namespace memwall {
+
+/** In-memory reference trace, recordable and replayable. */
+class TraceBuffer : public RefSource
+{
+  public:
+    TraceBuffer() = default;
+
+    /** Append one reference. */
+    void record(const MemRef &ref) { refs_.push_back(ref); }
+
+    /** @return a sink that appends to this buffer. */
+    RefSink sink()
+    {
+        return [this](const MemRef &r) { record(r); };
+    }
+
+    std::uint64_t generate(std::uint64_t max_refs,
+                           const RefSink &out) override;
+    void reset() override { position_ = 0; }
+
+    std::size_t size() const { return refs_.size(); }
+    bool empty() const { return refs_.empty(); }
+    const MemRef &operator[](std::size_t i) const { return refs_[i]; }
+    void clear();
+
+    /**
+     * Write the trace to @p path in the MWTR binary format.
+     * @return false on I/O failure.
+     */
+    bool save(const std::string &path) const;
+
+    /**
+     * Replace the contents with the trace stored at @p path.
+     * @return false on I/O failure or format mismatch.
+     */
+    bool load(const std::string &path);
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t position_ = 0;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_TRACE_TRACE_FILE_HH

@@ -1,0 +1,225 @@
+#include "workloads/missrate.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+const CacheMissResult &
+WorkloadMissRates::icache(const std::string &label) const
+{
+    for (const auto &r : icaches)
+        if (r.label == label)
+            return r;
+    MW_FATAL("no icache measurement labelled '", label, "'");
+}
+
+const CacheMissResult &
+WorkloadMissRates::dcache(const std::string &label) const
+{
+    for (const auto &r : dcaches)
+        if (r.label == label)
+            return r;
+    MW_FATAL("no dcache measurement labelled '", label, "'");
+}
+
+namespace {
+
+CacheConfig
+conv(std::uint64_t capacity, std::uint32_t ways, const char *name)
+{
+    CacheConfig c;
+    c.capacity = capacity;
+    c.line_size = 32;
+    c.assoc = ways;
+    c.name = name;
+    return c;
+}
+
+} // namespace
+
+WorkloadMissRates
+measureMissRates(const SpecWorkload &workload,
+                 const MissRateParams &params)
+{
+    using namespace cachelabels;
+
+    // Proposed device caches.
+    ColumnCacheConfig pim_cfg;
+    ColumnInstrCache icache_pim(pim_cfg);
+    ColumnCacheConfig no_vc = pim_cfg;
+    no_vc.victim_enabled = false;
+    ColumnDataCache dcache_plain(no_vc);
+    ColumnDataCache dcache_vc(pim_cfg);
+
+    // Conventional comparison set (32-byte lines).
+    std::vector<std::pair<std::string, Cache>> conv_i;
+    conv_i.emplace_back(conv8, Cache(conv(8 * KiB, 1, conv8)));
+    conv_i.emplace_back(conv16, Cache(conv(16 * KiB, 1, conv16)));
+    conv_i.emplace_back(conv32, Cache(conv(32 * KiB, 1, conv32)));
+    conv_i.emplace_back(conv64, Cache(conv(64 * KiB, 1, conv64)));
+
+    std::vector<std::pair<std::string, Cache>> conv_d;
+    conv_d.emplace_back(conv16, Cache(conv(16 * KiB, 1, conv16)));
+    conv_d.emplace_back(conv16w2, Cache(conv(16 * KiB, 2, conv16w2)));
+    conv_d.emplace_back(conv64, Cache(conv(64 * KiB, 1, conv64)));
+    conv_d.emplace_back(conv256w2,
+                        Cache(conv(256 * KiB, 2, conv256w2)));
+
+    SyntheticWorkload source(workload.proxy);
+
+    const RefSink sink = [&](const MemRef &ref) {
+        if (ref.type == RefType::IFetch) {
+            icache_pim.fetch(ref.pc);
+            for (auto &[label, cache] : conv_i)
+                cache.access(ref.pc, false);
+        } else {
+            const bool store = ref.type == RefType::Store;
+            dcache_plain.access(ref.addr, store);
+            dcache_vc.access(ref.addr, store);
+            for (auto &[label, cache] : conv_d)
+                cache.access(ref.addr, store);
+        }
+    };
+
+    // Warm up, then reset statistics and measure.
+    source.generate(params.warmup_refs, sink);
+    icache_pim.resetStats();
+    dcache_plain.resetStats();
+    dcache_vc.resetStats();
+    for (auto &[label, cache] : conv_i)
+        cache.resetStats();
+    for (auto &[label, cache] : conv_d)
+        cache.resetStats();
+
+    source.generate(params.measured_refs, sink);
+
+    WorkloadMissRates out;
+    out.workload = workload.name;
+    out.icaches.push_back(
+        CacheMissResult{proposed, icache_pim.stats()});
+    for (auto &[label, cache] : conv_i)
+        out.icaches.push_back(CacheMissResult{label, cache.stats()});
+    out.dcaches.push_back(
+        CacheMissResult{proposed, dcache_plain.stats()});
+    out.dcaches.push_back(
+        CacheMissResult{proposed_vc, dcache_vc.stats()});
+    for (auto &[label, cache] : conv_d)
+        out.dcaches.push_back(CacheMissResult{label, cache.stats()});
+    return out;
+}
+
+HierarchyRates
+measureHierarchyRates(const SpecWorkload &workload,
+                      const HierarchyConfig &config,
+                      const MissRateParams &params)
+{
+    Cache l1i(config.l1i);
+    Cache l1d(config.l1d);
+    std::unique_ptr<Cache> l2;
+    if (config.has_l2)
+        l2 = std::make_unique<Cache>(config.l2);
+
+    struct ClassCounters
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t l1_hits = 0;
+        std::uint64_t l2_hits = 0;
+    };
+    ClassCounters ifetch, load, store;
+    bool counting = false;
+
+    SyntheticWorkload source(workload.proxy);
+    const RefSink sink = [&](const MemRef &ref) {
+        const bool is_store = ref.type == RefType::Store;
+        ClassCounters &ctr = ref.type == RefType::IFetch
+            ? ifetch
+            : (is_store ? store : load);
+        Cache &l1 = ref.type == RefType::IFetch ? l1i : l1d;
+        const bool l1_hit = l1.access(ref.addr, is_store).hit;
+        bool l2_hit = false;
+        if (!l1_hit && l2)
+            l2_hit = l2->access(ref.addr, is_store).hit;
+        if (counting) {
+            ++ctr.accesses;
+            if (l1_hit)
+                ++ctr.l1_hits;
+            else if (l2_hit)
+                ++ctr.l2_hits;
+        }
+    };
+
+    source.generate(params.warmup_refs, sink);
+    counting = true;
+    source.generate(params.measured_refs, sink);
+
+    auto rates = [](const ClassCounters &ctr, double &hit,
+                    double &l2_cond) {
+        if (ctr.accesses == 0) {
+            hit = 1.0;
+            l2_cond = 1.0;
+            return;
+        }
+        hit = static_cast<double>(ctr.l1_hits) /
+              static_cast<double>(ctr.accesses);
+        const std::uint64_t misses = ctr.accesses - ctr.l1_hits;
+        l2_cond = misses
+            ? static_cast<double>(ctr.l2_hits) /
+                  static_cast<double>(misses)
+            : 1.0;
+    };
+
+    HierarchyRates out;
+    rates(ifetch, out.icache_hit, out.icache_l2_hit);
+    rates(load, out.load_hit, out.load_l2_hit);
+    rates(store, out.store_hit, out.store_l2_hit);
+    return out;
+}
+
+HierarchyRates
+measureIntegratedRates(const SpecWorkload &workload, bool victim_cache,
+                       const MissRateParams &params)
+{
+    ColumnCacheConfig cfg;
+    cfg.victim_enabled = victim_cache;
+    ColumnInstrCache icache(cfg);
+    ColumnDataCache dcache(cfg);
+
+    SyntheticWorkload source(workload.proxy);
+    const RefSink sink = [&](const MemRef &ref) {
+        if (ref.type == RefType::IFetch)
+            icache.fetch(ref.pc);
+        else
+            dcache.access(ref.addr, ref.type == RefType::Store);
+    };
+
+    source.generate(params.warmup_refs, sink);
+    icache.resetStats();
+    dcache.resetStats();
+    source.generate(params.measured_refs, sink);
+
+    const AccessStats &is = icache.stats();
+    const AccessStats &ds = dcache.stats();
+
+    HierarchyRates out;
+    out.icache_hit = is.accesses()
+        ? 1.0 - static_cast<double>(is.misses()) /
+                    static_cast<double>(is.accesses())
+        : 1.0;
+    out.load_hit = ds.loads()
+        ? static_cast<double>(ds.load_hits.value()) /
+              static_cast<double>(ds.loads())
+        : 1.0;
+    out.store_hit = ds.stores()
+        ? static_cast<double>(ds.store_hits.value()) /
+              static_cast<double>(ds.stores())
+        : 1.0;
+    // No second level on the integrated device.
+    out.icache_l2_hit = 0.0;
+    out.load_l2_hit = 0.0;
+    out.store_l2_hit = 0.0;
+    return out;
+}
+
+} // namespace memwall

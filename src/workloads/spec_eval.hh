@@ -1,0 +1,76 @@
+/**
+ * @file
+ * End-to-end SPEC'95 estimation — the Table 3 / Table 4 pipeline.
+ *
+ * For each benchmark: measure the proposed device's cache hit ratios
+ * (Sections 5.2-5.4), dial them into the processor/memory GSPN
+ * (Section 5.5), combine the resulting memory CPI with the
+ * benchmark's base CPI, and convert to a SPEC ratio via the
+ * per-benchmark calibration.
+ */
+
+#ifndef MEMWALL_WORKLOADS_SPEC_EVAL_HH
+#define MEMWALL_WORKLOADS_SPEC_EVAL_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/cpi_model.hh"
+#include "gspn/models.hh"
+#include "workloads/missrate.hh"
+
+namespace memwall {
+
+/** One row of Table 3 or Table 4. */
+struct SpecEstimate
+{
+    std::string name;
+    /** Measured hit ratios fed into the GSPN. */
+    HierarchyRates rates;
+    /** base + memory CPI decomposition. */
+    CpiBreakdown cpi;
+    /** Estimated SPEC ratio (k / CPI calibration). */
+    double spec_ratio = 0.0;
+    /** Mean memory-bank utilisation from the GSPN. */
+    double bank_utilisation = 0.0;
+};
+
+/** Knobs for the estimation pipeline. */
+struct SpecEvalParams
+{
+    MissRateParams missrate = {};
+    /** Monte-Carlo instructions per GSPN evaluation. */
+    std::uint64_t gspn_instructions = 150'000;
+    std::uint64_t seed = 42;
+    /** Banks in the integrated device (Section 5.6 sweeps this). */
+    unsigned banks = 16;
+    /** DRAM array access time in cycles. */
+    double bank_access = 6.0;
+    double bank_precharge = 4.0;
+};
+
+/**
+ * Estimate one benchmark on the integrated device.
+ * @param victim_cache false reproduces Table 3, true Table 4
+ */
+SpecEstimate estimateIntegrated(const SpecWorkload &workload,
+                                bool victim_cache,
+                                const SpecEvalParams &params = {});
+
+/**
+ * Estimate one benchmark on the conventional reference system of
+ * Section 5.5 (16 KB split L1, 256 KB unified L2) with the given
+ * L2 and memory latencies in cycles — the Figure 11 configuration.
+ */
+SpecEstimate estimateReference(const SpecWorkload &workload,
+                               double l2_latency_cycles,
+                               double memory_latency_cycles,
+                               const SpecEvalParams &params = {});
+
+/** Run estimateIntegrated over the whole SPEC table set. */
+std::vector<SpecEstimate> estimateSuite(bool victim_cache,
+                                        const SpecEvalParams &params = {});
+
+} // namespace memwall
+
+#endif // MEMWALL_WORKLOADS_SPEC_EVAL_HH

@@ -1,0 +1,553 @@
+#include "workloads/spec_suite.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+namespace {
+
+// Shared layout conventions for all proxies.
+constexpr Addr code_base = 0x00400000;
+constexpr Addr data_base = 0x10000000;
+
+// Column-conflict spacing: congruent modulo the 8 KB way size of
+// the proposed data cache at 512-byte granularity, but NOT congruent
+// at 32-byte granularity in any of the conventional comparison
+// caches (see DESIGN.md). Streams spaced this way collide in the 16
+// column-buffer sets while coexisting peacefully in conventional
+// caches — the su2cor/swim/tomcatv mechanism of Section 5.3.
+constexpr Addr conflict_step = 8 * KiB + 64;
+
+CodeRoutine
+loop(Addr offset, std::uint32_t length, double weight,
+     double repeats, int call = -1)
+{
+    CodeRoutine r;
+    r.base = code_base + offset;
+    r.length = length;
+    r.weight = weight;
+    r.mean_repeats = repeats;
+    r.call_target = call;
+    return r;
+}
+
+DataStream
+seq(Addr offset, std::uint64_t size, double weight,
+    double store_frac = 0.3, std::int64_t stride = 8,
+    std::uint32_t reuse = 1, int group = -1)
+{
+    DataStream s;
+    s.kind = StreamKind::Strided;
+    s.base = data_base + offset;
+    s.size = size;
+    s.stride = stride;
+    s.weight = weight;
+    s.store_frac = store_frac;
+    s.access_size = 8;
+    s.reuse = reuse;
+    s.group = group;
+    return s;
+}
+
+/**
+ * A lockstep family of @p count arrays whose bases collide in the
+ * proposed cache's column-buffer sets while mapping to distinct sets
+ * of every conventional comparison cache: member i sits at
+ * offset + i * (P + 64) where P is a power of two >= the array size
+ * (so P mod every way size of interest is 0, and the +64i keeps the
+ * members in the SAME 512-byte column set but DIFFERENT 32-byte
+ * granules). @p weight is the total weight of the family.
+ */
+std::vector<DataStream>
+conflictFamily(int group, unsigned count, Addr offset,
+               std::uint64_t each_size, double weight,
+               double store_frac = 0.3, std::uint32_t reuse = 3)
+{
+    const std::uint64_t gap =
+        std::max<std::uint64_t>(ceilPowerOfTwo(each_size), 8 * KiB);
+    std::vector<DataStream> out;
+    for (unsigned i = 0; i < count; ++i)
+        out.push_back(seq(offset + i * (gap + 64), each_size,
+                          weight / count, store_frac, 8, reuse,
+                          group));
+    return out;
+}
+
+void
+append(std::vector<DataStream> &dst, std::vector<DataStream> more)
+{
+    for (auto &s : more)
+        dst.push_back(std::move(s));
+}
+
+DataStream
+rnd(Addr offset, std::uint64_t size, double weight,
+    double store_frac = 0.3, std::uint8_t access = 8)
+{
+    DataStream s;
+    s.kind = StreamKind::Random;
+    s.base = data_base + offset;
+    s.size = size;
+    s.weight = weight;
+    s.store_frac = store_frac;
+    s.access_size = access;
+    return s;
+}
+
+DataStream
+chase(Addr offset, std::uint64_t size, double weight,
+      double store_frac = 0.1, std::uint8_t access = 16)
+{
+    DataStream s;
+    s.kind = StreamKind::Chase;
+    s.base = data_base + offset;
+    s.size = size;
+    s.weight = weight;
+    s.store_frac = store_frac;
+    s.access_size = access;
+    return s;
+}
+
+/** Spread @p count routines of @p each bytes over @p span bytes,
+ * weighting earlier routines more heavily (Zipf-ish, like the hot
+ * functions of gcc/perl/vortex). */
+std::vector<CodeRoutine>
+routineFarm(std::uint32_t count, std::uint32_t each, Addr span,
+            double repeats)
+{
+    std::vector<CodeRoutine> rs;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const Addr offset = span * i / count;
+        const double weight = 10.0 / (1.0 + i);
+        rs.push_back(loop(offset, each, weight, repeats));
+    }
+    return rs;
+}
+
+SpecWorkload
+make(std::string name, std::string description, bool fp,
+     double base_cpi, double mem_novc, double ratio_novc,
+     double total_vc, double ratio_vc, double alpha,
+     double load_frac, double store_frac, SyntheticSpec proxy)
+{
+    SpecWorkload w;
+    w.name = std::move(name);
+    w.description = std::move(description);
+    w.floating_point = fp;
+    w.base_cpi = base_cpi;
+    w.paper_mem_cpi_novc = mem_novc;
+    w.paper_ratio_novc = ratio_novc;
+    w.paper_total_cpi_vc = total_vc;
+    w.paper_ratio_vc = ratio_vc;
+    w.alpha_ratio = alpha;
+    w.load_frac = load_frac;
+    w.store_frac = store_frac;
+    w.proxy = std::move(proxy);
+    w.proxy.name = w.name;
+    w.proxy.refs_per_instr = load_frac + store_frac;
+    return w;
+}
+
+std::vector<SpecWorkload>
+buildSuite()
+{
+    std::vector<SpecWorkload> suite;
+
+    // ---- SPEC'95 integer ------------------------------------------------
+
+    {  // 099.go — small data structures, poor locality; the victim
+       // cache only shaves ~25% off the miss rate (Section 5.4).
+        SyntheticSpec p;
+        p.seed = 9901;
+        p.routines = {loop(0, 6 * KiB, 10, 4),
+                      loop(8 * KiB, 8 * KiB, 6, 2),
+                      loop(18 * KiB, 2 * KiB, 2, 3),
+                      loop(22 * KiB, 1 * KiB, 2, 2),
+                      loop(26 * KiB, 2 * KiB, 1, 2),
+                      loop(30 * KiB, 1 * KiB, 1, 2),
+                      loop(34 * KiB, 2 * KiB, 1, 2)};
+        p.streams = {rnd(0, 24 * KiB, 3, 0.30, 8),
+                     rnd(64 * KiB, 6 * KiB, 5, 0.30, 8),
+                     seq(128 * KiB, 6 * KiB, 2, 0.40, 8, 2)};
+        append(p.streams,
+               conflictFamily(0, 3, 1 * MiB, 16 * KiB, 1.2, 0.30, 2));
+        suite.push_back(make(
+            "099.go",
+            "Artificial intelligence; plays the game Go against "
+            "itself",
+            false, 1.01, 0.48, 6.0, 1.30, 6.9, 10.1, 0.22, 0.08,
+            std::move(p)));
+    }
+
+    {  // 124.m88ksim — CPU simulator with a hot dispatch loop.
+        SyntheticSpec p;
+        p.seed = 12401;
+        p.routines = {loop(0, 4 * KiB, 10, 20),
+                      loop(6 * KiB, 2 * KiB, 2, 4),
+                      loop(10 * KiB, 2 * KiB, 2, 4),
+                      loop(14 * KiB, 2 * KiB, 1, 3)};
+        p.streams = {seq(0, 10 * KiB, 5, 0.35, 8, 2),
+                     rnd(1 * MiB, 96 * KiB, 0.15, 0.25, 8),
+                     seq(2 * MiB, 64 * KiB, 2, 0.30, 8, 6)};
+        suite.push_back(make(
+            "124.m88ksim",
+            "Simulates the Motorola 88100 processor running "
+            "Dhrystone and a memory test program",
+            false, 1.01, 0.12, 4.3, 1.10, 4.5, 7.1, 0.20, 0.08,
+            std::move(p)));
+    }
+
+    {  // 126.gcc — large code footprint, many moderately hot
+       // functions; I-cache behaviour dominated by capacity.
+        SyntheticSpec p;
+        p.seed = 12601;
+        // Many short, branchy functions: little straight-line code,
+        // so the 512-byte lines prefetch less and conflict more —
+        // the paper finds the proposed cache only "within 27%" of a
+        // 64 KB conventional cache here.
+        p.routines = routineFarm(96, 1 * KiB, 192 * KiB, 1.6);
+        p.streams = {rnd(0, 10 * KiB, 4, 0.30, 8),
+                     rnd(1 * MiB, 1 * MiB, 0.12, 0.30, 8),
+                     seq(4 * MiB, 256 * KiB, 2, 0.35, 8, 6),
+                     chase(8 * MiB, 64 * KiB, 0.2)};
+        suite.push_back(make(
+            "126.gcc",
+            "Compiler; cc1 from gcc-2.5.3 compiling pre-processed "
+            "source into optimized SPARC assembly",
+            false, 1.01, 0.14, 7.6, 1.13, 7.8, 6.7, 0.23, 0.09,
+            std::move(p)));
+    }
+
+    {  // 129.compress — tiny code; 16 MB sequential stream plus a
+       // randomly accessed hash table.
+        SyntheticSpec p;
+        p.seed = 12901;
+        p.routines = {loop(0, 1536, 1, 500)};
+        p.streams = {seq(0, 16 * MiB, 5, 0.35, 8, 2),
+                     rnd(20 * MiB, 6 * KiB, 3, 0.25, 8),
+                     rnd(21 * MiB, 256 * KiB, 0.25, 0.25, 8)};
+        suite.push_back(make(
+            "129.compress",
+            "Compresses large text files (about 16MB) using "
+            "adaptive Lempel-Ziv coding",
+            false, 1.03, 0.17, 6.4, 1.16, 6.6, 6.8, 0.24, 0.10,
+            std::move(p)));
+    }
+
+    {  // 130.li — lisp interpreter: cons-cell streams that collide
+       // in the 16 column-buffer sets; the victim cache absorbs the
+       // conflicts (2-5x miss reduction, Section 5.4).
+        SyntheticSpec p;
+        p.seed = 13001;
+        p.routines = {loop(0, 3 * KiB, 8, 10),
+                      loop(4 * KiB, 4 * KiB, 1, 2),
+                      loop(10 * KiB, 2 * KiB, 2, 4),
+                      loop(14 * KiB, 2 * KiB, 1, 3)};
+        p.streams = {rnd(0, 6 * KiB, 4, 0.35, 8),
+                     seq(1 * MiB, 32 * KiB, 1, 0.30, 16, 3)};
+        append(p.streams,
+               conflictFamily(0, 3, 2 * MiB, 32 * KiB, 0.35, 0.30, 2));
+        suite.push_back(make(
+            "130.li",
+            "Lisp interpreter based on xlisp 1.6 running a number "
+            "of lisp programs",
+            false, 1.02, 0.06, 6.7, 1.07, 6.8, 6.8, 0.26, 0.12,
+            std::move(p)));
+    }
+
+    {  // 132.ijpeg — compact transform loops over image rows.
+        SyntheticSpec p;
+        p.seed = 13201;
+        p.routines = {loop(0, 4 * KiB, 5, 50),
+                      loop(5 * KiB, 2 * KiB, 1, 10)};
+        p.streams = {seq(0, 512 * KiB, 3, 0.30, 8, 3),
+                     seq(1 * MiB, 512 * KiB, 3, 0.30, 8, 3),
+                     seq(2 * MiB, 64 * KiB, 2, 0.40, 8, 4)};
+        suite.push_back(make(
+            "132.ijpeg",
+            "Performs JPEG image compression using fixed point "
+            "integer arithmetic",
+            false, 1.00, 0.01, 5.8, 1.01, 5.8, 6.9, 0.20, 0.08,
+            std::move(p)));
+    }
+
+    {  // 134.perl — interpreter with large, poorly localised code.
+        SyntheticSpec p;
+        p.seed = 13401;
+        p.routines = routineFarm(100, 768, 140 * KiB, 1.3);
+        p.streams = {chase(0, 64 * KiB, 0.35, 0.10, 16),
+                     rnd(1 * MiB, 8 * KiB, 4, 0.30, 8),
+                     rnd(2 * MiB, 768 * KiB, 0.12, 0.30, 8),
+                     seq(4 * MiB, 64 * KiB, 2, 0.40, 8, 4)};
+        suite.push_back(make(
+            "134.perl",
+            "Shell interpreter; performs text and numeric "
+            "manipulations (anagrams and prime-number factoring)",
+            false, 1.04, 0.21, 6.0, 1.21, 6.2, 8.1, 0.24, 0.11,
+            std::move(p)));
+    }
+
+    {  // 147.vortex — object-oriented database transactions over a
+       // 40 MB working set with a hot index.
+        SyntheticSpec p;
+        p.seed = 14701;
+        p.routines = routineFarm(16, 4 * KiB, 80 * KiB, 3);
+        p.streams = {rnd(0, 40 * MiB, 0.30, 0.35, 8),
+                     rnd(41 * MiB, 8 * KiB, 4, 0.25, 8),
+                     seq(42 * MiB, 512 * KiB, 2, 0.40, 8, 3),
+                     chase(43 * MiB, 128 * KiB, 0.2)};
+        suite.push_back(make(
+            "147.vortex",
+            "A single-user object-oriented database transaction "
+            "benchmark (40MB for SPEC95)",
+            false, 1.02, 0.27, 6.4, 1.17, 7.1, 7.4, 0.25, 0.12,
+            std::move(p)));
+    }
+
+    // ---- SPEC'95 floating point -----------------------------------------
+
+    {  // 101.tomcatv — mesh arrays whose bases collide in the
+       // column-buffer sets; conflicts ~5x a conventional cache
+       // until the victim cache absorbs them.
+        SyntheticSpec p;
+        p.seed = 10101;
+        p.routines = {loop(0, 2560, 1, 200)};
+        p.streams = {seq(0, 1792 * KiB, 3, 0.25, 8, 3),
+                     seq(4 * MiB, 1792 * KiB, 1.5, 0.25, 8, 3),
+                     rnd(8 * MiB, 6 * KiB, 3, 0.30, 8)};
+        append(p.streams, conflictFamily(0, 3, 16 * MiB,
+                                         1792 * KiB, 2.2, 0.25, 3));
+        suite.push_back(make(
+            "101.tomcatv",
+            "Fluid dynamics/mesh generation; 2D boundary-fitted "
+            "coordinate system around general geometric domains",
+            false, 1.15, 0.50, 8.2, 1.23, 11.1, 14.0, 0.28, 0.10,
+            std::move(p)));
+        suite.back().floating_point = true;
+    }
+
+    {  // 102.swim — four shallow-water grids in lock-step; the worst
+       // conflict case (mem CPI 0.97) fully healed by the VC.
+        SyntheticSpec p;
+        p.seed = 10201;
+        p.routines = {loop(0, 2 * KiB, 1, 300)};
+        p.streams = {seq(0, 3840 * KiB, 2, 0.30, 8, 3),
+                     rnd(8 * MiB, 6 * KiB, 2, 0.30, 8)};
+        append(p.streams, conflictFamily(0, 4, 16 * MiB,
+                                         3840 * KiB, 4.0, 0.30, 3));
+        suite.push_back(make(
+            "102.swim",
+            "Weather prediction; solves shallow water equations "
+            "using finite difference approximations",
+            true, 1.56, 0.97, 12.7, 1.65, 19.5, 18.3, 0.30, 0.12,
+            std::move(p)));
+    }
+
+    {  // 103.su2cor — lattice arrays with the same column-set
+       // collision pattern, milder than swim.
+        SyntheticSpec p;
+        p.seed = 10301;
+        p.routines = {loop(0, 6 * KiB, 4, 40),
+                      loop(8 * KiB, 4 * KiB, 1, 10)};
+        p.streams = {seq(0, 2 * MiB, 2.5, 0.25, 8, 3),
+                     rnd(8 * MiB, 6 * KiB, 3, 0.25, 8)};
+        append(p.streams, conflictFamily(0, 3, 16 * MiB,
+                                         2 * MiB, 1.2, 0.25, 3));
+        suite.push_back(make(
+            "103.su2cor",
+            "Quantum physics; computes masses of elementary "
+            "particles in Quark-Gluon theory",
+            true, 1.41, 0.44, 3.2, 1.51, 3.9, 7.2, 0.30, 0.10,
+            std::move(p)));
+    }
+
+    {  // 104.hydro2d — well-behaved sequential sweeps: the long
+       // lines' prefetching effect wins outright.
+        SyntheticSpec p;
+        p.seed = 10401;
+        p.routines = {loop(0, 5 * KiB, 3, 60),
+                      loop(6 * KiB, 3 * KiB, 1, 20)};
+        p.streams = {seq(0, 4 * MiB, 3, 0.30, 8, 6),
+                     seq(5 * MiB, 4 * MiB, 3, 0.30, 8, 6),
+                     seq(10 * MiB, 2 * MiB, 2, 0.30, 8, 6),
+                     rnd(16 * MiB, 6 * KiB, 2, 0.30, 8)};
+        suite.push_back(make(
+            "104.hydro2d",
+            "Astrophysics; solves hydrodynamical Navier Stokes "
+            "equations to compute galactic jets",
+            true, 1.74, 0.04, 4.2, 1.75, 4.2, 7.8, 0.28, 0.10,
+            std::move(p)));
+    }
+
+    {  // 107.mgrid — 3D stencil sweeps; >10x better than a same-size
+       // conventional cache thanks to the 512-byte lines.
+        SyntheticSpec p;
+        p.seed = 10701;
+        p.routines = {loop(0, 3 * KiB, 1, 150)};
+        p.streams = {seq(0, 8 * MiB, 3, 0.20, 8, 4),
+                     seq(9 * MiB, 8 * MiB, 2, 0.20, 8, 4),
+                     seq(18 * MiB, 4 * MiB, 1, 0.35, 8, 4)};
+        suite.push_back(make(
+            "107.mgrid",
+            "Electromagnetism; computes a 3D potential field",
+            true, 1.20, 0.01, 3.2, 1.21, 3.2, 9.1, 0.30, 0.08,
+            std::move(p)));
+    }
+
+    {  // 110.applu — small resident working set; everything fits.
+        SyntheticSpec p;
+        p.seed = 11001;
+        p.routines = {loop(0, 4 * KiB, 1, 100)};
+        p.streams = {seq(0, 8 * KiB, 4, 0.35, 8, 4),
+                     seq(16 * KiB, 24 * KiB, 2, 0.35, 8, 8)};
+        suite.push_back(make(
+            "110.applu",
+            "Math/fluid dynamics; solves matrix system with "
+            "pivoting",
+            true, 1.53, 0.01, 3.9, 1.54, 4.0, 6.5, 0.28, 0.10,
+            std::move(p)));
+    }
+
+    {  // 125.turb3d — the I-cache pathology: a hot loop whose
+       // helper function aliases the loop's second column buffer
+       // (distance = 8 KB + 464 B), thrashing two of the sixteen
+       // 512-byte lines while no 32-byte-granule conventional cache
+       // sees any conflict (Section 5.2).
+        SyntheticSpec p;
+        p.seed = 12501;
+        p.routines = {
+            // routine 0: the loop, offsets 0x100..0x22C (cols 0-1)
+            loop(0x100, 300, 8, 50, /*call=*/1),
+            // routine 1: the callee, placed one way-size plus 464
+            // bytes later so it lands in column 1 only.
+            loop(0x100 + 8 * KiB + 464, 256, 0.0001, 1),
+            // background code
+            loop(16 * KiB, 3 * KiB, 2, 10),
+        };
+        p.streams = {seq(0, 2 * MiB, 3, 0.30, 8, 4),
+                     seq(3 * MiB, 2 * MiB, 2, 0.30, 8, 4)};
+        suite.push_back(make(
+            "125.turb3d",
+            "Simulates turbulence in a cubic area",
+            true, 1.16, 0.05, 4.3, 1.20, 4.3, 10.8, 0.26, 0.10,
+            std::move(p)));
+    }
+
+    {  // 141.apsi — moderate arrays, modest miss rates.
+        SyntheticSpec p;
+        p.seed = 14101;
+        p.routines = {loop(0, 7 * KiB, 4, 30),
+                      loop(8 * KiB, 4 * KiB, 1, 8),
+                      loop(14 * KiB, 2 * KiB, 1, 6)};
+        p.streams = {seq(0, 1 * MiB, 2, 0.30, 8, 4),
+                     seq(2 * MiB, 1 * MiB, 1.5, 0.30, 8, 4),
+                     rnd(4 * MiB, 8 * KiB, 3, 0.25, 8),
+                     rnd(5 * MiB, 192 * KiB, 0.12, 0.25, 8)};
+        suite.push_back(make(
+            "141.apsi",
+            "Weather; calculates statistics on temperature and "
+            "pollutants in a grid",
+            true, 1.70, 0.08, 5.0, 1.76, 5.1, 14.5, 0.28, 0.10,
+            std::move(p)));
+    }
+
+    {  // 145.fpppp — enormous straight-line loop body: the 512-byte
+       // lines cut the miss rate by an order of magnitude
+       // (paper: 11.2x vs the same-size conventional cache).
+        SyntheticSpec p;
+        p.seed = 14501;
+        p.routines = {loop(0, 20 * KiB, 10, 400),
+                      loop(24 * KiB, 2 * KiB, 1, 10)};
+        p.streams = {seq(0, 96 * KiB, 4, 0.30, 8, 8),
+                     rnd(1 * MiB, 6 * KiB, 2, 0.35, 8)};
+        suite.push_back(make(
+            "145.fpppp",
+            "Chemistry; performs multi-electron derivatives",
+            true, 1.34, 0.08, 7.5, 1.42, 7.5, 21.3, 0.30, 0.10,
+            std::move(p)));
+    }
+
+    {  // 146.wave5 — particle/field arrays; conflicts healed 2-5x
+       // by the victim cache.
+        SyntheticSpec p;
+        p.seed = 14601;
+        p.routines = {loop(0, 5 * KiB, 3, 40),
+                      loop(6 * KiB, 3 * KiB, 1, 10)};
+        p.streams = {seq(0, 3 * MiB, 2.5, 0.25, 8, 3),
+                     rnd(8 * MiB, 6 * KiB, 2.5, 0.20, 8)};
+        append(p.streams, conflictFamily(0, 3, 16 * MiB,
+                                         3 * MiB, 0.9, 0.25, 3));
+        suite.push_back(make(
+            "146.wave5",
+            "Electromagnetics; solves Maxwell's equations on a "
+            "cartesian mesh",
+            true, 1.31, 0.25, 7.6, 1.41, 8.4, 16.8, 0.30, 0.10,
+            std::move(p)));
+    }
+
+    // ---- Synopsys (the Table 1 workload) ---------------------------------
+
+    {  // Logic synthesis: netlist graph traversal over a >50 MB
+       // working set — the workload class the paper's introduction
+       // argues current machines mishandle.
+        SyntheticSpec p;
+        p.seed = 40001;
+        p.routines = routineFarm(20, 4 * KiB, 96 * KiB, 4);
+        p.streams = {chase(0, 56 * MiB, 2.4, 0.15, 32),
+                     rnd(56 * MiB, 700 * KiB, 1.8, 0.30, 8),
+                     rnd(64 * MiB, 8 * KiB, 2.2, 0.25, 8),
+                     seq(66 * MiB, 1 * MiB, 1.6, 0.40, 8, 2)};
+        SpecWorkload w = make(
+            "synopsys",
+            "Chip verification; compares two logic circuits and "
+            "tests them for logical identity (>50MB working set)",
+            false, 1.05, 0.0, 0.0, 0.0, 0.0, 0.0, 0.25, 0.10,
+            std::move(p));
+        w.in_spec_tables = false;
+        suite.push_back(std::move(w));
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<SpecWorkload> &
+specSuite()
+{
+    static const std::vector<SpecWorkload> suite = buildSuite();
+    return suite;
+}
+
+const SpecWorkload &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : specSuite())
+        if (w.name == name)
+            return w;
+    MW_FATAL("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+integerNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : specSuite())
+        if (!w.floating_point && w.in_spec_tables)
+            names.push_back(w.name);
+    return names;
+}
+
+std::vector<std::string>
+floatNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : specSuite())
+        if (w.floating_point && w.in_spec_tables)
+            names.push_back(w.name);
+    return names;
+}
+
+} // namespace memwall

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The SPEC'95 + Synopsys workload registry (paper Table 2).
+ *
+ * Each entry couples the paper's published metadata (description,
+ * base CPI from the MicroSparc-II simulator, the Table 3/4 operating
+ * points used for SPEC-ratio calibration) with a SyntheticSpec proxy
+ * whose instruction and data streams reproduce the benchmark's
+ * locality structure. See DESIGN.md "Substitutions" for why proxies
+ * stand in for the original binaries and how they were shaped.
+ */
+
+#ifndef MEMWALL_WORKLOADS_SPEC_SUITE_HH
+#define MEMWALL_WORKLOADS_SPEC_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/cpi_model.hh"
+#include "trace/synthetic.hh"
+
+namespace memwall {
+
+/** One benchmark: paper metadata plus its proxy model. */
+struct SpecWorkload
+{
+    /** SPEC name, e.g. "126.gcc" (or "synopsys"). */
+    std::string name;
+    /** Table 2 description. */
+    std::string description;
+    /** True for the floating-point half of the suite. */
+    bool floating_point = false;
+    /** Part of the SPEC'95 tables (synopsys is not). */
+    bool in_spec_tables = true;
+
+    /** Base (functional-unit) CPI — Table 3 "cpu" component. */
+    double base_cpi = 1.0;
+    /** Paper's memory CPI without the victim cache (Table 3). */
+    double paper_mem_cpi_novc = 0.0;
+    /** Paper's total CPI with the victim cache (Table 4). */
+    double paper_total_cpi_vc = 1.0;
+    /** Paper's SPEC ratio without victim cache (Table 3). */
+    double paper_ratio_novc = 0.0;
+    /** Paper's SPEC ratio with victim cache (Table 4). */
+    double paper_ratio_vc = 0.0;
+    /** Alpha 21164 / DEC 8200 published ratio (Table 4). */
+    double alpha_ratio = 0.0;
+
+    /** Fraction of instructions that are loads / stores. */
+    double load_frac = 0.2;
+    double store_frac = 0.1;
+
+    /** The reference-stream proxy. */
+    SyntheticSpec proxy;
+
+    /** SPEC-ratio calibration from the Table 3 operating point. */
+    SpecCalibration
+    calibration() const
+    {
+        return SpecCalibration::fromPaper(
+            base_cpi + paper_mem_cpi_novc, paper_ratio_novc);
+    }
+};
+
+/** @return the 18 SPEC'95 components plus the Synopsys workload. */
+const std::vector<SpecWorkload> &specSuite();
+
+/** @return the entry named @p name; fatal when unknown. */
+const SpecWorkload &findWorkload(const std::string &name);
+
+/** Names of the integer subset, in paper order. */
+std::vector<std::string> integerNames();
+/** Names of the floating-point subset, in paper order. */
+std::vector<std::string> floatNames();
+
+} // namespace memwall
+
+#endif // MEMWALL_WORKLOADS_SPEC_SUITE_HH

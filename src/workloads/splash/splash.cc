@@ -1,0 +1,23 @@
+#include "workloads/splash/splash.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+SplashResult
+runSplash(const std::string &name, const SplashParams &params)
+{
+    if (name == "lu")
+        return runLu(params);
+    if (name == "mp3d")
+        return runMp3d(params);
+    if (name == "ocean")
+        return runOcean(params);
+    if (name == "water")
+        return runWater(params);
+    if (name == "pthor")
+        return runPthor(params);
+    MW_FATAL("unknown SPLASH kernel '", name, "'");
+}
+
+} // namespace memwall

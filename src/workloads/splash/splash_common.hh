@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the SPLASH kernel implementations.
+ */
+
+#ifndef MEMWALL_WORKLOADS_SPLASH_SPLASH_COMMON_HH
+#define MEMWALL_WORKLOADS_SPLASH_SPLASH_COMMON_HH
+
+#include <algorithm>
+
+#include "mp/shared.hh"
+#include "workloads/splash/splash.hh"
+
+namespace memwall {
+
+/** Collect makespan and machine counters after a run. */
+inline SplashResult
+collectResult(MpRuntime &rt, double checksum)
+{
+    SplashResult res;
+    for (unsigned cpu = 0; cpu < rt.ncpus(); ++cpu)
+        res.makespan =
+            std::max(res.makespan, rt.scheduler().cpuTime(cpu));
+    res.accesses = rt.machine().totalAccesses();
+    res.remote_loads = rt.machine().totalRemoteLoads();
+    res.invalidations = rt.machine().totalInvalidations();
+    res.checksum = checksum;
+    return res;
+}
+
+/** [first, last) slice of @p total items for @p cpu of @p p. */
+struct Slice
+{
+    unsigned first;
+    unsigned last;
+};
+
+inline Slice
+sliceOf(unsigned total, unsigned cpu, unsigned p)
+{
+    const unsigned base = total / p;
+    const unsigned extra = total % p;
+    const unsigned first = cpu * base + std::min(cpu, extra);
+    const unsigned count = base + (cpu < extra ? 1 : 0);
+    return Slice{first, first + count};
+}
+
+} // namespace memwall
+
+#endif // MEMWALL_WORKLOADS_SPLASH_SPLASH_COMMON_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the two-pass MW32 assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+using namespace memwall;
+
+TEST(Assembler, MinimalProgram)
+{
+    const auto prog = assemble("halt\n");
+    ASSERT_TRUE(prog.ok());
+    ASSERT_EQ(prog.words.size(), 1u);
+    const Instruction inst =
+        Instruction::decode(prog.words.begin()->second);
+    EXPECT_EQ(inst.op, Opcode::Halt);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const auto prog = assemble(R"(
+        ; full-line comment
+        # hash comment too
+        addi r1, r0, 5   ; trailing comment
+        halt
+    )");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.words.size(), 2u);
+}
+
+TEST(Assembler, LabelsResolveForwardsAndBackwards)
+{
+    const auto prog = assemble(R"(
+        .org 0x1000
+        start:
+            beq r0, r0, end
+        middle:
+            addi r1, r1, 1
+            b middle
+        end:
+            halt
+    )");
+    ASSERT_TRUE(prog.ok()) << prog.errors.size();
+    EXPECT_EQ(prog.symbol("start"), 0x1000u);
+    EXPECT_EQ(prog.symbol("middle"), 0x1004u);
+    EXPECT_EQ(prog.symbol("end"), 0x100cu);
+    EXPECT_EQ(prog.entry, 0x1000u);
+    // beq offset: (end - (start+4)) / 4 = 2.
+    const Instruction beq =
+        Instruction::decode(prog.words.at(0x1000));
+    EXPECT_EQ(beq.imm, 2);
+    // b middle: backward jal offset (middle - (0x1008+4))/4 = -2.
+    const Instruction b = Instruction::decode(prog.words.at(0x1008));
+    EXPECT_EQ(b.op, Opcode::Jal);
+    EXPECT_EQ(b.target, -2);
+}
+
+TEST(Assembler, OrgAndDataDirectives)
+{
+    const auto prog = assemble(R"(
+        .equ MAGIC, 0xabcd
+        .org 0x2000
+        table:
+        .word 1, 2, MAGIC
+        .space 8
+        after:
+        .word 42
+    )");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.words.at(0x2000), 1u);
+    EXPECT_EQ(prog.words.at(0x2004), 2u);
+    EXPECT_EQ(prog.words.at(0x2008), 0xabcdu);
+    EXPECT_EQ(prog.symbol("after"), 0x2014u);
+    EXPECT_EQ(prog.words.at(0x2014), 42u);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    const auto prog = assemble(R"(
+        addi sp, zero, 16
+        jalr r0, ra, 0
+    )");
+    ASSERT_TRUE(prog.ok());
+    const Instruction first =
+        Instruction::decode(prog.words.begin()->second);
+    EXPECT_EQ(first.rd, 30);   // sp
+    EXPECT_EQ(first.rs1, 0);   // zero
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    const auto prog = assemble(R"(
+        start:
+            li r1, 0x12345678
+            la r2, start
+            mv r3, r1
+            nop
+            ret
+    )");
+    ASSERT_TRUE(prog.ok());
+    // li expands to lui+ori.
+    const Instruction lui = Instruction::decode(prog.words.at(0x0));
+    EXPECT_EQ(lui.op, Opcode::Lui);
+    EXPECT_EQ(lui.imm, 0x1234);
+    const Instruction ori = Instruction::decode(prog.words.at(0x4));
+    EXPECT_EQ(ori.op, Opcode::Ori);
+    EXPECT_EQ(ori.imm, 0x5678);
+    // Total: 2 + 2 + 1 + 1 + 1 words.
+    EXPECT_EQ(prog.words.size(), 7u);
+}
+
+TEST(Assembler, MemoryOperandSyntax)
+{
+    const auto prog = assemble(R"(
+        lw r1, 8(r2)
+        sw r3, -4(sp)
+        lw r4, (r5)
+    )");
+    ASSERT_TRUE(prog.ok());
+    const Instruction lw = Instruction::decode(prog.words.at(0x0));
+    EXPECT_EQ(lw.imm, 8);
+    EXPECT_EQ(lw.rs1, 2);
+    const Instruction sw = Instruction::decode(prog.words.at(0x4));
+    EXPECT_EQ(sw.imm, -4);
+    EXPECT_EQ(sw.rs1, 30);
+    const Instruction lw2 = Instruction::decode(prog.words.at(0x8));
+    EXPECT_EQ(lw2.imm, 0);
+}
+
+TEST(Assembler, EntryDefaultsToStartLabel)
+{
+    const auto prog = assemble(R"(
+        .org 0x100
+        data: .word 7
+        start: halt
+    )");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.entry, prog.symbol("start"));
+}
+
+TEST(Assembler, ErrorsCollected)
+{
+    const auto prog = assemble(R"(
+        frobnicate r1, r2
+        addi r99, r0, 1
+        lw r1, nonsense
+        dup: halt
+        dup: halt
+        beq r0, r0, undefined_label
+    )");
+    EXPECT_FALSE(prog.ok());
+    EXPECT_GE(prog.errors.size(), 5u);
+    // Line numbers attached.
+    for (const auto &e : prog.errors)
+        EXPECT_GT(e.line, 0u);
+}
+
+TEST(Assembler, ImmediateRangeChecked)
+{
+    const auto prog = assemble("addi r1, r0, 40000\n");
+    EXPECT_FALSE(prog.ok());
+}
+
+TEST(Assembler, LoadIntoMemoryImage)
+{
+    const auto prog = assembleOrDie(R"(
+        .org 0x400
+        addi r1, r0, 3
+        halt
+    )");
+    BackingStore mem;
+    prog.loadInto(mem);
+    const Instruction inst =
+        Instruction::decode(mem.readU32(0x400));
+    EXPECT_EQ(inst.op, Opcode::Addi);
+    EXPECT_EQ(inst.imm, 3);
+}
+
+TEST(AssemblerDeath, AssembleOrDieExitsOnError)
+{
+    EXPECT_EXIT(assembleOrDie("bogus_mnemonic r1\n"),
+                ::testing::ExitedWithCode(1), "assembly failed");
+}
+
+TEST(Assembler, ByteDirectivePacksLittleEndian)
+{
+    const auto prog = assemble(R"(
+        .org 0x100
+        data: .byte 0x11, 0x22, 0x33, 0x44, 0x55
+        after: .word 0xaa
+    )");
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.words.at(0x100), 0x44332211u);
+    EXPECT_EQ(prog.words.at(0x104), 0x00000055u);
+    EXPECT_EQ(prog.symbol("after"), 0x108u);
+    EXPECT_EQ(prog.words.at(0x108), 0xaau);
+}
+
+TEST(Assembler, AlignDirective)
+{
+    const auto prog = assemble(R"(
+        .org 0x102
+        .align 16
+        here: .word 7
+    )");
+    // .org to a non-word boundary is unusual but .align must fix it.
+    ASSERT_TRUE(prog.ok());
+    EXPECT_EQ(prog.symbol("here"), 0x110u);
+}
+
+TEST(Assembler, AlignRejectsNonPowerOfTwo)
+{
+    const auto prog = assemble(".align 12\n");
+    EXPECT_FALSE(prog.ok());
+}
+
+TEST(Assembler, ByteRangeChecked)
+{
+    const auto prog = assemble(".byte 300\n");
+    EXPECT_FALSE(prog.ok());
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the sparse functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/backing_store.hh"
+
+using namespace memwall;
+
+TEST(BackingStore, UntouchedMemoryReadsZero)
+{
+    BackingStore mem;
+    EXPECT_EQ(mem.readU8(0x1234), 0u);
+    EXPECT_EQ(mem.readU64(0xdeadbeef000ull), 0u);
+    EXPECT_EQ(mem.allocatedPages(), 0u);  // reads do not materialise
+}
+
+TEST(BackingStore, ScalarRoundTrips)
+{
+    BackingStore mem;
+    mem.writeU8(0x10, 0xab);
+    mem.writeU16(0x20, 0x1234);
+    mem.writeU32(0x30, 0xcafebabe);
+    mem.writeU64(0x40, 0x0123456789abcdefull);
+    EXPECT_EQ(mem.readU8(0x10), 0xab);
+    EXPECT_EQ(mem.readU16(0x20), 0x1234);
+    EXPECT_EQ(mem.readU32(0x30), 0xcafebabe);
+    EXPECT_EQ(mem.readU64(0x40), 0x0123456789abcdefull);
+}
+
+TEST(BackingStore, WritesArePreciselyScoped)
+{
+    BackingStore mem;
+    mem.writeU32(0x100, 0xffffffff);
+    EXPECT_EQ(mem.readU8(0xff), 0u);
+    EXPECT_EQ(mem.readU8(0x104), 0u);
+}
+
+TEST(BackingStore, CrossPageBlockAccess)
+{
+    BackingStore mem;
+    const Addr boundary = BackingStore::page_size - 4;
+    mem.writeU64(boundary, 0x1122334455667788ull);
+    EXPECT_EQ(mem.readU64(boundary), 0x1122334455667788ull);
+    EXPECT_EQ(mem.allocatedPages(), 2u);
+}
+
+TEST(BackingStore, BlockReadWrite)
+{
+    BackingStore mem;
+    std::vector<std::uint8_t> in(10000);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i * 7);
+    mem.writeBlock(0x12345, in);
+    std::vector<std::uint8_t> out(in.size());
+    mem.readBlock(0x12345, out);
+    EXPECT_EQ(in, out);
+}
+
+TEST(BackingStore, BlockReadOfHoleIsZero)
+{
+    BackingStore mem;
+    mem.writeU8(0x100, 0xff);
+    std::vector<std::uint8_t> out(16, 0xaa);
+    mem.readBlock(0x5000, out);  // untouched page
+    for (auto b : out)
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(BackingStore, SparseFootprint)
+{
+    BackingStore mem;
+    // Two distant writes: exactly two pages.
+    mem.writeU8(0, 1);
+    mem.writeU8(1ull << 40, 2);
+    EXPECT_EQ(mem.allocatedPages(), 2u);
+    EXPECT_EQ(mem.footprintBytes(), 2 * BackingStore::page_size);
+}
+
+TEST(BackingStore, OverwriteReplaces)
+{
+    BackingStore mem;
+    mem.writeU32(0x0, 0x11111111);
+    mem.writeU32(0x0, 0x22222222);
+    EXPECT_EQ(mem.readU32(0x0), 0x22222222u);
+}

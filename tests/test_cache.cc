@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the generic set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace memwall;
+
+namespace {
+
+CacheConfig
+cfg(std::uint64_t capacity, std::uint32_t line, std::uint32_t assoc)
+{
+    CacheConfig c;
+    c.capacity = capacity;
+    c.line_size = line;
+    c.assoc = assoc;
+    c.name = "test";
+    return c;
+}
+
+} // namespace
+
+TEST(CacheConfig, SetsComputed)
+{
+    EXPECT_EQ(cfg(16 * KiB, 32, 1).sets(), 512u);
+    EXPECT_EQ(cfg(16 * KiB, 32, 2).sets(), 256u);
+    EXPECT_EQ(cfg(8 * KiB, 512, 1).sets(), 16u);
+    EXPECT_EQ(cfg(16 * KiB, 512, 2).sets(), 16u);
+}
+
+TEST(CacheConfigDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(cfg(16 * KiB, 33, 1).validate(),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(cfg(10000, 32, 1).validate(),
+                ::testing::ExitedWithCode(1), "multiple");
+    EXPECT_EXIT(cfg(16 * KiB, 32, 3).validate(),
+                ::testing::ExitedWithCode(1), "divide");
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(cfg(1 * KiB, 32, 1));
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x11f, false).hit);   // same line
+    EXPECT_FALSE(c.access(0x120, false).hit);  // next line
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    // 1 KiB direct-mapped, 32 B lines -> 32 sets; addresses 1 KiB
+    // apart collide.
+    Cache c(cfg(1 * KiB, 32, 1));
+    EXPECT_FALSE(c.access(0x0, false).hit);
+    EXPECT_FALSE(c.access(0x400, false).hit);
+    EXPECT_FALSE(c.access(0x0, false).hit);  // evicted
+}
+
+TEST(Cache, TwoWayHoldsBothConflicters)
+{
+    Cache c(cfg(2 * KiB, 32, 2));
+    EXPECT_FALSE(c.access(0x0, false).hit);
+    EXPECT_FALSE(c.access(0x400, false).hit);
+    EXPECT_TRUE(c.access(0x0, false).hit);
+    EXPECT_TRUE(c.access(0x400, false).hit);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c(cfg(2 * KiB, 32, 2));
+    c.access(0x0, false);     // way 0
+    c.access(0x400, false);   // way 1
+    c.access(0x0, false);     // refresh 0x0
+    c.access(0x800, false);   // evicts 0x400 (LRU)
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x400));
+    EXPECT_TRUE(c.probe(0x800));
+}
+
+TEST(Cache, EvictionReportsVictim)
+{
+    Cache c(cfg(1 * KiB, 32, 1));
+    c.access(0x40, true);  // dirty line at set 2
+    const auto res = c.access(0x440, false);
+    ASSERT_TRUE(res.eviction.has_value());
+    EXPECT_EQ(res.eviction->line_addr, 0x40u);
+    EXPECT_TRUE(res.eviction->dirty);
+}
+
+TEST(Cache, CleanEviction)
+{
+    Cache c(cfg(1 * KiB, 32, 1));
+    c.access(0x40, false);
+    const auto res = c.access(0x440, false);
+    ASSERT_TRUE(res.eviction.has_value());
+    EXPECT_FALSE(res.eviction->dirty);
+}
+
+TEST(Cache, NoEvictionWhenFillingInvalid)
+{
+    Cache c(cfg(1 * KiB, 32, 1));
+    const auto res = c.access(0x40, false);
+    EXPECT_FALSE(res.eviction.has_value());
+}
+
+TEST(Cache, SubBlockTrackingForVictimCache)
+{
+    // 512-byte lines with 32-byte sub-blocks (the column-buffer
+    // configuration): the eviction must report the last-touched
+    // sub-block (Section 5.4).
+    CacheConfig c512 = cfg(8 * KiB, 512, 1);
+    c512.sub_block_size = 32;
+    Cache c(c512);
+    c.access(0x0, false);
+    c.access(0x1e5, false);  // sub-block 15 (0x1e0)
+    const auto res = c.access(0x2000, false);  // conflicts, set 0
+    ASSERT_TRUE(res.eviction.has_value());
+    EXPECT_EQ(res.eviction->line_addr, 0x0u);
+    EXPECT_EQ(res.eviction->last_sub_block, 0x1e0u);
+}
+
+TEST(Cache, FullyAssociativeUsesWholeCapacity)
+{
+    CacheConfig fa = cfg(1 * KiB, 32, 0);  // assoc 0 = fully assoc
+    Cache c(fa);
+    // 32 lines fit regardless of address spacing.
+    for (Addr a = 0; a < 32; ++a)
+        c.access(a * 0x10000, false);
+    for (Addr a = 0; a < 32; ++a)
+        EXPECT_TRUE(c.probe(a * 0x10000));
+    c.access(32 * 0x10000, false);  // evicts exactly one (LRU = 0)
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_TRUE(c.probe(0x10000));
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(cfg(1 * KiB, 32, 1));
+    c.access(0x40, true);
+    const auto ev = c.invalidate(0x40);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_TRUE(ev->dirty);
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.invalidate(0x40).has_value());
+}
+
+TEST(Cache, TouchRefreshesWithoutFill)
+{
+    Cache c(cfg(2 * KiB, 32, 2));
+    EXPECT_FALSE(c.touch(0x0, false));  // not resident: no fill
+    EXPECT_FALSE(c.probe(0x0));
+    c.access(0x0, false);
+    c.access(0x400, false);
+    EXPECT_TRUE(c.touch(0x0, false));  // refresh LRU
+    c.access(0x800, false);            // evicts 0x400
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x400));
+}
+
+TEST(Cache, StatsSplitLoadsAndStores)
+{
+    Cache c(cfg(1 * KiB, 32, 1));
+    c.access(0x0, false);  // load miss
+    c.access(0x0, false);  // load hit
+    c.access(0x0, true);   // store hit
+    c.access(0x800, true); // store miss
+    EXPECT_EQ(c.stats().load_misses.value(), 1u);
+    EXPECT_EQ(c.stats().load_hits.value(), 1u);
+    EXPECT_EQ(c.stats().store_hits.value(), 1u);
+    EXPECT_EQ(c.stats().store_misses.value(), 1u);
+}
+
+TEST(Cache, FlushInvalidatesEverythingKeepsStats)
+{
+    Cache c(cfg(1 * KiB, 32, 1));
+    c.access(0x0, false);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_EQ(c.stats().load_misses.value(), 1u);
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(Cache, RandomReplacementIsDeterministicPerSeed)
+{
+    Cache a(cfg(2 * KiB, 32, 2)), b(cfg(2 * KiB, 32, 2));
+    CacheConfig rc = cfg(2 * KiB, 32, 2);
+    rc.repl = ReplPolicy::Random;
+    Cache r1(rc, 99), r2(rc, 99);
+    for (Addr x = 0; x < 4096; x += 32) {
+        EXPECT_EQ(r1.access(x * 7, false).hit,
+                  r2.access(x * 7, false).hit);
+    }
+}
+
+/**
+ * Property: for fully-associative LRU caches, a larger cache never
+ * misses more than a smaller one on the same trace (LRU inclusion).
+ */
+class LruInclusion : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LruInclusion, BiggerIsNeverWorse)
+{
+    const std::uint64_t small_cap = GetParam();
+    CacheConfig small_cfg = cfg(small_cap, 32, 0);
+    CacheConfig big_cfg = cfg(small_cap * 2, 32, 0);
+    Cache small(small_cfg), big(big_cfg);
+    // Pseudo-random but reproducible trace with locality.
+    std::uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < 20000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const Addr addr = (x % (8 * small_cap)) & ~Addr{31};
+        small.access(addr, false);
+        big.access(addr, false);
+    }
+    EXPECT_LE(big.stats().misses(), small.stats().misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruInclusion,
+                         ::testing::Values(512, 1024, 4096, 16384));
+
+/**
+ * Property: miss count is invariant to the order of constructing
+ * the cache (stateless config) and exactly reproducible.
+ */
+TEST(Cache, DeterministicAcrossInstances)
+{
+    Cache a(cfg(4 * KiB, 32, 2)), b(cfg(4 * KiB, 32, 2));
+    std::uint64_t x = 123456789;
+    for (int i = 0; i < 10000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr addr = (x >> 20) % (64 * KiB);
+        EXPECT_EQ(a.access(addr, i % 3 == 0).hit,
+                  b.access(addr, i % 3 == 0).hit);
+    }
+    EXPECT_EQ(a.stats().misses(), b.stats().misses());
+}

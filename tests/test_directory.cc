@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the 14-bit limited-pointer directory (Figure 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coherence/directory.hh"
+
+using namespace memwall;
+
+TEST(DirEntry, StartsUncached)
+{
+    DirEntry e;
+    EXPECT_EQ(e.state(), DirState::Uncached);
+    EXPECT_TRUE(e.sharers().empty());
+    EXPECT_FALSE(e.tracks(0));
+}
+
+TEST(DirEntry, FirstSharer)
+{
+    DirEntry e;
+    e.addSharer(5);
+    EXPECT_EQ(e.state(), DirState::Shared);
+    EXPECT_EQ(e.sharers(), std::vector<unsigned>{5});
+    EXPECT_TRUE(e.tracks(5));
+    EXPECT_FALSE(e.tracks(4));
+}
+
+TEST(DirEntry, ThreeSharersTracked)
+{
+    DirEntry e;
+    e.addSharer(1);
+    e.addSharer(9);
+    e.addSharer(15);
+    EXPECT_EQ(e.state(), DirState::Shared);
+    auto s = e.sharers();
+    std::sort(s.begin(), s.end());
+    EXPECT_EQ(s, (std::vector<unsigned>{1, 9, 15}));
+}
+
+TEST(DirEntry, DuplicateAddIsIdempotent)
+{
+    DirEntry e;
+    e.addSharer(3);
+    e.addSharer(3);
+    e.addSharer(3);
+    EXPECT_EQ(e.sharers(), std::vector<unsigned>{3});
+    EXPECT_EQ(e.state(), DirState::Shared);
+}
+
+TEST(DirEntry, FourthSharerOverflowsToBroadcast)
+{
+    DirEntry e;
+    e.addSharer(1);
+    e.addSharer(2);
+    e.addSharer(3);
+    EXPECT_EQ(e.state(), DirState::Shared);
+    e.addSharer(4);
+    EXPECT_EQ(e.state(), DirState::SharedBcast);
+    // Broadcast mode conservatively tracks everyone.
+    EXPECT_TRUE(e.tracks(0));
+    EXPECT_TRUE(e.tracks(15));
+}
+
+TEST(DirEntry, ModifiedOwner)
+{
+    DirEntry e;
+    e.setModified(7);
+    EXPECT_EQ(e.state(), DirState::Modified);
+    EXPECT_EQ(e.owner(), 7u);
+    EXPECT_TRUE(e.tracks(7));
+    EXPECT_FALSE(e.tracks(8));
+}
+
+TEST(DirEntry, ReadDowngradesModified)
+{
+    DirEntry e;
+    e.setModified(2);
+    e.addSharer(6);
+    EXPECT_EQ(e.state(), DirState::Shared);
+    auto s = e.sharers();
+    std::sort(s.begin(), s.end());
+    EXPECT_EQ(s, (std::vector<unsigned>{2, 6}));
+}
+
+TEST(DirEntry, OwnerReReadKeepsSingleSharer)
+{
+    DirEntry e;
+    e.setModified(2);
+    e.addSharer(2);
+    EXPECT_EQ(e.state(), DirState::Shared);
+    EXPECT_EQ(e.sharers(), std::vector<unsigned>{2});
+}
+
+TEST(DirEntry, NodeId15Works)
+{
+    // The duplicate-slot encoding frees id 15 (no null sentinel).
+    DirEntry e;
+    e.addSharer(15);
+    EXPECT_TRUE(e.tracks(15));
+    e.setModified(15);
+    EXPECT_EQ(e.owner(), 15u);
+}
+
+TEST(DirEntry, EncodeFitsIn14Bits)
+{
+    DirEntry e;
+    e.addSharer(15);
+    e.addSharer(14);
+    e.addSharer(13);
+    EXPECT_LT(e.encode(), 1u << 14);
+    e.setModified(15);
+    EXPECT_LT(e.encode(), 1u << 14);
+}
+
+TEST(DirEntry, EncodeDecodeRoundTrip)
+{
+    // Through every reachable state shape.
+    std::vector<DirEntry> entries;
+    DirEntry uncached;
+    entries.push_back(uncached);
+    DirEntry one;
+    one.addSharer(4);
+    entries.push_back(one);
+    DirEntry two;
+    two.addSharer(4);
+    two.addSharer(11);
+    entries.push_back(two);
+    DirEntry three;
+    three.addSharer(0);
+    three.addSharer(7);
+    three.addSharer(15);
+    entries.push_back(three);
+    DirEntry bcast = three;
+    bcast.addSharer(9);
+    entries.push_back(bcast);
+    DirEntry mod;
+    mod.setModified(12);
+    entries.push_back(mod);
+
+    for (const DirEntry &e : entries) {
+        const DirEntry back = DirEntry::decode(e.encode());
+        EXPECT_EQ(back, e);
+        EXPECT_EQ(back.state(), e.state());
+    }
+}
+
+TEST(DirEntry, ClearResets)
+{
+    DirEntry e;
+    e.setModified(3);
+    e.clear();
+    EXPECT_EQ(e.state(), DirState::Uncached);
+    EXPECT_FALSE(e.tracks(3));
+}
+
+TEST(Directory, EntriesMaterialiseOnDemand)
+{
+    Directory dir(16);
+    EXPECT_EQ(dir.materialisedEntries(), 0u);
+    EXPECT_EQ(dir.lookup(0x1000).state(), DirState::Uncached);
+    EXPECT_EQ(dir.materialisedEntries(), 0u);  // lookup is read-only
+    dir.entry(0x1000).addSharer(1);
+    EXPECT_EQ(dir.materialisedEntries(), 1u);
+    EXPECT_TRUE(dir.lookup(0x1000).tracks(1));
+}
+
+TEST(Directory, BlockGranularityIs32Bytes)
+{
+    Directory dir(4);
+    dir.entry(0x107).addSharer(2);
+    // Same 32-byte block.
+    EXPECT_TRUE(dir.lookup(0x11f).tracks(2));
+    // Next block is independent.
+    EXPECT_FALSE(dir.lookup(0x120).tracks(2));
+    EXPECT_EQ(dir.materialisedEntries(), 1u);
+}
+
+TEST(DirectoryDeath, RejectsTooManyNodes)
+{
+    EXPECT_DEATH(Directory dir(17), "1..1");
+}
+
+TEST(Directory, BitsPerBlockIsFourteen)
+{
+    EXPECT_EQ(Directory::bitsPerBlock(), 14u);
+}

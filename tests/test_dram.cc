@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the multi-bank DRAM timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+using namespace memwall;
+
+TEST(DramConfig, DefaultsMatchPaper)
+{
+    DramConfig c;
+    EXPECT_EQ(c.banks, 16u);
+    EXPECT_EQ(c.column_bytes, 512u);
+    EXPECT_EQ(c.access_cycles, 6u);   // 30 ns at 200 MHz
+    EXPECT_EQ(c.capacity, 32 * MiB);  // 256 Mbit
+}
+
+TEST(DramConfigDeath, RejectsBadGeometry)
+{
+    DramConfig c;
+    c.banks = 3;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(Dram, BankInterleavingAtColumnGranularity)
+{
+    Dram d;
+    EXPECT_EQ(d.bankFor(0x0), 0u);
+    EXPECT_EQ(d.bankFor(0x1ff), 0u);
+    EXPECT_EQ(d.bankFor(0x200), 1u);
+    EXPECT_EQ(d.bankFor(0x1e00), 15u);
+    EXPECT_EQ(d.bankFor(0x2000), 0u);  // wraps
+}
+
+TEST(Dram, ColumnAddrAligns)
+{
+    Dram d;
+    EXPECT_EQ(d.columnAddr(0x345), 0x200u);
+    EXPECT_EQ(d.columnAddr(0x200), 0x200u);
+}
+
+TEST(Dram, UnloadedAccessTakesAccessTime)
+{
+    Dram d;
+    const auto res = d.access(100, 0x0);
+    EXPECT_EQ(res.done, 106u);
+    EXPECT_EQ(res.queued, 0u);
+    EXPECT_EQ(res.bank, 0u);
+}
+
+TEST(Dram, PrechargeDelaysSameBank)
+{
+    Dram d;
+    d.access(0, 0x0);
+    // Bank busy until 6 + 4 (precharge) = 10.
+    const auto res = d.access(1, 0x0);
+    EXPECT_EQ(res.queued, 9u);
+    EXPECT_EQ(res.done, 16u);
+}
+
+TEST(Dram, DifferentBanksDoNotInterfere)
+{
+    Dram d;
+    d.access(0, 0x0);
+    const auto res = d.access(1, 0x200);  // bank 1
+    EXPECT_EQ(res.queued, 0u);
+    EXPECT_EQ(res.done, 7u);
+}
+
+TEST(Dram, BankReadyAtTracksPrecharge)
+{
+    Dram d;
+    d.access(0, 0x0);
+    EXPECT_EQ(d.bankReadyAt(0), 10u);
+    EXPECT_EQ(d.bankReadyAt(1), 0u);
+}
+
+TEST(Dram, UtilisationAccountsBusyWindows)
+{
+    Dram d;
+    d.access(0, 0x0);  // busy 10 cycles of 100
+    EXPECT_DOUBLE_EQ(d.bankUtilisation(0, 100), 0.10);
+    EXPECT_DOUBLE_EQ(d.bankUtilisation(1, 100), 0.0);
+    EXPECT_DOUBLE_EQ(d.meanUtilisation(100), 0.10 / 16);
+}
+
+TEST(Dram, StatsAccumulateAndReset)
+{
+    Dram d;
+    d.access(0, 0x0);
+    d.access(0, 0x0);
+    EXPECT_EQ(d.totalAccesses(), 2u);
+    EXPECT_GT(d.totalQueuedCycles(), 0u);
+    d.resetStats();
+    EXPECT_EQ(d.totalAccesses(), 0u);
+    EXPECT_DOUBLE_EQ(d.meanUtilisation(100), 0.0);
+}
+
+TEST(Dram, CustomTiming)
+{
+    DramConfig c;
+    c.access_cycles = 10;
+    c.precharge_cycles = 2;
+    Dram d(c);
+    const auto first = d.access(0, 0x0);
+    EXPECT_EQ(first.done, 10u);
+    const auto second = d.access(20, 0x0);  // bank free at 12
+    EXPECT_EQ(second.queued, 0u);
+    EXPECT_EQ(second.done, 30u);
+}
+
+class DramBankSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DramBankSweep, AllBanksReachable)
+{
+    DramConfig c;
+    c.banks = GetParam();
+    Dram d(c);
+    std::vector<bool> seen(c.banks, false);
+    for (Addr a = 0; a < c.banks * 512ull; a += 512)
+        seen[d.bankFor(a)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, DramBankSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));

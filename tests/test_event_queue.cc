@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace memwall;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); },
+               EventPriority::Default);
+    q.schedule(5, [&] { order.push_back(2); },
+               EventPriority::Default);
+    q.schedule(5, [&] { order.push_back(0); }, EventPriority::High);
+    q.schedule(5, [&] { order.push_back(3); }, EventPriority::Low);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] { ++fired; });
+    q.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 6u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto ticket = q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(q.deschedule(ticket));
+    EXPECT_FALSE(q.deschedule(ticket));  // already cancelled
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    q.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, AdvanceToMovesClockPastQuiet)
+{
+    EventQueue q;
+    q.advanceTo(42);
+    EXPECT_EQ(q.now(), 42u);
+}
+
+TEST(EventQueue, AdvanceToRunsDueEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] { ++fired; });
+    q.schedule(50, [&] { ++fired; });
+    q.advanceTo(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(i + 1, [] {});
+    q.run();
+    EXPECT_EQ(q.executed(), 5u);
+}

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the Monte-Carlo GSPN simulator: firing semantics,
+ * priorities, random switches, race policy, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gspn/simulator.hh"
+
+using namespace memwall;
+
+TEST(GspnSim, DeterministicChainFiresInOrder)
+{
+    PetriNet net;
+    const PlaceId a = net.addPlace("a", 1);
+    const PlaceId b = net.addPlace("b");
+    const PlaceId c = net.addPlace("c");
+    const TransitionId t1 = net.addDeterministic("t1", 2.0);
+    net.input(t1, a);
+    net.output(t1, b);
+    const TransitionId t2 = net.addDeterministic("t2", 3.0);
+    net.input(t2, b);
+    net.output(t2, c);
+
+    GspnSimulator sim(net);
+    EXPECT_FALSE(sim.run(100.0));  // deadlocks after the chain
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    EXPECT_EQ(sim.marking(c), 1u);
+    EXPECT_EQ(sim.firings(t1), 1u);
+    EXPECT_EQ(sim.firings(t2), 1u);
+}
+
+TEST(GspnSim, ImmediateFiresBeforeTime)
+{
+    PetriNet net;
+    const PlaceId a = net.addPlace("a", 1);
+    const PlaceId b = net.addPlace("b");
+    const TransitionId imm = net.addImmediate("imm");
+    net.input(imm, a);
+    net.output(imm, b);
+    GspnSimulator sim(net);
+    // Fired during reset already (zero time).
+    EXPECT_EQ(sim.marking(b), 1u);
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(GspnSim, ImmediatePriorityWins)
+{
+    PetriNet net;
+    const PlaceId a = net.addPlace("a", 1);
+    const PlaceId lo = net.addPlace("lo");
+    const PlaceId hi = net.addPlace("hi");
+    const TransitionId t_lo = net.addImmediate("lo", 1.0, 0);
+    net.input(t_lo, a);
+    net.output(t_lo, lo);
+    const TransitionId t_hi = net.addImmediate("hi", 1.0, 5);
+    net.input(t_hi, a);
+    net.output(t_hi, hi);
+    GspnSimulator sim(net);
+    EXPECT_EQ(sim.marking(hi), 1u);
+    EXPECT_EQ(sim.marking(lo), 0u);
+}
+
+TEST(GspnSim, WeightedSwitchApproximatesProbabilities)
+{
+    PetriNet net;
+    const PlaceId src = net.addPlace("src", 0);
+    const PlaceId a = net.addPlace("a");
+    const PlaceId b = net.addPlace("b");
+    // A clock feeds the switch one token per time unit.
+    const TransitionId clock = net.addDeterministic("clock", 1.0);
+    net.output(clock, src);
+    const PlaceId clock_fuel = net.addPlace("fuel", 1);
+    net.input(clock, clock_fuel);
+    net.output(clock, clock_fuel);
+    const TransitionId ta = net.addImmediate("ta", 3.0);
+    net.input(ta, src);
+    net.output(ta, a);
+    const TransitionId tb = net.addImmediate("tb", 1.0);
+    net.input(tb, src);
+    net.output(tb, b);
+
+    GspnSimulator sim(net, 2024);
+    sim.run(20000.0);
+    const double total = sim.marking(a) + sim.marking(b);
+    EXPECT_NEAR(sim.marking(a) / total, 0.75, 0.02);
+}
+
+TEST(GspnSim, InhibitorBlocksTransition)
+{
+    PetriNet net;
+    const PlaceId fuel = net.addPlace("fuel", 1);
+    const PlaceId brake = net.addPlace("brake", 1);
+    const PlaceId out = net.addPlace("out");
+    const TransitionId t = net.addDeterministic("t", 1.0);
+    net.input(t, fuel);
+    net.output(t, out);
+    net.inhibitor(t, brake);
+    GspnSimulator sim(net);
+    EXPECT_FALSE(sim.run(10.0));  // deadlocked by the inhibitor
+    EXPECT_EQ(sim.marking(out), 0u);
+    sim.setMarking(brake, 0);
+    sim.run(10.0);  // fires once, then runs out of fuel
+    EXPECT_EQ(sim.marking(out), 1u);
+}
+
+TEST(GspnSim, TestArcRequiresButDoesNotConsume)
+{
+    PetriNet net;
+    const PlaceId key = net.addPlace("key", 1);
+    const PlaceId fuel = net.addPlace("fuel", 3);
+    const PlaceId out = net.addPlace("out");
+    const TransitionId t = net.addDeterministic("t", 1.0);
+    net.input(t, fuel);
+    net.test(t, key);
+    net.output(t, out);
+    GspnSimulator sim(net);
+    sim.run(100.0);
+    EXPECT_EQ(sim.marking(out), 3u);
+    EXPECT_EQ(sim.marking(key), 1u);  // untouched
+}
+
+TEST(GspnSim, ExponentialThroughputMatchesRate)
+{
+    PetriNet net;
+    const PlaceId fuel = net.addPlace("fuel", 1);
+    const TransitionId t = net.addExponential("t", 0.25);
+    net.input(t, fuel);
+    net.output(t, fuel);
+    GspnSimulator sim(net, 7);
+    sim.run(40000.0);
+    EXPECT_NEAR(sim.throughput(t), 0.25, 0.01);
+}
+
+TEST(GspnSim, RunUntilFiringsStopsExactly)
+{
+    PetriNet net;
+    const PlaceId fuel = net.addPlace("fuel", 1);
+    const TransitionId t = net.addDeterministic("t", 2.0);
+    net.input(t, fuel);
+    net.output(t, fuel);
+    GspnSimulator sim(net);
+    EXPECT_TRUE(sim.runUntilFirings(t, 10));
+    EXPECT_EQ(sim.firings(t), 10u);
+    EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+}
+
+TEST(GspnSim, TokenTimeStatistics)
+{
+    // A token sits in 'a' for 2 units, then in 'b' forever after.
+    PetriNet net;
+    const PlaceId a = net.addPlace("a", 1);
+    const PlaceId b = net.addPlace("b");
+    const TransitionId t = net.addDeterministic("t", 2.0);
+    net.input(t, a);
+    net.output(t, b);
+    GspnSimulator sim(net);
+    sim.run(10.0);
+    // The net deadlocks at t=2; statistics cover [0, 2).
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+    EXPECT_DOUBLE_EQ(sim.meanTokens(a), 1.0);
+    EXPECT_DOUBLE_EQ(sim.probNonEmpty(a), 1.0);
+    EXPECT_DOUBLE_EQ(sim.meanTokens(b), 0.0);
+}
+
+TEST(GspnSim, ServerUtilisation)
+{
+    // Deterministic source every 4 units; service takes 1 unit:
+    // the server place is empty 25% of the time.
+    PetriNet net;
+    const PlaceId fuel = net.addPlace("fuel", 1);
+    const PlaceId queue = net.addPlace("queue");
+    const PlaceId server_free = net.addPlace("server_free", 1);
+    const PlaceId busy = net.addPlace("busy");
+    const TransitionId src = net.addDeterministic("src", 4.0);
+    net.input(src, fuel);
+    net.output(src, fuel);
+    net.output(src, queue);
+    const TransitionId start = net.addImmediate("start");
+    net.input(start, queue);
+    net.input(start, server_free);
+    net.output(start, busy);
+    const TransitionId done = net.addDeterministic("done", 1.0);
+    net.input(done, busy);
+    net.output(done, server_free);
+
+    GspnSimulator sim(net);
+    sim.run(4000.0);
+    EXPECT_NEAR(1.0 - sim.probNonEmpty(server_free), 0.25, 0.01);
+}
+
+TEST(GspnSim, RaceDiscardsDisabledTimer)
+{
+    // Two deterministic transitions race for a single token; when
+    // the fast one consumes it, the slow one's pending timer must
+    // be discarded (enabling-memory race policy), so it never
+    // fires.
+    PetriNet net;
+    const PlaceId fuel = net.addPlace("fuel", 1);
+    const PlaceId fa = net.addPlace("fa");
+    const PlaceId fb = net.addPlace("fb");
+    const TransitionId fast = net.addDeterministic("fast", 1.0);
+    net.input(fast, fuel);
+    net.output(fast, fa);
+    const TransitionId slow = net.addDeterministic("slow", 1.5);
+    net.input(slow, fuel);
+    net.output(slow, fb);
+    GspnSimulator sim(net);
+    sim.run(100.0);
+    EXPECT_EQ(sim.firings(fast), 1u);
+    EXPECT_EQ(sim.firings(slow), 0u);
+    EXPECT_EQ(sim.marking(fa), 1u);
+    EXPECT_EQ(sim.marking(fb), 0u);
+}
+
+TEST(GspnSim, ResetRestoresInitialMarking)
+{
+    PetriNet net;
+    const PlaceId a = net.addPlace("a", 2);
+    const PlaceId b = net.addPlace("b");
+    const TransitionId t = net.addDeterministic("t", 1.0);
+    net.input(t, a);
+    net.output(t, b);
+    GspnSimulator sim(net);
+    sim.run(100.0);
+    EXPECT_EQ(sim.marking(a), 0u);
+    sim.reset();
+    EXPECT_EQ(sim.marking(a), 2u);
+    EXPECT_EQ(sim.marking(b), 0u);
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_EQ(sim.firings(t), 0u);
+}
+
+TEST(GspnSim, SameSeedSameTrajectory)
+{
+    PetriNet net;
+    const PlaceId fuel = net.addPlace("fuel", 1);
+    const PlaceId a = net.addPlace("a");
+    const PlaceId b = net.addPlace("b");
+    const TransitionId exp = net.addExponential("exp", 1.0);
+    net.input(exp, fuel);
+    net.output(exp, fuel);
+    const PlaceId sw = net.addPlace("sw");
+    net.output(exp, sw);
+    const TransitionId ta = net.addImmediate("ta", 1.0);
+    net.input(ta, sw);
+    net.output(ta, a);
+    const TransitionId tb = net.addImmediate("tb", 1.0);
+    net.input(tb, sw);
+    net.output(tb, b);
+
+    GspnSimulator s1(net, 555), s2(net, 555);
+    s1.run(500.0);
+    s2.run(500.0);
+    EXPECT_EQ(s1.marking(a), s2.marking(a));
+    EXPECT_EQ(s1.marking(b), s2.marking(b));
+    EXPECT_EQ(s1.totalFirings(), s2.totalFirings());
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the 7-way Inter-Node Cache (Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/inc.hh"
+
+using namespace memwall;
+
+TEST(Inc, GeometryFromReservedBytes)
+{
+    InterNodeCache inc;  // 1 MiB reserved
+    // 2048 columns x 7 lines x 32 B of data capacity.
+    EXPECT_EQ(inc.dataCapacity(), 2048ull * 7 * 32);
+}
+
+TEST(Inc, MissThenInsertThenHit)
+{
+    InterNodeCache inc;
+    EXPECT_FALSE(inc.access(0x5000, false));
+    inc.insert(0x5000);
+    EXPECT_TRUE(inc.access(0x5000, false));
+    EXPECT_TRUE(inc.access(0x501f, false));   // same 32-byte block
+    EXPECT_FALSE(inc.access(0x5020, false));  // next block
+}
+
+TEST(Inc, AccessDoesNotAllocate)
+{
+    InterNodeCache inc;
+    inc.access(0x7000, false);
+    inc.access(0x7000, false);
+    EXPECT_FALSE(inc.probe(0x7000));
+}
+
+TEST(Inc, SevenWayAssociativity)
+{
+    IncConfig cfg;
+    cfg.reserved_bytes = 8 * KiB;  // 16 sets
+    InterNodeCache inc(cfg);
+    // 7 blocks mapping to the same set coexist; the 8th evicts.
+    const Addr stride = 16 * 32;  // sets wrap every 16 blocks
+    for (unsigned i = 0; i < 7; ++i)
+        inc.insert(i * stride);
+    for (unsigned i = 0; i < 7; ++i)
+        EXPECT_TRUE(inc.probe(i * stride)) << i;
+    inc.insert(7 * stride);
+    unsigned resident = 0;
+    for (unsigned i = 0; i <= 7; ++i)
+        resident += inc.probe(i * stride) ? 1 : 0;
+    EXPECT_EQ(resident, 7u);
+}
+
+TEST(Inc, LruWithinSet)
+{
+    IncConfig cfg;
+    cfg.reserved_bytes = 8 * KiB;
+    InterNodeCache inc(cfg);
+    const Addr stride = 16 * 32;
+    for (unsigned i = 0; i < 7; ++i)
+        inc.insert(i * stride);
+    inc.access(0, false);  // refresh block 0
+    inc.insert(7 * stride);  // evicts block 1 (LRU)
+    EXPECT_TRUE(inc.probe(0));
+    EXPECT_FALSE(inc.probe(stride));
+}
+
+TEST(Inc, InvalidateRemoves)
+{
+    InterNodeCache inc;
+    inc.insert(0x9000);
+    EXPECT_TRUE(inc.invalidate(0x9000));
+    EXPECT_FALSE(inc.probe(0x9000));
+    EXPECT_FALSE(inc.invalidate(0x9000));
+}
+
+TEST(Inc, StatsTrackHitsAndMisses)
+{
+    InterNodeCache inc;
+    inc.access(0x0, false);   // load miss
+    inc.insert(0x0);
+    inc.access(0x0, true);    // store hit
+    EXPECT_EQ(inc.stats().load_misses.value(), 1u);
+    EXPECT_EQ(inc.stats().store_hits.value(), 1u);
+}
+
+TEST(IncDeath, RejectsNonPowerOfTwoColumns)
+{
+    IncConfig cfg;
+    cfg.reserved_bytes = 3 * 512;
+    EXPECT_EXIT(InterNodeCache inc(cfg),
+                ::testing::ExitedWithCode(1), "power");
+}
+
+TEST(Inc, FlushEmpties)
+{
+    InterNodeCache inc;
+    inc.insert(0x100);
+    inc.flush();
+    EXPECT_FALSE(inc.probe(0x100));
+}

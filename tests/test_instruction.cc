@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for MW32 instruction encode/decode/disassemble.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+
+using namespace memwall;
+
+TEST(Instruction, RFormatRoundTrip)
+{
+    const Instruction in = Instruction::r(Opcode::Add, 3, 4, 5);
+    bool ok = false;
+    const Instruction out = Instruction::decode(in.encode(), &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(out.op, Opcode::Add);
+    EXPECT_EQ(out.rd, 3);
+    EXPECT_EQ(out.rs1, 4);
+    EXPECT_EQ(out.rs2, 5);
+}
+
+TEST(Instruction, IFormatSignExtension)
+{
+    const Instruction in =
+        Instruction::i(Opcode::Addi, 1, 2, -32768);
+    bool ok = false;
+    const Instruction out = Instruction::decode(in.encode(), &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(out.imm, -32768);
+
+    const Instruction pos = Instruction::i(Opcode::Addi, 1, 2, 32767);
+    EXPECT_EQ(Instruction::decode(pos.encode()).imm, 32767);
+}
+
+TEST(Instruction, LoadStoreRoundTrip)
+{
+    const Instruction ld = Instruction::i(Opcode::Lw, 7, 8, -4);
+    const Instruction out = Instruction::decode(ld.encode());
+    EXPECT_EQ(out.op, Opcode::Lw);
+    EXPECT_EQ(out.rd, 7);
+    EXPECT_EQ(out.rs1, 8);
+    EXPECT_EQ(out.imm, -4);
+
+    const Instruction st = Instruction::i(Opcode::Sw, 9, 10, 100);
+    const Instruction sout = Instruction::decode(st.encode());
+    EXPECT_EQ(sout.rd, 9);  // value register travels in rd
+    EXPECT_EQ(sout.imm, 100);
+}
+
+TEST(Instruction, BranchOffsetRange)
+{
+    const Instruction b =
+        Instruction::branch(Opcode::Beq, 1, 2, -1024);
+    EXPECT_EQ(Instruction::decode(b.encode()).imm, -1024);
+    const Instruction b2 =
+        Instruction::branch(Opcode::Bne, 1, 2, 1023);
+    EXPECT_EQ(Instruction::decode(b2.encode()).imm, 1023);
+}
+
+TEST(InstructionDeath, BranchOffsetOutOfRange)
+{
+    EXPECT_DEATH(Instruction::branch(Opcode::Beq, 1, 2, 1024),
+                 "range");
+    EXPECT_DEATH(Instruction::branch(Opcode::Beq, 1, 2, -1025),
+                 "range");
+}
+
+TEST(Instruction, JalTargetRoundTrip)
+{
+    for (const std::int32_t target : {-1000000, -1, 0, 1, 1000000}) {
+        const Instruction j = Instruction::jal(31, target);
+        const Instruction out = Instruction::decode(j.encode());
+        EXPECT_EQ(out.op, Opcode::Jal);
+        EXPECT_EQ(out.rd, 31);
+        EXPECT_EQ(out.target, target);
+    }
+}
+
+TEST(Instruction, JalrRoundTrip)
+{
+    const Instruction j = Instruction::i(Opcode::Jalr, 0, 31, 8);
+    const Instruction out = Instruction::decode(j.encode());
+    EXPECT_EQ(out.op, Opcode::Jalr);
+    EXPECT_EQ(out.rs1, 31);
+    EXPECT_EQ(out.imm, 8);
+}
+
+TEST(Instruction, InvalidOpcodeRejected)
+{
+    bool ok = true;
+    Instruction::decode(0x3du << 26, &ok);  // unassigned opcode
+    EXPECT_FALSE(ok);
+}
+
+TEST(Instruction, Disassembly)
+{
+    EXPECT_EQ(Instruction::r(Opcode::Add, 1, 2, 3).disassemble(),
+              "add r1, r2, r3");
+    EXPECT_EQ(Instruction::i(Opcode::Lw, 4, 5, -8).disassemble(),
+              "lw r4, -8(r5)");
+    EXPECT_EQ(Instruction::i(Opcode::Sw, 6, 7, 12).disassemble(),
+              "sw r6, 12(r7)");
+    EXPECT_EQ(
+        Instruction::branch(Opcode::Beq, 1, 2, 5).disassemble(),
+        "beq r1, r2, 5");
+    EXPECT_EQ(Instruction::jal(31, -2).disassemble(), "jal r31, -2");
+    EXPECT_EQ(Instruction{}.disassemble(), "halt");
+}
+
+TEST(Instruction, AccessSizes)
+{
+    EXPECT_EQ(accessSize(Opcode::Lb), 1u);
+    EXPECT_EQ(accessSize(Opcode::Lbu), 1u);
+    EXPECT_EQ(accessSize(Opcode::Lh), 2u);
+    EXPECT_EQ(accessSize(Opcode::Sw), 4u);
+}
+
+TEST(InstructionDeath, AccessSizeOnNonMemoryOp)
+{
+    EXPECT_DEATH(accessSize(Opcode::Add), "non-memory");
+}
+
+/** Every valid opcode must encode/decode losslessly. */
+class OpcodeRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(OpcodeRoundTrip, SurvivesEncodeDecode)
+{
+    const auto raw = static_cast<std::uint8_t>(GetParam());
+    if (!opcodeValid(raw))
+        GTEST_SKIP() << "unassigned opcode";
+    const auto op = static_cast<Opcode>(raw);
+    Instruction in;
+    in.op = op;
+    switch (opcodeFormat(op)) {
+      case InstrFormat::R:
+        in = Instruction::r(op, 1, 2, 3);
+        break;
+      case InstrFormat::I:
+      case InstrFormat::LoadI:
+      case InstrFormat::StoreI:
+      case InstrFormat::LuiI:
+        in = Instruction::i(op, 1, 2, -7);
+        break;
+      case InstrFormat::Branch:
+        in = Instruction::branch(op, 1, 2, -7);
+        break;
+      case InstrFormat::Jump:
+        in = op == Opcode::Jal ? Instruction::jal(1, -7)
+                               : Instruction::i(op, 1, 2, -7);
+        break;
+      case InstrFormat::None:
+        break;
+    }
+    bool ok = false;
+    const Instruction out = Instruction::decode(in.encode(), &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(out.encode(), in.encode());
+    EXPECT_EQ(out.op, op);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::Range(0u, 64u));

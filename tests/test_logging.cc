@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the logging helpers (format folding, level gating,
+ * assertion macro).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace memwall;
+
+TEST(Logging, FormatFoldsArguments)
+{
+    EXPECT_EQ(detail::format("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::format(), "");
+    EXPECT_EQ(detail::format(42), "42");
+}
+
+TEST(Logging, LevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(before);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    MW_ASSERT(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH({ MW_ASSERT(false, "expected failure ", 42); },
+                 "expected failure 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ MW_PANIC("boom ", 7); }, "boom 7");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT({ MW_FATAL("bad config"); },
+                ::testing::ExitedWithCode(1), "bad config");
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the deterministic execution-driven MP scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "mp/scheduler.hh"
+
+using namespace memwall;
+
+TEST(MpScheduler, SingleCpuRunsToCompletion)
+{
+    MpScheduler sched(1);
+    int ran = 0;
+    const Tick makespan = sched.run([&](SimContext &ctx) {
+        ctx.advance(10);
+        ctx.advance(5);
+        ++ran;
+    });
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(makespan, 15u);
+    EXPECT_EQ(sched.cpuTime(0), 15u);
+}
+
+TEST(MpScheduler, AllCpusRunBody)
+{
+    MpScheduler sched(8);
+    std::atomic<int> ran{0};
+    sched.run([&](SimContext &ctx) {
+        ctx.advance(ctx.cpuId() + 1);
+        ++ran;
+    });
+    EXPECT_EQ(ran.load(), 8);
+    for (unsigned cpu = 0; cpu < 8; ++cpu)
+        EXPECT_EQ(sched.cpuTime(cpu), cpu + 1);
+}
+
+TEST(MpScheduler, ExactModeInterleavesByVirtualTime)
+{
+    // quantum 0: events append in global virtual-time order.
+    MpScheduler sched(2, /*quantum=*/0);
+    std::vector<std::pair<unsigned, Tick>> log;
+    sched.run([&](SimContext &ctx) {
+        for (int i = 0; i < 5; ++i) {
+            ctx.advance(ctx.cpuId() == 0 ? 3 : 5);
+            log.emplace_back(ctx.cpuId(), ctx.now());
+        }
+    });
+    // Verify the log is sorted by (time, cpu) — the lowest-first
+    // discipline.
+    for (std::size_t i = 1; i < log.size(); ++i) {
+        EXPECT_TRUE(log[i - 1].second < log[i].second ||
+                    (log[i - 1].second == log[i].second &&
+                     log[i - 1].first <= log[i].first))
+            << "entry " << i;
+    }
+}
+
+TEST(MpScheduler, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        MpScheduler sched(4, 16);
+        std::vector<unsigned> order;
+        sched.run([&](SimContext &ctx) {
+            for (int i = 0; i < 50; ++i) {
+                ctx.advance(1 + (ctx.cpuId() * 7 + i) % 5);
+                order.push_back(ctx.cpuId());
+            }
+        });
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(MpScheduler, QuantumBoundsSkew)
+{
+    // With quantum Q, whenever a CPU executes, it is at most Q ahead
+    // of the slowest runnable CPU.
+    const Tick q = 32;
+    MpScheduler sched(3, q);
+    std::vector<Tick> mins;
+    bool ok = true;
+    sched.run([&](SimContext &ctx) {
+        for (int i = 0; i < 200; ++i) {
+            ctx.advance(3);
+            // After advance returns we hold the token: our time may
+            // exceed the minimum by at most Q + one step.
+            Tick me = ctx.now();
+            Tick min_other = me;
+            for (unsigned c = 0; c < 3; ++c)
+                min_other =
+                    std::min(min_other,
+                             ctx.scheduler().timeOf(c));
+            if (me > min_other + q + 3)
+                ok = false;
+        }
+    });
+    EXPECT_TRUE(ok);
+}
+
+TEST(MpScheduler, BlockUnblockHandshake)
+{
+    MpScheduler sched(2, 0);
+    Tick woken_at = 0;
+    sched.run([&](SimContext &ctx) {
+        if (ctx.cpuId() == 0) {
+            ctx.scheduler().block(0);
+            woken_at = ctx.now();
+            ctx.advance(1);
+        } else {
+            ctx.advance(100);
+            ctx.scheduler().unblock(0, 500);
+            ctx.advance(1);
+        }
+    });
+    // CPU 0 resumed with its clock pushed to the unblock time.
+    EXPECT_EQ(woken_at, 500u);
+    EXPECT_EQ(sched.cpuTime(0), 501u);
+}
+
+TEST(MpScheduler, MakespanIsMaxTime)
+{
+    MpScheduler sched(3);
+    const Tick makespan = sched.run([&](SimContext &ctx) {
+        ctx.advance(10 * (ctx.cpuId() + 1));
+    });
+    EXPECT_EQ(makespan, 30u);
+}
+
+TEST(MpScheduler, ReusableForSecondRun)
+{
+    MpScheduler sched(2);
+    sched.run([](SimContext &ctx) { ctx.advance(5); });
+    const Tick second = sched.run([](SimContext &ctx) {
+        ctx.advance(7);
+    });
+    EXPECT_EQ(second, 7u);
+}
+
+TEST(MpSchedulerDeath, DeadlockDetected)
+{
+    // Every CPU blocks and nobody can unblock: panic, not hang.
+    EXPECT_DEATH(
+        {
+            MpScheduler sched(1, 0);
+            sched.run([](SimContext &ctx) {
+                ctx.scheduler().block(0);
+            });
+        },
+        "deadlock");
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the simulated barrier and lock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mp/sync.hh"
+
+using namespace memwall;
+
+TEST(SimBarrier, AllLeaveAtMaxArrivalPlusCost)
+{
+    MpScheduler sched(3, 0);
+    SyncCosts costs;
+    costs.barrier = 10;
+    SimBarrier barrier(3, costs);
+    std::vector<Tick> leave(3);
+    sched.run([&](SimContext &ctx) {
+        ctx.advance(100 * (ctx.cpuId() + 1));  // arrive at 100/200/300
+        barrier.wait(ctx);
+        leave[ctx.cpuId()] = ctx.now();
+    });
+    for (unsigned cpu = 0; cpu < 3; ++cpu)
+        EXPECT_EQ(leave[cpu], 310u) << "cpu " << cpu;
+    EXPECT_EQ(barrier.episodes(), 1u);
+}
+
+TEST(SimBarrier, ReusableAcrossEpisodes)
+{
+    MpScheduler sched(2, 0);
+    SimBarrier barrier(2);
+    std::vector<Tick> after(2);
+    sched.run([&](SimContext &ctx) {
+        for (int round = 0; round < 5; ++round) {
+            ctx.advance(ctx.cpuId() == 0 ? 10 : 20);
+            barrier.wait(ctx);
+        }
+        after[ctx.cpuId()] = ctx.now();
+    });
+    EXPECT_EQ(barrier.episodes(), 5u);
+    EXPECT_EQ(after[0], after[1]);
+}
+
+TEST(SimBarrier, SinglePartyPassesThrough)
+{
+    MpScheduler sched(1);
+    SimBarrier barrier(1);
+    sched.run([&](SimContext &ctx) {
+        barrier.wait(ctx);
+        barrier.wait(ctx);
+    });
+    EXPECT_EQ(barrier.episodes(), 2u);
+}
+
+TEST(SimLock, UncontendedAcquireChargesCost)
+{
+    MpScheduler sched(1);
+    SyncCosts costs;
+    costs.lock_acquire = 15;
+    costs.lock_release = 2;
+    SimLock lock(costs);
+    sched.run([&](SimContext &ctx) {
+        lock.acquire(ctx);
+        EXPECT_EQ(ctx.now(), 15u);
+        lock.release(ctx);
+        EXPECT_EQ(ctx.now(), 17u);
+    });
+    EXPECT_EQ(lock.acquisitions(), 1u);
+    EXPECT_EQ(lock.contended(), 0u);
+}
+
+TEST(SimLock, MutualExclusionInVirtualTime)
+{
+    MpScheduler sched(4, 0);
+    SimLock lock;
+    std::vector<std::pair<Tick, Tick>> sections(4);
+    sched.run([&](SimContext &ctx) {
+        ctx.advance(1 + ctx.cpuId());
+        lock.acquire(ctx);
+        const Tick start = ctx.now();
+        ctx.advance(50);  // critical section
+        sections[ctx.cpuId()] = {start, ctx.now()};
+        lock.release(ctx);
+    });
+    // No two critical sections overlap in virtual time.
+    for (unsigned a = 0; a < 4; ++a)
+        for (unsigned b = a + 1; b < 4; ++b) {
+            const bool disjoint =
+                sections[a].second <= sections[b].first ||
+                sections[b].second <= sections[a].first;
+            EXPECT_TRUE(disjoint)
+                << "cpus " << a << " and " << b << " overlap";
+        }
+    EXPECT_EQ(lock.acquisitions(), 4u);
+    EXPECT_EQ(lock.contended(), 3u);
+}
+
+TEST(SimLock, FifoHandoffOrder)
+{
+    MpScheduler sched(3, 0);
+    SimLock lock;
+    std::vector<unsigned> order;
+    sched.run([&](SimContext &ctx) {
+        ctx.advance(ctx.cpuId() * 2 + 1);  // staggered arrival
+        lock.acquire(ctx);
+        order.push_back(ctx.cpuId());
+        ctx.advance(100);
+        lock.release(ctx);
+    });
+    EXPECT_EQ(order, (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(SimLockDeath, ReleaseByNonHolderPanics)
+{
+    EXPECT_DEATH(
+        {
+            MpScheduler sched(1);
+            SimLock lock;
+            sched.run([&](SimContext &ctx) { lock.release(ctx); });
+        },
+        "non-holder");
+}
+
+TEST(SimLock, HandoffChargesCost)
+{
+    MpScheduler sched(2, 0);
+    SyncCosts costs;
+    costs.lock_acquire = 10;
+    costs.lock_handoff = 30;
+    costs.lock_release = 1;
+    SimLock lock(costs);
+    Tick second_start = 0;
+    sched.run([&](SimContext &ctx) {
+        if (ctx.cpuId() == 0) {
+            lock.acquire(ctx);   // t=10
+            ctx.advance(100);    // t=110
+            lock.release(ctx);   // t=111
+        } else {
+            ctx.advance(20);
+            lock.acquire(ctx);  // queued behind cpu 0
+            second_start = ctx.now();
+            lock.release(ctx);
+        }
+    });
+    // cpu 1 gets the lock at release(111) + handoff(30).
+    EXPECT_EQ(second_start, 141u);
+}

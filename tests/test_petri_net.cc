@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the GSPN structural layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gspn/petri_net.hh"
+
+using namespace memwall;
+
+TEST(PetriNet, BuildsPlacesAndTransitions)
+{
+    PetriNet net;
+    const PlaceId p0 = net.addPlace("p0", 1);
+    const PlaceId p1 = net.addPlace("p1");
+    const TransitionId t0 = net.addImmediate("t0");
+    const TransitionId t1 = net.addDeterministic("t1", 5.0);
+    const TransitionId t2 = net.addExponential("t2", 0.5);
+    EXPECT_EQ(net.numPlaces(), 2u);
+    EXPECT_EQ(net.numTransitions(), 3u);
+    EXPECT_EQ(net.placeName(p0), "p0");
+    EXPECT_EQ(net.placeName(p1), "p1");
+    EXPECT_EQ(net.transitionName(t0), "t0");
+    EXPECT_EQ(net.transitionKind(t0), TransitionKind::Immediate);
+    EXPECT_EQ(net.transitionKind(t1),
+              TransitionKind::Deterministic);
+    EXPECT_EQ(net.transitionKind(t2), TransitionKind::Exponential);
+}
+
+TEST(PetriNet, ArcShorthands)
+{
+    PetriNet net;
+    const PlaceId p = net.addPlace("p", 1);
+    const TransitionId t = net.addImmediate("t");
+    net.input(t, p);
+    net.output(t, p, 2);
+    net.inhibitor(t, p, 3);
+    net.test(t, p);
+    SUCCEED();  // structure accepted; semantics tested in the sim
+}
+
+TEST(PetriNetDeath, RejectsBadIds)
+{
+    PetriNet net;
+    const TransitionId t = net.addImmediate("t");
+    EXPECT_DEATH(net.input(t, 99), "bad place id");
+    EXPECT_DEATH(net.input(99, net.addPlace("p")),
+                 "bad transition id");
+}
+
+TEST(PetriNetDeath, RejectsBadParameters)
+{
+    PetriNet net;
+    EXPECT_DEATH(net.addImmediate("w", 0.0), "weight");
+    EXPECT_DEATH(net.addExponential("r", 0.0), "rate");
+    EXPECT_DEATH(net.addDeterministic("d", -1.0), "delay");
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the 5-stage pipeline timing model: issue, fetch stalls,
+ * load/store handling, the scoreboard window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cpu/pipeline.hh"
+
+using namespace memwall;
+
+namespace {
+
+/** Scripted memory system with per-address latencies. */
+class ScriptedMemory : public MemorySystem
+{
+  public:
+    Cycles fetch_latency = 1;
+    std::map<Addr, Cycles> data_latency;
+
+    Cycles
+    fetchLatency(Addr, Tick) override
+    {
+        return fetch_latency;
+    }
+    Cycles
+    dataLatency(Addr addr, bool, Tick) override
+    {
+        auto it = data_latency.find(addr);
+        return it == data_latency.end() ? 1 : it->second;
+    }
+};
+
+} // namespace
+
+TEST(Pipeline, UnitCpiWhenEverythingHits)
+{
+    ScriptedMemory mem;
+    PipelineSim pipe(mem);
+    for (int i = 0; i < 100; ++i)
+        pipe.consume(MemRef::fetch(0x1000 + 4 * i));
+    pipe.drain();
+    EXPECT_EQ(pipe.instructions(), 100u);
+    EXPECT_DOUBLE_EQ(pipe.cpi(), 1.0);
+}
+
+TEST(Pipeline, FetchMissStallsFrontEnd)
+{
+    ScriptedMemory mem;
+    mem.fetch_latency = 7;
+    PipelineSim pipe(mem);
+    pipe.consume(MemRef::fetch(0x0));
+    pipe.drain();
+    EXPECT_EQ(pipe.cycles(), 7u);
+    EXPECT_EQ(pipe.fetchStallCycles(), 6u);
+}
+
+TEST(Pipeline, LoadHitIsFree)
+{
+    ScriptedMemory mem;
+    PipelineSim pipe(mem);
+    pipe.consume(MemRef::fetch(0x0));
+    pipe.consume(MemRef::load(0x0, 0x1000));
+    pipe.consume(MemRef::fetch(0x4));
+    pipe.drain();
+    EXPECT_DOUBLE_EQ(pipe.cpi(), 1.0);
+    EXPECT_EQ(pipe.dataStallCycles(), 0u);
+}
+
+TEST(Pipeline, ScoreboardAllowsWindowThenStalls)
+{
+    ScriptedMemory mem;
+    mem.data_latency[0x1000] = 10;
+    PipelineConfig cfg;
+    cfg.scoreboard_window = 1;
+    PipelineSim pipe(mem, cfg);
+    pipe.consume(MemRef::fetch(0x0));      // t=1
+    pipe.consume(MemRef::load(0x0, 0x1000));  // completes t=11
+    pipe.consume(MemRef::fetch(0x4));      // window: issues at t=2
+    pipe.consume(MemRef::fetch(0x8));      // must wait for the load
+    pipe.drain();
+    // Third fetch stalls until t=11, issues by t=12.
+    EXPECT_EQ(pipe.cycles(), 12u);
+    EXPECT_GT(pipe.dataStallCycles(), 0u);
+}
+
+TEST(Pipeline, NoScoreboardStallsImmediately)
+{
+    ScriptedMemory mem;
+    mem.data_latency[0x1000] = 10;
+    PipelineConfig cfg;
+    cfg.scoreboard_window = 0;
+    PipelineSim pipe(mem, cfg);
+    pipe.consume(MemRef::fetch(0x0));
+    pipe.consume(MemRef::load(0x0, 0x1000));
+    pipe.consume(MemRef::fetch(0x4));  // stalls to t=11, issues t=12
+    pipe.drain();
+    EXPECT_EQ(pipe.cycles(), 12u);
+}
+
+TEST(Pipeline, WiderWindowReducesStalls)
+{
+    auto run = [](unsigned window) {
+        ScriptedMemory mem;
+        mem.data_latency[0x1000] = 12;
+        PipelineConfig cfg;
+        cfg.scoreboard_window = window;
+        PipelineSim pipe(mem, cfg);
+        pipe.consume(MemRef::fetch(0x0));
+        pipe.consume(MemRef::load(0x0, 0x1000));
+        for (int i = 1; i <= 8; ++i)
+            pipe.consume(MemRef::fetch(4ull * i));
+        pipe.drain();
+        return pipe.cycles();
+    };
+    EXPECT_LT(run(4), run(1));
+    EXPECT_LE(run(8), run(4));
+}
+
+TEST(Pipeline, StoreBufferHidesStoreLatency)
+{
+    ScriptedMemory mem;
+    mem.data_latency[0x2000] = 10;
+    PipelineSim pipe(mem);
+    pipe.consume(MemRef::fetch(0x0));
+    pipe.consume(MemRef::store(0x0, 0x2000));
+    pipe.consume(MemRef::fetch(0x4));
+    pipe.consume(MemRef::fetch(0x8));
+    // Issue continues: 3 cycles; the store drains in background.
+    EXPECT_EQ(pipe.cycles(), 3u);
+    pipe.drain();  // end of program waits for the store
+    EXPECT_EQ(pipe.cycles(), 11u);
+}
+
+TEST(Pipeline, LsqSerialisesMemoryOps)
+{
+    ScriptedMemory mem;
+    mem.data_latency[0x2000] = 10;
+    mem.data_latency[0x3000] = 10;
+    PipelineSim pipe(mem);
+    pipe.consume(MemRef::fetch(0x0));
+    pipe.consume(MemRef::store(0x0, 0x2000));  // LSQ busy to t=11
+    pipe.consume(MemRef::fetch(0x4));
+    // Second memory op must wait for the LSQ.
+    pipe.consume(MemRef::store(0x4, 0x3000));
+    pipe.drain();
+    EXPECT_GE(pipe.cycles(), 21u);
+}
+
+TEST(Pipeline, CpiAccumulatesMixedStalls)
+{
+    ScriptedMemory mem;
+    mem.fetch_latency = 1;
+    mem.data_latency[0x9000] = 6;
+    PipelineConfig cfg;
+    cfg.scoreboard_window = 1;
+    PipelineSim pipe(mem, cfg);
+    for (int i = 0; i < 50; ++i) {
+        pipe.consume(MemRef::fetch(4ull * i));
+        if (i % 10 == 0)
+            pipe.consume(MemRef::load(4ull * i, 0x9000));
+    }
+    pipe.drain();
+    EXPECT_GT(pipe.cpi(), 1.0);
+    EXPECT_LT(pipe.cpi(), 2.0);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Randomised stress tests of the coherence protocol: thousands of
+ * random load/store operations across nodes, checking global
+ * invariants rather than scripted scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "coherence/numa.hh"
+#include "common/rng.hh"
+
+using namespace memwall;
+
+namespace {
+
+struct Op
+{
+    unsigned cpu;
+    Addr addr;
+    bool store;
+};
+
+std::vector<Op>
+randomOps(std::uint64_t seed, unsigned nodes, std::size_t count)
+{
+    Rng rng(seed);
+    std::vector<Op> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Op op;
+        op.cpu = static_cast<unsigned>(rng.uniformInt(nodes));
+        // A small, hot block set maximises protocol interleavings.
+        op.addr = 0x100000 + rng.uniformInt(64) * 32;
+        op.store = rng.bernoulli(0.3);
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+NumaConfig
+config(NodeArch arch, unsigned nodes)
+{
+    NumaConfig c;
+    c.nodes = nodes;
+    c.arch = arch;
+    return c;
+}
+
+} // namespace
+
+class ProtocolStress : public ::testing::TestWithParam<NodeArch>
+{
+};
+
+TEST_P(ProtocolStress, LatenciesAlwaysInTable6Range)
+{
+    NumaMachine m(config(GetParam(), 8));
+    for (const Op &op : randomOps(1, 8, 20000)) {
+        const Cycles lat = m.access(op.cpu, op.addr, op.store);
+        EXPECT_GE(lat, 1u);
+        EXPECT_LE(lat, 80u);  // nothing exceeds a remote round trip
+    }
+}
+
+TEST_P(ProtocolStress, WriterReadsItsOwnStoreCheaply)
+{
+    // After any store, an immediate load by the same CPU never
+    // leaves the node (the copy is local and M): <= local memory.
+    NumaMachine m(config(GetParam(), 4));
+    Rng rng(2);
+    for (const Op &op : randomOps(3, 4, 5000)) {
+        m.access(op.cpu, op.addr, op.store);
+        if (op.store) {
+            const Cycles lat = m.access(op.cpu, op.addr, false);
+            EXPECT_LE(lat, 6u)
+                << "cpu " << op.cpu << " addr " << op.addr;
+        }
+    }
+}
+
+TEST_P(ProtocolStress, StoreInvalidatesAllReaders)
+{
+    // After a store by X, every other CPU's next load pays a fabric
+    // transaction (80) — no stale 1-cycle hits survive anywhere.
+    NumaMachine m(config(GetParam(), 4));
+    Rng rng(5);
+    const Addr block = 0x200000;
+    for (int round = 0; round < 200; ++round) {
+        // Everyone reads.
+        for (unsigned cpu = 0; cpu < 4; ++cpu)
+            m.access(cpu, block, false);
+        // A random writer takes ownership.
+        const unsigned writer =
+            static_cast<unsigned>(rng.uniformInt(4));
+        m.access(writer, block, true);
+        // All other CPUs must go remote.
+        for (unsigned cpu = 0; cpu < 4; ++cpu) {
+            if (cpu == writer)
+                continue;
+            const Cycles lat = m.access(cpu, block, false);
+            EXPECT_EQ(lat, 80u)
+                << "round " << round << " cpu " << cpu;
+        }
+    }
+}
+
+TEST_P(ProtocolStress, DeterministicReplay)
+{
+    const auto ops = randomOps(7, 8, 30000);
+    NumaMachine a(config(GetParam(), 8));
+    NumaMachine b(config(GetParam(), 8));
+    std::uint64_t total_a = 0, total_b = 0;
+    for (const Op &op : ops) {
+        total_a += a.access(op.cpu, op.addr, op.store);
+        total_b += b.access(op.cpu, op.addr, op.store);
+    }
+    EXPECT_EQ(total_a, total_b);
+    EXPECT_EQ(a.totalRemoteLoads(), b.totalRemoteLoads());
+    EXPECT_EQ(a.totalInvalidations(), b.totalInvalidations());
+}
+
+TEST_P(ProtocolStress, CountersAreConsistent)
+{
+    NumaMachine m(config(GetParam(), 8));
+    const auto ops = randomOps(11, 8, 20000);
+    for (const Op &op : ops)
+        m.access(op.cpu, op.addr, op.store);
+    std::uint64_t per_node_total = 0;
+    for (unsigned cpu = 0; cpu < 8; ++cpu) {
+        const NodeStats &s = m.nodeStats(cpu);
+        per_node_total += s.total.value();
+        // Service categories never exceed the node's access count.
+        EXPECT_LE(s.cache_hits.value() + s.local_mem.value() +
+                      s.inc_hits.value() + s.remote_loads.value() +
+                      s.invalidations.value(),
+                  s.total.value() + 1);
+    }
+    EXPECT_EQ(per_node_total, ops.size());
+    EXPECT_EQ(m.totalAccesses(), ops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, ProtocolStress,
+                         ::testing::Values(
+                             NodeArch::Integrated,
+                             NodeArch::ReferenceCcNuma,
+                             NodeArch::SimpleComa),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case NodeArch::Integrated:
+                                 return "Integrated";
+                               case NodeArch::ReferenceCcNuma:
+                                 return "Reference";
+                               case NodeArch::SimpleComa:
+                                 return "SimpleComa";
+                             }
+                             return "Unknown";
+                         });
+
+TEST(ProtocolStressMixed, HotAndColdBlocksTogether)
+{
+    // Mix hot shared blocks with cold private ones; the protocol
+    // must keep private data at 1-6 cycles throughout.
+    NumaMachine m(config(NodeArch::Integrated, 4));
+    Rng rng(13);
+    for (int i = 0; i < 20000; ++i) {
+        const unsigned cpu =
+            static_cast<unsigned>(rng.uniformInt(4));
+        if (rng.bernoulli(0.5)) {
+            // Private region of this CPU (first touch pins home).
+            const Addr addr = 0x10000000 + cpu * 0x1000000ull +
+                              rng.uniformInt(256) * 32;
+            m.access(cpu, addr, rng.bernoulli(0.3));
+        } else {
+            const Addr addr =
+                0x100000 + rng.uniformInt(16) * 32;
+            m.access(cpu, addr, rng.bernoulli(0.3));
+        }
+    }
+    // Private re-reads end cheap on every node.
+    for (unsigned cpu = 0; cpu < 4; ++cpu) {
+        const Addr addr = 0x10000000 + cpu * 0x1000000ull;
+        m.access(cpu, addr, false);
+        EXPECT_LE(m.access(cpu, addr, false), 6u);
+    }
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the deterministic xoshiro256++ generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+using namespace memwall;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a() == b()) ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t v = r.uniformInt(bound);
+            EXPECT_LT(v, bound);
+        }
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng r(9);
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++hits[r.uniformInt(10)];
+    for (int h : hits)
+        EXPECT_GT(h, 700);  // expect ~1000 each
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.uniformRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+        EXPECT_FALSE(r.bernoulli(-0.5));
+        EXPECT_TRUE(r.bernoulli(1.5));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(19);
+    int heads = 0;
+    for (int i = 0; i < 20000; ++i)
+        heads += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(23);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialPositive)
+{
+    Rng r(29);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(r.exponential(0.001), 0.0);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(31);
+    // Mean of geometric (failures before success) = (1-p)/p.
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricCertainSuccess)
+{
+    Rng r(37);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(41);
+    Rng child = parent.split();
+    // The child stream should not replicate the parent stream.
+    Rng parent2(41);
+    int matches = 0;
+    for (int i = 0; i < 100; ++i)
+        matches += (child() == parent2()) ? 1 : 0;
+    EXPECT_LT(matches, 5);
+}
+
+TEST(Rng, SplitIsDeterministic)
+{
+    Rng a(43), b(43);
+    Rng ca = a.split();
+    Rng cb = b.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ca(), cb());
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundSweep, NoModuloBias)
+{
+    // Chi-square-lite: each residue class should be hit roughly
+    // uniformly even for awkward bounds.
+    const std::uint64_t bound = GetParam();
+    Rng r(bound * 2654435761u + 1);
+    std::vector<std::uint64_t> hits(bound, 0);
+    const std::uint64_t n = 2000 * bound;
+    for (std::uint64_t i = 0; i < n; ++i)
+        ++hits[r.uniformInt(bound)];
+    for (std::uint64_t h : hits) {
+        EXPECT_GT(h, 1600u);
+        EXPECT_LT(h, 2400u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 5, 7, 11, 16, 31));

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the SPEC'95 workload registry and the miss-rate harness,
+ * including the qualitative Figure 7/8 claims as assertions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/missrate.hh"
+#include "workloads/spec_suite.hh"
+
+using namespace memwall;
+using namespace memwall::cachelabels;
+
+namespace {
+
+MissRateParams
+quick()
+{
+    MissRateParams p;
+    p.measured_refs = 300'000;
+    p.warmup_refs = 100'000;
+    return p;
+}
+
+} // namespace
+
+TEST(SpecSuite, HasAllTable2Entries)
+{
+    const auto &suite = specSuite();
+    EXPECT_EQ(suite.size(), 19u);  // 18 SPEC + synopsys
+    std::set<std::string> names;
+    for (const auto &w : suite)
+        names.insert(w.name);
+    for (const char *expected :
+         {"099.go", "124.m88ksim", "126.gcc", "129.compress",
+          "130.li", "132.ijpeg", "134.perl", "147.vortex",
+          "101.tomcatv", "102.swim", "103.su2cor", "104.hydro2d",
+          "107.mgrid", "110.applu", "125.turb3d", "141.apsi",
+          "145.fpppp", "146.wave5", "synopsys"})
+        EXPECT_TRUE(names.count(expected)) << expected;
+}
+
+TEST(SpecSuite, IntegerAndFloatSplits)
+{
+    EXPECT_EQ(integerNames().size(), 8u);
+    EXPECT_EQ(floatNames().size(), 10u);
+}
+
+TEST(SpecSuite, MetadataConsistentWithPaperTables)
+{
+    for (const auto &w : specSuite()) {
+        if (!w.in_spec_tables)
+            continue;
+        EXPECT_GE(w.base_cpi, 1.0) << w.name;
+        EXPECT_GE(w.paper_mem_cpi_novc, 0.0) << w.name;
+        // Table 4's total CPI is at least the base CPI.
+        EXPECT_GE(w.paper_total_cpi_vc, w.base_cpi - 0.01) << w.name;
+        // The victim cache never hurts the paper's ratios.
+        EXPECT_GE(w.paper_ratio_vc, w.paper_ratio_novc - 0.01)
+            << w.name;
+        EXPECT_GT(w.alpha_ratio, 0.0) << w.name;
+        EXPECT_GT(w.load_frac, 0.0);
+        EXPECT_GT(w.store_frac, 0.0);
+        EXPECT_LT(w.load_frac + w.store_frac, 0.6);
+    }
+}
+
+TEST(SpecSuite, CalibrationReproducesPaperRatios)
+{
+    // k/CPI must reproduce both the Table 3 and Table 4 operating
+    // points (the tables are mutually consistent under the model).
+    for (const auto &w : specSuite()) {
+        if (!w.in_spec_tables)
+            continue;
+        const SpecCalibration cal = w.calibration();
+        EXPECT_NEAR(cal.ratio(w.base_cpi + w.paper_mem_cpi_novc),
+                    w.paper_ratio_novc, 0.01)
+            << w.name;
+        EXPECT_NEAR(cal.ratio(w.paper_total_cpi_vc),
+                    w.paper_ratio_vc, 0.35)
+            << w.name;
+    }
+}
+
+TEST(SpecSuite, FindWorkloadByName)
+{
+    EXPECT_EQ(findWorkload("126.gcc").name, "126.gcc");
+}
+
+TEST(SpecSuiteDeath, UnknownWorkloadIsFatal)
+{
+    EXPECT_EXIT(findWorkload("999.nope"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(SpecSuite, ProxiesGenerateStreams)
+{
+    for (const auto &w : specSuite()) {
+        SyntheticWorkload source(w.proxy);
+        unsigned fetches = 0, data = 0;
+        source.generate(5000, [&](const MemRef &r) {
+            if (r.type == RefType::IFetch)
+                ++fetches;
+            else
+                ++data;
+        });
+        EXPECT_GT(fetches, 3000u) << w.name;
+        EXPECT_GT(data, 100u) << w.name;
+    }
+}
+
+// ---- Figure 7 qualitative claims -------------------------------------
+
+TEST(Figure7, ProposedBeatsSameSizeConventionalAlmostEverywhere)
+{
+    // "For almost all of the applications, the proposed cache has a
+    // lower miss rate than conventional I-caches of over twice the
+    // size" — 125.turb3d is the designed exception. Benchmarks whose
+    // code fits a 16 KB cache entirely (e.g. 130.li) trivially tie,
+    // so assert against the same-size cache for those.
+    for (const char *name : {"126.gcc", "145.fpppp", "099.go",
+                             "134.perl"}) {
+        const auto rates = measureMissRates(findWorkload(name),
+                                            quick());
+        EXPECT_LT(rates.icache(proposed).missRate(),
+                  rates.icache(conv16).missRate())
+            << name;
+    }
+    for (const char *name : {"130.li", "124.m88ksim"}) {
+        const auto rates = measureMissRates(findWorkload(name),
+                                            quick());
+        EXPECT_LT(rates.icache(proposed).missRate(),
+                  rates.icache(conv8).missRate())
+            << name;
+    }
+}
+
+TEST(Figure7, FivesBenchmarksFitEightKilobytes)
+{
+    // applu, compress, swim, mgrid, ijpeg "run very tight code
+    // loops that almost entirely fit an 8KByte cache".
+    for (const char *name : {"110.applu", "129.compress", "102.swim",
+                             "107.mgrid", "132.ijpeg"}) {
+        const auto rates = measureMissRates(findWorkload(name),
+                                            quick());
+        EXPECT_LT(rates.icache(proposed).missRate(), 0.001) << name;
+        EXPECT_LT(rates.icache(conv8).missRate(), 0.002) << name;
+    }
+}
+
+TEST(Figure7, FppppLongLinesWinBig)
+{
+    // "in 145.fpppp the miss rate is a factor of 11.2 lower than
+    // the conventional cache of the same size" (we assert > 5x) and
+    // "the benchmark entirely fits a 64KByte I-cache".
+    const auto rates = measureMissRates(findWorkload("145.fpppp"),
+                                        quick());
+    EXPECT_GT(rates.icache(conv8).missRate(),
+              5.0 * rates.icache(proposed).missRate());
+    EXPECT_LT(rates.icache(conv64).missRate(), 0.001);
+}
+
+TEST(Figure7, Turb3dIsTheOnlyRegression)
+{
+    // "The only application to produce a higher miss rate on the
+    // proposed architecture was 125.turb3d" — the loop/function
+    // column conflict.
+    const auto turb = measureMissRates(findWorkload("125.turb3d"),
+                                       quick());
+    EXPECT_GT(turb.icache(proposed).missRate(),
+              turb.icache(conv8).missRate());
+
+    for (const auto &w : specSuite()) {
+        if (w.name == "125.turb3d")
+            continue;
+        const auto rates = measureMissRates(w, quick());
+        EXPECT_LE(rates.icache(proposed).missRate(),
+                  rates.icache(conv8).missRate() + 1e-4)
+            << w.name;
+    }
+}
+
+// ---- Figure 8 qualitative claims ------------------------------------
+
+TEST(Figure8, ConflictBenchmarksBlowUpWithoutVictimCache)
+{
+    // su2cor/swim/tomcatv: "the 512-Byte line size of the proposed
+    // cache increases the number of conflict misses by almost a
+    // factor of five over a conventional cache of the same size".
+    for (const char *name :
+         {"103.su2cor", "102.swim", "101.tomcatv"}) {
+        const auto rates = measureMissRates(findWorkload(name),
+                                            quick());
+        EXPECT_GT(rates.dcache(proposed).missRate(),
+                  1.5 * rates.dcache(conv16).missRate())
+            << name;
+    }
+}
+
+TEST(Figure8, VictimCacheAbsorbsTheConflicts)
+{
+    // "In all but one application the combined D-cache and victim
+    // cache has a lower miss rate than the 16KByte direct-mapped
+    // data cache" — and for the conflict cases the reduction is
+    // dramatic.
+    for (const char *name :
+         {"103.su2cor", "102.swim", "101.tomcatv", "146.wave5"}) {
+        const auto rates = measureMissRates(findWorkload(name),
+                                            quick());
+        EXPECT_GT(rates.dcache(proposed).missRate(),
+                  3.0 * rates.dcache(proposed_vc).missRate())
+            << name;
+        EXPECT_LT(rates.dcache(proposed_vc).missRate(),
+                  rates.dcache(conv16).missRate())
+            << name;
+    }
+}
+
+TEST(Figure8, GoResistsTheVictimCache)
+{
+    // "while the victim cache helps reduce the miss rate by 25%, it
+    // does not have the capacity to absorb the conflicts" of go.
+    const auto rates = measureMissRates(findWorkload("099.go"),
+                                        quick());
+    const double plain = rates.dcache(proposed).missRate();
+    const double vc = rates.dcache(proposed_vc).missRate();
+    EXPECT_LT(vc, plain);             // it helps...
+    EXPECT_GT(vc, 0.5 * plain);       // ...but modestly
+}
+
+TEST(Figure8, PrefetchingWinsForSequentialCodes)
+{
+    // mgrid/hydro2d: "markedly reduced D-cache miss rates — over a
+    // factor of ten lower for mgrid ... compared to a conventional
+    // direct-mapped D-cache of the same capacity".
+    const auto mgrid = measureMissRates(findWorkload("107.mgrid"),
+                                        quick());
+    EXPECT_GT(mgrid.dcache(conv16).missRate(),
+              8.0 * mgrid.dcache(proposed).missRate());
+    const auto hydro = measureMissRates(findWorkload("104.hydro2d"),
+                                        quick());
+    EXPECT_GT(hydro.dcache(conv16).missRate(),
+              2.0 * hydro.dcache(proposed).missRate());
+}
+
+TEST(Figure8, RatesAreValidProbabilities)
+{
+    for (const auto &w : specSuite()) {
+        const auto rates = measureMissRates(w, quick());
+        for (const auto &r : rates.icaches) {
+            EXPECT_GE(r.missRate(), 0.0) << w.name << " " << r.label;
+            EXPECT_LE(r.missRate(), 1.0) << w.name << " " << r.label;
+        }
+        for (const auto &r : rates.dcaches) {
+            EXPECT_GE(r.missRate(), 0.0) << w.name << " " << r.label;
+            EXPECT_LE(r.missRate(), 1.0) << w.name << " " << r.label;
+        }
+    }
+}
+
+TEST(MissRates, HierarchyRatesAreConditionalProbabilities)
+{
+    const auto rates = measureHierarchyRates(
+        findWorkload("126.gcc"), HierarchyConfig::reference(),
+        quick());
+    for (double r : {rates.icache_hit, rates.icache_l2_hit,
+                     rates.load_hit, rates.load_l2_hit,
+                     rates.store_hit, rates.store_l2_hit}) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LE(r, 1.0);
+    }
+    // gcc misses its L1s some of the time but the L2 catches most.
+    EXPECT_LT(rates.icache_hit, 1.0);
+    EXPECT_GT(rates.icache_l2_hit, 0.3);
+}
+
+TEST(MissRates, IntegratedRatesVictimHelps)
+{
+    const auto with_vc = measureIntegratedRates(
+        findWorkload("102.swim"), true, quick());
+    const auto without = measureIntegratedRates(
+        findWorkload("102.swim"), false, quick());
+    EXPECT_GT(with_vc.load_hit, without.load_hit);
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the SPLASH support helpers (work partitioning, result
+ * collection).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/splash/splash_common.hh"
+
+using namespace memwall;
+
+TEST(SliceOf, EvenSplit)
+{
+    const Slice s0 = sliceOf(100, 0, 4);
+    const Slice s3 = sliceOf(100, 3, 4);
+    EXPECT_EQ(s0.first, 0u);
+    EXPECT_EQ(s0.last, 25u);
+    EXPECT_EQ(s3.first, 75u);
+    EXPECT_EQ(s3.last, 100u);
+}
+
+TEST(SliceOf, RemainderGoesToLowCpus)
+{
+    // 10 items over 4 cpus: 3,3,2,2.
+    EXPECT_EQ(sliceOf(10, 0, 4).last - sliceOf(10, 0, 4).first, 3u);
+    EXPECT_EQ(sliceOf(10, 1, 4).last - sliceOf(10, 1, 4).first, 3u);
+    EXPECT_EQ(sliceOf(10, 2, 4).last - sliceOf(10, 2, 4).first, 2u);
+    EXPECT_EQ(sliceOf(10, 3, 4).last - sliceOf(10, 3, 4).first, 2u);
+}
+
+TEST(SliceOf, CoversEverythingExactlyOnce)
+{
+    for (unsigned total : {1u, 7u, 64u, 1000u}) {
+        for (unsigned p : {1u, 2u, 3u, 8u, 16u}) {
+            unsigned covered = 0;
+            unsigned prev_end = 0;
+            for (unsigned cpu = 0; cpu < p; ++cpu) {
+                const Slice s = sliceOf(total, cpu, p);
+                EXPECT_EQ(s.first, prev_end);
+                covered += s.last - s.first;
+                prev_end = s.last;
+            }
+            EXPECT_EQ(covered, total);
+            EXPECT_EQ(prev_end, total);
+        }
+    }
+}
+
+TEST(SliceOf, MoreCpusThanItems)
+{
+    // 2 items over 4 cpus: cpus 2 and 3 get empty slices.
+    EXPECT_EQ(sliceOf(2, 2, 4).first, sliceOf(2, 2, 4).last);
+    EXPECT_EQ(sliceOf(2, 3, 4).first, sliceOf(2, 3, 4).last);
+}
+
+TEST(CollectResult, GathersMachineCounters)
+{
+    NumaConfig cfg;
+    cfg.nodes = 2;
+    cfg.arch = NodeArch::Integrated;
+    MpRuntime rt(2, cfg);
+    rt.run([&](SimContext &ctx) {
+        rt.access(ctx, 0x1000 + ctx.cpuId() * 0x10000, false);
+        ctx.advance(ctx.cpuId() * 10);
+    });
+    const SplashResult res = collectResult(rt, 3.25);
+    EXPECT_EQ(res.accesses, 2u);
+    EXPECT_DOUBLE_EQ(res.checksum, 3.25);
+    EXPECT_GT(res.makespan, 0u);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for counters, sample statistics, histograms and the
+ * load/store miss accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+using namespace memwall;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SampleStat, EmptyIsSafe)
+{
+    SampleStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStat, MeanAndVariance)
+{
+    SampleStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1 denominator: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStat, MinMaxTotal)
+{
+    SampleStat s;
+    s.add(-3.0);
+    s.add(10.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.total(), 9.0);
+}
+
+TEST(SampleStat, WelfordStableForLargeOffsets)
+{
+    SampleStat s;
+    // Classic catastrophic-cancellation case for naive variance.
+    for (int i = 0; i < 1000; ++i)
+        s.add(1e9 + (i % 2));
+    EXPECT_NEAR(s.variance(), 0.25, 1e-3);
+}
+
+TEST(SampleStat, ResetClears)
+{
+    SampleStat s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.total(), 0.0);
+}
+
+TEST(Histogram, BucketsAndBounds)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);
+    h.add(0.5);
+    h.add(9.999);
+    h.add(-1.0);
+    h.add(10.0);
+    h.add(25.0);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(3), 4.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.bucket(1), 10u);
+}
+
+TEST(Histogram, QuantileUniform)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(AccessStats, RatesSplitByType)
+{
+    AccessStats s;
+    s.load_hits.inc(60);
+    s.load_misses.inc(20);
+    s.store_hits.inc(15);
+    s.store_misses.inc(5);
+    EXPECT_EQ(s.accesses(), 100u);
+    EXPECT_EQ(s.misses(), 25u);
+    EXPECT_DOUBLE_EQ(s.missRate(), 0.25);
+    EXPECT_DOUBLE_EQ(s.loadMissRate(), 0.20);
+    EXPECT_DOUBLE_EQ(s.storeMissRate(), 0.05);
+    // The figure-8 stacked bars: load + store fractions = total.
+    EXPECT_DOUBLE_EQ(s.loadMissRate() + s.storeMissRate(),
+                     s.missRate());
+}
+
+TEST(AccessStats, IdleIsZero)
+{
+    AccessStats s;
+    EXPECT_DOUBLE_EQ(s.missRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.loadMissRate(), 0.0);
+}
+
+TEST(AccessStats, ResetClears)
+{
+    AccessStats s;
+    s.load_hits.inc(3);
+    s.store_misses.inc(2);
+    s.reset();
+    EXPECT_EQ(s.accesses(), 0u);
+}
+
+TEST(PercentString, Formats)
+{
+    EXPECT_EQ(percentString(0.1234, 2), "12.34%");
+    EXPECT_EQ(percentString(0.5, 0), "50%");
+    EXPECT_EQ(percentString(1.0, 1), "100.0%");
+}

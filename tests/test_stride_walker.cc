@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the Figure 2 stride-walk generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/stride_walker.hh"
+
+using namespace memwall;
+
+TEST(StrideWalker, WalksWithStride)
+{
+    StrideWalker w(0x1000, 256, 16);
+    std::vector<Addr> addrs;
+    w.generate(4, [&](const MemRef &r) {
+        EXPECT_EQ(r.type, RefType::Load);
+        addrs.push_back(r.addr);
+    });
+    EXPECT_EQ(addrs,
+              (std::vector<Addr>{0x1000, 0x1010, 0x1020, 0x1030}));
+}
+
+TEST(StrideWalker, WrapsAtArrayEnd)
+{
+    StrideWalker w(0x0, 64, 32);
+    std::vector<Addr> addrs;
+    w.generate(4, [&](const MemRef &r) { addrs.push_back(r.addr); });
+    EXPECT_EQ(addrs, (std::vector<Addr>{0x0, 0x20, 0x0, 0x20}));
+}
+
+TEST(StrideWalker, NonDividingStrideStillWraps)
+{
+    StrideWalker w(0x0, 100, 48);
+    std::vector<Addr> addrs;
+    w.generate(4, [&](const MemRef &r) { addrs.push_back(r.addr); });
+    // 0, 48, 96, then 144 >= 100 wraps to 44.
+    EXPECT_EQ(addrs, (std::vector<Addr>{0, 48, 96, 44}));
+}
+
+TEST(StrideWalker, ResetRestarts)
+{
+    StrideWalker w(0x100, 1024, 64);
+    Addr first = 0;
+    w.generate(1, [&](const MemRef &r) { first = r.addr; });
+    w.generate(5, [](const MemRef &) {});
+    w.reset();
+    Addr again = 0;
+    w.generate(1, [&](const MemRef &r) { again = r.addr; });
+    EXPECT_EQ(first, again);
+}
+
+TEST(StrideWalkerDeath, RejectsBadParameters)
+{
+    EXPECT_EXIT(StrideWalker(0, 100, 0),
+                ::testing::ExitedWithCode(1), "stride");
+    EXPECT_EXIT(StrideWalker(0, 8, 16), ::testing::ExitedWithCode(1),
+                "smaller");
+}
+
+TEST(StrideWalker, GenerateReturnsCount)
+{
+    StrideWalker w(0, 4096, 8);
+    EXPECT_EQ(w.generate(123, [](const MemRef &) {}), 123u);
+}

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator: routine switching,
+ * call structure, data-stream mixture, lockstep groups, reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+using namespace memwall;
+
+namespace {
+
+SyntheticSpec
+minimalSpec()
+{
+    SyntheticSpec spec;
+    spec.name = "test";
+    CodeRoutine r;
+    r.base = 0x1000;
+    r.length = 64;  // 16 instructions
+    spec.routines = {r};
+    spec.refs_per_instr = 0.0;
+    spec.seed = 5;
+    return spec;
+}
+
+} // namespace
+
+TEST(Synthetic, InstructionStreamWalksRoutine)
+{
+    SyntheticWorkload w(minimalSpec());
+    std::vector<Addr> pcs;
+    w.generate(16, [&](const MemRef &r) {
+        ASSERT_EQ(r.type, RefType::IFetch);
+        pcs.push_back(r.pc);
+    });
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(pcs[i], 0x1000 + 4 * i);
+}
+
+TEST(Synthetic, DeterministicAcrossInstances)
+{
+    SyntheticSpec spec = minimalSpec();
+    spec.routines.push_back(
+        CodeRoutine{0x2000, 128, 2.0, 3.0, -1});
+    DataStream s;
+    s.kind = StreamKind::Random;
+    s.base = 0x100000;
+    s.size = 64 * KiB;
+    spec.streams = {s};
+    spec.refs_per_instr = 0.4;
+
+    SyntheticWorkload a(spec), b(spec);
+    std::vector<MemRef> ra, rb;
+    a.generate(5000, [&](const MemRef &r) { ra.push_back(r); });
+    b.generate(5000, [&](const MemRef &r) { rb.push_back(r); });
+    EXPECT_EQ(ra, rb);
+}
+
+TEST(Synthetic, ResetReplaysIdentically)
+{
+    SyntheticSpec spec = minimalSpec();
+    DataStream s;
+    s.kind = StreamKind::Chase;
+    s.base = 0;
+    s.size = 4096;
+    spec.streams = {s};
+    spec.refs_per_instr = 0.5;
+    SyntheticWorkload w(spec);
+    std::vector<MemRef> first, second;
+    w.generate(1000, [&](const MemRef &r) { first.push_back(r); });
+    w.reset();
+    w.generate(1000, [&](const MemRef &r) { second.push_back(r); });
+    EXPECT_EQ(first, second);
+}
+
+TEST(Synthetic, RefsPerInstrRatio)
+{
+    SyntheticSpec spec = minimalSpec();
+    DataStream s;
+    spec.streams = {s};
+    spec.refs_per_instr = 0.30;
+    SyntheticWorkload w(spec);
+    unsigned fetches = 0, data = 0;
+    w.generate(40000, [&](const MemRef &r) {
+        if (r.type == RefType::IFetch)
+            ++fetches;
+        else
+            ++data;
+    });
+    EXPECT_NEAR(static_cast<double>(data) / fetches, 0.30, 0.02);
+}
+
+TEST(Synthetic, StoreFractionRespected)
+{
+    SyntheticSpec spec = minimalSpec();
+    DataStream s;
+    s.store_frac = 0.25;
+    spec.streams = {s};
+    spec.refs_per_instr = 0.5;
+    SyntheticWorkload w(spec);
+    unsigned loads = 0, stores = 0;
+    w.generate(60000, [&](const MemRef &r) {
+        if (r.type == RefType::Load)
+            ++loads;
+        else if (r.type == RefType::Store)
+            ++stores;
+    });
+    EXPECT_NEAR(static_cast<double>(stores) / (loads + stores),
+                0.25, 0.02);
+}
+
+TEST(Synthetic, StridedStreamIsSequential)
+{
+    SyntheticSpec spec = minimalSpec();
+    DataStream s;
+    s.kind = StreamKind::Strided;
+    s.base = 0x100000;
+    s.size = 1024;
+    s.stride = 8;
+    s.store_frac = 0.0;
+    s.reuse = 1;
+    spec.streams = {s};
+    spec.refs_per_instr = 1.0;  // data ref every instruction
+    SyntheticWorkload w(spec);
+    std::vector<Addr> addrs;
+    w.generate(64, [&](const MemRef &r) {
+        if (r.type != RefType::IFetch)
+            addrs.push_back(r.addr);
+    });
+    for (std::size_t i = 1; i < addrs.size(); ++i)
+        EXPECT_EQ(addrs[i], addrs[i - 1] + 8);
+}
+
+TEST(Synthetic, ReuseRepeatsPositions)
+{
+    SyntheticSpec spec = minimalSpec();
+    DataStream s;
+    s.kind = StreamKind::Strided;
+    s.base = 0;
+    s.size = 4096;
+    s.stride = 8;
+    s.store_frac = 0.0;
+    s.reuse = 3;
+    spec.streams = {s};
+    spec.refs_per_instr = 1.0;
+    SyntheticWorkload w(spec);
+    std::vector<Addr> addrs;
+    w.generate(18, [&](const MemRef &r) {
+        if (r.type != RefType::IFetch)
+            addrs.push_back(r.addr);
+    });
+    ASSERT_GE(addrs.size(), 6u);
+    EXPECT_EQ(addrs[0], addrs[1]);
+    EXPECT_EQ(addrs[1], addrs[2]);
+    EXPECT_EQ(addrs[3], addrs[0] + 8);
+}
+
+TEST(Synthetic, RandomStreamStaysInRegion)
+{
+    SyntheticSpec spec = minimalSpec();
+    DataStream s;
+    s.kind = StreamKind::Random;
+    s.base = 0x40000;
+    s.size = 8192;
+    s.access_size = 8;
+    spec.streams = {s};
+    spec.refs_per_instr = 1.0;
+    SyntheticWorkload w(spec);
+    w.generate(4000, [&](const MemRef &r) {
+        if (r.type == RefType::IFetch)
+            return;
+        EXPECT_GE(r.addr, 0x40000u);
+        EXPECT_LT(r.addr, 0x40000u + 8192u);
+        EXPECT_EQ(r.addr % 8, 0u);
+    });
+}
+
+TEST(Synthetic, ChaseCoversRegion)
+{
+    SyntheticSpec spec = minimalSpec();
+    DataStream s;
+    s.kind = StreamKind::Chase;
+    s.base = 0x0;
+    s.size = 1024;
+    s.access_size = 16;
+    spec.streams = {s};
+    spec.refs_per_instr = 1.0;
+    SyntheticWorkload w(spec);
+    std::set<Addr> seen;
+    w.generate(4000, [&](const MemRef &r) {
+        if (r.type != RefType::IFetch)
+            seen.insert(r.addr);
+    });
+    // 64 slots; the LCG walk should reach most of them.
+    EXPECT_GT(seen.size(), 48u);
+}
+
+TEST(Synthetic, CallTargetAlternatesLoopAndFunction)
+{
+    // The 125.turb3d structure: a loop calls its helper after every
+    // pass.
+    SyntheticSpec spec;
+    spec.name = "turb-mini";
+    spec.seed = 3;
+    CodeRoutine loop;
+    loop.base = 0x1000;
+    loop.length = 16;  // 4 instructions
+    loop.mean_repeats = 100;
+    loop.call_target = 1;
+    CodeRoutine callee;
+    callee.base = 0x9000;
+    callee.length = 8;  // 2 instructions
+    callee.weight = 0.001;
+    spec.routines = {loop, callee};
+    spec.refs_per_instr = 0.0;
+
+    SyntheticWorkload w(spec);
+    std::vector<Addr> pcs;
+    w.generate(12, [&](const MemRef &r) { pcs.push_back(r.pc); });
+    // loop pass (4), callee (2), loop pass (4), callee (2 begins).
+    const std::vector<Addr> expected{
+        0x1000, 0x1004, 0x1008, 0x100c, 0x9000, 0x9004,
+        0x1000, 0x1004, 0x1008, 0x100c, 0x9000, 0x9004};
+    EXPECT_EQ(pcs, expected);
+}
+
+TEST(Synthetic, LockstepGroupSharesCursor)
+{
+    SyntheticSpec spec = minimalSpec();
+    DataStream a, b, c;
+    a.base = 0x10000;
+    b.base = 0x20000;
+    c.base = 0x30000;
+    for (DataStream *s : {&a, &b, &c}) {
+        s->kind = StreamKind::Strided;
+        s->size = 4096;
+        s->stride = 8;
+        s->store_frac = 0.0;
+        s->reuse = 1;
+        s->group = 0;
+    }
+    spec.streams = {a, b, c};
+    spec.refs_per_instr = 1.0;
+    SyntheticWorkload w(spec);
+    std::vector<Addr> addrs;
+    w.generate(18, [&](const MemRef &r) {
+        if (r.type != RefType::IFetch)
+            addrs.push_back(r.addr);
+    });
+    ASSERT_GE(addrs.size(), 6u);
+    // Round-robin across members at the SAME offset...
+    EXPECT_EQ(addrs[0], 0x10000u);
+    EXPECT_EQ(addrs[1], 0x20000u);
+    EXPECT_EQ(addrs[2], 0x30000u);
+    // ...then the shared cursor advances.
+    EXPECT_EQ(addrs[3], 0x10008u);
+    EXPECT_EQ(addrs[4], 0x20008u);
+    EXPECT_EQ(addrs[5], 0x30008u);
+}
+
+TEST(SyntheticDeath, RejectsBadSpecs)
+{
+    SyntheticSpec no_routines;
+    no_routines.refs_per_instr = 0.0;
+    EXPECT_EXIT(SyntheticWorkload{no_routines},
+                ::testing::ExitedWithCode(1), "routine");
+
+    SyntheticSpec bad = minimalSpec();
+    bad.refs_per_instr = 0.5;  // but no streams
+    EXPECT_EXIT(SyntheticWorkload{bad},
+                ::testing::ExitedWithCode(1), "stream");
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the ASCII table / chart renderers used by the bench
+ * harnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+using namespace memwall;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("My Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("My Title"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NE(t.str().find("only"), std::string::npos);
+}
+
+TEST(TextTable, RuleProducesSeparator)
+{
+    TextTable t;
+    t.setHeader({"x"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string out = t.str();
+    // Separator after header plus the explicit rule: two lines
+    // consisting solely of dashes.
+    std::istringstream is(out);
+    std::string line;
+    unsigned rule_lines = 0;
+    while (std::getline(is, line)) {
+        if (!line.empty() &&
+            line.find_first_not_of('-') == std::string::npos)
+            ++rule_lines;
+    }
+    EXPECT_EQ(rule_lines, 2u);
+}
+
+TEST(TextTable, ColumnsAlign)
+{
+    TextTable t;
+    t.setHeader({"name", "v"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "2"});
+    std::istringstream is(t.str());
+    std::string line;
+    std::vector<std::size_t> pipes;
+    while (std::getline(is, line)) {
+        const auto pos = line.find('|');
+        if (pos != std::string::npos)
+            pipes.push_back(pos);
+    }
+    ASSERT_GE(pipes.size(), 3u);
+    for (std::size_t p : pipes)
+        EXPECT_EQ(p, pipes.front());
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, IntWithCommas)
+{
+    EXPECT_EQ(TextTable::intWithCommas(0), "0");
+    EXPECT_EQ(TextTable::intWithCommas(999), "999");
+    EXPECT_EQ(TextTable::intWithCommas(1000), "1,000");
+    EXPECT_EQ(TextTable::intWithCommas(1234567), "1,234,567");
+}
+
+TEST(BarChart, LongestBarFillsWidth)
+{
+    BarChart c("chart");
+    c.setWidth(20);
+    c.add("g", "big", 10.0);
+    c.add("g", "small", 5.0);
+    const std::string out = c.str();
+    // Big bar: 20 hashes; small: 10.
+    EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+    EXPECT_EQ(out.find(std::string(21, '#')), std::string::npos);
+}
+
+TEST(BarChart, GroupsPrintedOnce)
+{
+    BarChart c("chart");
+    c.add("group1", "a", 1.0);
+    c.add("group1", "b", 2.0);
+    c.add("group2", "c", 3.0);
+    const std::string out = c.str();
+    // group1 appears exactly once as a header line.
+    std::size_t first = out.find("group1");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(out.find("group1", first + 1), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesSafe)
+{
+    BarChart c("chart");
+    c.add("g", "zero", 0.0);
+    EXPECT_NE(c.str().find("zero"), std::string::npos);
+}
+
+TEST(SeriesChart, GridHasAllSeries)
+{
+    SeriesChart s("title", "x", "y");
+    s.addPoint("a", 1.0, 10.0);
+    s.addPoint("b", 1.0, 20.0);
+    s.addPoint("a", 2.0, 11.0);
+    const std::string out = s.str();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("b"), std::string::npos);
+    EXPECT_NE(out.find("10.0000"), std::string::npos);
+    // b has no point at x=2: rendered as '-'.
+    EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(SeriesChart, PointsSortedByX)
+{
+    SeriesChart s("t", "x", "y");
+    s.addPoint("a", 3.0, 30.0);
+    s.addPoint("a", 1.0, 10.0);
+    s.addPoint("a", 2.0, 20.0);
+    const std::string out = s.str();
+    const auto p1 = out.find("10.0000");
+    const auto p2 = out.find("20.0000");
+    const auto p3 = out.find("30.0000");
+    ASSERT_NE(p1, std::string::npos);
+    ASSERT_NE(p2, std::string::npos);
+    ASSERT_NE(p3, std::string::npos);
+    EXPECT_LT(p1, p2);
+    EXPECT_LT(p2, p3);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for trace capture/replay and the MWTR file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/trace_file.hh"
+
+using namespace memwall;
+
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+TraceBuffer
+sampleTrace()
+{
+    TraceBuffer t;
+    t.record(MemRef::fetch(0x1000));
+    t.record(MemRef::load(0x1000, 0xdeadbeef, 8));
+    t.record(MemRef::store(0x1004, 0x12345678, 2));
+    return t;
+}
+
+} // namespace
+
+TEST(TraceBuffer, RecordAndReplay)
+{
+    TraceBuffer t = sampleTrace();
+    EXPECT_EQ(t.size(), 3u);
+    std::vector<MemRef> out;
+    t.generate(10, [&](const MemRef &r) { out.push_back(r); });
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], MemRef::fetch(0x1000));
+    EXPECT_EQ(out[1].addr, 0xdeadbeefu);
+    EXPECT_EQ(out[2].type, RefType::Store);
+}
+
+TEST(TraceBuffer, GenerateRespectsLimitAndPosition)
+{
+    TraceBuffer t = sampleTrace();
+    std::vector<MemRef> out;
+    EXPECT_EQ(t.generate(2, [&](const MemRef &r) {
+        out.push_back(r);
+    }),
+              2u);
+    EXPECT_EQ(t.generate(10, [&](const MemRef &r) {
+        out.push_back(r);
+    }),
+              1u);
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(t.generate(10, [&](const MemRef &) {}), 0u);
+    t.reset();
+    EXPECT_EQ(t.generate(10, [&](const MemRef &) {}), 3u);
+}
+
+TEST(TraceBuffer, SinkRecords)
+{
+    TraceBuffer t;
+    const RefSink sink = t.sink();
+    sink(MemRef::fetch(0x42));
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].pc, 0x42u);
+}
+
+TEST(TraceFile, SaveLoadRoundTrip)
+{
+    const std::string path = tempPath("roundtrip.mwtr");
+    TraceBuffer t = sampleTrace();
+    ASSERT_TRUE(t.save(path));
+
+    TraceBuffer loaded;
+    ASSERT_TRUE(loaded.load(path));
+    ASSERT_EQ(loaded.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(loaded[i], t[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoadRejectsGarbage)
+{
+    const std::string path = tempPath("garbage.mwtr");
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "this is not a trace file at all";
+    }
+    TraceBuffer t;
+    EXPECT_FALSE(t.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoadRejectsTruncated)
+{
+    const std::string path = tempPath("trunc.mwtr");
+    TraceBuffer t = sampleTrace();
+    ASSERT_TRUE(t.save(path));
+    // Truncate mid-record.
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::string all((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(all.data(),
+                 static_cast<std::streamsize>(all.size() - 10));
+    }
+    TraceBuffer loaded;
+    EXPECT_FALSE(loaded.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, LoadMissingFileFails)
+{
+    TraceBuffer t;
+    EXPECT_FALSE(t.load(tempPath("does-not-exist.mwtr")));
+}
+
+TEST(TraceFile, EmptyTraceRoundTrips)
+{
+    const std::string path = tempPath("empty.mwtr");
+    TraceBuffer t;
+    ASSERT_TRUE(t.save(path));
+    TraceBuffer loaded;
+    loaded.record(MemRef::fetch(1));  // must be replaced by load()
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceBuffer, ClearEmpties)
+{
+    TraceBuffer t = sampleTrace();
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.generate(5, [](const MemRef &) {}), 0u);
+}

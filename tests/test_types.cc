@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the foundational helpers in common/types.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+using namespace memwall;
+
+TEST(Types, PowerOfTwoPredicate)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(512));
+    EXPECT_FALSE(isPowerOfTwo(513));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(512), 9u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(Types, CeilPowerOfTwo)
+{
+    EXPECT_EQ(ceilPowerOfTwo(1), 1u);
+    EXPECT_EQ(ceilPowerOfTwo(2), 2u);
+    EXPECT_EQ(ceilPowerOfTwo(3), 4u);
+    EXPECT_EQ(ceilPowerOfTwo(512), 512u);
+    EXPECT_EQ(ceilPowerOfTwo(513), 1024u);
+    EXPECT_EQ(ceilPowerOfTwo(3 * MiB), 4 * MiB);
+}
+
+TEST(Types, ByteUnits)
+{
+    EXPECT_EQ(KiB, 1024u);
+    EXPECT_EQ(MiB, 1024u * 1024);
+    EXPECT_EQ(GiB, 1024ull * 1024 * 1024);
+    // The device: 256 Mbit = 32 MiB.
+    EXPECT_EQ(256ull * 1024 * 1024 / 8, 32 * MiB);
+}
+
+TEST(Types, ClockConversions)
+{
+    ClockParams clock;  // 200 MHz
+    EXPECT_DOUBLE_EQ(clock.cycleNs(), 5.0);
+    // The paper's 30 ns array access = 6 cycles.
+    EXPECT_EQ(clock.nsToCycles(30.0), 6u);
+    // Rounding is up: 31 ns needs 7 whole cycles.
+    EXPECT_EQ(clock.nsToCycles(31.0), 7u);
+    EXPECT_EQ(clock.nsToCycles(0.0), 0u);
+    EXPECT_DOUBLE_EQ(clock.cyclesToNs(6), 30.0);
+
+    ClockParams slow;
+    slow.freq_mhz = 85.0;  // the SS-5
+    EXPECT_NEAR(slow.cycleNs(), 11.76, 0.01);
+}
+
+TEST(Types, Sentinels)
+{
+    EXPECT_GT(invalid_addr, Addr{0xffffffffffff});
+    EXPECT_EQ(max_tick, ~Tick{0});
+}

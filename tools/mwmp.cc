@@ -1,0 +1,86 @@
+/**
+ * @file
+ * mwmp — run a SPLASH kernel on a configurable machine from the
+ * command line.
+ *
+ *   mwmp KERNEL [--cpus N] [--arch ARCH] [--scale S] [--no-victim]
+ *        [--contention]
+ *
+ *   KERNEL: lu | mp3d | ocean | water | pthor
+ *   ARCH  : integrated (default) | reference | scoma
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/memwall.hh"
+
+using namespace memwall;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: mwmp KERNEL [--cpus N] [--arch "
+                     "integrated|reference|scoma] [--scale S] "
+                     "[--no-victim] [--contention]\n");
+        return 2;
+    }
+    const std::string kernel = argv[1];
+    SplashParams params;
+    params.nprocs = 4;
+    params.scale = 0.2;
+    params.machine.arch = NodeArch::Integrated;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
+            params.nprocs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--scale") == 0 &&
+                   i + 1 < argc) {
+            params.scale = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--arch") == 0 &&
+                   i + 1 < argc) {
+            const std::string arch = argv[++i];
+            if (arch == "integrated")
+                params.machine.arch = NodeArch::Integrated;
+            else if (arch == "reference")
+                params.machine.arch = NodeArch::ReferenceCcNuma;
+            else if (arch == "scoma")
+                params.machine.arch = NodeArch::SimpleComa;
+            else {
+                std::fprintf(stderr, "mwmp: unknown arch '%s'\n",
+                             arch.c_str());
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--no-victim") == 0) {
+            params.machine.victim_cache = false;
+        } else if (std::strcmp(argv[i], "--contention") == 0) {
+            params.machine.model_fabric_contention = true;
+        } else {
+            std::fprintf(stderr, "mwmp: unknown option '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    params.machine.nodes = params.nprocs;
+
+    const SplashResult res = runSplash(kernel, params);
+    std::printf("%s on %u cpus (scale %.2f):\n", kernel.c_str(),
+                params.nprocs, params.scale);
+    std::printf("  makespan      : %llu cycles (%.2f ms at "
+                "200 MHz)\n",
+                static_cast<unsigned long long>(res.makespan),
+                res.makespan / 200e3);
+    std::printf("  accesses      : %llu\n",
+                static_cast<unsigned long long>(res.accesses));
+    std::printf("  remote loads  : %llu\n",
+                static_cast<unsigned long long>(res.remote_loads));
+    std::printf("  invalidations : %llu\n",
+                static_cast<unsigned long long>(
+                    res.invalidations));
+    std::printf("  checksum      : %.6g\n", res.checksum);
+    return 0;
+}

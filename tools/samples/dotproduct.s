@@ -1,0 +1,33 @@
+; Dot product of two 256-element vectors, MW32 sample program.
+; Run:  mwasm run tools/samples/dotproduct.s --pim --regs
+    .equ N, 256
+    .org 0x1000
+start:
+    li   r10, 0x100000      ; vector a
+    li   r11, 0x108000      ; vector b (32 KiB away: same cache set)
+    addi r1, r0, 0          ; i
+    addi r5, r0, N
+init:
+    addi r2, r1, 1
+    sw   r2, 0(r10)
+    addi r3, r1, 2
+    sw   r3, 0(r11)
+    addi r10, r10, 4
+    addi r11, r11, 4
+    addi r1, r1, 1
+    bne  r1, r5, init
+
+    li   r10, 0x100000
+    li   r11, 0x108000
+    addi r1, r0, 0
+    addi r4, r0, 0          ; accumulator
+loop:
+    lw   r2, 0(r10)
+    lw   r3, 0(r11)
+    mul  r6, r2, r3
+    add  r4, r4, r6
+    addi r10, r10, 4
+    addi r11, r11, 4
+    addi r1, r1, 1
+    bne  r1, r5, loop
+    halt                    ; result in r4

@@ -1,0 +1,147 @@
+; Device self-test (paper Section 3).
+;
+; "Since an integrated processing element is a complete system, it
+;  greatly reduces these tester requirements. All that is required is
+;  to download a self-test program." This is that program: it marches
+; patterns over a memory window, exercises every ALU class, runs the
+; load/store widths, and thrashes the column-buffer sets so the
+; sixteen banks all see traffic. On success r20 = 0x600D; each failed
+; phase sets a bit in r21.
+;
+; Run: mwasm run tools/samples/selftest.s --pim --regs
+    .equ WINDOW, 0x100000
+    .equ WORDS, 2048          ; 8 KiB test window
+    .org 0x1000
+start:
+    addi r21, r0, 0           ; failure bitmap
+
+; ---- phase 1: march 0x00000000 / 0xffffffff --------------------------
+    li   r10, WINDOW
+    li   r5, WORDS
+    addi r1, r0, 0
+    addi r2, r0, -1           ; 0xffffffff
+m1w:
+    sw   r2, 0(r10)
+    addi r10, r10, 4
+    addi r1, r1, 1
+    bne  r1, r5, m1w
+    li   r10, WINDOW
+    addi r1, r0, 0
+m1r:
+    lw   r3, 0(r10)
+    beq  r3, r2, m1ok
+    ori  r21, r21, 1
+m1ok:
+    sw   r0, 0(r10)           ; march down to zeros
+    lw   r3, 0(r10)
+    beq  r3, r0, m1ok2
+    ori  r21, r21, 1
+m1ok2:
+    addi r10, r10, 4
+    addi r1, r1, 1
+    bne  r1, r5, m1r
+
+; ---- phase 2: address-in-data (detects aliased banks/columns) --------
+    li   r10, WINDOW
+    addi r1, r0, 0
+a1w:
+    sw   r10, 0(r10)
+    addi r10, r10, 4
+    addi r1, r1, 1
+    bne  r1, r5, a1w
+    li   r10, WINDOW
+    addi r1, r0, 0
+a1r:
+    lw   r3, 0(r10)
+    beq  r3, r10, a1ok
+    ori  r21, r21, 2
+a1ok:
+    addi r10, r10, 4
+    addi r1, r1, 1
+    bne  r1, r5, a1r
+
+; ---- phase 3: ALU classes --------------------------------------------
+    addi r1, r0, 1000
+    addi r2, r0, 37
+    mul  r3, r1, r2           ; 37000
+    li   r4, 37000
+    beq  r3, r4, alu1
+    ori  r21, r21, 4
+alu1:
+    div  r3, r3, r2           ; back to 1000
+    beq  r3, r1, alu2
+    ori  r21, r21, 4
+alu2:
+    xor  r3, r1, r1           ; 0
+    beq  r3, r0, alu3
+    ori  r21, r21, 4
+alu3:
+    addi r3, r0, 1
+    sll  r3, r3, r2           ; 1 << (37 & 31) = 32
+    addi r4, r0, 32
+    beq  r3, r4, alu4
+    ori  r21, r21, 4
+alu4:
+    addi r3, r0, -16
+    srai r3, r3, 2            ; -4
+    addi r4, r0, -4
+    beq  r3, r4, aludone
+    ori  r21, r21, 4
+aludone:
+
+; ---- phase 4: sub-word loads and stores ------------------------------
+    li   r10, WINDOW
+    li   r1, 0x8001fa5c
+    sw   r1, 0(r10)
+    lbu  r3, 3(r10)           ; 0x80
+    addi r4, r0, 0x80
+    beq  r3, r4, w1
+    ori  r21, r21, 8
+w1:
+    lb   r3, 3(r10)           ; sign-extended 0xffffff80
+    li   r4, 0xffffff80
+    beq  r3, r4, w2
+    ori  r21, r21, 8
+w2:
+    lhu  r3, 0(r10)           ; 0xfa5c
+    li   r4, 0xfa5c
+    beq  r3, r4, w3
+    ori  r21, r21, 8
+w3:
+    addi r3, r0, 0x7e
+    sb   r3, 1(r10)
+    lw   r3, 0(r10)
+    li   r4, 0x80017e5c       ; byte 1 replaced by 0x7e
+    beq  r3, r4, wdone
+    ori  r21, r21, 8
+wdone:
+
+; ---- phase 5: bank sweep (touch every 512B column over 16 KiB) -------
+    li   r10, WINDOW
+    addi r1, r0, 0
+    addi r5, r0, 32           ; 32 columns
+bank:
+    mul  r2, r1, r1
+    sw   r2, 0(r10)
+    addi r10, r10, 512
+    addi r1, r1, 1
+    bne  r1, r5, bank
+    li   r10, WINDOW
+    addi r1, r0, 0
+bankr:
+    mul  r2, r1, r1
+    lw   r3, 0(r10)
+    beq  r3, r2, bankok
+    ori  r21, r21, 16
+bankok:
+    addi r10, r10, 512
+    addi r1, r1, 1
+    bne  r1, r5, bankr
+
+; ---- verdict ----------------------------------------------------------
+    bne  r21, r0, fail
+    li   r20, 0x600D
+    halt
+fail:
+    li   r20, 0xDEAD
+    halt
