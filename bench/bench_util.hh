@@ -6,6 +6,11 @@
  *   --refs N     measured references per workload (default varies)
  *   --quick      cut the workload sizes ~10x for smoke runs
  *   --seed S     RNG seed
+ *
+ * A bench may register additional value-taking flags (e.g.
+ * `--reseeds 0,777,31415`) by passing them to parse(); their values
+ * land in Options::extra keyed by flag name, and the comma-list
+ * helpers below turn them into numbers.
  */
 
 #ifndef MEMWALL_BENCH_BENCH_UTIL_HH
@@ -13,8 +18,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <initializer_list>
+#include <map>
 #include <string>
+#include <vector>
 
 namespace memwall::benchutil {
 
@@ -23,29 +32,95 @@ struct Options
     std::uint64_t refs = 0;  ///< 0 = use the bench's default
     bool quick = false;
     std::uint64_t seed = 42;
+    /** Values of the bench's registered extra flags, keyed by the
+     * flag spelled with its dashes (e.g. "--reseeds"). */
+    std::map<std::string, std::string> extra;
+
+    /** Value of extra flag @p flag, or @p fallback if not given. */
+    std::string
+    extraOr(const std::string &flag,
+            const std::string &fallback) const
+    {
+        auto it = extra.find(flag);
+        return it != extra.end() ? it->second : fallback;
+    }
 };
 
 inline Options
-parse(int argc, char **argv)
+parse(int argc, char **argv,
+      std::initializer_list<const char *> extra_flags = {})
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
-        } else if (std::strcmp(argv[i], "--refs") == 0 &&
-                   i + 1 < argc) {
-            opt.refs = std::strtoull(argv[++i], nullptr, 0);
-        } else if (std::strcmp(argv[i], "--seed") == 0 &&
-                   i + 1 < argc) {
-            opt.seed = std::strtoull(argv[++i], nullptr, 0);
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--refs N] [--quick] [--seed S]\n",
-                         argv[0]);
-            std::exit(2);
+            continue;
         }
+        if (std::strcmp(argv[i], "--refs") == 0 && i + 1 < argc) {
+            opt.refs = std::strtoull(argv[++i], nullptr, 0);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 0);
+            continue;
+        }
+        bool matched = false;
+        for (const char *flag : extra_flags) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                opt.extra[flag] = argv[++i];
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        std::fprintf(stderr,
+                     "usage: %s [--refs N] [--quick] [--seed S]",
+                     argv[0]);
+        for (const char *flag : extra_flags)
+            std::fprintf(stderr, " [%s V[,V...]]", flag);
+        std::fprintf(stderr, "\n");
+        std::exit(2);
     }
     return opt;
+}
+
+/** Split @p list on commas ("1,2,3" -> {"1","2","3"}). */
+inline std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(list.substr(start));
+            break;
+        }
+        out.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** Parse a comma-separated list of unsigned integers. */
+inline std::vector<std::uint64_t>
+parseU64List(const std::string &list)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &item : splitList(list))
+        out.push_back(std::strtoull(item.c_str(), nullptr, 0));
+    return out;
+}
+
+/** Parse a comma-separated list of doubles ("0,1e-6,5e-5"). */
+inline std::vector<double>
+parseDoubleList(const std::string &list)
+{
+    std::vector<double> out;
+    for (const std::string &item : splitList(list))
+        out.push_back(std::strtod(item.c_str(), nullptr));
+    return out;
 }
 
 inline void

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Validation: seeded fault campaigns across the memory, link and
+ * protocol layers.
+ *
+ * Sweeps the soft-error rate, the link bit-error rate and the
+ * protocol NACK rate independently and prints one reliability table
+ * per layer, plus two self-checks:
+ *
+ *  - zero-fault equivalence: with every rate at zero the faulty
+ *    machine, link and memory slice behave bit-for-bit like their
+ *    clean twins (same latencies, all fault counters zero);
+ *  - determinism: re-running the highest-rate campaign with the same
+ *    seed reproduces the identical report.
+ *
+ * Flags (beyond the usual --seed/--quick):
+ *   --rates R,R,...   soft-error rates in faults/megacycle
+ *   --bers  B,B,...   link bit error rates
+ *   --nacks P,P,...   protocol NACK probabilities
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "fault/campaign.hh"
+
+using namespace memwall;
+
+namespace {
+
+CampaignConfig
+baseConfig(const benchutil::Options &opt)
+{
+    CampaignConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.horizon = opt.quick ? 250'000 : 1'000'000;
+    cfg.link_messages = opt.quick ? 2'000 : 10'000;
+    cfg.protocol_accesses = opt.quick ? 5'000 : 20'000;
+    return cfg;
+}
+
+std::string
+pct(double fraction)
+{
+    return TextTable::num(fraction * 100.0, 3) + "%";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv,
+                                {"--rates", "--bers", "--nacks"});
+    benchutil::banner("Validation - seeded fault campaigns", opt);
+
+    const auto rates = benchutil::parseDoubleList(
+        opt.extraOr("--rates", "0,10,50,200,1000"));
+    const auto bers = benchutil::parseDoubleList(
+        opt.extraOr("--bers", "0,1e-7,1e-6,1e-5"));
+    const auto nacks = benchutil::parseDoubleList(
+        opt.extraOr("--nacks", "0,0.01,0.05,0.2"));
+
+    // ---- Self-check 1: zero-fault runs are bit-for-bit clean ------
+    CampaignConfig zero = baseConfig(opt);
+    const ReliabilityReport z = runFaultCampaign(zero);
+    const bool clean_ok =
+        z.faults_injected == 0 && z.scrub_corrected == 0 &&
+        z.scrub_uncorrectable == 0 && z.machine_checks == 0 &&
+        z.silent_corruptions == 0 && z.link_retransmissions == 0 &&
+        z.protocol_nacks == 0 &&
+        z.link_mean_latency == z.link_clean_latency &&
+        z.mean_access_cycles == z.clean_access_cycles;
+    std::printf("zero-fault equivalence: %s (link %.3f == %.3f, "
+                "protocol %.3f == %.3f cycles)\n\n",
+                clean_ok ? "PASS" : "FAIL", z.link_mean_latency,
+                z.link_clean_latency, z.mean_access_cycles,
+                z.clean_access_cycles);
+
+    // ---- Memory layer: soft errors vs scrubbing -------------------
+    TextTable mem("Memory: soft errors vs refresh-ride scrubbing "
+                  "(per " +
+                  TextTable::intWithCommas(zero.horizon) +
+                  " cycles)");
+    mem.setHeader({"faults/Mcyc", "injected", "scrub-corr",
+                   "demand-corr", "uncorr", "spared", "mach-chk",
+                   "silent", "scrub-ovh"});
+    for (double rate : rates) {
+        CampaignConfig cfg = baseConfig(opt);
+        cfg.faults_per_megacycle = rate;
+        const ReliabilityReport r = runFaultCampaign(cfg);
+        mem.addRow({TextTable::num(rate, 0),
+                    std::to_string(r.faults_injected),
+                    std::to_string(r.scrub_corrected),
+                    std::to_string(r.demand_corrected),
+                    std::to_string(r.scrub_uncorrectable +
+                                   r.demand_uncorrectable),
+                    std::to_string(r.rows_spared),
+                    std::to_string(r.machine_checks),
+                    std::to_string(r.silent_corruptions),
+                    pct(r.scrub_overhead)});
+    }
+    mem.print(std::cout);
+    std::cout << "\n";
+
+    // ---- Link layer: CRC + ACK/NACK retransmission ----------------
+    TextTable link("Serial link: CRC retransmission under bit "
+                   "errors (" +
+                   TextTable::intWithCommas(zero.link_messages) +
+                   " x 40-byte frames)");
+    link.setHeader({"BER", "retrans", "crc-det", "timeouts",
+                    "failures", "mean lat", "clean lat",
+                    "inflation"});
+    for (double ber : bers) {
+        CampaignConfig cfg = baseConfig(opt);
+        cfg.link_bit_error_rate = ber;
+        const ReliabilityReport r = runFaultCampaign(cfg);
+        const double inflation =
+            r.link_clean_latency > 0.0
+                ? r.link_mean_latency / r.link_clean_latency - 1.0
+                : 0.0;
+        char ber_str[32];
+        std::snprintf(ber_str, sizeof ber_str, "%.0e", ber);
+        link.addRow({ber_str,
+                     std::to_string(r.link_retransmissions),
+                     std::to_string(r.link_crc_detected),
+                     std::to_string(r.link_timeouts),
+                     std::to_string(r.link_failures),
+                     TextTable::num(r.link_mean_latency, 2),
+                     TextTable::num(r.link_clean_latency, 2),
+                     pct(inflation)});
+    }
+    link.print(std::cout);
+    std::cout << "\n";
+
+    // ---- Protocol layer: NACK + bounded retry ---------------------
+    TextTable proto("Protocol engine: NACK/backoff retry (" +
+                    TextTable::intWithCommas(
+                        zero.protocol_accesses) +
+                    " accesses, 4 nodes)");
+    proto.setHeader({"nack rate", "remote", "nacks", "retries",
+                     "failures", "mean lat", "clean lat",
+                     "inflation"});
+    for (double nack : nacks) {
+        CampaignConfig cfg = baseConfig(opt);
+        cfg.protocol_nack_rate = nack;
+        const ReliabilityReport r = runFaultCampaign(cfg);
+        const double inflation =
+            r.clean_access_cycles > 0.0
+                ? r.mean_access_cycles / r.clean_access_cycles - 1.0
+                : 0.0;
+        proto.addRow({TextTable::num(nack, 2),
+                      std::to_string(r.remote_transactions),
+                      std::to_string(r.protocol_nacks),
+                      std::to_string(r.protocol_retries),
+                      std::to_string(r.protocol_failures),
+                      TextTable::num(r.mean_access_cycles, 2),
+                      TextTable::num(r.clean_access_cycles, 2),
+                      pct(inflation)});
+    }
+    proto.print(std::cout);
+    std::cout << "\n";
+
+    // ---- Self-check 2: same seed => identical report --------------
+    CampaignConfig det = baseConfig(opt);
+    det.faults_per_megacycle = rates.back();
+    det.link_bit_error_rate = bers.back();
+    det.protocol_nack_rate = nacks.back();
+    const ReliabilityReport a = runFaultCampaign(det);
+    const ReliabilityReport b = runFaultCampaign(det);
+    std::printf("determinism (two runs, seed %llu, all rates max): "
+                "%s\n",
+                static_cast<unsigned long long>(opt.seed),
+                a == b ? "PASS" : "FAIL");
+    std::printf(
+        "\nExpected: zero-fault row all zeros; corrected grows "
+        "with the rate while\nuncorrectable stays 0 until doubles "
+        "become likely; retransmissions recover\nevery corrupted "
+        "frame; both self-checks PASS.\n");
+    return (clean_ok && a == b) ? 0 : 1;
+}

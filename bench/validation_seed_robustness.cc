@@ -24,7 +24,7 @@ using namespace memwall::cachelabels;
 int
 main(int argc, char **argv)
 {
-    auto opt = benchutil::parse(argc, argv);
+    auto opt = benchutil::parse(argc, argv, {"--reseeds"});
     benchutil::banner("Validation - proxy-seed robustness", opt);
 
     MissRateParams params;
@@ -33,7 +33,10 @@ main(int argc, char **argv)
                                                  : 2'000'000);
     params.warmup_refs = params.measured_refs / 4;
 
-    const std::uint64_t reseeds[] = {0, 777, 31415, 2718281};
+    // Seed deltas to sweep; override with --reseeds 0,777,31415,...
+    const std::vector<std::uint64_t> reseeds =
+        benchutil::parseU64List(
+            opt.extraOr("--reseeds", "0,777,31415,2718281"));
 
     TextTable table("Key Figure 7/8 quantities across four proxy "
                     "seeds (min .. max)");

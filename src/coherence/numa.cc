@@ -7,7 +7,8 @@
 namespace memwall {
 
 NumaMachine::NumaMachine(NumaConfig config)
-    : config_(config), directory_(config.nodes)
+    : config_(config), directory_(config.nodes),
+      proto_rng_(config.protocol_fault.seed)
 {
     MW_ASSERT(config_.nodes >= 1 &&
                   config_.nodes <= DirEntry::max_nodes,
@@ -199,21 +200,46 @@ Cycles
 NumaMachine::remoteRoundTrip(unsigned cpu, unsigned home, Tick now,
                              Cycles floor)
 {
-    if (!fabric_ || home == cpu)
-        return floor;
-    // Request across the fabric, service at the home node's
-    // protocol engine (which serialises transactions), reply with
-    // the 32-byte payload.
-    const Tick req =
-        fabric_->send(now, cpu, home, MsgType::ReadRequest);
-    const Tick start = std::max(req, engine_free_[home]);
-    const Tick done = start + config_.engine_occupancy;
-    engine_free_[home] = done;
-    const Tick reply =
-        fabric_->send(done, home, cpu, MsgType::ReadReply);
-    const Cycles contended =
-        static_cast<Cycles>(reply > now ? reply - now : 0);
-    return std::max(floor, contended);
+    auto attempt = [&](Tick when) -> Cycles {
+        if (!fabric_ || home == cpu)
+            return floor;
+        // Request across the fabric, service at the home node's
+        // protocol engine (which serialises transactions), reply
+        // with the 32-byte payload.
+        const Tick req =
+            fabric_->send(when, cpu, home, MsgType::ReadRequest);
+        const Tick start = std::max(req, engine_free_[home]);
+        const Tick done = start + config_.engine_occupancy;
+        engine_free_[home] = done;
+        const Tick reply =
+            fabric_->send(done, home, cpu, MsgType::ReadReply);
+        return static_cast<Cycles>(
+            std::max<Tick>(reply > when ? reply - when : 0, floor));
+    };
+
+    Cycles total = attempt(now);
+    const ProtocolFaultConfig &pf = config_.protocol_fault;
+    if (pf.enabled() && home != cpu) {
+        // The home engine may NACK the transaction (overload, drop
+        // under pressure); the requester backs off and retries, each
+        // retry paying a full round trip. A bounded budget turns a
+        // persistently failing transaction into a machine check
+        // instead of a livelock.
+        Cycles backoff = pf.backoff_base;
+        unsigned tries = 0;
+        while (proto_rng_.bernoulli(pf.nack_rate)) {
+            nacks_.inc();
+            if (tries == pf.max_retries) {
+                proto_failures_.inc();
+                break;
+            }
+            ++tries;
+            retries_.inc();
+            total += backoff + attempt(now + total);
+            backoff = std::min<Cycles>(backoff * 2, pf.backoff_cap);
+        }
+    }
+    return total;
 }
 
 Cycles

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "coherence/directory.hh"
+#include "common/rng.hh"
 #include "interconnect/fabric.hh"
 #include "coherence/inc.hh"
 #include "coherence/protocol.hh"
@@ -55,6 +56,32 @@ enum class NodeArch {
      * lookup, at the price of replication storage.
      */
     SimpleComa,
+};
+
+/**
+ * Error process of the protocol engines. A loaded (or flaky) home
+ * engine NACKs an incoming remote transaction instead of servicing
+ * it; the requester backs off exponentially and retries a bounded
+ * number of times. Exhausting the retry budget is counted as a
+ * protocol failure (machine-check material) and the transaction is
+ * then forced through, so forward progress is never lost silently.
+ * Disabled by default (nack_rate == 0 draws nothing from the RNG, so
+ * fault-free runs reproduce bit-for-bit).
+ */
+struct ProtocolFaultConfig
+{
+    /** Probability that one remote transaction attempt is NACKed. */
+    double nack_rate = 0.0;
+    /** Retries before the requester raises a machine check. */
+    unsigned max_retries = 8;
+    /** Backoff before the first retry (doubles per retry). */
+    Cycles backoff_base = 16;
+    /** Upper bound on a single backoff interval. */
+    Cycles backoff_cap = 1024;
+    /** Seed of the NACK stream. */
+    std::uint64_t seed = 42;
+
+    bool enabled() const { return nack_rate > 0.0; }
 };
 
 /** Machine-wide configuration. */
@@ -96,6 +123,8 @@ struct NumaConfig
     Cycles engine_occupancy = 12;
     /** Column cache geometry for the integrated node. */
     ColumnCacheConfig columns = {};
+    /** Protocol-engine NACK/retry error process. */
+    ProtocolFaultConfig protocol_fault = {};
 };
 
 /** Per-node access statistics. */
@@ -147,6 +176,21 @@ class NumaMachine
     std::uint64_t totalAccesses() const;
     std::uint64_t totalRemoteLoads() const;
     std::uint64_t totalInvalidations() const;
+
+    /** Fabric instance (null unless fabric contention is modelled). */
+    const Fabric *fabric() const { return fabric_.get(); }
+
+    // Protocol-fault bookkeeping (all zero when the fault model is
+    // disabled).
+    /** Remote transaction attempts NACKed by a protocol engine. */
+    std::uint64_t protocolNacks() const { return nacks_.value(); }
+    /** Backoff-spaced retries that followed those NACKs. */
+    std::uint64_t protocolRetries() const { return retries_.value(); }
+    /** Transactions that exhausted the retry budget. */
+    std::uint64_t protocolFailures() const
+    {
+        return proto_failures_.value();
+    }
 
   private:
     struct Node
@@ -200,6 +244,10 @@ class NumaMachine
 
     NumaConfig config_;
     Directory directory_;
+    Rng proto_rng_;
+    Counter nacks_;
+    Counter retries_;
+    Counter proto_failures_;
     std::unique_ptr<Fabric> fabric_;
     /** Per-node protocol-engine ready times (contention mode). */
     std::vector<Tick> engine_free_;

@@ -1,0 +1,192 @@
+#include "fault/campaign.hh"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "coherence/numa.hh"
+#include "common/rng.hh"
+#include "fault/injector.hh"
+#include "fault/scrub.hh"
+#include "interconnect/reliable_link.hh"
+
+namespace memwall {
+
+namespace {
+
+void
+runMemoryPhase(const CampaignConfig &config, ReliabilityReport &rep)
+{
+    MemoryArrayConfig array_cfg = config.array;
+    array_cfg.pattern_seed = config.seed;
+    EccMemoryArray array(array_cfg);
+
+    Dram dram(config.dram);
+    RefreshAgent refresh(config.refresh, config.dram);
+    Scrubber scrubber(array);
+    refresh.setObserver(&scrubber);
+
+    FaultInjector injector({config.faults_per_megacycle,
+                            config.seed + 1},
+                           array);
+    Rng demand_rng(config.seed + 2);
+
+    // Handle an uncorrectable block met by a demand read exactly
+    // like the scrubber does: spare the row or raise a machine
+    // check, reconstructing either way so it is counted once.
+    Counter demand_spared, demand_checks;
+    auto degrade = [&](std::uint32_t row, std::uint32_t block) {
+        if (array.spareRow(row)) {
+            demand_spared.inc();
+        } else {
+            demand_checks.inc();
+            array.rewriteBlock(row, block);
+        }
+    };
+
+    // March time forward in chunks comfortably above the refresh
+    // interval (~98 cycles) so each step drains a few refreshes.
+    const Tick step = 256;
+    Tick next_demand = config.demand_read_interval;
+    for (Tick t = step; t <= config.horizon; t += step) {
+        injector.drainUpTo(array, t);
+        refresh.drainUpTo(dram, t);
+        while (next_demand <= t) {
+            const auto row = static_cast<std::uint32_t>(
+                demand_rng.uniformInt(array.rows()));
+            const auto block = static_cast<std::uint32_t>(
+                demand_rng.uniformInt(array.blocksPerRow()));
+            std::array<std::uint64_t, 4> data;
+            rep.demand_reads++;
+            switch (array.demandRead(row, block, data)) {
+              case EccStatus::Ok:
+                break;
+              case EccStatus::CorrectedSingle:
+                rep.demand_corrected++;
+                break;
+              case EccStatus::DetectedDouble:
+                rep.demand_uncorrectable++;
+                degrade(row, block);
+                break;
+            }
+            next_demand += config.demand_read_interval;
+        }
+    }
+
+    rep.faults_injected = injector.injected();
+    rep.faults_data = injector.injectedData();
+    rep.faults_check = injector.injectedCheck();
+    rep.refreshes = refresh.refreshesIssued();
+    rep.rows_scrubbed = scrubber.rowsScrubbed();
+    rep.scrub_corrected = scrubber.corrected();
+    rep.scrub_uncorrectable = scrubber.uncorrectable();
+    rep.rows_spared = scrubber.rowsSpared() + demand_spared.value();
+    rep.machine_checks =
+        scrubber.machineChecks() + demand_checks.value();
+    rep.silent_corruptions = array.auditSilentCorruptions();
+    rep.latent_uncorrectable = array.auditLatentUncorrectable();
+    rep.scrub_overhead = scrubber.overheadFraction(config.horizon);
+}
+
+void
+runLinkPhase(const CampaignConfig &config, ReliabilityReport &rep)
+{
+    LinkFaultConfig fault;
+    fault.bit_error_rate = config.link_bit_error_rate;
+    fault.drop_rate = config.link_drop_rate;
+    fault.seed = config.seed + 3;
+    ReliableLink link(LinkConfig{}, fault);
+    ReliableLink clean(LinkConfig{});
+
+    const std::uint32_t frame_bytes = 40;  // header + 32-byte payload
+    const Tick gap = 64;  // inter-arrival: link mostly idle
+    double total = 0.0, clean_total = 0.0;
+    Tick now = 0;
+    for (std::uint64_t i = 0; i < config.link_messages; ++i) {
+        const auto outcome = link.sendReliable(now, frame_bytes);
+        total += static_cast<double>(outcome.delivered - now);
+        clean_total += static_cast<double>(
+            clean.send(now, frame_bytes) - now);
+        now += gap;
+    }
+
+    rep.link_messages = config.link_messages;
+    rep.link_retransmissions = link.retransmissions();
+    rep.link_crc_detected = link.crcErrorsDetected();
+    rep.link_timeouts = link.timeouts();
+    rep.link_failures = link.failures();
+    if (config.link_messages > 0) {
+        rep.link_mean_latency =
+            total / static_cast<double>(config.link_messages);
+        rep.link_clean_latency =
+            clean_total / static_cast<double>(config.link_messages);
+    }
+}
+
+void
+runProtocolPhase(const CampaignConfig &config,
+                 ReliabilityReport &rep)
+{
+    NumaConfig nc;
+    nc.nodes = config.protocol_nodes;
+    nc.model_fabric_contention = true;
+    nc.fabric.fault.bit_error_rate = config.link_bit_error_rate;
+    nc.fabric.fault.drop_rate = config.link_drop_rate;
+    nc.fabric.fault.seed = config.seed + 4;
+    nc.protocol_fault.nack_rate = config.protocol_nack_rate;
+    nc.protocol_fault.seed = config.seed + 5;
+
+    NumaConfig clean_cfg = nc;
+    clean_cfg.fabric.fault = LinkFaultConfig{};
+    clean_cfg.protocol_fault = ProtocolFaultConfig{};
+
+    NumaMachine machine(nc);
+    NumaMachine clean(clean_cfg);
+
+    Rng ops(config.seed + 6);
+    double total = 0.0, clean_total = 0.0;
+    Tick now = 0, clean_now = 0;
+    for (std::uint64_t i = 0; i < config.protocol_accesses; ++i) {
+        const auto cpu = static_cast<unsigned>(
+            ops.uniformInt(config.protocol_nodes));
+        const Addr addr = 0x100000 + ops.uniformInt(256) * 32;
+        const bool store = ops.bernoulli(0.3);
+        const Cycles lat = machine.access(cpu, addr, store, now);
+        total += static_cast<double>(lat);
+        now += lat;
+        const Cycles clat = clean.access(cpu, addr, store, clean_now);
+        clean_total += static_cast<double>(clat);
+        clean_now += clat;
+    }
+
+    rep.protocol_accesses = config.protocol_accesses;
+    rep.remote_transactions = machine.totalRemoteLoads() +
+                              machine.totalInvalidations();
+    rep.fabric_retransmissions =
+        machine.fabric() ? machine.fabric()->totalRetransmissions()
+                         : 0;
+    rep.protocol_nacks = machine.protocolNacks();
+    rep.protocol_retries = machine.protocolRetries();
+    rep.protocol_failures = machine.protocolFailures();
+    if (config.protocol_accesses > 0) {
+        rep.mean_access_cycles =
+            total / static_cast<double>(config.protocol_accesses);
+        rep.clean_access_cycles =
+            clean_total /
+            static_cast<double>(config.protocol_accesses);
+    }
+}
+
+} // namespace
+
+ReliabilityReport
+runFaultCampaign(const CampaignConfig &config)
+{
+    ReliabilityReport rep;
+    runMemoryPhase(config, rep);
+    runLinkPhase(config, rep);
+    runProtocolPhase(config, rep);
+    return rep;
+}
+
+} // namespace memwall

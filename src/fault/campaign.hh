@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic fault campaigns across the memory, link and protocol
+ * layers.
+ *
+ * A campaign answers "does the simulated machine survive this error
+ * rate?" with numbers instead of anecdotes. It runs three phases
+ * from one seed:
+ *
+ *  1. Memory: a Poisson soft-error process peppers an ECC-protected
+ *     DRAM slice while the refresh agent walks the array and the
+ *     scrubber rides along; demand reads sample blocks between scrub
+ *     passes. Reported: injected vs corrected vs uncorrectable,
+ *     rows spared, machine checks, silent corruption (end audit),
+ *     and the scrub CPI overhead.
+ *
+ *  2. Link: a stream of 40-byte frames crosses one reliable serial
+ *     link at the configured bit-error/drop rates. Reported:
+ *     retransmissions, CRC catches, timeouts, failures, and the mean
+ *     delivery latency against a clean twin link.
+ *
+ *  3. Protocol: a seeded random sharing workload runs on a small
+ *     CC-NUMA machine whose fabric links and protocol engines both
+ *     carry the error processes. Reported: NACKs, retries, failures,
+ *     and the mean access latency against a clean twin machine fed
+ *     the identical operation sequence.
+ *
+ * Same seed ⇒ same fault schedule ⇒ identical report, and with every
+ * rate at zero the campaign touches no RNG stream the seed run does
+ * not, so it reproduces fault-free results bit-for-bit.
+ */
+
+#ifndef MEMWALL_FAULT_CAMPAIGN_HH
+#define MEMWALL_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "fault/memory_array.hh"
+#include "io/refresh.hh"
+#include "mem/dram.hh"
+
+namespace memwall {
+
+/** Everything one campaign run needs. */
+struct CampaignConfig
+{
+    std::uint64_t seed = 42;
+    /** Simulated cycles of the memory phase. */
+    Tick horizon = 1'000'000;
+    /** Soft-error rate (bit flips per megacycle over the slice). */
+    double faults_per_megacycle = 0.0;
+    /** Serial-link bit error rate. */
+    double link_bit_error_rate = 0.0;
+    /** Serial-link whole-frame drop rate. */
+    double link_drop_rate = 0.0;
+    /** Protocol-engine NACK probability per transaction attempt. */
+    double protocol_nack_rate = 0.0;
+    /** Modelled DRAM slice geometry. */
+    MemoryArrayConfig array = {};
+    /** Refresh/scrub pacing. */
+    RefreshConfig refresh = {};
+    DramConfig dram = {};
+    /** Cycles between demand-read samples in the memory phase. */
+    Tick demand_read_interval = 500;
+    /** Frames pushed through the link phase. */
+    std::uint64_t link_messages = 5'000;
+    /** Operations executed in the protocol phase. */
+    std::uint64_t protocol_accesses = 20'000;
+    /** Nodes of the protocol-phase machine. */
+    unsigned protocol_nodes = 4;
+};
+
+/**
+ * One campaign's complete outcome. Value-comparable so determinism
+ * (same seed ⇒ same report) is a single EXPECT_EQ.
+ */
+struct ReliabilityReport
+{
+    // --- memory phase ---
+    std::uint64_t faults_injected = 0;
+    std::uint64_t faults_data = 0;
+    std::uint64_t faults_check = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t rows_scrubbed = 0;
+    std::uint64_t scrub_corrected = 0;
+    std::uint64_t scrub_uncorrectable = 0;
+    std::uint64_t demand_reads = 0;
+    std::uint64_t demand_corrected = 0;
+    std::uint64_t demand_uncorrectable = 0;
+    std::uint64_t rows_spared = 0;
+    std::uint64_t machine_checks = 0;
+    std::uint64_t silent_corruptions = 0;
+    std::uint64_t latent_uncorrectable = 0;
+    double scrub_overhead = 0.0;
+
+    // --- link phase ---
+    std::uint64_t link_messages = 0;
+    std::uint64_t link_retransmissions = 0;
+    std::uint64_t link_crc_detected = 0;
+    std::uint64_t link_timeouts = 0;
+    std::uint64_t link_failures = 0;
+    double link_mean_latency = 0.0;
+    double link_clean_latency = 0.0;
+
+    // --- protocol phase ---
+    std::uint64_t protocol_accesses = 0;
+    std::uint64_t remote_transactions = 0;
+    std::uint64_t fabric_retransmissions = 0;
+    std::uint64_t protocol_nacks = 0;
+    std::uint64_t protocol_retries = 0;
+    std::uint64_t protocol_failures = 0;
+    double mean_access_cycles = 0.0;
+    double clean_access_cycles = 0.0;
+
+    bool operator==(const ReliabilityReport &) const = default;
+};
+
+/** Run the three-phase campaign described by @p config. */
+ReliabilityReport runFaultCampaign(const CampaignConfig &config);
+
+} // namespace memwall
+
+#endif // MEMWALL_FAULT_CAMPAIGN_HH

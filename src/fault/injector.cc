@@ -1,0 +1,55 @@
+#include "fault/injector.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+FaultInjector::FaultInjector(FaultInjectorConfig config,
+                             const EccMemoryArray &array)
+    : config_(config), rows_(array.rows()),
+      blocks_per_row_(array.blocksPerRow()), rng_(config.seed)
+{
+    MW_ASSERT(config_.faults_per_megacycle >= 0.0,
+              "fault rate must be non-negative");
+    if (config_.enabled()) {
+        mean_interval_ = 1e6 / config_.faults_per_megacycle;
+        next_at_ = rng_.exponential(mean_interval_);
+    } else {
+        mean_interval_ = 0.0;
+        next_at_ = static_cast<double>(max_tick);
+    }
+}
+
+Tick
+FaultInjector::nextFaultAt() const
+{
+    if (!config_.enabled())
+        return max_tick;
+    return static_cast<Tick>(next_at_);
+}
+
+unsigned
+FaultInjector::drainUpTo(EccMemoryArray &array, Tick now)
+{
+    if (!config_.enabled())
+        return 0;
+    unsigned flipped = 0;
+    while (next_at_ <= static_cast<double>(now)) {
+        const auto row =
+            static_cast<std::uint32_t>(rng_.uniformInt(rows_));
+        const auto block = static_cast<std::uint32_t>(
+            rng_.uniformInt(blocks_per_row_));
+        const auto bit = static_cast<unsigned>(
+            rng_.uniformInt(EccMemoryArray::bits_per_block));
+        array.injectBit(row, block, bit);
+        if (bit < EccMemoryArray::data_bits_per_block)
+            injected_data_.inc();
+        else
+            injected_check_.inc();
+        ++flipped;
+        next_at_ += rng_.exponential(mean_interval_);
+    }
+    return flipped;
+}
+
+} // namespace memwall

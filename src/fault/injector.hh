@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic, seeded soft-error injector for the DRAM array.
+ *
+ * Soft errors (alpha particles, cosmic-ray neutrons) strike DRAM
+ * cells at an approximately Poisson rate, conventionally quoted in
+ * FIT (failures per 1e9 device-hours). The simulator works in cycles,
+ * so the rate here is "expected bit flips per megacycle across the
+ * modelled slice"; inter-arrival times are drawn from an exponential
+ * distribution and each fault lands on a uniformly random bit of a
+ * uniformly random block — data and check bits weighted by their
+ * real storage share (256 data + 18 check bits per 32-byte block).
+ *
+ * Everything is driven by one seeded Rng stream: the same seed
+ * always produces the same fault schedule, which is what makes fault
+ * campaigns reproducible and reports comparable across runs.
+ */
+
+#ifndef MEMWALL_FAULT_INJECTOR_HH
+#define MEMWALL_FAULT_INJECTOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "fault/memory_array.hh"
+
+namespace memwall {
+
+/** Rate and seed of the soft-error process. */
+struct FaultInjectorConfig
+{
+    /** Expected bit flips per 1e6 cycles over the whole slice;
+     * 0 disables injection entirely (no RNG draws). */
+    double faults_per_megacycle = 0.0;
+    /** Seed of the fault schedule. */
+    std::uint64_t seed = 42;
+
+    bool enabled() const { return faults_per_megacycle > 0.0; }
+};
+
+/** Poisson-process bit-flip generator over an EccMemoryArray. */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultInjectorConfig config,
+                  const EccMemoryArray &array);
+
+    /**
+     * Inject every fault due at or before @p now into @p array.
+     * @return the number of bits flipped by this call.
+     */
+    unsigned drainUpTo(EccMemoryArray &array, Tick now);
+
+    /** Time of the next scheduled fault (max_tick when disabled). */
+    Tick nextFaultAt() const;
+
+    std::uint64_t injected() const
+    {
+        return injected_data_.value() + injected_check_.value();
+    }
+    std::uint64_t injectedData() const
+    {
+        return injected_data_.value();
+    }
+    std::uint64_t injectedCheck() const
+    {
+        return injected_check_.value();
+    }
+
+  private:
+    FaultInjectorConfig config_;
+    std::uint32_t rows_;
+    std::uint32_t blocks_per_row_;
+    Rng rng_;
+    double mean_interval_;
+    double next_at_;
+    Counter injected_data_;
+    Counter injected_check_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_FAULT_INJECTOR_HH

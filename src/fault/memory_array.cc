@@ -1,0 +1,157 @@
+#include "fault/memory_array.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+namespace {
+
+/** splitmix64 finaliser — decorrelates the coordinate mix. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+EccMemoryArray::EccMemoryArray(MemoryArrayConfig config)
+    : config_(config)
+{
+    MW_ASSERT(config_.rows > 0 && config_.blocks_per_row > 0,
+              "memory array needs at least one block");
+    const std::uint32_t total_rows =
+        config_.rows + config_.spare_rows;
+    blocks_.resize(static_cast<std::size_t>(total_rows) *
+                   config_.blocks_per_row);
+    remap_.resize(config_.rows);
+    for (std::uint32_t r = 0; r < config_.rows; ++r) {
+        remap_[r] = r;
+        for (std::uint32_t b = 0; b < config_.blocks_per_row; ++b)
+            rewriteBlock(r, b);
+    }
+}
+
+DirectoryEccBlock &
+EccMemoryArray::at(std::uint32_t row, std::uint32_t block)
+{
+    MW_ASSERT(row < config_.rows, "row out of range");
+    MW_ASSERT(block < config_.blocks_per_row, "block out of range");
+    return blocks_[static_cast<std::size_t>(remap_[row]) *
+                       config_.blocks_per_row +
+                   block];
+}
+
+const DirectoryEccBlock &
+EccMemoryArray::at(std::uint32_t row, std::uint32_t block) const
+{
+    MW_ASSERT(row < config_.rows, "row out of range");
+    MW_ASSERT(block < config_.blocks_per_row, "block out of range");
+    return blocks_[static_cast<std::size_t>(remap_[row]) *
+                       config_.blocks_per_row +
+                   block];
+}
+
+std::uint64_t
+EccMemoryArray::goldenWord(std::uint32_t row, std::uint32_t block,
+                           unsigned word) const
+{
+    return mix64(config_.pattern_seed ^
+                 (static_cast<std::uint64_t>(row) << 34) ^
+                 (static_cast<std::uint64_t>(block) << 8) ^ word);
+}
+
+void
+EccMemoryArray::rewriteBlock(std::uint32_t row, std::uint32_t block)
+{
+    std::array<std::uint64_t, 4> data;
+    for (unsigned w = 0; w < 4; ++w)
+        data[w] = goldenWord(row, block, w);
+    at(row, block).store(data, 0);
+}
+
+void
+EccMemoryArray::injectBit(std::uint32_t row, std::uint32_t block,
+                          unsigned bit)
+{
+    MW_ASSERT(bit < bits_per_block, "bit index out of range");
+    if (bit < data_bits_per_block)
+        at(row, block).injectDataError(bit);
+    else
+        at(row, block).injectCheckError(bit - data_bits_per_block);
+}
+
+EccStatus
+EccMemoryArray::demandRead(std::uint32_t row, std::uint32_t block,
+                           std::array<std::uint64_t, 4> &out) const
+{
+    return at(row, block).load(out);
+}
+
+EccStatus
+EccMemoryArray::scrubBlock(std::uint32_t row, std::uint32_t block)
+{
+    return at(row, block).scrub();
+}
+
+bool
+EccMemoryArray::spareRow(std::uint32_t row)
+{
+    MW_ASSERT(row < config_.rows, "row out of range");
+    if (next_spare_ >= config_.spare_rows)
+        return false;
+    remap_[row] = config_.rows + next_spare_++;
+    // The spare row starts from reconstructed golden contents
+    // (higher-level redundancy recovers the data; an uncorrectable
+    // block would otherwise have been lost either way).
+    for (std::uint32_t b = 0; b < config_.blocks_per_row; ++b)
+        rewriteBlock(row, b);
+    return true;
+}
+
+bool
+EccMemoryArray::isSpared(std::uint32_t row) const
+{
+    MW_ASSERT(row < config_.rows, "row out of range");
+    return remap_[row] != row;
+}
+
+std::uint64_t
+EccMemoryArray::auditSilentCorruptions() const
+{
+    std::uint64_t silent = 0;
+    for (std::uint32_t r = 0; r < config_.rows; ++r) {
+        for (std::uint32_t b = 0; b < config_.blocks_per_row; ++b) {
+            std::array<std::uint64_t, 4> data;
+            const EccStatus status = demandRead(r, b, data);
+            if (status == EccStatus::DetectedDouble)
+                continue;  // flagged, not silent
+            for (unsigned w = 0; w < 4; ++w) {
+                if (data[w] != goldenWord(r, b, w)) {
+                    ++silent;
+                    break;
+                }
+            }
+        }
+    }
+    return silent;
+}
+
+std::uint64_t
+EccMemoryArray::auditLatentUncorrectable() const
+{
+    std::uint64_t latent = 0;
+    for (std::uint32_t r = 0; r < config_.rows; ++r) {
+        for (std::uint32_t b = 0; b < config_.blocks_per_row; ++b) {
+            std::array<std::uint64_t, 4> data;
+            if (demandRead(r, b, data) == EccStatus::DetectedDouble)
+                ++latent;
+        }
+    }
+    return latent;
+}
+
+} // namespace memwall

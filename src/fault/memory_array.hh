@@ -1,0 +1,139 @@
+/**
+ * @file
+ * An ECC-protected slice of the on-chip DRAM array, with row sparing.
+ *
+ * The fault subsystem needs real bits to corrupt, not just rates: this
+ * models a sampled slice of the 256 Mbit array as rows of
+ * DirectoryEccBlocks (one 512-byte DRAM row = sixteen 32-byte
+ * coherence blocks, each protected the paper's way: 2 x 128-bit
+ * SECDED). Every block is initialised with a deterministic pattern
+ * derived from its coordinates, which doubles as the golden reference
+ * for the end-of-campaign audit — any block whose decoded contents
+ * differ from the pattern without a DetectedDouble flag is silent
+ * corruption.
+ *
+ * Graceful degradation: a detected-uncorrectable block triggers row
+ * sparing — the logical row is remapped to one of a small budget of
+ * reserved spare rows and its contents are reconstructed (modelling
+ * recovery from higher-level redundancy). Once the budget is spent,
+ * further uncorrectable errors raise machine checks instead of
+ * corrupting data silently.
+ */
+
+#ifndef MEMWALL_FAULT_MEMORY_ARRAY_HH
+#define MEMWALL_FAULT_MEMORY_ARRAY_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mem/ecc.hh"
+
+namespace memwall {
+
+/** Geometry of the modelled slice. */
+struct MemoryArrayConfig
+{
+    /** Logical rows in the slice. */
+    std::uint32_t rows = 512;
+    /** 32-byte blocks per row (512-byte DRAM row). */
+    std::uint32_t blocks_per_row = 16;
+    /** Reserved spare rows for remapping bad rows. */
+    std::uint32_t spare_rows = 8;
+    /** Seed of the deterministic fill pattern. */
+    std::uint64_t pattern_seed = 42;
+};
+
+/** ECC-protected row array with spare-row remapping. */
+class EccMemoryArray
+{
+  public:
+    static constexpr unsigned data_bits_per_block = 256;
+    static constexpr unsigned check_bits_per_block = 18;
+    /** Injectable bits per block (data then check). */
+    static constexpr unsigned bits_per_block =
+        data_bits_per_block + check_bits_per_block;
+
+    explicit EccMemoryArray(MemoryArrayConfig config = {});
+
+    std::uint32_t rows() const { return config_.rows; }
+    std::uint32_t blocksPerRow() const
+    {
+        return config_.blocks_per_row;
+    }
+
+    /**
+     * Flip bit @p bit of block (@p row, @p block): bits 0..255 are
+     * data bits, 256..273 check bits.
+     */
+    void injectBit(std::uint32_t row, std::uint32_t block,
+                   unsigned bit);
+
+    /**
+     * Demand read: decode into @p out, correcting on the fly. The
+     * stored copy is NOT repaired (that is the scrubber's job).
+     */
+    EccStatus demandRead(
+        std::uint32_t row, std::uint32_t block,
+        std::array<std::uint64_t, 4> &out) const;
+
+    /** Decode and repair the stored copy in place (scrubbing). */
+    EccStatus scrubBlock(std::uint32_t row, std::uint32_t block);
+
+    /**
+     * Restore block (@p row, @p block) to its golden contents —
+     * recovery from higher-level redundancy after an uncorrectable
+     * error.
+     */
+    void rewriteBlock(std::uint32_t row, std::uint32_t block);
+
+    /**
+     * Remap logical @p row to a reserved spare row and reconstruct
+     * its contents.
+     * @return false when the spare budget is exhausted (the caller
+     * should raise a machine check).
+     */
+    bool spareRow(std::uint32_t row);
+
+    /** @return true iff @p row has been remapped to a spare. */
+    bool isSpared(std::uint32_t row) const;
+
+    std::uint32_t sparesUsed() const { return next_spare_; }
+    std::uint32_t sparesLeft() const
+    {
+        return config_.spare_rows - next_spare_;
+    }
+
+    /** The deterministic fill word of (row, block, word). */
+    std::uint64_t goldenWord(std::uint32_t row, std::uint32_t block,
+                             unsigned word) const;
+
+    /**
+     * End-of-campaign audit: count blocks whose decoded contents
+     * differ from the golden pattern without being flagged
+     * DetectedDouble — i.e. corruption ECC missed or miscorrected.
+     */
+    std::uint64_t auditSilentCorruptions() const;
+
+    /** Blocks still flagged detected-uncorrectable (latent doubles
+     * that no scrub or demand read has met yet). */
+    std::uint64_t auditLatentUncorrectable() const;
+
+    const MemoryArrayConfig &config() const { return config_; }
+
+  private:
+    DirectoryEccBlock &at(std::uint32_t row, std::uint32_t block);
+    const DirectoryEccBlock &at(std::uint32_t row,
+                                std::uint32_t block) const;
+
+    MemoryArrayConfig config_;
+    /** (rows + spare_rows) x blocks_per_row blocks. */
+    std::vector<DirectoryEccBlock> blocks_;
+    /** Logical row -> physical row (identity until spared). */
+    std::vector<std::uint32_t> remap_;
+    std::uint32_t next_spare_ = 0;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_FAULT_MEMORY_ARRAY_HH

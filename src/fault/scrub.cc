@@ -1,0 +1,50 @@
+#include "fault/scrub.hh"
+
+namespace memwall {
+
+Scrubber::Scrubber(EccMemoryArray &array, ScrubConfig config)
+    : array_(array), config_(config)
+{
+}
+
+void
+Scrubber::onRefresh(std::uint32_t /*bank*/, std::uint32_t /*row*/,
+                    Tick /*when*/)
+{
+    const auto slice_row =
+        static_cast<std::uint32_t>(rotor_++ % array_.rows());
+    rows_.inc();
+    for (std::uint32_t b = 0; b < array_.blocksPerRow(); ++b) {
+        scrub_cycles_.inc(config_.decode_cycles_per_block);
+        switch (array_.scrubBlock(slice_row, b)) {
+          case EccStatus::Ok:
+            break;
+          case EccStatus::CorrectedSingle:
+            corrected_.inc();
+            break;
+          case EccStatus::DetectedDouble:
+            uncorrectable_.inc();
+            if (array_.spareRow(slice_row)) {
+                spared_.inc();
+            } else {
+                // Spare budget exhausted: raise a machine check and
+                // reconstruct in place so the same double is not
+                // re-counted on every later pass.
+                machine_checks_.inc();
+                array_.rewriteBlock(slice_row, b);
+            }
+            break;
+        }
+    }
+}
+
+double
+Scrubber::overheadFraction(Tick elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(scrub_cycles_.value()) /
+           static_cast<double>(elapsed);
+}
+
+} // namespace memwall

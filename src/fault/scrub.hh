@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Memory scrubber riding the DRAM refresh walk.
+ *
+ * The RefreshAgent already touches every row of every bank inside the
+ * 64 ms retention window; the scrubber hooks its RefreshObserver and
+ * decode-checks one row of the modelled ECC slice per refresh event.
+ * A latent single-bit error is corrected in place before a second
+ * strike in the same 128-bit half could pair it into an
+ * uncorrectable double — the classic reason scrubbing multiplies
+ * effective DRAM reliability.
+ *
+ * Outcomes per scrubbed block:
+ *  - Ok: nothing to do;
+ *  - CorrectedSingle: written back corrected (counted);
+ *  - DetectedDouble: graceful degradation — the row is remapped to a
+ *    spare (counted) or, past the spare budget, a machine check is
+ *    raised (counted); either way the block is reconstructed so the
+ *    event is counted exactly once rather than on every pass.
+ *
+ * The scrubber also charges a per-block decode cost so campaigns can
+ * report the CPI overhead of scrubbing.
+ */
+
+#ifndef MEMWALL_FAULT_SCRUB_HH
+#define MEMWALL_FAULT_SCRUB_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "fault/memory_array.hh"
+#include "io/refresh.hh"
+
+namespace memwall {
+
+/** Cost model of the scrub pass. */
+struct ScrubConfig
+{
+    /** EDAC pipeline cycles to decode-check one 32-byte block. */
+    Cycles decode_cycles_per_block = 1;
+};
+
+/**
+ * RefreshObserver that scrubs the modelled slice row by row. Each
+ * refresh event scrubs the next slice row in rotation (the slice is
+ * a sample of the full array, so scrub pace == refresh pace).
+ */
+class Scrubber : public RefreshObserver
+{
+  public:
+    explicit Scrubber(EccMemoryArray &array, ScrubConfig config = {});
+
+    void onRefresh(std::uint32_t bank, std::uint32_t row,
+                   Tick when) override;
+
+    std::uint64_t rowsScrubbed() const { return rows_.value(); }
+    std::uint64_t corrected() const { return corrected_.value(); }
+    /** Detected-uncorrectable blocks met during scrubbing. */
+    std::uint64_t uncorrectable() const
+    {
+        return uncorrectable_.value();
+    }
+    std::uint64_t rowsSpared() const { return spared_.value(); }
+    std::uint64_t machineChecks() const
+    {
+        return machine_checks_.value();
+    }
+    /** Total decode cycles charged (overhead accounting). */
+    std::uint64_t scrubCycles() const
+    {
+        return scrub_cycles_.value();
+    }
+
+    /** Scrub overhead as a fraction of @p elapsed cycles. */
+    double overheadFraction(Tick elapsed) const;
+
+  private:
+    EccMemoryArray &array_;
+    ScrubConfig config_;
+    std::uint64_t rotor_ = 0;
+    Counter rows_;
+    Counter corrected_;
+    Counter uncorrectable_;
+    Counter spared_;
+    Counter machine_checks_;
+    Counter scrub_cycles_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_FAULT_SCRUB_HH

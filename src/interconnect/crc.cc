@@ -1,0 +1,42 @@
+#include "interconnect/crc.hh"
+
+namespace memwall {
+
+std::uint16_t
+crc16(std::span<const std::uint8_t> bytes)
+{
+    std::uint16_t crc = 0xffff;
+    for (std::uint8_t byte : bytes) {
+        crc ^= static_cast<std::uint16_t>(byte) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000)
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+            else
+                crc = static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+std::vector<std::uint8_t>
+encodeFrame(std::span<const std::uint8_t> payload)
+{
+    std::vector<std::uint8_t> frame(payload.begin(), payload.end());
+    const std::uint16_t crc = crc16(payload);
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xff));
+    return frame;
+}
+
+bool
+verifyFrame(std::span<const std::uint8_t> frame)
+{
+    if (frame.size() < 2)
+        return false;
+    const auto payload = frame.first(frame.size() - 2);
+    const std::uint16_t stored = static_cast<std::uint16_t>(
+        (frame[frame.size() - 2] << 8) | frame[frame.size() - 1]);
+    return crc16(payload) == stored;
+}
+
+} // namespace memwall

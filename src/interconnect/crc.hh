@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CRC-16 frame protection for the serial links.
+ *
+ * Every serial-link frame carries a CRC so that bit errors on the
+ * 2.5 Gbit/s wires are detected at the receiver and answered with a
+ * NACK instead of silently corrupting a coherence transaction. The
+ * code is CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF), which
+ * detects all single- and double-bit errors and any burst up to 16
+ * bits — far beyond the error model of a short point-to-point link.
+ */
+
+#ifndef MEMWALL_INTERCONNECT_CRC_HH
+#define MEMWALL_INTERCONNECT_CRC_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace memwall {
+
+/** CRC-16/CCITT-FALSE over @p bytes. crc16("123456789") == 0x29B1. */
+std::uint16_t crc16(std::span<const std::uint8_t> bytes);
+
+/**
+ * Frame @p payload for the wire: payload followed by its big-endian
+ * CRC-16.
+ */
+std::vector<std::uint8_t> encodeFrame(
+    std::span<const std::uint8_t> payload);
+
+/**
+ * Receiver-side check: recompute the CRC over the payload portion of
+ * @p frame and compare with the trailing two bytes.
+ * @return true iff the frame is intact. Frames shorter than the CRC
+ * itself are never valid.
+ */
+bool verifyFrame(std::span<const std::uint8_t> frame);
+
+} // namespace memwall
+
+#endif // MEMWALL_INTERCONNECT_CRC_HH

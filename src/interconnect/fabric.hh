@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "interconnect/link.hh"
+#include "interconnect/reliable_link.hh"
 
 namespace memwall {
 
@@ -40,6 +40,13 @@ struct FabricConfig
     LinkConfig link = {};
     /** Outbound links per node (the device has four). */
     unsigned links_per_node = 4;
+    /**
+     * Link error process shared by every link (each link derives its
+     * own independent RNG stream from fault.seed). Disabled by
+     * default, in which case the fabric behaves cycle-for-cycle like
+     * one built from plain SerialLinks.
+     */
+    LinkFaultConfig fault = {};
 };
 
 /**
@@ -64,13 +71,21 @@ class Fabric
     unsigned nodes() const { return nodes_; }
     std::uint64_t totalMessages() const;
     std::uint64_t totalBytes() const;
+    /** Frames resent after a CRC NACK or an ACK timeout. */
+    std::uint64_t totalRetransmissions() const;
+    /** Corrupted frames caught by the receiver's CRC check. */
+    std::uint64_t totalCrcErrors() const;
+    /** Lost frames recovered by the sender-side timeout. */
+    std::uint64_t totalTimeouts() const;
+    /** Sends that exhausted max_retries (machine-check material). */
+    std::uint64_t totalLinkFailures() const;
     void resetStats();
 
   private:
     unsigned nodes_;
     FabricConfig config_;
     /** links_[node][i] = i-th outbound link of node. */
-    std::vector<std::vector<SerialLink>> links_;
+    std::vector<std::vector<ReliableLink>> links_;
 };
 
 } // namespace memwall

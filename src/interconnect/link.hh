@@ -43,6 +43,13 @@ class SerialLink
 
     /**
      * Send @p bytes at time @p now.
+     *
+     * A zero-byte send is legal and models a doorbell/credit pulse:
+     * it charges the fixed flight latency only, occupies the link
+     * for zero cycles (the next message may start in the same
+     * cycle), and still counts as one message. It does queue behind
+     * earlier traffic like any other send.
+     *
      * @return the arrival time at the far end.
      */
     Tick send(Tick now, std::uint32_t bytes);

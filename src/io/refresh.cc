@@ -10,6 +10,8 @@ RefreshAgent::RefreshAgent(RefreshConfig config,
       column_bytes_(dram.column_bytes)
 {
     MW_ASSERT(config_.rows_per_bank > 0, "need at least one row");
+    MW_ASSERT(config_.max_per_call > 0,
+              "refresh drain cap must be positive");
     const double window_cycles =
         config_.interval_ms * 1e-3 * config_.clock_mhz * 1e6;
     const double total_rows =
@@ -23,19 +25,24 @@ unsigned
 RefreshAgent::drainUpTo(Dram &dram, Tick now)
 {
     unsigned issued = 0;
-    while (next_due_ <= static_cast<double>(now)) {
+    while (next_due_ <= static_cast<double>(now) &&
+           issued < config_.max_per_call) {
         // Rotate across banks; the row within the bank is
         // irrelevant to timing, so address by bank stride.
         const std::uint32_t bank =
             static_cast<std::uint32_t>(rotor_ % banks_);
+        const std::uint32_t row = static_cast<std::uint32_t>(
+            rotor_ / banks_ % config_.rows_per_bank);
         const Addr addr =
             static_cast<Addr>(bank) * column_bytes_ +
-            (rotor_ / banks_ % config_.rows_per_bank) *
-                static_cast<Addr>(banks_) * column_bytes_;
+            row * static_cast<Addr>(banks_) * column_bytes_;
         dram.access(static_cast<Tick>(next_due_), addr);
         issued_.inc();
         ++issued;
         ++rotor_;
+        if (observer_)
+            observer_->onRefresh(bank, row,
+                                 static_cast<Tick>(next_due_));
         next_due_ += interval_;
     }
     return issued;

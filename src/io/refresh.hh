@@ -30,6 +30,31 @@ struct RefreshConfig
     std::uint32_t rows_per_bank = 8192;
     /** Core clock, MHz. */
     double clock_mhz = 200.0;
+    /**
+     * Cap on refreshes issued by a single drainUpTo() call. A caller
+     * that jumps far ahead in time (a simulator fast-forward, a
+     * resumed checkpoint) would otherwise spin the drain loop for
+     * millions of iterations; capped, the deficit carries forward and
+     * subsequent calls catch up incrementally. 64 Ki refreshes cover
+     * a ~6.4 M-cycle jump at the default rate — far beyond anything
+     * the normal per-access drain cadence produces.
+     */
+    std::uint32_t max_per_call = 64 * 1024;
+};
+
+/**
+ * Callback invoked once per refreshed row. The memory scrubber rides
+ * this hook: every row the refresh agent touches anyway gets a free
+ * ECC decode pass (see src/fault/scrub.hh).
+ */
+class RefreshObserver
+{
+  public:
+    virtual ~RefreshObserver() = default;
+
+    /** Row @p row of bank @p bank was refreshed at time @p when. */
+    virtual void onRefresh(std::uint32_t bank, std::uint32_t row,
+                           Tick when) = 0;
 };
 
 /** Distributed-refresh generator. */
@@ -41,8 +66,16 @@ class RefreshAgent
     /** Cycles between consecutive row refreshes (any bank). */
     double refreshInterval() const { return interval_; }
 
-    /** Issue all refreshes due at or before @p now. */
+    /**
+     * Issue refreshes due at or before @p now — at most
+     * config.max_per_call of them; any remaining deficit is issued
+     * by later calls.
+     * @return the number of refreshes issued by this call.
+     */
     unsigned drainUpTo(Dram &dram, Tick now);
+
+    /** Attach @p obs (may be null) to see every refreshed row. */
+    void setObserver(RefreshObserver *obs) { observer_ = obs; }
 
     std::uint64_t refreshesIssued() const
     {
@@ -60,6 +93,7 @@ class RefreshAgent
     double next_due_ = 0.0;
     std::uint64_t rotor_ = 0;
     Counter issued_;
+    RefreshObserver *observer_ = nullptr;
 };
 
 } // namespace memwall

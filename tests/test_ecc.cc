@@ -184,3 +184,143 @@ TEST(DirectoryEcc, CorrectsOneErrorPerHalf)
     EXPECT_EQ(block.load(out), EccStatus::CorrectedSingle);
     EXPECT_EQ(out, data);
 }
+
+// ---- Exhaustive single-bit coverage -----------------------------------
+
+TEST(DirectoryEcc, CorrectsEveryDataBitPosition)
+{
+    // All 256 data bits of the 32-byte block, one at a time: each
+    // flip must decode as a corrected single with the data restored.
+    const std::array<std::uint64_t, 4> data{
+        0x0123456789abcdefull, 0xfedcba9876543210ull,
+        0x5a5a5a5aa5a5a5a5ull, 0x00ff00ff00ff00ffull};
+    for (unsigned bit = 0; bit < 256; ++bit) {
+        DirectoryEccBlock block;
+        block.store(data, 0x2aaa);
+        block.injectDataError(bit);
+        std::array<std::uint64_t, 4> out{};
+        EXPECT_EQ(block.load(out), EccStatus::CorrectedSingle)
+            << "data bit " << bit;
+        EXPECT_EQ(out, data) << "data bit " << bit;
+        EXPECT_EQ(block.directory(), 0x2aaa) << "data bit " << bit;
+    }
+}
+
+TEST(DirectoryEcc, CorrectsEveryCheckBitPosition)
+{
+    // All 18 stored check bits (9 per 128-bit half): a flipped check
+    // bit must not damage the data and must decode as corrected.
+    const std::array<std::uint64_t, 4> data{
+        0xdeadbeefcafebabeull, 0x0f0f0f0f0f0f0f0full,
+        0x8000000000000001ull, 0x7fffffffffffffffull};
+    for (unsigned bit = 0; bit < 18; ++bit) {
+        DirectoryEccBlock block;
+        block.store(data, 0x1555);
+        block.injectCheckError(bit);
+        std::array<std::uint64_t, 4> out{};
+        EXPECT_EQ(block.load(out), EccStatus::CorrectedSingle)
+            << "check bit " << bit;
+        EXPECT_EQ(out, data) << "check bit " << bit;
+    }
+}
+
+TEST(DirectoryEcc, DetectsSampledDoubleBitGrid)
+{
+    // Double flips inside one 128-bit half must all be flagged
+    // uncorrectable. Sweeping all (128 choose 2) pairs for both
+    // halves is slow; a coprime-stride grid covers the space.
+    const std::array<std::uint64_t, 4> data{
+        0x123456789abcdef0ull, 0x0fedcba987654321ull,
+        0xaaaaaaaa55555555ull, 0x33333333ccccccccull};
+    for (unsigned half = 0; half < 2; ++half) {
+        const unsigned base = half * 128;
+        for (unsigned i = 0; i < 128; i += 7) {
+            for (unsigned j = i + 1; j < 128; j += 13) {
+                DirectoryEccBlock block;
+                block.store(data, 0);
+                block.injectDataError(base + i);
+                block.injectDataError(base + j);
+                std::array<std::uint64_t, 4> out{};
+                EXPECT_EQ(block.load(out),
+                          EccStatus::DetectedDouble)
+                    << "half " << half << " bits " << i << "," << j;
+            }
+        }
+    }
+}
+
+TEST(DirectoryEcc, DetectsDataPlusCheckDoubles)
+{
+    // A data flip paired with a check-bit flip in the same half is a
+    // double too (the decoder must not miscorrect).
+    const std::array<std::uint64_t, 4> data{1, 2, 3, 4};
+    for (unsigned data_bit = 0; data_bit < 128; data_bit += 11) {
+        for (unsigned check_bit = 0; check_bit < 9; ++check_bit) {
+            DirectoryEccBlock block;
+            block.store(data, 0);
+            block.injectDataError(data_bit);     // first half
+            block.injectCheckError(check_bit);   // first half's code
+            std::array<std::uint64_t, 4> out{};
+            EXPECT_EQ(block.load(out), EccStatus::DetectedDouble)
+                << "data " << data_bit << " check " << check_bit;
+        }
+    }
+}
+
+// ---- Scrubbing (in-place repair) --------------------------------------
+
+TEST(DirectoryEcc, ScrubRepairsStoredSingleBitError)
+{
+    DirectoryEccBlock block;
+    const std::array<std::uint64_t, 4> data{10, 20, 30, 40};
+    block.store(data, 3);
+    block.injectDataError(100);
+    EXPECT_EQ(block.scrub(), EccStatus::CorrectedSingle);
+    // The stored copy is now clean: further decodes see no error.
+    EXPECT_EQ(block.scrub(), EccStatus::Ok);
+    std::array<std::uint64_t, 4> out{};
+    EXPECT_EQ(block.load(out), EccStatus::Ok);
+    EXPECT_EQ(out, data);
+}
+
+TEST(DirectoryEcc, ScrubRepairsCheckBitErrorByReencoding)
+{
+    DirectoryEccBlock block;
+    block.store({5, 6, 7, 8}, 0);
+    block.injectCheckError(17);
+    EXPECT_EQ(block.scrub(), EccStatus::CorrectedSingle);
+    EXPECT_EQ(block.scrub(), EccStatus::Ok);
+}
+
+TEST(DirectoryEcc, ScrubPreventsSingleFromPairingIntoDouble)
+{
+    // The reason scrubbing exists: correct the latent single before
+    // a second strike in the same half makes the block unrecoverable.
+    const std::array<std::uint64_t, 4> data{0xe, 0xf, 0x10, 0x11};
+    DirectoryEccBlock scrubbed, unscrubbed;
+    scrubbed.store(data, 0);
+    unscrubbed.store(data, 0);
+    scrubbed.injectDataError(40);
+    unscrubbed.injectDataError(40);
+    EXPECT_EQ(scrubbed.scrub(), EccStatus::CorrectedSingle);
+    // Second strike, same half, both blocks.
+    scrubbed.injectDataError(90);
+    unscrubbed.injectDataError(90);
+    std::array<std::uint64_t, 4> out{};
+    EXPECT_EQ(scrubbed.load(out), EccStatus::CorrectedSingle);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(unscrubbed.load(out), EccStatus::DetectedDouble);
+}
+
+TEST(DirectoryEcc, ScrubLeavesDetectedDoubleUntouched)
+{
+    DirectoryEccBlock block;
+    block.store({1, 1, 1, 1}, 5);
+    block.injectDataError(0);
+    block.injectDataError(1);
+    EXPECT_EQ(block.scrub(), EccStatus::DetectedDouble);
+    // Still flagged on the next pass: scrub must not "repair" what
+    // it cannot correct (that is the row-sparing path's job).
+    EXPECT_EQ(block.scrub(), EccStatus::DetectedDouble);
+    EXPECT_EQ(block.directory(), 5u);
+}

@@ -48,6 +48,47 @@ TEST(SerialLink, StatsAccumulate)
     EXPECT_EQ(link.messages(), 0u);
 }
 
+TEST(SerialLink, ZeroByteSendIsADoorbellPulse)
+{
+    // Documented boundary case: 0 bytes charges flight latency only,
+    // occupies the link for zero cycles, and counts as a message.
+    SerialLink link;
+    const Tick arrival = link.send(100, 0);
+    EXPECT_EQ(arrival, 110u);  // flight (10) only
+    EXPECT_EQ(link.freeAt(), 100u);  // zero occupancy
+    EXPECT_EQ(link.messages(), 1u);
+    EXPECT_EQ(link.bytesSent(), 0u);
+    EXPECT_EQ(link.queuedCycles(), 0u);
+    // The next message starts in the same cycle, unqueued.
+    EXPECT_EQ(link.send(100, 8), 116u);
+    EXPECT_EQ(link.queuedCycles(), 0u);
+}
+
+TEST(SerialLink, ZeroByteSendStillQueuesBehindTraffic)
+{
+    SerialLink link;
+    link.send(0, 40);  // occupies the link until cycle 26
+    const Tick arrival = link.send(0, 0);
+    // Waits out the 26 busy cycles, then flight only.
+    EXPECT_EQ(arrival, 36u);
+    EXPECT_EQ(link.queuedCycles(), 26u);
+    EXPECT_EQ(link.freeAt(), 26u);  // the pulse added no occupancy
+}
+
+TEST(SerialLink, QueueingStatAccumulatesAcrossBackToBackSends)
+{
+    SerialLink link;
+    link.send(0, 40);  // busy [0, 26)
+    link.send(0, 40);  // queued 26, busy [26, 52)
+    link.send(0, 8);   // queued 52, busy [52, 58)
+    EXPECT_EQ(link.queuedCycles(), 26u + 52u);
+    EXPECT_EQ(link.messages(), 3u);
+    EXPECT_EQ(link.bytesSent(), 88u);
+    // A later send that misses the busy window queues nothing more.
+    link.send(200, 8);
+    EXPECT_EQ(link.queuedCycles(), 26u + 52u);
+}
+
 TEST(MessageBytes, HeadersAndPayloads)
 {
     EXPECT_EQ(messageBytes(MsgType::ReadRequest), 8u);

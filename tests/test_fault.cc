@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Tests for the soft-error fault-injection & recovery subsystem:
+ * the ECC memory array with row sparing, the Poisson fault injector,
+ * the refresh-riding scrubber, the protocol-engine NACK/retry path,
+ * and the end-to-end reliability campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "coherence/numa.hh"
+#include "fault/campaign.hh"
+#include "fault/injector.hh"
+#include "fault/scrub.hh"
+#include "io/refresh.hh"
+#include "mem/dram.hh"
+
+using namespace memwall;
+
+namespace {
+
+MemoryArrayConfig
+tinyArray(std::uint32_t rows = 8, std::uint32_t spares = 2)
+{
+    MemoryArrayConfig cfg;
+    cfg.rows = rows;
+    cfg.blocks_per_row = 4;
+    cfg.spare_rows = spares;
+    return cfg;
+}
+
+} // namespace
+
+// ---- EccMemoryArray ---------------------------------------------------
+
+TEST(EccMemoryArray, FreshArrayIsClean)
+{
+    EccMemoryArray array(tinyArray());
+    EXPECT_EQ(array.auditSilentCorruptions(), 0u);
+    EXPECT_EQ(array.auditLatentUncorrectable(), 0u);
+    std::array<std::uint64_t, 4> data;
+    EXPECT_EQ(array.demandRead(3, 2, data), EccStatus::Ok);
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(data[w], array.goldenWord(3, 2, w));
+}
+
+TEST(EccMemoryArray, DemandReadCorrectsButDoesNotRepair)
+{
+    EccMemoryArray array(tinyArray());
+    array.injectBit(1, 0, 77);
+    std::array<std::uint64_t, 4> data;
+    // The flight copy is corrected...
+    EXPECT_EQ(array.demandRead(1, 0, data),
+              EccStatus::CorrectedSingle);
+    EXPECT_EQ(data[1], array.goldenWord(1, 0, 1));
+    // ...but the stored copy still carries the latent error.
+    EXPECT_EQ(array.demandRead(1, 0, data),
+              EccStatus::CorrectedSingle);
+    // Scrubbing repairs it for good.
+    EXPECT_EQ(array.scrubBlock(1, 0), EccStatus::CorrectedSingle);
+    EXPECT_EQ(array.demandRead(1, 0, data), EccStatus::Ok);
+}
+
+TEST(EccMemoryArray, CheckBitFaultsAreCorrectedToo)
+{
+    EccMemoryArray array(tinyArray());
+    array.injectBit(0, 1, EccMemoryArray::data_bits_per_block + 9);
+    EXPECT_EQ(array.scrubBlock(0, 1), EccStatus::CorrectedSingle);
+    EXPECT_EQ(array.scrubBlock(0, 1), EccStatus::Ok);
+}
+
+TEST(EccMemoryArray, SpareRowRestoresGoldenContents)
+{
+    EccMemoryArray array(tinyArray());
+    array.injectBit(5, 3, 0);
+    array.injectBit(5, 3, 64);  // same 128-bit half: uncorrectable
+    EXPECT_EQ(array.scrubBlock(5, 3), EccStatus::DetectedDouble);
+    EXPECT_EQ(array.auditLatentUncorrectable(), 1u);
+    EXPECT_TRUE(array.spareRow(5));
+    EXPECT_TRUE(array.isSpared(5));
+    EXPECT_EQ(array.sparesUsed(), 1u);
+    std::array<std::uint64_t, 4> data;
+    EXPECT_EQ(array.demandRead(5, 3, data), EccStatus::Ok);
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(data[w], array.goldenWord(5, 3, w));
+    EXPECT_EQ(array.auditLatentUncorrectable(), 0u);
+}
+
+TEST(EccMemoryArray, SpareBudgetExhausts)
+{
+    EccMemoryArray array(tinyArray(8, 2));
+    EXPECT_TRUE(array.spareRow(0));
+    EXPECT_TRUE(array.spareRow(1));
+    EXPECT_EQ(array.sparesLeft(), 0u);
+    EXPECT_FALSE(array.spareRow(2));  // machine-check territory
+    EXPECT_FALSE(array.isSpared(2));
+}
+
+TEST(EccMemoryArray, SilentCorruptionAuditSeesUnprotectedDamage)
+{
+    // Three flips in one half defeat SECDED (it may miscorrect);
+    // whatever the decoder does, the audit must notice the block no
+    // longer matches golden — unless the decode flags DetectedDouble,
+    // in which case it is latent, not silent. Either way the sum of
+    // the two audits is non-zero.
+    EccMemoryArray array(tinyArray());
+    array.injectBit(2, 2, 1);
+    array.injectBit(2, 2, 2);
+    array.injectBit(2, 2, 3);
+    EXPECT_GT(array.auditSilentCorruptions() +
+                  array.auditLatentUncorrectable(),
+              0u);
+}
+
+// ---- FaultInjector ----------------------------------------------------
+
+TEST(FaultInjector, ZeroRateDrawsAndInjectsNothing)
+{
+    EccMemoryArray array(tinyArray());
+    FaultInjector injector({0.0, 42}, array);
+    EXPECT_EQ(injector.nextFaultAt(), max_tick);
+    EXPECT_EQ(injector.drainUpTo(array, 10'000'000), 0u);
+    EXPECT_EQ(injector.injected(), 0u);
+    EXPECT_EQ(array.auditSilentCorruptions(), 0u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule)
+{
+    EccMemoryArray a(tinyArray(64)), b(tinyArray(64));
+    FaultInjector ia({500.0, 7}, a), ib({500.0, 7}, b);
+    for (Tick t = 1000; t <= 50'000; t += 1000) {
+        ia.drainUpTo(a, t);
+        ib.drainUpTo(b, t);
+        ASSERT_EQ(ia.nextFaultAt(), ib.nextFaultAt()) << t;
+    }
+    EXPECT_EQ(ia.injected(), ib.injected());
+    EXPECT_EQ(ia.injectedData(), ib.injectedData());
+    EXPECT_GT(ia.injected(), 0u);
+}
+
+TEST(FaultInjector, RateControlsVolume)
+{
+    // 200 faults/megacycle over 1 Mcycle: Poisson(200), so well
+    // inside [120, 280] for any seed that isn't broken.
+    EccMemoryArray array(tinyArray(256));
+    FaultInjector injector({200.0, 42}, array);
+    injector.drainUpTo(array, 1'000'000);
+    EXPECT_GT(injector.injected(), 120u);
+    EXPECT_LT(injector.injected(), 280u);
+    // Data bits outnumber check bits 256:18, so most faults are data.
+    EXPECT_GT(injector.injectedData(), injector.injectedCheck());
+}
+
+// ---- Scrubber ---------------------------------------------------------
+
+TEST(Scrubber, CorrectsLatentSinglesAcrossOnePass)
+{
+    EccMemoryArray array(tinyArray(8));
+    Scrubber scrubber(array);
+    array.injectBit(2, 1, 13);
+    array.injectBit(6, 0, 200);
+    // One full rotation over the slice (rotor starts at row 0).
+    for (unsigned i = 0; i < 8; ++i)
+        scrubber.onRefresh(0, 0, i);
+    EXPECT_EQ(scrubber.rowsScrubbed(), 8u);
+    EXPECT_EQ(scrubber.corrected(), 2u);
+    EXPECT_EQ(scrubber.uncorrectable(), 0u);
+    std::array<std::uint64_t, 4> data;
+    EXPECT_EQ(array.demandRead(2, 1, data), EccStatus::Ok);
+    EXPECT_EQ(array.demandRead(6, 0, data), EccStatus::Ok);
+}
+
+TEST(Scrubber, DoubleBitErrorTriggersRowSparing)
+{
+    EccMemoryArray array(tinyArray(4, 2));
+    Scrubber scrubber(array);
+    array.injectBit(1, 2, 10);
+    array.injectBit(1, 2, 20);  // both in the first half
+    for (unsigned i = 0; i < 4; ++i)
+        scrubber.onRefresh(0, 0, i);
+    EXPECT_EQ(scrubber.uncorrectable(), 1u);
+    EXPECT_EQ(scrubber.rowsSpared(), 1u);
+    EXPECT_EQ(scrubber.machineChecks(), 0u);
+    EXPECT_TRUE(array.isSpared(1));
+    // A second pass finds nothing: the event was handled once.
+    for (unsigned i = 0; i < 4; ++i)
+        scrubber.onRefresh(0, 0, i);
+    EXPECT_EQ(scrubber.uncorrectable(), 1u);
+}
+
+TEST(Scrubber, MachineCheckPastSpareBudget)
+{
+    EccMemoryArray array(tinyArray(4, 0));  // no spares at all
+    Scrubber scrubber(array);
+    array.injectBit(3, 0, 0);
+    array.injectBit(3, 0, 1);
+    for (unsigned i = 0; i < 4; ++i)
+        scrubber.onRefresh(0, 0, i);
+    EXPECT_EQ(scrubber.uncorrectable(), 1u);
+    EXPECT_EQ(scrubber.rowsSpared(), 0u);
+    EXPECT_EQ(scrubber.machineChecks(), 1u);
+    // Never silent: the block was reconstructed after the check.
+    EXPECT_EQ(array.auditSilentCorruptions(), 0u);
+    EXPECT_EQ(array.auditLatentUncorrectable(), 0u);
+}
+
+TEST(Scrubber, ChargesDecodeCycles)
+{
+    EccMemoryArray array(tinyArray(8));
+    Scrubber scrubber(array, ScrubConfig{2});
+    for (unsigned i = 0; i < 8; ++i)
+        scrubber.onRefresh(0, 0, i);
+    // 8 rows x 4 blocks x 2 cycles.
+    EXPECT_EQ(scrubber.scrubCycles(), 64u);
+    EXPECT_DOUBLE_EQ(scrubber.overheadFraction(6400), 0.01);
+}
+
+TEST(Scrubber, RidesTheRefreshAgent)
+{
+    EccMemoryArray array(tinyArray(64));
+    Scrubber scrubber(array);
+    RefreshConfig rc;
+    DramConfig dc;
+    RefreshAgent refresh(rc, dc);
+    refresh.setObserver(&scrubber);
+    Dram dram(dc);
+    array.injectBit(17, 2, 99);
+    refresh.drainUpTo(dram, 10'000);  // ~102 refresh events
+    EXPECT_EQ(scrubber.rowsScrubbed(), refresh.refreshesIssued());
+    EXPECT_GE(scrubber.rowsScrubbed(), 100u);
+    // One rotation of the 64-row slice fits in 102 events, so the
+    // latent error has been met and repaired.
+    EXPECT_EQ(scrubber.corrected(), 1u);
+    std::array<std::uint64_t, 4> data;
+    EXPECT_EQ(array.demandRead(17, 2, data), EccStatus::Ok);
+}
+
+// ---- Protocol-engine NACK/retry path ----------------------------------
+
+TEST(ProtocolRetry, ExactBackoffSpacingAndCounts)
+{
+    NumaConfig cfg;
+    cfg.nodes = 2;
+    cfg.first_touch = false;  // page 1 homes at node 1
+    cfg.protocol_fault.nack_rate = 1.0;  // every attempt NACKed
+    cfg.protocol_fault.max_retries = 3;
+    cfg.protocol_fault.backoff_base = 16;
+    NumaMachine machine(cfg);
+
+    const Cycles rl = cfg.latency.remote_load;
+    const Cycles latency = machine.access(0, 4096, false);
+    // Initial attempt + three backoff-spaced retries (16, 32, 64),
+    // each paying a full remote round trip; then the budget is spent
+    // and the transaction is forced through as a protocol failure.
+    EXPECT_EQ(latency, rl + (16 + rl) + (32 + rl) + (64 + rl));
+    EXPECT_EQ(machine.protocolNacks(), 4u);
+    EXPECT_EQ(machine.protocolRetries(), 3u);
+    EXPECT_EQ(machine.protocolFailures(), 1u);
+}
+
+TEST(ProtocolRetry, ModerateNackRateRecoversEverything)
+{
+    NumaConfig cfg;
+    cfg.nodes = 4;
+    cfg.first_touch = false;
+    cfg.protocol_fault.nack_rate = 0.2;
+    cfg.protocol_fault.seed = 11;
+    NumaMachine machine(cfg);
+    Rng ops(3);
+    for (unsigned i = 0; i < 2000; ++i) {
+        const auto cpu = static_cast<unsigned>(ops.uniformInt(4));
+        const Addr addr = 0x40000 + ops.uniformInt(512) * 32;
+        machine.access(cpu, addr, ops.bernoulli(0.3));
+    }
+    EXPECT_GT(machine.protocolNacks(), 0u);
+    // No failures at p=0.2 with an 8-retry budget (p^9 ~ 5e-7), so
+    // every NACK was answered by exactly one retry.
+    EXPECT_EQ(machine.protocolFailures(), 0u);
+    EXPECT_EQ(machine.protocolRetries(), machine.protocolNacks());
+}
+
+TEST(ProtocolRetry, DisabledModelPerturbsNothing)
+{
+    NumaConfig plain;
+    plain.nodes = 2;
+    NumaConfig seeded = plain;
+    seeded.protocol_fault.seed = 12345;  // rate stays 0
+    NumaMachine a(plain), b(seeded);
+    Rng ops(5);
+    for (unsigned i = 0; i < 500; ++i) {
+        const auto cpu = static_cast<unsigned>(ops.uniformInt(2));
+        const Addr addr = 0x1000 + ops.uniformInt(128) * 32;
+        const bool store = ops.bernoulli(0.5);
+        ASSERT_EQ(a.access(cpu, addr, store),
+                  b.access(cpu, addr, store))
+            << i;
+    }
+    EXPECT_EQ(a.protocolNacks(), 0u);
+    EXPECT_EQ(b.protocolNacks(), 0u);
+}
+
+// ---- End-to-end campaign ----------------------------------------------
+
+namespace {
+
+CampaignConfig
+quickCampaign()
+{
+    CampaignConfig cfg;
+    cfg.horizon = 100'000;
+    cfg.link_messages = 300;
+    cfg.protocol_accesses = 600;
+    cfg.array.rows = 128;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Campaign, ZeroFaultRunIsBitForBitClean)
+{
+    const ReliabilityReport r = runFaultCampaign(quickCampaign());
+    EXPECT_EQ(r.faults_injected, 0u);
+    EXPECT_EQ(r.scrub_corrected, 0u);
+    EXPECT_EQ(r.scrub_uncorrectable, 0u);
+    EXPECT_EQ(r.rows_spared, 0u);
+    EXPECT_EQ(r.machine_checks, 0u);
+    EXPECT_EQ(r.silent_corruptions, 0u);
+    EXPECT_EQ(r.link_retransmissions, 0u);
+    EXPECT_EQ(r.link_failures, 0u);
+    EXPECT_EQ(r.protocol_nacks, 0u);
+    EXPECT_EQ(r.protocol_failures, 0u);
+    // The faulty twin charged exactly the clean twin's cycles.
+    EXPECT_DOUBLE_EQ(r.link_mean_latency, r.link_clean_latency);
+    EXPECT_DOUBLE_EQ(r.mean_access_cycles, r.clean_access_cycles);
+    EXPECT_GT(r.refreshes, 0u);
+    EXPECT_EQ(r.rows_scrubbed, r.refreshes);
+}
+
+TEST(Campaign, SameSeedSameReport)
+{
+    CampaignConfig cfg = quickCampaign();
+    cfg.faults_per_megacycle = 500.0;
+    cfg.link_bit_error_rate = 1e-4;
+    cfg.link_drop_rate = 0.01;
+    cfg.protocol_nack_rate = 0.1;
+    const ReliabilityReport a = runFaultCampaign(cfg);
+    const ReliabilityReport b = runFaultCampaign(cfg);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.faults_injected, 0u);
+    EXPECT_GT(a.link_retransmissions, 0u);
+    EXPECT_GT(a.protocol_nacks, 0u);
+}
+
+TEST(Campaign, DifferentSeedDifferentSchedule)
+{
+    CampaignConfig cfg = quickCampaign();
+    cfg.faults_per_megacycle = 500.0;
+    CampaignConfig other = cfg;
+    other.seed = 43;
+    const ReliabilityReport a = runFaultCampaign(cfg);
+    const ReliabilityReport b = runFaultCampaign(other);
+    EXPECT_NE(a, b);
+}
+
+TEST(Campaign, ScrubbingHoldsTheLineBelowDoubleFaultThreshold)
+{
+    // A modest soft-error rate: faults land far apart compared to
+    // the scrub rotation, so every one is corrected before a second
+    // strike can pair it into a double. The machine takes damage and
+    // reports zero data loss.
+    CampaignConfig cfg = quickCampaign();
+    cfg.horizon = 300'000;
+    cfg.faults_per_megacycle = 100.0;
+    const ReliabilityReport r = runFaultCampaign(cfg);
+    EXPECT_GT(r.faults_injected, 5u);
+    EXPECT_GT(r.scrub_corrected + r.demand_corrected, 0u);
+    EXPECT_EQ(r.scrub_uncorrectable, 0u);
+    EXPECT_EQ(r.demand_uncorrectable, 0u);
+    EXPECT_EQ(r.machine_checks, 0u);
+    EXPECT_EQ(r.silent_corruptions, 0u);
+    EXPECT_GT(r.scrub_overhead, 0.0);
+    // One decode cycle per block, 16 blocks per refresh event, one
+    // event every ~97.7 cycles: ~16% of the memory pipeline.
+    EXPECT_LT(r.scrub_overhead, 0.2);
+}
+
+TEST(Campaign, GracefulDegradationUnderExtremeRates)
+{
+    // Saturation test: a rate high enough to create doubles (which
+    // SECDED detects) but not so high that triple strikes land in
+    // one 128-bit half between scrubs (which no SECDED can see). The
+    // machine must degrade gracefully — spare rows first, machine
+    // checks after — and never corrupt silently.
+    CampaignConfig cfg = quickCampaign();
+    cfg.faults_per_megacycle = 5'000.0;
+    cfg.array.spare_rows = 4;
+    const ReliabilityReport r = runFaultCampaign(cfg);
+    EXPECT_GT(r.scrub_uncorrectable + r.demand_uncorrectable, 0u);
+    EXPECT_GT(r.rows_spared, 0u);
+    EXPECT_EQ(r.silent_corruptions, 0u);
+}

@@ -72,6 +72,97 @@ TEST(Refresh, RateMath)
     EXPECT_NEAR(agent.overheadFraction(d), 0.0064, 0.0005);
 }
 
+TEST(Refresh, DrainCapBoundsOneCallAndDeficitCarries)
+{
+    RefreshConfig c;
+    c.max_per_call = 100;
+    DramConfig d;
+    RefreshAgent agent(c, d);
+    Dram dram(d);
+    // A huge time jump owes ~10240 refreshes; one call issues at
+    // most the cap.
+    EXPECT_EQ(agent.drainUpTo(dram, 1'000'000), 100u);
+    EXPECT_EQ(agent.refreshesIssued(), 100u);
+    // The deficit carries: repeated calls at the SAME time keep
+    // catching up until the backlog is paid off.
+    EXPECT_EQ(agent.drainUpTo(dram, 1'000'000), 100u);
+    unsigned total = 200;
+    while (unsigned n = agent.drainUpTo(dram, 1'000'000)) {
+        EXPECT_LE(n, 100u);
+        total += n;
+    }
+    // ~97.66 cycles per refresh over 1M cycles.
+    EXPECT_NEAR(static_cast<double>(total), 1'000'000 / 97.66, 2.0);
+    // Fully caught up: nothing more is due.
+    EXPECT_EQ(agent.drainUpTo(dram, 1'000'000), 0u);
+}
+
+TEST(Refresh, DefaultCapInvisibleAtNormalCadence)
+{
+    RefreshConfig c;  // default 64 Ki cap
+    DramConfig d;
+    RefreshAgent agent(c, d);
+    Dram dram(d);
+    // Normal per-access drain cadence: small forward steps never
+    // come close to the cap.
+    for (Tick t = 256; t <= 100'000; t += 256)
+        EXPECT_LE(agent.drainUpTo(dram, t), 4u);
+    EXPECT_NEAR(static_cast<double>(agent.refreshesIssued()),
+                100'000 / 97.66, 2.0);
+}
+
+TEST(RefreshDeath, ZeroCapRejected)
+{
+    RefreshConfig c;
+    c.max_per_call = 0;
+    EXPECT_DEATH(RefreshAgent(c, DramConfig{}), "cap");
+}
+
+namespace {
+
+/** Observer that records every refresh callback. */
+struct CountingObserver : RefreshObserver
+{
+    unsigned calls = 0;
+    std::uint32_t last_bank = 0;
+    std::uint32_t last_row = 0;
+    Tick last_when = 0;
+
+    void
+    onRefresh(std::uint32_t bank, std::uint32_t row,
+              Tick when) override
+    {
+        ++calls;
+        last_bank = bank;
+        last_row = row;
+        last_when = when;
+    }
+};
+
+} // namespace
+
+TEST(Refresh, ObserverSeesEveryRefreshedRow)
+{
+    RefreshConfig c;
+    DramConfig d;
+    RefreshAgent agent(c, d);
+    CountingObserver obs;
+    agent.setObserver(&obs);
+    Dram dram(d);
+    agent.drainUpTo(dram, 10'000);
+    EXPECT_EQ(obs.calls, agent.refreshesIssued());
+    EXPECT_GE(obs.calls, 100u);
+    EXPECT_LT(obs.last_bank, d.banks);
+    EXPECT_LT(obs.last_row, c.rows_per_bank);
+    EXPECT_LE(obs.last_when, 10'000u);
+    // Detaching stops the callbacks without stopping refresh.
+    agent.setObserver(nullptr);
+    const auto before = obs.calls;
+    agent.drainUpTo(dram, 20'000);
+    EXPECT_EQ(obs.calls, before);
+    EXPECT_GT(agent.refreshesIssued(), before);
+}
+
 TEST(Refresh, RotatesAcrossBanks)
 {
     RefreshConfig c;

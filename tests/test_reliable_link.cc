@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for CRC-16 frame protection and the reliable serial link's
+ * ACK/NACK retransmission, timeout and exponential-backoff paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "interconnect/crc.hh"
+#include "interconnect/fabric.hh"
+#include "interconnect/reliable_link.hh"
+
+using namespace memwall;
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const char *s)
+{
+    return {reinterpret_cast<const std::uint8_t *>(s),
+            reinterpret_cast<const std::uint8_t *>(s) +
+                std::strlen(s)};
+}
+
+} // namespace
+
+// ---- CRC-16 -----------------------------------------------------------
+
+TEST(Crc16, KnownCheckValue)
+{
+    // CRC-16/CCITT-FALSE check value of "123456789".
+    const auto data = bytesOf("123456789");
+    EXPECT_EQ(crc16(data), 0x29b1);
+}
+
+TEST(Crc16, EmptyPayload)
+{
+    EXPECT_EQ(crc16({}), 0xffff);  // the initial value
+}
+
+TEST(Crc16, FrameRoundTrip)
+{
+    const auto payload = bytesOf("memory wall");
+    const auto frame = encodeFrame(payload);
+    EXPECT_EQ(frame.size(), payload.size() + 2);
+    EXPECT_TRUE(verifyFrame(frame));
+}
+
+TEST(Crc16, DetectsEverySingleBitFlip)
+{
+    const auto payload = bytesOf("0123456789abcdef0123456789abcdef");
+    const auto golden = encodeFrame(payload);
+    for (std::size_t bit = 0; bit < golden.size() * 8; ++bit) {
+        auto frame = golden;
+        frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_FALSE(verifyFrame(frame)) << "bit " << bit;
+    }
+}
+
+TEST(Crc16, DetectsDoubleBitFlips)
+{
+    const auto payload = bytesOf("the case for integration");
+    const auto golden = encodeFrame(payload);
+    // A sampled grid of double flips (CRC-16 catches all doubles).
+    for (std::size_t i = 0; i < golden.size() * 8; i += 17) {
+        for (std::size_t j = i + 1; j < golden.size() * 8; j += 41) {
+            auto frame = golden;
+            frame[i / 8] ^=
+                static_cast<std::uint8_t>(1u << (i % 8));
+            frame[j / 8] ^=
+                static_cast<std::uint8_t>(1u << (j % 8));
+            EXPECT_FALSE(verifyFrame(frame)) << i << "," << j;
+        }
+    }
+}
+
+TEST(Crc16, TruncatedFrameNeverValid)
+{
+    EXPECT_FALSE(verifyFrame(std::vector<std::uint8_t>{}));
+    EXPECT_FALSE(verifyFrame(std::vector<std::uint8_t>{0x12}));
+}
+
+// ---- Clean-path equivalence ------------------------------------------
+
+TEST(ReliableLink, CleanLinkMatchesSerialLinkExactly)
+{
+    SerialLink plain;
+    ReliableLink reliable;  // fault model disabled
+    const Tick times[] = {0, 0, 100, 105, 400};
+    const std::uint32_t sizes[] = {8, 40, 40, 8, 40};
+    for (unsigned i = 0; i < 5; ++i) {
+        EXPECT_EQ(reliable.send(times[i], sizes[i]),
+                  plain.send(times[i], sizes[i]))
+            << i;
+    }
+    EXPECT_EQ(reliable.messages(), plain.messages());
+    EXPECT_EQ(reliable.bytesSent(), plain.bytesSent());
+    EXPECT_EQ(reliable.queuedCycles(), plain.queuedCycles());
+    EXPECT_EQ(reliable.freeAt(), plain.freeAt());
+    EXPECT_EQ(reliable.retransmissions(), 0u);
+    EXPECT_EQ(reliable.crcErrorsDetected(), 0u);
+}
+
+// ---- Retransmission mechanics ----------------------------------------
+
+TEST(ReliableLink, AckLatencyMath)
+{
+    ReliableLink link;  // 2.5 Gbit/s, flight 10, 4-byte ACK
+    // 4 bytes = 32 bits -> 12.8 ns -> 2.56 -> 3 cycles, + 10 flight.
+    EXPECT_EQ(link.ackLatency(), 13u);
+}
+
+TEST(ReliableLink, ForcedCorruptionRetransmitsOnce)
+{
+    ReliableLink link;
+    link.forceErrorAttempts(1);
+    const auto outcome = link.sendReliable(0, 40);
+    // Attempt 1: serialisation 26 + flight 10 -> arrival 36,
+    // NACK back at 36 + 13 = 49, backoff 4 -> retry starts at 53.
+    // Attempt 2: link free since 26, so no queueing: 53 + 36 = 89.
+    EXPECT_EQ(outcome.delivered, 89u);
+    EXPECT_EQ(outcome.attempts, 2u);
+    EXPECT_FALSE(outcome.failed);
+    EXPECT_EQ(link.retransmissions(), 1u);
+    EXPECT_EQ(link.crcErrorsDetected(), 1u);
+    EXPECT_EQ(link.timeouts(), 0u);
+    EXPECT_EQ(link.backoffCycles(), 4u);
+    EXPECT_EQ(link.silentFrameErrors(), 0u);
+}
+
+TEST(ReliableLink, BackoffDoublesAcrossConsecutiveRetries)
+{
+    ReliableLink link;
+    link.forceErrorAttempts(3);
+    const auto outcome = link.sendReliable(0, 40);
+    // Retries start at 53 (backoff 4), 110 (backoff 8) and 175
+    // (backoff 16): each NACK lands 13 cycles after the 36-cycle
+    // flight, and the next attempt serialises for 36 again.
+    //   a1: 0 -> 36, retry at 49 + 4 = 53
+    //   a2: 53 -> 89, retry at 102 + 8 = 110
+    //   a3: 110 -> 146, retry at 159 + 16 = 175
+    //   a4: 175 -> 211, delivered
+    EXPECT_EQ(outcome.delivered, 211u);
+    EXPECT_EQ(outcome.attempts, 4u);
+    EXPECT_EQ(link.retransmissions(), 3u);
+    EXPECT_EQ(link.backoffCycles(), 4u + 8u + 16u);
+}
+
+TEST(ReliableLink, CorruptNMessagesGivesExactlyNRetransmissions)
+{
+    // The acceptance scenario: N corrupted messages, the protocol
+    // completes, and exactly N retransmissions are counted.
+    const unsigned n = 7;
+    ReliableLink link;
+    Tick now = 0;
+    for (unsigned i = 0; i < 20; ++i) {
+        if (i < n)
+            link.forceErrorAttempts(1);
+        const auto outcome = link.sendReliable(now, 40);
+        EXPECT_FALSE(outcome.failed);
+        EXPECT_EQ(outcome.attempts, i < n ? 2u : 1u) << i;
+        now = outcome.delivered + 50;
+    }
+    EXPECT_EQ(link.retransmissions(), n);
+    EXPECT_EQ(link.crcErrorsDetected(), n);
+    EXPECT_EQ(link.failures(), 0u);
+}
+
+TEST(ReliableLink, GivesUpAfterMaxRetries)
+{
+    LinkFaultConfig fault;
+    fault.max_retries = 2;
+    ReliableLink link({}, fault);
+    link.forceErrorAttempts(10);
+    const auto outcome = link.sendReliable(0, 40);
+    EXPECT_TRUE(outcome.failed);
+    EXPECT_EQ(outcome.attempts, 3u);  // initial + 2 retries
+    EXPECT_EQ(link.retransmissions(), 2u);
+    EXPECT_EQ(link.failures(), 1u);
+}
+
+TEST(ReliableLink, DroppedFrameRecoversViaTimeout)
+{
+    LinkFaultConfig fault;
+    fault.drop_rate = 1.0;
+    fault.max_retries = 1;
+    ReliableLink link({}, fault);
+    const auto outcome = link.sendReliable(0, 40);
+    // Every attempt drops; after the retry budget the link reports
+    // failure instead of hanging. Only the first drop waits out a
+    // timeout — the second exhausts the budget and gives up at once.
+    EXPECT_TRUE(outcome.failed);
+    EXPECT_EQ(outcome.attempts, 2u);
+    EXPECT_EQ(link.timeouts(), 1u);
+    EXPECT_EQ(link.retransmissions(), 1u);
+    EXPECT_EQ(link.crcErrorsDetected(), 0u);
+}
+
+TEST(ReliableLink, BitErrorsAreDetectedAndRecovered)
+{
+    LinkFaultConfig fault;
+    fault.bit_error_rate = 1e-3;  // ~27% of 40-byte frames hit
+    fault.seed = 7;
+    ReliableLink link({}, fault);
+    Tick now = 0;
+    unsigned delivered = 0;
+    for (unsigned i = 0; i < 500; ++i) {
+        const auto outcome = link.sendReliable(now, 40);
+        if (!outcome.failed)
+            ++delivered;
+        now = outcome.delivered + 64;
+    }
+    EXPECT_EQ(delivered, 500u);  // every message got through
+    EXPECT_GT(link.retransmissions(), 50u);
+    EXPECT_EQ(link.crcErrorsDetected(), link.retransmissions());
+    EXPECT_EQ(link.silentFrameErrors(), 0u);
+    EXPECT_EQ(link.failures(), 0u);
+}
+
+TEST(ReliableLink, SameSeedSameSchedule)
+{
+    LinkFaultConfig fault;
+    fault.bit_error_rate = 1e-4;
+    fault.drop_rate = 0.01;
+    fault.seed = 99;
+    ReliableLink a({}, fault);
+    ReliableLink b({}, fault);
+    Tick ta = 0, tb = 0;
+    for (unsigned i = 0; i < 300; ++i) {
+        const auto oa = a.sendReliable(ta, 40);
+        const auto ob = b.sendReliable(tb, 40);
+        ASSERT_EQ(oa.delivered, ob.delivered) << i;
+        ASSERT_EQ(oa.attempts, ob.attempts) << i;
+        ta = oa.delivered + 10;
+        tb = ob.delivered + 10;
+    }
+    EXPECT_EQ(a.retransmissions(), b.retransmissions());
+    EXPECT_EQ(a.timeouts(), b.timeouts());
+}
+
+// ---- Fabric integration ----------------------------------------------
+
+TEST(FaultyFabric, RetransmissionsSurfaceInStats)
+{
+    FabricConfig cfg;
+    cfg.fault.bit_error_rate = 1e-3;
+    cfg.fault.seed = 5;
+    Fabric fabric(4, cfg);
+    Tick now = 0;
+    for (unsigned i = 0; i < 400; ++i) {
+        now = fabric.send(now, i % 4, (i + 1) % 4,
+                          MsgType::ReadReply) +
+              16;
+    }
+    EXPECT_GT(fabric.totalRetransmissions(), 0u);
+    EXPECT_EQ(fabric.totalCrcErrors(),
+              fabric.totalRetransmissions());
+    EXPECT_EQ(fabric.totalLinkFailures(), 0u);
+}
+
+TEST(FaultyFabric, CleanFabricCountsNothing)
+{
+    Fabric fabric(4);
+    for (unsigned i = 0; i < 50; ++i)
+        fabric.send(i, 0, 1, MsgType::ReadRequest);
+    EXPECT_EQ(fabric.totalRetransmissions(), 0u);
+    EXPECT_EQ(fabric.totalCrcErrors(), 0u);
+    EXPECT_EQ(fabric.totalTimeouts(), 0u);
+}
