@@ -13,6 +13,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "harness/parallel_sweep.hh"
 #include "mem/column_cache.hh"
 #include "workloads/spec_suite.hh"
 
@@ -31,30 +32,45 @@ main(int argc, char **argv)
     table.setHeader({"benchmark", "0 (none)", "4", "8",
                      "16 (paper)", "32", "64"});
 
+    constexpr std::uint32_t entry_counts[] = {0u, 4u, 8u, 16u, 32u,
+                                              64u};
+    ParallelSweep<double> sweep(opt.jobs, opt.seed);
+    std::vector<std::string> row;
     for (const char *name : {"101.tomcatv", "102.swim", "103.su2cor",
                              "130.li", "099.go", "146.wave5"}) {
         const SpecWorkload &w = findWorkload(name);
-        std::vector<std::string> row{w.name};
-        for (std::uint32_t entries : {0u, 4u, 8u, 16u, 32u, 64u}) {
-            ColumnCacheConfig cfg;
-            cfg.victim_enabled = entries > 0;
-            if (entries > 0)
-                cfg.victim.entries = entries;
-            ColumnDataCache cache(cfg);
-            SyntheticWorkload source(w.proxy);
-            const RefSink sink = [&](const MemRef &ref) {
-                if (ref.type != RefType::IFetch)
-                    cache.access(ref.addr,
-                                 ref.type == RefType::Store);
-            };
-            source.generate(refs / 4, sink);
-            cache.resetStats();
-            source.generate(refs, sink);
-            row.push_back(
-                TextTable::num(cache.stats().missRate() * 100, 3));
+        for (std::uint32_t entries : entry_counts) {
+            sweep.submit(
+                [&w, entries, refs](const PointContext &) {
+                    ColumnCacheConfig cfg;
+                    cfg.victim_enabled = entries > 0;
+                    if (entries > 0)
+                        cfg.victim.entries = entries;
+                    ColumnDataCache cache(cfg);
+                    SyntheticWorkload source(w.proxy);
+                    const auto sink = [&](const MemRef &ref) {
+                        if (ref.type != RefType::IFetch)
+                            cache.access(ref.addr,
+                                         ref.type == RefType::Store);
+                    };
+                    source.generateInto(refs / 4, sink);
+                    cache.resetStats();
+                    source.generateInto(refs, sink);
+                    return cache.stats().missRate() * 100;
+                },
+                [&table, &row, &w, entries](const PointContext &,
+                                            double miss_pct) {
+                    if (row.empty())
+                        row.push_back(w.name);
+                    row.push_back(TextTable::num(miss_pct, 3));
+                    if (entries == 64u) {
+                        table.addRow(std::move(row));
+                        row.clear();
+                    }
+                });
         }
-        table.addRow(std::move(row));
     }
+    sweep.finish();
     table.print(std::cout);
     std::cout << "\nExpected: a steep drop by 16 entries for the "
                  "conflict benchmarks, then\ndiminishing returns — "

@@ -6,6 +6,10 @@
  *   --refs N     measured references per workload (default varies)
  *   --quick      cut the workload sizes ~10x for smoke runs
  *   --seed S     RNG seed
+ *   --jobs N     worker threads for the point sweep (default: one
+ *                per hardware thread; 1 = serial reference run).
+ *                Output is byte-identical for every N (see
+ *                harness/parallel_sweep.hh).
  *
  * A bench may register additional value-taking flags (e.g.
  * `--reseeds 0,777,31415`) by passing them to parse(); their values
@@ -23,15 +27,26 @@
 #include <initializer_list>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace memwall::benchutil {
+
+/** Default for --jobs: one worker per hardware thread, at least 1. */
+inline unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
 
 struct Options
 {
     std::uint64_t refs = 0;  ///< 0 = use the bench's default
     bool quick = false;
     std::uint64_t seed = 42;
+    /** Sweep worker threads; 1 runs points serially inline. */
+    unsigned jobs = defaultJobs();
     /** Values of the bench's registered extra flags, keyed by the
      * flag spelled with its dashes (e.g. "--reseeds"). */
     std::map<std::string, std::string> extra;
@@ -64,6 +79,13 @@ parse(int argc, char **argv,
             opt.seed = std::strtoull(argv[++i], nullptr, 0);
             continue;
         }
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            const unsigned long jobs =
+                std::strtoul(argv[++i], nullptr, 0);
+            opt.jobs = jobs ? static_cast<unsigned>(jobs)
+                            : defaultJobs();
+            continue;
+        }
         bool matched = false;
         for (const char *flag : extra_flags) {
             if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
@@ -75,7 +97,8 @@ parse(int argc, char **argv,
         if (matched)
             continue;
         std::fprintf(stderr,
-                     "usage: %s [--refs N] [--quick] [--seed S]",
+                     "usage: %s [--refs N] [--quick] [--seed S] "
+                     "[--jobs N]",
                      argv[0]);
         for (const char *flag : extra_flags)
             std::fprintf(stderr, " [%s V[,V...]]", flag);

@@ -9,6 +9,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "harness/parallel_sweep.hh"
 #include "workloads/missrate.hh"
 
 using namespace memwall;
@@ -32,23 +33,35 @@ main(int argc, char **argv)
 
     BarChart chart("Figure 7 (bars): I-cache miss rates", "%");
 
+    // One sweep point per workload; rows commit in suite order no
+    // matter which worker finishes first.
+    ParallelSweep<WorkloadMissRates> sweep(opt.jobs, opt.seed);
     for (const auto &w : specSuite()) {
-        const auto rates = measureMissRates(w, params);
-        const double prop = rates.icache(proposed).missRate();
-        const double c8 = rates.icache(conv8).missRate();
-        const double c16 = rates.icache(conv16).missRate();
-        const double c32 = rates.icache(conv32).missRate();
-        const double c64 = rates.icache(conv64).missRate();
-        table.addRow({w.name, TextTable::num(prop * 100, 3),
-                      TextTable::num(c8 * 100, 3),
-                      TextTable::num(c16 * 100, 3),
-                      TextTable::num(c32 * 100, 3),
-                      TextTable::num(c64 * 100, 3),
-                      prop > 0 ? TextTable::num(c8 / prop, 1) : "inf"});
-        chart.add(w.name, "proposed", prop * 100);
-        chart.add(w.name, "conv-8K ", c8 * 100);
-        chart.add(w.name, "conv-64K", c64 * 100);
+        sweep.submit(
+            [&w, &params](const PointContext &) {
+                return measureMissRates(w, params);
+            },
+            [&](const PointContext &, WorkloadMissRates rates) {
+                const double prop =
+                    rates.icache(proposed).missRate();
+                const double c8 = rates.icache(conv8).missRate();
+                const double c16 = rates.icache(conv16).missRate();
+                const double c32 = rates.icache(conv32).missRate();
+                const double c64 = rates.icache(conv64).missRate();
+                table.addRow(
+                    {rates.workload, TextTable::num(prop * 100, 3),
+                     TextTable::num(c8 * 100, 3),
+                     TextTable::num(c16 * 100, 3),
+                     TextTable::num(c32 * 100, 3),
+                     TextTable::num(c64 * 100, 3),
+                     prop > 0 ? TextTable::num(c8 / prop, 1)
+                              : "inf"});
+                chart.add(rates.workload, "proposed", prop * 100);
+                chart.add(rates.workload, "conv-8K ", c8 * 100);
+                chart.add(rates.workload, "conv-64K", c64 * 100);
+            });
     }
+    sweep.finish();
 
     table.print(std::cout);
     std::cout << '\n';

@@ -11,6 +11,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "harness/parallel_sweep.hh"
 #include "workloads/missrate.hh"
 
 using namespace memwall;
@@ -35,9 +36,20 @@ main(int argc, char **argv)
 
     BarChart chart("Figure 8 (bars): D-cache miss rates", "%");
 
+    // Measure every workload as an independent sweep point; commits
+    // land in suite order, so `all` matches the serial loop exactly.
     std::vector<WorkloadMissRates> all;
-    for (const auto &w : specSuite())
-        all.push_back(measureMissRates(w, params));
+    ParallelSweep<WorkloadMissRates> sweep(opt.jobs, opt.seed);
+    for (const auto &w : specSuite()) {
+        sweep.submit(
+            [&w, &params](const PointContext &) {
+                return measureMissRates(w, params);
+            },
+            [&all](const PointContext &, WorkloadMissRates rates) {
+                all.push_back(std::move(rates));
+            });
+    }
+    sweep.finish();
 
     for (std::size_t i = 0; i < all.size(); ++i) {
         const auto &w = specSuite()[i];

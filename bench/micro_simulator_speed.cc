@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "core/memwall.hh"
 
 using namespace memwall;
@@ -149,6 +151,123 @@ BM_EccEncodeDecode(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EccEncodeDecode);
+
+void
+BM_EventQueueScheduleDispatch(benchmark::State &state)
+{
+    // The simulator's hottest kernel loop: schedule a burst of
+    // events whose captures exceed std::function's internal buffer,
+    // then drain them. Guards the allocation-free schedule path.
+    EventQueue q;
+    std::uint64_t sum = 0;
+    std::uint64_t a = 1, b = 2, c = 3;
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i) {
+            q.scheduleIn(static_cast<Tick>(i + 1), [&sum, a, b, c] {
+                sum += a + b + c;
+            });
+        }
+        q.run();
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void
+BM_EventQueueScheduleCancel(benchmark::State &state)
+{
+    // Schedule a burst, cancel every other event, drain the rest —
+    // the retransmission-timer pattern of the reliable link.
+    EventQueue q;
+    std::uint64_t fired = 0;
+    std::vector<std::uint64_t> tickets(256);
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            tickets[static_cast<std::size_t>(i)] = q.scheduleIn(
+                static_cast<Tick>(i + 1), [&fired] { ++fired; });
+        for (int i = 0; i < 256; i += 2)
+            q.deschedule(tickets[static_cast<std::size_t>(i)]);
+        q.run();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+void
+BM_MissRatePoint(benchmark::State &state)
+{
+    // End-to-end sweep point as executed by the fig7/fig8 harness:
+    // one workload's reference stream through the full comparison
+    // cache set.
+    const SpecWorkload &w = findWorkload("126.gcc");
+    MissRateParams params;
+    params.measured_refs = 40'000;
+    params.warmup_refs = 10'000;
+    for (auto _ : state) {
+        const auto rates = measureMissRates(w, params);
+        benchmark::DoNotOptimize(
+            rates.icaches.front().stats.accesses());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        (params.measured_refs + params.warmup_refs));
+}
+BENCHMARK(BM_MissRatePoint);
+
+// HARNESS-BEGIN (benchmarks below need src/harness/, post-seed)
+void
+BM_ThreadPoolTinyTasks(benchmark::State &state)
+{
+    // Submission/steal overhead under tiny tasks; workers count as
+    // configured by the Arg below.
+    ThreadPool pool(static_cast<unsigned>(state.range(0)));
+    std::atomic<std::uint64_t> sum{0};
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            pool.submit([&sum] {
+                sum.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.waitIdle();
+    }
+    benchmark::DoNotOptimize(sum.load());
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolTinyTasks)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_ParallelSweepPoints(benchmark::State &state)
+{
+    // Order-preserving sweep of small simulation points, as the
+    // figure/table binaries run them.
+    const SpecWorkload &w = findWorkload("099.go");
+    MissRateParams params;
+    params.measured_refs = 4'000;
+    params.warmup_refs = 1'000;
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        ParallelSweep<std::uint64_t> sweep(
+            static_cast<unsigned>(state.range(0)), 42);
+        for (int p = 0; p < 8; ++p)
+            sweep.submit(
+                [&w, &params](const PointContext &) {
+                    return measureMissRates(w, params)
+                        .icaches.front()
+                        .stats.accesses();
+                },
+                [&total](const PointContext &, std::uint64_t n) {
+                    total += n;
+                });
+        sweep.finish();
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(state.iterations() * 8 *
+                            (params.measured_refs +
+                             params.warmup_refs));
+}
+BENCHMARK(BM_ParallelSweepPoints)->Arg(1)->Arg(2)->Arg(4);
+// HARNESS-END
 
 } // namespace
 

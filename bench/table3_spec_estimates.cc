@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "harness/parallel_sweep.hh"
 #include "workloads/spec_eval.hh"
 
 using namespace memwall;
@@ -38,24 +39,36 @@ main(int argc, char **argv)
                      "paper CPI", "paper ratio"});
 
     bool fp_rule_done = false;
+    ParallelSweep<SpecEstimate> sweep(opt.jobs, opt.seed);
     for (const auto &w : specSuite()) {
         if (!w.in_spec_tables)
             continue;
-        if (w.floating_point && !fp_rule_done) {
-            table.addRule();
-            fp_rule_done = true;
-        }
-        const SpecEstimate est =
-            estimateIntegrated(w, /*victim_cache=*/false, params);
-        table.addRow(
-            {w.name,
-             TextTable::num(est.cpi.base, 2) + " + " +
-                 TextTable::num(est.cpi.memory, 2),
-             TextTable::num(est.spec_ratio, 1),
-             TextTable::num(w.base_cpi, 2) + " + " +
-                 TextTable::num(w.paper_mem_cpi_novc, 2),
-             TextTable::num(w.paper_ratio_novc, 1)});
+        sweep.submit(
+            [&w, &params](const PointContext &ctx) {
+                // Per-point stream derived from (--seed, index):
+                // reordering or parallelising points cannot perturb
+                // another point's draws.
+                SpecEvalParams p = params;
+                p.seed = ctx.seed;
+                return estimateIntegrated(w, /*victim_cache=*/false,
+                                          p);
+            },
+            [&, &w = w](const PointContext &, SpecEstimate est) {
+                if (w.floating_point && !fp_rule_done) {
+                    table.addRule();
+                    fp_rule_done = true;
+                }
+                table.addRow(
+                    {w.name,
+                     TextTable::num(est.cpi.base, 2) + " + " +
+                         TextTable::num(est.cpi.memory, 2),
+                     TextTable::num(est.spec_ratio, 1),
+                     TextTable::num(w.base_cpi, 2) + " + " +
+                         TextTable::num(w.paper_mem_cpi_novc, 2),
+                     TextTable::num(w.paper_ratio_novc, 1)});
+            });
     }
+    sweep.finish();
     table.print(std::cout);
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "harness/parallel_sweep.hh"
 #include "workloads/spec_eval.hh"
 
 using namespace memwall;
@@ -38,21 +39,31 @@ main(int argc, char **argv)
                      "paper ratio", "Alpha 21164"});
 
     bool fp_rule_done = false;
+    ParallelSweep<SpecEstimate> sweep(opt.jobs, opt.seed);
     for (const auto &w : specSuite()) {
         if (!w.in_spec_tables)
             continue;
-        if (w.floating_point && !fp_rule_done) {
-            table.addRule();
-            fp_rule_done = true;
-        }
-        const SpecEstimate est =
-            estimateIntegrated(w, /*victim_cache=*/true, params);
-        table.addRow({w.name, TextTable::num(est.cpi.total(), 2),
-                      TextTable::num(est.spec_ratio, 1),
-                      TextTable::num(w.paper_total_cpi_vc, 2),
-                      TextTable::num(w.paper_ratio_vc, 1),
-                      TextTable::num(w.alpha_ratio, 1)});
+        sweep.submit(
+            [&w, &params](const PointContext &ctx) {
+                SpecEvalParams p = params;
+                p.seed = ctx.seed;
+                return estimateIntegrated(w, /*victim_cache=*/true,
+                                          p);
+            },
+            [&, &w = w](const PointContext &, SpecEstimate est) {
+                if (w.floating_point && !fp_rule_done) {
+                    table.addRule();
+                    fp_rule_done = true;
+                }
+                table.addRow(
+                    {w.name, TextTable::num(est.cpi.total(), 2),
+                     TextTable::num(est.spec_ratio, 1),
+                     TextTable::num(w.paper_total_cpi_vc, 2),
+                     TextTable::num(w.paper_ratio_vc, 1),
+                     TextTable::num(w.alpha_ratio, 1)});
+            });
     }
+    sweep.finish();
     table.print(std::cout);
     return 0;
 }

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable wrapper.
+ *
+ * std::function heap-allocates once its capture exceeds the
+ * implementation's tiny internal buffer (two pointers on libstdc++),
+ * which makes every EventQueue::schedule() of a lambda capturing more
+ * than `this` a malloc/free pair on the simulator's hottest path.
+ * InlineFunction stores callables up to `BufBytes` inline and only
+ * falls back to the heap beyond that, so the discrete-event kernel
+ * schedules without touching the allocator.
+ */
+
+#ifndef MEMWALL_COMMON_INLINE_FUNCTION_HH
+#define MEMWALL_COMMON_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace memwall {
+
+template <typename Signature, std::size_t BufBytes = 48>
+class InlineFunction;
+
+/**
+ * Move-only type-erased callable with an inline buffer of
+ * @p BufBytes bytes. Callables that fit (and are nothrow move
+ * constructible) are stored in place; larger ones are heap-allocated.
+ */
+template <typename R, typename... Args, std::size_t BufBytes>
+class InlineFunction<R(Args...), BufBytes>
+{
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    InlineFunction(F &&f)  // NOLINT: implicit like std::function
+    {
+        construct<D>(std::forward<F>(f));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke_(&storage_, std::forward<Args>(args)...);
+    }
+
+    /** Drop the stored callable (no-op when empty). */
+    void
+    reset()
+    {
+        if (manage_) {
+            manage_(&storage_, nullptr);
+            manage_ = nullptr;
+            invoke_ = nullptr;
+        }
+    }
+
+    /** @return true when the callable lives in the inline buffer. */
+    bool inlineStored() const { return invoke_ && inline_; }
+
+  private:
+    union Storage
+    {
+        alignas(std::max_align_t) unsigned char buf[BufBytes];
+        void *ptr;
+    };
+
+    using InvokeFn = R (*)(Storage *, Args &&...);
+    /** dst <- move(src) when src != nullptr, else destroy dst. */
+    using ManageFn = void (*)(Storage *, Storage *);
+
+    template <typename D>
+    static constexpr bool fits_inline =
+        sizeof(D) <= BufBytes &&
+        alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+    template <typename D, typename F>
+    void
+    construct(F &&f)
+    {
+        if constexpr (fits_inline<D>) {
+            ::new (static_cast<void *>(storage_.buf))
+                D(std::forward<F>(f));
+            invoke_ = [](Storage *s, Args &&...args) -> R {
+                return (*std::launder(
+                    reinterpret_cast<D *>(s->buf)))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](Storage *dst, Storage *src) {
+                if (src) {
+                    ::new (static_cast<void *>(dst->buf)) D(
+                        std::move(*std::launder(
+                            reinterpret_cast<D *>(src->buf))));
+                    std::launder(reinterpret_cast<D *>(src->buf))
+                        ->~D();
+                } else {
+                    std::launder(reinterpret_cast<D *>(dst->buf))
+                        ->~D();
+                }
+            };
+            inline_ = true;
+        } else {
+            storage_.ptr = new D(std::forward<F>(f));
+            invoke_ = [](Storage *s, Args &&...args) -> R {
+                return (*static_cast<D *>(s->ptr))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](Storage *dst, Storage *src) {
+                if (src) {
+                    dst->ptr = src->ptr;
+                    src->ptr = nullptr;
+                } else {
+                    delete static_cast<D *>(dst->ptr);
+                }
+            };
+            inline_ = false;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        if (!other.invoke_)
+            return;
+        other.manage_(&storage_, &other.storage_);
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        inline_ = other.inline_;
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+    }
+
+    Storage storage_;
+    InvokeFn invoke_ = nullptr;
+    ManageFn manage_ = nullptr;
+    bool inline_ = false;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_COMMON_INLINE_FUNCTION_HH

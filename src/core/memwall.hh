@@ -83,4 +83,8 @@
 // The integrated device
 #include "core/pim_device.hh"
 
+// Parallel experiment harness
+#include "harness/parallel_sweep.hh"
+#include "harness/thread_pool.hh"
+
 #endif // MEMWALL_CORE_MEMWALL_HH

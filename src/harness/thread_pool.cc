@@ -1,0 +1,113 @@
+#include "harness/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    // Start the threads only once every deque exists: a worker may
+    // inspect any other worker's deque while stealing.
+    for (unsigned i = 0; i < workers; ++i)
+        workers_[i]->thread =
+            std::thread([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    waitIdle();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker->thread.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    MW_ASSERT(task, "cannot submit an empty task");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        MW_ASSERT(!stopping_, "submit() on a stopping pool");
+        workers_[next_worker_]->tasks.push_back(std::move(task));
+        next_worker_ = (next_worker_ + 1) % workers();
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+bool
+ThreadPool::takeTask(unsigned self, Task &out)
+{
+    auto &own = workers_[self]->tasks;
+    if (!own.empty()) {
+        out = std::move(own.back());
+        own.pop_back();
+        return true;
+    }
+    const unsigned n = workers();
+    for (unsigned k = 1; k < n; ++k) {
+        auto &victim = workers_[(self + k) % n]->tasks;
+        if (!victim.empty()) {
+            out = std::move(victim.front());
+            victim.pop_front();
+            ++steals_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        Task task;
+        if (takeTask(self, task)) {
+            lock.unlock();
+            task();
+            // Release the closure before reporting completion so any
+            // captured state dies before waitIdle() returns.
+            task = nullptr;
+            lock.lock();
+            if (--in_flight_ == 0)
+                idle_cv_.notify_all();
+            continue;
+        }
+        if (stopping_)
+            return;
+        work_cv_.wait(lock);
+    }
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::uint64_t
+ThreadPool::steals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return steals_;
+}
+
+} // namespace memwall

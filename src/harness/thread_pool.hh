@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment harness.
+ *
+ * Each worker owns a deque: it pushes and pops its own work LIFO
+ * (cache-warm) and steals FIFO from the other workers when its deque
+ * runs dry, so a burst of tiny tasks submitted to one worker spreads
+ * across the machine. External submissions are distributed
+ * round-robin over the workers' deques.
+ *
+ * The pool executes opaque closures and makes NO ordering promises;
+ * deterministic experiment output is the job of ParallelSweep, which
+ * commits results in submission order regardless of which worker
+ * finished first (see parallel_sweep.hh).
+ */
+
+#ifndef MEMWALL_HARNESS_THREAD_POOL_HH
+#define MEMWALL_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memwall {
+
+/**
+ * Fixed-size pool of worker threads with per-worker deques and work
+ * stealing. Fire-and-forget: completion tracking belongs to the
+ * caller (ParallelSweep keeps per-point done flags).
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param workers thread count; 0 = defaultWorkers(). */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Waits for all submitted tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; runs on some worker, in no promised order. */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished executing. */
+    void waitIdle();
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Number of times a worker stole from another's deque. */
+    std::uint64_t steals() const;
+
+    /** Hardware concurrency with a floor of 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    struct Worker
+    {
+        std::deque<Task> tasks;  // guarded by the pool mutex
+        std::thread thread;
+    };
+
+    void workerLoop(unsigned self);
+    /** Pop own work (LIFO) or steal (FIFO); pool mutex must be held. */
+    bool takeTask(unsigned self, Task &out);
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    unsigned next_worker_ = 0;   // round-robin submission cursor
+    std::uint64_t in_flight_ = 0;  // queued + executing tasks
+    std::uint64_t steals_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_HARNESS_THREAD_POOL_HH

@@ -53,25 +53,6 @@ Cache::setIndex(Addr addr) const
     return (addr >> line_shift_) & (sets_ - 1);
 }
 
-Cache::Line *
-Cache::findLine(Addr addr)
-{
-    const std::uint64_t set = setIndex(addr);
-    const Addr tag = tagOf(addr);
-    Line *base = &lines_[set * assoc_];
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(Addr addr) const
-{
-    return const_cast<Cache *>(this)->findLine(addr);
-}
-
 Cache::Line &
 Cache::victimLine(std::uint64_t set)
 {
@@ -107,8 +88,12 @@ Cache::touchLine(Line &line, Addr addr, bool store)
 AccessResult
 Cache::access(Addr addr, bool store)
 {
+    // A single result object keeps NRVO: both the hit path and
+    // fillAt() write straight into the caller's return slot instead
+    // of a stack temporary copied out per access.
     AccessResult result;
-    if (Line *line = findLine(addr)) {
+    const std::uint64_t set = setIndex(addr);
+    if (Line *line = findInSetOf(*this, set, tagOf(addr))) {
         result.hit = true;
         touchLine(*line, addr, store);
         if (store)
@@ -117,13 +102,27 @@ Cache::access(Addr addr, bool store)
             stats_.load_hits.inc();
         return result;
     }
+    fillAt(result, set, addr, store);
+    return result;
+}
 
+AccessResult
+Cache::fill(Addr addr, bool store)
+{
+    AccessResult result;
+    fillAt(result, setIndex(addr), addr, store);
+    return result;
+}
+
+void
+Cache::fillAt(AccessResult &result, std::uint64_t set, Addr addr,
+              bool store)
+{
     if (store)
         stats_.store_misses.inc();
     else
         stats_.load_misses.inc();
 
-    const std::uint64_t set = setIndex(addr);
     Line &victim = victimLine(set);
     if (victim.valid) {
         // Reconstruct the evicted line's address from tag and set.
@@ -141,7 +140,6 @@ Cache::access(Addr addr, bool store)
     victim.tag = tagOf(addr);
     victim.dirty = false;
     touchLine(victim, addr, store);
-    return result;
 }
 
 bool

@@ -94,6 +94,14 @@ class Cache
      */
     AccessResult access(Addr addr, bool store);
 
+    /**
+     * Miss path of access(): allocate the line containing @p addr,
+     * recording the miss and any eviction. The caller must know the
+     * line is NOT resident (e.g. a touch() that just returned false);
+     * this skips the tag walk access() would repeat.
+     */
+    AccessResult fill(Addr addr, bool store);
+
     /** @return true iff the line containing @p addr is resident. */
     bool probe(Addr addr) const;
 
@@ -135,8 +143,43 @@ class Cache
     Addr lineAddr(Addr addr) const { return addr & ~line_mask_; }
     std::uint64_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const { return addr >> tag_shift_; }
-    Line *findLine(Addr addr);
-    const Line *findLine(Addr addr) const;
+
+    /**
+     * Shared implementation of the const and non-const tag walks;
+     * deduces constness from @p self instead of const_cast'ing. The
+     * set base and tag are computed once, outside the per-way loop;
+     * access() precomputes the set itself so the miss path can reuse
+     * it without a second index computation.
+     */
+    template <typename Self>
+    static auto *
+    findInSetOf(Self &self, std::uint64_t set, Addr tag)
+    {
+        auto *base = &self.lines_[set * self.assoc_];
+        for (std::uint32_t w = 0; w < self.assoc_; ++w) {
+            if (base[w].valid && base[w].tag == tag)
+                return &base[w];
+        }
+        return static_cast<decltype(&base[0])>(nullptr);
+    }
+
+    template <typename Self>
+    static auto *
+    findLineIn(Self &self, Addr addr)
+    {
+        return findInSetOf(self, self.setIndex(addr),
+                           self.tagOf(addr));
+    }
+
+    Line *findLine(Addr addr) { return findLineIn(*this, addr); }
+    const Line *
+    findLine(Addr addr) const
+    {
+        return findLineIn(*this, addr);
+    }
+    /** Miss path shared by access() and fill(); writes @p result. */
+    void fillAt(AccessResult &result, std::uint64_t set, Addr addr,
+                bool store);
     Line &victimLine(std::uint64_t set);
     void touchLine(Line &line, Addr addr, bool store);
 

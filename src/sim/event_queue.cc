@@ -1,84 +1,109 @@
 #include "sim/event_queue.hh"
 
-#include <unordered_map>
-
 #include "common/logging.hh"
 
 namespace memwall {
 
-EventQueue::~EventQueue()
+namespace {
+
+std::uint64_t
+makeTicket(std::uint32_t slot, std::uint32_t gen)
 {
-    while (!heap_.empty()) {
-        delete heap_.top();
-        heap_.pop();
-    }
+    return (static_cast<std::uint64_t>(slot) << 32) | gen;
 }
+
+} // namespace
 
 std::uint64_t
 EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
 {
     MW_ASSERT(when >= now_, "cannot schedule event in the past (when=",
               when, " now=", now_, ")");
-    auto *entry = new Entry{when, static_cast<int>(prio), next_seq_++,
-                            std::move(cb)};
-    heap_.push(entry);
-    return entry->seq;
+    std::uint32_t slot;
+    if (free_slots_.empty()) {
+        slot = static_cast<std::uint32_t>(pool_.size());
+        pool_.emplace_back();
+        pool_.back().slot = slot;
+    } else {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+    }
+    Entry &entry = pool_[slot];
+    entry.when = when;
+    entry.prio = static_cast<int>(prio);
+    entry.seq = next_seq_++;
+    entry.cancelled = false;
+    entry.cb = std::move(cb);
+    heap_.push(&entry);
+    return makeTicket(slot, entry.gen);
 }
 
 bool
 EventQueue::deschedule(std::uint64_t ticket)
 {
-    // Lazy deletion: mark the entry cancelled; it is dropped when it
-    // reaches the top of the heap. A linear scan of the heap's
-    // container would break the heap property, so we track tickets.
-    // The heap entries are owned by the queue; we find the entry by
-    // scanning only when necessary — cheap because cancellations are
-    // rare in our models.
-    std::vector<Entry *> spill;
-    bool found = false;
-    while (!heap_.empty()) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(ticket >> 32);
+    const std::uint32_t gen = static_cast<std::uint32_t>(ticket);
+    if (slot >= pool_.size())
+        return false;
+    Entry &entry = pool_[slot];
+    // A fired or already-cancelled event bumped its generation, so a
+    // stale ticket cannot match.
+    if (entry.gen != gen || entry.cancelled)
+        return false;
+    // Lazy deletion: the entry stays in the heap until it surfaces,
+    // but its callback (and any resources it captured) dies now.
+    entry.cancelled = true;
+    ++entry.gen;
+    entry.cb.reset();
+    ++cancelled_;
+    return true;
+}
+
+void
+EventQueue::recycle(Entry *entry)
+{
+    entry->cb.reset();
+    free_slots_.push_back(entry->slot);
+}
+
+void
+EventQueue::purgeCancelledTop()
+{
+    while (!heap_.empty() && heap_.top()->cancelled) {
         Entry *top = heap_.top();
         heap_.pop();
-        if (top->seq == ticket && !top->cancelled) {
-            top->cancelled = true;
-            found = true;
-            spill.push_back(top);
-            break;
-        }
-        spill.push_back(top);
+        --cancelled_;
+        recycle(top);
     }
-    for (auto *e : spill)
-        heap_.push(e);
-    return found;
 }
 
 bool
 EventQueue::step()
 {
-    while (!heap_.empty()) {
-        Entry *top = heap_.top();
-        heap_.pop();
-        if (top->cancelled) {
-            delete top;
-            continue;
-        }
-        MW_ASSERT(top->when >= now_, "event queue time went backwards");
-        now_ = top->when;
-        ++executed_;
-        Callback cb = std::move(top->cb);
-        delete top;
-        cb();
-        return true;
-    }
-    return false;
+    purgeCancelledTop();
+    if (heap_.empty())
+        return false;
+    Entry *top = heap_.top();
+    heap_.pop();
+    MW_ASSERT(top->when >= now_, "event queue time went backwards");
+    now_ = top->when;
+    ++executed_;
+    ++top->gen;  // invalidate outstanding tickets
+    Callback cb = std::move(top->cb);
+    recycle(top);
+    cb();
+    return true;
 }
 
 void
 EventQueue::run(Tick limit)
 {
-    while (!heap_.empty() && heap_.top()->when <= limit) {
+    for (;;) {
+        purgeCancelledTop();
+        if (heap_.empty() || heap_.top()->when > limit)
+            return;
         if (!step())
-            break;
+            return;
     }
 }
 

@@ -6,16 +6,24 @@
  * multiprocessor machine all advance simulated time by scheduling
  * callbacks on an EventQueue. Events at the same tick fire in
  * (priority, insertion order), which keeps runs deterministic.
+ *
+ * The kernel is allocation-free in steady state: callbacks live in a
+ * small-buffer-optimized InlineFunction (no malloc for captures up to
+ * 48 bytes) and event records are pooled and recycled through a free
+ * list, so schedule/dispatch never touches the heap once the pool has
+ * warmed up. Tickets encode (pool slot, generation) for O(1)
+ * deschedule instead of the previous full-heap rebuild.
  */
 
 #ifndef MEMWALL_SIM_EVENT_QUEUE_HH
 #define MEMWALL_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <queue>
 #include <vector>
 
+#include "common/inline_function.hh"
 #include "common/types.hh"
 
 namespace memwall {
@@ -31,17 +39,19 @@ enum class EventPriority : int {
  * Time-ordered queue of callbacks.
  *
  * Not thread-safe; each simulated machine owns exactly one queue.
+ * (Parallel sweeps run one whole machine per worker, never one
+ * machine on several workers.)
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<void()>;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Number of events still pending. */
-    std::size_t pending() const { return heap_.size(); }
+    /** Number of events still pending (cancelled ones excluded). */
+    std::size_t pending() const { return heap_.size() - cancelled_; }
 
     /**
      * Schedule @p cb at absolute time @p when (>= now).
@@ -79,11 +89,13 @@ class EventQueue
   private:
     struct Entry
     {
-        Tick when;
-        int prio;
-        std::uint64_t seq;
-        Callback cb;
+        Tick when = 0;
+        int prio = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t slot = 0;
+        std::uint32_t gen = 0;
         bool cancelled = false;
+        Callback cb;
     };
 
     struct Order
@@ -99,15 +111,22 @@ class EventQueue
         }
     };
 
+    /** Drop cancelled entries sitting on top of the heap. */
+    void purgeCancelledTop();
+    void recycle(Entry *entry);
+
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t cancelled_ = 0;
     std::priority_queue<Entry *, std::vector<Entry *>, Order> heap_;
-    std::vector<Entry *> cancelled_;
+    /** Entry pool; deque keeps addresses stable for the free list. */
+    std::deque<Entry> pool_;
+    std::vector<std::uint32_t> free_slots_;
 
   public:
     EventQueue() = default;
-    ~EventQueue();
+    ~EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 };

@@ -181,52 +181,33 @@ SyntheticWorkload::nextData(std::size_t stream_index)
     return DataRef{addr, store, s.access_size};
 }
 
+void
+SyntheticWorkload::advanceRoutineEnd(const CodeRoutine &routine)
+{
+    cur_offset_ = 0;
+    if (call_return_ >= 0) {
+        // Returning from a callee: resume the caller's loop.
+        cur_routine_ = static_cast<std::size_t>(call_return_);
+        call_return_ = -1;
+        if (repeats_left_ > 1)
+            --repeats_left_;
+        else
+            selectRoutine();
+    } else if (routine.call_target >= 0 && repeats_left_ > 1) {
+        // The loop body calls its function between passes.
+        call_return_ = static_cast<std::ptrdiff_t>(cur_routine_);
+        cur_routine_ = static_cast<std::size_t>(routine.call_target);
+    } else if (repeats_left_ > 1) {
+        --repeats_left_;
+    } else {
+        selectRoutine();
+    }
+}
+
 std::uint64_t
 SyntheticWorkload::generate(std::uint64_t max_refs, const RefSink &sink)
 {
-    std::uint64_t emitted = 0;
-    while (emitted < max_refs) {
-        // Instruction fetch from the current routine.
-        const CodeRoutine &routine = spec_.routines[cur_routine_];
-        const Addr pc = routine.base + cur_offset_;
-        sink(MemRef::fetch(pc));
-        ++emitted;
-
-        cur_offset_ += 4;
-        if (cur_offset_ >= routine.length) {
-            cur_offset_ = 0;
-            if (call_return_ >= 0) {
-                // Returning from a callee: resume the caller's loop.
-                cur_routine_ = static_cast<std::size_t>(call_return_);
-                call_return_ = -1;
-                if (repeats_left_ > 1)
-                    --repeats_left_;
-                else
-                    selectRoutine();
-            } else if (routine.call_target >= 0 && repeats_left_ > 1) {
-                // The loop body calls its function between passes.
-                call_return_ =
-                    static_cast<std::ptrdiff_t>(cur_routine_);
-                cur_routine_ =
-                    static_cast<std::size_t>(routine.call_target);
-            } else if (repeats_left_ > 1) {
-                --repeats_left_;
-            } else {
-                selectRoutine();
-            }
-        }
-
-        // Optional data reference.
-        if (emitted < max_refs && !spec_.streams.empty() &&
-            rng_.bernoulli(spec_.refs_per_instr)) {
-            const DataRef ref = nextData(pickStream());
-            sink(ref.store
-                     ? MemRef::store(pc, ref.addr, ref.size)
-                     : MemRef::load(pc, ref.addr, ref.size));
-            ++emitted;
-        }
-    }
-    return emitted;
+    return generateInto(max_refs, sink);
 }
 
 } // namespace memwall

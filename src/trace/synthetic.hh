@@ -121,6 +121,53 @@ class SyntheticWorkload : public RefSource
                            const RefSink &sink) override;
     void reset() override;
 
+    /**
+     * Same stream as generate(), but delivered to a statically typed
+     * sink: the emission loop and @p sink inline into one body, with
+     * no std::function indirection per reference. generate() and the
+     * batch helpers below are thin wrappers over this.
+     */
+    template <typename Fn>
+    std::uint64_t
+    generateInto(std::uint64_t max_refs, Fn &&sink)
+    {
+        std::uint64_t emitted = 0;
+        while (emitted < max_refs) {
+            // Instruction fetch from the current routine.
+            const CodeRoutine &routine = spec_.routines[cur_routine_];
+            const Addr pc = routine.base + cur_offset_;
+            sink(MemRef::fetch(pc));
+            ++emitted;
+
+            advanceRoutine(routine);
+
+            // Optional data reference.
+            if (emitted < max_refs && !spec_.streams.empty() &&
+                rng_.bernoulli(spec_.refs_per_instr)) {
+                const DataRef ref = nextData(pickStream());
+                sink(ref.store
+                         ? MemRef::store(pc, ref.addr, ref.size)
+                         : MemRef::load(pc, ref.addr, ref.size));
+                ++emitted;
+            }
+        }
+        return emitted;
+    }
+
+    /**
+     * Append up to @p max_refs references to @p out (not cleared).
+     * Replaying a batch through several cache models amortises the
+     * generator state machine across all of them and turns the
+     * per-reference dispatch into tight per-cache loops.
+     */
+    std::uint64_t
+    generateBatch(std::uint64_t max_refs, std::vector<MemRef> &out)
+    {
+        out.reserve(out.size() + max_refs);
+        return generateInto(
+            max_refs, [&out](const MemRef &r) { out.push_back(r); });
+    }
+
     const SyntheticSpec &spec() const { return spec_; }
 
   private:
@@ -132,6 +179,21 @@ class SyntheticWorkload : public RefSource
     };
 
     void selectRoutine();
+    /**
+     * Step the instruction-stream state machine past one fetch. The
+     * common case (next instruction of the same routine) stays
+     * inline in the caller; the end-of-routine transitions live
+     * out-of-line in advanceRoutineEnd().
+     */
+    void
+    advanceRoutine(const CodeRoutine &routine)
+    {
+        cur_offset_ += 4;
+        if (cur_offset_ < routine.length)
+            return;
+        advanceRoutineEnd(routine);
+    }
+    void advanceRoutineEnd(const CodeRoutine &routine);
     std::size_t pickStream();
     DataRef nextData(std::size_t stream_index);
 

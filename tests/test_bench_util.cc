@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the bench option-parsing helpers: --jobs/--refs/--seed/
+ * --quick, registered extra flags, and the comma-list parsers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace memwall;
+
+namespace {
+
+/** Build a mutable argv from string literals. */
+class Argv
+{
+  public:
+    explicit Argv(std::initializer_list<const char *> args)
+        : strings_(args.begin(), args.end())
+    {
+        for (auto &s : strings_)
+            ptrs_.push_back(s.data());
+    }
+
+    int argc() { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> ptrs_;
+};
+
+TEST(BenchUtil, DefaultsWithNoArguments)
+{
+    Argv a{"bench"};
+    const auto opt = benchutil::parse(a.argc(), a.argv());
+    EXPECT_EQ(opt.refs, 0u);
+    EXPECT_FALSE(opt.quick);
+    EXPECT_EQ(opt.seed, 42u);
+    EXPECT_EQ(opt.jobs, benchutil::defaultJobs());
+    EXPECT_TRUE(opt.extra.empty());
+}
+
+TEST(BenchUtil, DefaultJobsIsAtLeastOne)
+{
+    EXPECT_GE(benchutil::defaultJobs(), 1u);
+}
+
+TEST(BenchUtil, ParsesCoreFlags)
+{
+    Argv a{"bench", "--refs", "500000", "--quick", "--seed", "7",
+           "--jobs", "3"};
+    const auto opt = benchutil::parse(a.argc(), a.argv());
+    EXPECT_EQ(opt.refs, 500000u);
+    EXPECT_TRUE(opt.quick);
+    EXPECT_EQ(opt.seed, 7u);
+    EXPECT_EQ(opt.jobs, 3u);
+}
+
+TEST(BenchUtil, JobsZeroMeansHardwareDefault)
+{
+    Argv a{"bench", "--jobs", "0"};
+    const auto opt = benchutil::parse(a.argc(), a.argv());
+    EXPECT_EQ(opt.jobs, benchutil::defaultJobs());
+}
+
+TEST(BenchUtil, HexAndDecimalValues)
+{
+    Argv a{"bench", "--seed", "0x10", "--refs", "0x400"};
+    const auto opt = benchutil::parse(a.argc(), a.argv());
+    EXPECT_EQ(opt.seed, 16u);
+    EXPECT_EQ(opt.refs, 1024u);
+}
+
+TEST(BenchUtil, ExtraFlagsLandInMap)
+{
+    Argv a{"bench", "--reseeds", "0,777,31415", "--jobs", "2",
+           "--mode", "fast"};
+    const auto opt = benchutil::parse(a.argc(), a.argv(),
+                                      {"--reseeds", "--mode"});
+    EXPECT_EQ(opt.jobs, 2u);
+    EXPECT_EQ(opt.extraOr("--reseeds", ""), "0,777,31415");
+    EXPECT_EQ(opt.extraOr("--mode", ""), "fast");
+    EXPECT_EQ(opt.extraOr("--absent", "dflt"), "dflt");
+}
+
+TEST(BenchUtilDeathTest, UnknownFlagExitsWithUsage)
+{
+    Argv a{"bench", "--bogus"};
+    EXPECT_EXIT(benchutil::parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchUtilDeathTest, UnregisteredExtraFlagExits)
+{
+    Argv a{"bench", "--mode", "fast"};
+    EXPECT_EXIT(benchutil::parse(a.argc(), a.argv(), {"--reseeds"}),
+                testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchUtil, SplitListBasic)
+{
+    const auto parts = benchutil::splitList("1,2,3");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "1");
+    EXPECT_EQ(parts[1], "2");
+    EXPECT_EQ(parts[2], "3");
+}
+
+TEST(BenchUtil, SplitListSingleAndEmpty)
+{
+    EXPECT_EQ(benchutil::splitList("solo"),
+              (std::vector<std::string>{"solo"}));
+    EXPECT_EQ(benchutil::splitList(""),
+              (std::vector<std::string>{""}));
+    EXPECT_EQ(benchutil::splitList("a,,b"),
+              (std::vector<std::string>{"a", "", "b"}));
+    EXPECT_EQ(benchutil::splitList("a,"),
+              (std::vector<std::string>{"a", ""}));
+}
+
+TEST(BenchUtil, ParseU64List)
+{
+    EXPECT_EQ(benchutil::parseU64List("0,777,0x10"),
+              (std::vector<std::uint64_t>{0, 777, 16}));
+}
+
+TEST(BenchUtil, ParseDoubleList)
+{
+    const auto vals = benchutil::parseDoubleList("0,1e-6,2.5");
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_DOUBLE_EQ(vals[0], 0.0);
+    EXPECT_DOUBLE_EQ(vals[1], 1e-6);
+    EXPECT_DOUBLE_EQ(vals[2], 2.5);
+}
+
+} // namespace
