@@ -20,6 +20,7 @@
 #ifndef MEMWALL_BENCH_BENCH_UTIL_HH
 #define MEMWALL_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -61,49 +62,98 @@ struct Options
     }
 };
 
+inline void
+printUsage(const char *prog,
+           std::initializer_list<const char *> extra_flags)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--refs N] [--quick] [--seed S] "
+                 "[--jobs N]",
+                 prog);
+    for (const char *flag : extra_flags)
+        std::fprintf(stderr, " [%s V[,V...]]", flag);
+    std::fprintf(stderr, "\n");
+}
+
+[[noreturn]] inline void
+usageError(const char *prog,
+           std::initializer_list<const char *> extra_flags,
+           const std::string &why)
+{
+    std::fprintf(stderr, "error: %s\n", why.c_str());
+    printUsage(prog, extra_flags);
+    std::exit(2);
+}
+
+/**
+ * Parse the whole of @p text as an unsigned integer (base prefixes
+ * honoured); reject empty, trailing junk and overflow with an error
+ * naming @p flag rather than silently falling back to a default.
+ */
+inline std::uint64_t
+parseU64Flag(const char *text, const char *flag, const char *prog,
+             std::initializer_list<const char *> extra_flags)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        usageError(prog, extra_flags,
+                   std::string("invalid value '") + text + "' for " +
+                       flag);
+    return value;
+}
+
 inline Options
 parse(int argc, char **argv,
       std::initializer_list<const char *> extra_flags = {})
 {
     Options opt;
+    const char *prog = argv[0];
+    // A value-taking flag in final position has no value: report it
+    // by name instead of the generic usage line.
+    auto value_of = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usageError(prog, extra_flags,
+                       std::string("missing value for ") + argv[i]);
+        return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
             continue;
         }
-        if (std::strcmp(argv[i], "--refs") == 0 && i + 1 < argc) {
-            opt.refs = std::strtoull(argv[++i], nullptr, 0);
+        if (std::strcmp(argv[i], "--refs") == 0) {
+            opt.refs = parseU64Flag(value_of(i), "--refs", prog,
+                                    extra_flags);
             continue;
         }
-        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-            opt.seed = std::strtoull(argv[++i], nullptr, 0);
+        if (std::strcmp(argv[i], "--seed") == 0) {
+            opt.seed = parseU64Flag(value_of(i), "--seed", prog,
+                                    extra_flags);
             continue;
         }
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            const unsigned long jobs =
-                std::strtoul(argv[++i], nullptr, 0);
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            const std::uint64_t jobs =
+                parseU64Flag(value_of(i), "--jobs", prog,
+                             extra_flags);
+            // 0 = auto-detect, same as omitting the flag.
             opt.jobs = jobs ? static_cast<unsigned>(jobs)
                             : defaultJobs();
             continue;
         }
         bool matched = false;
         for (const char *flag : extra_flags) {
-            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-                opt.extra[flag] = argv[++i];
+            if (std::strcmp(argv[i], flag) == 0) {
+                opt.extra[flag] = value_of(i);
                 matched = true;
                 break;
             }
         }
         if (matched)
             continue;
-        std::fprintf(stderr,
-                     "usage: %s [--refs N] [--quick] [--seed S] "
-                     "[--jobs N]",
-                     argv[0]);
-        for (const char *flag : extra_flags)
-            std::fprintf(stderr, " [%s V[,V...]]", flag);
-        std::fprintf(stderr, "\n");
-        std::exit(2);
+        usageError(prog, extra_flags,
+                   std::string("unknown flag '") + argv[i] + "'");
     }
     return opt;
 }

@@ -16,6 +16,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
+#include "harness/parallel_sweep.hh"
 #include "workloads/splash/splash.hh"
 
 namespace memwall::benchutil {
@@ -85,25 +86,41 @@ runSplashFigure(const std::string &figure, const std::string &kernel,
     double checksum0 = 0.0;
     bool checksum_ok = true;
 
+    // The (arch x ncpus) points are independent simulations; sweep
+    // them across opt.jobs workers. Commits run in submission order
+    // on this thread, so the normalisation base (first point:
+    // reference, 1 cpu) is always set before any later point is
+    // charted and the output is byte-identical to --jobs 1.
+    ParallelSweep<SplashResult> sweep(opt.jobs, opt.seed);
     for (const auto &arch : archs) {
         for (unsigned ncpus : cpu_counts) {
-            SplashParams params;
-            params.nprocs = ncpus;
-            params.machine = machineFor(arch, ncpus);
-            params.scale = scale;
-            const SplashResult res = runSplash(kernel, params);
-            if (arch == "reference" && ncpus == 1) {
-                base = static_cast<double>(res.makespan);
-                checksum0 = res.checksum;
-            }
-            if (std::abs(res.checksum - checksum0) >
-                1e-6 * (1.0 + std::abs(checksum0)))
-                checksum_ok = false;
-            chart.addPoint(arch, ncpus,
-                           static_cast<double>(res.makespan) /
-                               base);
+            sweep.submit(
+                [&kernel, &arch, ncpus,
+                 scale](const PointContext &) {
+                    SplashParams params;
+                    params.nprocs = ncpus;
+                    params.machine = machineFor(arch, ncpus);
+                    params.scale = scale;
+                    return runSplash(kernel, params);
+                },
+                [&chart, &base, &checksum0, &checksum_ok, &arch,
+                 ncpus](const PointContext &ctx,
+                        SplashResult res) {
+                    if (ctx.index == 0) {
+                        base = static_cast<double>(res.makespan);
+                        checksum0 = res.checksum;
+                    }
+                    if (std::abs(res.checksum - checksum0) >
+                        1e-6 * (1.0 + std::abs(checksum0)))
+                        checksum_ok = false;
+                    chart.addPoint(arch, ncpus,
+                                   static_cast<double>(
+                                       res.makespan) /
+                                       base);
+                });
         }
     }
+    sweep.finish();
     chart.print(std::cout);
     std::cout << "\ncross-architecture checksums "
               << (checksum_ok ? "MATCH" : "MISMATCH -- BUG")

@@ -6,6 +6,24 @@
 
 namespace memwall {
 
+const char *
+protocolMutationName(ProtocolMutation mutation)
+{
+    switch (mutation) {
+      case ProtocolMutation::None:
+        return "none";
+      case ProtocolMutation::SkipInvalidate:
+        return "skip-invalidate";
+      case ProtocolMutation::DropSharer:
+        return "drop-sharer";
+      case ProtocolMutation::WrongOwner:
+        return "wrong-owner";
+      case ProtocolMutation::MissedDowngrade:
+        return "missed-downgrade";
+    }
+    return "?";
+}
+
 NumaMachine::NumaMachine(NumaConfig config)
     : config_(config), directory_(config.nodes),
       proto_rng_(config.protocol_fault.seed)
@@ -42,6 +60,26 @@ NumaMachine::NumaMachine(NumaConfig config)
             node.flc = std::make_unique<Cache>(config_.flc);
             break;
         }
+    }
+}
+
+void
+NumaMachine::attachObserver(ProtocolObserver *observer)
+{
+    obs_ = observer;
+    if (!fabric_)
+        return;
+    // Mirror fabric deliveries into the observer so link-level
+    // retransmissions and failures land in the flight recorder.
+    if (obs_) {
+        fabric_->setSendHook([this](Tick deliver, unsigned src,
+                                    unsigned dst, MsgType,
+                                    const LinkSendOutcome &out) {
+            obs_->linkMessage(deliver, src, dst, out.attempts,
+                              out.failed);
+        });
+    } else {
+        fabric_->setSendHook({});
     }
 }
 
@@ -153,6 +191,8 @@ NumaMachine::fillLocal(unsigned node, Addr block, bool store)
 void
 NumaMachine::invalidateAt(unsigned node, Addr block)
 {
+    if (obs_)
+        obs_->copyInvalidated(node, block, obs_now_);
     Node &n = nodes_[node];
     const Addr view = cacheView(node, block);
     switch (config_.arch) {
@@ -175,30 +215,43 @@ void
 NumaMachine::invalidateSharers(const DirEntry &entry, Addr block,
                                unsigned keep)
 {
+    // SkipInvalidate mutation (verification test hook): deliberately
+    // leave the first victim's copy intact, creating exactly the
+    // stale-sharer bug the shadow checker must catch.
+    bool skip_one =
+        config_.mutation == ProtocolMutation::SkipInvalidate;
+    auto doInvalidate = [&](unsigned node) {
+        if (skip_one) {
+            skip_one = false;
+            ++mutated_transitions_;
+            return;
+        }
+        invalidateAt(node, block);
+    };
     switch (entry.state()) {
       case DirState::Uncached:
         return;
       case DirState::Modified:
         if (entry.owner() != keep)
-            invalidateAt(entry.owner(), block);
+            doInvalidate(entry.owner());
         return;
       case DirState::Shared:
         for (unsigned s : entry.sharers())
             if (s != keep)
-                invalidateAt(s, block);
+                doInvalidate(s);
         return;
       case DirState::SharedBcast:
         // Pointer overflow: the invalidation must broadcast.
         for (unsigned node = 0; node < config_.nodes; ++node)
             if (node != keep)
-                invalidateAt(node, block);
+                doInvalidate(node);
         return;
     }
 }
 
 Cycles
-NumaMachine::remoteRoundTrip(unsigned cpu, unsigned home, Tick now,
-                             Cycles floor)
+NumaMachine::remoteRoundTrip(unsigned cpu, unsigned home,
+                             Addr block, Tick now, Cycles floor)
 {
     auto attempt = [&](Tick when) -> Cycles {
         if (!fabric_ || home == cpu)
@@ -229,12 +282,19 @@ NumaMachine::remoteRoundTrip(unsigned cpu, unsigned home, Tick now,
         unsigned tries = 0;
         while (proto_rng_.bernoulli(pf.nack_rate)) {
             nacks_.inc();
+            if (obs_)
+                obs_->protocolNack(cpu, block, tries + 1, now);
             if (tries == pf.max_retries) {
                 proto_failures_.inc();
+                if (obs_)
+                    obs_->protocolMachineCheck(cpu, block, now);
                 break;
             }
             ++tries;
             retries_.inc();
+            if (obs_)
+                obs_->protocolRetry(cpu, block, tries, backoff,
+                                    now);
             total += backoff + attempt(now + total);
             backoff = std::min<Cycles>(backoff * 2, pf.backoff_cap);
         }
@@ -244,6 +304,21 @@ NumaMachine::remoteRoundTrip(unsigned cpu, unsigned home, Tick now,
 
 Cycles
 NumaMachine::access(unsigned cpu, Addr addr, bool store, Tick now)
+{
+    if (!obs_)
+        return accessImpl(cpu, addr, store, now);
+    const Addr block = blockAddr(addr);
+    obs_now_ = now;
+    const std::uint16_t before = directory_.lookup(block).encode();
+    const Cycles latency = accessImpl(cpu, addr, store, now);
+    obs_->accessEnd(cpu, block, store, last_service_, latency, now,
+                    before, directory_.lookup(block));
+    return latency;
+}
+
+Cycles
+NumaMachine::accessImpl(unsigned cpu, Addr addr, bool store,
+                        Tick now)
 {
     MW_ASSERT(cpu < nodes_.size(), "bad cpu id");
     const Addr block = blockAddr(addr);
@@ -296,7 +371,7 @@ NumaMachine::access(unsigned cpu, Addr addr, bool store, Tick now)
             }
             last_service_ = ServiceLevel::Remote;
             n.stats.remote_loads.inc();
-            return remoteRoundTrip(cpu, home, now, lat.remote_load);
+            return remoteRoundTrip(cpu, home, block, now, lat.remote_load);
         }
         if (home == cpu) {
             fillLocal(cpu, block, st);
@@ -316,7 +391,7 @@ NumaMachine::access(unsigned cpu, Addr addr, bool store, Tick now)
             n.columns->stageRemoteBlock(block);
             last_service_ = ServiceLevel::Remote;
             n.stats.remote_loads.inc();
-            return remoteRoundTrip(cpu, home, now, lat.remote_load);
+            return remoteRoundTrip(cpu, home, block, now, lat.remote_load);
         }
         if (n.slc.count(block)) {
             n.flc->access(block, st);
@@ -328,7 +403,7 @@ NumaMachine::access(unsigned cpu, Addr addr, bool store, Tick now)
         n.slc.insert(block);
         last_service_ = ServiceLevel::Remote;
         n.stats.remote_loads.inc();
-        return remoteRoundTrip(cpu, home, now, lat.remote_load);
+        return remoteRoundTrip(cpu, home, block, now, lat.remote_load);
     };
 
     // Import a remote block after a fabric transaction.
@@ -354,14 +429,25 @@ NumaMachine::access(unsigned cpu, Addr addr, bool store, Tick now)
             }
             // Dirty elsewhere: round trip through the owner, which
             // downgrades to shared and keeps its copy.
-            e.addSharer(cpu);
+            // MissedDowngrade mutation: the directory forgets to
+            // demote the dirty owner, leaving Modified(owner) while
+            // this reader pulls a copy anyway.
+            if (config_.mutation == ProtocolMutation::MissedDowngrade)
+                ++mutated_transitions_;
+            else
+                e.addSharer(cpu);
             remote_import(false);
             last_service_ = ServiceLevel::Remote;
             n.stats.remote_loads.inc();
-            return remoteRoundTrip(cpu, e.owner(), now,
+            return remoteRoundTrip(cpu, e.owner(), block, now,
                                    lat.remote_load);
         }
-        e.addSharer(cpu);
+        // DropSharer mutation: the directory never records this
+        // reader, so a later invalidation will miss its copy.
+        if (config_.mutation == ProtocolMutation::DropSharer)
+            ++mutated_transitions_;
+        else
+            e.addSharer(cpu);
         return local_refetch(false);
     }
 
@@ -398,10 +484,12 @@ NumaMachine::access(unsigned cpu, Addr addr, bool store, Tick now)
         invalidateSharers(e, block, cpu);
         n.stats.invalidations.inc();
         last_service_ = ServiceLevel::Invalidation;
-        cost = remoteRoundTrip(cpu, home == cpu ? (cpu + 1) %
-                                       config_.nodes
-                                                : home,
-                               now, lat.invalidation_round_trip);
+        cost = remoteRoundTrip(cpu,
+                               home == cpu
+                                   ? (cpu + 1) % config_.nodes
+                                   : home,
+                               block, now,
+                               lat.invalidation_round_trip);
     } else if (home == cpu) {
         // Sole (or no) copy, local home: the directory grant is a
         // local memory transaction.
@@ -413,9 +501,17 @@ NumaMachine::access(unsigned cpu, Addr addr, bool store, Tick now)
         // round trip whether or not the data is already here.
         last_service_ = ServiceLevel::Remote;
         n.stats.remote_loads.inc();
-        cost = remoteRoundTrip(cpu, home, now, lat.remote_load);
+        cost = remoteRoundTrip(cpu, home, block, now, lat.remote_load);
     }
-    e.setModified(cpu);
+    // WrongOwner mutation: the directory grants exclusive ownership
+    // to the wrong node after a store.
+    if (config_.mutation == ProtocolMutation::WrongOwner &&
+        config_.nodes > 1) {
+        ++mutated_transitions_;
+        e.setModified((cpu + 1) % config_.nodes);
+    } else {
+        e.setModified(cpu);
+    }
     if (!l1_hit)
         remote_import(true);
     return cost;

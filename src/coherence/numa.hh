@@ -84,6 +84,62 @@ struct ProtocolFaultConfig
     bool enabled() const { return nack_rate > 0.0; }
 };
 
+/**
+ * Deliberate protocol corruption (verification test hook). Each
+ * mutation disables exactly one protocol transition so the shadow
+ * checker's sensitivity can be proven: a correct checker MUST flag
+ * every mutated run. None (the default) leaves the protocol intact.
+ */
+enum class ProtocolMutation : std::uint8_t {
+    None,            ///< protocol behaves correctly
+    SkipInvalidate,  ///< leave one stale sharer on every invalidation
+    DropSharer,      ///< load misses are not recorded in the directory
+    WrongOwner,      ///< stores grant ownership to the wrong node
+    MissedDowngrade, ///< loads from a dirty block skip the M->S step
+};
+
+/** Decoded name of @p mutation ("none", "skip-invalidate", ...). */
+const char *protocolMutationName(ProtocolMutation mutation);
+
+/**
+ * Observer of every protocol action of one NumaMachine (the hook
+ * surface the runtime verification layer in src/verify/ attaches
+ * to). All hooks default to no-ops; with no observer attached the
+ * machine pays one predictable-branch test per action.
+ */
+class ProtocolObserver
+{
+  public:
+    virtual ~ProtocolObserver() = default;
+
+    /** A node's copy of @p block was invalidated. */
+    virtual void copyInvalidated(unsigned, Addr, Tick) {}
+
+    /** A remote transaction attempt was NACKed (tries so far). */
+    virtual void protocolNack(unsigned, Addr, unsigned, Tick) {}
+
+    /** A NACKed transaction retries after backing off. */
+    virtual void protocolRetry(unsigned, Addr, unsigned, Cycles,
+                               Tick) {}
+
+    /** The retry budget was exhausted (machine-check material). */
+    virtual void protocolMachineCheck(unsigned, Addr, Tick) {}
+
+    /** A fabric message was delivered (contention mode only):
+     * (deliver tick, src, dst, attempts, link gave up). */
+    virtual void linkMessage(Tick, unsigned, unsigned, unsigned,
+                             bool) {}
+
+    /**
+     * One access completed: requester, block, store?, service
+     * level, latency, start time, the 14-bit directory entry before
+     * the access and the decoded entry after it.
+     */
+    virtual void accessEnd(unsigned, Addr, bool, ServiceLevel,
+                           Cycles, Tick, std::uint16_t,
+                           const DirEntry &) {}
+};
+
 /** Machine-wide configuration. */
 struct NumaConfig
 {
@@ -125,6 +181,8 @@ struct NumaConfig
     ColumnCacheConfig columns = {};
     /** Protocol-engine NACK/retry error process. */
     ProtocolFaultConfig protocol_fault = {};
+    /** Deliberate protocol corruption (verification test hook). */
+    ProtocolMutation mutation = ProtocolMutation::None;
 };
 
 /** Per-node access statistics. */
@@ -179,6 +237,33 @@ class NumaMachine
 
     /** Fabric instance (null unless fabric contention is modelled). */
     const Fabric *fabric() const { return fabric_.get(); }
+
+    /**
+     * Attach (or with nullptr detach) a protocol observer. At most
+     * one observer is supported; it must outlive the machine or be
+     * detached first. Also mirrors fabric messages into the
+     * observer when fabric contention is modelled.
+     */
+    void attachObserver(ProtocolObserver *observer);
+
+    /** The attached observer (null when verification is off). */
+    ProtocolObserver *observer() const { return obs_; }
+
+    /**
+     * @return true iff @p node's cache structures actually hold
+     * @p addr's block right now (presence probe for the shadow
+     * checker and tests; counts no statistics).
+     */
+    bool holdsBlock(unsigned node, Addr addr) const
+    {
+        return nodeHolds(node, blockAddr(addr));
+    }
+
+    /** Protocol transitions corrupted by the configured mutation. */
+    std::uint64_t mutatedTransitions() const
+    {
+        return mutated_transitions_;
+    }
 
     // Protocol-fault bookkeeping (all zero when the fault model is
     // disabled).
@@ -239,11 +324,20 @@ class NumaMachine
     };
 
     /** Contended cost of a request/reply round trip to @p home. */
-    Cycles remoteRoundTrip(unsigned cpu, unsigned home, Tick now,
-                           Cycles floor);
+    Cycles remoteRoundTrip(unsigned cpu, unsigned home, Addr block,
+                           Tick now, Cycles floor);
+
+    /** Protocol body of access(); access() adds observer hooks. */
+    Cycles accessImpl(unsigned cpu, Addr addr, bool store,
+                      Tick now);
 
     NumaConfig config_;
     Directory directory_;
+    ProtocolObserver *obs_ = nullptr;
+    /** Start time of the access in flight (for observer hooks fired
+     * from helpers that do not carry the timestamp). */
+    Tick obs_now_ = 0;
+    std::uint64_t mutated_transitions_ = 0;
     Rng proto_rng_;
     Counter nacks_;
     Counter retries_;

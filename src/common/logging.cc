@@ -1,24 +1,56 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace memwall {
 
 namespace {
-LogLevel g_level = LogLevel::Normal;
+
+/** Atomic so sweep workers may adjust/read verbosity without a race. */
+std::atomic<LogLevel> g_level{LogLevel::Normal};
+
+/**
+ * Emit one complete record with a single write so records from
+ * concurrent sweep workers never interleave mid-line. POSIX requires
+ * stderr to be unbuffered, and fwrite of the whole formatted record
+ * reaches the kernel as one write(2); interleaving could otherwise
+ * split a record between the prefix and the message.
+ */
+void
+emit(const char *prefix, const std::string &msg,
+     const std::string &suffix = {})
+{
+    std::string record;
+    record.reserve(std::char_traits<char>::length(prefix) +
+                   msg.size() + suffix.size() + 1);
+    record += prefix;
+    record += msg;
+    record += suffix;
+    record += '\n';
+    std::fwrite(record.data(), 1, record.size(), stderr);
+}
+
+std::string
+location(const char *file, int line)
+{
+    return std::string(" (") + file + ":" + std::to_string(line) +
+           ")";
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -26,35 +58,35 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit("panic: ", msg, location(file, line));
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit("fatal: ", msg, location(file, line));
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level != LogLevel::Quiet)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() != LogLevel::Quiet)
+        emit("info: ", msg);
 }
 
 void
 verboseImpl(const std::string &msg)
 {
-    if (g_level == LogLevel::Verbose)
-        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    if (logLevel() == LogLevel::Verbose)
+        emit("debug: ", msg);
 }
 
 } // namespace detail

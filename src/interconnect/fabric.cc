@@ -54,7 +54,11 @@ Fabric::send(Tick now, unsigned src, unsigned dst, MsgType type)
     for (auto &link : links_[src])
         if (link.freeAt() < best->freeAt())
             best = &link;
-    return best->send(now, messageBytes(type));
+    const LinkSendOutcome out =
+        best->sendReliable(now, messageBytes(type));
+    if (hook_)
+        hook_(out.delivered, src, dst, type, out);
+    return out.delivered;
 }
 
 Cycles

@@ -14,6 +14,7 @@
 #define MEMWALL_INTERCONNECT_FABRIC_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "interconnect/reliable_link.hh"
@@ -57,6 +58,16 @@ struct FabricConfig
 class Fabric
 {
   public:
+    /**
+     * Observation hook invoked after every fabric send with the
+     * delivery time, endpoints, message class and the link-level
+     * outcome (attempts, failure). Used by the verification layer's
+     * flight recorder; unset (the default) costs one branch per send.
+     */
+    using SendHook = std::function<void(Tick deliver, unsigned src,
+                                        unsigned dst, MsgType type,
+                                        const LinkSendOutcome &out)>;
+
     Fabric(unsigned nodes, FabricConfig config = {});
 
     /**
@@ -64,6 +75,9 @@ class Fabric
      * @return the delivery time.
      */
     Tick send(Tick now, unsigned src, unsigned dst, MsgType type);
+
+    /** Install (or clear, with an empty function) the send hook. */
+    void setSendHook(SendHook hook) { hook_ = std::move(hook); }
 
     /** One-way latency of an unloaded @p type message. */
     Cycles unloadedLatency(MsgType type) const;
@@ -84,6 +98,7 @@ class Fabric
   private:
     unsigned nodes_;
     FabricConfig config_;
+    SendHook hook_;
     /** links_[node][i] = i-th outbound link of node. */
     std::vector<std::vector<ReliableLink>> links_;
 };

@@ -1,5 +1,7 @@
 #include "sim/event_queue.hh"
 
+#include <memory>
+
 #include "common/logging.hh"
 
 namespace memwall {
@@ -10,6 +12,26 @@ std::uint64_t
 makeTicket(std::uint32_t slot, std::uint32_t gen)
 {
     return (static_cast<std::uint64_t>(slot) << 32) | gen;
+}
+
+/** State of one periodic event series (see schedulePeriodic). */
+struct PeriodicSeries
+{
+    Tick interval;
+    std::function<bool()> fn;
+    EventPriority prio;
+};
+
+std::uint64_t
+armPeriodic(EventQueue *queue, std::shared_ptr<PeriodicSeries> s)
+{
+    return queue->scheduleIn(
+        s->interval,
+        [queue, s] {
+            if (s->fn())
+                armPeriodic(queue, s);
+        },
+        s->prio);
 }
 
 } // namespace
@@ -36,6 +58,19 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
     entry.cb = std::move(cb);
     heap_.push(&entry);
     return makeTicket(slot, entry.gen);
+}
+
+std::uint64_t
+EventQueue::schedulePeriodic(Tick interval, std::function<bool()> fn,
+                             EventPriority prio)
+{
+    MW_ASSERT(interval >= 1, "periodic interval must be positive");
+    // The callback owns the series state through a shared_ptr, so
+    // dropping the queue with a pending firing (or cancelling it)
+    // releases the state; no firing outlives the queue.
+    auto series = std::make_shared<PeriodicSeries>(
+        PeriodicSeries{interval, std::move(fn), prio});
+    return armPeriodic(this, std::move(series));
 }
 
 bool

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -70,6 +71,19 @@ class EventQueue
 
     /** Cancel a pending event; returns false if already fired/unknown. */
     bool deschedule(std::uint64_t ticket);
+
+    /**
+     * Schedule @p fn to run every @p interval ticks, starting
+     * @p interval from now. The event re-arms itself after each
+     * firing for as long as @p fn returns true; returning false
+     * stops the series and releases its state. Used by periodic
+     * housekeeping such as the transaction-watchdog scan.
+     * @return the ticket of the FIRST firing only (later firings
+     *         are fresh events; stop the series through @p fn).
+     */
+    std::uint64_t
+    schedulePeriodic(Tick interval, std::function<bool()> fn,
+                     EventPriority prio = EventPriority::Low);
 
     /** Run a single event; returns false if the queue is empty. */
     bool step();

@@ -1,0 +1,139 @@
+#include "verify/shadow_checker.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+ShadowChecker::ShadowChecker(unsigned nodes, bool check_data)
+    : nodes_(nodes), check_data_(check_data)
+{
+    MW_ASSERT(nodes_ >= 1 && nodes_ <= DirEntry::max_nodes,
+              "shadow checker node count out of range");
+}
+
+void
+ShadowChecker::onInvalidate(unsigned node, Addr block)
+{
+    MW_ASSERT(node < nodes_, "bad invalidation node");
+    auto it = blocks_.find(block);
+    if (it != blocks_.end())
+        it->second.holders &= ~(std::uint32_t{1} << node);
+}
+
+bool
+ShadowChecker::holds(unsigned node, Addr block) const
+{
+    auto it = blocks_.find(block);
+    return it != blocks_.end() &&
+           (it->second.holders >> node) & 1u;
+}
+
+std::uint64_t
+ShadowChecker::version(Addr block) const
+{
+    auto it = blocks_.find(block);
+    return it == blocks_.end() ? 0 : it->second.version;
+}
+
+std::vector<ShadowViolation>
+ShadowChecker::onAccessEnd(unsigned cpu, Addr block, bool store,
+                           ServiceLevel service,
+                           const DirEntry &entry)
+{
+    MW_ASSERT(cpu < nodes_, "bad access cpu");
+    ++checked_;
+    std::vector<ShadowViolation> out;
+    auto violate = [&](unsigned node, std::string what) {
+        out.push_back(ShadowViolation{block, node, std::move(what)});
+    };
+
+    BlockShadow &shadow = blocks_[block];
+
+    // --- 3. Data-value consistency (checked before this access's
+    //        own effect is applied) ---------------------------------
+    const bool had_copy = (shadow.holders >> cpu) & 1u;
+    const bool from_local_copy =
+        service == ServiceLevel::CacheHit ||
+        service == ServiceLevel::IncHit ||
+        service == ServiceLevel::LocalMemory;
+    if (check_data_ && !store && had_copy && from_local_copy &&
+        shadow.copy_version[cpu] != shadow.version) {
+        std::ostringstream os;
+        os << "stale data read: node " << cpu
+           << " observed shadow version "
+           << shadow.copy_version[cpu] << " of block, current is "
+           << shadow.version
+           << " (a missed invalidation left a stale copy)";
+        violate(cpu, os.str());
+    }
+
+    // --- Apply this access's effect --------------------------------
+    if (store)
+        ++shadow.version;
+    // The shadow holder set mirrors directory-visible copies. A
+    // miss-path access must leave the requester tracked; a cache hit
+    // may be served by a spatially prefetched neighbour block (a
+    // column buffer holds the whole 512-byte column, a DRAM row
+    // buffer the whole row) that the directory legitimately never
+    // saw, so untracked hits are not added (nor flagged).
+    if (entry.tracks(cpu)) {
+        shadow.holders |= std::uint32_t{1} << cpu;
+        shadow.copy_version[cpu] = shadow.version;
+    } else if (service != ServiceLevel::CacheHit) {
+        std::ostringstream os;
+        os << "presence mismatch: the directory does not track node "
+           << cpu << " after its own "
+           << (store ? "store" : "load")
+           << " completed (dropped sharer?)";
+        violate(cpu, os.str());
+    }
+
+    // --- 1. SWMR ----------------------------------------------------
+    if (store && (entry.state() != DirState::Modified ||
+                  entry.owner() != cpu)) {
+        std::ostringstream os;
+        os << "store by node " << cpu
+           << " did not end in Modified state owned by the writer "
+              "(directory entry: state "
+           << static_cast<unsigned>(entry.state()) << ", owner "
+           << entry.owner() << ")";
+        violate(cpu, os.str());
+    }
+    if (entry.state() == DirState::Modified) {
+        const std::uint32_t owner_bit = std::uint32_t{1}
+                                        << entry.owner();
+        if (shadow.holders & ~owner_bit) {
+            for (unsigned node = 0; node < nodes_; ++node) {
+                if (node == entry.owner() ||
+                    !((shadow.holders >> node) & 1u))
+                    continue;
+                std::ostringstream os;
+                os << "SWMR violated: directory is Modified("
+                   << entry.owner() << ") but node " << node
+                   << " still holds a copy";
+                violate(node, os.str());
+            }
+        }
+    }
+
+    // --- 2. Directory-presence agreement ----------------------------
+    for (unsigned node = 0; node < nodes_; ++node) {
+        if (!((shadow.holders >> node) & 1u))
+            continue;
+        if (!entry.tracks(node)) {
+            std::ostringstream os;
+            os << "presence mismatch: node " << node
+               << " holds a copy the directory does not track "
+                  "(state "
+               << static_cast<unsigned>(entry.state()) << ")";
+            violate(node, os.str());
+        }
+    }
+
+    violations_ += out.size();
+    return out;
+}
+
+} // namespace memwall

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shadow coherence checker: an independent mirror of the directory
+ * protocol that re-derives what MUST be true after every protocol
+ * action and flags any divergence.
+ *
+ * The checker maintains, per 32-byte coherence unit:
+ *
+ *  - the set of nodes holding a directory-visible copy (added when a
+ *    node's access completes tracked by the directory, removed when
+ *    the protocol invalidates it);
+ *  - a shadow copy of the unit's contents, compressed to a version
+ *    number that each store advances, plus the version each holder
+ *    last observed.
+ *
+ * After every access it asserts:
+ *
+ *  1. **SWMR** — in Modified state exactly the owner holds a copy;
+ *     a completed store always ends in Modified state owned by the
+ *     writer.
+ *  2. **Directory/presence agreement** — every holder is tracked by
+ *     the directory entry, and every miss-path access leaves its
+ *     requester tracked. (Cache hits may be served by spatially
+ *     prefetched neighbour blocks the directory never saw — a column
+ *     buffer holds the whole column — so untracked hits are legal.)
+ *  3. **Data-value consistency** — a read served from a local copy
+ *     (cache hit, INC hit, attraction-memory hit) observes the
+ *     current version; a stale copy surviving a missed invalidation
+ *     is reported the moment it is read.
+ *
+ * The checker is driven entirely through the ProtocolObserver hooks
+ * of NumaMachine and keeps no reference to the machine, so it can be
+ * unit-tested against hand-built histories.
+ */
+
+#ifndef MEMWALL_VERIFY_SHADOW_CHECKER_HH
+#define MEMWALL_VERIFY_SHADOW_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/protocol.hh"
+
+namespace memwall {
+
+/** One detected invariant violation. */
+struct ShadowViolation
+{
+    Addr block = 0;
+    unsigned node = 0;
+    std::string what;
+};
+
+/** Shadow state and invariant checks for one machine. */
+class ShadowChecker
+{
+  public:
+    /**
+     * @param nodes       machine size (<= DirEntry::max_nodes)
+     * @param check_data  enable the shadow-copy freshness check
+     */
+    explicit ShadowChecker(unsigned nodes, bool check_data = true);
+
+    /** Mirror of ProtocolObserver::copyInvalidated. */
+    void onInvalidate(unsigned node, Addr block);
+
+    /**
+     * Verify and apply one completed access. @p entry is the
+     * directory entry AFTER the machine's transition.
+     * @return descriptions of every invariant violated (empty when
+     *         the access is coherent).
+     */
+    std::vector<ShadowViolation>
+    onAccessEnd(unsigned cpu, Addr block, bool store,
+                ServiceLevel service, const DirEntry &entry);
+
+    /** @return true iff the shadow state has @p node holding @p block. */
+    bool holds(unsigned node, Addr block) const;
+
+    /** Current shadow version (store count) of @p block. */
+    std::uint64_t version(Addr block) const;
+
+    /** Accesses checked so far. */
+    std::uint64_t checked() const { return checked_; }
+
+    /** Total violations detected so far. */
+    std::uint64_t violations() const { return violations_; }
+
+    unsigned nodes() const { return nodes_; }
+
+  private:
+    struct BlockShadow
+    {
+        /** Shadow copy of the unit, compressed to a store count. */
+        std::uint64_t version = 0;
+        /** Bit n set = node n holds a copy. */
+        std::uint32_t holders = 0;
+        /** Version each holder last observed. */
+        std::uint64_t copy_version[DirEntry::max_nodes] = {};
+    };
+
+    unsigned nodes_;
+    bool check_data_;
+    std::uint64_t checked_ = 0;
+    std::uint64_t violations_ = 0;
+    std::unordered_map<Addr, BlockShadow> blocks_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_VERIFY_SHADOW_CHECKER_HH

@@ -95,11 +95,53 @@ TEST(BenchUtilDeathTest, UnknownFlagExitsWithUsage)
                 testing::ExitedWithCode(2), "usage:");
 }
 
+TEST(BenchUtilDeathTest, UnknownFlagIsNamedInTheError)
+{
+    Argv a{"bench", "--bogus"};
+    EXPECT_EXIT(benchutil::parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(2),
+                "unknown flag '--bogus'");
+}
+
 TEST(BenchUtilDeathTest, UnregisteredExtraFlagExits)
 {
     Argv a{"bench", "--mode", "fast"};
     EXPECT_EXIT(benchutil::parse(a.argc(), a.argv(), {"--reseeds"}),
                 testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchUtilDeathTest, MissingValueNamesTheFlag)
+{
+    Argv a{"bench", "--seed"};
+    EXPECT_EXIT(benchutil::parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(2),
+                "missing value for --seed");
+}
+
+TEST(BenchUtilDeathTest, MissingValueForExtraFlag)
+{
+    Argv a{"bench", "--reseeds"};
+    EXPECT_EXIT(benchutil::parse(a.argc(), a.argv(), {"--reseeds"}),
+                testing::ExitedWithCode(2),
+                "missing value for --reseeds");
+}
+
+TEST(BenchUtilDeathTest, NonNumericValueRejected)
+{
+    // Silently mapping `--jobs abc` to the hardware default hid
+    // typos; it must be a named parse error instead.
+    Argv a{"bench", "--jobs", "abc"};
+    EXPECT_EXIT(benchutil::parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(2),
+                "invalid value 'abc' for --jobs");
+}
+
+TEST(BenchUtilDeathTest, TrailingJunkInValueRejected)
+{
+    Argv a{"bench", "--refs", "12x"};
+    EXPECT_EXIT(benchutil::parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(2),
+                "invalid value '12x' for --refs");
 }
 
 TEST(BenchUtil, SplitListBasic)

@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/logging.hh"
 
 using namespace memwall;
@@ -48,4 +53,54 @@ TEST(LoggingDeath, FatalExitsWithOne)
 {
     EXPECT_EXIT({ MW_FATAL("bad config"); },
                 ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(Logging, ConcurrentRecordsDoNotInterleave)
+{
+    // Sweep workers log concurrently; every record must reach the
+    // stream as one complete line, never torn between the prefix
+    // and the message.
+    testing::internal::CaptureStderr();
+    constexpr int kThreads = 8;
+    constexpr int kRecords = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([t] {
+            const std::string payload(
+                32, static_cast<char>('a' + t));
+            for (int i = 0; i < kRecords; ++i)
+                MW_WARN("thread ", t, " record ", i, " payload ",
+                        payload);
+        });
+    for (auto &thread : threads)
+        thread.join();
+    const std::string out = testing::internal::GetCapturedStderr();
+
+    std::istringstream is(out);
+    std::string line;
+    int lines = 0;
+    while (std::getline(is, line)) {
+        ++lines;
+        EXPECT_EQ(line.rfind("warn: thread ", 0), 0u) << line;
+        EXPECT_NE(line.find(" payload "), std::string::npos) << line;
+    }
+    EXPECT_EQ(lines, kThreads * kRecords);
+}
+
+TEST(Logging, LevelIsSafeToReadConcurrently)
+{
+    const LogLevel before = logLevel();
+    std::thread writer([] {
+        for (int i = 0; i < 1'000; ++i)
+            setLogLevel(i % 2 ? LogLevel::Quiet
+                              : LogLevel::Verbose);
+    });
+    for (int i = 0; i < 1'000; ++i) {
+        const LogLevel level = logLevel();
+        EXPECT_TRUE(level == LogLevel::Quiet ||
+                    level == LogLevel::Verbose ||
+                    level == LogLevel::Normal);
+    }
+    writer.join();
+    setLogLevel(before);
 }

@@ -326,6 +326,79 @@ TEST(SimpleComa, PagesGetPerNodeFrames)
     EXPECT_EQ(m.access(1, 0xa00000, false), 1u);
 }
 
+TEST(SimpleComa, SiblingBlocksSurviveRemoteInvalidation)
+{
+    // Invalidating one block of a replicated attraction page must
+    // not take out the rest of the page: only the victim's column
+    // is dropped (512-byte columns keep no holes) and only the
+    // victim leaves the attraction memory.
+    NumaMachine m(scoma());
+    m.access(1, 0x600000, false);  // home 1
+    m.access(1, 0x600200, false);  // same page, different column
+    m.access(0, 0x600000, false);  // replicate page at node 0
+    m.access(0, 0x600200, false);
+    m.access(1, 0x600000, true);   // invalidate node 0's copy
+    // The sibling column was untouched by the invalidation.
+    EXPECT_EQ(m.access(0, 0x600200, false), 1u);
+    // The invalidated block needs a full refetch.
+    EXPECT_EQ(m.access(0, 0x600000, false), 80u);
+    // Push the sibling's column out: the replicated page frame
+    // still serves it from local DRAM at 6 cycles.
+    for (int i = 1; i <= 4; ++i)
+        m.access(0, 0x600200 + i * 0x2000ull, false);
+    const Cycles sibling = m.access(0, 0x600200, false);
+    EXPECT_EQ(sibling, 6u);
+    EXPECT_EQ(m.lastService(), ServiceLevel::LocalMemory);
+}
+
+TEST(SimpleComa, DirtyReplicaRefetchKeepsOwnership)
+{
+    // A dirty block falling out of the column buffers is still in
+    // the node's attraction memory with ownership retained: the
+    // refetch is a 6-cycle local DRAM access, not an 80-cycle
+    // coherence transaction.
+    NumaMachine m(scoma());
+    m.access(1, 0x700000, false);  // home 1
+    m.access(0, 0x700000, true);   // node 0 takes M(0); replica dirty
+    for (int i = 1; i <= 4; ++i)   // push the column out
+        m.access(0, 0x700000 + i * 0x2000ull, false);
+    EXPECT_EQ(m.access(0, 0x700000, true), 6u);
+    EXPECT_EQ(m.lastService(), ServiceLevel::LocalMemory);
+    EXPECT_EQ(m.access(0, 0x700000, true), 1u);  // back in columns
+}
+
+TEST(SimpleComa, VictimCacheCatchesEvictedReplica)
+{
+    // With the victim cache enabled, a replica evicted from the
+    // columns is staged there and re-hits at 1 cycle instead of
+    // paying the 6-cycle attraction-memory path.
+    NumaConfig c = scoma();
+    c.victim_cache = true;
+    NumaMachine m(c);
+    m.access(1, 0x800000, false);
+    m.access(0, 0x800000, false);  // replicate at node 0
+    for (int i = 1; i <= 4; ++i)
+        m.access(0, 0x800000 + i * 0x2000ull, false);
+    EXPECT_EQ(m.access(0, 0x800000, false), 1u);
+    EXPECT_EQ(m.lastService(), ServiceLevel::CacheHit);
+}
+
+TEST(Numa, InvalidationClearsVictimAndIncStaging)
+{
+    // An imported block lives in both the victim cache (staged) and
+    // the INC; a remote invalidation must clear every level so the
+    // next access pays the full remote fetch, never serving stale
+    // data from a staging structure.
+    NumaMachine m(integrated());
+    m.access(1, 0x900000, false);  // home 1
+    m.access(0, 0x900000, false);  // import: INC + VC staged
+    EXPECT_EQ(m.access(0, 0x900000, false), 1u);  // VC hit
+    m.access(1, 0x900000, true);   // invalidates node 0 everywhere
+    const Cycles lat = m.access(0, 0x900000, false);
+    EXPECT_EQ(lat, 80u);
+    EXPECT_EQ(m.lastService(), ServiceLevel::Remote);
+}
+
 // ---- Fabric-contention mode -------------------------------------------
 
 TEST(FabricContention, UnloadedMatchesTable6)
