@@ -10,6 +10,10 @@
  *                per hardware thread; 1 = serial reference run).
  *                Output is byte-identical for every N (see
  *                harness/parallel_sweep.hh).
+ *   --format F   output format: "text" (default) or "json" for
+ *                benches that support machine-readable results
+ *                (e.g. validation_static_crosscheck per-kernel
+ *                deltas).
  *
  * A bench may register additional value-taking flags (e.g.
  * `--reseeds 0,777,31415`) by passing them to parse(); their values
@@ -48,6 +52,10 @@ struct Options
     std::uint64_t seed = 42;
     /** Sweep worker threads; 1 runs points serially inline. */
     unsigned jobs = defaultJobs();
+    /** Output format: "text" or "json". */
+    std::string format = "text";
+
+    bool json() const { return format == "json"; }
     /** Values of the bench's registered extra flags, keyed by the
      * flag spelled with its dashes (e.g. "--reseeds"). */
     std::map<std::string, std::string> extra;
@@ -68,7 +76,7 @@ printUsage(const char *prog,
 {
     std::fprintf(stderr,
                  "usage: %s [--refs N] [--quick] [--seed S] "
-                 "[--jobs N]",
+                 "[--jobs N] [--format text|json]",
                  prog);
     for (const char *flag : extra_flags)
         std::fprintf(stderr, " [%s V[,V...]]", flag);
@@ -131,6 +139,14 @@ parse(int argc, char **argv,
         if (std::strcmp(argv[i], "--seed") == 0) {
             opt.seed = parseU64Flag(value_of(i), "--seed", prog,
                                     extra_flags);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--format") == 0) {
+            opt.format = value_of(i);
+            if (opt.format != "text" && opt.format != "json")
+                usageError(prog, extra_flags,
+                           std::string("invalid value '") +
+                               opt.format + "' for --format");
             continue;
         }
         if (std::strcmp(argv[i], "--jobs") == 0) {

@@ -1,0 +1,590 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace memwall {
+
+namespace {
+
+/** Result of the local backward address-chain resolver. */
+struct AddrVal
+{
+    enum class Kind {
+        Unknown,
+        Const,     ///< register folds to a compile-time constant
+        TableLoad  ///< register was loaded from .word data at `value`
+    } kind = Kind::Unknown;
+    std::uint32_t value = 0;
+
+    static AddrVal none() { return {}; }
+    static AddrVal constant(std::uint32_t v)
+    {
+        return {Kind::Const, v};
+    }
+};
+
+/** True for instructions that end a basic block. */
+bool
+isTerminator(const InstrRecord &rec)
+{
+    if (!rec.decoded)
+        return true;
+    const Opcode op = rec.inst.op;
+    if (isBranch(op) || op == Opcode::Halt)
+        return true;
+    // jal/jalr with rd == r0 are jumps; with a link register they
+    // are calls and fall through.
+    if (op == Opcode::Jal || op == Opcode::Jalr)
+        return rec.inst.rd == 0;
+    return false;
+}
+
+/** Static target of a direct branch/jump at @p rec. */
+Addr
+directTarget(const InstrRecord &rec)
+{
+    if (rec.inst.op == Opcode::Jal)
+        return rec.addr + 4 +
+               static_cast<Addr>(
+                   static_cast<std::int64_t>(rec.inst.target) * 4);
+    return rec.addr + 4 +
+           static_cast<Addr>(
+               static_cast<std::int64_t>(rec.inst.imm) * 4);
+}
+
+/**
+ * Fold the value of @p reg just before instruction @p at by walking
+ * the straight-line run backwards. The scan stops at terminators
+ * and at branch targets (where values may merge from elsewhere), so
+ * it only trusts facts established on the single fall-through path.
+ */
+class ChainResolver
+{
+  public:
+    ChainResolver(const Program &prog,
+                  const std::set<Addr> &labels)
+        : prog_(prog), labels_(labels)
+    {
+    }
+
+    AddrVal
+    resolve(unsigned reg, std::size_t at, unsigned depth = 0) const
+    {
+        if (reg == 0)
+            return AddrVal::constant(0);
+        if (depth > 16)
+            return AddrVal::none();
+        for (std::size_t j = at; j-- > 0;) {
+            const InstrRecord &rec = prog_.instr(j);
+            // The run must be contiguous in memory.
+            if (prog_.instr(j + 1).addr != rec.addr + 4)
+                return AddrVal::none();
+            if (isTerminator(rec))
+                return AddrVal::none();
+            if (rec.decoded && defOf(rec.inst) == reg)
+                return eval(rec.inst, j, depth);
+            if (labels_.contains(rec.addr))
+                return AddrVal::none();
+        }
+        return AddrVal::none();
+    }
+
+  private:
+    AddrVal
+    eval(const Instruction &inst, std::size_t at,
+         unsigned depth) const
+    {
+        auto sub = [&](unsigned r) {
+            return resolve(r, at, depth + 1);
+        };
+        const auto uimm = static_cast<std::uint32_t>(inst.imm);
+        switch (inst.op) {
+          case Opcode::Lui:
+            return AddrVal::constant(uimm << 16);
+          case Opcode::Ori: {
+            const AddrVal a = sub(inst.rs1);
+            if (a.kind == AddrVal::Kind::Const)
+                return AddrVal::constant(a.value | (uimm & 0xffffu));
+            return AddrVal::none();
+          }
+          case Opcode::Addi: {
+            const AddrVal a = sub(inst.rs1);
+            if (a.kind == AddrVal::Kind::Const)
+                return AddrVal::constant(a.value + uimm);
+            return AddrVal::none();
+          }
+          case Opcode::Add: {
+            const AddrVal a = sub(inst.rs1);
+            const AddrVal b = sub(inst.rs2);
+            if (a.kind == AddrVal::Kind::Const &&
+                b.kind == AddrVal::Kind::Const)
+                return AddrVal::constant(a.value + b.value);
+            // base + variable index: keep the constant side when it
+            // points at data (a jump-table base).
+            for (const AddrVal &v : {a, b})
+                if (v.kind == AddrVal::Kind::Const &&
+                    prog_.isDataWord(v.value))
+                    return v;
+            return AddrVal::none();
+          }
+          case Opcode::Slli: {
+            const AddrVal a = sub(inst.rs1);
+            if (a.kind == AddrVal::Kind::Const)
+                return AddrVal::constant(a.value << (uimm & 31));
+            return AddrVal::none();
+          }
+          case Opcode::Lw: {
+            const AddrVal base = sub(inst.rs1);
+            if (base.kind == AddrVal::Kind::Const)
+                return AddrVal{AddrVal::Kind::TableLoad,
+                               base.value + uimm};
+            return AddrVal::none();
+          }
+          default:
+            return AddrVal::none();
+        }
+    }
+
+    const Program &prog_;
+    const std::set<Addr> &labels_;
+};
+
+} // namespace
+
+Cfg
+Cfg::build(const Program &prog)
+{
+    Cfg cfg;
+    const std::size_t n = prog.size();
+    if (n == 0)
+        return cfg;
+
+    // Instruction addresses referenced from data words: potential
+    // indirect-jump targets (jump tables, function-pointer tables).
+    std::set<Addr> taken;
+    for (const auto &[addr, line] :
+         prog.assembled().source_map.data_lines) {
+        (void)line;
+        const auto it = prog.assembled().words.find(addr);
+        if (it != prog.assembled().words.end() &&
+            prog.indexOf(it->second) != Program::npos)
+            taken.insert(it->second);
+    }
+    cfg.address_taken_.assign(taken.begin(), taken.end());
+
+    // Pass 1: static labels (direct branch/jump targets).
+    std::set<Addr> labels;
+    for (std::size_t i = 0; i < n; ++i) {
+        const InstrRecord &rec = prog.instr(i);
+        if (!rec.decoded)
+            continue;
+        if (isBranch(rec.inst.op) || rec.inst.op == Opcode::Jal)
+            labels.insert(directTarget(rec));
+    }
+    for (Addr a : taken)
+        labels.insert(a);
+
+    // Pass 2: resolve indirect jumps (jalr r0) so their recovered
+    // targets become leaders too.
+    ChainResolver resolver(prog, labels);
+    // Per-instruction recovered target lists for jalr r0.
+    std::vector<std::vector<Addr>> indirect_targets(n);
+    std::vector<bool> indirect_unknown(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        const InstrRecord &rec = prog.instr(i);
+        if (!rec.decoded || rec.inst.op != Opcode::Jalr ||
+            rec.inst.rd != 0)
+            continue;
+        if (rec.inst.rs1 == 31) {
+            // jalr r0, ra: a return; successors live in the caller.
+            continue;
+        }
+        const AddrVal v = resolver.resolve(rec.inst.rs1, i);
+        if (v.kind == AddrVal::Kind::Const) {
+            const Addr dest =
+                (static_cast<Addr>(v.value) +
+                 static_cast<std::uint32_t>(rec.inst.imm)) &
+                ~Addr{3};
+            if (prog.indexOf(dest) != Program::npos)
+                indirect_targets[i].push_back(dest);
+            else
+                indirect_unknown[i] = true;
+        } else if (v.kind == AddrVal::Kind::TableLoad) {
+            // Decode the jump table: consecutive data words whose
+            // values are instruction addresses.
+            for (Addr slot = v.value; prog.isDataWord(slot);
+                 slot += 4) {
+                const auto it = prog.assembled().words.find(slot);
+                if (it == prog.assembled().words.end() ||
+                    prog.indexOf(it->second) == Program::npos)
+                    break;
+                indirect_targets[i].push_back(it->second);
+            }
+            if (indirect_targets[i].empty())
+                indirect_unknown[i] = true;
+        } else {
+            indirect_unknown[i] = true;
+        }
+        for (Addr t : indirect_targets[i])
+            labels.insert(t);
+    }
+
+    // Pass 3: leaders -> blocks.
+    std::vector<bool> leader(n, false);
+    if (prog.entryIndex() != Program::npos)
+        leader[prog.entryIndex()] = true;
+    leader[0] = true;
+    for (Addr a : labels) {
+        const std::size_t i = prog.indexOf(a);
+        if (i != Program::npos)
+            leader[i] = true;
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (isTerminator(prog.instr(i)) ||
+            prog.instr(i + 1).addr != prog.instr(i).addr + 4)
+            leader[i + 1] = true;
+    }
+
+    cfg.block_of_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (leader[i]) {
+            BasicBlock bb;
+            bb.id = static_cast<unsigned>(cfg.blocks_.size());
+            bb.first = bb.last = i;
+            cfg.blocks_.push_back(bb);
+        } else {
+            cfg.blocks_.back().last = i;
+        }
+        cfg.block_of_[i] = cfg.blocks_.back().id;
+    }
+    if (prog.entryIndex() != Program::npos)
+        cfg.entry_ = cfg.block_of_[prog.entryIndex()];
+
+    // Pass 4: edges and call sites.
+    auto blockAt = [&](Addr a) -> int {
+        const std::size_t i = prog.indexOf(a);
+        return i == Program::npos ? -1
+                                  : static_cast<int>(cfg.block_of_[i]);
+    };
+    for (BasicBlock &bb : cfg.blocks_) {
+        // Calls anywhere in the block.
+        for (std::size_t i = bb.first; i <= bb.last; ++i) {
+            const InstrRecord &rec = prog.instr(i);
+            if (!rec.decoded || rec.inst.rd == 0)
+                continue;
+            if (rec.inst.op == Opcode::Jal) {
+                const Addr t = directTarget(rec);
+                cfg.calls_.push_back(
+                    {i, bb.id, t, prog.indexOf(t) != Program::npos});
+            } else if (rec.inst.op == Opcode::Jalr) {
+                const AddrVal v = resolver.resolve(rec.inst.rs1, i);
+                if (v.kind == AddrVal::Kind::Const) {
+                    const Addr dest =
+                        (static_cast<Addr>(v.value) +
+                         static_cast<std::uint32_t>(rec.inst.imm)) &
+                        ~Addr{3};
+                    cfg.calls_.push_back(
+                        {i, bb.id, dest,
+                         prog.indexOf(dest) != Program::npos});
+                } else {
+                    cfg.calls_.push_back(
+                        {i, bb.id, invalid_addr, false});
+                }
+            }
+        }
+
+        const std::size_t t = bb.last;
+        const InstrRecord &term = prog.instr(t);
+        auto addSucc = [&](int id) {
+            if (id >= 0)
+                bb.succs.push_back(static_cast<unsigned>(id));
+        };
+        const bool contiguous =
+            t + 1 < n && prog.instr(t + 1).addr == term.addr + 4;
+
+        if (!term.decoded) {
+            bb.is_exit = true;
+        } else if (isBranch(term.inst.op)) {
+            const int target = blockAt(directTarget(term));
+            if (target < 0)
+                bb.has_unknown_succ = true;
+            addSucc(target);
+            if (contiguous)
+                addSucc(static_cast<int>(cfg.block_of_[t + 1]));
+        } else if (term.inst.op == Opcode::Jal &&
+                   term.inst.rd == 0) {
+            const int target = blockAt(directTarget(term));
+            if (target < 0)
+                bb.has_unknown_succ = true;
+            addSucc(target);
+        } else if (term.inst.op == Opcode::Jalr &&
+                   term.inst.rd == 0) {
+            if (!indirect_targets[t].empty()) {
+                for (Addr a : indirect_targets[t])
+                    addSucc(blockAt(a));
+            } else if (term.inst.rs1 == 31) {
+                bb.is_exit = true;  // return
+            } else if (indirect_unknown[t]) {
+                // Conservative fallback: any address-taken block.
+                bb.has_unknown_succ = true;
+                for (Addr a : taken)
+                    addSucc(blockAt(a));
+                if (bb.succs.empty())
+                    bb.is_exit = true;
+            }
+        } else if (term.inst.op == Opcode::Halt) {
+            bb.is_exit = true;
+        } else {
+            // Fell off the end of the block (next is a leader) or
+            // a call's fall-through.
+            if (contiguous)
+                addSucc(static_cast<int>(cfg.block_of_[t + 1]));
+            else
+                bb.is_exit = true;
+        }
+
+        // Dedup successors (a branch whose target is the
+        // fall-through produces one edge).
+        std::sort(bb.succs.begin(), bb.succs.end());
+        bb.succs.erase(
+            std::unique(bb.succs.begin(), bb.succs.end()),
+            bb.succs.end());
+    }
+    for (const BasicBlock &bb : cfg.blocks_)
+        for (unsigned s : bb.succs)
+            cfg.blocks_[s].preds.push_back(bb.id);
+
+    // Pass 5: reachability over CFG edges + call edges.
+    std::vector<unsigned> roots{cfg.entry_};
+    for (const CallSite &c : cfg.calls_)
+        if (c.known) {
+            const std::size_t i = prog.indexOf(c.target);
+            if (i != Program::npos)
+                roots.push_back(cfg.block_of_[i]);
+        }
+    cfg.reachable_.assign(cfg.blocks_.size(), false);
+    {
+        std::vector<unsigned> stack{cfg.entry_};
+        cfg.reachable_[cfg.entry_] = true;
+        while (!stack.empty()) {
+            const unsigned b = stack.back();
+            stack.pop_back();
+            auto visit = [&](unsigned s) {
+                if (!cfg.reachable_[s]) {
+                    cfg.reachable_[s] = true;
+                    stack.push_back(s);
+                }
+            };
+            for (unsigned s : cfg.blocks_[b].succs)
+                visit(s);
+            for (const CallSite &c : cfg.calls_)
+                if (c.block == b && c.known) {
+                    const std::size_t i = prog.indexOf(c.target);
+                    if (i != Program::npos)
+                        visit(cfg.block_of_[i]);
+                }
+        }
+    }
+
+    cfg.computeDominators(roots);
+    cfg.computeLoops();
+    return cfg;
+}
+
+void
+Cfg::computeDominators(const std::vector<unsigned> &roots)
+{
+    const std::size_t n = blocks_.size();
+    const unsigned vroot = static_cast<unsigned>(n);
+
+    // RPO over CFG edges from a virtual root that covers the entry
+    // and every known callee entry.
+    std::vector<int> state(n + 1, 0);  // 0 new, 1 open, 2 done
+    std::vector<unsigned> postorder;
+    postorder.reserve(n + 1);
+    // Iterative DFS.
+    struct Frame
+    {
+        unsigned block;
+        std::size_t next_succ;
+    };
+    std::vector<Frame> stack;
+    rootsuccs_ = roots;
+    auto succsOf = [&](unsigned b) -> const std::vector<unsigned> & {
+        return b == vroot ? rootsuccs_ : blocks_[b].succs;
+    };
+    stack.push_back({vroot, 0});
+    state[vroot] = 1;
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        const auto &succs = succsOf(f.block);
+        if (f.next_succ < succs.size()) {
+            const unsigned s = succs[f.next_succ++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            state[f.block] = 2;
+            postorder.push_back(f.block);
+            stack.pop_back();
+        }
+    }
+    std::vector<unsigned> rpo(postorder.rbegin(), postorder.rend());
+
+    std::vector<unsigned> rpo_num(n + 1, 0);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_num[rpo[i]] = static_cast<unsigned>(i);
+    rpo_.clear();
+    for (unsigned b : rpo)
+        if (b != vroot)
+            rpo_.push_back(b);
+
+    // Cooper/Harvey/Kennedy iterative dominators.
+    std::vector<unsigned> idom(n + 1, vroot + 1);  // undefined marker
+    idom[vroot] = vroot;
+    auto intersect = [&](unsigned a, unsigned b) {
+        while (a != b) {
+            while (rpo_num[a] > rpo_num[b])
+                a = idom[a];
+            while (rpo_num[b] > rpo_num[a])
+                b = idom[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned b : rpo) {
+            if (b == vroot)
+                continue;
+            unsigned new_idom = vroot + 1;
+            // Preds over the same augmented edge set.
+            std::vector<unsigned> preds = blocks_[b].preds;
+            for (unsigned r : roots)
+                if (r == b)
+                    preds.push_back(vroot);
+            for (unsigned p : preds) {
+                if (idom[p] == vroot + 1)
+                    continue;  // not processed yet
+                new_idom = new_idom == vroot + 1
+                               ? p
+                               : intersect(p, new_idom);
+            }
+            if (new_idom != vroot + 1 && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    idom_.assign(n, 0);
+    for (std::size_t b = 0; b < n; ++b) {
+        if (idom[b] >= vroot)
+            idom_[b] = static_cast<unsigned>(b);  // root/unreachable
+        else
+            idom_[b] = idom[b];
+    }
+    rpo_num_ = rpo_num;
+    rpo_num_.resize(n);
+}
+
+bool
+Cfg::dominates(unsigned a, unsigned b) const
+{
+    while (true) {
+        if (a == b)
+            return true;
+        const unsigned up = idom_[b];
+        if (up == b)
+            return a == b;
+        b = up;
+    }
+}
+
+void
+Cfg::computeLoops()
+{
+    const std::size_t n = blocks_.size();
+    // Back edges: target dominates source. Retreating edges that
+    // are not back edges flag irreducibility (conservative
+    // fallback: the region gets no loop info).
+    std::map<unsigned, std::vector<unsigned>> latches;  // header -> srcs
+    for (const BasicBlock &bb : blocks_) {
+        if (!reachable_[bb.id])
+            continue;
+        for (unsigned s : bb.succs) {
+            if (rpo_num_[s] > rpo_num_[bb.id])
+                continue;  // forward edge
+            if (dominates(s, bb.id))
+                latches[s].push_back(bb.id);
+            else if (s != bb.id)
+                irreducible_ = true;
+        }
+    }
+
+    for (const auto &[header, srcs] : latches) {
+        Loop loop;
+        loop.header = header;
+        std::set<unsigned> body{header};
+        std::vector<unsigned> work(srcs.begin(), srcs.end());
+        while (!work.empty()) {
+            const unsigned b = work.back();
+            work.pop_back();
+            if (!body.insert(b).second)
+                continue;
+            for (unsigned p : blocks_[b].preds)
+                if (reachable_[p])
+                    work.push_back(p);
+        }
+        loop.blocks.assign(body.begin(), body.end());
+        for (unsigned b : body) {
+            bool exits = blocks_[b].has_unknown_succ;
+            for (unsigned s : blocks_[b].succs)
+                if (!body.contains(s))
+                    exits = true;
+            if (exits)
+                loop.exit_blocks.push_back(b);
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    // Nesting: parent = smallest strictly-containing loop.
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        std::size_t best = loops_.size();
+        for (std::size_t j = 0; j < loops_.size(); ++j) {
+            if (i == j || !loops_[j].contains(loops_[i].header) ||
+                loops_[j].header == loops_[i].header)
+                continue;
+            if (best == loops_.size() ||
+                loops_[j].blocks.size() < loops_[best].blocks.size())
+                best = j;
+        }
+        loops_[i].parent =
+            best == loops_.size() ? -1 : static_cast<int>(best);
+    }
+    for (Loop &loop : loops_) {
+        unsigned depth = 1;
+        for (int p = loop.parent; p != -1; p = loops_[p].parent)
+            ++depth;
+        loop.depth = depth;
+    }
+    (void)n;
+}
+
+int
+Cfg::innermostLoop(unsigned block) const
+{
+    int best = -1;
+    for (std::size_t i = 0; i < loops_.size(); ++i) {
+        if (!loops_[i].contains(block))
+            continue;
+        if (best == -1 || loops_[i].depth > loops_[best].depth)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+} // namespace memwall

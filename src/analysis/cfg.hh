@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Control-flow graph over the analysis IR.
+ *
+ * Basic blocks are discovered from branch/jump targets and
+ * terminators; `jal rd!=r0` is treated as a call (fall-through
+ * successor, callee recorded as a CallSite rather than a CFG edge).
+ * Indirect jumps (`jalr r0`) are resolved where possible:
+ *
+ *  - a register that constant-folds (lui/ori/addi/add/sll chains)
+ *    gives a single known target;
+ *  - the jump-table idiom — a load whose base address chain reaches
+ *    a constant pointing into .word data — yields the decoded
+ *    target set of that table;
+ *  - `jalr r0, ra` is a return (exit block);
+ *  - anything else gets a conservative "unknown" edge to every
+ *    address-taken block (or is an exit when none exist).
+ *
+ * On top of the graph: immediate dominators (iterative
+ * Cooper/Harvey/Kennedy over RPO with a virtual root covering call
+ * entries), natural loops with nesting depth and exit edges, and an
+ * irreducibility flag (retreating edges whose target does not
+ * dominate the source trigger the conservative fallback: no loop is
+ * recorded for that region).
+ */
+
+#ifndef MEMWALL_ANALYSIS_CFG_HH
+#define MEMWALL_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/program.hh"
+
+namespace memwall {
+
+/** A maximal straight-line run of instructions. */
+struct BasicBlock
+{
+    unsigned id = 0;
+    /** Inclusive instruction-index range [first, last]. */
+    std::size_t first = 0, last = 0;
+    std::vector<unsigned> succs;
+    std::vector<unsigned> preds;
+    /** Terminates in halt, return, or an undecodable word. */
+    bool is_exit = false;
+    /** Ends in an indirect jump whose targets were not recovered. */
+    bool has_unknown_succ = false;
+};
+
+/** One `jal`/`jalr` call instruction. */
+struct CallSite
+{
+    std::size_t instr = 0;  ///< instruction index of the call
+    unsigned block = 0;     ///< enclosing block id
+    Addr target = invalid_addr;
+    bool known = false;     ///< target resolved statically
+};
+
+/** A natural loop. */
+struct Loop
+{
+    unsigned header = 0;
+    /** Member block ids, sorted, including the header. */
+    std::vector<unsigned> blocks;
+    /** Blocks with at least one successor outside the loop. */
+    std::vector<unsigned> exit_blocks;
+    /** Nesting depth: 1 = outermost. */
+    unsigned depth = 1;
+    /** Index of the innermost enclosing loop, or -1. */
+    int parent = -1;
+
+    bool
+    contains(unsigned block) const
+    {
+        for (unsigned b : blocks)
+            if (b == block)
+                return true;
+        return false;
+    }
+};
+
+class Cfg
+{
+  public:
+    static Cfg build(const Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    const BasicBlock &block(unsigned id) const { return blocks_[id]; }
+    std::size_t size() const { return blocks_.size(); }
+
+    /** Block containing instruction @p instr. */
+    unsigned blockOf(std::size_t instr) const { return block_of_[instr]; }
+
+    /** Entry block id (the program entry point). */
+    unsigned entry() const { return entry_; }
+
+    const std::vector<CallSite> &calls() const { return calls_; }
+
+    /**
+     * Per-block reachability from the entry, following CFG edges,
+     * call edges, and unknown-indirect edges to address-taken
+     * blocks.
+     */
+    const std::vector<bool> &reachable() const { return reachable_; }
+
+    /** Immediate dominator of each block (entry maps to itself;
+     * unreachable blocks map to themselves). */
+    const std::vector<unsigned> &idom() const { return idom_; }
+
+    /** @return true iff @p a dominates @p b. */
+    bool dominates(unsigned a, unsigned b) const;
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Innermost loop containing @p block, or -1. */
+    int innermostLoop(unsigned block) const;
+
+    /** A retreating edge with a non-dominating target was found. */
+    bool irreducible() const { return irreducible_; }
+
+    /** Reverse post-order over CFG edges (reachable blocks only). */
+    const std::vector<unsigned> &rpo() const { return rpo_; }
+
+    /** Instruction addresses referenced from .word data (potential
+     * indirect-jump targets). */
+    const std::vector<Addr> &addressTaken() const
+    {
+        return address_taken_;
+    }
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<unsigned> block_of_;
+    std::vector<CallSite> calls_;
+    std::vector<bool> reachable_;
+    std::vector<unsigned> idom_;
+    std::vector<unsigned> rpo_;
+    std::vector<Loop> loops_;
+    std::vector<Addr> address_taken_;
+    std::vector<unsigned> rpo_num_;
+    std::vector<unsigned> rootsuccs_;
+    unsigned entry_ = 0;
+    bool irreducible_ = false;
+
+    void computeDominators(const std::vector<unsigned> &roots);
+    void computeLoops();
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_ANALYSIS_CFG_HH

@@ -1,0 +1,1018 @@
+#include "analysis/charact.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace memwall {
+
+namespace {
+
+/**
+ * Affine expression c + sum(coeff[r] * <r>) over register values at
+ * a loop header ("symbols"). The invalid state is the lattice
+ * bottom: anything the walk cannot express affinely.
+ */
+struct AffExpr
+{
+    bool valid = false;
+    std::int64_t c = 0;
+    std::map<unsigned, std::int64_t> coeff;
+
+    static AffExpr
+    constant(std::int64_t v)
+    {
+        AffExpr e;
+        e.valid = true;
+        e.c = v;
+        return e;
+    }
+
+    static AffExpr
+    symbol(unsigned reg)
+    {
+        AffExpr e;
+        e.valid = true;
+        e.coeff[reg] = 1;
+        return e;
+    }
+
+    bool
+    isConst() const
+    {
+        return valid && coeff.empty();
+    }
+
+    bool
+    operator==(const AffExpr &o) const
+    {
+        return valid == o.valid && c == o.c && coeff == o.coeff;
+    }
+};
+
+AffExpr
+affAdd(const AffExpr &a, const AffExpr &b, std::int64_t sign = 1)
+{
+    if (!a.valid || !b.valid)
+        return {};
+    AffExpr r = a;
+    r.c += sign * b.c;
+    for (auto &[reg, k] : b.coeff) {
+        r.coeff[reg] += sign * k;
+        if (r.coeff[reg] == 0)
+            r.coeff.erase(reg);
+    }
+    return r;
+}
+
+AffExpr
+affScale(const AffExpr &a, std::int64_t k)
+{
+    if (!a.valid)
+        return {};
+    if (k == 0)
+        return AffExpr::constant(0);
+    AffExpr r = a;
+    r.c *= k;
+    for (auto &[reg, co] : r.coeff)
+        co *= k;
+    return r;
+}
+
+using AffState = std::array<AffExpr, 32>;
+
+AffState
+initialState()
+{
+    AffState st;
+    st[0] = AffExpr::constant(0);
+    for (unsigned r = 1; r < 32; ++r)
+        st[r] = AffExpr::symbol(r);
+    return st;
+}
+
+/** Pointwise merge: keep only agreeing expressions. */
+void
+mergeState(AffState &a, const AffState &b)
+{
+    for (unsigned r = 0; r < 32; ++r)
+        if (!(a[r] == b[r]))
+            a[r] = {};
+}
+
+bool
+isCallInstr(const Instruction &inst)
+{
+    return (inst.op == Opcode::Jal || inst.op == Opcode::Jalr) &&
+           inst.rd != 0;
+}
+
+/** One instruction of the affine walk. */
+void
+affTransfer(const InstrRecord &rec, const Dataflow &df,
+            const std::vector<CallSite> &calls, std::size_t idx,
+            AffState &st)
+{
+    const Instruction &inst = rec.inst;
+    if (!rec.decoded)
+        return;
+
+    auto setd = [&](const AffExpr &e) {
+        if (inst.rd != 0)
+            st[inst.rd] = e;
+    };
+    auto invalidate = [&](unsigned r) {
+        if (r != 0)
+            st[r] = {};
+    };
+
+    if (isCallInstr(inst)) {
+        std::uint32_t clob = ~1u;
+        for (const CallSite &cs : calls)
+            if (cs.instr == idx && cs.known)
+                clob = df.calleeClobbers(cs.target);
+        for (unsigned r = 1; r < 32; ++r)
+            if (clob & (1u << r))
+                invalidate(r);
+        invalidate(inst.rd);
+        return;
+    }
+
+    switch (inst.op) {
+      case Opcode::Addi:
+        setd(affAdd(st[inst.rs1], AffExpr::constant(inst.imm)));
+        break;
+      case Opcode::Add:
+        setd(affAdd(st[inst.rs1], st[inst.rs2]));
+        break;
+      case Opcode::Sub:
+        setd(affAdd(st[inst.rs1], st[inst.rs2], -1));
+        break;
+      case Opcode::Slli:
+        setd(affScale(st[inst.rs1],
+                      std::int64_t{1} << (inst.imm & 31)));
+        break;
+      case Opcode::Sll:
+        if (st[inst.rs2].isConst() && st[inst.rs2].c >= 0 &&
+            st[inst.rs2].c < 32)
+            setd(affScale(st[inst.rs1],
+                          std::int64_t{1} << st[inst.rs2].c));
+        else
+            invalidate(inst.rd);
+        break;
+      case Opcode::Mul:
+        if (st[inst.rs1].isConst())
+            setd(affScale(st[inst.rs2], st[inst.rs1].c));
+        else if (st[inst.rs2].isConst())
+            setd(affScale(st[inst.rs1], st[inst.rs2].c));
+        else
+            invalidate(inst.rd);
+        break;
+      case Opcode::Lui:
+        setd(AffExpr::constant(
+            static_cast<std::uint32_t>(inst.imm & 0xffff) << 16));
+        break;
+      case Opcode::Ori:
+        if (st[inst.rs1].isConst())
+            setd(AffExpr::constant(st[inst.rs1].c |
+                                   (inst.imm & 0xffff)));
+        else
+            invalidate(inst.rd);
+        break;
+      default: {
+        unsigned d = defOf(inst);
+        if (d != 0)
+            invalidate(d);
+        break;
+      }
+    }
+}
+
+/** Per-loop analysis results, indexed like Cfg::loops(). */
+struct LoopScope
+{
+    std::map<unsigned, AffState> in;  ///< block id -> entry state
+    std::array<std::optional<std::int64_t>, 32> delta;
+    std::optional<std::uint64_t> trip;
+    bool top_test = false;
+};
+
+/** Normalised continue-condition comparators (IV on the left). */
+enum class Cmp { Eq, Ne, Lt, Le, Gt, Ge };
+
+std::optional<Cmp>
+cmpOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+        return Cmp::Eq;
+      case Opcode::Bne:
+        return Cmp::Ne;
+      case Opcode::Blt:
+      case Opcode::Bltu:
+        return Cmp::Lt;
+      case Opcode::Bge:
+      case Opcode::Bgeu:
+        return Cmp::Ge;
+      default:
+        return std::nullopt;
+    }
+}
+
+Cmp
+cmpSwap(Cmp c)
+{
+    switch (c) {
+      case Cmp::Lt:
+        return Cmp::Gt;
+      case Cmp::Gt:
+        return Cmp::Lt;
+      case Cmp::Le:
+        return Cmp::Ge;
+      case Cmp::Ge:
+        return Cmp::Le;
+      default:
+        return c;
+    }
+}
+
+Cmp
+cmpNegate(Cmp c)
+{
+    switch (c) {
+      case Cmp::Eq:
+        return Cmp::Ne;
+      case Cmp::Ne:
+        return Cmp::Eq;
+      case Cmp::Lt:
+        return Cmp::Ge;
+      case Cmp::Ge:
+        return Cmp::Lt;
+      case Cmp::Gt:
+        return Cmp::Le;
+      case Cmp::Le:
+        return Cmp::Gt;
+    }
+    return c;
+}
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;  // requires a >= 0, b > 0
+}
+
+/**
+ * First failing test index for value(i) = x0 + i*s against bound B
+ * under continue-condition @p cmp. Unsigned compares are treated as
+ * signed (counted loops stay well inside 2^31 by construction).
+ */
+std::optional<std::int64_t>
+firstFail(Cmp cmp, std::int64_t x0, std::int64_t s, std::int64_t B)
+{
+    switch (cmp) {
+      case Cmp::Ne: {
+        if (s == 0)
+            return x0 == B ? std::optional<std::int64_t>(0)
+                           : std::nullopt;
+        std::int64_t d = B - x0;
+        if (d % s != 0 || d / s < 0)
+            return std::nullopt;
+        return d / s;
+      }
+      case Cmp::Eq:
+        if (x0 != B)
+            return 0;
+        return s != 0 ? std::optional<std::int64_t>(1) : std::nullopt;
+      case Cmp::Lt:
+        if (x0 >= B)
+            return 0;
+        return s > 0 ? std::optional<std::int64_t>(ceilDiv(B - x0, s))
+                     : std::nullopt;
+      case Cmp::Le:
+        if (x0 > B)
+            return 0;
+        return s > 0
+                   ? std::optional<std::int64_t>(ceilDiv(B - x0 + 1, s))
+                   : std::nullopt;
+      case Cmp::Gt:
+        if (x0 <= B)
+            return 0;
+        return s < 0 ? std::optional<std::int64_t>(ceilDiv(x0 - B, -s))
+                     : std::nullopt;
+      case Cmp::Ge:
+        if (x0 < B)
+            return 0;
+        return s < 0
+                   ? std::optional<std::int64_t>(
+                         ceilDiv(x0 - B + 1, -s))
+                   : std::nullopt;
+    }
+    return std::nullopt;
+}
+
+class Characterizer
+{
+  public:
+    Characterizer(const Program &prog, const Cfg &cfg,
+                  const Dataflow &df)
+        : prog_(prog), cfg_(cfg), df_(df)
+    {
+    }
+
+    StaticCharacterization run();
+
+  private:
+    const Program &prog_;
+    const Cfg &cfg_;
+    const Dataflow &df_;
+    std::vector<LoopScope> scopes_;
+    StaticCharacterization out_;
+
+    /** Loop directly nested in @p li containing @p block, or -1 when
+     * the block sits at level @p li itself. */
+    int childOf(int li, unsigned block) const;
+
+    void analyzeLoop(int li);
+    AffState outStateAtLevel(int li, unsigned block) const;
+    AffState stateAtInstr(int li, std::size_t i) const;
+    void findTrip(int li);
+    std::optional<std::uint64_t> tripFromBranch(int li,
+                                                std::size_t j,
+                                                bool bottom_test);
+    std::optional<std::int64_t> preheaderConst(int li,
+                                               unsigned reg) const;
+    std::optional<std::int64_t> strideAt(int li,
+                                         const AffExpr &e) const;
+
+    void characterizeMemops();
+    void computeFrequencies();
+};
+
+int
+Characterizer::childOf(int li, unsigned block) const
+{
+    int l = cfg_.innermostLoop(block);
+    if (l == li)
+        return -1;
+    while (l != -1 && cfg_.loops()[l].parent != li)
+        l = cfg_.loops()[l].parent;
+    return l;  // -1 only if block is not (transitively) inside li
+}
+
+void
+Characterizer::analyzeLoop(int li)
+{
+    const Loop &loop = cfg_.loops()[li];
+    std::set<unsigned> body(loop.blocks.begin(), loop.blocks.end());
+    LoopScope &sc = scopes_[li];
+
+    for (unsigned b : cfg_.rpo()) {
+        if (!body.contains(b))
+            continue;
+        int cl = childOf(li, b);
+        if (cl != -1 && b != cfg_.loops()[cl].header)
+            continue;  // interior of an inner loop
+
+        AffState in;
+        if (b == loop.header) {
+            in = initialState();
+        } else {
+            bool first = true;
+            for (unsigned p : cfg_.block(b).preds) {
+                if (!body.contains(p))
+                    continue;
+                // Skip the inner loop's own back edges when b is
+                // that loop's header.
+                if (cl != -1 && cfg_.loops()[cl].contains(p))
+                    continue;
+                AffState s = outStateAtLevel(li, p);
+                if (first) {
+                    in = s;
+                    first = false;
+                } else {
+                    mergeState(in, s);
+                }
+            }
+            if (first)
+                in.fill(AffExpr{});
+        }
+        sc.in[b] = in;
+    }
+
+    // Per-iteration delta: merge latch out-states; a register whose
+    // round trip is <r> + d is an induction variable with step d.
+    bool first = true;
+    AffState latch;
+    for (unsigned p : cfg_.block(loop.header).preds) {
+        if (!body.contains(p))
+            continue;
+        AffState s = outStateAtLevel(li, p);
+        if (first) {
+            latch = s;
+            first = false;
+        } else {
+            mergeState(latch, s);
+        }
+    }
+    for (unsigned r = 1; r < 32; ++r) {
+        const AffExpr &e = latch[r];
+        if (!first && e.valid && e.coeff.size() == 1 &&
+            e.coeff.contains(r) && e.coeff.at(r) == 1)
+            sc.delta[r] = e.c;
+    }
+    sc.delta[0] = 0;
+
+    findTrip(li);
+}
+
+AffState
+Characterizer::outStateAtLevel(int li, unsigned block) const
+{
+    const LoopScope &sc = scopes_[li];
+    int cl = childOf(li, block);
+    if (cl == -1) {
+        auto it = sc.in.find(block);
+        AffState st;
+        if (it == sc.in.end()) {
+            st.fill(AffExpr{});
+            return st;
+        }
+        st = it->second;
+        const BasicBlock &bb = cfg_.block(block);
+        for (std::size_t i = bb.first; i <= bb.last; ++i)
+            affTransfer(prog_.instr(i), df_, cfg_.calls(), i, st);
+        return st;
+    }
+
+    // Block inside inner loop cl: its out-state is the state into
+    // cl's header advanced by trip(cl) full iterations.
+    const LoopScope &inner = scopes_[cl];
+    AffState st;
+    auto it = sc.in.find(cfg_.loops()[cl].header);
+    if (it == sc.in.end()) {
+        st.fill(AffExpr{});
+        return st;
+    }
+    st = it->second;
+    for (unsigned r = 1; r < 32; ++r) {
+        if (!st[r].valid)
+            continue;
+        if (!inner.delta[r]) {
+            st[r] = {};
+        } else if (*inner.delta[r] != 0) {
+            if (inner.trip)
+                st[r].c += *inner.delta[r] *
+                           static_cast<std::int64_t>(*inner.trip);
+            else
+                st[r] = {};
+        }
+    }
+    return st;
+}
+
+AffState
+Characterizer::stateAtInstr(int li, std::size_t i) const
+{
+    unsigned b = cfg_.blockOf(i);
+    const LoopScope &sc = scopes_[li];
+    AffState st;
+    auto it = sc.in.find(b);
+    if (it == sc.in.end()) {
+        st.fill(AffExpr{});
+        return st;
+    }
+    st = it->second;
+    const BasicBlock &bb = cfg_.block(b);
+    for (std::size_t k = bb.first; k < i; ++k)
+        affTransfer(prog_.instr(k), df_, cfg_.calls(), k, st);
+    return st;
+}
+
+std::optional<std::int64_t>
+Characterizer::preheaderConst(int li, unsigned reg) const
+{
+    if (reg == 0)
+        return 0;
+    const Loop &loop = cfg_.loops()[li];
+    std::optional<std::int64_t> v;
+    bool any = false;
+    for (unsigned p : cfg_.block(loop.header).preds) {
+        if (loop.contains(p))
+            continue;
+        const BasicBlock &bb = cfg_.block(p);
+        ConstState st = df_.stateBefore(bb.last);
+        Dataflow::transfer(prog_, &df_, bb.last, st);
+        auto c = st.get(reg);
+        if (!c)
+            return std::nullopt;
+        if (any && *v != static_cast<std::int64_t>(*c))
+            return std::nullopt;
+        v = static_cast<std::int64_t>(*c);
+        any = true;
+    }
+    return any ? v : std::nullopt;
+}
+
+std::optional<std::int64_t>
+Characterizer::strideAt(int li, const AffExpr &e) const
+{
+    if (!e.valid)
+        return std::nullopt;
+    const LoopScope &sc = scopes_[li];
+    std::int64_t s = 0;
+    for (auto &[reg, k] : e.coeff) {
+        if (!sc.delta[reg])
+            return std::nullopt;
+        s += k * *sc.delta[reg];
+    }
+    return s;
+}
+
+void
+Characterizer::findTrip(int li)
+{
+    const Loop &loop = cfg_.loops()[li];
+    LoopScope &sc = scopes_[li];
+
+    // Bottom-test: a latch at this level ending in a conditional
+    // branch whose other edge leaves the loop.
+    for (unsigned p : cfg_.block(loop.header).preds) {
+        if (!loop.contains(p) || childOf(li, p) != -1)
+            continue;
+        const BasicBlock &bb = cfg_.block(p);
+        if (!isBranch(prog_.instr(bb.last).inst.op))
+            continue;
+        bool exits = false;
+        for (unsigned s : bb.succs)
+            if (!loop.contains(s))
+                exits = true;
+        if (!exits)
+            continue;
+        if (auto t = tripFromBranch(li, bb.last, true)) {
+            sc.trip = t;
+            return;
+        }
+    }
+
+    // Top-test: the header itself tests and exits.
+    const BasicBlock &hb = cfg_.block(loop.header);
+    if (isBranch(prog_.instr(hb.last).inst.op)) {
+        bool exits = false;
+        for (unsigned s : hb.succs)
+            if (!loop.contains(s))
+                exits = true;
+        if (exits) {
+            if (auto t = tripFromBranch(li, hb.last, false)) {
+                sc.trip = t;
+                sc.top_test = true;
+            }
+        }
+    }
+}
+
+std::optional<std::uint64_t>
+Characterizer::tripFromBranch(int li, std::size_t j, bool bottom_test)
+{
+    const Loop &loop = cfg_.loops()[li];
+    const InstrRecord &rec = prog_.instr(j);
+    auto cmp = cmpOf(rec.inst.op);
+    if (!cmp)
+        return std::nullopt;
+
+    // Taken target from the encoding, not edge order.
+    Addr taddr = rec.addr + 4 +
+                 static_cast<Addr>(rec.inst.imm) * 4;
+    std::size_t tidx = prog_.indexOf(taddr);
+    if (tidx == Program::npos)
+        return std::nullopt;
+    unsigned taken = cfg_.blockOf(tidx);
+    bool continue_if_taken = bottom_test
+                                 ? taken == loop.header
+                                 : loop.contains(taken);
+    Cmp cond = continue_if_taken ? *cmp : cmpNegate(*cmp);
+
+    AffState st = stateAtInstr(li, j);
+    AffExpr e1 = st[rec.inst.rs1];
+    AffExpr e2 = st[rec.inst.rs2];
+
+    // Identify the induction-variable side and the invariant bound.
+    for (int side = 0; side < 2; ++side) {
+        const AffExpr &iv = side == 0 ? e1 : e2;
+        const AffExpr &bd = side == 0 ? e2 : e1;
+        Cmp c = side == 0 ? cond : cmpSwap(cond);
+
+        if (!iv.valid || iv.coeff.size() != 1)
+            continue;
+        unsigned ivreg = iv.coeff.begin()->first;
+        if (iv.coeff.begin()->second != 1)
+            continue;
+        auto step = scopes_[li].delta[ivreg];
+        if (!step)
+            continue;
+
+        auto v0 = preheaderConst(li, ivreg);
+        if (!v0)
+            continue;
+        std::int64_t x0 = *v0 + iv.c;
+
+        std::optional<std::int64_t> bval;
+        if (bd.isConst()) {
+            bval = bd.c;
+        } else if (bd.valid && bd.coeff.size() == 1 &&
+                   bd.coeff.begin()->second == 1) {
+            unsigned breg = bd.coeff.begin()->first;
+            auto bdelta = scopes_[li].delta[breg];
+            if (!bdelta || *bdelta != 0)
+                continue;  // bound not loop-invariant
+            auto bc = preheaderConst(li, breg);
+            if (!bc)
+                continue;
+            bval = *bc + bd.c;
+        }
+        if (!bval)
+            continue;
+
+        auto fail = firstFail(c, x0, *step, *bval);
+        if (!fail)
+            continue;
+        std::int64_t trips = bottom_test ? *fail + 1 : *fail;
+        if (trips < 0)
+            continue;
+        return static_cast<std::uint64_t>(trips);
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+/** Sort and coalesce overlapping/adjacent intervals in place. */
+void
+mergeIntervals(std::vector<std::pair<std::int64_t, std::int64_t>> &v)
+{
+    std::sort(v.begin(), v.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (out > 0 && v[i].first <= v[out - 1].second)
+            v[out - 1].second =
+                std::max(v[out - 1].second, v[i].second);
+        else
+            v[out++] = v[i];
+    }
+    v.resize(out);
+}
+
+} // namespace
+
+void
+Characterizer::characterizeMemops()
+{
+    std::vector<std::pair<Addr, Addr>> regions;
+
+    for (std::size_t i = 0; i < prog_.size(); ++i) {
+        const InstrRecord &rec = prog_.instr(i);
+        if (!rec.decoded)
+            continue;
+        bool ld = isLoad(rec.inst.op), stq = isStore(rec.inst.op);
+        if (!ld && !stq)
+            continue;
+        unsigned b = cfg_.blockOf(i);
+        if (!cfg_.reachable()[b])
+            continue;
+
+        MemOpChar m;
+        m.instr = i;
+        m.line = rec.line;
+        m.is_store = stq;
+        m.size = accessSize(rec.inst.op);
+        m.loop = cfg_.innermostLoop(b);
+
+        if (m.loop != -1) {
+            const Loop &lp = cfg_.loops()[m.loop];
+            for (unsigned p : cfg_.block(lp.header).preds)
+                if (lp.contains(p) && !cfg_.dominates(b, p))
+                    m.conditional = true;
+        }
+
+        // Exact relative byte intervals touched by this site,
+        // lifted level by level; collapses to a bounding box only
+        // past the replication cap.
+        std::vector<std::pair<std::int64_t, std::int64_t>> ivs;
+
+        auto base = df_.constBefore(i, rec.inst.rs1);
+        if (base) {
+            m.kind = MemOpChar::Kind::Constant;
+            m.region_known = true;
+            m.region_begin =
+                static_cast<Addr>(*base + rec.inst.imm);
+            m.region_end = m.region_begin + m.size;
+            ivs.emplace_back(0, m.size);
+        } else if (m.loop != -1) {
+            int li = m.loop;
+            AffState st = stateAtInstr(li, i);
+            AffExpr ea = affAdd(st[rec.inst.rs1],
+                                AffExpr::constant(rec.inst.imm));
+            auto s = strideAt(li, ea);
+            if (s) {
+                m.kind = MemOpChar::Kind::Strided;
+                m.stride = *s;
+
+                // Lift the address expression outward through the
+                // nest, replicating the interval set per iteration.
+                ivs.emplace_back(0, m.size);
+                AffExpr cur = ea;
+                int level = li;
+                bool ok = true;
+                while (ok) {
+                    auto sl = strideAt(level, cur);
+                    auto tl = scopes_[level].trip;
+                    if (!sl || !tl || *tl == 0) {
+                        ok = false;
+                        break;
+                    }
+                    const std::int64_t trips =
+                        static_cast<std::int64_t>(*tl);
+                    if (*sl != 0 && trips > 1) {
+                        if (ivs.size() *
+                                static_cast<std::size_t>(trips) <=
+                            4096) {
+                            const std::size_t n = ivs.size();
+                            for (std::int64_t k = 1; k < trips; ++k)
+                                for (std::size_t v = 0; v < n; ++v)
+                                    ivs.emplace_back(
+                                        ivs[v].first + k * *sl,
+                                        ivs[v].second + k * *sl);
+                        } else {
+                            // Bounding box past the cap.
+                            std::int64_t span = *sl * (trips - 1);
+                            for (auto &iv : ivs) {
+                                if (span >= 0)
+                                    iv.second += span;
+                                else
+                                    iv.first += span;
+                            }
+                        }
+                        mergeIntervals(ivs);
+                    }
+
+                    int parent = cfg_.loops()[level].parent;
+                    // Re-express cur in the enclosing level's
+                    // symbols (or fold to a constant base).
+                    AffExpr next = AffExpr::constant(cur.c);
+                    for (auto &[reg, k] : cur.coeff) {
+                        AffExpr sub;
+                        if (parent == -1) {
+                            auto v = preheaderConst(level, reg);
+                            if (!v) {
+                                ok = false;
+                                break;
+                            }
+                            sub = AffExpr::constant(*v);
+                        } else {
+                            auto it = scopes_[parent].in.find(
+                                cfg_.loops()[level].header);
+                            if (it == scopes_[parent].in.end() ||
+                                !it->second[reg].valid) {
+                                ok = false;
+                                break;
+                            }
+                            sub = it->second[reg];
+                        }
+                        next = affAdd(next, affScale(sub, k));
+                        if (!next.valid) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if (!ok)
+                        break;
+                    if (parent == -1) {
+                        m.region_known = true;
+                        m.region_begin = static_cast<Addr>(
+                            next.c + ivs.front().first);
+                        m.region_end = static_cast<Addr>(
+                            next.c + ivs.back().second);
+                        for (auto &iv : ivs) {
+                            iv.first += next.c;
+                            iv.second += next.c;
+                        }
+                        break;
+                    }
+                    cur = next;
+                    level = parent;
+                }
+            }
+        }
+
+        if (!m.region_known) {
+            out_.footprint_known = false;
+        } else if (m.kind == MemOpChar::Kind::Constant) {
+            regions.emplace_back(m.region_begin, m.region_end);
+        } else {
+            for (auto &iv : ivs)
+                regions.emplace_back(static_cast<Addr>(iv.first),
+                                     static_cast<Addr>(iv.second));
+        }
+        out_.memops.push_back(m);
+    }
+
+    // Footprint: measure of the union of touched intervals.
+    std::sort(regions.begin(), regions.end());
+    Addr cur_b = 0, cur_e = 0;
+    bool open = false;
+    std::uint64_t bytes = 0;
+    for (auto &[b, e] : regions) {
+        if (open && b <= cur_e) {
+            cur_e = std::max(cur_e, e);
+        } else {
+            if (open)
+                bytes += cur_e - cur_b;
+            cur_b = b;
+            cur_e = e;
+            open = true;
+        }
+    }
+    if (open)
+        bytes += cur_e - cur_b;
+    out_.footprint_bytes = bytes;
+}
+
+void
+Characterizer::computeFrequencies()
+{
+    const std::size_t n = cfg_.size();
+    std::vector<double> freq(n, 0);
+    std::map<unsigned, double> call_seed;
+
+    if (cfg_.irreducible())
+        out_.counts_exact = false;
+
+    auto tripOf = [&](int li) -> double {
+        if (li != -1 && scopes_[li].trip)
+            return static_cast<double>(
+                std::max<std::uint64_t>(*scopes_[li].trip, 1));
+        out_.counts_exact = false;
+        return 1.0;
+    };
+
+    for (int pass = 0; pass < 5; ++pass) {
+        std::fill(freq.begin(), freq.end(), 0.0);
+        if (cfg_.entry() < n)
+            freq[cfg_.entry()] = 1.0;
+        for (auto &[b, f] : call_seed)
+            freq[b] += f;
+
+        for (unsigned b : cfg_.rpo()) {
+            const BasicBlock &bb = cfg_.block(b);
+            double f = freq[b];
+
+            int hl = -1;  // loop headed by b
+            for (std::size_t li = 0; li < cfg_.loops().size(); ++li)
+                if (cfg_.loops()[li].header == b)
+                    hl = static_cast<int>(li);
+            if (hl != -1 && !scopes_[hl].top_test) {
+                f *= tripOf(hl);
+                freq[b] = f;
+            }
+
+            if (bb.has_unknown_succ)
+                out_.counts_exact = false;
+
+            // Classify successor edges.
+            std::vector<unsigned> fwd;
+            int back_loop = -1;
+            for (unsigned s : bb.succs) {
+                int li = cfg_.innermostLoop(s);
+                bool is_back = false;
+                while (li != -1) {
+                    if (cfg_.loops()[li].header == s &&
+                        cfg_.loops()[li].contains(b)) {
+                        is_back = true;
+                        back_loop = li;
+                        break;
+                    }
+                    li = cfg_.loops()[li].parent;
+                }
+                if (!is_back)
+                    fwd.push_back(s);
+            }
+
+            if (hl != -1 && scopes_[hl].top_test) {
+                // Exact top-test model: the header runs trip+1
+                // times; the in-loop edge carries trip entries.
+                double t = tripOf(hl);
+                freq[b] = f * (t + 1);
+                for (unsigned s : fwd) {
+                    if (cfg_.loops()[hl].contains(s))
+                        freq[s] += f * t;
+                    else
+                        freq[s] += f;
+                }
+            } else if (back_loop != -1) {
+                // Latch: the exit edge fires once per loop entry.
+                double t = tripOf(back_loop);
+                for (unsigned s : fwd)
+                    freq[s] += f / t;
+            } else if (fwd.size() == 1) {
+                freq[fwd[0]] += f;
+            } else if (fwd.size() >= 2) {
+                out_.heuristic_branches = true;
+                for (unsigned s : fwd)
+                    freq[s] += f / fwd.size();
+            }
+        }
+
+        std::map<unsigned, double> next_seed;
+        for (const CallSite &cs : cfg_.calls()) {
+            if (!cs.known) {
+                out_.counts_exact = false;
+                continue;
+            }
+            std::size_t t = prog_.indexOf(cs.target);
+            if (t == Program::npos)
+                continue;
+            next_seed[cfg_.blockOf(t)] += freq[cs.block];
+        }
+        if (next_seed == call_seed)
+            break;
+        call_seed = next_seed;
+        if (pass == 4)
+            out_.counts_exact = false;
+    }
+
+    for (unsigned b = 0; b < n; ++b) {
+        if (freq[b] == 0)
+            continue;
+        const BasicBlock &bb = cfg_.block(b);
+        for (std::size_t i = bb.first; i <= bb.last; ++i) {
+            const InstrRecord &rec = prog_.instr(i);
+            double f = freq[b];
+            if (!rec.decoded) {
+                out_.counts.other += f;
+            } else if (isLoad(rec.inst.op)) {
+                out_.counts.load += f;
+            } else if (isStore(rec.inst.op)) {
+                out_.counts.store += f;
+            } else if (isBranch(rec.inst.op)) {
+                out_.counts.branch += f;
+            } else if (rec.inst.op == Opcode::Jal ||
+                       rec.inst.op == Opcode::Jalr) {
+                out_.counts.jump += f;
+            } else if (rec.inst.op == Opcode::Halt ||
+                       rec.inst.op == Opcode::Sync) {
+                out_.counts.other += f;
+            } else {
+                out_.counts.alu += f;
+            }
+        }
+    }
+}
+
+StaticCharacterization
+Characterizer::run()
+{
+    scopes_.resize(cfg_.loops().size());
+
+    // Innermost first: outer levels consume inner summaries.
+    std::vector<int> order(cfg_.loops().size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return cfg_.loops()[a].depth > cfg_.loops()[b].depth;
+    });
+    for (int li : order)
+        analyzeLoop(li);
+
+    for (std::size_t li = 0; li < cfg_.loops().size(); ++li) {
+        const Loop &loop = cfg_.loops()[li];
+        LoopChar lc;
+        lc.loop = static_cast<int>(li);
+        lc.header_line = prog_.line(cfg_.block(loop.header).first);
+        lc.depth = loop.depth;
+        lc.trip = scopes_[li].trip.value_or(0);
+        for (unsigned b : loop.blocks) {
+            const BasicBlock &bb = cfg_.block(b);
+            lc.body_instrs += bb.last - bb.first + 1;
+        }
+        out_.loops.push_back(lc);
+    }
+
+    characterizeMemops();
+    computeFrequencies();
+    return out_;
+}
+
+} // namespace
+
+StaticCharacterization
+characterize(const Program &prog, const Cfg &cfg, const Dataflow &df)
+{
+    if (prog.size() == 0)
+        return {};
+    Characterizer c(prog, cfg, df);
+    return c.run();
+}
+
+} // namespace memwall

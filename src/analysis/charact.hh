@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Static workload characterization: predict, ahead of execution,
+ * the numbers the paper's cache studies are built on — dynamic
+ * instruction mix, per-reference stride, and working-set footprint.
+ *
+ * Machinery:
+ *  - per-loop affine analysis: registers are tracked as affine
+ *    expressions over their values at the loop header, walking
+ *    add/sub/shift/mul-by-constant chains; a register whose
+ *    round-trip expression is <r> + s is an induction variable with
+ *    step s;
+ *  - trip counts: the loop's controlling branch is matched against
+ *    the induction variable and a loop-invariant constant bound
+ *    (bottom-test `bne/blt/...` idioms, top-test recognised with
+ *    one fewer body run);
+ *  - block frequencies: entry = 1, loop headers multiply by trip,
+ *    loop exit edges divide by trip, other conditional branches
+ *    split 50/50 (heuristic — flagged);
+ *  - strides: the effective-address expression's per-iteration
+ *    delta, lifted outward through the loop nest by substituting
+ *    each level's header state into the enclosing level;
+ *  - footprint: per-reference touched region from the base address
+ *    (constants folded at the outermost preheader) plus
+ *    stride x trip extents, unioned across references.
+ *
+ * Everything degrades gracefully: unknown trips, irreducible
+ * regions, or unresolvable chains flag the affected result as
+ * inexact/unknown instead of guessing. validation_static_crosscheck
+ * holds these predictions to declared tolerances against the
+ * interpreter.
+ */
+
+#ifndef MEMWALL_ANALYSIS_CHARACT_HH
+#define MEMWALL_ANALYSIS_CHARACT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/program.hh"
+
+namespace memwall {
+
+/** Predicted dynamic instruction counts by class. */
+struct MixCounts
+{
+    double alu = 0, load = 0, store = 0, branch = 0, jump = 0,
+           other = 0;
+
+    double
+    total() const
+    {
+        return alu + load + store + branch + jump + other;
+    }
+};
+
+/** Static summary of one natural loop. */
+struct LoopChar
+{
+    int loop = -1;           ///< index into Cfg::loops()
+    unsigned header_line = 0;
+    unsigned depth = 1;
+    std::uint64_t trip = 0;  ///< 0 = unknown
+    std::uint64_t body_instrs = 0;  ///< static instruction count
+};
+
+/** Static classification of one load/store site. */
+struct MemOpChar
+{
+    std::size_t instr = 0;
+    unsigned line = 0;
+    bool is_store = false;
+    unsigned size = 4;
+
+    enum class Kind {
+        Constant,  ///< scalar: effective address folds to a constant
+        Strided,   ///< base + k*step chain over an induction variable
+        Unknown    ///< data-dependent or unresolvable
+    } kind = Kind::Unknown;
+
+    /** Byte stride per iteration of the innermost enclosing loop
+     * (Strided only). */
+    std::int64_t stride = 0;
+    /** Innermost enclosing loop index (-1 when not in a loop). */
+    int loop = -1;
+    /** Inside a loop but not executed on every iteration (its block
+     * does not dominate the loop's latches), so consecutive
+     * references can skip stride multiples. */
+    bool conditional = false;
+
+    /** Touched byte region [begin, end), when provable. This is the
+     * bounding box; the footprint sum uses the exact per-level
+     * interval sets, which exclude inter-row holes. */
+    bool region_known = false;
+    Addr region_begin = 0, region_end = 0;
+};
+
+/** Whole-program static characterization. */
+struct StaticCharacterization
+{
+    /** Predicted dynamic counts. Exact only when counts_exact. */
+    MixCounts counts;
+    /** Every loop trip count was recovered; no unknown edges. */
+    bool counts_exact = true;
+    /** A 50/50 branch-probability heuristic was applied. */
+    bool heuristic_branches = false;
+
+    std::vector<LoopChar> loops;
+    std::vector<MemOpChar> memops;
+
+    /** Union of touched regions over all data references. */
+    std::uint64_t footprint_bytes = 0;
+    /** Every reference's region was provable. */
+    bool footprint_known = true;
+};
+
+/** Run the characterizer. */
+StaticCharacterization characterize(const Program &prog,
+                                    const Cfg &cfg,
+                                    const Dataflow &df);
+
+} // namespace memwall
+
+#endif // MEMWALL_ANALYSIS_CHARACT_HH

@@ -1,0 +1,487 @@
+#include "analysis/dataflow.hh"
+
+#include <algorithm>
+
+namespace memwall {
+
+namespace {
+
+constexpr std::uint32_t all_regs = 0xffffffffu;
+
+/** True for jal/jalr with a live link register (a call). */
+bool
+isCall(const Instruction &inst)
+{
+    return (inst.op == Opcode::Jal || inst.op == Opcode::Jalr) &&
+           inst.rd != 0;
+}
+
+} // namespace
+
+void
+ConstState::meet(const ConstState &other)
+{
+    std::uint32_t agree = known & other.known;
+    for (unsigned r = 1; r < 32; ++r)
+        if ((agree & (1u << r)) && val[r] != other.val[r])
+            agree &= ~(1u << r);
+    known = agree | 1u;
+}
+
+std::uint32_t
+Dataflow::calleeClobbers(Addr entry) const
+{
+    auto it = clobbers_.find(entry);
+    return it != clobbers_.end() ? it->second : all_regs & ~1u;
+}
+
+std::uint32_t
+Dataflow::calleeWrites(Addr entry) const
+{
+    auto it = writes_.find(entry);
+    return it != writes_.end() ? it->second : all_regs & ~1u;
+}
+
+void
+Dataflow::transfer(const Program &prog, const Dataflow *df,
+                   std::size_t i, ConstState &state)
+{
+    const InstrRecord &rec = prog.instr(i);
+    if (!rec.decoded)
+        return;
+    const Instruction &inst = rec.inst;
+    const unsigned rd = defOf(inst);
+
+    if (isCall(inst)) {
+        // The callee may clobber part of the state.
+        std::uint32_t clob = all_regs & ~1u;
+        if (inst.op == Opcode::Jal && df) {
+            const Addr target =
+                rec.addr + 4 +
+                static_cast<Addr>(
+                    static_cast<std::int64_t>(inst.target) * 4);
+            clob = df->calleeClobbers(target);
+        }
+        for (unsigned r = 1; r < 32; ++r)
+            if (clob & (1u << r))
+                state.kill(r);
+        if (rd)
+            state.set(rd, static_cast<std::uint32_t>(rec.addr + 4));
+        return;
+    }
+    if (rd == 0)
+        return;  // stores, branches, halt, sync define nothing
+
+    const auto a = state.get(inst.rs1);
+    const auto b = state.get(inst.rs2);
+    const auto uimm = static_cast<std::uint32_t>(inst.imm);
+    auto set = [&](std::uint32_t v) { state.set(rd, v); };
+    auto fromBinary =
+        [&](auto fn) {
+            if (a && b)
+                set(fn(*a, *b));
+            else
+                state.kill(rd);
+        };
+    auto fromUnary =
+        [&](auto fn) {
+            if (a)
+                set(fn(*a));
+            else
+                state.kill(rd);
+        };
+
+    switch (inst.op) {
+      case Opcode::Add:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x + y;
+        });
+        break;
+      case Opcode::Sub:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x - y;
+        });
+        break;
+      case Opcode::And:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x & y;
+        });
+        break;
+      case Opcode::Or:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x | y;
+        });
+        break;
+      case Opcode::Xor:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x ^ y;
+        });
+        break;
+      case Opcode::Sll:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x << (y & 31);
+        });
+        break;
+      case Opcode::Srl:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x >> (y & 31);
+        });
+        break;
+      case Opcode::Sra:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(x) >> (y & 31));
+        });
+        break;
+      case Opcode::Slt:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return static_cast<std::int32_t>(x) <
+                           static_cast<std::int32_t>(y)
+                       ? 1u
+                       : 0u;
+        });
+        break;
+      case Opcode::Sltu:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x < y ? 1u : 0u;
+        });
+        break;
+      case Opcode::Mul:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return x * y;
+        });
+        break;
+      case Opcode::Div:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return y == 0 ? 0xffffffffu
+                          : static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(x) /
+                                static_cast<std::int32_t>(y));
+        });
+        break;
+      case Opcode::Rem:
+        fromBinary([](std::uint32_t x, std::uint32_t y) {
+            return y == 0 ? x
+                          : static_cast<std::uint32_t>(
+                                static_cast<std::int32_t>(x) %
+                                static_cast<std::int32_t>(y));
+        });
+        break;
+      case Opcode::Addi:
+        fromUnary([&](std::uint32_t x) { return x + uimm; });
+        break;
+      case Opcode::Andi:
+        fromUnary([&](std::uint32_t x) {
+            return x & (uimm & 0xffffu);
+        });
+        break;
+      case Opcode::Ori:
+        fromUnary([&](std::uint32_t x) {
+            return x | (uimm & 0xffffu);
+        });
+        break;
+      case Opcode::Xori:
+        fromUnary([&](std::uint32_t x) {
+            return x ^ (uimm & 0xffffu);
+        });
+        break;
+      case Opcode::Slli:
+        fromUnary([&](std::uint32_t x) { return x << (uimm & 31); });
+        break;
+      case Opcode::Srli:
+        fromUnary([&](std::uint32_t x) { return x >> (uimm & 31); });
+        break;
+      case Opcode::Srai:
+        fromUnary([&](std::uint32_t x) {
+            return static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(x) >> (uimm & 31));
+        });
+        break;
+      case Opcode::Slti:
+        fromUnary([&](std::uint32_t x) {
+            return static_cast<std::int32_t>(x) < inst.imm ? 1u : 0u;
+        });
+        break;
+      case Opcode::Lui:
+        set(uimm << 16);
+        break;
+      default:
+        state.kill(rd);  // loads and anything else
+        break;
+    }
+}
+
+Dataflow
+Dataflow::build(const Program &prog, const Cfg &cfg)
+{
+    Dataflow df;
+    const std::size_t n = prog.size();
+    const std::size_t nb = cfg.size();
+    df.live_in_.assign(n, 0);
+    df.live_out_.assign(n, 0);
+    df.may_def_in_.assign(n, 1u);
+    df.const_before_.assign(n, ConstState{});
+    if (n == 0)
+        return df;
+
+    // ---- Callee write/clobber summaries (call-graph fixpoint) ----
+    // Function bodies: blocks reachable from the callee entry over
+    // CFG edges (calls inside stay in the caller: the call edge is
+    // not a CFG edge).
+    std::map<Addr, std::vector<unsigned>> bodies;
+    for (const CallSite &c : cfg.calls()) {
+        if (!c.known || bodies.contains(c.target))
+            continue;
+        const std::size_t ei = prog.indexOf(c.target);
+        if (ei == Program::npos)
+            continue;
+        std::vector<bool> seen(nb, false);
+        std::vector<unsigned> stack{cfg.blockOf(ei)};
+        std::vector<unsigned> body;
+        seen[cfg.blockOf(ei)] = true;
+        while (!stack.empty()) {
+            const unsigned b = stack.back();
+            stack.pop_back();
+            body.push_back(b);
+            for (unsigned s : cfg.block(b).succs)
+                if (!seen[s]) {
+                    seen[s] = true;
+                    stack.push_back(s);
+                }
+        }
+        bodies[c.target] = std::move(body);
+    }
+    for (const auto &[entry, body] : bodies) {
+        (void)body;
+        df.clobbers_[entry] = 0;
+        df.writes_[entry] = 0;
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &[entry, body] : bodies) {
+            std::uint32_t writes = 0, restored = 0;
+            for (unsigned b : body) {
+                for (std::size_t i = cfg.block(b).first;
+                     i <= cfg.block(b).last; ++i) {
+                    const InstrRecord &rec = prog.instr(i);
+                    if (!rec.decoded)
+                        continue;
+                    const unsigned rd = defOf(rec.inst);
+                    if (rd)
+                        writes |= 1u << rd;
+                    if (rec.inst.op == Opcode::Lw &&
+                        rec.inst.rs1 == 30)
+                        restored |= 1u << rec.inst.rd;
+                    if (isCall(rec.inst)) {
+                        if (rec.inst.op == Opcode::Jal) {
+                            const Addr t =
+                                rec.addr + 4 +
+                                static_cast<Addr>(
+                                    static_cast<std::int64_t>(
+                                        rec.inst.target) *
+                                    4);
+                            writes |= df.calleeClobbers(t);
+                        } else {
+                            writes |= all_regs & ~1u;
+                        }
+                    }
+                }
+            }
+            const std::uint32_t clob =
+                (writes & ~restored) & ~(1u << 30) & ~1u;
+            if (clob != df.clobbers_[entry] ||
+                (writes & ~1u) != df.writes_[entry]) {
+                df.clobbers_[entry] = clob;
+                df.writes_[entry] = writes & ~1u;
+                changed = true;
+            }
+        }
+    }
+
+    // ---- Per-instruction def/use masks -------------------------
+    auto defMaskOf = [&](std::size_t i) -> std::uint32_t {
+        const InstrRecord &rec = prog.instr(i);
+        if (!rec.decoded)
+            return 0;
+        std::uint32_t mask =
+            defOf(rec.inst) ? 1u << defOf(rec.inst) : 0;
+        if (isCall(rec.inst)) {
+            // A call may define whatever the callee writes
+            // (return values, scratch).
+            if (rec.inst.op == Opcode::Jal) {
+                const Addr t =
+                    rec.addr + 4 +
+                    static_cast<Addr>(
+                        static_cast<std::int64_t>(rec.inst.target) *
+                        4);
+                mask |= df.calleeWrites(t);
+            } else {
+                mask |= all_regs & ~1u;
+            }
+        }
+        return mask;
+    };
+    auto useMaskOf = [&](std::size_t i) -> std::uint32_t {
+        const InstrRecord &rec = prog.instr(i);
+        if (!rec.decoded)
+            return 0;
+        if (isCall(rec.inst))
+            return all_regs & ~1u;  // arguments are unknown
+        return usesOf(rec.inst);
+    };
+
+    // ---- Liveness (backward union) -----------------------------
+    std::vector<std::uint32_t> blive_in(nb, 0), blive_out(nb, 0);
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (auto it = cfg.rpo().rbegin(); it != cfg.rpo().rend();
+             ++it) {
+            const BasicBlock &bb = cfg.block(*it);
+            std::uint32_t out = 0;
+            if (bb.is_exit || bb.has_unknown_succ)
+                out = all_regs & ~1u;
+            for (unsigned s : bb.succs)
+                out |= blive_in[s];
+            // Only the direct definition kills liveness; a call's
+            // clobber set is a may-def and must not kill.
+            std::uint32_t in = out;
+            for (std::size_t i = bb.last + 1; i-- > bb.first;) {
+                const InstrRecord &rec = prog.instr(i);
+                std::uint32_t kill = 0;
+                if (rec.decoded && defOf(rec.inst))
+                    kill = 1u << defOf(rec.inst);
+                in = (in & ~kill) | useMaskOf(i);
+            }
+            if (in != blive_in[bb.id] || out != blive_out[bb.id]) {
+                blive_in[bb.id] = in;
+                blive_out[bb.id] = out;
+                changed = true;
+            }
+        }
+    }
+    for (const BasicBlock &bb : cfg.blocks()) {
+        std::uint32_t live = blive_out[bb.id];
+        for (std::size_t i = bb.last + 1; i-- > bb.first;) {
+            df.live_out_[i] = live;
+            const InstrRecord &rec = prog.instr(i);
+            std::uint32_t kill = 0;
+            if (rec.decoded && defOf(rec.inst))
+                kill = 1u << defOf(rec.inst);
+            live = (live & ~kill) | useMaskOf(i);
+            df.live_in_[i] = live;
+        }
+    }
+
+    // ---- May-be-defined (forward union, call-aware) ------------
+    std::vector<std::uint32_t> bdef_in(nb, 1u), bdef_out(nb, 1u);
+    // Callee entries inherit definedness from their call sites.
+    std::map<unsigned, std::vector<unsigned>> extra_preds;
+    for (const CallSite &c : cfg.calls()) {
+        if (!c.known)
+            continue;
+        const std::size_t ei = prog.indexOf(c.target);
+        if (ei != Program::npos)
+            extra_preds[cfg.blockOf(ei)].push_back(c.block);
+    }
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (unsigned b : cfg.rpo()) {
+            const BasicBlock &bb = cfg.block(b);
+            std::uint32_t in = 1u;
+            bool has_pred = false;
+            for (unsigned p : bb.preds) {
+                in |= bdef_out[p];
+                has_pred = true;
+            }
+            auto ep = extra_preds.find(b);
+            if (ep != extra_preds.end())
+                for (unsigned p : ep->second) {
+                    in |= bdef_out[p];
+                    has_pred = true;
+                }
+            (void)has_pred;
+            std::uint32_t out = in;
+            for (std::size_t i = bb.first; i <= bb.last; ++i)
+                out |= defMaskOf(i);
+            if (in != bdef_in[b] || out != bdef_out[b]) {
+                bdef_in[b] = in;
+                bdef_out[b] = out;
+                changed = true;
+            }
+        }
+    }
+    for (const BasicBlock &bb : cfg.blocks()) {
+        std::uint32_t defined = bdef_in[bb.id];
+        for (std::size_t i = bb.first; i <= bb.last; ++i) {
+            df.may_def_in_[i] = defined;
+            defined |= defMaskOf(i);
+        }
+    }
+
+    // ---- Constant propagation (forward meet-over-paths) --------
+    std::vector<ConstState> bin(nb), bout(nb);
+    std::vector<bool> breached(nb, false);
+    if (!cfg.rpo().empty()) {
+        breached[cfg.entry()] = true;
+        // Callee entries start unknown (any caller state).
+        for (const auto &[eb, srcs] : extra_preds) {
+            (void)srcs;
+            breached[eb] = true;
+            bin[eb].known = 1u;
+        }
+        changed = true;
+        while (changed) {
+            changed = false;
+            for (unsigned b : cfg.rpo()) {
+                const BasicBlock &bb = cfg.block(b);
+                ConstState in;
+                bool first = true;
+                if (b == cfg.entry() || extra_preds.contains(b)) {
+                    // Entry states merge with the unknown world.
+                    in.known = 1u;
+                    first = false;
+                }
+                for (unsigned p : bb.preds) {
+                    if (!breached[p])
+                        continue;
+                    if (first) {
+                        in = bout[p];
+                        first = false;
+                    } else {
+                        in.meet(bout[p]);
+                    }
+                }
+                if (first && !breached[b])
+                    continue;  // unreachable so far
+                breached[b] = true;
+                ConstState out = in;
+                for (std::size_t i = bb.first; i <= bb.last; ++i)
+                    transfer(prog, &df, i, out);
+                if (in.known != bin[b].known ||
+                    in.val != bin[b].val ||
+                    out.known != bout[b].known ||
+                    out.val != bout[b].val) {
+                    bin[b] = in;
+                    bout[b] = out;
+                    changed = true;
+                }
+            }
+        }
+    }
+    for (const BasicBlock &bb : cfg.blocks()) {
+        ConstState state = bin[bb.id];
+        if (!breached[bb.id])
+            state.known = 1u;
+        for (std::size_t i = bb.first; i <= bb.last; ++i) {
+            df.const_before_[i] = state;
+            transfer(prog, &df, i, state);
+        }
+    }
+
+    return df;
+}
+
+} // namespace memwall

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Register dataflow over the CFG: liveness, may-be-defined, sparse
+ * constant propagation, and interprocedural callee-clobber
+ * summaries.
+ *
+ * Conventions (documented in DESIGN.md):
+ *  - r0 is a constant, never a definition or dependency;
+ *  - exit blocks (halt, return, unknown indirect) treat every
+ *    register as live — results are left in registers by
+ *    convention, so "dead store" means *overwritten before read*,
+ *    never "live at exit";
+ *  - call instructions conservatively use all registers (the
+ *    argument-passing convention is the guest program's business)
+ *    and may define the callee's write set;
+ *  - a callee "clobbers" the registers it may write, transitively
+ *    through nested calls, minus those it reloads from its stack
+ *    frame (`lw r, imm(sp)`) and minus sp itself.
+ */
+
+#ifndef MEMWALL_ANALYSIS_DATAFLOW_HH
+#define MEMWALL_ANALYSIS_DATAFLOW_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/program.hh"
+
+namespace memwall {
+
+/** Constant-propagation lattice for the 32 registers. */
+struct ConstState
+{
+    /** Bit i set = value of ri is the compile-time constant val[i]. */
+    std::uint32_t known = 1;  // r0 == 0 always
+    std::array<std::uint32_t, 32> val{};
+
+    std::optional<std::uint32_t>
+    get(unsigned reg) const
+    {
+        if (reg == 0)
+            return 0u;
+        if (known & (1u << reg))
+            return val[reg];
+        return std::nullopt;
+    }
+
+    void
+    set(unsigned reg, std::uint32_t v)
+    {
+        if (reg == 0)
+            return;
+        known |= 1u << reg;
+        val[reg] = v;
+    }
+
+    void
+    kill(unsigned reg)
+    {
+        if (reg != 0)
+            known &= ~(1u << reg);
+    }
+
+    /** Lattice meet: keep only agreeing constants. */
+    void meet(const ConstState &other);
+};
+
+class Dataflow
+{
+  public:
+    static Dataflow build(const Program &prog, const Cfg &cfg);
+
+    /** Registers live immediately after instruction @p i. */
+    std::uint32_t liveOut(std::size_t i) const { return live_out_[i]; }
+
+    /** Registers live immediately before instruction @p i. */
+    std::uint32_t liveIn(std::size_t i) const { return live_in_[i]; }
+
+    /** Registers that may have been defined on some path from the
+     * entry to just before instruction @p i (bit 0 = r0, always
+     * set). */
+    std::uint32_t mayDefIn(std::size_t i) const
+    {
+        return may_def_in_[i];
+    }
+
+    /** Constant value of @p reg just before instruction @p i. */
+    std::optional<std::uint32_t>
+    constBefore(std::size_t i, unsigned reg) const
+    {
+        return const_before_[i].get(reg);
+    }
+
+    /** Full constant state just before instruction @p i. */
+    const ConstState &stateBefore(std::size_t i) const
+    {
+        return const_before_[i];
+    }
+
+    /** Clobber summary of the function entered at @p entry; all
+     * registers for unknown functions. */
+    std::uint32_t calleeClobbers(Addr entry) const;
+
+    /** Registers possibly written by the function at @p entry
+     * (including ones it restores before returning). */
+    std::uint32_t calleeWrites(Addr entry) const;
+
+    /**
+     * Apply one instruction's transfer function to @p state,
+     * mirroring the interpreter's ALU semantics. Exposed so the
+     * characterizer can fold addresses with the same rules.
+     */
+    static void transfer(const Program &prog, const Dataflow *df,
+                         std::size_t i, ConstState &state);
+
+  private:
+    std::vector<std::uint32_t> live_in_, live_out_, may_def_in_;
+    std::vector<ConstState> const_before_;
+    std::map<Addr, std::uint32_t> clobbers_, writes_;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,312 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace memwall {
+
+namespace {
+
+const std::vector<std::string> kIds = {
+    "use-undef",   "dead-store",   "unreachable", "uninit-load",
+    "misaligned",  "call-clobber", "no-exit-loop",
+};
+
+std::string
+regName(unsigned r)
+{
+    std::string n = "r";
+    n += std::to_string(r);
+    return n;
+}
+
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+/** Name of the symbol at @p addr, or its hex form. */
+std::string
+symbolAt(const Program &prog, Addr addr)
+{
+    for (const auto &[name, a] : prog.assembled().symbols)
+        if (a == addr)
+            return name;
+    return hexAddr(addr);
+}
+
+bool
+isCallInstr(const Instruction &inst)
+{
+    return (inst.op == Opcode::Jal || inst.op == Opcode::Jalr) &&
+           inst.rd != 0;
+}
+
+struct Linter
+{
+    const Program &prog;
+    const Cfg &cfg;
+    const Dataflow &df;
+    const StaticCharacterization &chr;
+    std::vector<Diagnostic> out;
+
+    void
+    report(const char *id, std::size_t instr, std::string msg)
+    {
+        Diagnostic d;
+        d.id = id;
+        d.line = prog.line(instr);
+        d.addr = prog.instr(instr).addr;
+        d.message = std::move(msg);
+        out.push_back(std::move(d));
+    }
+
+    bool
+    reachableInstr(std::size_t i) const
+    {
+        return cfg.reachable()[cfg.blockOf(i)];
+    }
+
+    void checkUnreachable();
+    void checkUseUndef();
+    void checkDeadStore();
+    void checkMemory();   // uninit-load + misaligned
+    void checkCallClobber();
+    void checkNoExitLoop();
+};
+
+void
+Linter::checkUnreachable()
+{
+    for (const BasicBlock &bb : cfg.blocks()) {
+        if (cfg.reachable()[bb.id])
+            continue;
+        report("unreachable", bb.first,
+               "code is unreachable from the entry point");
+    }
+}
+
+void
+Linter::checkUseUndef()
+{
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const InstrRecord &rec = prog.instr(i);
+        if (!rec.decoded || !reachableInstr(i))
+            continue;
+        // A call's conservative all-registers use is a modelling
+        // convention, not a source-level read.
+        if (isCallInstr(rec.inst))
+            continue;
+        std::uint32_t undef = usesOf(rec.inst) & ~df.mayDefIn(i);
+        for (unsigned r = 1; r < 32; ++r)
+            if (undef & (1u << r))
+                report("use-undef", i,
+                       "use of " + regName(r) +
+                           " which is never defined on any path");
+    }
+}
+
+void
+Linter::checkDeadStore()
+{
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const InstrRecord &rec = prog.instr(i);
+        if (!rec.decoded || !reachableInstr(i))
+            continue;
+        // A call's link-register write is part of the calling
+        // convention even when the callee is a leaf's caller that
+        // never returns through it.
+        if (isCallInstr(rec.inst))
+            continue;
+        unsigned d = defOf(rec.inst);
+        if (d == 0 || (df.liveOut(i) & (1u << d)))
+            continue;
+        report("dead-store", i,
+               "value written to " + regName(d) +
+                   " is overwritten before it is ever read");
+    }
+}
+
+void
+Linter::checkMemory()
+{
+    // If any store's touched region is unknown, it may initialise
+    // anything — the uninit-load check stands down entirely.
+    bool stores_known = true;
+    for (const MemOpChar &m : chr.memops)
+        if (m.is_store && !m.region_known)
+            stores_known = false;
+    // An unresolved call target can hide stores the same way.
+    for (const CallSite &cs : cfg.calls())
+        if (!cs.known)
+            stores_known = false;
+
+    for (const MemOpChar &m : chr.memops) {
+        // misaligned: provable either from a constant address or
+        // from a strided chain whose every access is offset.
+        bool mis = false;
+        if (m.size > 1 && m.region_known) {
+            if (m.kind == MemOpChar::Kind::Constant)
+                mis = m.region_begin % m.size != 0;
+            else if (m.kind == MemOpChar::Kind::Strided)
+                mis = m.region_begin % m.size != 0 &&
+                      m.stride % static_cast<std::int64_t>(m.size) ==
+                          0;
+        }
+        if (mis)
+            report("misaligned", m.instr,
+                   "misaligned " + std::to_string(m.size) +
+                       "-byte access at " + hexAddr(m.region_begin) +
+                       " (traps at runtime by default)");
+
+        if (m.is_store || !stores_known || !m.region_known)
+            continue;
+        if (!prog.inSpace(m.region_begin) ||
+            !prog.inSpace(m.region_end - 1))
+            continue;
+        bool covered = false;
+        for (const MemOpChar &s : chr.memops)
+            if (s.is_store && s.region_known &&
+                s.region_begin < m.region_end &&
+                m.region_begin < s.region_end)
+                covered = true;
+        if (!covered)
+            report("uninit-load", m.instr,
+                   "load from .space region at " +
+                       hexAddr(m.region_begin) +
+                       " which no store ever initialises");
+    }
+}
+
+void
+Linter::checkCallClobber()
+{
+    for (const CallSite &cs : cfg.calls()) {
+        if (!cs.known || !reachableInstr(cs.instr))
+            continue;
+        const Instruction &inst = prog.instr(cs.instr).inst;
+        // A register is damaged only when (a) the caller defined it
+        // before the call, (b) still reads it after, and (c) the
+        // callee clobbers it without restoring. Return values fail
+        // (a) and save/restore idioms fail (c).
+        std::uint32_t bad = df.calleeClobbers(cs.target) &
+                            df.liveOut(cs.instr) &
+                            df.mayDefIn(cs.instr) & ~1u;
+        bad &= ~(1u << inst.rd);
+        for (unsigned r = 1; r < 32; ++r)
+            if (bad & (1u << r))
+                report("call-clobber", cs.instr,
+                       "call to " + symbolAt(prog, cs.target) +
+                           " clobbers " + regName(r) +
+                           " which is still live in the caller");
+    }
+}
+
+void
+Linter::checkNoExitLoop()
+{
+    for (const Loop &loop : cfg.loops()) {
+        if (!loop.exit_blocks.empty())
+            continue;
+        bool escapes = false;
+        for (unsigned b : loop.blocks) {
+            const BasicBlock &bb = cfg.block(b);
+            if (bb.is_exit || bb.has_unknown_succ)
+                escapes = true;
+            for (std::size_t i = bb.first; i <= bb.last; ++i)
+                if (prog.instr(i).decoded &&
+                    isCallInstr(prog.instr(i).inst))
+                    escapes = true;  // the callee might halt
+        }
+        if (escapes)
+            continue;
+        const BasicBlock &hb = cfg.block(loop.header);
+        report("no-exit-loop", hb.first,
+               "loop can never exit: no edge leaves it and no "
+               "instruction inside can halt");
+    }
+}
+
+} // namespace
+
+std::string
+Diagnostic::format(const std::string &file) const
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": "
+       << (severity == Severity::Error ? "error" : "warning") << ": "
+       << message << " [" << id << "]";
+    return os.str();
+}
+
+std::vector<Diagnostic>
+lint(const Program &prog, const Cfg &cfg, const Dataflow &df,
+     const StaticCharacterization &chr)
+{
+    Linter l{prog, cfg, df, chr, {}};
+    if (prog.size() != 0) {
+        l.checkUnreachable();
+        l.checkUseUndef();
+        l.checkDeadStore();
+        l.checkMemory();
+        l.checkCallClobber();
+        l.checkNoExitLoop();
+    }
+    std::stable_sort(l.out.begin(), l.out.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         return a.line < b.line;
+                     });
+    return std::move(l.out);
+}
+
+std::vector<Diagnostic>
+lintProgram(const AssembledProgram &asmprog)
+{
+    Program prog = Program::build(asmprog);
+    Cfg cfg = Cfg::build(prog);
+    Dataflow df = Dataflow::build(prog, cfg);
+    StaticCharacterization chr = characterize(prog, cfg, df);
+    return lint(prog, cfg, df, chr);
+}
+
+bool
+promoteErrors(std::vector<Diagnostic> &diags, const std::string &ids)
+{
+    if (ids.empty())
+        return true;
+    std::vector<std::string> want;
+    std::string cur;
+    for (char c : ids + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                want.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    for (const std::string &w : want) {
+        if (w == "all") {
+            for (Diagnostic &d : diags)
+                d.severity = Severity::Error;
+            continue;
+        }
+        if (std::find(kIds.begin(), kIds.end(), w) == kIds.end())
+            return false;
+        for (Diagnostic &d : diags)
+            if (d.id == w)
+                d.severity = Severity::Error;
+    }
+    return true;
+}
+
+const std::vector<std::string> &
+lintIds()
+{
+    return kIds;
+}
+
+} // namespace memwall

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The mw32-lint diagnostics pass.
+ *
+ * Seven checks over the CFG/dataflow/characterization results, each
+ * with a stable ID that `--error-on` can promote to an error:
+ *
+ *   use-undef     read of a register no path ever defines
+ *   dead-store    definition overwritten before any read
+ *   unreachable   code no path from the entry reaches
+ *   uninit-load   load from a provably never-stored .space region
+ *   misaligned    access whose provable address breaks alignment
+ *   call-clobber  caller value live across a call that clobbers it
+ *   no-exit-loop  natural loop with no exit edge and no way to halt
+ *
+ * All checks run on reachable code only (except `unreachable`
+ * itself) and are tuned to be quiet on the idioms the corpus
+ * actually uses: calls conservatively use/define everything, exits
+ * keep every register live, and callee save/restore through the
+ * stack is recognised — see dataflow.hh for the conventions.
+ */
+
+#ifndef MEMWALL_ANALYSIS_LINT_HH
+#define MEMWALL_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/charact.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/program.hh"
+
+namespace memwall {
+
+enum class Severity { Warning, Error };
+
+struct Diagnostic
+{
+    std::string id;
+    Severity severity = Severity::Warning;
+    unsigned line = 0;      ///< source line (0 = unknown)
+    Addr addr = 0;          ///< instruction address
+    std::string message;
+
+    /** "file:line: warning: message [id]" */
+    std::string format(const std::string &file) const;
+};
+
+/** Run every check. Diagnostics are sorted by source line. */
+std::vector<Diagnostic> lint(const Program &prog, const Cfg &cfg,
+                             const Dataflow &df,
+                             const StaticCharacterization &chr);
+
+/** Convenience wrapper: build the whole pipeline and lint. */
+std::vector<Diagnostic> lintProgram(const AssembledProgram &prog);
+
+/**
+ * Promote diagnostics whose ID is in @p ids (comma-separated list,
+ * or "all") to Severity::Error. @return false if @p ids names an
+ * unknown diagnostic ID.
+ */
+bool promoteErrors(std::vector<Diagnostic> &diags,
+                   const std::string &ids);
+
+/** All valid diagnostic IDs. */
+const std::vector<std::string> &lintIds();
+
+} // namespace memwall
+
+#endif // MEMWALL_ANALYSIS_LINT_HH

@@ -1,0 +1,106 @@
+#include "analysis/program.hh"
+
+namespace memwall {
+
+Program
+Program::build(const AssembledProgram &prog)
+{
+    Program out;
+    out.assembled_ = prog;
+
+    const auto &map = prog.source_map;
+    for (const auto &[addr, word] : prog.words) {
+        const bool from_map = map.instr_lines.contains(addr);
+        if (!map.instr_lines.empty() && !from_map)
+            continue;  // data word
+        InstrRecord rec;
+        rec.addr = addr;
+        rec.line = map.lineOf(addr);
+        rec.inst = Instruction::decode(word, &rec.decoded);
+        if (map.instr_lines.empty() && !rec.decoded)
+            continue;  // no map: keep only decodable words
+        out.index_of_[addr] = out.instrs_.size();
+        out.instrs_.push_back(rec);
+    }
+    out.entry_index_ = out.indexOf(prog.entry);
+    return out;
+}
+
+std::size_t
+Program::indexOf(Addr addr) const
+{
+    auto it = index_of_.find(addr);
+    return it != index_of_.end() ? it->second : npos;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Lb || op == Opcode::Lbu ||
+           op == Opcode::Lh || op == Opcode::Lhu || op == Opcode::Lw;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::Sb || op == Opcode::Sh || op == Opcode::Sw;
+}
+
+bool
+isBranch(Opcode op)
+{
+    return opcodeFormat(op) == InstrFormat::Branch;
+}
+
+unsigned
+defOf(const Instruction &inst)
+{
+    switch (opcodeFormat(inst.op)) {
+      case InstrFormat::R:
+      case InstrFormat::I:
+      case InstrFormat::LuiI:
+      case InstrFormat::LoadI:
+      case InstrFormat::Jump:  // jal/jalr link register
+        return inst.rd;
+      case InstrFormat::StoreI:
+      case InstrFormat::Branch:
+      case InstrFormat::None:
+        return 0;
+    }
+    return 0;
+}
+
+std::uint32_t
+usesOf(const Instruction &inst)
+{
+    std::uint32_t mask = 0;
+    auto add = [&](unsigned r) { mask |= 1u << (r & 31); };
+    switch (opcodeFormat(inst.op)) {
+      case InstrFormat::R:
+        add(inst.rs1);
+        add(inst.rs2);
+        break;
+      case InstrFormat::I:
+      case InstrFormat::LoadI:
+        add(inst.rs1);
+        break;
+      case InstrFormat::StoreI:
+        add(inst.rd);   // value register
+        add(inst.rs1);  // base
+        break;
+      case InstrFormat::Branch:
+        add(inst.rs1);
+        add(inst.rs2);
+        break;
+      case InstrFormat::Jump:
+        if (inst.op == Opcode::Jalr)
+            add(inst.rs1);
+        break;
+      case InstrFormat::LuiI:
+      case InstrFormat::None:
+        break;
+    }
+    return mask & ~1u;  // r0 is a constant
+}
+
+} // namespace memwall

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Analysis IR over an assembled MW32 program.
+ *
+ * The assembler's SourceMap separates emitted instruction words from
+ * data words, so the analyser never has to guess whether a word is
+ * code. Program flattens the instruction words into an indexed
+ * vector (the unit every later pass works in), keeps the
+ * address <-> index mapping, and answers data-region queries
+ * (initialised .word/.byte data vs reserved-but-uninitialised
+ * .space) for the lint's uninitialised-load check.
+ */
+
+#ifndef MEMWALL_ANALYSIS_PROGRAM_HH
+#define MEMWALL_ANALYSIS_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+
+namespace memwall {
+
+/** One instruction with its provenance. */
+struct InstrRecord
+{
+    Addr addr = 0;
+    Instruction inst;
+    /** Source line (0 when the program has no source map). */
+    unsigned line = 0;
+    /** False when the word failed to decode (data reached by code). */
+    bool decoded = true;
+};
+
+/** Flattened, indexed view of an assembled program. */
+class Program
+{
+  public:
+    /** Sentinel index for "address is not an instruction". */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /**
+     * Build the IR from @p prog. Instruction words are identified
+     * through the source map; when the map is empty (programmatic
+     * construction), every decodable word is treated as code.
+     */
+    static Program build(const AssembledProgram &prog);
+
+    const std::vector<InstrRecord> &instrs() const { return instrs_; }
+    const InstrRecord &instr(std::size_t i) const { return instrs_[i]; }
+    std::size_t size() const { return instrs_.size(); }
+
+    /** Index of the instruction at @p addr, or npos. */
+    std::size_t indexOf(Addr addr) const;
+
+    /** Entry-point instruction index (npos for an empty program). */
+    std::size_t entryIndex() const { return entry_index_; }
+
+    Addr entry() const { return assembled_.entry; }
+    const AssembledProgram &assembled() const { return assembled_; }
+
+    /** @return true iff @p addr holds an emitted .word/.byte datum. */
+    bool
+    isDataWord(Addr addr) const
+    {
+        return assembled_.source_map.data_lines.contains(addr);
+    }
+
+    /** @return true iff @p addr lies in a .space region. */
+    bool
+    inSpace(Addr addr) const
+    {
+        return assembled_.source_map.inSpace(addr);
+    }
+
+    /** Source line of instruction @p i (0 if unknown). */
+    unsigned line(std::size_t i) const { return instrs_[i].line; }
+
+  private:
+    AssembledProgram assembled_;
+    std::vector<InstrRecord> instrs_;
+    std::map<Addr, std::size_t> index_of_;
+    std::size_t entry_index_ = npos;
+};
+
+/**
+ * Register defined by @p inst, or 0 when it defines none (writes to
+ * r0 are discarded by the hardware and count as no definition).
+ */
+unsigned defOf(const Instruction &inst);
+
+/** Bitmask of registers read by @p inst (bit i = ri; bit 0 never
+ * set — r0 is a constant, not a dependency). */
+std::uint32_t usesOf(const Instruction &inst);
+
+/** @return true iff @p op is a load. */
+bool isLoad(Opcode op);
+/** @return true iff @p op is a store. */
+bool isStore(Opcode op);
+/** @return true iff @p op is a conditional branch. */
+bool isBranch(Opcode op);
+
+} // namespace memwall
+
+#endif // MEMWALL_ANALYSIS_PROGRAM_HH

@@ -156,11 +156,11 @@ NumaMachine::nodeHolds(unsigned node, Addr block) const
       case NodeArch::Integrated:
         return n.columns->probe(view) || n.inc->probe(block);
       case NodeArch::SimpleComa:
-        return n.attraction.count(block) > 0;
+        return n.attraction.contains(block);
       case NodeArch::ReferenceCcNuma:
         break;
     }
-    return n.flc->probe(view) || n.slc.count(block) > 0;
+    return n.flc->probe(view) || n.slc.contains(block);
 }
 
 void
@@ -172,7 +172,7 @@ NumaMachine::fillLocal(unsigned node, Addr block, bool store)
         // the column from the attraction memory.
         const std::uint64_t page =
             block / config_.page_bytes;
-        if (!n.frames.count(page))
+        if (!n.frames.contains(page))
             n.frames.emplace(page, n.next_frame++);
         n.attraction.insert(block);
         n.columns->access(cacheView(node, block), store);
@@ -353,7 +353,7 @@ NumaMachine::accessImpl(unsigned cpu, Addr addr, bool store,
     // (L1 miss but local home / INC / SLC), shared by several paths.
     auto local_refetch = [&](bool st) -> Cycles {
         if (config_.arch == NodeArch::SimpleComa) {
-            if (n.attraction.count(block)) {
+            if (n.attraction.contains(block)) {
                 // Valid in the local attraction memory: a plain
                 // local DRAM access regardless of the block's home.
                 fillLocal(cpu, block, st);
@@ -393,7 +393,7 @@ NumaMachine::accessImpl(unsigned cpu, Addr addr, bool store,
             n.stats.remote_loads.inc();
             return remoteRoundTrip(cpu, home, block, now, lat.remote_load);
         }
-        if (n.slc.count(block)) {
+        if (n.slc.contains(block)) {
             n.flc->access(block, st);
             last_service_ = ServiceLevel::LocalMemory;
             n.stats.local_mem.inc();

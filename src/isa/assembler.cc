@@ -103,10 +103,15 @@ struct Assembler
 {
     AssembledProgram out;
     std::vector<SourceLine> lines;
+    /** Source line of the directive currently emitting words. */
+    unsigned cur_line = 0;
+    /** True while emitting .word/.byte data rather than code. */
+    bool cur_data = false;
 
-    void error(unsigned line, std::string msg)
+    void error(unsigned line, std::string msg, std::string token = {})
     {
-        out.errors.push_back(AsmError{line, std::move(msg)});
+        out.errors.push_back(
+            AsmError{line, std::move(msg), std::move(token)});
     }
 
     /** Parse an integer literal or symbol reference. */
@@ -131,7 +136,7 @@ struct Assembler
             try {
                 value = std::stoll(tok.substr(pos), nullptr, 0);
             } catch (...) {
-                error(line_no, "bad numeric literal '" + tok + "'");
+                error(line_no, "bad numeric literal", tok);
                 return std::nullopt;
             }
             return neg ? -value : value;
@@ -141,7 +146,7 @@ struct Assembler
         if (it != out.symbols.end())
             return static_cast<std::int64_t>(it->second);
         if (!allow_undefined)
-            error(line_no, "undefined symbol '" + tok + "'");
+            error(line_no, "undefined symbol", tok);
         return std::nullopt;
     }
 
@@ -223,7 +228,7 @@ struct Assembler
 
             // Bind pending labels here.
             for (const auto &label : pending_labels) {
-                if (out.symbols.count(label))
+                if (out.symbols.contains(label))
                     error(line_no, "duplicate label '" + label + "'");
                 out.symbols[label] = pc;
             }
@@ -266,6 +271,10 @@ struct Assembler
     emit(Addr &pc, std::uint32_t word)
     {
         out.words[pc] = word;
+        if (cur_data)
+            out.source_map.data_lines[pc] = cur_line;
+        else
+            out.source_map.instr_lines[pc] = cur_line;
         pc += 4;
     }
 
@@ -282,7 +291,7 @@ struct Assembler
             }
             const auto r = parseRegister(ops[i]);
             if (!r) {
-                error(n, "bad register '" + ops[i] + "'");
+                error(n, "bad register", ops[i]);
                 return 0;
             }
             return *r;
@@ -308,7 +317,7 @@ struct Assembler
             const auto close = ops[i].find(')');
             if (open == std::string::npos ||
                 close == std::string::npos || close < open) {
-                error(n, "expected imm(reg), got '" + ops[i] + "'");
+                error(n, "expected imm(reg) memory operand", ops[i]);
                 base = 0;
                 offset = 0;
                 return;
@@ -318,7 +327,7 @@ struct Assembler
                 ops[i].substr(open + 1, close - open - 1);
             const auto r = parseRegister(reg_str);
             if (!r) {
-                error(n, "bad base register '" + reg_str + "'");
+                error(n, "bad base register", reg_str);
                 base = 0;
             } else {
                 base = *r;
@@ -417,6 +426,8 @@ struct Assembler
 
         for (const auto &sl : lines) {
             const unsigned n = sl.number;
+            cur_line = n;
+            cur_data = sl.mnemonic == ".word" || sl.mnemonic == ".byte";
             if (sl.mnemonic == ".org") {
                 const auto v = parseValue(
                     sl.operands.empty() ? "" : sl.operands[0], n);
@@ -465,8 +476,14 @@ struct Assembler
             if (sl.mnemonic == ".space") {
                 const auto v = parseValue(
                     sl.operands.empty() ? "" : sl.operands[0], n);
-                if (v && *v >= 0)
-                    pc += static_cast<Addr>((*v + 3) / 4 * 4);
+                if (v && *v >= 0) {
+                    const Addr bytes =
+                        static_cast<Addr>((*v + 3) / 4 * 4);
+                    if (bytes > 0)
+                        out.source_map.space_regions.emplace_back(
+                            pc, pc + bytes);
+                    pc += bytes;
+                }
                 continue;
             }
             // Pseudo-instructions.
@@ -477,7 +494,7 @@ struct Assembler
             }
             if (sl.mnemonic == "mv") {
                 const auto rd = parseRegister(
-                    sl.operands.size() > 0 ? sl.operands[0] : "");
+                    !sl.operands.empty() ? sl.operands[0] : "");
                 const auto rs = parseRegister(
                     sl.operands.size() > 1 ? sl.operands[1] : "");
                 if (!rd || !rs) {
@@ -531,7 +548,7 @@ struct Assembler
             }
             auto it = mnemonics.find(sl.mnemonic);
             if (it == mnemonics.end()) {
-                error(n, "unknown mnemonic '" + sl.mnemonic + "'");
+                error(n, "unknown mnemonic", sl.mnemonic);
                 emit(pc, 0);
                 continue;
             }
@@ -541,6 +558,35 @@ struct Assembler
 };
 
 } // namespace
+
+std::string
+AsmError::format(const std::string &file) const
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": error: " << message;
+    if (!token.empty())
+        os << " (near '" << token << "')";
+    return os.str();
+}
+
+unsigned
+SourceMap::lineOf(Addr addr) const
+{
+    auto it = instr_lines.find(addr);
+    if (it != instr_lines.end())
+        return it->second;
+    it = data_lines.find(addr);
+    return it != data_lines.end() ? it->second : 0;
+}
+
+bool
+SourceMap::inSpace(Addr addr) const
+{
+    for (const auto &[begin, end] : space_regions)
+        if (addr >= begin && addr < end)
+            return true;
+    return false;
+}
 
 void
 AssembledProgram::loadInto(BackingStore &mem) const
@@ -559,9 +605,10 @@ AssembledProgram::symbol(const std::string &label) const
 }
 
 AssembledProgram
-assemble(const std::string &source)
+assemble(const std::string &source, const std::string &file)
 {
     Assembler as;
+    as.out.file = file;
     as.firstPass(source);
     as.secondPass();
 
@@ -575,12 +622,12 @@ assemble(const std::string &source)
 }
 
 AssembledProgram
-assembleOrDie(const std::string &source)
+assembleOrDie(const std::string &source, const std::string &file)
 {
-    AssembledProgram prog = assemble(source);
+    AssembledProgram prog = assemble(source, file);
     if (!prog.ok()) {
         for (const auto &e : prog.errors)
-            MW_WARN("asm line ", e.line, ": ", e.message);
+            MW_WARN(e.format(prog.file));
         MW_FATAL("assembly failed with ", prog.errors.size(),
                  " error(s)");
     }

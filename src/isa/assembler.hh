@@ -44,6 +44,42 @@ struct AsmError
 {
     unsigned line = 0;
     std::string message;
+    /** The offending token, when one can be singled out. */
+    std::string token;
+
+    /** "file:line: error: message (near 'token')". */
+    std::string format(const std::string &file) const;
+};
+
+/**
+ * Where each emitted word came from: instruction index → source
+ * line, plus data-word provenance and reserved-but-uninitialised
+ * `.space` regions. Consumed by mw32-lint (diagnostic locations),
+ * the static analyser (code/data separation) and the flight
+ * recorder (decoded dumps with source lines).
+ */
+struct SourceMap
+{
+    /** Source line of each emitted *instruction* word. */
+    std::map<Addr, unsigned> instr_lines;
+    /** Source line of each emitted *data* word (.word/.byte). */
+    std::map<Addr, unsigned> data_lines;
+    /** [begin, end) byte ranges reserved by .space (zero-backed,
+     * never value-initialised by the assembler). */
+    std::vector<std::pair<Addr, Addr>> space_regions;
+
+    /** Source line of the word at @p addr, or 0 if unknown. */
+    unsigned lineOf(Addr addr) const;
+
+    /** @return true iff @p addr holds an emitted instruction. */
+    bool
+    isInstruction(Addr addr) const
+    {
+        return instr_lines.contains(addr);
+    }
+
+    /** @return true iff @p addr lies inside a .space region. */
+    bool inSpace(Addr addr) const;
 };
 
 /** Result of assembling a source text. */
@@ -56,6 +92,10 @@ struct AssembledProgram
     /** Entry point: the 'start' label if present, else lowest addr. */
     Addr entry = 0;
     std::vector<AsmError> errors;
+    /** File name the source came from ("<string>" if none given). */
+    std::string file = "<string>";
+    /** Provenance of every emitted word. */
+    SourceMap source_map;
 
     bool ok() const { return errors.empty(); }
 
@@ -68,12 +108,15 @@ struct AssembledProgram
 
 /**
  * Assemble @p source. Errors are collected per line rather than
- * aborting, so tests can assert on diagnostics.
+ * aborting, so tests can assert on diagnostics. @p file is only
+ * used to prefix formatted diagnostics.
  */
-AssembledProgram assemble(const std::string &source);
+AssembledProgram assemble(const std::string &source,
+                          const std::string &file = "<string>");
 
 /** Assemble, MW_FATAL-ing on any diagnostic. */
-AssembledProgram assembleOrDie(const std::string &source);
+AssembledProgram assembleOrDie(const std::string &source,
+                               const std::string &file = "<string>");
 
 } // namespace memwall
 

@@ -33,6 +33,17 @@ Interpreter::step(const RefSink *sink)
     const auto imm = inst.imm;
     const auto uimm = static_cast<std::uint32_t>(imm);
 
+    auto misaligned = [&](Addr ea, unsigned size) {
+        if (!trap_misaligned_ || (ea & (size - 1)) == 0)
+            return false;
+        MW_WARN("misaligned ", size, "-byte access at ea 0x",
+                std::hex, ea, " (pc 0x", pc, std::dec, ")");
+        fault_addr_ = ea;
+        last_stop_ = StopReason::AlignmentFault;
+        --stats_.instructions;  // the faulting access doesn't retire
+        return true;
+    };
+
     auto branch = [&](bool take) {
         ++stats_.branches;
         if (take) {
@@ -110,6 +121,8 @@ Interpreter::step(const RefSink *sink)
         const Addr ea = static_cast<Addr>(a + uimm);
         const auto size =
             static_cast<std::uint8_t>(accessSize(inst.op));
+        if (misaligned(ea, size))
+            return false;
         if (sink)
             (*sink)(MemRef::load(pc, ea, size));
         ++stats_.loads;
@@ -139,6 +152,8 @@ Interpreter::step(const RefSink *sink)
         const Addr ea = static_cast<Addr>(a + uimm);
         const auto size =
             static_cast<std::uint8_t>(accessSize(inst.op));
+        if (misaligned(ea, size))
+            return false;
         if (sink)
             (*sink)(MemRef::store(pc, ea, size));
         ++stats_.stores;

@@ -39,9 +39,10 @@ struct CpuState
 
 /** Reasons run() stopped. */
 enum class StopReason {
-    Halted,        ///< executed a halt instruction
-    InstrLimit,    ///< reached the max_instructions budget
-    BadInstruction ///< decoded an invalid opcode
+    Halted,         ///< executed a halt instruction
+    InstrLimit,     ///< reached the max_instructions budget
+    BadInstruction, ///< decoded an invalid opcode
+    AlignmentFault  ///< misaligned word/halfword access (trap on)
 };
 
 /** Execution statistics of an interpreter run. */
@@ -67,6 +68,20 @@ class Interpreter
     void setPc(Addr pc) { state_.pc = pc; }
 
     /**
+     * Control misaligned-access behaviour. On (the default), a
+     * halfword/word load or store whose effective address is not a
+     * multiple of its size traps with StopReason::AlignmentFault —
+     * matching the mw32-lint `misaligned` diagnostic. Off restores
+     * the historical byte-wise wrap-through for experiments that
+     * deliberately probe unaligned behaviour.
+     */
+    void setAlignmentTrap(bool on) { trap_misaligned_ = on; }
+    bool alignmentTrap() const { return trap_misaligned_; }
+
+    /** Faulting address of the last AlignmentFault stop. */
+    Addr faultAddr() const { return fault_addr_; }
+
+    /**
      * Execute one instruction; emits refs into @p sink when given.
      * @return false if the CPU halted (or hit a bad instruction).
      */
@@ -86,6 +101,8 @@ class Interpreter
     CpuState state_;
     ExecStats stats_;
     StopReason last_stop_ = StopReason::InstrLimit;
+    bool trap_misaligned_ = true;
+    Addr fault_addr_ = 0;
 };
 
 } // namespace memwall

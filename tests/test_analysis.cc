@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Tests for the static-analysis subsystem: CFG construction,
+ * dominators, natural loops, dataflow, and the characterizer, on
+ * handcrafted control-flow shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/cfg.hh"
+#include "analysis/charact.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/program.hh"
+#include "isa/assembler.hh"
+
+using namespace memwall;
+
+namespace {
+
+struct Analyzed
+{
+    Program prog;
+    Cfg cfg;
+    Dataflow df;
+
+    explicit Analyzed(const std::string &src)
+        : prog(Program::build(assembleOrDie(src))),
+          cfg(Cfg::build(prog)),
+          df(Dataflow::build(prog, cfg))
+    {
+    }
+
+    /** Block id containing the instruction at @p addr. */
+    unsigned
+    blockAt(Addr addr) const
+    {
+        const std::size_t i = prog.indexOf(addr);
+        EXPECT_NE(i, Program::npos) << std::hex << addr;
+        return cfg.blockOf(i);
+    }
+
+    bool
+    hasEdge(unsigned from, unsigned to) const
+    {
+        const auto &s = cfg.block(from).succs;
+        return std::find(s.begin(), s.end(), to) != s.end();
+    }
+};
+
+} // namespace
+
+TEST(Cfg, DiamondShape)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    addi r1, r0, 5\n"
+        "    blt  r1, r0, neg\n"
+        "    addi r2, r0, 1\n"
+        "    b    join\n"
+        "neg:\n"
+        "    addi r2, r0, 2\n"
+        "join:\n"
+        "    halt\n");
+
+    ASSERT_EQ(a.cfg.size(), 4u);
+    const unsigned top = a.blockAt(0x1000);
+    const unsigned left = a.blockAt(0x1008);
+    const unsigned right = a.blockAt(0x1010);
+    const unsigned join = a.blockAt(0x1014);
+
+    EXPECT_TRUE(a.hasEdge(top, left));
+    EXPECT_TRUE(a.hasEdge(top, right));
+    EXPECT_TRUE(a.hasEdge(left, join));
+    EXPECT_TRUE(a.hasEdge(right, join));
+    EXPECT_TRUE(a.cfg.block(join).is_exit);
+
+    // The join's immediate dominator is the fork, not either arm.
+    EXPECT_EQ(a.cfg.idom()[join], top);
+    EXPECT_TRUE(a.cfg.dominates(top, join));
+    EXPECT_FALSE(a.cfg.dominates(left, join));
+    EXPECT_FALSE(a.cfg.dominates(right, join));
+    EXPECT_TRUE(a.cfg.loops().empty());
+    EXPECT_FALSE(a.cfg.irreducible());
+}
+
+TEST(Cfg, NestedLoopsWithDepthsAndTrips)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    addi r3, r0, 3\n"
+        "    addi r1, r0, 0\n"
+        "outer:\n"
+        "    addi r2, r0, 0\n"
+        "inner:\n"
+        "    addi r2, r2, 1\n"
+        "    bne  r2, r3, inner\n"
+        "    addi r1, r1, 1\n"
+        "    bne  r1, r3, outer\n"
+        "    halt\n");
+
+    ASSERT_EQ(a.cfg.loops().size(), 2u);
+    int outer = -1, inner = -1;
+    for (std::size_t i = 0; i < a.cfg.loops().size(); ++i) {
+        if (a.cfg.loops()[i].depth == 1)
+            outer = static_cast<int>(i);
+        else if (a.cfg.loops()[i].depth == 2)
+            inner = static_cast<int>(i);
+    }
+    ASSERT_NE(outer, -1);
+    ASSERT_NE(inner, -1);
+    EXPECT_EQ(a.cfg.loops()[inner].parent, outer);
+    EXPECT_EQ(a.cfg.loops()[outer].parent, -1);
+    // The outer loop contains the inner loop's blocks.
+    for (unsigned b : a.cfg.loops()[inner].blocks)
+        EXPECT_TRUE(a.cfg.loops()[outer].contains(b));
+
+    const auto chr = characterize(a.prog, a.cfg, a.df);
+    ASSERT_EQ(chr.loops.size(), 2u);
+    for (const LoopChar &lc : chr.loops)
+        EXPECT_EQ(lc.trip, 3u) << "depth " << lc.depth;
+    EXPECT_TRUE(chr.counts_exact);
+    // 2 + 3*(1 + 3*2 + 2) + 1 = 30 instructions predicted.
+    EXPECT_DOUBLE_EQ(chr.counts.total(), 30.0);
+}
+
+TEST(Cfg, IrreducibleGraphFallsBackConservatively)
+{
+    // The entry jumps into the middle of a cycle, so the retreating
+    // edge's target does not dominate its source: no natural loop
+    // may be claimed.
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    blt  r1, r0, l2\n"
+        "l1:\n"
+        "    addi r2, r2, 1\n"
+        "l2:\n"
+        "    addi r3, r3, 1\n"
+        "    bne  r3, r4, l1\n"
+        "    halt\n");
+
+    EXPECT_TRUE(a.cfg.irreducible());
+    EXPECT_TRUE(a.cfg.loops().empty());
+}
+
+TEST(Cfg, SelfLoop)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    addi r2, r0, 4\n"
+        "    addi r1, r0, 0\n"
+        "self:\n"
+        "    addi r1, r1, 1\n"
+        "    bne  r1, r2, self\n"
+        "    halt\n");
+
+    ASSERT_EQ(a.cfg.loops().size(), 1u);
+    const Loop &l = a.cfg.loops()[0];
+    EXPECT_EQ(l.blocks.size(), 1u);
+    EXPECT_EQ(l.blocks[0], l.header);
+    ASSERT_EQ(l.exit_blocks.size(), 1u);
+    EXPECT_EQ(l.exit_blocks[0], l.header);
+
+    const auto chr = characterize(a.prog, a.cfg, a.df);
+    ASSERT_EQ(chr.loops.size(), 1u);
+    EXPECT_EQ(chr.loops[0].trip, 4u);
+}
+
+TEST(Cfg, UnreachableTail)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    b    end\n"
+        "dead:\n"
+        "    addi r1, r0, 1\n"
+        "end:\n"
+        "    halt\n");
+
+    const unsigned dead = a.blockAt(0x1004);
+    const unsigned end = a.blockAt(0x1008);
+    EXPECT_FALSE(a.cfg.reachable()[dead]);
+    EXPECT_TRUE(a.cfg.reachable()[end]);
+    // Unreachable blocks self-dominate by convention.
+    EXPECT_EQ(a.cfg.idom()[dead], dead);
+}
+
+TEST(Cfg, JumpTableTargetsRecovered)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    li   r1, table\n"
+        "    lw   r2, 0(r1)\n"
+        "    jalr r0, r2, 0\n"
+        "case0:\n"
+        "    halt\n"
+        "case1:\n"
+        "    halt\n"
+        "table:\n"
+        "    .word case0\n"
+        "    .word case1\n");
+
+    const unsigned jumper = a.blockAt(0x1000);
+    const unsigned c0 = a.blockAt(a.prog.assembled().symbol("case0"));
+    const unsigned c1 = a.blockAt(a.prog.assembled().symbol("case1"));
+    EXPECT_FALSE(a.cfg.block(jumper).has_unknown_succ);
+    EXPECT_TRUE(a.hasEdge(jumper, c0));
+    EXPECT_TRUE(a.hasEdge(jumper, c1));
+    EXPECT_TRUE(a.cfg.reachable()[c0]);
+    EXPECT_TRUE(a.cfg.reachable()[c1]);
+}
+
+TEST(Cfg, UnknownIndirectFallsBackToAddressTaken)
+{
+    // The jump register comes from memory whose address is not a
+    // table constant: conservatively target every address-taken
+    // block.
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    lw   r2, 0(r5)\n"
+        "    jalr r0, r2, 0\n"
+        "other:\n"
+        "    halt\n"
+        "ptr:\n"
+        "    .word other\n");
+
+    const unsigned jumper = a.blockAt(0x1000);
+    const unsigned other = a.blockAt(a.prog.assembled().symbol(
+        "other"));
+    EXPECT_TRUE(a.cfg.block(jumper).has_unknown_succ);
+    EXPECT_TRUE(a.hasEdge(jumper, other));
+}
+
+TEST(Cfg, CallSitesAndCalleeSummaries)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    jal  ra, f\n"
+        "    halt\n"
+        "f:\n"
+        "    addi r1, r0, 1\n"
+        "    ret\n");
+
+    ASSERT_EQ(a.cfg.calls().size(), 1u);
+    const CallSite &cs = a.cfg.calls()[0];
+    EXPECT_TRUE(cs.known);
+    EXPECT_EQ(cs.target, a.prog.assembled().symbol("f"));
+    // The callee body is reachable through the call edge even
+    // though calls are not CFG edges.
+    EXPECT_TRUE(a.cfg.reachable()[a.blockAt(cs.target)]);
+    EXPECT_TRUE(a.df.calleeWrites(cs.target) & (1u << 1));
+    EXPECT_TRUE(a.df.calleeClobbers(cs.target) & (1u << 1));
+}
+
+TEST(Dataflow, LivenessAndDeadStore)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    addi r1, r0, 5\n"
+        "    addi r1, r0, 6\n"
+        "    add  r2, r1, r1\n"
+        "    halt\n");
+
+    const std::size_t first = a.prog.indexOf(0x1000);
+    const std::size_t second = a.prog.indexOf(0x1004);
+    // The first write to r1 is dead, the second is live.
+    EXPECT_FALSE(a.df.liveOut(first) & (1u << 1));
+    EXPECT_TRUE(a.df.liveOut(second) & (1u << 1));
+    // r2 stays live into the exit (results live at halt).
+    const std::size_t third = a.prog.indexOf(0x1008);
+    EXPECT_TRUE(a.df.liveOut(third) & (1u << 2));
+}
+
+TEST(Dataflow, ConstantPropagationThroughLiIdiom)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    li   r1, 0x12345678\n"
+        "    addi r2, r1, 8\n"
+        "    halt\n");
+
+    const std::size_t use = a.prog.indexOf(0x1008);
+    const auto v = a.df.constBefore(use, 1);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0x12345678u);
+}
+
+TEST(Dataflow, MayDefSeededAcrossCalls)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    jal  ra, f\n"
+        "    add  r2, r1, r1\n"
+        "    halt\n"
+        "f:\n"
+        "    addi r1, r0, 9\n"
+        "    ret\n");
+
+    // r1 is defined only inside the callee; the call's may-def set
+    // must cover it so the caller's read is not flagged undefined.
+    const std::size_t use = a.prog.indexOf(0x1004);
+    EXPECT_TRUE(a.df.mayDefIn(use) & (1u << 1));
+}
+
+TEST(Charact, StrideAndFootprintOfDerivedInduction)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    li   r10, 0x20000\n"
+        "    addi r5, r0, 8\n"
+        "    addi r1, r0, 0\n"
+        "loop:\n"
+        "    slli r2, r1, 2\n"
+        "    add  r3, r10, r2\n"
+        "    sw   r1, 0(r3)\n"
+        "    addi r1, r1, 1\n"
+        "    bne  r1, r5, loop\n"
+        "    halt\n");
+
+    const auto chr = characterize(a.prog, a.cfg, a.df);
+    ASSERT_EQ(chr.memops.size(), 1u);
+    const MemOpChar &m = chr.memops[0];
+    EXPECT_EQ(m.kind, MemOpChar::Kind::Strided);
+    EXPECT_EQ(m.stride, 4);
+    EXPECT_FALSE(m.conditional);
+    ASSERT_TRUE(m.region_known);
+    EXPECT_EQ(m.region_begin, 0x20000u);
+    EXPECT_EQ(m.region_end, 0x20020u);
+    EXPECT_TRUE(chr.footprint_known);
+    EXPECT_EQ(chr.footprint_bytes, 32u);
+}
+
+TEST(Charact, DataDependentAccessDegradesToUnknown)
+{
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    li   r10, 0x20000\n"
+        "    addi r5, r0, 8\n"
+        "    addi r1, r0, 0\n"
+        "loop:\n"
+        "    lw   r2, 0(r10)\n"
+        "    add  r3, r10, r2\n"
+        "    lw   r4, 0(r3)\n"
+        "    addi r10, r10, 4\n"
+        "    addi r1, r1, 1\n"
+        "    bne  r1, r5, loop\n"
+        "    halt\n");
+
+    const auto chr = characterize(a.prog, a.cfg, a.df);
+    ASSERT_EQ(chr.memops.size(), 2u);
+    EXPECT_EQ(chr.memops[0].kind, MemOpChar::Kind::Strided);
+    EXPECT_EQ(chr.memops[1].kind, MemOpChar::Kind::Unknown);
+    EXPECT_FALSE(chr.footprint_known);
+}

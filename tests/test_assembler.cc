@@ -222,3 +222,58 @@ TEST(Assembler, ByteRangeChecked)
     const auto prog = assemble(".byte 300\n");
     EXPECT_FALSE(prog.ok());
 }
+
+TEST(Assembler, SourceMapSeparatesCodeAndData)
+{
+    const auto prog = assemble(".org 0x1000\n"        // line 1
+                               "start:\n"             // line 2
+                               "    li   r1, buf\n"   // line 3
+                               "    lw   r2, 0(r1)\n" // line 4
+                               "    halt\n"           // line 5
+                               "tbl:\n"               // line 6
+                               "    .word 1, 2\n"     // line 7
+                               "buf:\n"               // line 8
+                               "    .space 8\n");     // line 9
+    ASSERT_TRUE(prog.ok());
+    const SourceMap &map = prog.source_map;
+
+    // li expands to two instruction words, both from line 3.
+    EXPECT_TRUE(map.isInstruction(0x1000));
+    EXPECT_TRUE(map.isInstruction(0x1004));
+    EXPECT_EQ(map.lineOf(0x1000), 3u);
+    EXPECT_EQ(map.lineOf(0x1004), 3u);
+    EXPECT_EQ(map.lineOf(0x1008), 4u);
+    EXPECT_EQ(map.lineOf(0x100c), 5u);
+
+    // .word data is data, never instructions.
+    EXPECT_FALSE(map.isInstruction(0x1010));
+    EXPECT_EQ(map.data_lines.at(0x1010), 7u);
+    EXPECT_EQ(map.data_lines.at(0x1014), 7u);
+    EXPECT_EQ(map.lineOf(0x1010), 7u);
+
+    // .space shows up as a region, not emitted words.
+    const Addr buf = prog.symbol("buf");
+    EXPECT_TRUE(map.inSpace(buf));
+    EXPECT_TRUE(map.inSpace(buf + 7));
+    EXPECT_FALSE(map.inSpace(buf + 8));
+    EXPECT_FALSE(map.inSpace(0x1000));
+    ASSERT_EQ(map.space_regions.size(), 1u);
+    EXPECT_EQ(map.space_regions[0].first, buf);
+    EXPECT_EQ(map.space_regions[0].second, buf + 8);
+
+    // Unknown address maps to line 0.
+    EXPECT_EQ(map.lineOf(0x9999), 0u);
+}
+
+TEST(Assembler, ErrorFormatCarriesFileLineAndToken)
+{
+    const auto prog = assemble("addi r99, r0, 1\n", "bad.s");
+    ASSERT_FALSE(prog.ok());
+    EXPECT_EQ(prog.file, "bad.s");
+    const AsmError &e = prog.errors.front();
+    EXPECT_EQ(e.line, 1u);
+    EXPECT_EQ(e.token, "r99");
+    const std::string msg = e.format(prog.file);
+    EXPECT_EQ(msg.rfind("bad.s:1: error: ", 0), 0u) << msg;
+    EXPECT_NE(msg.find("'r99'"), std::string::npos) << msg;
+}

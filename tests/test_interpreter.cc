@@ -224,6 +224,61 @@ TEST(Interpreter, StatsCountLoadsAndStores)
     EXPECT_EQ(m.cpu.stats().stores, 1u);
 }
 
+TEST(Interpreter, MisalignedWordAccessTrapsByDefault)
+{
+    TestMachine m(R"(
+        li  r10, 0x10001
+        lw  r1, 0(r10)
+        halt
+    )");
+    EXPECT_TRUE(m.cpu.alignmentTrap());
+    EXPECT_EQ(m.cpu.run(100), StopReason::AlignmentFault);
+    EXPECT_EQ(m.cpu.faultAddr(), 0x10001u);
+    // The faulting instruction does not retire.
+    EXPECT_EQ(m.cpu.stats().instructions, 2u);
+    EXPECT_EQ(m.cpu.stats().loads, 0u);
+}
+
+TEST(Interpreter, MisalignedHalfwordStoreTraps)
+{
+    TestMachine m(R"(
+        li  r10, 0x10003
+        sh  r0, 0(r10)
+        halt
+    )");
+    EXPECT_EQ(m.cpu.run(100), StopReason::AlignmentFault);
+    EXPECT_EQ(m.cpu.faultAddr(), 0x10003u);
+    EXPECT_EQ(m.cpu.stats().stores, 0u);
+}
+
+TEST(Interpreter, ByteAccessNeverTraps)
+{
+    TestMachine m(R"(
+        li  r10, 0x10001
+        addi r1, r0, 0x5a
+        sb  r1, 0(r10)
+        lbu r2, 0(r10)
+        halt
+    )");
+    EXPECT_EQ(m.cpu.run(100), StopReason::Halted);
+    EXPECT_EQ(m.cpu.state().reg(2), 0x5au);
+}
+
+TEST(Interpreter, AlignmentTrapCanBeDisabled)
+{
+    TestMachine m(R"(
+        li  r10, 0x10001
+        sw  r0, 0(r10)
+        lw  r1, 0(r10)
+        halt
+    )");
+    m.cpu.setAlignmentTrap(false);
+    EXPECT_EQ(m.cpu.run(100), StopReason::Halted);
+    EXPECT_EQ(m.cpu.state().reg(1), 0u);
+    EXPECT_EQ(m.cpu.stats().loads, 1u);
+    EXPECT_EQ(m.cpu.stats().stores, 1u);
+}
+
 TEST(Interpreter, MemcpyProgram)
 {
     // Copy 16 words and verify the data actually moved.

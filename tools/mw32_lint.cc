@@ -1,0 +1,202 @@
+/**
+ * @file
+ * mw32-lint — static analysis of MW32 assembly programs.
+ *
+ *   mw32-lint [options] prog.mw32s [more.mw32s ...]
+ *
+ * options:
+ *   --error-on=ID[,ID...]  promote diagnostics to errors ("all")
+ *   --cfg                  dump basic blocks, edges and loops
+ *   --charact              dump the static workload characterization
+ *   -q                     suppress the per-file summary line
+ *
+ * Exit status: 2 on assembly failure or bad usage, 1 if any
+ * diagnostic of Severity::Error was emitted, else 0.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/charact.hh"
+#include "analysis/lint.hh"
+#include "isa/assembler.hh"
+
+using namespace memwall;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mw32-lint [--error-on=ID[,ID...]] [--cfg] "
+        "[--charact] [-q] prog.mw32s ...\n       IDs:");
+    for (const std::string &id : lintIds())
+        std::fprintf(stderr, " %s", id.c_str());
+    std::fprintf(stderr, " all\n");
+    return 2;
+}
+
+void
+dumpCfg(const Program &prog, const Cfg &cfg)
+{
+    std::printf("; %zu blocks, %zu loops%s\n", cfg.size(),
+                cfg.loops().size(),
+                cfg.irreducible() ? ", irreducible" : "");
+    for (const BasicBlock &bb : cfg.blocks()) {
+        std::printf("; bb%u [0x%llx..0x%llx] lines %u..%u ->", bb.id,
+                    static_cast<unsigned long long>(
+                        prog.instr(bb.first).addr),
+                    static_cast<unsigned long long>(
+                        prog.instr(bb.last).addr),
+                    prog.line(bb.first), prog.line(bb.last));
+        for (unsigned s : bb.succs)
+            std::printf(" bb%u", s);
+        if (bb.is_exit)
+            std::printf(" exit");
+        if (bb.has_unknown_succ)
+            std::printf(" ?");
+        if (!cfg.reachable()[bb.id])
+            std::printf(" (unreachable)");
+        std::printf("\n");
+    }
+    for (const Loop &l : cfg.loops())
+        std::printf("; loop header bb%u depth %u (%zu blocks)\n",
+                    l.header, l.depth, l.blocks.size());
+}
+
+void
+dumpCharact(const StaticCharacterization &chr)
+{
+    std::printf("; mix: %.1f alu, %.1f load, %.1f store, %.1f "
+                "branch, %.1f jump, %.1f other (%s)\n",
+                chr.counts.alu, chr.counts.load, chr.counts.store,
+                chr.counts.branch, chr.counts.jump, chr.counts.other,
+                chr.counts_exact ? "exact" : "approximate");
+    for (const LoopChar &l : chr.loops) {
+        if (l.trip)
+            std::printf("; loop line %u depth %u trip %llu (%llu "
+                        "static instrs)\n",
+                        l.header_line, l.depth,
+                        static_cast<unsigned long long>(l.trip),
+                        static_cast<unsigned long long>(
+                            l.body_instrs));
+        else
+            std::printf("; loop line %u depth %u trip unknown\n",
+                        l.header_line, l.depth);
+    }
+    for (const MemOpChar &m : chr.memops) {
+        const char *kind =
+            m.kind == MemOpChar::Kind::Constant   ? "constant"
+            : m.kind == MemOpChar::Kind::Strided  ? "strided"
+                                                  : "unknown";
+        std::printf("; %s line %u: %s", m.is_store ? "store" : "load",
+                    m.line, kind);
+        if (m.kind == MemOpChar::Kind::Strided)
+            std::printf(" stride %lld",
+                        static_cast<long long>(m.stride));
+        if (m.region_known)
+            std::printf(" region [0x%llx, 0x%llx)",
+                        static_cast<unsigned long long>(
+                            m.region_begin),
+                        static_cast<unsigned long long>(
+                            m.region_end));
+        std::printf("\n");
+    }
+    std::printf("; footprint: %llu bytes%s\n",
+                static_cast<unsigned long long>(chr.footprint_bytes),
+                chr.footprint_known ? "" : " (incomplete)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string error_on;
+    bool show_cfg = false, show_charact = false, quiet = false;
+    int nerrors = 0, nwarnings = 0;
+    bool any_file = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--error-on=", 11) == 0) {
+            if (!error_on.empty())
+                error_on += ",";
+            error_on += arg + 11;
+            continue;
+        }
+        if (std::strcmp(arg, "--cfg") == 0) {
+            show_cfg = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--charact") == 0) {
+            show_charact = true;
+            continue;
+        }
+        if (std::strcmp(arg, "-q") == 0) {
+            quiet = true;
+            continue;
+        }
+        if (arg[0] == '-')
+            return usage();
+
+        any_file = true;
+        std::ifstream is(arg);
+        if (!is) {
+            std::fprintf(stderr, "mw32-lint: cannot open '%s'\n",
+                         arg);
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << is.rdbuf();
+
+        AssembledProgram asmprog = assemble(ss.str(), arg);
+        if (!asmprog.ok()) {
+            for (const auto &e : asmprog.errors)
+                std::fprintf(stderr, "%s\n",
+                             e.format(arg).c_str());
+            return 2;
+        }
+
+        Program prog = Program::build(asmprog);
+        Cfg cfg = Cfg::build(prog);
+        Dataflow df = Dataflow::build(prog, cfg);
+        StaticCharacterization chr = characterize(prog, cfg, df);
+
+        if (show_cfg)
+            dumpCfg(prog, cfg);
+        if (show_charact)
+            dumpCharact(chr);
+
+        auto diags = lint(prog, cfg, df, chr);
+        if (!promoteErrors(diags, error_on)) {
+            std::fprintf(stderr,
+                         "mw32-lint: unknown ID in --error-on=%s\n",
+                         error_on.c_str());
+            return usage();
+        }
+
+        int ferr = 0, fwarn = 0;
+        for (const Diagnostic &d : diags) {
+            std::printf("%s\n", d.format(arg).c_str());
+            if (d.severity == Severity::Error)
+                ++ferr;
+            else
+                ++fwarn;
+        }
+        nerrors += ferr;
+        nwarnings += fwarn;
+        if (!quiet)
+            std::printf("%s: %d error(s), %d warning(s)\n", arg,
+                        ferr, fwarn);
+    }
+
+    if (!any_file)
+        return usage();
+    return nerrors != 0 ? 1 : 0;
+}

@@ -42,11 +42,10 @@ slurp(const char *path)
 AssembledProgram
 assembleFile(const char *path)
 {
-    const AssembledProgram prog = assemble(slurp(path));
+    const AssembledProgram prog = assemble(slurp(path), path);
     if (!prog.ok()) {
         for (const auto &e : prog.errors)
-            std::fprintf(stderr, "%s:%u: error: %s\n", path, e.line,
-                         e.message.c_str());
+            std::fprintf(stderr, "%s\n", e.format(path).c_str());
         std::exit(1);
     }
     return prog;
@@ -131,6 +130,7 @@ cmdRun(int argc, char **argv)
 
     const char *why = stop == StopReason::Halted ? "halt"
         : stop == StopReason::InstrLimit         ? "instruction limit"
+        : stop == StopReason::AlignmentFault     ? "alignment fault"
                                                  : "bad instruction";
     std::printf("stopped: %s after %llu instructions "
                 "(%llu loads, %llu stores, %llu branches)\n",
@@ -172,7 +172,10 @@ cmdRun(int argc, char **argv)
                         cpu.state().reg(r),
                         (r % 4 == 3) ? "\n" : "   ");
     }
-    return stop == StopReason::BadInstruction ? 1 : 0;
+    return (stop == StopReason::BadInstruction ||
+            stop == StopReason::AlignmentFault)
+               ? 1
+               : 0;
 }
 
 } // namespace
