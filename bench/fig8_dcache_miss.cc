@@ -17,16 +17,67 @@
 using namespace memwall;
 using namespace memwall::cachelabels;
 
+namespace {
+
+/** "mean±half" table cell, in percent. */
+std::string
+ciCell(const SampledCacheMissRate &r)
+{
+    return TextTable::num(r.mean() * 100, 3) + "±" +
+           TextTable::num(r.ci.half_width * 100, 3);
+}
+
+/** Sampled variant: mean ± CI half-width per configuration. */
+int
+runSampled(const benchutil::Options &opt, const MissRateParams &params,
+           const SamplingPlan &plan)
+{
+    TextTable table("Figure 8 (sampled): D-cache miss % ± " +
+                    TextTable::num(plan.level * 100, 0) + "% CI");
+    table.setHeader({"benchmark", "proposed", "conv 16K dm",
+                     "conv 16K 2w", "conv 64K dm", "conv 256K 2w",
+                     "proposed+VC", "units"});
+    std::cout << "sampling plan: " << plan.describe() << "\n\n";
+
+    ParallelSweep<SampledWorkloadMissRates> sweep(opt.jobs, opt.seed);
+    for (const auto &w : specSuite()) {
+        sweep.submit(
+            [&w, &params, &plan](const PointContext &) {
+                return measureMissRatesSampled(w, params, plan);
+            },
+            [&table](const PointContext &,
+                     SampledWorkloadMissRates rates) {
+                table.addRow({rates.workload,
+                              ciCell(rates.dcache(proposed)),
+                              ciCell(rates.dcache(conv16)),
+                              ciCell(rates.dcache(conv16w2)),
+                              ciCell(rates.dcache(conv64)),
+                              ciCell(rates.dcache(conv256w2)),
+                              ciCell(rates.dcache(proposed_vc)),
+                              std::to_string(rates.units)});
+            });
+    }
+    sweep.finish();
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    auto opt = benchutil::parse(argc, argv);
+    auto opt = benchutil::parse(argc, argv, {"--sample"});
     benchutil::banner("Figure 8 - data cache miss rates", opt);
 
     MissRateParams params;
     params.measured_refs = opt.refs ? opt.refs
                                     : (opt.quick ? 400'000 : 4'000'000);
     params.warmup_refs = params.measured_refs / 4;
+
+    const std::string sample = opt.extraOr("--sample", "");
+    if (!sample.empty())
+        return runSampled(opt, params, parseSamplingPlan(sample));
 
     TextTable table(
         "Figure 8: D-cache miss probability (%), load+store");

@@ -59,18 +59,91 @@ printLatencyTable()
     std::cout << '\n';
 }
 
+/**
+ * Sampled variant of the figure sweep: same (arch x ncpus) points,
+ * but each run interleaves detail/warm/fast-forward per the plan and
+ * the reported metric is the mean data-access latency with its
+ * confidence interval (sampled makespans are approximate, so the
+ * normalised-time chart is not printed). Checksums remain exact —
+ * the kernels execute every instruction — and are still
+ * cross-validated.
+ */
+inline int
+runSplashFigureSampled(const std::string &kernel, const Options &opt,
+                       double scale, const SamplingPlan &plan)
+{
+    std::cout << "sampling plan: " << plan.describe()
+              << " (units = data accesses)\n\n";
+    const std::vector<unsigned> cpu_counts{1, 2, 4, 8, 16};
+    const std::vector<std::string> archs{
+        "reference", "integrated", "integrated+vc"};
+
+    TextTable table("Sampled mean data-access latency, " + kernel +
+                    " (cycles ± " +
+                    TextTable::num(plan.level * 100, 0) + "% CI)");
+    table.setHeader({"arch", "cpus", "latency", "units",
+                     "detail refs", "ff refs"});
+    double checksum0 = 0.0;
+    bool checksum_ok = true;
+
+    ParallelSweep<SplashResult> sweep(opt.jobs, opt.seed);
+    for (const auto &arch : archs) {
+        for (unsigned ncpus : cpu_counts) {
+            sweep.submit(
+                [&kernel, &arch, ncpus, scale,
+                 &plan](const PointContext &) {
+                    SplashParams params;
+                    params.nprocs = ncpus;
+                    params.machine = machineFor(arch, ncpus);
+                    params.scale = scale;
+                    params.sampling = &plan;
+                    return runSplash(kernel, params);
+                },
+                [&table, &checksum0, &checksum_ok, &arch,
+                 ncpus](const PointContext &ctx, SplashResult res) {
+                    if (ctx.index == 0)
+                        checksum0 = res.checksum;
+                    if (std::abs(res.checksum - checksum0) >
+                        1e-6 * (1.0 + std::abs(checksum0)))
+                        checksum_ok = false;
+                    table.addRow(
+                        {arch, std::to_string(ncpus),
+                         TextTable::num(res.sampled_latency, 2) +
+                             "±" +
+                             TextTable::num(res.sampled_latency_half,
+                                            2),
+                         std::to_string(res.sample_units),
+                         std::to_string(res.detail_accesses),
+                         std::to_string(res.ff_accesses)});
+                });
+        }
+    }
+    sweep.finish();
+    table.print(std::cout);
+    std::cout << "\ncross-architecture checksums "
+              << (checksum_ok ? "MATCH" : "MISMATCH -- BUG")
+              << " (sampling never perturbs results, only timing)\n";
+    return checksum_ok ? 0 : 1;
+}
+
 inline int
 runSplashFigure(const std::string &figure, const std::string &kernel,
                 const std::string &dataset, int argc, char **argv,
                 double full_scale)
 {
-    auto opt = parse(argc, argv);
+    auto opt = parse(argc, argv, {"--sample"});
     banner(figure + " - SPLASH " + kernel + " (" + dataset + ")",
            opt);
     printLatencyTable();
 
     const double scale =
         opt.quick ? full_scale / 6.0 : full_scale;
+
+    const std::string sample = opt.extraOr("--sample", "");
+    if (!sample.empty())
+        return runSplashFigureSampled(kernel, opt, scale,
+                                      parseSamplingPlan(sample));
+
     std::cout << "problem scale: " << scale
               << " (1.0 = the paper's data set; runtimes below are "
                  "relative,\nso the architecture comparison is "

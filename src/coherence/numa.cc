@@ -33,6 +33,8 @@ NumaMachine::NumaMachine(NumaConfig config)
               "node count out of range");
     MW_ASSERT(isPowerOfTwo(config_.page_bytes),
               "page size must be a power of two");
+    while ((std::uint64_t{1} << page_shift_) < config_.page_bytes)
+        ++page_shift_;
     nodes_.resize(config_.nodes);
     frames_used_.assign(config_.nodes, 0);
     if (config_.model_fabric_contention) {
@@ -86,7 +88,7 @@ NumaMachine::attachObserver(ProtocolObserver *observer)
 unsigned
 NumaMachine::homeOf(Addr addr) const
 {
-    const std::uint64_t page = addr / config_.page_bytes;
+    const std::uint64_t page = pageOf(addr);
     auto it = pages_.find(page);
     if (it != pages_.end())
         return it->second.home;
@@ -96,7 +98,7 @@ NumaMachine::homeOf(Addr addr) const
 unsigned
 NumaMachine::resolveHome(Addr addr, unsigned toucher)
 {
-    const std::uint64_t page = addr / config_.page_bytes;
+    const std::uint64_t page = pageOf(addr);
     auto it = pages_.find(page);
     if (it == pages_.end()) {
         const unsigned home = config_.first_touch
@@ -114,7 +116,7 @@ Addr
 NumaMachine::cacheView(unsigned node, Addr addr) const
 {
     const Addr block = blockAddr(addr);
-    const std::uint64_t page = addr / config_.page_bytes;
+    const std::uint64_t page = pageOf(addr);
     if (config_.arch == NodeArch::SimpleComa) {
         // Every page the node uses is replicated into its local
         // attraction memory, at a per-node local frame.
@@ -122,22 +124,60 @@ NumaMachine::cacheView(unsigned node, Addr addr) const
         auto fit = n.frames.find(page);
         const std::uint64_t frame =
             fit != n.frames.end() ? fit->second : n.next_frame;
-        return (Addr{1} << 47) | (frame * config_.page_bytes +
-                                  block % config_.page_bytes);
+        return (Addr{1} << 47) |
+               (frame * config_.page_bytes + pageOffset(block));
     }
     auto it = pages_.find(page);
     if (it == pages_.end() || it->second.home != node)
         return block;  // imported blocks are tagged globally
+    return localView(it->second, block);
+}
+
+Addr
+NumaMachine::localView(const PagePlacement &p, Addr block) const
+{
     // Local pages are contiguous in the node's physical DRAM, and
     // the column buffers / FLC are physically indexed — without
     // this translation the interleaved global addresses of a P-node
     // machine would alias into a fraction of the cache sets.
-    const Addr local =
-        it->second.local_frame * config_.page_bytes +
-        block % config_.page_bytes;
+    const Addr local = p.local_frame * config_.page_bytes +
+                       pageOffset(block);
     // Disjoint from the global space so imported and local tags
     // can share one structure without false matches.
     return (Addr{1} << 47) | local;
+}
+
+unsigned
+NumaMachine::resolveHomeAndView(Addr addr, unsigned toucher,
+                                Addr &view)
+{
+    const Addr block = blockAddr(addr);
+    const std::uint64_t page = pageOf(addr);
+    const PagePlacement *pp;
+    if (page == memo_page_) {
+        pp = memo_place_;
+    } else {
+        auto it = pages_.find(page);
+        if (it == pages_.end()) {
+            const unsigned home = config_.first_touch
+                ? toucher
+                : static_cast<unsigned>(page % config_.nodes);
+            it = pages_
+                     .emplace(page, PagePlacement{
+                                        home, frames_used_[home]++})
+                     .first;
+        }
+        pp = &it->second;
+        memo_page_ = page;
+        memo_place_ = pp;
+    }
+    if (config_.arch == NodeArch::SimpleComa)
+        view = cacheView(toucher, addr);  // per-node frame table
+    else if (pp->home != toucher)
+        view = block;
+    else
+        view = localView(*pp, block);
+    return pp->home;
 }
 
 const NodeStats &
@@ -170,8 +210,7 @@ NumaMachine::fillLocal(unsigned node, Addr block, bool store)
     if (config_.arch == NodeArch::SimpleComa) {
         // Allocate the page's local frame on first use, then fill
         // the column from the attraction memory.
-        const std::uint64_t page =
-            block / config_.page_bytes;
+        const std::uint64_t page = pageOf(block);
         if (!n.frames.contains(page))
             n.frames.emplace(page, n.next_frame++);
         n.attraction.insert(block);
@@ -322,15 +361,14 @@ NumaMachine::accessImpl(unsigned cpu, Addr addr, bool store,
 {
     MW_ASSERT(cpu < nodes_.size(), "bad cpu id");
     const Addr block = blockAddr(addr);
-    const unsigned home = resolveHome(addr, cpu);
     Node &n = nodes_[cpu];
     n.stats.total.inc();
 
-    DirEntry &e = directory_.entry(block);
     const LatencyTable &lat = config_.latency;
 
     // --- First-level structures --------------------------------------
-    const Addr view = cacheView(cpu, addr);
+    Addr view;
+    const unsigned home = resolveHomeAndView(addr, cpu, view);
     bool l1_hit;
     if (config_.arch == NodeArch::ReferenceCcNuma)
         l1_hit = n.flc->access(view, store).hit;
@@ -340,10 +378,21 @@ NumaMachine::accessImpl(unsigned cpu, Addr addr, bool store,
 
     // Invariant: a cached copy is coherent (invalidations remove
     // copies eagerly), so a load hit — or a store hit with ownership
-    // — completes in one cycle.
-    if (l1_hit &&
-        (!store ||
-         (e.state() == DirState::Modified && e.owner() == cpu))) {
+    // — completes in one cycle. Load hits return before the directory
+    // lookup: a cached block's entry was created when it was filled,
+    // so the lookup is pure overhead on this (dominant) path.
+    if (l1_hit && !store) {
+        n.stats.cache_hits.inc();
+        last_service_ = ServiceLevel::CacheHit;
+        return lat.cache_hit;
+    }
+
+    if (block != memo_block_) {
+        memo_block_ = block;
+        memo_entry_ = &directory_.entry(block);
+    }
+    DirEntry &e = *memo_entry_;
+    if (l1_hit && e.state() == DirState::Modified && e.owner() == cpu) {
         n.stats.cache_hits.inc();
         last_service_ = ServiceLevel::CacheHit;
         return lat.cache_hit;

@@ -323,6 +323,16 @@ class NumaMachine
         std::uint64_t local_frame;
     };
 
+    /** Local-DRAM tag of @p block under placement @p p. */
+    Addr localView(const PagePlacement &p, Addr block) const;
+
+    /**
+     * resolveHome() + cacheView() fused into one pages_ lookup —
+     * the access hot path calls both back to back.
+     */
+    unsigned resolveHomeAndView(Addr addr, unsigned toucher,
+                                Addr &view);
+
     /** Contended cost of a request/reply round trip to @p home. */
     Cycles remoteRoundTrip(unsigned cpu, unsigned home, Addr block,
                            Tick now, Cycles floor);
@@ -349,6 +359,30 @@ class NumaMachine
     ServiceLevel last_service_ = ServiceLevel::CacheHit;
     std::unordered_map<std::uint64_t, PagePlacement> pages_;
     std::vector<std::uint64_t> frames_used_;
+    /** log2(page_bytes): pages are power-of-two sized, and the
+     * page-number division sits on the per-access hot path. */
+    unsigned page_shift_ = 0;
+    /**
+     * One-entry memo over pages_ for the access hot path. Safe
+     * because placements are immutable once assigned and
+     * unordered_map never invalidates element pointers; pure
+     * memoization, so results are bit-identical with or without it.
+     */
+    std::uint64_t memo_page_ = ~std::uint64_t{0};
+    const PagePlacement *memo_place_ = nullptr;
+    /** Same memo idea for the directory entry of the last block
+     * (entry pointers are stable; contents are re-read live). */
+    Addr memo_block_ = ~Addr{0};
+    DirEntry *memo_entry_ = nullptr;
+
+    std::uint64_t pageOf(Addr addr) const
+    {
+        return addr >> page_shift_;
+    }
+    Addr pageOffset(Addr addr) const
+    {
+        return addr & (static_cast<Addr>(config_.page_bytes) - 1);
+    }
 };
 
 } // namespace memwall

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -34,8 +35,8 @@ SampleStat::reset()
 double
 SampleStat::variance() const
 {
-    if (n_ < 2)
-        return 0.0;
+    if (!hasVariance())
+        return std::numeric_limits<double>::quiet_NaN();
     return m2_ / static_cast<double>(n_ - 1);
 }
 
@@ -95,24 +96,43 @@ Histogram::quantile(double p) const
     MW_ASSERT(p >= 0.0 && p <= 1.0, "quantile fraction out of range");
     if (count_ == 0)
         return lo_;
-    const auto target = static_cast<std::uint64_t>(
-        p * static_cast<double>(count_));
-    std::uint64_t seen = underflow_;
-    if (seen > target)
-        return lo_;
+
+    // p = 0 is the infimum of the recorded mass: the low edge of the
+    // first occupied bin (clamped to the histogram range for the
+    // open-ended underflow/overflow bins).
+    if (p <= 0.0) {
+        if (underflow_)
+            return lo_;
+        for (unsigned i = 0; i < buckets_.size(); ++i)
+            if (buckets_[i])
+                return bucketLow(i);
+        return hi_;  // all mass in overflow
+    }
+
+    // quantile(p) = inf{x : mass(<= x) >= p * count}. The target
+    // stays real-valued: truncating it to an integer shifted every
+    // quantile of an odd-count histogram down by up to one sample,
+    // and the old strict '>' comparison walked past the last
+    // occupied bucket for p = 1.0, returning hi_ no matter where the
+    // mass actually was.
+    const double target = p * static_cast<double>(count_);
+    double seen = static_cast<double>(underflow_);
+    if (seen >= target)
+        return lo_;  // quantile lies below the range: clamp to lo_
     for (unsigned i = 0; i < buckets_.size(); ++i) {
-        seen += buckets_[i];
-        if (seen > target) {
-            // Linear interpolation within the bucket.
-            const auto before = seen - buckets_[i];
-            const double frac = buckets_[i]
-                ? static_cast<double>(target - before) /
-                      static_cast<double>(buckets_[i])
-                : 0.0;
+        if (!buckets_[i])
+            continue;
+        const double before = seen;
+        seen += static_cast<double>(buckets_[i]);
+        if (seen >= target) {
+            // Linear interpolation within the bucket; frac is in
+            // (0, 1], so p = 1.0 lands on the bucket's high edge.
+            const double frac = (target - before) /
+                                static_cast<double>(buckets_[i]);
             return bucketLow(i) + frac * width_;
         }
     }
-    return hi_;
+    return hi_;  // remaining mass sits in the overflow bin
 }
 
 double

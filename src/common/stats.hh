@@ -43,7 +43,18 @@ class SampleStat
 
     std::uint64_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
+    /**
+     * Whether a sample variance exists at all: the n-1 denominator
+     * needs at least two samples. Confidence-interval code must check
+     * this instead of treating the degenerate case as "no spread" —
+     * a single observation says nothing about the width of the
+     * distribution, and reporting 0.0 here once made a 1-unit
+     * sampled run claim a zero-width confidence interval.
+     */
+    bool hasVariance() const { return n_ >= 2; }
+    /** Sample variance (n-1 denominator); NaN when !hasVariance(). */
     double variance() const;
+    /** Sample standard deviation; NaN when !hasVariance(). */
     double stddev() const;
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }

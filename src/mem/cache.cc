@@ -114,6 +114,20 @@ Cache::fill(Addr addr, bool store)
     return result;
 }
 
+AccessResult
+Cache::warmAccess(Addr addr, bool store)
+{
+    AccessResult result;
+    const std::uint64_t set = setIndex(addr);
+    if (Line *line = findInSetOf(*this, set, tagOf(addr))) {
+        result.hit = true;
+        touchLine(*line, addr, store);
+        return result;
+    }
+    fillAtNoStats(result, set, addr, store);
+    return result;
+}
+
 void
 Cache::fillAt(AccessResult &result, std::uint64_t set, Addr addr,
               bool store)
@@ -122,7 +136,13 @@ Cache::fillAt(AccessResult &result, std::uint64_t set, Addr addr,
         stats_.store_misses.inc();
     else
         stats_.load_misses.inc();
+    fillAtNoStats(result, set, addr, store);
+}
 
+void
+Cache::fillAtNoStats(AccessResult &result, std::uint64_t set,
+                     Addr addr, bool store)
+{
     Line &victim = victimLine(set);
     if (victim.valid) {
         // Reconstruct the evicted line's address from tag and set.

@@ -102,6 +102,15 @@ class Cache
      */
     AccessResult fill(Addr addr, bool store);
 
+    /**
+     * Functional-warming access: identical tag/LRU/dirty/fill state
+     * transitions to access(), but records NO statistics. Sampled
+     * simulation uses this between detail units so detail-unit miss
+     * rates see warm tags without the warming traffic polluting the
+     * measured counters.
+     */
+    AccessResult warmAccess(Addr addr, bool store);
+
     /** @return true iff the line containing @p addr is resident. */
     bool probe(Addr addr) const;
 
@@ -180,6 +189,9 @@ class Cache
     /** Miss path shared by access() and fill(); writes @p result. */
     void fillAt(AccessResult &result, std::uint64_t set, Addr addr,
                 bool store);
+    /** fillAt() without the miss counters (warming path). */
+    void fillAtNoStats(AccessResult &result, std::uint64_t set,
+                       Addr addr, bool store);
     Line &victimLine(std::uint64_t set);
     void touchLine(Line &line, Addr addr, bool store);
 

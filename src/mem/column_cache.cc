@@ -43,6 +43,12 @@ ColumnInstrCache::fetch(Addr pc)
     return cache_.access(pc, false).hit;
 }
 
+bool
+ColumnInstrCache::warmFetch(Addr pc)
+{
+    return cache_.warmAccess(pc, false).hit;
+}
+
 ColumnDataCache::ColumnDataCache(const ColumnCacheConfig &config)
     : config_(config),
       columns_(dataConfig(config)),
@@ -86,6 +92,23 @@ ColumnDataCache::access(Addr addr, bool store)
         stats_.store_misses.inc();
     else
         stats_.load_misses.inc();
+    return DAccessOutcome::Miss;
+}
+
+DAccessOutcome
+ColumnDataCache::warmAccess(Addr addr, bool store)
+{
+    if (columns_.probe(addr)) {
+        columns_.touch(addr, store);
+        return DAccessOutcome::HitColumn;
+    }
+    if (config_.victim_enabled && victim_.warmAccess(addr))
+        return DAccessOutcome::HitVictim;
+    const AccessResult fill = columns_.warmAccess(addr, store);
+    MW_ASSERT(!fill.hit, "probe said miss but warm access hit");
+    last_eviction_dirty_ = fill.eviction && fill.eviction->dirty;
+    if (config_.victim_enabled && fill.eviction)
+        victim_.insert(fill.eviction->last_sub_block);
     return DAccessOutcome::Miss;
 }
 

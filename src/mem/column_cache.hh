@@ -68,6 +68,9 @@ class ColumnInstrCache
     /** @return true on hit; a miss fills from the DRAM array. */
     bool fetch(Addr pc);
 
+    /** fetch() without statistics (functional-warming path). */
+    bool warmFetch(Addr pc);
+
     bool probe(Addr pc) const { return cache_.probe(pc); }
     const AccessStats &stats() const { return cache_.stats(); }
     const Cache &cache() const { return cache_; }
@@ -104,6 +107,13 @@ class ColumnDataCache
      * as full columns (Section 6.2).
      */
     DAccessOutcome accessNoFill(Addr addr, bool store);
+
+    /**
+     * access() with identical state transitions (column fill, victim
+     * hand-off, LRU, dirty bits) but NO statistics — the
+     * functional-warming path of sampled simulation.
+     */
+    DAccessOutcome warmAccess(Addr addr, bool store);
 
     /** @return true iff @p addr would hit in buffers or victim. */
     bool probe(Addr addr) const;

@@ -35,6 +35,19 @@ VictimCache::access(Addr addr, bool store)
 }
 
 bool
+VictimCache::warmAccess(Addr addr)
+{
+    const Addr block = blockAddr(addr);
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.block == block) {
+            entry.lru = ++lru_clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 VictimCache::probe(Addr addr) const
 {
     const Addr block = blockAddr(addr);

@@ -45,6 +45,9 @@ class VictimCache
     /** @return true and refresh LRU if @p addr hits. */
     bool access(Addr addr, bool store);
 
+    /** access() without statistics (functional-warming path). */
+    bool warmAccess(Addr addr);
+
     /** @return true iff resident, without statistics or LRU update. */
     bool probe(Addr addr) const;
 

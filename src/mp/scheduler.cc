@@ -78,6 +78,20 @@ MpScheduler::advance(unsigned cpu, Cycles cycles)
 }
 
 Tick
+MpScheduler::quantum() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return quantum_;
+}
+
+void
+MpScheduler::setQuantum(Tick quantum)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    quantum_ = quantum;
+}
+
+Tick
 MpScheduler::timeOf(unsigned cpu) const
 {
     std::unique_lock<std::mutex> lock(mutex_);

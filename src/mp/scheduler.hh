@@ -81,7 +81,19 @@ class MpScheduler
     Tick run(const std::function<void(SimContext &)> &body);
 
     unsigned ncpus() const { return ncpus_; }
-    Tick quantum() const { return quantum_; }
+    Tick quantum() const;
+
+    /**
+     * Change the skew quantum mid-run. The sampled-simulation layer
+     * inflates the quantum during fast-forward stretches (token
+     * hand-offs dominate fast-forward cost, and timing fidelity is
+     * not being measured there) and restores it for warming/detail
+     * units. Scheduling remains a pure function of the virtual
+     * timeline — the quantum switch itself happens at deterministic
+     * points of that timeline — so runs stay reproducible. Must be
+     * called from the token-holding CPU's thread (or before run()).
+     */
+    void setQuantum(Tick quantum);
 
     /** Final virtual time of @p cpu after run(). */
     Tick cpuTime(unsigned cpu) const;

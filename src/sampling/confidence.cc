@@ -1,0 +1,98 @@
+#include "sampling/confidence.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace memwall {
+
+namespace {
+
+/**
+ * Two-sided critical values t_{df, alpha/2} for the three supported
+ * confidence levels. Rows are df = 1..30; beyond the table the value
+ * is interpolated toward the normal quantile via the standard
+ * Cornish-Fisher-style 1/df correction, which is within 0.1% for
+ * df > 30.
+ */
+constexpr double t90[30] = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+    1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+    1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+    1.701, 1.699, 1.697};
+constexpr double t95[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048,  2.045, 2.042};
+constexpr double t99[30] = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+    3.169,  3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+    2.861,  2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+    2.763,  2.756, 2.750};
+
+struct Level
+{
+    const double *table;
+    double z;  ///< normal quantile the tail converges to
+};
+
+Level
+levelFor(double level)
+{
+    if (level < 0.925)
+        return {t90, 1.645};
+    if (level < 0.97)
+        return {t95, 1.960};
+    return {t99, 2.576};
+}
+
+} // namespace
+
+double
+tCritical(std::uint64_t df, double level)
+{
+    const Level l = levelFor(level);
+    if (df == 0)
+        return std::numeric_limits<double>::infinity();
+    if (df <= 30)
+        return l.table[df - 1];
+    // Smooth tail: t approx z + (z + z^3) / (4 df).
+    const double z = l.z;
+    return z + (z + z * z * z) / (4.0 * static_cast<double>(df));
+}
+
+double
+ConfidenceInterval::relative() const
+{
+    if (!valid)
+        return std::numeric_limits<double>::infinity();
+    if (mean == 0.0)
+        return half_width == 0.0
+                   ? 0.0
+                   : std::numeric_limits<double>::infinity();
+    return half_width / std::fabs(mean);
+}
+
+ConfidenceInterval
+confidenceInterval(const SampleStat &units, double level)
+{
+    ConfidenceInterval ci;
+    ci.level = level;
+    ci.n = units.count();
+    ci.mean = units.mean();
+    if (!units.hasVariance()) {
+        // One unit (or none) carries no information about spread;
+        // report an explicitly infinite interval instead of the
+        // zero-width one the old variance() == 0.0 behaviour implied.
+        ci.valid = false;
+        ci.half_width = std::numeric_limits<double>::infinity();
+        return ci;
+    }
+    ci.valid = true;
+    const double n = static_cast<double>(ci.n);
+    ci.half_width =
+        tCritical(ci.n - 1, level) * units.stddev() / std::sqrt(n);
+    return ci;
+}
+
+} // namespace memwall

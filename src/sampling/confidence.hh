@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Confidence intervals for sampled-simulation estimates.
+ *
+ * The SMARTS methodology reports every sampled metric as
+ * mean +/- half-width at a chosen confidence level, computed from the
+ * variance of the per-unit sample means. For the small unit counts a
+ * quick run collects, the normal z-score understates the interval, so
+ * the critical value comes from the Student-t distribution with n-1
+ * degrees of freedom and converges to the normal quantile for large n.
+ */
+
+#ifndef MEMWALL_SAMPLING_CONFIDENCE_HH
+#define MEMWALL_SAMPLING_CONFIDENCE_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace memwall {
+
+/**
+ * Two-sided Student-t critical value for @p df degrees of freedom at
+ * confidence @p level (supported levels: 0.90, 0.95, 0.99; other
+ * levels fall back to the nearest supported one). df >= 1; large df
+ * return the normal quantile.
+ */
+double tCritical(std::uint64_t df, double level = 0.95);
+
+/**
+ * A sampled estimate: mean +/- half_width at `level` confidence,
+ * from n sample units. Degenerate samples (n < 2, where no variance
+ * estimate exists) produce an interval with valid == false and an
+ * infinite half-width — never a silent zero-width claim.
+ */
+struct ConfidenceInterval
+{
+    double mean = 0.0;
+    double half_width = 0.0;
+    double level = 0.95;
+    std::uint64_t n = 0;
+    /** False when n < 2 (no variance estimate exists). */
+    bool valid = false;
+
+    double lo() const { return mean - half_width; }
+    double hi() const { return mean + half_width; }
+
+    /** @return true iff @p value lies within [lo, hi]. */
+    bool
+    contains(double value) const
+    {
+        return valid && value >= lo() && value <= hi();
+    }
+
+    /**
+     * Half-width relative to |mean| — the SMARTS stopping metric.
+     * Infinite when the interval is degenerate or the mean is zero
+     * with nonzero width.
+     */
+    double relative() const;
+};
+
+/**
+ * Interval over the unit means accumulated in @p units:
+ * mean +/- t * s / sqrt(n). Invalid (infinite width) when fewer than
+ * two units have been recorded.
+ */
+ConfidenceInterval confidenceInterval(const SampleStat &units,
+                                      double level = 0.95);
+
+} // namespace memwall
+
+#endif // MEMWALL_SAMPLING_CONFIDENCE_HH

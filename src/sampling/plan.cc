@@ -1,0 +1,190 @@
+#include "sampling/plan.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace memwall {
+
+void
+SamplingPlan::validate() const
+{
+    if (unit_refs == 0)
+        MW_FATAL("sampling plan: unit length U must be positive");
+    if (period_units == 0)
+        MW_FATAL("sampling plan: period k must be positive");
+    if (scheme == SampleScheme::Systematic &&
+        period_units * unit_refs < unit_refs + warmup_refs)
+        MW_FATAL("sampling plan: period k*U = ",
+                 period_units * unit_refs,
+                 " refs cannot fit the detail unit plus W = ",
+                 warmup_refs, " warmup refs");
+    if (scheme == SampleScheme::Stratified && units == 0)
+        MW_FATAL("sampling plan: stratified mode needs n >= 1 units");
+    if (level <= 0.5 || level >= 1.0)
+        MW_FATAL("sampling plan: confidence level must be in (0.5, 1)");
+    if (target_ci < 0.0)
+        MW_FATAL("sampling plan: target ci must be >= 0");
+    if (max_units < units)
+        MW_FATAL("sampling plan: max units below the minimum");
+}
+
+std::string
+SamplingPlan::describe() const
+{
+    std::ostringstream os;
+    os << (scheme == SampleScheme::Systematic ? "systematic"
+                                              : "stratified")
+       << " U=" << unit_refs << " W=" << warmup_refs;
+    if (scheme == SampleScheme::Systematic)
+        os << " k=" << period_units;
+    else
+        os << " n=" << units;
+    if (adaptive())
+        os << " target-ci=" << target_ci << " max=" << max_units;
+    os << " level=" << level;
+    return os.str();
+}
+
+SamplingPlan
+parseSamplingPlan(const std::string &text)
+{
+    SamplingPlan plan;
+    if (text.empty()) {
+        plan.validate();
+        return plan;
+    }
+
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::string item =
+            comma == std::string::npos
+                ? text.substr(start)
+                : text.substr(start, comma - start);
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == item.size())
+            MW_FATAL("--sample: malformed item '", item,
+                     "' (expected key=value)");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+
+        char *end = nullptr;
+        const auto u64 = [&]() -> std::uint64_t {
+            const std::uint64_t v =
+                std::strtoull(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                MW_FATAL("--sample: invalid number '", value,
+                         "' for key '", key, "'");
+            return v;
+        };
+        const auto f64 = [&]() -> double {
+            const double v = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                MW_FATAL("--sample: invalid number '", value,
+                         "' for key '", key, "'");
+            return v;
+        };
+
+        if (key == "U")
+            plan.unit_refs = u64();
+        else if (key == "W")
+            plan.warmup_refs = u64();
+        else if (key == "k")
+            plan.period_units = u64();
+        else if (key == "n")
+            plan.units = u64();
+        else if (key == "max")
+            plan.max_units = u64();
+        else if (key == "seed")
+            plan.seed = u64();
+        else if (key == "ci")
+            plan.target_ci = f64();
+        else if (key == "level")
+            plan.level = f64();
+        else if (key == "mode") {
+            if (value == "sys" || value == "systematic")
+                plan.scheme = SampleScheme::Systematic;
+            else if (value == "strat" || value == "stratified")
+                plan.scheme = SampleScheme::Stratified;
+            else
+                MW_FATAL("--sample: unknown mode '", value,
+                         "' (want sys|strat)");
+        } else {
+            MW_FATAL("--sample: unknown key '", key, "'");
+        }
+
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (plan.max_units < plan.units)
+        plan.max_units = plan.units;
+    plan.validate();
+    return plan;
+}
+
+SystematicCursor::SystematicCursor(const SamplingPlan &plan)
+    : unit_(plan.unit_refs), warm_(plan.warmup_refs),
+      ff_(plan.period_units * plan.unit_refs - plan.unit_refs -
+          plan.warmup_refs)
+{
+    plan.validate();
+    MW_ASSERT(plan.scheme == SampleScheme::Systematic,
+              "systematic cursor on a stratified plan");
+    if (warm_ > 0)
+        enterPhase(SampleMode::Warm, warm_);
+    else
+        enterPhase(SampleMode::Detail, unit_);
+}
+
+void
+SystematicCursor::enterPhase(SampleMode mode, std::uint64_t len)
+{
+    mode_ = mode;
+    remaining_ = len;
+}
+
+void
+SystematicCursor::nextPhase()
+{
+    switch (mode_) {
+    case SampleMode::Warm:
+        enterPhase(SampleMode::Detail, unit_);
+        break;
+    case SampleMode::Detail:
+        ++units_done_;
+        unit_completed_ = true;
+        // Skip zero-length phases so mode() is always consumable.
+        if (ff_ > 0)
+            enterPhase(SampleMode::FastForward, ff_);
+        else if (warm_ > 0)
+            enterPhase(SampleMode::Warm, warm_);
+        else
+            enterPhase(SampleMode::Detail, unit_);
+        break;
+    case SampleMode::FastForward:
+        if (warm_ > 0)
+            enterPhase(SampleMode::Warm, warm_);
+        else
+            enterPhase(SampleMode::Detail, unit_);
+        break;
+    }
+}
+
+const char *
+sampleModeName(SampleMode mode)
+{
+    switch (mode) {
+    case SampleMode::FastForward:
+        return "fast-forward";
+    case SampleMode::Warm:
+        return "warm";
+    case SampleMode::Detail:
+        return "detail";
+    }
+    return "?";
+}
+
+} // namespace memwall

@@ -1,5 +1,7 @@
 #include "trace/synthetic.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace memwall {
@@ -65,6 +67,110 @@ SyntheticWorkload::reset()
         group.reuse_left = first.reuse ? first.reuse : 1;
     }
     selectRoutine();
+}
+
+void
+SyntheticWorkload::scatterState()
+{
+    // Independent stream cursors: a uniform position on the walk.
+    for (std::size_t i = 0; i < spec_.streams.size(); ++i) {
+        if (stream_group_[i] >= 0)
+            continue;
+        const DataStream &s = spec_.streams[i];
+        switch (s.kind) {
+          case StreamKind::Strided: {
+            const std::uint64_t step = static_cast<std::uint64_t>(
+                s.stride < 0 ? -s.stride : s.stride);
+            if (step > 0 && step < s.size)
+                cursors_[i] =
+                    (rng_.uniformInt(s.size / step) * step) % s.size;
+            reuse_left_[i] = static_cast<std::uint32_t>(
+                rng_.uniformRange(1, s.reuse ? s.reuse : 1));
+            break;
+          }
+          case StreamKind::Random:
+            break;  // memoryless
+          case StreamKind::Chase:
+            cursors_[i] = rng_();  // any LCG state is on the cycle
+            break;
+        }
+    }
+    // Lockstep groups: one shared cursor, uniform on the walk; the
+    // members stay congruent (that is the modelled conflict).
+    for (auto &[id, group] : groups_) {
+        const DataStream &first =
+            spec_.streams[group.members.front()];
+        const std::uint64_t step = static_cast<std::uint64_t>(
+            first.stride < 0 ? -first.stride : first.stride);
+        if (step > 0 && step < first.size)
+            group.cursor =
+                (rng_.uniformInt(first.size / step) * step) %
+                first.size;
+        group.rr = static_cast<std::uint32_t>(
+            rng_.uniformInt(group.members.size()));
+        group.reuse_left = static_cast<std::uint32_t>(
+            rng_.uniformRange(1, first.reuse ? first.reuse : 1));
+    }
+    // Instruction stream: a draw from the state machine's stationary
+    // distribution. One *selection* of routine i covers on average
+    //   E_i = m_i * L_i + (m_i - 1) * L_callee
+    // fetches (m_i geometric-mean body passes of L_i instructions,
+    // with the callee run between passes), so the probability of
+    // finding the generator inside a selection of i is proportional
+    // to weight_i * E_i — not to weight_i alone, which underweights
+    // long-running routines (e.g. 145.fpppp's huge basic blocks).
+    std::vector<double> occupancy(spec_.routines.size());
+    double occ_total = 0.0;
+    for (std::size_t i = 0; i < spec_.routines.size(); ++i) {
+        const CodeRoutine &r = spec_.routines[i];
+        const double body = r.mean_repeats * (r.length / 4);
+        const double callee =
+            r.call_target >= 0
+                ? (r.mean_repeats - 1.0) *
+                      (spec_.routines[static_cast<std::size_t>(
+                           r.call_target)].length / 4)
+                : 0.0;
+        occupancy[i] = r.weight * (body + callee);
+        occ_total += occupancy[i];
+    }
+    double pick = rng_.uniformReal() * occ_total;
+    std::size_t chosen = spec_.routines.size() - 1;
+    for (std::size_t i = 0; i < spec_.routines.size(); ++i) {
+        pick -= occupancy[i];
+        if (pick <= 0.0) {
+            chosen = i;
+            break;
+        }
+    }
+    const CodeRoutine &r = spec_.routines[chosen];
+    // Residual passes: geometric repeats are memoryless, so the
+    // remaining count has the same distribution as a fresh draw.
+    repeats_left_ = r.mean_repeats <= 1.0
+        ? 1
+        : 1 + rng_.geometric(1.0 / r.mean_repeats);
+    // Within a selection, time splits between the caller's body and
+    // its callee; land in the callee with the matching probability so
+    // the loop/call alternation (125.turb3d's conflict) is preserved.
+    const double body = r.mean_repeats * (r.length / 4);
+    const double callee =
+        r.call_target >= 0
+            ? (r.mean_repeats - 1.0) *
+                  (spec_.routines[static_cast<std::size_t>(
+                       r.call_target)].length / 4)
+            : 0.0;
+    if (callee > 0.0 && rng_.bernoulli(callee / (body + callee))) {
+        // Mid-callee: the caller still owes at least one more pass.
+        call_return_ = static_cast<std::ptrdiff_t>(chosen);
+        cur_routine_ =
+            static_cast<std::size_t>(r.call_target);
+        repeats_left_ = std::max<std::uint64_t>(repeats_left_, 2);
+    } else {
+        call_return_ = -1;
+        cur_routine_ = chosen;
+    }
+    const CodeRoutine &at = spec_.routines[cur_routine_];
+    cur_offset_ = static_cast<std::uint32_t>(
+        rng_.uniformInt(at.length / 4) * 4);
 }
 
 void

@@ -122,6 +122,19 @@ class SyntheticWorkload : public RefSource
     void reset() override;
 
     /**
+     * Scatter the generator state to an approximate draw from its
+     * stationary distribution: stream cursors land uniformly on
+     * their walk cycles, the current routine is re-picked, and the
+     * instruction pointer lands mid-body. Deterministic given the
+     * spec seed. Stratified sampling units call this so each
+     * independent substream measures steady-state behaviour instead
+     * of the cold start-of-stream phase (fresh cursors at zero and
+     * the first routine's prologue are not representative of the
+     * long-run reference mix).
+     */
+    void scatterState();
+
+    /**
      * Same stream as generate(), but delivered to a statically typed
      * sink: the emission loop and @p sink inline into one body, with
      * no std::function indirection per reference. generate() and the

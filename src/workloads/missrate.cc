@@ -1,8 +1,11 @@
 #include "workloads/missrate.hh"
 
+#include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/logging.hh"
+#include "harness/parallel_sweep.hh"
 
 namespace memwall {
 
@@ -37,47 +40,57 @@ conv(std::uint64_t capacity, std::uint32_t ways, const char *name)
     return c;
 }
 
-} // namespace
-
-WorkloadMissRates
-measureMissRates(const SpecWorkload &workload,
-                 const MissRateParams &params)
+ColumnCacheConfig
+withoutVictim(ColumnCacheConfig c)
 {
-    using namespace cachelabels;
+    c.victim_enabled = false;
+    return c;
+}
 
+/**
+ * The full Figure 7 + Figure 8 comparison set. Shared between the
+ * exhaustive and the sampled measurement loops so both study exactly
+ * the same configurations.
+ */
+struct ComparisonCaches
+{
     // Proposed device caches.
     ColumnCacheConfig pim_cfg;
-    ColumnInstrCache icache_pim(pim_cfg);
-    ColumnCacheConfig no_vc = pim_cfg;
-    no_vc.victim_enabled = false;
-    ColumnDataCache dcache_plain(no_vc);
-    ColumnDataCache dcache_vc(pim_cfg);
+    ColumnInstrCache icache_pim{pim_cfg};
+    ColumnDataCache dcache_plain{withoutVictim(pim_cfg)};
+    ColumnDataCache dcache_vc{pim_cfg};
 
     // Conventional comparison set (32-byte lines).
     std::vector<std::pair<std::string, Cache>> conv_i;
-    conv_i.emplace_back(conv8, Cache(conv(8 * KiB, 1, conv8)));
-    conv_i.emplace_back(conv16, Cache(conv(16 * KiB, 1, conv16)));
-    conv_i.emplace_back(conv32, Cache(conv(32 * KiB, 1, conv32)));
-    conv_i.emplace_back(conv64, Cache(conv(64 * KiB, 1, conv64)));
-
     std::vector<std::pair<std::string, Cache>> conv_d;
-    conv_d.emplace_back(conv16, Cache(conv(16 * KiB, 1, conv16)));
-    conv_d.emplace_back(conv16w2, Cache(conv(16 * KiB, 2, conv16w2)));
-    conv_d.emplace_back(conv64, Cache(conv(64 * KiB, 1, conv64)));
-    conv_d.emplace_back(conv256w2,
-                        Cache(conv(256 * KiB, 2, conv256w2)));
 
-    SyntheticWorkload source(workload.proxy);
+    ComparisonCaches()
+    {
+        using namespace cachelabels;
+        conv_i.emplace_back(conv8, Cache(conv(8 * KiB, 1, conv8)));
+        conv_i.emplace_back(conv16, Cache(conv(16 * KiB, 1, conv16)));
+        conv_i.emplace_back(conv32, Cache(conv(32 * KiB, 1, conv32)));
+        conv_i.emplace_back(conv64, Cache(conv(64 * KiB, 1, conv64)));
+        conv_d.emplace_back(conv16, Cache(conv(16 * KiB, 1, conv16)));
+        conv_d.emplace_back(conv16w2,
+                            Cache(conv(16 * KiB, 2, conv16w2)));
+        conv_d.emplace_back(conv64, Cache(conv(64 * KiB, 1, conv64)));
+        conv_d.emplace_back(conv256w2,
+                            Cache(conv(256 * KiB, 2, conv256w2)));
+    }
 
-    // One statically typed sink fans each reference out to every
-    // cache under study: generateInto() inlines the generator's
-    // emission loop and this sink into a single body (no per-ref
-    // std::function dispatch), and the interleaved replay keeps all
-    // the small tag arrays hot. A buffered per-cache replay variant
-    // measured consistently slower here (the dense ref buffers evict
-    // exactly the tag lines the replay loops need), so the straight
-    // fan-out is the fast path as well as the simple one.
-    const auto sink = [&](const MemRef &ref) {
+    /** Full-detail fan-out: every cache models the reference and
+     * counts it. One statically typed sink per replay loop:
+     * generateInto() inlines the generator's emission loop and this
+     * body together (no per-ref std::function dispatch), and the
+     * interleaved replay keeps all the small tag arrays hot. A
+     * buffered per-cache replay variant measured consistently slower
+     * here (the dense ref buffers evict exactly the tag lines the
+     * replay loops need), so the straight fan-out is the fast path as
+     * well as the simple one. */
+    void
+    detail(const MemRef &ref)
+    {
         if (ref.type == RefType::IFetch) {
             icache_pim.fetch(ref.pc);
             for (auto &[label, cache] : conv_i)
@@ -89,35 +102,311 @@ measureMissRates(const SpecWorkload &workload,
             for (auto &[label, cache] : conv_d)
                 cache.access(ref.addr, store);
         }
+    }
+
+    /** Functional warming: identical state transitions, no stats. */
+    void
+    warm(const MemRef &ref)
+    {
+        if (ref.type == RefType::IFetch) {
+            icache_pim.warmFetch(ref.pc);
+            for (auto &[label, cache] : conv_i)
+                cache.warmAccess(ref.pc, false);
+        } else {
+            const bool store = ref.type == RefType::Store;
+            dcache_plain.warmAccess(ref.addr, store);
+            dcache_vc.warmAccess(ref.addr, store);
+            for (auto &[label, cache] : conv_d)
+                cache.warmAccess(ref.addr, store);
+        }
+    }
+
+    void
+    resetStats()
+    {
+        icache_pim.resetStats();
+        dcache_plain.resetStats();
+        dcache_vc.resetStats();
+        for (auto &[label, cache] : conv_i)
+            cache.resetStats();
+        for (auto &[label, cache] : conv_d)
+            cache.resetStats();
+    }
+
+    /** Label -> live stats views, in the result ordering. */
+    std::vector<std::pair<std::string, const AccessStats *>>
+    icacheViews() const
+    {
+        std::vector<std::pair<std::string, const AccessStats *>> v;
+        v.emplace_back(cachelabels::proposed, &icache_pim.stats());
+        for (const auto &[label, cache] : conv_i)
+            v.emplace_back(label, &cache.stats());
+        return v;
+    }
+
+    std::vector<std::pair<std::string, const AccessStats *>>
+    dcacheViews() const
+    {
+        std::vector<std::pair<std::string, const AccessStats *>> v;
+        v.emplace_back(cachelabels::proposed, &dcache_plain.stats());
+        v.emplace_back(cachelabels::proposed_vc, &dcache_vc.stats());
+        for (const auto &[label, cache] : conv_d)
+            v.emplace_back(label, &cache.stats());
+        return v;
+    }
+};
+
+/**
+ * Per-unit miss-rate accumulator over a set of stats views: snapshot
+ * the counters at unit start, turn the deltas into one rate sample
+ * per cache at unit end (caches a unit never touched contribute no
+ * sample for that unit).
+ */
+class UnitRates
+{
+  public:
+    explicit UnitRates(
+        std::vector<std::pair<std::string, const AccessStats *>> views)
+        : views_(std::move(views)), start_(views_.size()),
+          unit_rates_(views_.size())
+    {
+    }
+
+    void
+    beginUnit()
+    {
+        for (std::size_t i = 0; i < views_.size(); ++i)
+            start_[i] = {views_[i].second->accesses(),
+                         views_[i].second->misses()};
+    }
+
+    void
+    endUnit()
+    {
+        for (std::size_t i = 0; i < views_.size(); ++i) {
+            const std::uint64_t accesses =
+                views_[i].second->accesses() - start_[i].first;
+            const std::uint64_t misses =
+                views_[i].second->misses() - start_[i].second;
+            if (accesses > 0)
+                unit_rates_[i].add(static_cast<double>(misses) /
+                                   static_cast<double>(accesses));
+        }
+    }
+
+    const SampleStat &
+    rates(const std::string &label) const
+    {
+        for (std::size_t i = 0; i < views_.size(); ++i)
+            if (views_[i].first == label)
+                return unit_rates_[i];
+        MW_FATAL("no sampled cache labelled '", label, "'");
+    }
+
+    std::vector<SampledCacheMissRate>
+    results(double level) const
+    {
+        std::vector<SampledCacheMissRate> out;
+        out.reserve(views_.size());
+        for (std::size_t i = 0; i < views_.size(); ++i)
+            out.push_back(SampledCacheMissRate{
+                views_[i].first, unit_rates_[i],
+                confidenceInterval(unit_rates_[i], level)});
+        return out;
+    }
+
+  private:
+    std::vector<std::pair<std::string, const AccessStats *>> views_;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> start_;
+    std::vector<SampleStat> unit_rates_;
+};
+
+/**
+ * Adaptive stop rule on the headline metrics (proposed icache and
+ * proposed+victim dcache): converged once the half-width is within
+ * target_ci relative to the mean, floored at a 1% miss rate so
+ * near-zero rates (where any relative target is unreachable) still
+ * terminate.
+ */
+bool
+headlineConverged(const SamplingPlan &plan, const UnitRates &icaches,
+                  const UnitRates &dcaches)
+{
+    const auto converged = [&](const SampleStat &s) {
+        const ConfidenceInterval ci = confidenceInterval(s, plan.level);
+        if (!ci.valid)
+            return false;
+        return ci.half_width <=
+               plan.target_ci * std::max(ci.mean, 0.01);
     };
+    return converged(icaches.rates(cachelabels::proposed)) &&
+           converged(dcaches.rates(cachelabels::proposed_vc));
+}
+
+} // namespace
+
+WorkloadMissRates
+measureMissRates(const SpecWorkload &workload,
+                 const MissRateParams &params)
+{
+    using namespace cachelabels;
+
+    ComparisonCaches caches;
+    SyntheticWorkload source(workload.proxy);
+    if (params.stationary_start)
+        source.scatterState();
+
     const auto replay = [&](std::uint64_t total) {
-        source.generateInto(total, sink);
+        source.generateInto(
+            total, [&](const MemRef &ref) { caches.detail(ref); });
     };
 
     // Warm up, then reset statistics and measure.
     replay(params.warmup_refs);
-    icache_pim.resetStats();
-    dcache_plain.resetStats();
-    dcache_vc.resetStats();
-    for (auto &[label, cache] : conv_i)
-        cache.resetStats();
-    for (auto &[label, cache] : conv_d)
-        cache.resetStats();
-
+    caches.resetStats();
     replay(params.measured_refs);
 
     WorkloadMissRates out;
     out.workload = workload.name;
     out.icaches.push_back(
-        CacheMissResult{proposed, icache_pim.stats()});
-    for (auto &[label, cache] : conv_i)
+        CacheMissResult{proposed, caches.icache_pim.stats()});
+    for (auto &[label, cache] : caches.conv_i)
         out.icaches.push_back(CacheMissResult{label, cache.stats()});
     out.dcaches.push_back(
-        CacheMissResult{proposed, dcache_plain.stats()});
+        CacheMissResult{proposed, caches.dcache_plain.stats()});
     out.dcaches.push_back(
-        CacheMissResult{proposed_vc, dcache_vc.stats()});
-    for (auto &[label, cache] : conv_d)
+        CacheMissResult{proposed_vc, caches.dcache_vc.stats()});
+    for (auto &[label, cache] : caches.conv_d)
         out.dcaches.push_back(CacheMissResult{label, cache.stats()});
+    return out;
+}
+
+const SampledCacheMissRate &
+SampledWorkloadMissRates::icache(const std::string &label) const
+{
+    for (const auto &r : icaches)
+        if (r.label == label)
+            return r;
+    MW_FATAL("no sampled icache measurement labelled '", label, "'");
+}
+
+const SampledCacheMissRate &
+SampledWorkloadMissRates::dcache(const std::string &label) const
+{
+    for (const auto &r : dcaches)
+        if (r.label == label)
+            return r;
+    MW_FATAL("no sampled dcache measurement labelled '", label, "'");
+}
+
+SampledWorkloadMissRates
+measureMissRatesSampled(const SpecWorkload &workload,
+                        const MissRateParams &params,
+                        const SamplingPlan &plan)
+{
+    plan.validate();
+
+    ComparisonCaches caches;
+    UnitRates icaches(caches.icacheViews());
+    UnitRates dcaches(caches.dcacheViews());
+
+    SampledWorkloadMissRates out;
+    out.workload = workload.name;
+    out.plan = plan.describe();
+
+    const auto detail_sink = [&](const MemRef &ref) {
+        caches.detail(ref);
+    };
+    const auto warm_sink = [&](const MemRef &ref) {
+        caches.warm(ref);
+    };
+    const auto ff_sink = [](const MemRef &) {};
+
+    if (plan.scheme == SampleScheme::Systematic) {
+        // Walk the one stream the full measurement would replay,
+        // phase by phase. A trailing partial detail unit (stream
+        // exhausted mid-unit) is discarded.
+        SyntheticWorkload source(workload.proxy);
+        SystematicCursor cursor(plan);
+        std::uint64_t remaining =
+            params.warmup_refs + params.measured_refs;
+        // Fixed-size plans stop once every unit the stream can hold
+        // has run; adaptive plans may stop earlier.
+        while (remaining > 0) {
+            const std::uint64_t chunk =
+                std::min(cursor.phaseRemaining(), remaining);
+            switch (cursor.mode()) {
+            case SampleMode::FastForward:
+                source.generateInto(chunk, ff_sink);
+                out.ff_refs += chunk;
+                break;
+            case SampleMode::Warm:
+                source.generateInto(chunk, warm_sink);
+                out.warm_refs += chunk;
+                break;
+            case SampleMode::Detail:
+                if (cursor.phaseRemaining() == plan.unit_refs) {
+                    icaches.beginUnit();
+                    dcaches.beginUnit();
+                }
+                source.generateInto(chunk, detail_sink);
+                out.detail_refs += chunk;
+                break;
+            }
+            cursor.advance(chunk);
+            remaining -= chunk;
+            if (cursor.unitJustCompleted()) {
+                ++out.units;
+                icaches.endUnit();
+                dcaches.endUnit();
+                if (plan.adaptive() && out.units >= plan.units &&
+                    (out.units >= plan.max_units ||
+                     headlineConverged(plan, icaches, dcaches)))
+                    break;
+            }
+        }
+    } else {
+        // Stratified: each unit is an independent substream, started
+        // from a stationary-state draw of the generator (see
+        // SyntheticWorkload::scatterState()), measured against the
+        // shared, cumulatively warmed caches. The gap between units
+        // is never generated at all, which is where the speedup
+        // comes from. Cache history is approximate by construction —
+        // the units splice 12+ short stretches of unrelated stream
+        // positions into one cache lifetime, so long-reuse-distance
+        // behaviour deviates by a bounded amount from a continuous
+        // run (the crosscheck bench gates the headline metrics
+        // against a steady-state exhaustive run with a documented
+        // tolerance). Cold per-unit caches would be worse: warming a
+        // large cache from scratch inside each unit's warm window is
+        // exactly the cost this scheme exists to avoid.
+        const std::uint64_t base =
+            pointSeed(plan.seed, workload.proxy.seed);
+        const std::uint64_t floor_units = plan.units;
+        const std::uint64_t cap =
+            plan.adaptive() ? plan.max_units : plan.units;
+        for (std::uint64_t unit = 0; unit < cap; ++unit) {
+            SyntheticSpec spec = workload.proxy;
+            spec.seed = pointSeed(base, unit);
+            SyntheticWorkload source(spec);
+            source.scatterState();
+            source.generateInto(plan.warmup_refs, warm_sink);
+            out.warm_refs += plan.warmup_refs;
+            icaches.beginUnit();
+            dcaches.beginUnit();
+            source.generateInto(plan.unit_refs, detail_sink);
+            out.detail_refs += plan.unit_refs;
+            icaches.endUnit();
+            dcaches.endUnit();
+            ++out.units;
+            if (plan.adaptive() && out.units >= floor_units &&
+                headlineConverged(plan, icaches, dcaches))
+                break;
+        }
+    }
+
+    out.icaches = icaches.results(plan.level);
+    out.dcaches = dcaches.results(plan.level);
     return out;
 }
 

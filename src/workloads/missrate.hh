@@ -20,6 +20,8 @@
 #include "mem/cache.hh"
 #include "mem/column_cache.hh"
 #include "mem/hierarchy.hh"
+#include "sampling/confidence.hh"
+#include "sampling/plan.hh"
 #include "workloads/spec_suite.hh"
 
 namespace memwall {
@@ -55,6 +57,15 @@ struct MissRateParams
     std::uint64_t measured_refs = 4'000'000;
     /** References used to warm the caches (stats discarded). */
     std::uint64_t warmup_refs = 1'000'000;
+    /**
+     * Scatter the generator to a stationary-state draw before
+     * warming (SyntheticWorkload::scatterState()), so the measured
+     * window estimates the steady-state miss rate instead of the
+     * cold start-of-stream window. The stratified sampling scheme
+     * targets the same population; the crosscheck bench gates it
+     * against an exhaustive run with this flag set.
+     */
+    bool stationary_start = false;
 };
 
 /** Labels used for the standard comparison set. */
@@ -77,6 +88,63 @@ inline constexpr const char *conv256w2 = "conv-256K-2w";
  */
 WorkloadMissRates measureMissRates(const SpecWorkload &workload,
                                    const MissRateParams &params = {});
+
+/** Sampled estimate of one cache configuration's miss rate. */
+struct SampledCacheMissRate
+{
+    std::string label;
+    /** One miss-rate sample per detail unit that touched the cache. */
+    SampleStat unit_rates;
+    /** Interval over the unit rates at the plan's level. */
+    ConfidenceInterval ci;
+
+    double mean() const { return unit_rates.mean(); }
+};
+
+/** Sampled Figure 7 / Figure 8 measurements for one workload. */
+struct SampledWorkloadMissRates
+{
+    std::string workload;
+    /** SamplingPlan::describe() of the plan that produced this. */
+    std::string plan;
+    std::vector<SampledCacheMissRate> icaches;
+    std::vector<SampledCacheMissRate> dcaches;
+
+    /** Detail units completed (== max sample count per cache). */
+    std::uint64_t units = 0;
+    /** References simulated in each mode. */
+    std::uint64_t detail_refs = 0;
+    std::uint64_t warm_refs = 0;
+    std::uint64_t ff_refs = 0;
+
+    const SampledCacheMissRate &icache(const std::string &label) const;
+    const SampledCacheMissRate &dcache(const std::string &label) const;
+};
+
+/**
+ * Sampled version of measureMissRates(): runs the same comparison set
+ * under @p plan instead of replaying the full stream in detail.
+ *
+ * Systematic plans walk the single reference stream of length
+ * warmup_refs + measured_refs phase by phase: fast-forward advances
+ * the generator only, warm phases update cache state without
+ * statistics, and each detail unit contributes one miss-rate sample
+ * per cache. Stratified plans draw each unit from an independent
+ * substream (seed = pointSeed(pointSeed(plan.seed, proxy seed),
+ * unit)) against shared, cumulatively warmed caches — the natural fit
+ * for the stationary synthetic proxies, and far cheaper because the
+ * fast-forward gap is never generated at all.
+ *
+ * Adaptive plans (target_ci > 0) keep adding units until the
+ * headline metrics — the proposed icache and proposed+victim dcache —
+ * reach the target relative half-width (with a 1% miss-rate floor so
+ * near-zero rates terminate), bounded by max_units and, for
+ * systematic plans, by the stream length.
+ */
+SampledWorkloadMissRates
+measureMissRatesSampled(const SpecWorkload &workload,
+                        const MissRateParams &params,
+                        const SamplingPlan &plan);
 
 /** Hit ratios of a two-level conventional hierarchy (Section 5.5). */
 struct HierarchyRates

@@ -48,6 +48,7 @@ runLu(const SplashParams &params)
     };
 
     MpRuntime rt(p, params.machine);
+    SamplerScope sampling(rt, params);
     SharedArray<double> a(rt, static_cast<std::size_t>(n) * n, "A");
 
     // Deterministic diagonally dominant matrix.
@@ -86,19 +87,10 @@ runLu(const SplashParams &params)
         }
     });
 
-    SplashResult res;
-    res.makespan = rt.scheduler().cpuTime(0);
-    for (unsigned cpu = 0; cpu < p; ++cpu)
-        res.makespan =
-            std::max(res.makespan, rt.scheduler().cpuTime(cpu));
-    res.accesses = rt.machine().totalAccesses();
-    res.remote_loads = rt.machine().totalRemoteLoads();
-    res.invalidations = rt.machine().totalInvalidations();
     double sum = 0.0;
     for (unsigned i = 0; i < n; ++i)
         sum += std::fabs(a.raw(idx(n, i, i)));
-    res.checksum = sum;
-    return res;
+    return collectResult(rt, sum, sampling);
 }
 
 } // namespace memwall

@@ -26,6 +26,7 @@ runOcean(const SplashParams &params)
     const unsigned p = params.nprocs;
 
     MpRuntime rt(p, params.machine);
+    SamplerScope sampling(rt, params);
     SharedArray<double> grid(rt, static_cast<std::size_t>(n) * n,
                              "grid");
     // Per-processor partial residuals (padded to a coherence unit
@@ -93,7 +94,7 @@ runOcean(const SplashParams &params)
         }
     });
 
-    return collectResult(rt, final_residual);
+    return collectResult(rt, final_residual, sampling);
 }
 
 } // namespace memwall

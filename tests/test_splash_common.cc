@@ -54,6 +54,36 @@ TEST(SliceOf, MoreCpusThanItems)
     EXPECT_EQ(sliceOf(2, 3, 4).first, sliceOf(2, 3, 4).last);
 }
 
+TEST(SliceOf, LargeTotalsDoNotOverflow)
+{
+    // Regression: `cpu * base` used to be computed in 32-bit and
+    // wrapped for synthetic-scaling totals near UINT_MAX, handing the
+    // top cpus garbage (overlapping) slices. The 64-bit intermediates
+    // must keep the partition exact at the boundary.
+    const unsigned total = 4'000'000'000u;
+    const unsigned p = 3;
+    unsigned prev_end = 0;
+    std::uint64_t covered = 0;
+    for (unsigned cpu = 0; cpu < p; ++cpu) {
+        const Slice s = sliceOf(total, cpu, p);
+        EXPECT_EQ(s.first, prev_end);
+        EXPECT_LE(s.first, s.last);
+        covered += s.last - s.first;
+        prev_end = s.last;
+    }
+    EXPECT_EQ(covered, total);
+    EXPECT_EQ(prev_end, total);
+    // The max-total / max-cpu corner stays in range too.
+    const unsigned m = 0xffffffffu;
+    EXPECT_EQ(sliceOf(m, 15, 16).last, m);
+}
+
+TEST(SliceOfDeathTest, RejectsOutOfRangeCpu)
+{
+    EXPECT_DEATH(sliceOf(100, 4, 4), "out of range");
+    EXPECT_DEATH(sliceOf(100, 0, 0), "out of range");
+}
+
 TEST(CollectResult, GathersMachineCounters)
 {
     NumaConfig cfg;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/stats.hh"
 
@@ -28,8 +29,36 @@ TEST(SampleStat, EmptyIsSafe)
     SampleStat s;
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
-    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
-    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    // No samples: a variance does not exist. It used to read 0.0,
+    // which let a zero-unit sampled run report a zero-width
+    // confidence interval; NaN poisons any arithmetic built on it.
+    EXPECT_FALSE(s.hasVariance());
+    EXPECT_TRUE(std::isnan(s.variance()));
+    EXPECT_TRUE(std::isnan(s.stddev()));
+}
+
+TEST(SampleStat, SingleSampleHasNoVariance)
+{
+    SampleStat s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    // One observation says nothing about spread: the n-1 denominator
+    // is zero. Regression for the 1-unit sampled run that claimed a
+    // zero-width interval.
+    EXPECT_FALSE(s.hasVariance());
+    EXPECT_TRUE(std::isnan(s.variance()));
+    EXPECT_TRUE(std::isnan(s.stddev()));
+}
+
+TEST(SampleStat, TwoSamplesGainVariance)
+{
+    SampleStat s;
+    s.add(1.0);
+    EXPECT_FALSE(s.hasVariance());
+    s.add(3.0);
+    EXPECT_TRUE(s.hasVariance());
+    EXPECT_DOUBLE_EQ(s.variance(), 2.0);
 }
 
 TEST(SampleStat, MeanAndVariance)
@@ -71,6 +100,65 @@ TEST(SampleStat, ResetClears)
     s.reset();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.total(), 0.0);
+    EXPECT_FALSE(s.hasVariance());
+}
+
+namespace {
+
+/** Two-pass textbook variance for cross-checking Welford. */
+double
+naiveVariance(const std::vector<double> &xs)
+{
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mean) * (x - mean);
+    return ss / static_cast<double>(xs.size() - 1);
+}
+
+} // namespace
+
+TEST(SampleStat, WelfordMatchesTwoPassOnAdversarialSequences)
+{
+    // Sequences chosen to break one-pass sum-of-squares: huge common
+    // offsets, alternating magnitudes, near-cancellation, and a
+    // monotone ramp whose mean drifts the whole run.
+    const std::vector<std::vector<double>> cases = {
+        {1e12, 1e12 + 1, 1e12 + 2, 1e12 + 3},
+        {1e8, -1e8, 1e8, -1e8, 1e8, -1e8, 42.0},
+        {3.14159, 3.14159, 3.14159, 3.1416, 3.14158},
+        {1e-9, 2e-9, 3e-9, 4e-9, 5e-9},
+        {1e15, 1.0, -1e15, 2.0, 1e15, 3.0},
+    };
+    for (const auto &xs : cases) {
+        SampleStat s;
+        for (double x : xs)
+            s.add(x);
+        const double expect = naiveVariance(xs);
+        // Welford should agree with the stable two-pass formula to
+        // high relative precision (absolute floor for variance ~0).
+        const double tol = 1e-9 * std::max(1.0, expect);
+        EXPECT_NEAR(s.variance(), expect, tol)
+            << "sequence starting at " << xs.front();
+    }
+}
+
+TEST(SampleStat, RampMeanStaysExact)
+{
+    // 0..9999 around a 1e9 offset: naive single-pass variance loses
+    // every significant digit here; Welford keeps them all.
+    SampleStat s;
+    const double n = 10000.0;
+    for (int i = 0; i < 10000; ++i)
+        s.add(1e9 + i);
+    EXPECT_NEAR(s.mean(), 1e9 + (n - 1) / 2.0, 1e-3);
+    // Sample variance of 0..n-1 is n(n+1)/12. Welford's rounding at
+    // this offset is O(10); the naive sum-of-squares formula is off
+    // by O(1e6) here, so the tolerance separates them cleanly.
+    EXPECT_NEAR(s.variance(), n * (n + 1.0) / 12.0, 500.0);
 }
 
 TEST(Histogram, BucketsAndBounds)
@@ -107,6 +195,64 @@ TEST(Histogram, QuantileUniform)
     EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
     EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
     EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, QuantileBoundaryTable)
+{
+    // Regression table for the quantile boundary rewrite. The old
+    // implementation truncated the rank to an integer and used a
+    // strict '>' walk, so p = 1.0 fell off the end (returning hi_
+    // regardless of the data) and odd-count medians shifted down by
+    // one sample.
+    Histogram h(0.0, 10.0, 10);
+    h.add(2.5);  // bucket 2
+    h.add(4.5);  // bucket 4
+    h.add(6.5);  // bucket 6
+
+    // p = 0: infimum of the mass = low edge of the first occupied bin.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+    // Odd-count median: the 1.5th sample lands mid-bucket 4.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.5);
+    // p = 1: high edge of the last occupied bin, not hi_.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+}
+
+TEST(Histogram, QuantileAllUnderflow)
+{
+    Histogram h(10.0, 20.0, 5);
+    h.add(-5.0);
+    h.add(0.0);
+    // Mass entirely below the range clamps every quantile to lo.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileAllOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(11.0);
+    h.add(99.0);
+    // Mass entirely above the range clamps every quantile to hi.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileSingleBucket)
+{
+    Histogram h(0.0, 8.0, 1);
+    h.add(3.0, 4);
+    // All mass in one bin: quantiles interpolate across its width.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLow)
+{
+    Histogram h(1.0, 2.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
 }
 
 TEST(Histogram, ResetClears)
