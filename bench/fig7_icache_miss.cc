@@ -3,6 +3,16 @@
  * Regenerates Figure 7: instruction-cache miss rates of the proposed
  * 8 KB column-buffer cache (512-byte lines) vs conventional
  * direct-mapped caches (32-byte lines) of 8/16/32/64 KB.
+ *
+ * Robustness plumbing shared with Figure 8:
+ *   --resume PATH    crash-safe sweep journal — an interrupted run
+ *                    rerun with the same flags replays committed
+ *                    points and produces byte-identical output;
+ *   --ckpt-dir DIR   (sampled stratified plans) per-unit warm-state
+ *                    checkpoints — the second run loads them instead
+ *                    of re-warming, degrading gracefully to
+ *                    functional warming when files are missing or
+ *                    corrupt.
  */
 
 #include <iostream>
@@ -10,12 +20,17 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "harness/parallel_sweep.hh"
+#include "harness/sweep_resume.hh"
+#include "resume_util.hh"
 #include "workloads/missrate.hh"
 
 using namespace memwall;
 using namespace memwall::cachelabels;
 
 namespace {
+
+constexpr std::initializer_list<const char *> extra_flags = {
+    "--sample", "--ckpt-dir", "--resume"};
 
 /** "mean±half" table cell, in percent. */
 std::string
@@ -28,7 +43,8 @@ ciCell(const SampledCacheMissRate &r)
 /** Sampled variant: mean ± CI half-width per configuration. */
 int
 runSampled(const benchutil::Options &opt, const MissRateParams &params,
-           const SamplingPlan &plan)
+           const SamplingPlan &plan, const std::string &ckpt_dir,
+           const std::string &resume_path)
 {
     TextTable table("Figure 7 (sampled): I-cache miss % ± " +
                     TextTable::num(plan.level * 100, 0) + "% CI");
@@ -36,11 +52,30 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
                      "conv 16K", "conv 32K", "conv 64K", "units"});
     std::cout << "sampling plan: " << plan.describe() << "\n\n";
 
+    std::unique_ptr<ckpt::CheckpointStore> store =
+        benchutil::makeMissRateStore(ckpt_dir, plan);
+
     ParallelSweep<SampledWorkloadMissRates> sweep(opt.jobs, opt.seed);
+    ckpt::SweepJournal journal;
+    if (!resume_path.empty()) {
+        benchutil::openJournal(
+            journal, resume_path,
+            benchutil::missRateRunHash("fig7-sampled", opt, params,
+                                       &plan));
+        attachSweepJournal(
+            sweep, journal,
+            [](ckpt::Encoder &e, const SampledWorkloadMissRates &r) {
+                encodeResult(e, r);
+            },
+            [](ckpt::Decoder &d, SampledWorkloadMissRates &r) {
+                return decodeResult(d, r);
+            });
+    }
     for (const auto &w : specSuite()) {
         sweep.submit(
-            [&w, &params, &plan](const PointContext &) {
-                return measureMissRatesSampled(w, params, plan);
+            [&w, &params, &plan, &store](const PointContext &) {
+                return measureMissRatesSampled(w, params, plan,
+                                               store.get());
             },
             [&table](const PointContext &,
                      SampledWorkloadMissRates rates) {
@@ -55,6 +90,8 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
     }
     sweep.finish();
     table.print(std::cout);
+    if (store)
+        benchutil::printStoreCounters(*store);
     return 0;
 }
 
@@ -63,7 +100,11 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
 int
 main(int argc, char **argv)
 {
-    auto opt = benchutil::parse(argc, argv, {"--sample"});
+    auto opt = benchutil::parse(argc, argv, extra_flags);
+    const std::string ckpt_dir =
+        benchutil::checkpointDirFlag(opt, argv[0], extra_flags);
+    const std::string resume_path =
+        benchutil::resumePathFlag(opt, argv[0], extra_flags);
     benchutil::banner("Figure 7 - instruction cache miss rates", opt);
 
     MissRateParams params;
@@ -73,7 +114,8 @@ main(int argc, char **argv)
 
     const std::string sample = opt.extraOr("--sample", "");
     if (!sample.empty())
-        return runSampled(opt, params, parseSamplingPlan(sample));
+        return runSampled(opt, params, parseSamplingPlan(sample),
+                          ckpt_dir, resume_path);
 
     TextTable table("Figure 7: I-cache miss probability (%)");
     table.setHeader({"benchmark", "proposed 8K/512B", "conv 8K",
@@ -85,6 +127,21 @@ main(int argc, char **argv)
     // One sweep point per workload; rows commit in suite order no
     // matter which worker finishes first.
     ParallelSweep<WorkloadMissRates> sweep(opt.jobs, opt.seed);
+    ckpt::SweepJournal journal;
+    if (!resume_path.empty()) {
+        benchutil::openJournal(
+            journal, resume_path,
+            benchutil::missRateRunHash("fig7", opt, params,
+                                       nullptr));
+        attachSweepJournal(
+            sweep, journal,
+            [](ckpt::Encoder &e, const WorkloadMissRates &r) {
+                encodeResult(e, r);
+            },
+            [](ckpt::Decoder &d, WorkloadMissRates &r) {
+                return decodeResult(d, r);
+            });
+    }
     for (const auto &w : specSuite()) {
         sweep.submit(
             [&w, &params](const PointContext &) {

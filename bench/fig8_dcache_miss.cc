@@ -12,12 +12,17 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "harness/parallel_sweep.hh"
+#include "harness/sweep_resume.hh"
+#include "resume_util.hh"
 #include "workloads/missrate.hh"
 
 using namespace memwall;
 using namespace memwall::cachelabels;
 
 namespace {
+
+constexpr std::initializer_list<const char *> extra_flags = {
+    "--sample", "--ckpt-dir", "--resume"};
 
 /** "mean±half" table cell, in percent. */
 std::string
@@ -30,7 +35,8 @@ ciCell(const SampledCacheMissRate &r)
 /** Sampled variant: mean ± CI half-width per configuration. */
 int
 runSampled(const benchutil::Options &opt, const MissRateParams &params,
-           const SamplingPlan &plan)
+           const SamplingPlan &plan, const std::string &ckpt_dir,
+           const std::string &resume_path)
 {
     TextTable table("Figure 8 (sampled): D-cache miss % ± " +
                     TextTable::num(plan.level * 100, 0) + "% CI");
@@ -39,11 +45,30 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
                      "proposed+VC", "units"});
     std::cout << "sampling plan: " << plan.describe() << "\n\n";
 
+    std::unique_ptr<ckpt::CheckpointStore> store =
+        benchutil::makeMissRateStore(ckpt_dir, plan);
+
     ParallelSweep<SampledWorkloadMissRates> sweep(opt.jobs, opt.seed);
+    ckpt::SweepJournal journal;
+    if (!resume_path.empty()) {
+        benchutil::openJournal(
+            journal, resume_path,
+            benchutil::missRateRunHash("fig8-sampled", opt, params,
+                                       &plan));
+        attachSweepJournal(
+            sweep, journal,
+            [](ckpt::Encoder &e, const SampledWorkloadMissRates &r) {
+                encodeResult(e, r);
+            },
+            [](ckpt::Decoder &d, SampledWorkloadMissRates &r) {
+                return decodeResult(d, r);
+            });
+    }
     for (const auto &w : specSuite()) {
         sweep.submit(
-            [&w, &params, &plan](const PointContext &) {
-                return measureMissRatesSampled(w, params, plan);
+            [&w, &params, &plan, &store](const PointContext &) {
+                return measureMissRatesSampled(w, params, plan,
+                                               store.get());
             },
             [&table](const PointContext &,
                      SampledWorkloadMissRates rates) {
@@ -59,6 +84,8 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
     }
     sweep.finish();
     table.print(std::cout);
+    if (store)
+        benchutil::printStoreCounters(*store);
     return 0;
 }
 
@@ -67,7 +94,11 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
 int
 main(int argc, char **argv)
 {
-    auto opt = benchutil::parse(argc, argv, {"--sample"});
+    auto opt = benchutil::parse(argc, argv, extra_flags);
+    const std::string ckpt_dir =
+        benchutil::checkpointDirFlag(opt, argv[0], extra_flags);
+    const std::string resume_path =
+        benchutil::resumePathFlag(opt, argv[0], extra_flags);
     benchutil::banner("Figure 8 - data cache miss rates", opt);
 
     MissRateParams params;
@@ -77,7 +108,8 @@ main(int argc, char **argv)
 
     const std::string sample = opt.extraOr("--sample", "");
     if (!sample.empty())
-        return runSampled(opt, params, parseSamplingPlan(sample));
+        return runSampled(opt, params, parseSamplingPlan(sample),
+                          ckpt_dir, resume_path);
 
     TextTable table(
         "Figure 8: D-cache miss probability (%), load+store");
@@ -91,6 +123,21 @@ main(int argc, char **argv)
     // land in suite order, so `all` matches the serial loop exactly.
     std::vector<WorkloadMissRates> all;
     ParallelSweep<WorkloadMissRates> sweep(opt.jobs, opt.seed);
+    ckpt::SweepJournal journal;
+    if (!resume_path.empty()) {
+        benchutil::openJournal(
+            journal, resume_path,
+            benchutil::missRateRunHash("fig8", opt, params,
+                                       nullptr));
+        attachSweepJournal(
+            sweep, journal,
+            [](ckpt::Encoder &e, const WorkloadMissRates &r) {
+                encodeResult(e, r);
+            },
+            [](ckpt::Decoder &d, WorkloadMissRates &r) {
+                return decodeResult(d, r);
+            });
+    }
     for (const auto &w : specSuite()) {
         sweep.submit(
             [&w, &params](const PointContext &) {

@@ -1,0 +1,322 @@
+#include "checkpoint/checkpoint.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace memwall {
+namespace ckpt {
+
+namespace {
+
+constexpr std::uint32_t file_magic = fourcc("MWCP");
+
+/** Fixed part of the header preceding the section table. */
+constexpr std::size_t header_fixed = 4 + 4 + 8 + 4;
+/** Per-entry size in the section table. */
+constexpr std::size_t table_entry = 4 + 8 + 8 + 4;
+
+std::string
+errnoMessage(const std::string &what, const std::string &path)
+{
+    return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/** fsync the directory containing @p path so the rename is durable. */
+void
+fsyncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd); // best effort; rename already hit the journal
+        ::close(dfd);
+    }
+}
+
+} // namespace
+
+std::string
+fourccName(std::uint32_t id)
+{
+    std::string s;
+    for (int i = 0; i < 4; ++i) {
+        const char c = static_cast<char>(id >> (8 * i));
+        s += std::isprint(static_cast<unsigned char>(c)) ? c : '?';
+    }
+    return s;
+}
+
+const char *
+loadErrorName(LoadError e)
+{
+    switch (e) {
+    case LoadError::None: return "ok";
+    case LoadError::Io: return "io-error";
+    case LoadError::Truncated: return "truncated";
+    case LoadError::BadMagic: return "bad-magic";
+    case LoadError::BadVersion: return "version-mismatch";
+    case LoadError::BadConfig: return "config-mismatch";
+    case LoadError::BadHeaderCrc: return "header-crc";
+    case LoadError::BadSectionCrc: return "section-crc";
+    case LoadError::Malformed: return "malformed";
+    }
+    return "unknown";
+}
+
+bool
+atomicWriteFile(const std::string &path, const void *data,
+                std::size_t len, std::string *why)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (why)
+            *why = errnoMessage("cannot create", tmp);
+        return false;
+    }
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::write(fd, p + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (why)
+                *why = errnoMessage("short write to", tmp);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        if (why)
+            *why = errnoMessage("fsync failed on", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        if (why)
+            *why = errnoMessage("close failed on", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (why)
+            *why = errnoMessage("rename failed for", path);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    fsyncParentDir(path);
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>>
+readFileBytes(const std::string &path, std::string *why)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (why)
+            *why = errnoMessage("cannot open", path);
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (why)
+                *why = errnoMessage("read failed on", path);
+            ::close(fd);
+            return std::nullopt;
+        }
+        if (n == 0)
+            break;
+        bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(fd);
+    return bytes;
+}
+
+std::vector<std::uint8_t>
+CheckpointWriter::serialize() const
+{
+    Encoder header;
+    header.u32(file_magic);
+    header.u32(format_version);
+    header.u64(config_hash_);
+    header.u32(static_cast<std::uint32_t>(sections_.size()));
+    std::uint64_t offset = 0;
+    for (const Section &s : sections_) {
+        header.u32(s.id);
+        header.u64(offset);
+        header.u64(s.enc.size());
+        header.u32(crc32(s.enc.data().data(), s.enc.size()));
+        offset += s.enc.size();
+    }
+    header.u32(crc32(header.data().data(), header.size()));
+
+    std::vector<std::uint8_t> out = header.take();
+    for (const Section &s : sections_)
+        out.insert(out.end(), s.enc.data().begin(),
+                   s.enc.data().end());
+    return out;
+}
+
+bool
+CheckpointWriter::writeFile(const std::string &path,
+                            std::string *why) const
+{
+    const std::vector<std::uint8_t> bytes = serialize();
+    return atomicWriteFile(path, bytes.data(), bytes.size(), why);
+}
+
+LoadError
+CheckpointReader::failLoad(LoadError e, std::string detail)
+{
+    bytes_.clear();
+    sections_.clear();
+    detail_ = std::move(detail);
+    return e;
+}
+
+LoadError
+CheckpointReader::loadFile(const std::string &path,
+                           std::optional<std::uint64_t>
+                               expected_config_hash)
+{
+    std::string why;
+    auto bytes = readFileBytes(path, &why);
+    if (!bytes)
+        return failLoad(LoadError::Io, why);
+    return loadBytes(std::move(*bytes), expected_config_hash);
+}
+
+LoadError
+CheckpointReader::loadBytes(std::vector<std::uint8_t> bytes,
+                            std::optional<std::uint64_t>
+                                expected_config_hash)
+{
+    bytes_ = std::move(bytes);
+    sections_.clear();
+    detail_.clear();
+
+    if (bytes_.size() < header_fixed + 4)
+        return failLoad(LoadError::Truncated,
+                        "file shorter than a checkpoint header");
+
+    Decoder fixed(bytes_.data(), bytes_.size());
+    const std::uint32_t magic = fixed.u32();
+    version_ = fixed.u32();
+    config_hash_ = fixed.u64();
+    const std::uint32_t count = fixed.u32();
+
+    if (magic != file_magic)
+        return failLoad(LoadError::BadMagic,
+                        "magic is not 'MWCP'");
+
+    // Header CRC next: it covers the fixed header and the section
+    // table, and gates every later check — a flipped version byte
+    // must read as corruption, not as honest version skew.
+    const std::size_t table_bytes =
+        static_cast<std::size_t>(count) * table_entry;
+    if (bytes_.size() < header_fixed + table_bytes + 4)
+        return failLoad(LoadError::Truncated,
+                        "section table extends past end of file");
+    const std::size_t crc_off = header_fixed + table_bytes;
+    Decoder crc_field(bytes_.data() + crc_off, 4);
+    const std::uint32_t stored_crc = crc_field.u32();
+    const std::uint32_t actual_crc = crc32(bytes_.data(), crc_off);
+    if (stored_crc != actual_crc)
+        return failLoad(LoadError::BadHeaderCrc,
+                        "header CRC mismatch");
+
+    if (version_ != format_version)
+        return failLoad(LoadError::BadVersion,
+                        "format version " +
+                            std::to_string(version_) +
+                            " (expected " +
+                            std::to_string(format_version) + ")");
+    if (expected_config_hash && config_hash_ != *expected_config_hash)
+        return failLoad(LoadError::BadConfig,
+                        "checkpoint was written under a different "
+                        "configuration");
+
+    payload_base_ = crc_off + 4;
+    const std::uint64_t payload_len = bytes_.size() - payload_base_;
+
+    Decoder table(bytes_.data() + header_fixed, table_bytes);
+    std::uint64_t expected_off = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        SectionInfo info;
+        info.id = table.u32();
+        info.offset = table.u64();
+        info.length = table.u64();
+        info.crc = table.u32();
+        // Sections must tile the payload in order; anything else is
+        // a forged or scrambled table.
+        if (info.offset != expected_off)
+            return failLoad(LoadError::Malformed,
+                            "section '" + fourccName(info.id) +
+                                "' has inconsistent extent");
+        // A consistent table pointing past the end of the file means
+        // the payload was cut short, not that the table was forged.
+        if (info.length > payload_len - info.offset)
+            return failLoad(LoadError::Truncated,
+                            "section '" + fourccName(info.id) +
+                                "' extends past end of file");
+        expected_off = info.offset + info.length;
+        sections_.push_back(info);
+    }
+    if (expected_off != payload_len)
+        return failLoad(LoadError::Truncated,
+                        "payload length disagrees with section "
+                        "table");
+
+    for (const SectionInfo &info : sections_) {
+        const std::uint32_t crc =
+            crc32(bytes_.data() + payload_base_ + info.offset,
+                  static_cast<std::size_t>(info.length));
+        if (crc != info.crc)
+            return failLoad(LoadError::BadSectionCrc,
+                            "section '" + fourccName(info.id) +
+                                "' failed its CRC");
+    }
+    return LoadError::None;
+}
+
+bool
+CheckpointReader::hasSection(std::uint32_t id) const
+{
+    for (const SectionInfo &s : sections_)
+        if (s.id == id)
+            return true;
+    return false;
+}
+
+Decoder
+CheckpointReader::section(std::uint32_t id) const
+{
+    for (const SectionInfo &s : sections_) {
+        if (s.id == id)
+            return Decoder(bytes_.data() + payload_base_ + s.offset,
+                           static_cast<std::size_t>(s.length));
+    }
+    Decoder missing(nullptr, 0);
+    missing.fail("section '" + fourccName(id) + "' absent");
+    return missing;
+}
+
+} // namespace ckpt
+} // namespace memwall

@@ -1,0 +1,50 @@
+#include "checkpoint/codec.hh"
+
+#include <array>
+
+namespace memwall {
+namespace ckpt {
+
+namespace {
+
+/** Build the reflected CRC-32 table once (polynomial 0xedb88320). */
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t crc)
+{
+    static const std::array<std::uint32_t, 256> table =
+        makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t len, std::uint64_t h)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace ckpt
+} // namespace memwall

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Append-only sweep journal for resumable figure/table runs.
+ *
+ * A ParallelSweep writes one record per committed point; an
+ * interrupted run reopens the journal with --resume and replays the
+ * recorded results instead of recomputing them. The format is
+ * deliberately dumb — a header plus self-checking records — because
+ * the failure mode it must survive is SIGKILL mid-append:
+ *
+ *     magic "MWSJ"   u32
+ *     version        u32
+ *     run hash       u64   (FNV-1a over plan/config/flags)
+ *     records:
+ *       point index  u64
+ *       payload len  u64
+ *       payload CRC  u32
+ *       payload bytes
+ *
+ * On open, records are scanned front to back; the first record whose
+ * length or CRC does not check out marks the torn tail, which is
+ * truncated away so the journal is again append-clean. A journal
+ * whose run hash differs from the current run is discarded (fresh
+ * start), never partially applied.
+ */
+
+#ifndef MEMWALL_CHECKPOINT_JOURNAL_HH
+#define MEMWALL_CHECKPOINT_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memwall {
+namespace ckpt {
+
+class SweepJournal
+{
+  public:
+    SweepJournal() = default;
+    ~SweepJournal() { close(); }
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /**
+     * Open (or create) the journal at @p path for run @p run_hash.
+     * Existing valid records are loaded for lookup(); a torn tail is
+     * truncated; a foreign run hash discards the old contents.
+     * Returns false with @p why on I/O errors.
+     */
+    bool open(const std::string &path, std::uint64_t run_hash,
+              std::string *why = nullptr);
+
+    /** Recorded payload for @p index, or nullptr if not journaled. */
+    const std::vector<std::uint8_t> *lookup(std::size_t index) const;
+
+    /** Append one record and fsync it. Not thread-safe: callers
+     *  append from the sweep's commit path, which is ordered. */
+    bool append(std::size_t index,
+                const std::vector<std::uint8_t> &payload,
+                std::string *why = nullptr);
+
+    void close();
+
+    /** Records recovered from a previous run at open(). */
+    std::size_t recovered() const { return recovered_; }
+    /** Torn bytes truncated from the tail at open(). */
+    std::size_t tornBytes() const { return torn_bytes_; }
+    /** Whether open() discarded a journal from a different run. */
+    bool discardedForeign() const { return discarded_foreign_; }
+
+  private:
+    int fd_ = -1;
+    std::map<std::size_t, std::vector<std::uint8_t>> records_;
+    std::size_t recovered_ = 0;
+    std::size_t torn_bytes_ = 0;
+    bool discarded_foreign_ = false;
+};
+
+} // namespace ckpt
+} // namespace memwall
+
+#endif // MEMWALL_CHECKPOINT_JOURNAL_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Encode/decode helpers for the small common-library value types
+ * that appear in nearly every component checkpoint section.
+ */
+
+#ifndef MEMWALL_CHECKPOINT_STATE_IO_HH
+#define MEMWALL_CHECKPOINT_STATE_IO_HH
+
+#include "checkpoint/codec.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace memwall {
+namespace ckpt {
+
+inline void
+putRng(Encoder &e, const Rng &rng)
+{
+    for (const std::uint64_t word : rng.state())
+        e.u64(word);
+}
+
+inline void
+getRng(Decoder &d, Rng &rng)
+{
+    std::array<std::uint64_t, 4> s{};
+    bool nonzero = false;
+    for (std::uint64_t &word : s) {
+        word = d.u64();
+        nonzero = nonzero || word != 0;
+    }
+    if (!nonzero) {
+        // All-zero state wedges xoshiro forever; a valid generator
+        // can never reach it, so it can only mean corruption.
+        d.fail("rng state is all zeros");
+        return;
+    }
+    rng.setState(s);
+}
+
+inline void
+putCounter(Encoder &e, const Counter &c)
+{
+    e.varint(c.value());
+}
+
+inline void
+getCounter(Decoder &d, Counter &c)
+{
+    c.set(d.varint());
+}
+
+inline void
+putAccessStats(Encoder &e, const AccessStats &s)
+{
+    putCounter(e, s.load_hits);
+    putCounter(e, s.load_misses);
+    putCounter(e, s.store_hits);
+    putCounter(e, s.store_misses);
+}
+
+inline void
+getAccessStats(Decoder &d, AccessStats &s)
+{
+    getCounter(d, s.load_hits);
+    getCounter(d, s.load_misses);
+    getCounter(d, s.store_hits);
+    getCounter(d, s.store_misses);
+}
+
+inline void
+putSampleStat(Encoder &e, const SampleStat &s)
+{
+    const SampleStat::Snapshot snap = s.snapshot();
+    e.varint(snap.n);
+    e.f64(snap.mean);
+    e.f64(snap.m2);
+    e.f64(snap.sum);
+    e.f64(snap.min);
+    e.f64(snap.max);
+}
+
+inline void
+getSampleStat(Decoder &d, SampleStat &s)
+{
+    SampleStat::Snapshot snap;
+    snap.n = d.varint();
+    snap.mean = d.f64();
+    snap.m2 = d.f64();
+    snap.sum = d.f64();
+    snap.min = d.f64();
+    snap.max = d.f64();
+    if (d.ok())
+        s.restore(snap);
+}
+
+} // namespace ckpt
+} // namespace memwall
+
+#endif // MEMWALL_CHECKPOINT_STATE_IO_HH

@@ -277,6 +277,23 @@ class NumaMachine
         return proto_failures_.value();
     }
 
+    /**
+     * Serialize the full protocol state — directory, per-node cache
+     * structures (column/victim/INC or FLC + infinite SLC),
+     * Simple-COMA attraction sets and frame maps, page placements,
+     * per-node statistics, fault-model RNG and counters — behind a
+     * topology guard (nodes, arch, victim cache, page size,
+     * first-touch). Sets and maps are emitted in sorted order so the
+     * bytes are canonical. Fabric-contention mode is not
+     * checkpointable (the link clocks are not captured); saveState
+     * asserts it is off.
+     */
+    void saveState(ckpt::Encoder &e) const;
+
+    /** All-or-nothing restore; fails the decoder on any topology
+     * mismatch and invalidates the hot-path memos on success. */
+    void loadState(ckpt::Decoder &d);
+
   private:
     struct Node
     {

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Glue between ParallelSweep's memo hooks and the crash-safe
+ * ckpt::SweepJournal: committed points are journaled in commit
+ * order, and a resumed run replays journaled results instead of
+ * recomputing them. Because the sweep commits strictly in
+ * submission order and the journal fsyncs every record, a run
+ * killed at any instant resumes to byte-identical output.
+ */
+
+#ifndef MEMWALL_HARNESS_SWEEP_RESUME_HH
+#define MEMWALL_HARNESS_SWEEP_RESUME_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "checkpoint/codec.hh"
+#include "checkpoint/journal.hh"
+#include "common/logging.hh"
+#include "harness/parallel_sweep.hh"
+
+namespace memwall {
+
+/**
+ * Wire @p journal into @p sweep. @p encode is
+ * void(ckpt::Encoder &, const Result &); @p decode is
+ * bool(ckpt::Decoder &, Result &) returning false on malformed
+ * payloads (the point is then recomputed — a bad record degrades,
+ * never crashes). The journal must outlive the sweep.
+ */
+template <typename Result, typename Encode, typename Decode>
+void
+attachSweepJournal(ParallelSweep<Result> &sweep,
+                   ckpt::SweepJournal &journal, Encode encode,
+                   Decode decode)
+{
+    sweep.setMemo(
+        [&journal, decode](std::size_t index, Result &out) {
+            const std::vector<std::uint8_t> *bytes =
+                journal.lookup(index);
+            if (!bytes)
+                return false;
+            ckpt::Decoder d(*bytes);
+            if (!decode(d, out)) {
+                MW_WARN("resume journal: record ", index,
+                        " does not decode; recomputing the point");
+                return false;
+            }
+            return true;
+        },
+        [&journal, encode](std::size_t index, const Result &r) {
+            ckpt::Encoder e;
+            encode(e, r);
+            std::string why;
+            if (!journal.append(index, e.take(), &why))
+                MW_WARN("resume journal: ", why);
+        });
+}
+
+} // namespace memwall
+
+#endif // MEMWALL_HARNESS_SWEEP_RESUME_HH

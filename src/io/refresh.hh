@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "checkpoint/codec.hh"
 #include "common/stats.hh"
 #include "mem/dram.hh"
 
@@ -84,6 +85,12 @@ class RefreshAgent
 
     /** Fraction of total bank time refresh consumes (analytic). */
     double overheadFraction(const DramConfig &dram) const;
+
+    /** Serialize the refresh cursor (due time, rotor, counter). */
+    void saveState(ckpt::Encoder &e) const;
+
+    /** All-or-nothing restore; fails the decoder on mismatch. */
+    void loadState(ckpt::Decoder &d);
 
   private:
     RefreshConfig config_;

@@ -1,5 +1,8 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
+#include "checkpoint/state_io.hh"
 #include "common/logging.hh"
 
 namespace memwall {
@@ -214,6 +217,100 @@ Cache::residentLines() const
     for (const auto &line : lines_)
         n += line.valid ? 1 : 0;
     return n;
+}
+
+void
+Cache::saveState(ckpt::Encoder &e) const
+{
+    e.varint(sets_);
+    e.varint(assoc_);
+    e.varint(config_.line_size);
+    e.u8(config_.repl == ReplPolicy::Random ? 1 : 0);
+    e.u64(rng_state_);
+    ckpt::putAccessStats(e, stats_);
+
+    // Rank the valid lines by recency so the serialized form is
+    // independent of how large the LRU clock had grown.
+    std::vector<std::uint32_t> by_recency;
+    for (std::uint32_t i = 0; i < lines_.size(); ++i)
+        if (lines_[i].valid)
+            by_recency.push_back(i);
+    std::sort(by_recency.begin(), by_recency.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  return lines_[a].lru < lines_[b].lru;
+              });
+    std::vector<std::uint64_t> rank(lines_.size(), 0);
+    for (std::uint32_t r = 0; r < by_recency.size(); ++r)
+        rank[by_recency[r]] = r + 1;
+
+    for (std::uint32_t i = 0; i < lines_.size(); ++i) {
+        const Line &line = lines_[i];
+        if (!line.valid) {
+            e.u8(0);
+            continue;
+        }
+        e.u8(1u | (line.dirty ? 2u : 0u));
+        e.varint(line.tag);
+        e.varint(line.last_sub_block);
+        e.varint(rank[i]);
+    }
+}
+
+void
+Cache::loadState(ckpt::Decoder &d)
+{
+    const std::uint64_t sets = d.varint();
+    const std::uint64_t assoc = d.varint();
+    const std::uint64_t line_size = d.varint();
+    const std::uint8_t repl = d.u8();
+    if (d.failed())
+        return;
+    if (sets != sets_ || assoc != assoc_ ||
+        line_size != config_.line_size ||
+        repl != (config_.repl == ReplPolicy::Random ? 1 : 0)) {
+        d.fail("cache '" + config_.name +
+               "': checkpoint geometry mismatch");
+        return;
+    }
+
+    const std::uint64_t rng = d.u64();
+    AccessStats stats;
+    ckpt::getAccessStats(d, stats);
+
+    std::vector<Line> lines(lines_.size());
+    std::uint64_t valid = 0;
+    for (Line &line : lines) {
+        const std::uint8_t flags = d.u8();
+        if (d.failed())
+            return;
+        if (!(flags & 1u)) {
+            if (flags != 0) {
+                d.fail("cache '" + config_.name +
+                       "': invalid way flags");
+                return;
+            }
+            continue;
+        }
+        line.valid = true;
+        line.dirty = (flags & 2u) != 0;
+        line.tag = d.varint();
+        line.last_sub_block =
+            static_cast<std::uint32_t>(d.varint());
+        line.lru = d.varint();
+        if (line.lru == 0 || line.lru > lines_.size()) {
+            d.fail("cache '" + config_.name +
+                   "': recency rank out of range");
+            return;
+        }
+        ++valid;
+    }
+    if (d.failed())
+        return;
+
+    lines_ = std::move(lines);
+    lru_clock_ = valid;
+    rng_state_ = rng ? rng : 1;
+    stats_ = stats;
 }
 
 } // namespace memwall

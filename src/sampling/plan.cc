@@ -1,6 +1,7 @@
 #include "sampling/plan.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <vector>
 
@@ -171,6 +172,69 @@ SystematicCursor::nextPhase()
             enterPhase(SampleMode::Detail, unit_);
         break;
     }
+}
+
+std::uint64_t
+samplingPlanHash(const SamplingPlan &plan)
+{
+    using ckpt::fnvMix;
+    auto mixDouble = [](std::uint64_t h, double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        return fnvMix(h, bits);
+    };
+    std::uint64_t h = ckpt::fnv_basis;
+    h = fnvMix(h, static_cast<std::uint64_t>(plan.scheme));
+    h = fnvMix(h, plan.unit_refs);
+    h = fnvMix(h, plan.warmup_refs);
+    h = fnvMix(h, plan.period_units);
+    h = fnvMix(h, plan.units);
+    h = mixDouble(h, plan.target_ci);
+    h = fnvMix(h, plan.max_units);
+    h = mixDouble(h, plan.level);
+    h = fnvMix(h, plan.seed);
+    return h;
+}
+
+void
+SystematicCursor::saveState(ckpt::Encoder &e) const
+{
+    e.varint(unit_);
+    e.varint(warm_);
+    e.varint(ff_);
+    e.u8(static_cast<std::uint8_t>(mode_));
+    e.varint(remaining_);
+    e.varint(units_done_);
+    e.u8(unit_completed_ ? 1 : 0);
+}
+
+void
+SystematicCursor::loadState(ckpt::Decoder &d)
+{
+    const std::uint64_t unit = d.varint();
+    const std::uint64_t warm = d.varint();
+    const std::uint64_t ff = d.varint();
+    if (d.failed())
+        return;
+    if (unit != unit_ || warm != warm_ || ff != ff_) {
+        d.fail("sampling cursor: plan phase lengths mismatch");
+        return;
+    }
+    const std::uint8_t mode = d.u8();
+    const std::uint64_t remaining = d.varint();
+    const std::uint64_t units_done = d.varint();
+    const std::uint8_t completed = d.u8();
+    if (d.failed())
+        return;
+    if (mode > static_cast<std::uint8_t>(SampleMode::Detail) ||
+        completed > 1) {
+        d.fail("sampling cursor: invalid mode flags");
+        return;
+    }
+    mode_ = static_cast<SampleMode>(mode);
+    remaining_ = remaining;
+    units_done_ = units_done;
+    unit_completed_ = completed != 0;
 }
 
 const char *

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <string>
 
+#include "checkpoint/codec.hh"
 #include "common/logging.hh"
 
 namespace memwall {
@@ -83,6 +84,13 @@ struct SamplingPlan
 SamplingPlan parseSamplingPlan(const std::string &text);
 
 /**
+ * FNV-1a hash over every plan parameter. Checkpoints taken under a
+ * plan embed it, so state captured for one schedule is never applied
+ * to a run using another.
+ */
+std::uint64_t samplingPlanHash(const SamplingPlan &plan);
+
+/**
  * Streaming schedule for a systematic plan: reports the mode of the
  * next reference and how many references remain in the current
  * phase, so drivers can process whole phases at a time. The period
@@ -128,6 +136,12 @@ class SystematicCursor
      * finishes a detail phase, cleared by the next advance().
      */
     bool unitJustCompleted() const { return unit_completed_; }
+
+    /** Serialize the schedule position (phase lengths as a guard). */
+    void saveState(ckpt::Encoder &e) const;
+
+    /** All-or-nothing restore; fails the decoder on plan mismatch. */
+    void loadState(ckpt::Decoder &d);
 
   private:
     void enterPhase(SampleMode mode, std::uint64_t len);

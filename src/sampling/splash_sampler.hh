@@ -82,6 +82,19 @@ class SplashSampler : public AccessSampler
 
     const SamplingPlan &plan() const { return plan_; }
 
+    /**
+     * Serialize the warming/measurement state (cursor position,
+     * batched fast-forward cycles, unit accumulators, unit means)
+     * behind a plan-hash guard. The scheduler quantum is NOT part of
+     * the sampler; after a successful loadState() the caller must
+     * re-apply the inflated quantum if quantum was inflated (the
+     * sampler re-applies it lazily on the next mode change).
+     */
+    void saveState(ckpt::Encoder &e) const;
+
+    /** All-or-nothing restore; fails the decoder on plan mismatch. */
+    void loadState(ckpt::Decoder &d);
+
   private:
     /** Advance the schedule by one access from mode @p before. */
     void step(SimContext &ctx, SampleMode before);

@@ -14,26 +14,6 @@ makeTicket(std::uint32_t slot, std::uint32_t gen)
     return (static_cast<std::uint64_t>(slot) << 32) | gen;
 }
 
-/** State of one periodic event series (see schedulePeriodic). */
-struct PeriodicSeries
-{
-    Tick interval;
-    std::function<bool()> fn;
-    EventPriority prio;
-};
-
-std::uint64_t
-armPeriodic(EventQueue *queue, std::shared_ptr<PeriodicSeries> s)
-{
-    return queue->scheduleIn(
-        s->interval,
-        [queue, s] {
-            if (s->fn())
-                armPeriodic(queue, s);
-        },
-        s->prio);
-}
-
 } // namespace
 
 std::uint64_t
@@ -65,12 +45,16 @@ EventQueue::schedulePeriodic(Tick interval, std::function<bool()> fn,
                              EventPriority prio)
 {
     MW_ASSERT(interval >= 1, "periodic interval must be positive");
-    // The callback owns the series state through a shared_ptr, so
-    // dropping the queue with a pending firing (or cancelling it)
-    // releases the state; no firing outlives the queue.
-    auto series = std::make_shared<PeriodicSeries>(
-        PeriodicSeries{interval, std::move(fn), prio});
-    return armPeriodic(this, std::move(series));
+    // A periodic series lives in ONE pool entry for its whole life:
+    // step() re-arms the same slot without bumping the generation,
+    // so the returned ticket keeps identifying the series until it
+    // stops (fn returns false) or is descheduled.
+    const std::uint64_t ticket =
+        schedule(now_ + interval, Callback(), prio);
+    Entry &entry = pool_[static_cast<std::uint32_t>(ticket >> 32)];
+    entry.interval = interval;
+    entry.periodic = std::move(fn);
+    return ticket;
 }
 
 bool
@@ -85,11 +69,23 @@ EventQueue::deschedule(std::uint64_t ticket)
     // stale ticket cannot match.
     if (entry.gen != gen || entry.cancelled)
         return false;
+    if (&entry == in_flight_) {
+        // A periodic series cancelling itself from inside its own
+        // callback. The entry is not in the heap (step() popped it)
+        // and its function is executing right now — just mark it;
+        // step() skips the re-arm and releases the state after the
+        // call returns.
+        entry.cancelled = true;
+        ++entry.gen;
+        return true;
+    }
     // Lazy deletion: the entry stays in the heap until it surfaces,
     // but its callback (and any resources it captured) dies now.
     entry.cancelled = true;
     ++entry.gen;
     entry.cb.reset();
+    entry.periodic = nullptr;
+    entry.interval = 0;
     ++cancelled_;
     return true;
 }
@@ -98,6 +94,8 @@ void
 EventQueue::recycle(Entry *entry)
 {
     entry->cb.reset();
+    entry->periodic = nullptr;
+    entry->interval = 0;
     free_slots_.push_back(entry->slot);
 }
 
@@ -123,6 +121,26 @@ EventQueue::step()
     MW_ASSERT(top->when >= now_, "event queue time went backwards");
     now_ = top->when;
     ++executed_;
+    if (top->interval > 0) {
+        // Periodic firing. The entry is re-armed in place (same
+        // slot, same generation, fresh seq) unless the function
+        // returns false or deschedules itself mid-call; the
+        // function object is only destroyed after it has returned.
+        in_flight_ = top;
+        const bool again = top->periodic();
+        in_flight_ = nullptr;
+        if (again && !top->cancelled) {
+            top->when = now_ + top->interval;
+            top->seq = next_seq_++;
+            heap_.push(top);
+        } else {
+            if (!top->cancelled)
+                ++top->gen;  // self-deschedule already bumped it
+            top->cancelled = false;
+            recycle(top);
+        }
+        return true;
+    }
     ++top->gen;  // invalidate outstanding tickets
     Callback cb = std::move(top->cb);
     recycle(top);

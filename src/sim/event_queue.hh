@@ -69,7 +69,13 @@ class EventQueue
         return schedule(now_ + delta, std::move(cb), prio);
     }
 
-    /** Cancel a pending event; returns false if already fired/unknown. */
+    /**
+     * Cancel a pending event; returns false if already fired/unknown.
+     * Cancelling a periodic series' ticket stops the series; doing
+     * so from inside its own callback is safe (the series does not
+     * re-arm, the executing function is not destroyed mid-call, and
+     * the ticket invalidates exactly once).
+     */
     bool deschedule(std::uint64_t ticket);
 
     /**
@@ -78,8 +84,9 @@ class EventQueue
      * firing for as long as @p fn returns true; returning false
      * stops the series and releases its state. Used by periodic
      * housekeeping such as the transaction-watchdog scan.
-     * @return the ticket of the FIRST firing only (later firings
-     *         are fresh events; stop the series through @p fn).
+     * @return a ticket for the WHOLE series: it stays valid across
+     *         re-arms, and deschedule() on it — from outside or
+     *         from inside @p fn itself — stops the series.
      */
     std::uint64_t
     schedulePeriodic(Tick interval, std::function<bool()> fn,
@@ -110,6 +117,9 @@ class EventQueue
         std::uint32_t gen = 0;
         bool cancelled = false;
         Callback cb;
+        /** Periodic series state; interval == 0 for one-shots. */
+        Tick interval = 0;
+        std::function<bool()> periodic;
     };
 
     struct Order
@@ -130,6 +140,10 @@ class EventQueue
     void recycle(Entry *entry);
 
     Tick now_ = 0;
+    /** Periodic entry whose callback is executing right now (null
+     * otherwise): deschedule() must not reset a running function or
+     * count an entry that is not in the heap. */
+    Entry *in_flight_ = nullptr;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t cancelled_ = 0;

@@ -1,10 +1,12 @@
 #include "trace/trace_file.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 
+#include "checkpoint/checkpoint.hh"
 #include "common/logging.hh"
 
 namespace memwall {
@@ -23,6 +25,12 @@ struct FileRecord
     std::uint8_t pad[6];
 };
 static_assert(sizeof(FileRecord) == 24, "trace record layout");
+
+std::string
+errnoSuffix()
+{
+    return std::string(": ") + std::strerror(errno);
+}
 
 } // namespace
 
@@ -47,66 +55,97 @@ TraceBuffer::clear()
 bool
 TraceBuffer::save(const std::string &path) const
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        return false;
-    os.write(magic, sizeof(magic));
+    // Serialize into memory, then write through the crash-safe
+    // temp + fsync + rename path: a failed or interrupted save never
+    // leaves a torn trace under the final name.
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(sizeof(magic) + sizeof(std::uint32_t) +
+                  sizeof(std::uint64_t) +
+                  refs_.size() * sizeof(FileRecord));
+    const auto put = [&bytes](const void *p, std::size_t n) {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        bytes.insert(bytes.end(), b, b + n);
+    };
+    put(magic, sizeof(magic));
     const std::uint32_t ver = version;
-    os.write(reinterpret_cast<const char *>(&ver), sizeof(ver));
+    put(&ver, sizeof(ver));
     const std::uint64_t count = refs_.size();
-    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    put(&count, sizeof(count));
     for (const MemRef &ref : refs_) {
         FileRecord rec{};
         rec.pc = ref.pc;
         rec.addr = ref.addr;
         rec.size = ref.size;
         rec.type = static_cast<std::uint8_t>(ref.type);
-        os.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+        put(&rec, sizeof(rec));
     }
-    return static_cast<bool>(os);
+
+    std::string why;
+    if (!ckpt::atomicWriteFile(path, bytes.data(), bytes.size(),
+                               &why)) {
+        last_error_ = why;
+        MW_WARN("trace save failed: ", why);
+        return false;
+    }
+    last_error_.clear();
+    return true;
 }
 
 bool
 TraceBuffer::load(const std::string &path)
 {
+    const auto fail = [&](std::string why) {
+        last_error_ = std::move(why);
+        MW_WARN("trace load failed: ", last_error_);
+        return false;
+    };
+
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        return false;
+        return fail("cannot open '" + path + "'" + errnoSuffix());
     char m[4];
     is.read(m, sizeof(m));
-    if (!is || std::memcmp(m, magic, sizeof(magic)) != 0) {
-        MW_WARN("'", path, "' is not a MWTR trace file");
-        return false;
-    }
+    if (!is)
+        return fail("'" + path + "' is truncated in the magic");
+    if (std::memcmp(m, magic, sizeof(magic)) != 0)
+        return fail("'" + path + "' is not a MWTR trace file");
     std::uint32_t ver = 0;
     is.read(reinterpret_cast<char *>(&ver), sizeof(ver));
-    if (!is || ver != version) {
-        MW_WARN("'", path, "' has unsupported trace version ", ver);
-        return false;
-    }
+    if (!is)
+        return fail("'" + path + "' is truncated in the version");
+    if (ver != version)
+        return fail("'" + path + "' has unsupported trace version " +
+                    std::to_string(ver));
     std::uint64_t count = 0;
     is.read(reinterpret_cast<char *>(&count), sizeof(count));
     if (!is)
-        return false;
-    refs_.clear();
-    refs_.reserve(count);
+        return fail("'" + path +
+                    "' is truncated in the record count");
+    std::vector<MemRef> loaded;
+    loaded.reserve(std::min<std::uint64_t>(count, 1u << 20));
     for (std::uint64_t i = 0; i < count; ++i) {
         FileRecord rec{};
         is.read(reinterpret_cast<char *>(&rec), sizeof(rec));
         if (!is)
-            return false;
+            return fail("'" + path + "' is truncated at record " +
+                        std::to_string(i) + " of " +
+                        std::to_string(count));
         MemRef ref;
         ref.pc = rec.pc;
         ref.addr = rec.addr;
         ref.size = rec.size;
-        if (rec.type > static_cast<std::uint8_t>(RefType::Store)) {
-            MW_WARN("'", path, "' contains a corrupt record");
-            return false;
-        }
+        if (rec.type > static_cast<std::uint8_t>(RefType::Store))
+            return fail("'" + path + "' has a corrupt record " +
+                        std::to_string(i) + " (type " +
+                        std::to_string(rec.type) + ")");
         ref.type = static_cast<RefType>(rec.type);
-        refs_.push_back(ref);
+        loaded.push_back(ref);
     }
+    // All-or-nothing: the buffer keeps its previous contents on any
+    // failure above.
+    refs_ = std::move(loaded);
     position_ = 0;
+    last_error_.clear();
     return true;
 }
 

@@ -43,20 +43,30 @@ class TraceBuffer : public RefSource
     void clear();
 
     /**
-     * Write the trace to @p path in the MWTR binary format.
-     * @return false on I/O failure.
+     * Write the trace to @p path in the MWTR binary format, via the
+     * crash-safe temp + fsync + rename path (an interrupted save
+     * never leaves a torn file under the final name).
+     * @return false on I/O failure; lastError() names the path and
+     * the errno.
      */
     bool save(const std::string &path) const;
 
     /**
      * Replace the contents with the trace stored at @p path.
-     * @return false on I/O failure or format mismatch.
+     * All-or-nothing: on failure the previous contents are kept.
+     * @return false on I/O failure or format mismatch; lastError()
+     * says which record or field was bad.
      */
     bool load(const std::string &path);
+
+    /** Why the last save()/load() failed ("" after a success). */
+    const std::string &lastError() const { return last_error_; }
 
   private:
     std::vector<MemRef> refs_;
     std::size_t position_ = 0;
+    /** Mutable: save() is logically const but reports errors. */
+    mutable std::string last_error_;
 };
 
 } // namespace memwall

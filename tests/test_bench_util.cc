@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -178,6 +179,97 @@ TEST(BenchUtil, ParseDoubleList)
     EXPECT_DOUBLE_EQ(vals[0], 0.0);
     EXPECT_DOUBLE_EQ(vals[1], 1e-6);
     EXPECT_DOUBLE_EQ(vals[2], 2.5);
+}
+
+TEST(BenchUtilCkptFlagsDeath, EmptyCkptDirIsUsageError)
+{
+    Argv a{"bench", "--ckpt-dir", ""};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--ckpt-dir"});
+    EXPECT_EXIT(
+        benchutil::checkpointDirFlag(opt, "bench", {"--ckpt-dir"}),
+        testing::ExitedWithCode(2), "--ckpt-dir: empty path");
+}
+
+TEST(BenchUtilCkptFlagsDeath, CkptDirOverRegularFileIsUsageError)
+{
+    Argv a{"bench", "--ckpt-dir", "/etc/hostname"};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--ckpt-dir"});
+    EXPECT_EXIT(
+        benchutil::checkpointDirFlag(opt, "bench", {"--ckpt-dir"}),
+        testing::ExitedWithCode(2), "is not a directory");
+}
+
+TEST(BenchUtilCkptFlagsDeath, UncreatableCkptDirIsUsageError)
+{
+    Argv a{"bench", "--ckpt-dir", "/nonexistent/deep/dir"};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--ckpt-dir"});
+    EXPECT_EXIT(
+        benchutil::checkpointDirFlag(opt, "bench", {"--ckpt-dir"}),
+        testing::ExitedWithCode(2),
+        "cannot create '/nonexistent/deep/dir'");
+}
+
+TEST(BenchUtilCkptFlags, AbsentCkptDirReturnsEmpty)
+{
+    Argv a{"bench"};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--ckpt-dir"});
+    EXPECT_EQ(
+        benchutil::checkpointDirFlag(opt, "bench", {"--ckpt-dir"}),
+        "");
+}
+
+TEST(BenchUtilCkptFlags, CkptDirIsCreatedWhenMissing)
+{
+    const std::string dir =
+        ::testing::TempDir() + "benchutil-ckpt-dir";
+    const std::string cleanup = "rm -rf '" + dir + "'";
+    [[maybe_unused]] int rc = std::system(cleanup.c_str());
+    Argv a{"bench", "--ckpt-dir", dir.c_str()};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--ckpt-dir"});
+    EXPECT_EQ(
+        benchutil::checkpointDirFlag(opt, "bench", {"--ckpt-dir"}),
+        dir);
+    struct stat st;
+    EXPECT_EQ(::stat(dir.c_str(), &st), 0);
+    EXPECT_TRUE(S_ISDIR(st.st_mode));
+    rc = std::system(cleanup.c_str());
+}
+
+TEST(BenchUtilCkptFlagsDeath, EmptyResumePathIsUsageError)
+{
+    Argv a{"bench", "--resume", ""};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--resume"});
+    EXPECT_EXIT(
+        benchutil::resumePathFlag(opt, "bench", {"--resume"}),
+        testing::ExitedWithCode(2), "--resume: empty path");
+}
+
+TEST(BenchUtilCkptFlagsDeath, ResumeOverDirectoryIsUsageError)
+{
+    Argv a{"bench", "--resume", "/tmp"};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--resume"});
+    EXPECT_EXIT(
+        benchutil::resumePathFlag(opt, "bench", {"--resume"}),
+        testing::ExitedWithCode(2), "is not a regular file");
+}
+
+TEST(BenchUtilCkptFlagsDeath, ResumeInUnwritableDirIsUsageError)
+{
+    Argv a{"bench", "--resume", "/nonexistent/dir/run.mwsj"};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--resume"});
+    EXPECT_EXIT(
+        benchutil::resumePathFlag(opt, "bench", {"--resume"}),
+        testing::ExitedWithCode(2), "is not writable");
+}
+
+TEST(BenchUtilCkptFlags, ResumeAcceptsFreshPathInWritableDir)
+{
+    const std::string path = ::testing::TempDir() + "fresh.mwsj";
+    ::unlink(path.c_str());
+    Argv a{"bench", "--resume", path.c_str()};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--resume"});
+    EXPECT_EQ(benchutil::resumePathFlag(opt, "bench", {"--resume"}),
+              path);
 }
 
 } // namespace

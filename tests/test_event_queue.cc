@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -119,4 +120,112 @@ TEST(EventQueue, ExecutedCounter)
         q.schedule(i + 1, [] {});
     q.run();
     EXPECT_EQ(q.executed(), 5u);
+}
+
+// ---- Periodic series regression tests ---------------------------------
+//
+// schedulePeriodic's ticket identifies the whole series (stable
+// across re-arms), and cancelling it from inside the series' own
+// callback must neither re-arm the series nor destroy the executing
+// function mid-call.
+
+TEST(EventQueuePeriodic, TicketStaysValidAcrossRearms)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto ticket = q.schedulePeriodic(10, [&fired] {
+        ++fired;
+        return true;
+    });
+    q.advanceTo(25);  // fires at 10 and 20
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.deschedule(ticket));
+    q.advanceTo(1'000);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueuePeriodic, SelfCancelFromCallbackStopsSeries)
+{
+    EventQueue q;
+    int fired = 0;
+    std::uint64_t ticket = 0;
+    ticket = q.schedulePeriodic(10, [&] {
+        ++fired;
+        // Cancel the series from inside its own callback, then keep
+        // returning true: the cancel must win over the re-arm.
+        EXPECT_TRUE(q.deschedule(ticket));
+        return true;
+    });
+    q.advanceTo(1'000);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueuePeriodic, SelfCancelInvalidatesTicketExactlyOnce)
+{
+    EventQueue q;
+    std::uint64_t ticket = 0;
+    int cancels = 0;
+    ticket = q.schedulePeriodic(10, [&] {
+        if (q.deschedule(ticket))
+            ++cancels;
+        // A second deschedule with the same ticket must miss.
+        EXPECT_FALSE(q.deschedule(ticket));
+        return false;
+    });
+    q.advanceTo(1'000);
+    EXPECT_EQ(cancels, 1);
+    EXPECT_FALSE(q.deschedule(ticket));
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueuePeriodic, SelfCancelDoesNotDestroyRunningCallback)
+{
+    EventQueue q;
+    // The callback touches its own captured state AFTER the
+    // deschedule call; if cancelling freed the executing function
+    // this would read freed memory (caught by ASan builds).
+    auto guard = std::make_shared<int>(1234);
+    std::uint64_t ticket = 0;
+    int observed = 0;
+    ticket = q.schedulePeriodic(7, [&q, &ticket, &observed, guard] {
+        q.deschedule(ticket);
+        observed = *guard;  // capture must still be alive
+        return true;
+    });
+    q.advanceTo(100);
+    EXPECT_EQ(observed, 1234);
+}
+
+TEST(EventQueuePeriodic, SlotReuseAfterSeriesEndsIsClean)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto ticket =
+        q.schedulePeriodic(5, [&fired] { return ++fired < 2; });
+    q.advanceTo(100);
+    EXPECT_EQ(fired, 2);
+    // The series ended; its slot may be reused by a fresh one-shot.
+    int oneshot = 0;
+    q.scheduleIn(5, [&oneshot] { ++oneshot; });
+    // The stale series ticket must not cancel the new event.
+    EXPECT_FALSE(q.deschedule(ticket));
+    q.advanceTo(200);
+    EXPECT_EQ(oneshot, 1);
+}
+
+TEST(EventQueuePeriodic, CancelPendingSeriesReleasesState)
+{
+    EventQueue q;
+    auto guard = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = guard;
+    const auto ticket =
+        q.schedulePeriodic(10, [guard] { return true; });
+    guard.reset();
+    EXPECT_FALSE(watch.expired());  // held by the pending series
+    EXPECT_TRUE(q.deschedule(ticket));
+    EXPECT_TRUE(watch.expired());  // released at cancel, not at fire
+    q.advanceTo(100);
+    EXPECT_EQ(q.pending(), 0u);
 }
