@@ -15,7 +15,10 @@
  *                    corrupt.
  */
 
+#include <cinttypes>
+#include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
@@ -40,6 +43,15 @@ ciCell(const SampledCacheMissRate &r)
            TextTable::num(r.ci.half_width * 100, 3);
 }
 
+/** JSON field for one sampled config: {"mean": m, "half": h}. */
+void
+jsonSampledField(const char *key, const SampledCacheMissRate &r,
+                 bool last = false)
+{
+    std::printf("\"%s\": {\"mean\": %.9g, \"half\": %.9g}%s", key,
+                r.mean(), r.ci.half_width, last ? "" : ", ");
+}
+
 /** Sampled variant: mean ± CI half-width per configuration. */
 int
 runSampled(const benchutil::Options &opt, const MissRateParams &params,
@@ -50,7 +62,8 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
                     TextTable::num(plan.level * 100, 0) + "% CI");
     table.setHeader({"benchmark", "proposed 8K/512B", "conv 8K",
                      "conv 16K", "conv 32K", "conv 64K", "units"});
-    std::cout << "sampling plan: " << plan.describe() << "\n\n";
+    if (!opt.json())
+        std::cout << "sampling plan: " << plan.describe() << "\n\n";
 
     std::unique_ptr<ckpt::CheckpointStore> store =
         benchutil::makeMissRateStore(ckpt_dir, plan);
@@ -71,24 +84,46 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
                 return decodeResult(d, r);
             });
     }
+    std::vector<SampledWorkloadMissRates> all;
     for (const auto &w : specSuite()) {
         sweep.submit(
             [&w, &params, &plan, &store](const PointContext &) {
                 return measureMissRatesSampled(w, params, plan,
                                                store.get());
             },
-            [&table](const PointContext &,
-                     SampledWorkloadMissRates rates) {
-                table.addRow({rates.workload,
-                              ciCell(rates.icache(proposed)),
-                              ciCell(rates.icache(conv8)),
-                              ciCell(rates.icache(conv16)),
-                              ciCell(rates.icache(conv32)),
-                              ciCell(rates.icache(conv64)),
-                              std::to_string(rates.units)});
+            [&all](const PointContext &,
+                   SampledWorkloadMissRates rates) {
+                all.push_back(std::move(rates));
             });
     }
     sweep.finish();
+
+    if (opt.json()) {
+        std::printf("{\n  \"bench\": \"fig7_icache_miss\", "
+                    "\"sampled\": true,\n  \"workloads\": [\n");
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const auto &r = all[i];
+            std::printf("    {\"name\": \"%s\", ",
+                        r.workload.c_str());
+            jsonSampledField("proposed", r.icache(proposed));
+            jsonSampledField("conv8", r.icache(conv8));
+            jsonSampledField("conv16", r.icache(conv16));
+            jsonSampledField("conv32", r.icache(conv32));
+            jsonSampledField("conv64", r.icache(conv64));
+            std::printf("\"units\": %" PRIu64 "}%s\n", r.units,
+                        i + 1 < all.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    for (const auto &r : all)
+        table.addRow({r.workload, ciCell(r.icache(proposed)),
+                      ciCell(r.icache(conv8)),
+                      ciCell(r.icache(conv16)),
+                      ciCell(r.icache(conv32)),
+                      ciCell(r.icache(conv64)),
+                      std::to_string(r.units)});
     table.print(std::cout);
     if (store)
         benchutil::printStoreCounters(*store);
@@ -105,7 +140,9 @@ main(int argc, char **argv)
         benchutil::checkpointDirFlag(opt, argv[0], extra_flags);
     const std::string resume_path =
         benchutil::resumePathFlag(opt, argv[0], extra_flags);
-    benchutil::banner("Figure 7 - instruction cache miss rates", opt);
+    if (!opt.json())
+        benchutil::banner("Figure 7 - instruction cache miss rates",
+                          opt);
 
     MissRateParams params;
     params.measured_refs = opt.refs ? opt.refs
@@ -142,32 +179,56 @@ main(int argc, char **argv)
                 return decodeResult(d, r);
             });
     }
+    std::vector<WorkloadMissRates> all;
     for (const auto &w : specSuite()) {
         sweep.submit(
             [&w, &params](const PointContext &) {
                 return measureMissRates(w, params);
             },
-            [&](const PointContext &, WorkloadMissRates rates) {
-                const double prop =
-                    rates.icache(proposed).missRate();
-                const double c8 = rates.icache(conv8).missRate();
-                const double c16 = rates.icache(conv16).missRate();
-                const double c32 = rates.icache(conv32).missRate();
-                const double c64 = rates.icache(conv64).missRate();
-                table.addRow(
-                    {rates.workload, TextTable::num(prop * 100, 3),
-                     TextTable::num(c8 * 100, 3),
-                     TextTable::num(c16 * 100, 3),
-                     TextTable::num(c32 * 100, 3),
-                     TextTable::num(c64 * 100, 3),
-                     prop > 0 ? TextTable::num(c8 / prop, 1)
-                              : "inf"});
-                chart.add(rates.workload, "proposed", prop * 100);
-                chart.add(rates.workload, "conv-8K ", c8 * 100);
-                chart.add(rates.workload, "conv-64K", c64 * 100);
+            [&all](const PointContext &, WorkloadMissRates rates) {
+                all.push_back(std::move(rates));
             });
     }
     sweep.finish();
+
+    if (opt.json()) {
+        std::printf("{\n  \"bench\": \"fig7_icache_miss\", "
+                    "\"sampled\": false,\n  \"workloads\": [\n");
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const auto &r = all[i];
+            std::printf(
+                "    {\"name\": \"%s\", \"proposed\": %.9g, "
+                "\"conv8\": %.9g, \"conv16\": %.9g, "
+                "\"conv32\": %.9g, \"conv64\": %.9g}%s\n",
+                r.workload.c_str(),
+                r.icache(proposed).missRate(),
+                r.icache(conv8).missRate(),
+                r.icache(conv16).missRate(),
+                r.icache(conv32).missRate(),
+                r.icache(conv64).missRate(),
+                i + 1 < all.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    for (const auto &rates : all) {
+        const double prop = rates.icache(proposed).missRate();
+        const double c8 = rates.icache(conv8).missRate();
+        const double c16 = rates.icache(conv16).missRate();
+        const double c32 = rates.icache(conv32).missRate();
+        const double c64 = rates.icache(conv64).missRate();
+        table.addRow({rates.workload, TextTable::num(prop * 100, 3),
+                      TextTable::num(c8 * 100, 3),
+                      TextTable::num(c16 * 100, 3),
+                      TextTable::num(c32 * 100, 3),
+                      TextTable::num(c64 * 100, 3),
+                      prop > 0 ? TextTable::num(c8 / prop, 1)
+                               : "inf"});
+        chart.add(rates.workload, "proposed", prop * 100);
+        chart.add(rates.workload, "conv-8K ", c8 * 100);
+        chart.add(rates.workload, "conv-64K", c64 * 100);
+    }
 
     table.print(std::cout);
     std::cout << '\n';

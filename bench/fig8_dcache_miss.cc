@@ -7,7 +7,10 @@
  * paper's stacked bars.
  */
 
+#include <cinttypes>
+#include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
@@ -32,6 +35,15 @@ ciCell(const SampledCacheMissRate &r)
            TextTable::num(r.ci.half_width * 100, 3);
 }
 
+/** JSON field for one sampled config: {"mean": m, "half": h}. */
+void
+jsonSampledField(const char *key, const SampledCacheMissRate &r,
+                 bool last = false)
+{
+    std::printf("\"%s\": {\"mean\": %.9g, \"half\": %.9g}%s", key,
+                r.mean(), r.ci.half_width, last ? "" : ", ");
+}
+
 /** Sampled variant: mean ± CI half-width per configuration. */
 int
 runSampled(const benchutil::Options &opt, const MissRateParams &params,
@@ -43,7 +55,8 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
     table.setHeader({"benchmark", "proposed", "conv 16K dm",
                      "conv 16K 2w", "conv 64K dm", "conv 256K 2w",
                      "proposed+VC", "units"});
-    std::cout << "sampling plan: " << plan.describe() << "\n\n";
+    if (!opt.json())
+        std::cout << "sampling plan: " << plan.describe() << "\n\n";
 
     std::unique_ptr<ckpt::CheckpointStore> store =
         benchutil::makeMissRateStore(ckpt_dir, plan);
@@ -64,25 +77,48 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
                 return decodeResult(d, r);
             });
     }
+    std::vector<SampledWorkloadMissRates> all;
     for (const auto &w : specSuite()) {
         sweep.submit(
             [&w, &params, &plan, &store](const PointContext &) {
                 return measureMissRatesSampled(w, params, plan,
                                                store.get());
             },
-            [&table](const PointContext &,
-                     SampledWorkloadMissRates rates) {
-                table.addRow({rates.workload,
-                              ciCell(rates.dcache(proposed)),
-                              ciCell(rates.dcache(conv16)),
-                              ciCell(rates.dcache(conv16w2)),
-                              ciCell(rates.dcache(conv64)),
-                              ciCell(rates.dcache(conv256w2)),
-                              ciCell(rates.dcache(proposed_vc)),
-                              std::to_string(rates.units)});
+            [&all](const PointContext &,
+                   SampledWorkloadMissRates rates) {
+                all.push_back(std::move(rates));
             });
     }
     sweep.finish();
+
+    if (opt.json()) {
+        std::printf("{\n  \"bench\": \"fig8_dcache_miss\", "
+                    "\"sampled\": true,\n  \"workloads\": [\n");
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const auto &r = all[i];
+            std::printf("    {\"name\": \"%s\", ",
+                        r.workload.c_str());
+            jsonSampledField("proposed", r.dcache(proposed));
+            jsonSampledField("conv16", r.dcache(conv16));
+            jsonSampledField("conv16w2", r.dcache(conv16w2));
+            jsonSampledField("conv64", r.dcache(conv64));
+            jsonSampledField("conv256w2", r.dcache(conv256w2));
+            jsonSampledField("proposed_vc", r.dcache(proposed_vc));
+            std::printf("\"units\": %" PRIu64 "}%s\n", r.units,
+                        i + 1 < all.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    for (const auto &r : all)
+        table.addRow({r.workload, ciCell(r.dcache(proposed)),
+                      ciCell(r.dcache(conv16)),
+                      ciCell(r.dcache(conv16w2)),
+                      ciCell(r.dcache(conv64)),
+                      ciCell(r.dcache(conv256w2)),
+                      ciCell(r.dcache(proposed_vc)),
+                      std::to_string(r.units)});
     table.print(std::cout);
     if (store)
         benchutil::printStoreCounters(*store);
@@ -99,7 +135,8 @@ main(int argc, char **argv)
         benchutil::checkpointDirFlag(opt, argv[0], extra_flags);
     const std::string resume_path =
         benchutil::resumePathFlag(opt, argv[0], extra_flags);
-    benchutil::banner("Figure 8 - data cache miss rates", opt);
+    if (!opt.json())
+        benchutil::banner("Figure 8 - data cache miss rates", opt);
 
     MissRateParams params;
     params.measured_refs = opt.refs ? opt.refs
@@ -148,6 +185,32 @@ main(int argc, char **argv)
             });
     }
     sweep.finish();
+
+    if (opt.json()) {
+        std::printf("{\n  \"bench\": \"fig8_dcache_miss\", "
+                    "\"sampled\": false,\n  \"workloads\": [\n");
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const auto &r = all[i];
+            const auto &pv = r.dcache(proposed_vc);
+            std::printf(
+                "    {\"name\": \"%s\", \"proposed\": %.9g, "
+                "\"conv16\": %.9g, \"conv16w2\": %.9g, "
+                "\"conv64\": %.9g, \"conv256w2\": %.9g, "
+                "\"proposed_vc\": %.9g, \"vc_load_miss\": %.9g, "
+                "\"vc_store_miss\": %.9g}%s\n",
+                specSuite()[i].name.c_str(),
+                r.dcache(proposed).missRate(),
+                r.dcache(conv16).missRate(),
+                r.dcache(conv16w2).missRate(),
+                r.dcache(conv64).missRate(),
+                r.dcache(conv256w2).missRate(),
+                pv.missRate(), pv.stats.loadMissRate(),
+                pv.stats.storeMissRate(),
+                i + 1 < all.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
 
     for (std::size_t i = 0; i < all.size(); ++i) {
         const auto &w = specSuite()[i];

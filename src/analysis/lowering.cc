@@ -1,0 +1,131 @@
+#include "analysis/lowering.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memwall {
+
+ExecPlan
+ExecPlan::build(const Program &prog, const Cfg &cfg)
+{
+    ExecPlan plan;
+    const std::size_t n = prog.size();
+    if (n == 0)
+        return plan;
+
+    // Address span. Instructions arrive in address order, but compute
+    // min/max defensively — the dense table must cover every word.
+    Addr lo = prog.instr(0).addr, hi = prog.instr(0).addr;
+    for (std::size_t i = 1; i < n; ++i) {
+        lo = std::min(lo, prog.instr(i).addr);
+        hi = std::max(hi, prog.instr(i).addr);
+    }
+    const std::uint64_t span_words = ((hi + 4) - lo) >> 2;
+    if (span_words > kMaxSpanWords) {
+        MW_WARN("ExecPlan: code span ", span_words,
+                " words exceeds cap; fast path disabled");
+        return plan;
+    }
+    plan.base_ = lo;
+    plan.limit_ = hi + 4;
+
+    // Pre-decode every instruction; undecodable words keep their raw
+    // machine word for the BadWord diagnostic side exit.
+    plan.ops_.reserve(n);
+    const auto &words = prog.assembled().words;
+    for (std::size_t i = 0; i < n; ++i) {
+        const InstrRecord &rec = prog.instr(i);
+        std::uint32_t raw = 0;
+        if (!rec.decoded) {
+            auto it = words.find(rec.addr);
+            if (it != words.end())
+                raw = it->second;
+        }
+        plan.ops_.push_back(
+            lowerMicroOp(rec.inst, rec.addr, rec.decoded, raw));
+    }
+
+    // Dense pc -> index dispatch table.
+    plan.table_.assign(span_words, -1);
+    for (std::size_t i = 0; i < n; ++i)
+        plan.table_[(prog.instr(i).addr - lo) >> 2] =
+            static_cast<std::int32_t>(i);
+
+    // Eligibility. Start with everything fast, then knock out the
+    // blocks the CFG could not pin down.
+    const std::size_t nblocks = cfg.size();
+    // 0 = fast, 1 = unknown indirect successor, 2 = irreducible.
+    std::vector<std::uint8_t> block_fallback(nblocks, 0);
+    for (unsigned b = 0; b < nblocks; ++b) {
+        if (cfg.block(b).has_unknown_succ)
+            block_fallback[b] = 1;
+    }
+
+    // Retreating edges whose target does not dominate the source are
+    // the CFG's irreducibility witnesses; exclude both endpoints.
+    // rpo() covers reachable blocks only — unreachable blocks carry
+    // no ordering facts, so they keep their default eligibility
+    // (correctness never depends on this flag).
+    const auto &rpo = cfg.rpo();
+    std::vector<int> rpo_num(nblocks, -1);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_num[rpo[i]] = static_cast<int>(i);
+    for (unsigned u : rpo) {
+        for (unsigned v : cfg.block(u).succs) {
+            if (rpo_num[v] < 0 || rpo_num[v] > rpo_num[u])
+                continue;  // forward edge or unordered target
+            if (!cfg.dominates(v, u)) {
+                if (block_fallback[u] == 0)
+                    block_fallback[u] = 2;
+                if (block_fallback[v] == 0)
+                    block_fallback[v] = 2;
+            }
+        }
+    }
+
+    plan.eligible_.assign(n, 1);
+    for (unsigned b = 0; b < nblocks; ++b) {
+        if (block_fallback[b] == 0)
+            continue;
+        const BasicBlock &blk = cfg.block(b);
+        for (std::size_t i = blk.first; i <= blk.last; ++i) {
+            plan.eligible_[i] = 0;
+            if (block_fallback[b] == 1)
+                ++plan.unknown_succ_ops_;
+            else
+                ++plan.irreducible_ops_;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        plan.eligible_ops_ += plan.eligible_[i];
+
+    // Trace ends, computed backwards: a trace runs to the first
+    // control transfer, address discontinuity, or eligibility flip.
+    // Ineligible ops get a self-trace so traceEnd() is always valid.
+    plan.trace_end_.assign(n, 0);
+    for (std::size_t i = n; i-- > 0;) {
+        const bool last = i + 1 == n;
+        const bool contiguous =
+            !last && plan.ops_[i + 1].pc == plan.ops_[i].pc + 4;
+        if (isControlKind(plan.ops_[i].kind) || !contiguous ||
+            plan.eligible_[i + 1] != plan.eligible_[i]) {
+            plan.trace_end_[i] = static_cast<std::uint32_t>(i);
+        } else {
+            plan.trace_end_[i] = plan.trace_end_[i + 1];
+        }
+    }
+
+    plan.enabled_ = true;
+    return plan;
+}
+
+ExecPlan
+ExecPlan::build(const AssembledProgram &prog)
+{
+    const Program p = Program::build(prog);
+    const Cfg cfg = Cfg::build(p);
+    return build(p, cfg);
+}
+
+} // namespace memwall

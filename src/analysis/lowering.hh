@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Block-trace lowering: from the analysis CFG to an executable plan.
+ *
+ * An ExecPlan is the bridge between static analysis (PR 4) and the
+ * execution fast path (src/exec/): every instruction of a Program is
+ * pre-decoded into a MicroOp (see isa/micro_op.hh), and each one is
+ * annotated with
+ *
+ *  - the inclusive end of its straight-line TRACE: the maximal run
+ *    of contiguous, fast-eligible instructions up to and including
+ *    the first control transfer (branch, jal/jalr — calls included,
+ *    unlike CFG blocks, because execution follows them — halt, or an
+ *    undecodable word). The executor hoists pc bookkeeping, budget
+ *    checks and dispatch overhead out of such runs;
+ *  - a fast-path ELIGIBILITY flag. Ineligible instructions are
+ *    executed by the classic Interpreter::step path, so coverage
+ *    degrades but correctness never does. A block is ineligible when
+ *      (a) it ends in an indirect jump whose target set could not be
+ *          recovered (BasicBlock::has_unknown_succ), or
+ *      (b) it is an endpoint of an irreducible retreating edge (a
+ *          back edge whose target does not dominate its source) —
+ *          the CFG's loop analysis already refused these regions;
+ *
+ * plus an O(1) pc -> instruction-index table used both for dispatch
+ * and for the executor's read-only-code invariant check. The table
+ * is dense over the program's address span; programs spanning more
+ * than kMaxSpanWords words (pathological .org layouts) disable the
+ * plan entirely rather than falling back to a slower lookup.
+ */
+
+#ifndef MEMWALL_ANALYSIS_LOWERING_HH
+#define MEMWALL_ANALYSIS_LOWERING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/program.hh"
+#include "isa/micro_op.hh"
+
+namespace memwall {
+
+class ExecPlan
+{
+  public:
+    /** Sentinel for "address is not decoded code". */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Address-span cap for the dense dispatch table (words). */
+    static constexpr std::uint64_t kMaxSpanWords = 4u << 20;
+
+    ExecPlan() = default;
+
+    /** Lower @p prog using @p cfg's block/irreducibility facts. */
+    static ExecPlan build(const Program &prog, const Cfg &cfg);
+
+    /** Convenience: build Program + Cfg internally. */
+    static ExecPlan build(const AssembledProgram &prog);
+
+    /** False when the program is empty or its span exceeds the
+     * dense-table cap; the executor then always falls back. */
+    bool enabled() const { return enabled_; }
+
+    const MicroOp *ops() const { return ops_.data(); }
+    std::size_t size() const { return ops_.size(); }
+
+    /** Op index of the instruction at @p pc, or npos. */
+    std::size_t
+    indexAt(Addr pc) const
+    {
+        if (!enabled_ || pc < base_ || pc >= limit_ || (pc & 3) != 0)
+            return npos;
+        const std::int32_t i = table_[(pc - base_) >> 2];
+        return i < 0 ? npos : static_cast<std::size_t>(i);
+    }
+
+    /** Inclusive op index ending the trace that contains @p idx. */
+    std::uint32_t traceEnd(std::size_t idx) const
+    {
+        return trace_end_[idx];
+    }
+
+    /** @return true iff op @p idx may execute on the fast path. */
+    bool eligible(std::size_t idx) const
+    {
+        return eligible_[idx] != 0;
+    }
+
+    /** @return true iff @p addr falls inside a decoded instruction
+     * word (used for the read-only-code store guard). */
+    bool
+    isCode(Addr addr) const
+    {
+        if (!enabled_ || addr < base_ || addr >= limit_)
+            return false;
+        return table_[(addr - base_) >> 2] >= 0;
+    }
+
+    /** Lowest / one-past-highest decoded code byte address. */
+    Addr codeBase() const { return base_; }
+    Addr codeLimit() const { return limit_; }
+
+    /** Number of fast-eligible ops (coverage introspection). */
+    std::size_t eligibleOps() const { return eligible_ops_; }
+
+    /** Ops excluded because of unknown indirect successors. */
+    std::size_t unknownSuccFallbackOps() const
+    {
+        return unknown_succ_ops_;
+    }
+
+    /** Ops excluded because of irreducible retreating edges. */
+    std::size_t irreducibleFallbackOps() const
+    {
+        return irreducible_ops_;
+    }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::vector<std::uint32_t> trace_end_;
+    std::vector<std::uint8_t> eligible_;
+    std::vector<std::int32_t> table_;
+    Addr base_ = 0, limit_ = 0;
+    std::size_t eligible_ops_ = 0;
+    std::size_t unknown_succ_ops_ = 0;
+    std::size_t irreducible_ops_ = 0;
+    bool enabled_ = false;
+};
+
+} // namespace memwall
+
+#endif // MEMWALL_ANALYSIS_LOWERING_HH

@@ -1,0 +1,32 @@
+#include "exec/fast_executor.hh"
+
+#include <cstdlib>
+
+namespace memwall {
+
+namespace {
+
+/** Fast path defaults on; MEMWALL_FASTPATH=0 disables it globally
+ * (the A/B switch used by CI's byte-identical-output diffs). */
+bool
+fastPathDefault()
+{
+    const char *env = std::getenv("MEMWALL_FASTPATH");
+    return !(env && env[0] == '0' && env[1] == '\0');
+}
+
+} // namespace
+
+FastExecutor::FastExecutor(BackingStore &mem,
+                           const AssembledProgram &prog)
+    : FastExecutor(mem, ExecPlan::build(prog))
+{
+}
+
+FastExecutor::FastExecutor(BackingStore &mem, ExecPlan plan)
+    : mem_(mem), interp_(mem), plan_(std::move(plan)),
+      fast_on_(fastPathDefault())
+{
+}
+
+} // namespace memwall

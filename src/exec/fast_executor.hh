@@ -1,0 +1,825 @@
+/**
+ * @file
+ * MW32 execution fast path: threaded-code trace execution over the
+ * analysis-lowered ExecPlan.
+ *
+ * FastExecutor wraps the functional Interpreter and shares its
+ * architectural state (registers, pc, stats, stop reason), so fast
+ * traces and interpreter fallback steps read and write a single
+ * source of truth and can interleave freely. The dispatch loop:
+ *
+ *  1. looks the pc up in the plan's dense table. Misses (pc outside
+ *     the decoded range — e.g. a jump-table target past the code) and
+ *     ineligible instructions (unknown indirect successors,
+ *     irreducible regions) execute ONE Interpreter::step and retry —
+ *     coverage degrades, correctness never does;
+ *  2. otherwise executes the straight-line trace containing the pc
+ *     via computed-goto threaded dispatch (GNU C; a switch loop on
+ *     other compilers), with the per-instruction costs hoisted out
+ *     of the run: no fetch memory read (pre-decoded MicroOps), no
+ *     immediate massaging (pre-folded), pc materialised only at
+ *     trace exits, stats flushed once per trace, and data accesses
+ *     served through a one-entry page TLB over BackingStore's
+ *     stable page pointers;
+ *  3. side-exits preserve exact interpreter semantics: an
+ *     instruction budget landing mid-trace cuts the trace short
+ *     (StopReason::InstrLimit with the pc after the last retired
+ *     instruction), a misaligned access warns, records faultAddr()
+ *     and stops with AlignmentFault without retiring, an
+ *     undecodable word stops with BadInstruction after emitting its
+ *     fetch ref, and halt retires with the pc left on the halt.
+ *
+ * Invariant: guest code is READ-ONLY. The pre-decoded plan can never
+ * go stale because every store — fast path and fallback alike — is
+ * checked against the plan's code range and aborts the simulation
+ * (MW_FATAL) on a hit. Data writes adjacent to or interleaved with
+ * code words are fine: the check is per byte against actual
+ * instruction words, not a coarse range.
+ *
+ * Reference streams are bit-identical to the interpreter's: a fetch
+ * ref per attempted instruction, then the load/store ref once the
+ * alignment check passed. runInto() accepts any callable and is the
+ * batch-sink analogue of trace/synthetic.hh's generateInto — no
+ * std::function indirection on the hot path.
+ *
+ * The fast path defaults on; MEMWALL_FASTPATH=0 in the environment
+ * or setFastPath(false) routes run()/runInto() through the plain
+ * interpreter (byte-identical baseline for A/B diffs).
+ */
+
+#ifndef MEMWALL_EXEC_FAST_EXECUTOR_HH
+#define MEMWALL_EXEC_FAST_EXECUTOR_HH
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "analysis/lowering.hh"
+#include "common/logging.hh"
+#include "isa/interpreter.hh"
+#include "mem/backing_store.hh"
+#include "trace/ref.hh"
+
+// Threaded dispatch needs GNU C's labels-as-values; elsewhere the
+// trace loop degrades to a switch with identical semantics.
+#if defined(__GNUC__) && !defined(MEMWALL_NO_COMPUTED_GOTO)
+#define MEMWALL_EXEC_THREADED 1
+#else
+#define MEMWALL_EXEC_THREADED 0
+#endif
+
+namespace memwall {
+
+/** Fast-path coverage counters (introspection, not architecture). */
+struct FastPathStats
+{
+    /** Instructions retired inside fast traces. */
+    std::uint64_t fast_instructions = 0;
+    /** Interpreter fallback steps (attempted). */
+    std::uint64_t fallback_steps = 0;
+    /** Trace executions (including budget-cut partial traces). */
+    std::uint64_t traces = 0;
+};
+
+/** Trace-executing MW32 CPU; drop-in for Interpreter. */
+class FastExecutor
+{
+  public:
+    /** Pre-decode @p prog (which the caller loads into @p mem as
+     * usual via AssembledProgram::loadInto). */
+    FastExecutor(BackingStore &mem, const AssembledProgram &prog);
+
+    /** Adopt an already-lowered plan. */
+    FastExecutor(BackingStore &mem, ExecPlan plan);
+
+    CpuState &state() { return interp_.state(); }
+    const CpuState &state() const { return interp_.state(); }
+    void setPc(Addr pc) { interp_.setPc(pc); }
+
+    void setAlignmentTrap(bool on) { interp_.setAlignmentTrap(on); }
+    bool alignmentTrap() const { return interp_.alignmentTrap(); }
+    Addr faultAddr() const { return interp_.faultAddr(); }
+
+    const ExecStats &stats() const { return interp_.stats(); }
+    StopReason lastStop() const { return interp_.lastStop(); }
+
+    /** Toggle the fast path (default: on unless MEMWALL_FASTPATH=0
+     * in the environment). Off delegates to the interpreter. */
+    void setFastPath(bool on) { fast_on_ = on; }
+    bool fastPath() const { return fast_on_; }
+
+    const ExecPlan &plan() const { return plan_; }
+    const FastPathStats &fastStats() const { return fstats_; }
+
+    /**
+     * Run until halt, fault, or @p max_instructions attempted.
+     * Same contract as Interpreter::run, including run(0) leaving
+     * lastStop() untouched.
+     */
+    StopReason
+    run(std::uint64_t max_instructions, const RefSink *sink = nullptr)
+    {
+        if (!fast_on_)
+            return interp_.run(max_instructions, sink);
+        if (sink) {
+            auto fwd = [sink](const MemRef &ref) { (*sink)(ref); };
+            return dispatch<true>(max_instructions, fwd);
+        }
+        auto none = [](const MemRef &) {};
+        return dispatch<false>(max_instructions, none);
+    }
+
+    /**
+     * Typed-sink variant: @p sink is any callable taking
+     * `const MemRef &`, invoked directly (devirtualised batch-sink
+     * idiom, cf. generateInto). Semantics identical to run().
+     */
+    template <typename Sink>
+    StopReason
+    runInto(std::uint64_t max_instructions, Sink &&sink)
+    {
+        if (!fast_on_) {
+            const RefSink fn = [&sink](const MemRef &ref) {
+                sink(ref);
+            };
+            return interp_.run(max_instructions, &fn);
+        }
+        return dispatch<true>(max_instructions, sink);
+    }
+
+  private:
+    template <bool kEmit, typename Sink>
+    StopReason
+    dispatch(std::uint64_t max, Sink &sink)
+    {
+        if (interp_.trap_misaligned_)
+            return runLoop<true, kEmit>(max, sink);
+        return runLoop<false, kEmit>(max, sink);
+    }
+
+    /** Abort on the read-only-code invariant: a store touching any
+     * decoded instruction word would stale the pre-decoded plan. */
+    void
+    storeGuard(Addr pc, Addr ea, unsigned size) const
+    {
+        if (plan_.isCode(ea) || plan_.isCode(ea + size - 1)) {
+            MW_FATAL("store into guest code at ea 0x", std::hex, ea,
+                     " (pc 0x", pc, std::dec,
+                     "): guest code is read-only, the fast path's "
+                     "decode cache would go stale");
+        }
+    }
+
+    /** One-entry read TLB. Page pointers are stable (BackingStore
+     * never frees or moves pages); absent pages are NOT cached so a
+     * later store materialising one is seen immediately. */
+    const std::uint8_t *
+    readPage(Addr ea)
+    {
+        const std::uint64_t pn = ea / BackingStore::page_size;
+        if (pn == rtlb_pn_)
+            return rtlb_page_;
+        const std::uint8_t *page = mem_.pageIfPresent(ea);
+        if (page) {
+            rtlb_pn_ = pn;
+            rtlb_page_ = page;
+        }
+        return page;
+    }
+
+    /** One-entry write TLB; materialises the page on first touch. */
+    std::uint8_t *
+    writePage(Addr ea)
+    {
+        const std::uint64_t pn = ea / BackingStore::page_size;
+        if (pn == wtlb_pn_)
+            return wtlb_page_;
+        std::uint8_t *page = mem_.page(ea);
+        wtlb_pn_ = pn;
+        wtlb_page_ = page;
+        return page;
+    }
+
+    template <bool kTrap, bool kEmit, typename Sink>
+    StopReason runLoop(std::uint64_t max, Sink &sink);
+
+    BackingStore &mem_;
+    Interpreter interp_;
+    ExecPlan plan_;
+    FastPathStats fstats_;
+    std::uint64_t rtlb_pn_ = static_cast<std::uint64_t>(-1);
+    std::uint64_t wtlb_pn_ = static_cast<std::uint64_t>(-1);
+    const std::uint8_t *rtlb_page_ = nullptr;
+    std::uint8_t *wtlb_page_ = nullptr;
+    bool fast_on_ = true;
+};
+
+// The trace loop. Macro-structured so the threaded (computed-goto)
+// and portable (switch) dispatchers share one set of handlers; every
+// handler replicates the corresponding Interpreter::step case
+// bit-for-bit (values, stats, refs, warnings, stop reasons).
+
+#if MEMWALL_EXEC_THREADED
+#define MW_EXEC_DISPATCH() \
+    goto *jump_table[static_cast<unsigned>(op->kind)]
+#else
+#define MW_EXEC_DISPATCH() goto dispatch_switch
+#endif
+
+// Advance within a straight-line trace.
+#define MW_EXEC_NEXT()            \
+    do {                          \
+        if (op == last)           \
+            goto straight_done;   \
+        ++op;                     \
+        MW_EXEC_DISPATCH();       \
+    } while (0)
+
+// The interpreter emits a fetch ref for every attempted instruction
+// before executing it.
+#define MW_EXEC_FETCH()                      \
+    do {                                     \
+        if constexpr (kEmit)                 \
+            sink(MemRef::fetch(op->pc));     \
+    } while (0)
+
+// Alignment side exit: warn exactly like Interpreter::step, record
+// the fault, do not retire the faulting op, stop at its pc.
+#define MW_EXEC_ALIGN_CHECK(ea, size)                                 \
+    do {                                                              \
+        if constexpr (kTrap) {                                        \
+            if (((ea) & ((size)-1)) != 0) {                           \
+                MW_WARN("misaligned ", (size),                        \
+                        "-byte access at ea 0x", std::hex, (ea),      \
+                        " (pc 0x", op->pc, std::dec, ")");            \
+                interp_.fault_addr_ = (ea);                           \
+                interp_.last_stop_ = StopReason::AlignmentFault;      \
+                interp_.state_.pc = op->pc;                           \
+                goto flush_and_stop;                                  \
+            }                                                         \
+        }                                                             \
+    } while (0)
+
+template <bool kTrap, bool kEmit, typename Sink>
+StopReason
+FastExecutor::runLoop(std::uint64_t max, Sink &sink)
+{
+    CpuState &st = interp_.state_;
+    ExecStats &stats = interp_.stats_;
+    std::uint32_t *const r = st.regs.data();
+    const MicroOp *const ops = plan_.ops();
+    std::uint64_t remaining = max;
+
+    // Fallback steps go through the classic interpreter with a
+    // wrapper sink that enforces the read-only-code invariant (the
+    // ref is emitted before the memory write, so the guard fires
+    // before any corruption) and forwards to the caller's sink.
+    const RefSink fallback_sink = [&](const MemRef &ref) {
+        if (ref.type == RefType::Store)
+            storeGuard(ref.pc, ref.addr, ref.size);
+        if constexpr (kEmit)
+            sink(ref);
+    };
+
+    while (remaining > 0) {
+        const std::size_t idx = plan_.indexAt(st.pc);
+        if (idx == ExecPlan::npos || !plan_.eligible(idx)) {
+            ++fstats_.fallback_steps;
+            if (!interp_.step(&fallback_sink))
+                return interp_.last_stop_;
+            --remaining;
+            continue;
+        }
+
+        // The budget counts attempted instructions: a limit landing
+        // mid-trace cuts the trace at exactly that many ops.
+        std::size_t end_i = plan_.traceEnd(idx);
+        if (static_cast<std::uint64_t>(end_i - idx) >= remaining)
+            end_i = idx + static_cast<std::size_t>(remaining) - 1;
+
+        const MicroOp *op = ops + idx;
+        const MicroOp *const last = ops + end_i;
+        std::uint64_t n_ret = 0;
+        std::uint64_t n_loads = 0, n_stores = 0;
+        std::uint64_t n_branches = 0, n_taken = 0;
+        Addr next_pc = 0;
+
+#if MEMWALL_EXEC_THREADED
+        static const void *const jump_table[] = {
+            &&H_Nop, &&H_LoadConst, &&H_Add, &&H_Sub, &&H_And,
+            &&H_Or, &&H_Xor, &&H_Sll, &&H_Srl, &&H_Sra, &&H_Slt,
+            &&H_Sltu, &&H_Mul, &&H_Div, &&H_Rem, &&H_Addi, &&H_Andi,
+            &&H_Ori, &&H_Xori, &&H_Slli, &&H_Srli, &&H_Srai,
+            &&H_Slti, &&H_Lb, &&H_Lbu, &&H_Lh, &&H_Lhu, &&H_Lw,
+            &&H_Sb, &&H_Sh, &&H_Sw, &&H_Beq, &&H_Bne, &&H_Blt,
+            &&H_Bge, &&H_Bltu, &&H_Bgeu, &&H_Jal, &&H_Jalr,
+            &&H_Halt, &&H_BadWord};
+        static_assert(sizeof(jump_table) / sizeof(jump_table[0]) ==
+                      micro_kind_count);
+#endif
+        MW_EXEC_DISPATCH();
+
+#if !MEMWALL_EXEC_THREADED
+      dispatch_switch:
+        switch (op->kind) {
+          case MicroKind::Nop: goto H_Nop;
+          case MicroKind::LoadConst: goto H_LoadConst;
+          case MicroKind::Add: goto H_Add;
+          case MicroKind::Sub: goto H_Sub;
+          case MicroKind::And: goto H_And;
+          case MicroKind::Or: goto H_Or;
+          case MicroKind::Xor: goto H_Xor;
+          case MicroKind::Sll: goto H_Sll;
+          case MicroKind::Srl: goto H_Srl;
+          case MicroKind::Sra: goto H_Sra;
+          case MicroKind::Slt: goto H_Slt;
+          case MicroKind::Sltu: goto H_Sltu;
+          case MicroKind::Mul: goto H_Mul;
+          case MicroKind::Div: goto H_Div;
+          case MicroKind::Rem: goto H_Rem;
+          case MicroKind::Addi: goto H_Addi;
+          case MicroKind::Andi: goto H_Andi;
+          case MicroKind::Ori: goto H_Ori;
+          case MicroKind::Xori: goto H_Xori;
+          case MicroKind::Slli: goto H_Slli;
+          case MicroKind::Srli: goto H_Srli;
+          case MicroKind::Srai: goto H_Srai;
+          case MicroKind::Slti: goto H_Slti;
+          case MicroKind::Lb: goto H_Lb;
+          case MicroKind::Lbu: goto H_Lbu;
+          case MicroKind::Lh: goto H_Lh;
+          case MicroKind::Lhu: goto H_Lhu;
+          case MicroKind::Lw: goto H_Lw;
+          case MicroKind::Sb: goto H_Sb;
+          case MicroKind::Sh: goto H_Sh;
+          case MicroKind::Sw: goto H_Sw;
+          case MicroKind::Beq: goto H_Beq;
+          case MicroKind::Bne: goto H_Bne;
+          case MicroKind::Blt: goto H_Blt;
+          case MicroKind::Bge: goto H_Bge;
+          case MicroKind::Bltu: goto H_Bltu;
+          case MicroKind::Bgeu: goto H_Bgeu;
+          case MicroKind::Jal: goto H_Jal;
+          case MicroKind::Jalr: goto H_Jalr;
+          case MicroKind::Halt: goto H_Halt;
+          case MicroKind::BadWord: goto H_BadWord;
+        }
+        goto H_Nop;  // unreachable; silences fall-off warnings
+#endif
+
+      H_Nop:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_LoadConst:
+        MW_EXEC_FETCH();
+        r[op->rd] = static_cast<std::uint32_t>(op->imm);
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Add:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] + r[op->rs2];
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Sub:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] - r[op->rs2];
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_And:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] & r[op->rs2];
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Or:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] | r[op->rs2];
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Xor:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] ^ r[op->rs2];
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Sll:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] << (r[op->rs2] & 31);
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Srl:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] >> (r[op->rs2] & 31);
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Sra:
+        MW_EXEC_FETCH();
+        r[op->rd] = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(r[op->rs1]) >>
+            (r[op->rs2] & 31));
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Slt:
+        MW_EXEC_FETCH();
+        r[op->rd] = static_cast<std::int32_t>(r[op->rs1]) <
+                            static_cast<std::int32_t>(r[op->rs2])
+                        ? 1
+                        : 0;
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Sltu:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] < r[op->rs2] ? 1 : 0;
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Mul:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] * r[op->rs2];
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Div:
+        MW_EXEC_FETCH();
+        {
+            const auto sa = static_cast<std::int32_t>(r[op->rs1]);
+            const auto sb = static_cast<std::int32_t>(r[op->rs2]);
+            r[op->rd] = sb == 0    ? 0xffffffffu
+                        : sb == -1 ? std::uint32_t{0} - r[op->rs1]
+                                   : static_cast<std::uint32_t>(
+                                         sa / sb);
+        }
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Rem:
+        MW_EXEC_FETCH();
+        {
+            const auto sa = static_cast<std::int32_t>(r[op->rs1]);
+            const auto sb = static_cast<std::int32_t>(r[op->rs2]);
+            r[op->rd] = sb == 0    ? r[op->rs1]
+                        : sb == -1 ? 0
+                                   : static_cast<std::uint32_t>(
+                                         sa % sb);
+        }
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Addi:
+        MW_EXEC_FETCH();
+        r[op->rd] =
+            r[op->rs1] + static_cast<std::uint32_t>(op->imm);
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Andi:
+        MW_EXEC_FETCH();
+        r[op->rd] =
+            r[op->rs1] & static_cast<std::uint32_t>(op->imm);
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Ori:
+        MW_EXEC_FETCH();
+        r[op->rd] =
+            r[op->rs1] | static_cast<std::uint32_t>(op->imm);
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Xori:
+        MW_EXEC_FETCH();
+        r[op->rd] =
+            r[op->rs1] ^ static_cast<std::uint32_t>(op->imm);
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Slli:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] << op->imm;
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Srli:
+        MW_EXEC_FETCH();
+        r[op->rd] = r[op->rs1] >> op->imm;
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Srai:
+        MW_EXEC_FETCH();
+        r[op->rd] = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(r[op->rs1]) >> op->imm);
+        ++n_ret;
+        MW_EXEC_NEXT();
+      H_Slti:
+        MW_EXEC_FETCH();
+        r[op->rd] =
+            static_cast<std::int32_t>(r[op->rs1]) < op->imm ? 1 : 0;
+        ++n_ret;
+        MW_EXEC_NEXT();
+
+      H_Lb:
+        MW_EXEC_FETCH();
+        {
+            const Addr ea = static_cast<Addr>(
+                r[op->rs1] + static_cast<std::uint32_t>(op->imm));
+            if constexpr (kEmit)
+                sink(MemRef::load(op->pc, ea, 1));
+            ++n_loads;
+            ++n_ret;
+            const std::uint8_t *page = readPage(ea);
+            const std::uint8_t byte =
+                page ? page[ea % BackingStore::page_size] : 0;
+            if (op->rd != 0)
+                r[op->rd] = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(
+                        static_cast<std::int8_t>(byte)));
+        }
+        MW_EXEC_NEXT();
+      H_Lbu:
+        MW_EXEC_FETCH();
+        {
+            const Addr ea = static_cast<Addr>(
+                r[op->rs1] + static_cast<std::uint32_t>(op->imm));
+            if constexpr (kEmit)
+                sink(MemRef::load(op->pc, ea, 1));
+            ++n_loads;
+            ++n_ret;
+            const std::uint8_t *page = readPage(ea);
+            if (op->rd != 0)
+                r[op->rd] =
+                    page ? page[ea % BackingStore::page_size] : 0;
+        }
+        MW_EXEC_NEXT();
+      H_Lh:
+        MW_EXEC_FETCH();
+        {
+            const Addr ea = static_cast<Addr>(
+                r[op->rs1] + static_cast<std::uint32_t>(op->imm));
+            MW_EXEC_ALIGN_CHECK(ea, 2u);
+            if constexpr (kEmit)
+                sink(MemRef::load(op->pc, ea, 2));
+            ++n_loads;
+            ++n_ret;
+            std::uint16_t v = 0;
+            if constexpr (kTrap) {
+                if (const std::uint8_t *page = readPage(ea))
+                    std::memcpy(&v,
+                                page + ea % BackingStore::page_size,
+                                2);
+            } else {
+                v = mem_.readU16(ea);
+            }
+            if (op->rd != 0)
+                r[op->rd] = static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(
+                        static_cast<std::int16_t>(v)));
+        }
+        MW_EXEC_NEXT();
+      H_Lhu:
+        MW_EXEC_FETCH();
+        {
+            const Addr ea = static_cast<Addr>(
+                r[op->rs1] + static_cast<std::uint32_t>(op->imm));
+            MW_EXEC_ALIGN_CHECK(ea, 2u);
+            if constexpr (kEmit)
+                sink(MemRef::load(op->pc, ea, 2));
+            ++n_loads;
+            ++n_ret;
+            std::uint16_t v = 0;
+            if constexpr (kTrap) {
+                if (const std::uint8_t *page = readPage(ea))
+                    std::memcpy(&v,
+                                page + ea % BackingStore::page_size,
+                                2);
+            } else {
+                v = mem_.readU16(ea);
+            }
+            if (op->rd != 0)
+                r[op->rd] = v;
+        }
+        MW_EXEC_NEXT();
+      H_Lw:
+        MW_EXEC_FETCH();
+        {
+            const Addr ea = static_cast<Addr>(
+                r[op->rs1] + static_cast<std::uint32_t>(op->imm));
+            MW_EXEC_ALIGN_CHECK(ea, 4u);
+            if constexpr (kEmit)
+                sink(MemRef::load(op->pc, ea, 4));
+            ++n_loads;
+            ++n_ret;
+            std::uint32_t v = 0;
+            if constexpr (kTrap) {
+                if (const std::uint8_t *page = readPage(ea))
+                    std::memcpy(&v,
+                                page + ea % BackingStore::page_size,
+                                4);
+            } else {
+                v = mem_.readU32(ea);
+            }
+            if (op->rd != 0)
+                r[op->rd] = v;
+        }
+        MW_EXEC_NEXT();
+
+      H_Sb:
+        MW_EXEC_FETCH();
+        {
+            const Addr ea = static_cast<Addr>(
+                r[op->rs1] + static_cast<std::uint32_t>(op->imm));
+            storeGuard(op->pc, ea, 1);
+            if constexpr (kEmit)
+                sink(MemRef::store(op->pc, ea, 1));
+            ++n_stores;
+            ++n_ret;
+            writePage(ea)[ea % BackingStore::page_size] =
+                static_cast<std::uint8_t>(r[op->rd]);
+        }
+        MW_EXEC_NEXT();
+      H_Sh:
+        MW_EXEC_FETCH();
+        {
+            const Addr ea = static_cast<Addr>(
+                r[op->rs1] + static_cast<std::uint32_t>(op->imm));
+            MW_EXEC_ALIGN_CHECK(ea, 2u);
+            storeGuard(op->pc, ea, 2);
+            if constexpr (kEmit)
+                sink(MemRef::store(op->pc, ea, 2));
+            ++n_stores;
+            ++n_ret;
+            const auto v = static_cast<std::uint16_t>(r[op->rd]);
+            if constexpr (kTrap) {
+                std::memcpy(writePage(ea) +
+                                ea % BackingStore::page_size,
+                            &v, 2);
+            } else {
+                mem_.writeU16(ea, v);
+            }
+        }
+        MW_EXEC_NEXT();
+      H_Sw:
+        MW_EXEC_FETCH();
+        {
+            const Addr ea = static_cast<Addr>(
+                r[op->rs1] + static_cast<std::uint32_t>(op->imm));
+            MW_EXEC_ALIGN_CHECK(ea, 4u);
+            storeGuard(op->pc, ea, 4);
+            if constexpr (kEmit)
+                sink(MemRef::store(op->pc, ea, 4));
+            ++n_stores;
+            ++n_ret;
+            const std::uint32_t v = r[op->rd];
+            if constexpr (kTrap) {
+                std::memcpy(writePage(ea) +
+                                ea % BackingStore::page_size,
+                            &v, 4);
+            } else {
+                mem_.writeU32(ea, v);
+            }
+        }
+        MW_EXEC_NEXT();
+
+      H_Beq:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        ++n_branches;
+        if (r[op->rs1] == r[op->rs2]) {
+            ++n_taken;
+            next_pc = op->pc + static_cast<Addr>(
+                                   static_cast<std::int64_t>(op->imm));
+        } else {
+            next_pc = op->pc + 4;
+        }
+        goto trace_done;
+      H_Bne:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        ++n_branches;
+        if (r[op->rs1] != r[op->rs2]) {
+            ++n_taken;
+            next_pc = op->pc + static_cast<Addr>(
+                                   static_cast<std::int64_t>(op->imm));
+        } else {
+            next_pc = op->pc + 4;
+        }
+        goto trace_done;
+      H_Blt:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        ++n_branches;
+        if (static_cast<std::int32_t>(r[op->rs1]) <
+            static_cast<std::int32_t>(r[op->rs2])) {
+            ++n_taken;
+            next_pc = op->pc + static_cast<Addr>(
+                                   static_cast<std::int64_t>(op->imm));
+        } else {
+            next_pc = op->pc + 4;
+        }
+        goto trace_done;
+      H_Bge:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        ++n_branches;
+        if (static_cast<std::int32_t>(r[op->rs1]) >=
+            static_cast<std::int32_t>(r[op->rs2])) {
+            ++n_taken;
+            next_pc = op->pc + static_cast<Addr>(
+                                   static_cast<std::int64_t>(op->imm));
+        } else {
+            next_pc = op->pc + 4;
+        }
+        goto trace_done;
+      H_Bltu:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        ++n_branches;
+        if (r[op->rs1] < r[op->rs2]) {
+            ++n_taken;
+            next_pc = op->pc + static_cast<Addr>(
+                                   static_cast<std::int64_t>(op->imm));
+        } else {
+            next_pc = op->pc + 4;
+        }
+        goto trace_done;
+      H_Bgeu:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        ++n_branches;
+        if (r[op->rs1] >= r[op->rs2]) {
+            ++n_taken;
+            next_pc = op->pc + static_cast<Addr>(
+                                   static_cast<std::int64_t>(op->imm));
+        } else {
+            next_pc = op->pc + 4;
+        }
+        goto trace_done;
+
+      H_Jal:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        if (op->rd != 0)
+            r[op->rd] = static_cast<std::uint32_t>(op->pc + 4);
+        next_pc = op->pc +
+                  static_cast<Addr>(static_cast<std::int64_t>(op->imm));
+        goto trace_done;
+      H_Jalr:
+        MW_EXEC_FETCH();
+        ++n_ret;
+        {
+            // Destination uses the pre-link rs1 (rd may alias rs1).
+            const Addr dest =
+                static_cast<Addr>(
+                    r[op->rs1] +
+                    static_cast<std::uint32_t>(op->imm)) &
+                ~Addr{3};
+            if (op->rd != 0)
+                r[op->rd] = static_cast<std::uint32_t>(op->pc + 4);
+            next_pc = dest;
+        }
+        goto trace_done;
+
+      H_Halt:
+        MW_EXEC_FETCH();
+        ++n_ret;  // halt retires; pc stays on the halt instruction
+        interp_.last_stop_ = StopReason::Halted;
+        interp_.state_.pc = op->pc;
+        goto flush_and_stop;
+      H_BadWord:
+        MW_EXEC_FETCH();  // the fetch ref precedes the decode
+        MW_WARN("invalid instruction 0x", std::hex,
+                static_cast<std::uint32_t>(op->imm), std::dec,
+                " at pc 0x", std::hex, op->pc, std::dec);
+        interp_.last_stop_ = StopReason::BadInstruction;
+        interp_.state_.pc = op->pc;
+        goto flush_and_stop;
+
+      straight_done:
+        next_pc = last->pc + 4;
+      trace_done:
+        st.pc = next_pc;
+        stats.instructions += n_ret;
+        stats.loads += n_loads;
+        stats.stores += n_stores;
+        stats.branches += n_branches;
+        stats.taken_branches += n_taken;
+        fstats_.fast_instructions += n_ret;
+        ++fstats_.traces;
+        remaining -= n_ret;
+        continue;
+
+      flush_and_stop:
+        stats.instructions += n_ret;
+        stats.loads += n_loads;
+        stats.stores += n_stores;
+        stats.branches += n_branches;
+        stats.taken_branches += n_taken;
+        fstats_.fast_instructions += n_ret;
+        ++fstats_.traces;
+        return interp_.last_stop_;
+    }
+
+    // Budget exhausted; run(0) leaves lastStop() untouched, like a
+    // zero-iteration step() loop (see Interpreter::run).
+    if (max > 0)
+        interp_.last_stop_ = StopReason::InstrLimit;
+    return StopReason::InstrLimit;
+}
+
+#undef MW_EXEC_DISPATCH
+#undef MW_EXEC_NEXT
+#undef MW_EXEC_FETCH
+#undef MW_EXEC_ALIGN_CHECK
+
+} // namespace memwall
+
+#endif // MEMWALL_EXEC_FAST_EXECUTOR_HH

@@ -73,15 +73,19 @@ Interpreter::step(const RefSink *sink)
         state_.setReg(inst.rd, a < b ? 1 : 0);
         break;
       case Opcode::Mul: state_.setReg(inst.rd, a * b); break;
+      // Division overflow (INT_MIN / -1) wraps like the hardware
+      // instead of tripping signed-overflow UB in the host.
       case Opcode::Div:
         state_.setReg(inst.rd,
-                      sb == 0 ? 0xffffffffu
-                              : static_cast<std::uint32_t>(sa / sb));
+                      sb == 0    ? 0xffffffffu
+                      : sb == -1 ? std::uint32_t{0} - a
+                                 : static_cast<std::uint32_t>(sa / sb));
         break;
       case Opcode::Rem:
         state_.setReg(inst.rd,
-                      sb == 0 ? a
-                              : static_cast<std::uint32_t>(sa % sb));
+                      sb == 0    ? a
+                      : sb == -1 ? 0
+                                 : static_cast<std::uint32_t>(sa % sb));
         break;
 
       case Opcode::Addi: state_.setReg(inst.rd, a + uimm); break;
@@ -204,11 +208,15 @@ Interpreter::step(const RefSink *sink)
 StopReason
 Interpreter::run(std::uint64_t max_instructions, const RefSink *sink)
 {
-    last_stop_ = StopReason::InstrLimit;
     for (std::uint64_t i = 0; i < max_instructions; ++i) {
         if (!step(sink))
             return last_stop_;
     }
+    // The budget, not the program, ended the run. A zero budget
+    // executes nothing and must leave lastStop() exactly as a
+    // zero-iteration step() loop would — untouched.
+    if (max_instructions > 0)
+        last_stop_ = StopReason::InstrLimit;
     return StopReason::InstrLimit;
 }
 

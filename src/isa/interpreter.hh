@@ -88,7 +88,11 @@ class Interpreter
     bool step(const RefSink *sink = nullptr);
 
     /**
-     * Run until halt or @p max_instructions.
+     * Run until halt or @p max_instructions. The budget counts
+     * attempted instructions; when it is exhausted by retiring
+     * instructions the stop reason is InstrLimit. A zero budget
+     * executes nothing, returns InstrLimit, and leaves lastStop()
+     * untouched — exactly like a zero-iteration step() loop.
      */
     StopReason run(std::uint64_t max_instructions,
                    const RefSink *sink = nullptr);
@@ -97,6 +101,11 @@ class Interpreter
     StopReason lastStop() const { return last_stop_; }
 
   private:
+    // The execution fast path (src/exec/) shares this architectural
+    // state so fast traces and interpreter fallback steps observe a
+    // single source of truth.
+    friend class FastExecutor;
+
     BackingStore &mem_;
     CpuState state_;
     ExecStats stats_;

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Pre-decoded MW32 micro-operations — the unit of the execution fast
+ * path's decode cache.
+ *
+ * The functional interpreter pays a memory read, a field decode and
+ * a dispatch per executed instruction. The fast path decodes each
+ * instruction word ONCE into a MicroOp: a flat record holding the
+ * dispatch kind, register numbers and a pre-folded immediate, so the
+ * execution loop is a table-driven jump with no per-instruction
+ * fetch, decode or immediate massaging. Folding done at decode time:
+ *
+ *  - logical immediates (andi/ori/xori) carry their zero-extended
+ *    16-bit mask;
+ *  - shift immediates are pre-masked to 5 bits;
+ *  - lui carries the final 32-bit constant (kind LoadConst);
+ *  - addi/ori with rs1 == r0 also fold to LoadConst;
+ *  - ALU ops writing r0 fold to Nop (retires, defines nothing);
+ *  - branch/jal displacements are pre-scaled to byte offsets from
+ *    the instruction's own pc (disp = imm*4 + 4);
+ *  - undecodable words become kind BadWord carrying the raw word so
+ *    the fast path can reproduce the interpreter's diagnostic.
+ *
+ * Decoded programs are immutable: guest code is read-only by
+ * invariant (see FastExecutor), so a MicroOp never goes stale.
+ */
+
+#ifndef MEMWALL_ISA_MICRO_OP_HH
+#define MEMWALL_ISA_MICRO_OP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace memwall {
+
+/** Dispatch kind of a pre-decoded instruction. */
+enum class MicroKind : std::uint8_t {
+    // Straight-line ops (never change control flow).
+    Nop = 0,    ///< retires, no architectural effect (incl. sync)
+    LoadConst,  ///< rd <- imm (lui / addi,ori with rs1 == r0)
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Mul,
+    Div,
+    Rem,
+    Addi,
+    Andi,  ///< imm pre-masked to 16 bits
+    Ori,   ///< imm pre-masked to 16 bits
+    Xori,  ///< imm pre-masked to 16 bits
+    Slli,  ///< imm pre-masked to 5 bits
+    Srli,  ///< imm pre-masked to 5 bits
+    Srai,  ///< imm pre-masked to 5 bits
+    Slti,
+    Lb,
+    Lbu,
+    Lh,
+    Lhu,
+    Lw,
+    Sb,  ///< value register in rd (StoreI encoding)
+    Sh,
+    Sw,
+    // Control transfers (always end a straight-line trace).
+    Beq,  ///< imm = taken byte displacement from this op's pc
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Jal,   ///< imm = byte displacement; rd may be r0 (plain jump)
+    Jalr,  ///< dest = (rs1 + imm) & ~3; rd may be r0
+    Halt,
+    BadWord,  ///< imm = raw undecodable word (diagnostic side exit)
+};
+
+inline constexpr unsigned micro_kind_count =
+    static_cast<unsigned>(MicroKind::BadWord) + 1;
+
+/** @return true iff @p k may redirect the pc (ends a trace). */
+constexpr bool
+isControlKind(MicroKind k)
+{
+    return k >= MicroKind::Beq;
+}
+
+/** One pre-decoded instruction. */
+struct MicroOp
+{
+    Addr pc = 0;           ///< address of the instruction word
+    std::int32_t imm = 0;  ///< pre-folded immediate (see MicroKind)
+    MicroKind kind = MicroKind::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+};
+
+/**
+ * Decode @p inst (at @p pc) into a MicroOp. @p decoded false marks
+ * an undecodable word; @p raw_word is the original machine word,
+ * kept for the BadWord diagnostic.
+ */
+inline MicroOp
+lowerMicroOp(const Instruction &inst, Addr pc, bool decoded,
+             std::uint32_t raw_word)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.rd = inst.rd;
+    op.rs1 = inst.rs1;
+    op.rs2 = inst.rs2;
+    op.imm = inst.imm;
+
+    if (!decoded) {
+        op.kind = MicroKind::BadWord;
+        op.imm = static_cast<std::int32_t>(raw_word);
+        return op;
+    }
+
+    auto alu = [&](MicroKind k) {
+        // Writes to r0 are discarded by the hardware: the op still
+        // retires but defines nothing.
+        op.kind = inst.rd == 0 ? MicroKind::Nop : k;
+    };
+    auto branch = [&](MicroKind k) {
+        op.kind = k;
+        op.imm = inst.imm * 4 + 4;  // taken byte disp from own pc
+    };
+
+    switch (inst.op) {
+      case Opcode::Add: alu(MicroKind::Add); break;
+      case Opcode::Sub: alu(MicroKind::Sub); break;
+      case Opcode::And: alu(MicroKind::And); break;
+      case Opcode::Or: alu(MicroKind::Or); break;
+      case Opcode::Xor: alu(MicroKind::Xor); break;
+      case Opcode::Sll: alu(MicroKind::Sll); break;
+      case Opcode::Srl: alu(MicroKind::Srl); break;
+      case Opcode::Sra: alu(MicroKind::Sra); break;
+      case Opcode::Slt: alu(MicroKind::Slt); break;
+      case Opcode::Sltu: alu(MicroKind::Sltu); break;
+      case Opcode::Mul: alu(MicroKind::Mul); break;
+      case Opcode::Div: alu(MicroKind::Div); break;
+      case Opcode::Rem: alu(MicroKind::Rem); break;
+
+      case Opcode::Addi:
+        if (inst.rs1 == 0) {
+            alu(MicroKind::LoadConst);  // imm is already the value
+        } else {
+            alu(MicroKind::Addi);
+        }
+        break;
+      case Opcode::Andi:
+        alu(MicroKind::Andi);
+        op.imm = inst.imm & 0xffff;
+        break;
+      case Opcode::Ori:
+        if (inst.rs1 == 0) {
+            alu(MicroKind::LoadConst);
+        } else {
+            alu(MicroKind::Ori);
+        }
+        op.imm = inst.imm & 0xffff;
+        break;
+      case Opcode::Xori:
+        alu(MicroKind::Xori);
+        op.imm = inst.imm & 0xffff;
+        break;
+      case Opcode::Slli:
+        alu(MicroKind::Slli);
+        op.imm = inst.imm & 31;
+        break;
+      case Opcode::Srli:
+        alu(MicroKind::Srli);
+        op.imm = inst.imm & 31;
+        break;
+      case Opcode::Srai:
+        alu(MicroKind::Srai);
+        op.imm = inst.imm & 31;
+        break;
+      case Opcode::Slti: alu(MicroKind::Slti); break;
+      case Opcode::Lui:
+        alu(MicroKind::LoadConst);
+        op.imm = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(inst.imm) << 16);
+        break;
+
+      case Opcode::Lb: op.kind = MicroKind::Lb; break;
+      case Opcode::Lbu: op.kind = MicroKind::Lbu; break;
+      case Opcode::Lh: op.kind = MicroKind::Lh; break;
+      case Opcode::Lhu: op.kind = MicroKind::Lhu; break;
+      case Opcode::Lw: op.kind = MicroKind::Lw; break;
+      case Opcode::Sb: op.kind = MicroKind::Sb; break;
+      case Opcode::Sh: op.kind = MicroKind::Sh; break;
+      case Opcode::Sw: op.kind = MicroKind::Sw; break;
+
+      case Opcode::Beq: branch(MicroKind::Beq); break;
+      case Opcode::Bne: branch(MicroKind::Bne); break;
+      case Opcode::Blt: branch(MicroKind::Blt); break;
+      case Opcode::Bge: branch(MicroKind::Bge); break;
+      case Opcode::Bltu: branch(MicroKind::Bltu); break;
+      case Opcode::Bgeu: branch(MicroKind::Bgeu); break;
+
+      case Opcode::Jal:
+        op.kind = MicroKind::Jal;
+        op.imm = inst.target * 4 + 4;
+        break;
+      case Opcode::Jalr: op.kind = MicroKind::Jalr; break;
+      case Opcode::Halt: op.kind = MicroKind::Halt; break;
+      case Opcode::Sync: op.kind = MicroKind::Nop; break;
+    }
+    return op;
+}
+
+} // namespace memwall
+
+#endif // MEMWALL_ISA_MICRO_OP_HH

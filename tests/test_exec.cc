@@ -1,0 +1,588 @@
+/**
+ * @file
+ * Tests for the execution fast path: every program must behave
+ * bit-for-bit like the functional interpreter — registers, pc,
+ * stats, stop reasons, fault addresses and reference streams — while
+ * actually exercising the fast traces, the side exits, the fallback
+ * rules and the read-only-code guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/lowering.hh"
+#include "exec/fast_executor.hh"
+#include "isa/assembler.hh"
+#include "isa/interpreter.hh"
+
+using namespace memwall;
+
+namespace {
+
+/** The same program on both engines, compared field by field. */
+struct DualMachine
+{
+    AssembledProgram prog;
+    BackingStore imem;
+    BackingStore fmem;
+    Interpreter icpu{imem};
+    FastExecutor fcpu;
+
+    explicit DualMachine(const std::string &src)
+        : prog(assembleOrDie(src)), fcpu(fmem, prog)
+    {
+        prog.loadInto(imem);
+        prog.loadInto(fmem);
+        icpu.setPc(prog.entry);
+        fcpu.setPc(prog.entry);
+        fcpu.setFastPath(true);  // tests must not depend on the env
+    }
+
+    /** Run both engines for @p budget and assert full agreement. */
+    void
+    expectLockstep(std::uint64_t budget)
+    {
+        std::vector<MemRef> irefs, frefs;
+        const RefSink isink = [&](const MemRef &r) {
+            irefs.push_back(r);
+        };
+        const StopReason si = icpu.run(budget, &isink);
+        const StopReason sf = fcpu.runInto(
+            budget, [&](const MemRef &r) { frefs.push_back(r); });
+
+        EXPECT_EQ(si, sf);
+        EXPECT_EQ(icpu.lastStop(), fcpu.lastStop());
+        EXPECT_EQ(icpu.state().pc, fcpu.state().pc);
+        for (unsigned i = 0; i < 32; ++i)
+            EXPECT_EQ(icpu.state().reg(i), fcpu.state().reg(i))
+                << "r" << i;
+        EXPECT_EQ(icpu.stats().instructions,
+                  fcpu.stats().instructions);
+        EXPECT_EQ(icpu.stats().loads, fcpu.stats().loads);
+        EXPECT_EQ(icpu.stats().stores, fcpu.stats().stores);
+        EXPECT_EQ(icpu.stats().branches, fcpu.stats().branches);
+        EXPECT_EQ(icpu.stats().taken_branches,
+                  fcpu.stats().taken_branches);
+        ASSERT_EQ(irefs.size(), frefs.size());
+        for (std::size_t i = 0; i < irefs.size(); ++i)
+            EXPECT_TRUE(irefs[i] == frefs[i]) << "ref " << i;
+    }
+};
+
+/** Programmatic program: raw words all marked as instructions. */
+AssembledProgram
+rawProgram(Addr base, const std::vector<std::uint32_t> &words)
+{
+    AssembledProgram prog;
+    prog.entry = base;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const Addr a = base + 4 * i;
+        prog.words[a] = words[i];
+        prog.source_map.instr_lines[a] =
+            static_cast<unsigned>(i + 1);
+    }
+    return prog;
+}
+
+} // namespace
+
+TEST(FastExec, ArithmeticEquivalence)
+{
+    DualMachine m(R"(
+        addi r1, r0, 6
+        addi r2, r0, 7
+        mul  r3, r1, r2
+        sub  r4, r3, r1
+        halt
+    )");
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(m.fcpu.state().reg(3), 42u);
+    // The whole program ran on the fast path.
+    EXPECT_EQ(m.fcpu.fastStats().fast_instructions, 5u);
+    EXPECT_EQ(m.fcpu.fastStats().fallback_steps, 0u);
+}
+
+TEST(FastExec, LoopEquivalence)
+{
+    DualMachine m(R"(
+        addi r1, r0, 10
+        addi r2, r0, 0
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )");
+    m.expectLockstep(1000);
+    EXPECT_EQ(m.fcpu.state().reg(2), 55u);
+    EXPECT_GT(m.fcpu.fastStats().traces, 1u);
+    EXPECT_EQ(m.fcpu.fastStats().fallback_steps, 0u);
+}
+
+TEST(FastExec, MemoryWidthsEquivalence)
+{
+    DualMachine m(R"(
+        li  r10, 0x10000
+        li  r1, 0x89abcdef
+        sw  r1, 0(r10)
+        lw  r2, 0(r10)
+        lh  r3, 0(r10)
+        lhu r4, 0(r10)
+        lb  r5, 0(r10)
+        lbu r6, 0(r10)
+        sb  r5, 8(r10)
+        sh  r3, 12(r10)
+        halt
+    )");
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.state().reg(3), 0xffffcdefu);
+    EXPECT_EQ(m.fcpu.state().reg(5), 0xffffffefu);
+    // Loads of never-written pages read zero without materialising.
+    EXPECT_EQ(m.imem.allocatedPages(), m.fmem.allocatedPages());
+}
+
+TEST(FastExec, CallAndReturnEquivalence)
+{
+    DualMachine m(R"(
+        start:
+            addi r1, r0, 5
+            jal  ra, double
+            mv   r4, r1
+            halt
+        double:
+            add  r1, r1, r1
+            ret
+    )");
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.state().reg(4), 10u);
+    // Calls and returns stay on the fast path: the CFG resolves
+    // `jalr r0, ra` as a return, not an unknown indirect.
+    EXPECT_EQ(m.fcpu.fastStats().fallback_steps, 0u);
+}
+
+TEST(FastExec, DivisionOverflowEquivalence)
+{
+    DualMachine m(R"(
+        li   r1, 0x80000000
+        addi r2, r0, -1
+        div  r3, r1, r2
+        rem  r4, r1, r2
+        div  r5, r1, r0
+        rem  r6, r1, r0
+        halt
+    )");
+    m.expectLockstep(100);
+    // INT_MIN / -1 wraps; INT_MIN % -1 is zero (no UB on the host).
+    EXPECT_EQ(m.fcpu.state().reg(3), 0x80000000u);
+    EXPECT_EQ(m.fcpu.state().reg(4), 0u);
+    EXPECT_EQ(m.fcpu.state().reg(5), 0xffffffffu);
+    EXPECT_EQ(m.fcpu.state().reg(6), 0x80000000u);
+}
+
+TEST(FastExec, InstrLimitMidTrace)
+{
+    // Budget 3 lands in the middle of a 6-instruction straight-line
+    // trace: the cut must retire exactly 3 and leave the pc on the
+    // 4th instruction, like the interpreter.
+    DualMachine m(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        addi r4, r0, 4
+        addi r5, r0, 5
+        halt
+    )");
+    m.expectLockstep(3);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::InstrLimit);
+    EXPECT_EQ(m.fcpu.stats().instructions, 3u);
+    EXPECT_EQ(m.fcpu.state().pc, m.prog.entry + 12);
+    EXPECT_EQ(m.fcpu.state().reg(3), 3u);
+    EXPECT_EQ(m.fcpu.state().reg(4), 0u);
+    // Continuation after a mid-trace cut is seamless.
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(m.fcpu.state().reg(5), 5u);
+}
+
+TEST(FastExec, SingleStepLoopMatchesRun)
+{
+    const char *src = R"(
+        addi r1, r0, 10
+        addi r2, r0, 0
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )";
+    DualMachine whole(src);
+    whole.expectLockstep(1000);
+
+    // run(1) in a loop — every trace cut to one op — must land in
+    // the identical final state.
+    DualMachine stepped(src);
+    while (stepped.fcpu.run(1) == StopReason::InstrLimit &&
+           stepped.fcpu.stats().instructions < 1000) {
+    }
+    EXPECT_EQ(stepped.fcpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(stepped.fcpu.state().pc, whole.fcpu.state().pc);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(stepped.fcpu.state().reg(i),
+                  whole.fcpu.state().reg(i));
+    EXPECT_EQ(stepped.fcpu.stats().instructions,
+              whole.fcpu.stats().instructions);
+    EXPECT_EQ(stepped.fcpu.stats().taken_branches,
+              whole.fcpu.stats().taken_branches);
+}
+
+TEST(FastExec, RunZeroPreservesLastStop)
+{
+    DualMachine m("halt\n");
+    m.expectLockstep(10);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::Halted);
+    // A zero budget reports InstrLimit but must not clobber the
+    // recorded stop reason — on either engine.
+    EXPECT_EQ(m.icpu.run(0), StopReason::InstrLimit);
+    EXPECT_EQ(m.fcpu.run(0), StopReason::InstrLimit);
+    EXPECT_EQ(m.icpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::Halted);
+}
+
+TEST(FastExec, AlignmentFaultMidTrace)
+{
+    // The faulting lw sits mid-trace between retiring adds: the side
+    // exit must stop at its pc without retiring it, with the fetch
+    // ref emitted but no load ref — exactly like the interpreter.
+    DualMachine m(R"(
+        li   r10, 0x10001
+        addi r1, r0, 1
+        addi r2, r0, 2
+        lw   r3, 0(r10)
+        addi r4, r0, 4
+        halt
+    )");
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::AlignmentFault);
+    EXPECT_EQ(m.fcpu.faultAddr(), 0x10001u);
+    EXPECT_EQ(m.fcpu.stats().loads, 0u);
+    EXPECT_EQ(m.fcpu.state().reg(4), 0u);
+    EXPECT_EQ(m.fcpu.state().pc, m.prog.entry + 16);  // li is 2 words
+}
+
+TEST(FastExec, MisalignedStoreFaultEquivalence)
+{
+    DualMachine m(R"(
+        li  r10, 0x10003
+        sh  r0, 0(r10)
+        halt
+    )");
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::AlignmentFault);
+    EXPECT_EQ(m.fcpu.stats().stores, 0u);
+}
+
+TEST(FastExec, TrapOffPageStraddleEquivalence)
+{
+    // With the alignment trap off, a word access straddling a 4 KiB
+    // page boundary must take the slow path and wrap bytes exactly
+    // like BackingStore's scalar reads.
+    DualMachine m(R"(
+        li  r10, 0x10ffe
+        li  r1, 0xa1b2c3d4
+        sw  r1, 0(r10)
+        lw  r2, 0(r10)
+        lh  r3, 0(r10)
+        halt
+    )");
+    m.icpu.setAlignmentTrap(false);
+    m.fcpu.setAlignmentTrap(false);
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(m.fcpu.state().reg(2), 0xa1b2c3d4u);
+}
+
+TEST(FastExec, UnknownIndirectFallsBack)
+{
+    // The jalr target comes out of memory, so the CFG cannot resolve
+    // it: that block is ineligible and interpreter-stepped, but the
+    // program still runs to the right answer.
+    DualMachine m(R"(
+        start:
+            la   r1, slot
+            la   r2, target
+            sw   r2, 0(r1)
+            lw   r3, 0(r1)
+            jalr r0, r3
+            halt
+        target:
+            addi r4, r0, 77
+            halt
+        slot:
+            .space 4
+    )");
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(m.fcpu.state().reg(4), 77u);
+    EXPECT_GT(m.fcpu.fastStats().fallback_steps, 0u);
+    EXPECT_GT(m.fcpu.plan().unknownSuccFallbackOps(), 0u);
+}
+
+TEST(FastExec, JumpOutsideDecodedRange)
+{
+    // A computed jump past the decoded code lands in zero-filled
+    // memory; both engines execute whatever decodes there until the
+    // budget runs out — the fast path via per-instruction fallback.
+    DualMachine m(R"(
+        li   r1, 0x80000
+        jalr r0, r1
+        halt
+    )");
+    m.expectLockstep(64);
+    EXPECT_EQ(m.fcpu.plan().indexAt(0x80000), ExecPlan::npos);
+    EXPECT_GT(m.fcpu.fastStats().fallback_steps, 0u);
+}
+
+TEST(FastExec, AdjacentDataWritesDoNotFatal)
+{
+    // Data words immediately adjacent to code: stores to them must
+    // not trip the read-only-code guard (the check is per actual
+    // instruction word, not a coarse range) and must not perturb
+    // execution of the neighbouring code.
+    DualMachine m(R"(
+        start:
+            la   r1, counter
+            addi r2, r0, 3
+        loop:
+            lw   r3, 0(r1)
+            addi r3, r3, 5
+            sw   r3, 0(r1)
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            halt
+        counter:
+            .word 100
+    )");
+    m.expectLockstep(1000);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(m.fcpu.state().reg(3), 115u);
+    EXPECT_EQ(m.fmem.readU32(m.prog.symbol("counter")), 115u);
+    EXPECT_EQ(m.fcpu.fastStats().fallback_steps, 0u);
+}
+
+TEST(FastExecDeathTest, StoreIntoCodeIsFatal)
+{
+    // Guest code is read-only: a store that would land on a decoded
+    // instruction word aborts the simulation before any corruption,
+    // because the pre-decoded plan would otherwise go stale.
+    const auto prog = assembleOrDie(R"(
+        start:
+            sw  r0, 0(r1)
+            halt
+    )");
+    BackingStore mem;
+    prog.loadInto(mem);
+    FastExecutor cpu(mem, prog);
+    cpu.setFastPath(true);
+    cpu.setPc(prog.entry);
+    cpu.state().setReg(1, static_cast<std::uint32_t>(prog.entry));
+    EXPECT_EXIT(cpu.run(10), testing::ExitedWithCode(1),
+                "store into guest code");
+}
+
+TEST(FastExecDeathTest, StoreIntoCodeOnFallbackPathIsFatal)
+{
+    // The same guard protects interpreter-stepped (ineligible)
+    // instructions: here the store shares a block with an
+    // unresolvable jalr, so it executes on the fallback path.
+    const auto prog = assembleOrDie(R"(
+        start:
+            la   r1, slot
+            lw   r2, 0(r1)
+            sw   r0, 0(r3)
+            jalr r0, r2
+            halt
+        slot:
+            .space 4
+    )");
+    BackingStore mem;
+    prog.loadInto(mem);
+    FastExecutor cpu(mem, prog);
+    cpu.setFastPath(true);
+    cpu.setPc(prog.entry);
+    cpu.state().setReg(3, static_cast<std::uint32_t>(prog.entry));
+    EXPECT_EXIT(cpu.run(10), testing::ExitedWithCode(1),
+                "store into guest code");
+}
+
+TEST(FastExec, BadWordSideExit)
+{
+    // A word marked as an instruction that fails to decode stops
+    // with BadInstruction after its fetch ref, without retiring.
+    const Addr base = 0x1000;
+    auto prog = rawProgram(
+        base, {Instruction::i(Opcode::Addi, 1, 0, 9).encode(),
+               0xf4000000u,  // invalid opcode
+               Instruction::halt().encode()});
+
+    BackingStore imem, fmem;
+    prog.loadInto(imem);
+    prog.loadInto(fmem);
+    Interpreter icpu(imem);
+    FastExecutor fcpu(fmem, prog);
+    fcpu.setFastPath(true);
+    icpu.setPc(base);
+    fcpu.setPc(base);
+
+    std::vector<MemRef> irefs, frefs;
+    const RefSink isink = [&](const MemRef &r) {
+        irefs.push_back(r);
+    };
+    EXPECT_EQ(icpu.run(10, &isink), StopReason::BadInstruction);
+    EXPECT_EQ(fcpu.runInto(10,
+                           [&](const MemRef &r) {
+                               frefs.push_back(r);
+                           }),
+              StopReason::BadInstruction);
+    EXPECT_EQ(icpu.state().pc, fcpu.state().pc);
+    EXPECT_EQ(fcpu.state().pc, base + 4);
+    EXPECT_EQ(icpu.stats().instructions, fcpu.stats().instructions);
+    EXPECT_EQ(fcpu.stats().instructions, 1u);
+    ASSERT_EQ(irefs.size(), frefs.size());
+    for (std::size_t i = 0; i < irefs.size(); ++i)
+        EXPECT_TRUE(irefs[i] == frefs[i]);
+}
+
+TEST(FastExec, FastPathOffMatchesInterpreter)
+{
+    DualMachine m(R"(
+        li   r10, 0x20000
+        addi r1, r0, 25
+    loop:
+        sw   r1, 0(r10)
+        lw   r2, 0(r10)
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )");
+    m.fcpu.setFastPath(false);
+    m.expectLockstep(10000);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(m.fcpu.fastStats().fast_instructions, 0u);
+    EXPECT_EQ(m.fcpu.fastStats().traces, 0u);
+}
+
+TEST(FastExec, EnvVarDisablesFastPath)
+{
+    const auto prog = assembleOrDie("halt\n");
+    BackingStore mem;
+    setenv("MEMWALL_FASTPATH", "0", 1);
+    FastExecutor off(mem, prog);
+    EXPECT_FALSE(off.fastPath());
+    setenv("MEMWALL_FASTPATH", "1", 1);
+    FastExecutor on(mem, prog);
+    EXPECT_TRUE(on.fastPath());
+    unsetenv("MEMWALL_FASTPATH");
+    FastExecutor dflt(mem, prog);
+    EXPECT_TRUE(dflt.fastPath());
+}
+
+TEST(ExecPlan, TraceBreaksAtControlAndCalls)
+{
+    const auto prog = assembleOrDie(R"(
+        start:
+            addi r1, r0, 1
+            addi r2, r0, 2
+            jal  ra, callee
+            addi r3, r0, 3
+            halt
+        callee:
+            addi r4, r0, 4
+            ret
+    )");
+    const ExecPlan plan = ExecPlan::build(prog);
+    ASSERT_TRUE(plan.enabled());
+    ASSERT_EQ(plan.size(), 7u);
+    // The CFG keeps a call inside its block (fall-through), but the
+    // dynamic trace must break at it: execution redirects to the
+    // callee.
+    EXPECT_EQ(plan.traceEnd(0), 2u);
+    EXPECT_EQ(plan.traceEnd(1), 2u);
+    EXPECT_EQ(plan.traceEnd(2), 2u);
+    EXPECT_EQ(plan.traceEnd(3), 4u);  // addi; halt
+    EXPECT_EQ(plan.traceEnd(5), 6u);  // callee: addi; ret
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        EXPECT_TRUE(plan.eligible(i)) << i;
+}
+
+TEST(ExecPlan, ImmediateFolding)
+{
+    const auto prog = assembleOrDie(R"(
+        lui  r1, 0x1234
+        addi r2, r0, -5
+        ori  r3, r0, -1
+        andi r4, r1, -256
+        slli r5, r1, 4
+        add  r0, r1, r2
+        halt
+    )");
+    const ExecPlan plan = ExecPlan::build(prog);
+    ASSERT_TRUE(plan.enabled());
+    const MicroOp *ops = plan.ops();
+    EXPECT_EQ(ops[0].kind, MicroKind::LoadConst);
+    EXPECT_EQ(ops[0].imm, 0x12340000);
+    EXPECT_EQ(ops[1].kind, MicroKind::LoadConst);
+    EXPECT_EQ(ops[1].imm, -5);
+    // ori with rs1 == r0 folds to the ZERO-extended constant.
+    EXPECT_EQ(ops[2].kind, MicroKind::LoadConst);
+    EXPECT_EQ(ops[2].imm, 0xffff);
+    EXPECT_EQ(ops[3].kind, MicroKind::Andi);
+    EXPECT_EQ(ops[3].imm, 0xff00);
+    EXPECT_EQ(ops[4].kind, MicroKind::Slli);
+    EXPECT_EQ(ops[4].imm, 4);
+    // An ALU op writing r0 folds to a retiring Nop.
+    EXPECT_EQ(ops[5].kind, MicroKind::Nop);
+    EXPECT_EQ(ops[6].kind, MicroKind::Halt);
+}
+
+TEST(ExecPlan, AddressTableAndCodeQueries)
+{
+    const auto prog = assembleOrDie(R"(
+        start:
+            addi r1, r0, 1
+            halt
+        data:
+            .word 0xdeadbeef
+    )");
+    const ExecPlan plan = ExecPlan::build(prog);
+    ASSERT_TRUE(plan.enabled());
+    const Addr entry = prog.entry;
+    EXPECT_EQ(plan.indexAt(entry), 0u);
+    EXPECT_EQ(plan.indexAt(entry + 4), 1u);
+    EXPECT_EQ(plan.indexAt(entry + 2), ExecPlan::npos);
+    EXPECT_EQ(plan.indexAt(entry - 4), ExecPlan::npos);
+    EXPECT_TRUE(plan.isCode(entry));
+    EXPECT_TRUE(plan.isCode(entry + 5));  // bytes within the halt
+    // The trailing .word is data, not code.
+    EXPECT_FALSE(plan.isCode(prog.symbol("data")));
+}
+
+TEST(FastExec, R0NeverWritten)
+{
+    DualMachine m(R"(
+        addi r0, r0, 99
+        lui  r0, 0xffff
+        li   r10, 0x30000
+        lw   r0, 0(r10)
+        addi r1, r0, 1
+        halt
+    )");
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.state().reg(0), 0u);
+    EXPECT_EQ(m.fcpu.state().reg(1), 1u);
+    // The discarded load still counts and still emits its ref.
+    EXPECT_EQ(m.fcpu.stats().loads, 1u);
+}

@@ -279,6 +279,82 @@ TEST(Interpreter, AlignmentTrapCanBeDisabled)
     EXPECT_EQ(m.cpu.stats().stores, 1u);
 }
 
+TEST(Interpreter, RunMatchesCappedStepLoop)
+{
+    const char *src = R"(
+        addi r1, r0, 10
+        addi r2, r0, 0
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )";
+    for (const std::uint64_t budget : {1u, 3u, 17u, 31u, 1000u}) {
+        TestMachine run_m(src);
+        const StopReason sr = run_m.cpu.run(budget);
+
+        TestMachine step_m(src);
+        std::uint64_t attempted = 0;
+        bool alive = true;
+        while (attempted < budget && alive) {
+            alive = step_m.cpu.step();
+            ++attempted;
+        }
+        EXPECT_EQ(run_m.cpu.state().pc, step_m.cpu.state().pc)
+            << "budget " << budget;
+        for (unsigned i = 0; i < 32; ++i)
+            EXPECT_EQ(run_m.cpu.state().reg(i),
+                      step_m.cpu.state().reg(i));
+        EXPECT_EQ(run_m.cpu.stats().instructions,
+                  step_m.cpu.stats().instructions);
+        EXPECT_EQ(run_m.cpu.stats().taken_branches,
+                  step_m.cpu.stats().taken_branches);
+        if (alive) {
+            // The budget ended the run: InstrLimit.
+            EXPECT_EQ(sr, StopReason::InstrLimit);
+        } else {
+            // The program ended the run: identical stop reasons.
+            EXPECT_EQ(sr, step_m.cpu.lastStop());
+            EXPECT_EQ(run_m.cpu.lastStop(), step_m.cpu.lastStop());
+        }
+    }
+}
+
+TEST(Interpreter, RunZeroDoesNotClobberLastStop)
+{
+    TestMachine m("halt\n");
+    EXPECT_EQ(m.cpu.run(10), StopReason::Halted);
+    // A zero budget behaves like a zero-iteration step() loop: it
+    // reports InstrLimit but must not overwrite the recorded stop.
+    EXPECT_EQ(m.cpu.run(0), StopReason::InstrLimit);
+    EXPECT_EQ(m.cpu.lastStop(), StopReason::Halted);
+    EXPECT_EQ(m.cpu.stats().instructions, 1u);
+}
+
+TEST(Interpreter, RunContinuesAcrossBudgets)
+{
+    // Two budgeted runs reach the same place as one big run.
+    const char *src = R"(
+        addi r1, r0, 20
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )";
+    TestMachine split(src);
+    EXPECT_EQ(split.cpu.run(7), StopReason::InstrLimit);
+    EXPECT_EQ(split.cpu.lastStop(), StopReason::InstrLimit);
+    EXPECT_EQ(split.cpu.run(10000), StopReason::Halted);
+
+    TestMachine whole(src);
+    whole.cpu.run(10000);
+    EXPECT_EQ(split.cpu.state().pc, whole.cpu.state().pc);
+    EXPECT_EQ(split.cpu.stats().instructions,
+              whole.cpu.stats().instructions);
+    EXPECT_EQ(split.cpu.lastStop(), whole.cpu.lastStop());
+}
+
 TEST(Interpreter, MemcpyProgram)
 {
     // Copy 16 words and verify the data actually moved.

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "core/memwall.hh"
+#include "exec/fast_executor.hh"
 
 using namespace memwall;
 
@@ -110,7 +111,9 @@ cmdRun(int argc, char **argv)
     const AssembledProgram prog = assembleFile(path);
     BackingStore mem;
     prog.loadInto(mem);
-    Interpreter cpu(mem);
+    // Fast path by default; MEMWALL_FASTPATH=0 selects the plain
+    // interpreter (identical results, for differential debugging).
+    FastExecutor cpu(mem, prog);
     cpu.setPc(prog.entry);
 
     TraceBuffer trace;
