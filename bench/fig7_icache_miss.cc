@@ -26,6 +26,7 @@
 #include "harness/sweep_resume.hh"
 #include "resume_util.hh"
 #include "workloads/missrate.hh"
+#include "workloads/missrate_figures.hh"
 
 using namespace memwall;
 using namespace memwall::cachelabels;
@@ -144,10 +145,8 @@ main(int argc, char **argv)
         benchutil::banner("Figure 7 - instruction cache miss rates",
                           opt);
 
-    MissRateParams params;
-    params.measured_refs = opt.refs ? opt.refs
-                                    : (opt.quick ? 400'000 : 4'000'000);
-    params.warmup_refs = params.measured_refs / 4;
+    const MissRateParams params =
+        resolveMissRateParams(opt.quick, opt.refs);
 
     const std::string sample = opt.extraOr("--sample", "");
     if (!sample.empty())
@@ -192,23 +191,10 @@ main(int argc, char **argv)
     sweep.finish();
 
     if (opt.json()) {
-        std::printf("{\n  \"bench\": \"fig7_icache_miss\", "
-                    "\"sampled\": false,\n  \"workloads\": [\n");
-        for (std::size_t i = 0; i < all.size(); ++i) {
-            const auto &r = all[i];
-            std::printf(
-                "    {\"name\": \"%s\", \"proposed\": %.9g, "
-                "\"conv8\": %.9g, \"conv16\": %.9g, "
-                "\"conv32\": %.9g, \"conv64\": %.9g}%s\n",
-                r.workload.c_str(),
-                r.icache(proposed).missRate(),
-                r.icache(conv8).missRate(),
-                r.icache(conv16).missRate(),
-                r.icache(conv32).missRate(),
-                r.icache(conv64).missRate(),
-                i + 1 < all.size() ? "," : "");
-        }
-        std::printf("  ]\n}\n");
+        // Shared with mw-server: one renderer, one set of bytes.
+        std::fputs(missRateFigureJson(MissRateFigure::ICache, all)
+                       .c_str(),
+                   stdout);
         return 0;
     }
 

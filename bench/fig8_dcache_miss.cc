@@ -18,6 +18,7 @@
 #include "harness/sweep_resume.hh"
 #include "resume_util.hh"
 #include "workloads/missrate.hh"
+#include "workloads/missrate_figures.hh"
 
 using namespace memwall;
 using namespace memwall::cachelabels;
@@ -138,10 +139,8 @@ main(int argc, char **argv)
     if (!opt.json())
         benchutil::banner("Figure 8 - data cache miss rates", opt);
 
-    MissRateParams params;
-    params.measured_refs = opt.refs ? opt.refs
-                                    : (opt.quick ? 400'000 : 4'000'000);
-    params.warmup_refs = params.measured_refs / 4;
+    const MissRateParams params =
+        resolveMissRateParams(opt.quick, opt.refs);
 
     const std::string sample = opt.extraOr("--sample", "");
     if (!sample.empty())
@@ -187,28 +186,10 @@ main(int argc, char **argv)
     sweep.finish();
 
     if (opt.json()) {
-        std::printf("{\n  \"bench\": \"fig8_dcache_miss\", "
-                    "\"sampled\": false,\n  \"workloads\": [\n");
-        for (std::size_t i = 0; i < all.size(); ++i) {
-            const auto &r = all[i];
-            const auto &pv = r.dcache(proposed_vc);
-            std::printf(
-                "    {\"name\": \"%s\", \"proposed\": %.9g, "
-                "\"conv16\": %.9g, \"conv16w2\": %.9g, "
-                "\"conv64\": %.9g, \"conv256w2\": %.9g, "
-                "\"proposed_vc\": %.9g, \"vc_load_miss\": %.9g, "
-                "\"vc_store_miss\": %.9g}%s\n",
-                specSuite()[i].name.c_str(),
-                r.dcache(proposed).missRate(),
-                r.dcache(conv16).missRate(),
-                r.dcache(conv16w2).missRate(),
-                r.dcache(conv64).missRate(),
-                r.dcache(conv256w2).missRate(),
-                pv.missRate(), pv.stats.loadMissRate(),
-                pv.stats.storeMissRate(),
-                i + 1 < all.size() ? "," : "");
-        }
-        std::printf("  ]\n}\n");
+        // Shared with mw-server: one renderer, one set of bytes.
+        std::fputs(missRateFigureJson(MissRateFigure::DCache, all)
+                       .c_str(),
+                   stdout);
         return 0;
     }
 

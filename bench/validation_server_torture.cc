@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Torture validation of the mw-server experiment service. Spawns the
+ * real mw-server binary (fork/exec) and beats on it over its Unix
+ * socket. Five legs, each an acceptance gate:
+ *
+ *   identity     fig7 and fig8 responses carry result bytes that are
+ *                byte-identical to the shared in-process renderer —
+ *                the same code path the one-shot bench binaries
+ *                print, so server == one-shot by construction;
+ *
+ *   storm        N concurrent clients mixing duplicate runs, distinct
+ *                runs, malformed JSON, unknown fields and oversized
+ *                frames. Every well-formed request succeeds with the
+ *                golden bytes, every malformed one gets its named
+ *                error, a connection survives an oversized frame, and
+ *                the stats counters prove each distinct experiment
+ *                was computed exactly once;
+ *
+ *   crash        the server is SIGKILLed mid-life and restarted on
+ *                the same socket and cache directory. The stale
+ *                socket is reclaimed, the journal replays every
+ *                result, and a re-request is served from cache —
+ *                byte-identical, with zero recomputation;
+ *
+ *   degradation  injected faults (--allow-test-faults) exercise the
+ *                failure ladder: transient faults are retried to
+ *                success, persistent faults surface worker_failed, a
+ *                short deadline surfaces deadline_exceeded, and a
+ *                full inflight table sheds with overloaded plus a
+ *                retry_after_ms hint;
+ *
+ *   shutdown     a "shutdown" request drains the server to a clean
+ *                exit status.
+ *
+ * Exit status is non-zero when any gate fails, so CI can run this
+ * binary directly (the CI job additionally runs it under TSan and
+ * diffs mw-client --raw-result against the one-shot binary).
+ */
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "server/json.hh"
+#include "server/protocol.hh"
+#include "server/wire.hh"
+#include "workloads/missrate_figures.hh"
+
+using namespace memwall;
+using namespace memwall::server;
+
+#ifndef MWSERVER_BIN
+#error "MWSERVER_BIN must point at the mw-server executable"
+#endif
+
+namespace {
+
+struct Gate
+{
+    std::string name;
+    std::string detail;
+    bool pass = false;
+};
+
+std::vector<Gate> gates;
+
+void
+gate(const std::string &name, bool pass, const std::string &detail)
+{
+    gates.push_back(Gate{name, detail, pass});
+    if (!pass)
+        std::cout << "FAIL: " << name << ": " << detail << "\n";
+}
+
+std::string
+makeScratchDir()
+{
+    char tmpl[] = "/tmp/mw-server-torture-XXXXXX";
+    const char *p = ::mkdtemp(tmpl);
+    if (!p)
+        MW_FATAL("cannot create scratch directory: ",
+                 std::strerror(errno));
+    return p;
+}
+
+/** fork/exec mw-server with the given extra flags. */
+pid_t
+spawnServer(const std::string &socket_path,
+            const std::string &cache_dir, unsigned jobs,
+            const std::vector<std::string> &extra)
+{
+    std::vector<std::string> args = {
+        MWSERVER_BIN,  "--socket",  socket_path, "--cache-dir",
+        cache_dir,     "--jobs",    std::to_string(jobs),
+        "--allow-test-faults"};
+    args.insert(args.end(), extra.begin(), extra.end());
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        MW_FATAL("fork: ", std::strerror(errno));
+    if (pid == 0) {
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        std::fprintf(stderr, "execv %s: %s\n", MWSERVER_BIN,
+                     std::strerror(errno));
+        _exit(127);
+    }
+    return pid;
+}
+
+/** Wait until the server accepts connections (or give up). */
+bool
+waitForServer(const std::string &socket_path, pid_t pid)
+{
+    for (int i = 0; i < 500; ++i) {
+        std::string why;
+        const int fd = connectUnix(socket_path, &why);
+        if (fd >= 0) {
+            ::close(fd);
+            return true;
+        }
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            return false; // server died during startup
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+}
+
+/** One request/response over a fresh connection. */
+std::string
+rpc(const std::string &socket_path, const std::string &request)
+{
+    std::string why;
+    const int fd = connectUnix(socket_path, &why);
+    if (fd < 0)
+        return "";
+    std::string response;
+    if (!writeFrame(fd, request, &why) ||
+        readFrame(fd, response, &why) != FrameStatus::Ok)
+        response.clear();
+    ::close(fd);
+    return response;
+}
+
+/** Raw bytes of the envelope's "result" member. The protocol puts
+ *  "result" last, so its bytes run to the envelope's closing brace —
+ *  which captures the figure document's trailing newline. */
+std::string
+resultBytes(const std::string &response)
+{
+    JsonValue v;
+    std::string err;
+    if (!parseJson(response, v, err))
+        return "";
+    const JsonValue *status = v.find("status");
+    const JsonValue *result = v.find("result");
+    if (status == nullptr || status->text != "ok" ||
+        result == nullptr)
+        return "";
+    return response.substr(result->begin,
+                           (response.size() - 1) - result->begin);
+}
+
+std::string
+errorCodeOf(const std::string &response)
+{
+    JsonValue v;
+    std::string err;
+    if (!parseJson(response, v, err))
+        return "unparseable";
+    const JsonValue *e = v.find("error");
+    if (e == nullptr || e->find("code") == nullptr)
+        return "no-error-code";
+    return e->find("code")->text;
+}
+
+bool
+isCached(const std::string &response)
+{
+    JsonValue v;
+    std::string err;
+    if (!parseJson(response, v, err))
+        return false;
+    const JsonValue *c = v.find("cached");
+    return c != nullptr && c->boolean;
+}
+
+/** stats counter lookup: section "counters"/"cache" etc. */
+double
+statNumber(const std::string &stats_response,
+           const std::string &section, const std::string &name)
+{
+    JsonValue v;
+    std::string err;
+    if (!parseJson(stats_response, v, err))
+        return -1.0;
+    const JsonValue *result = v.find("result");
+    if (result == nullptr)
+        return -1.0;
+    const JsonValue *group =
+        section.empty() ? result : result->find(section);
+    if (group == nullptr)
+        return -1.0;
+    const JsonValue *value = group->find(name);
+    return value != nullptr ? value->number : -1.0;
+}
+
+std::string
+runRequest(const std::string &experiment, std::uint64_t refs,
+           std::uint64_t seed, const std::string &extra = "")
+{
+    return "{\"cmd\":\"run\",\"experiment\":\"" + experiment +
+           "\",\"refs\":" + std::to_string(refs) +
+           ",\"seed\":" + std::to_string(seed) + extra + "}";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opt = benchutil::parse(argc, argv);
+    benchutil::banner("Validation - experiment-service torture", opt);
+
+    const std::uint64_t refs =
+        opt.refs ? opt.refs : (opt.quick ? 4'000 : 20'000);
+    const unsigned jobs = opt.jobs ? opt.jobs : 4;
+
+    const std::string scratch = makeScratchDir();
+    const std::string socket_path = scratch + "/srv.sock";
+    const std::string cache_dir = scratch + "/cache";
+
+    // ---- spawn -----------------------------------------------------
+    pid_t pid = spawnServer(socket_path, cache_dir, jobs, {});
+    gate("server came up", waitForServer(socket_path, pid),
+         "fork/exec + socket accept within 5s");
+
+    // ---- identity leg ---------------------------------------------
+    // Golden bytes from the shared renderer — the exact code the
+    // one-shot binaries print through.
+    const MissRateParams params =
+        resolveMissRateParams(false, refs);
+    const std::string golden7 = missRateFigureJson(
+        MissRateFigure::ICache,
+        runMissRateFigure(MissRateFigure::ICache, params));
+    const std::string golden8 = missRateFigureJson(
+        MissRateFigure::DCache,
+        runMissRateFigure(MissRateFigure::DCache, params));
+
+    const std::string resp7 =
+        rpc(socket_path, runRequest("fig7", refs, opt.seed));
+    const std::string resp8 =
+        rpc(socket_path, runRequest("fig8", refs, opt.seed));
+    gate("fig7 bytes == one-shot renderer",
+         resultBytes(resp7) == golden7,
+         std::to_string(golden7.size()) + " bytes");
+    gate("fig8 bytes == one-shot renderer",
+         resultBytes(resp8) == golden8,
+         std::to_string(golden8.size()) + " bytes");
+
+    // ---- storm leg -------------------------------------------------
+    const unsigned clients = opt.quick ? 4 : 8;
+    std::vector<int> failures(clients, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned t = 0; t < clients; ++t)
+        threads.emplace_back([&, t] {
+            int bad = 0;
+            // Duplicate of the already-cached fig7 run: golden bytes.
+            if (resultBytes(rpc(socket_path,
+                                runRequest("fig7", refs, opt.seed))) !=
+                golden7)
+                ++bad;
+            // Distinct key (per-thread seed): the non-sampled
+            // measurement ignores the sweep seed, so the bytes stay
+            // golden while the cache key (and compute) are distinct.
+            if (resultBytes(rpc(
+                    socket_path,
+                    runRequest("fig7", refs, 1'000 + t))) != golden7)
+                ++bad;
+            // Malformed JSON and unknown fields: named errors.
+            if (errorCodeOf(rpc(socket_path, "{nope")) != "bad_json")
+                ++bad;
+            if (errorCodeOf(rpc(
+                    socket_path,
+                    R"({"experiment":"fig7","bogus":1})")) !=
+                "bad_request")
+                ++bad;
+            // Oversized frame, then a ping on the SAME connection:
+            // the stream must stay framed.
+            std::string why;
+            const int fd = connectUnix(socket_path, &why);
+            if (fd < 0) {
+                ++bad;
+            } else {
+                std::string response;
+                if (!writeFrame(fd,
+                                std::string(max_frame_bytes + 1, 'x'),
+                                &why) ||
+                    readFrame(fd, response, &why) != FrameStatus::Ok ||
+                    errorCodeOf(response) != "oversized")
+                    ++bad;
+                if (!writeFrame(fd, R"({"cmd":"ping"})", &why) ||
+                    readFrame(fd, response, &why) != FrameStatus::Ok ||
+                    response.find("pong") == std::string::npos)
+                    ++bad;
+                ::close(fd);
+            }
+            failures[t] = bad;
+        });
+    for (auto &th : threads)
+        th.join();
+    int storm_failures = 0;
+    for (const int f : failures)
+        storm_failures += f;
+    gate("storm responses all correct", storm_failures == 0,
+         std::to_string(clients) + " clients x 5 ops, " +
+             std::to_string(storm_failures) + " failure(s)");
+
+    // Exactly-once: fig7 + fig8 + one per distinct storm seed.
+    const std::string stats1 =
+        rpc(socket_path, R"({"cmd":"stats"})");
+    const double computed =
+        statNumber(stats1, "counters", "computed");
+    const double expect_computed = 2.0 + clients;
+    gate("exactly-once compute",
+         computed == expect_computed,
+         "computed=" + std::to_string((long long)computed) +
+             ", distinct keys=" +
+             std::to_string((long long)expect_computed));
+
+    // ---- crash leg -------------------------------------------------
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    gate("server SIGKILLed",
+         WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+         "no chance to flush or unlink its socket");
+
+    // Restart on the SAME socket path (stale-socket reclaim) and the
+    // same cache directory (journal replay); small inflight table so
+    // the degradation leg can fill it.
+    pid = spawnServer(socket_path, cache_dir, jobs,
+                      {"--max-inflight", "1", "--max-retries", "2",
+                       "--backoff-base-ms", "1"});
+    gate("restart reclaims stale socket",
+         waitForServer(socket_path, pid),
+         "bind over the dead server's socket file");
+
+    const std::string stats2 =
+        rpc(socket_path, R"({"cmd":"stats"})");
+    gate("journal replayed after SIGKILL",
+         statNumber(stats2, "cache", "recovered") >= expect_computed,
+         "recovered=" +
+             std::to_string((long long)statNumber(
+                 stats2, "cache", "recovered")) +
+             " >= " + std::to_string((long long)expect_computed));
+
+    const std::string replay =
+        rpc(socket_path, runRequest("fig7", refs, opt.seed));
+    gate("cached replay is byte-identical",
+         isCached(replay) && resultBytes(replay) == golden7,
+         "served from the journal-recovered cache");
+    gate("replay recomputed nothing",
+         statNumber(rpc(socket_path, R"({"cmd":"stats"})"),
+                    "counters", "computed") == 0.0,
+         "computed=0 on the restarted server");
+
+    // ---- degradation leg ------------------------------------------
+    // Transient faults: two injected failures, three attempts.
+    const std::string retried = rpc(
+        socket_path, runRequest("fig7", refs, 7'001,
+                                R"(,"fault":{"fail_points":2})"));
+    gate("transient faults retried to success",
+         resultBytes(retried) == golden7,
+         "fail_points=2 vs max-retries=2");
+
+    // Persistent faults: more failures than attempts.
+    gate("persistent faults surface worker_failed",
+         errorCodeOf(rpc(socket_path,
+                         runRequest(
+                             "fig7", refs, 7'002,
+                             R"(,"fault":{"fail_points":10000})"))) ==
+             "worker_failed",
+         "fail_points=10000");
+
+    // Deadline: every point hangs 150 ms, the client allows 30 ms.
+    gate("deadline surfaces deadline_exceeded",
+         errorCodeOf(rpc(
+             socket_path,
+             runRequest(
+                 "fig7", refs, 7'003,
+                 R"(,"deadline_ms":30,"fault":{"hang_ms":150})"))) ==
+             "deadline_exceeded",
+         "30ms deadline vs 150ms/point hang");
+
+    // Overload: hog the single inflight slot, then ask for more.
+    std::thread hog([&] {
+        rpc(socket_path,
+            runRequest("fig7", refs, 7'004,
+                       R"(,"fault":{"hang_ms":400})"));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::string shed_resp =
+        rpc(socket_path, runRequest("fig8", refs, 7'005));
+    JsonValue shed_json;
+    std::string err;
+    const bool shed_parsed =
+        parseJson(shed_resp, shed_json, err) &&
+        shed_json.find("error") != nullptr;
+    const bool has_retry_after =
+        shed_parsed && shed_json.find("error")->find(
+                           "retry_after_ms") != nullptr;
+    gate("overload sheds with retry_after",
+         errorCodeOf(shed_resp) == "overloaded" && has_retry_after,
+         "max-inflight=1, slot hogged by a hanging run");
+    hog.join();
+
+    // ---- shutdown leg ---------------------------------------------
+    const std::string bye =
+        rpc(socket_path, R"({"cmd":"shutdown"})");
+    status = -1;
+    for (int i = 0; i < 500; ++i) {
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    gate("shutdown request drains to exit 0",
+         bye.find("shutting_down") != std::string::npos &&
+             WIFEXITED(status) && WEXITSTATUS(status) == 0,
+         "clean exit after \"shutdown\"");
+
+    TextTable table("Experiment-service torture gates");
+    table.setHeader({"gate", "detail", "status"});
+    int failed = 0;
+    for (const Gate &g : gates) {
+        table.addRow({g.name, g.detail, g.pass ? "ok" : "FAIL"});
+        if (!g.pass)
+            ++failed;
+    }
+    table.print(std::cout);
+
+    const std::string cleanup = "rm -rf '" + scratch + "'";
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+
+    if (failed) {
+        std::cout << "\n" << failed << " gate(s) FAILED\n";
+        return 1;
+    }
+    std::cout << "\nall " << gates.size() << " gates passed\n";
+    return 0;
+}

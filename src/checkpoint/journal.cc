@@ -83,6 +83,7 @@ SweepJournal::open(const std::string &path, std::uint64_t run_hash,
             *why = errnoMessage("cannot open journal", path);
         return false;
     }
+    path_ = path;
     if (fresh) {
         if (::ftruncate(fd_, 0) != 0) {
             if (why)
@@ -115,7 +116,14 @@ SweepJournal::open(const std::string &path, std::uint64_t run_hash,
         close();
         return false;
     }
-    ::fsync(fd_);
+    if (::fsync(fd_) != 0) {
+        // The truncated tail / fresh header may not be durable:
+        // refuse to run on top of a journal we cannot sync.
+        if (why)
+            *why = errnoMessage("cannot fsync journal", path);
+        close();
+        return false;
+    }
     return true;
 }
 
@@ -150,13 +158,19 @@ SweepJournal::append(std::size_t index,
             if (errno == EINTR)
                 continue;
             if (why)
-                *why = std::string("short write to journal: ") +
-                       std::strerror(errno);
+                *why = errnoMessage("short write to journal", path_);
             return false;
         }
         off += static_cast<std::size_t>(n);
     }
-    ::fsync(fd_);
+    if (::fsync(fd_) != 0) {
+        // The bytes are in the page cache but not durably on disk:
+        // a crash could tear this record. Report it — resumability
+        // is the whole point of the journal.
+        if (why)
+            *why = errnoMessage("cannot fsync journal", path_);
+        return false;
+    }
     records_[index] = payload;
     return true;
 }
@@ -168,6 +182,7 @@ SweepJournal::close()
         ::close(fd_);
         fd_ = -1;
     }
+    path_.clear();
 }
 
 } // namespace ckpt

@@ -56,13 +56,29 @@ class SweepJournal
     /** Recorded payload for @p index, or nullptr if not journaled. */
     const std::vector<std::uint8_t> *lookup(std::size_t index) const;
 
-    /** Append one record and fsync it. Not thread-safe: callers
-     *  append from the sweep's commit path, which is ordered. */
+    /**
+     * Append one record and fsync it. Not thread-safe: callers
+     * append from the sweep's commit path, which is ordered. Any
+     * failure — including a failed fsync, which means the record may
+     * not survive a crash — returns false with @p why naming the
+     * journal path and the errno.
+     */
     bool append(std::size_t index,
                 const std::vector<std::uint8_t> &payload,
                 std::string *why = nullptr);
 
     void close();
+
+    /**
+     * All live records, keyed by point index. The map view is what a
+     * replay consumer (e.g. the server's result cache) walks at
+     * startup to rebuild state from a crash-surviving journal.
+     */
+    const std::map<std::size_t, std::vector<std::uint8_t>> &
+    records() const
+    {
+        return records_;
+    }
 
     /** Records recovered from a previous run at open(). */
     std::size_t recovered() const { return recovered_; }
@@ -73,6 +89,7 @@ class SweepJournal
 
   private:
     int fd_ = -1;
+    std::string path_; ///< for error messages naming the file
     std::map<std::size_t, std::vector<std::uint8_t>> records_;
     std::size_t recovered_ = 0;
     std::size_t torn_bytes_ = 0;

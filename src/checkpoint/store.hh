@@ -34,6 +34,7 @@ struct StoreCounters
     std::uint64_t degraded_version = 0; ///< format skew: rewarm
     std::uint64_t degraded_config = 0;  ///< foreign config: rewarm
     std::uint64_t write_errors = 0;     ///< population failed (I/O)
+    std::uint64_t evicted = 0;          ///< entries removed by the cap
 
     std::uint64_t degraded() const
     {
@@ -52,6 +53,21 @@ class CheckpointStore
 
     const std::string &dir() const { return dir_; }
     std::uint64_t configHash() const { return config_hash_; }
+
+    /**
+     * Cap the total bytes of .mwcp entries in the directory; 0 (the
+     * default) means unbounded. After every successful save the
+     * oldest entries (mtime, then name) are unlinked until the total
+     * fits, so a long-running populator — the experiment service's
+     * result cache rides on this — cannot grow the directory without
+     * bound. The entry just written is never evicted, even when it
+     * alone exceeds the cap. Eviction is advisory under concurrent
+     * access: losing a race to unlink a file another process already
+     * removed is fine, and readers degrade to a rewarm exactly as for
+     * any other missing entry.
+     */
+    void setCapBytes(std::uint64_t cap) { cap_bytes_ = cap; }
+    std::uint64_t capBytes() const { return cap_bytes_; }
 
     std::string pathFor(const std::string &key) const
     {
@@ -82,8 +98,12 @@ class CheckpointStore
     StoreCounters counters() const;
 
   private:
+    /** Unlink oldest entries until the directory fits the cap. */
+    void enforceCap(const std::string &keep_key);
+
     std::string dir_;
     std::uint64_t config_hash_;
+    std::uint64_t cap_bytes_ = 0;
     mutable std::mutex mutex_;
     StoreCounters counters_;
 };

@@ -1,5 +1,7 @@
 #include "harness/thread_pool.hh"
 
+#include <exception>
+
 #include "common/logging.hh"
 
 namespace memwall {
@@ -81,11 +83,22 @@ ThreadPool::workerLoop(unsigned self)
         Task task;
         if (takeTask(self, task)) {
             lock.unlock();
-            task();
+            bool threw = false;
+            try {
+                task();
+            } catch (const std::exception &e) {
+                threw = true;
+                MW_WARN("thread pool task threw: ", e.what());
+            } catch (...) {
+                threw = true;
+                MW_WARN("thread pool task threw a non-std exception");
+            }
             // Release the closure before reporting completion so any
             // captured state dies before waitIdle() returns.
             task = nullptr;
             lock.lock();
+            if (threw)
+                ++task_exceptions_;
             if (--in_flight_ == 0)
                 idle_cv_.notify_all();
             continue;
@@ -108,6 +121,13 @@ ThreadPool::steals() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return steals_;
+}
+
+std::uint64_t
+ThreadPool::taskExceptions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return task_exceptions_;
 }
 
 } // namespace memwall

@@ -61,6 +61,17 @@ class ThreadPool
     /** Number of times a worker stole from another's deque. */
     std::uint64_t steals() const;
 
+    /**
+     * Number of tasks that exited via an exception. A fire-and-forget
+     * pool has nowhere to rethrow, so a throwing task must never take
+     * the worker thread (and with it the whole process) down: the
+     * exception is caught, counted and warned about, and the worker
+     * moves on to the next task. Callers that care about per-task
+     * failure (the experiment service) catch inside their own
+     * closures; this is the backstop for the ones that forget.
+     */
+    std::uint64_t taskExceptions() const;
+
     /** Hardware concurrency with a floor of 1. */
     static unsigned defaultWorkers();
 
@@ -82,6 +93,7 @@ class ThreadPool
     unsigned next_worker_ = 0;   // round-robin submission cursor
     std::uint64_t in_flight_ = 0;  // queued + executing tasks
     std::uint64_t steals_ = 0;
+    std::uint64_t task_exceptions_ = 0;
     bool stopping_ = false;
 };
 

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Request/response schema for the experiment service.
+ *
+ * A request is one JSON object per frame:
+ *
+ *     {
+ *       "cmd": "run" | "stats" | "ping" | "shutdown",   (default "run")
+ *       "id": "<opaque string, echoed back>",            (optional)
+ *       "experiment": "fig7" | "fig8",                   (run only)
+ *       "quick": true|false,                             (default false)
+ *       "refs": <uint>,                                  (default 0 = auto)
+ *       "seed": <uint>,                                  (default 42)
+ *       "deadline_ms": <uint>,                           (default 0 = none)
+ *       "fault": {"fail_points": <uint>, "hang_ms": <uint>}
+ *     }
+ *
+ * Unknown top-level or fault fields are rejected by name — a typo'd
+ * "qick" must not silently run the full-size experiment. "fault" is
+ * only honoured when the server runs with --allow-test-faults; it
+ * exists for the torture harness and makes a request non-cacheable.
+ *
+ * Responses (one frame each):
+ *
+ *     {"id":"...","status":"ok","cached":bool,"result":<RAW JSON>}
+ *     {"id":"...","status":"error",
+ *      "error":{"code":"<name>","detail":"...","retry_after_ms":N}}
+ *
+ * "result" is deliberately the LAST member: the figure document is
+ * spliced in verbatim (the same bytes missRateFigureJson produced,
+ * trailing newline included) so a client that extracts the member's
+ * byte span gets output byte-identical to the one-shot binary.
+ */
+
+#ifndef MEMWALL_SERVER_PROTOCOL_HH
+#define MEMWALL_SERVER_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/missrate_figures.hh"
+
+namespace memwall {
+namespace server {
+
+/** Named error codes; the wire "code" string is errorCodeName(). */
+enum class ErrorCode {
+    BadFrame,        ///< unparseable frame header (connection closes)
+    Oversized,       ///< frame over the size cap (stream re-synced)
+    BadJson,         ///< payload is not valid strict JSON
+    BadRequest,      ///< schema violation (unknown/missing/mistyped)
+    UnknownExperiment, ///< "experiment" not fig7/fig8
+    BadParam,        ///< a field parsed but its value is unusable
+    FaultInjectionDisabled, ///< "fault" without --allow-test-faults
+    Overloaded,      ///< admission control shed the request
+    DeadlineExceeded, ///< computation missed the request deadline
+    WorkerFailed,    ///< computation kept failing after retries
+    Quarantined,     ///< key wedged earlier; watchdog fenced it off
+    ShuttingDown,    ///< server is draining
+    Internal,        ///< invariant failure inside the server
+};
+
+const char *errorCodeName(ErrorCode code);
+
+/** What a "run" request asks for, after validation. */
+struct RunRequest
+{
+    MissRateFigure figure = MissRateFigure::ICache;
+    bool quick = false;
+    std::uint64_t refs = 0; ///< 0 = figure default for quick/full
+    std::uint64_t seed = 42;
+    std::uint64_t deadline_ms = 0; ///< 0 = no deadline
+    // Fault injection (torture harness only; gated server-side).
+    bool has_fault = false;
+    std::uint64_t fault_fail_points = 0; ///< first N points throw
+    std::uint64_t fault_hang_ms = 0;     ///< each point sleeps this
+};
+
+/** A parsed request of any command. */
+struct Request
+{
+    enum class Cmd { Run, Stats, Ping, Shutdown };
+    Cmd cmd = Cmd::Run;
+    std::string id; ///< echoed verbatim in the response
+    RunRequest run; ///< valid when cmd == Run
+};
+
+/**
+ * Parse and validate one request payload. On failure returns false
+ * and fills @p code / @p detail for an error response; @p out.id is
+ * still populated when the payload carried a usable "id" so the
+ * error can be correlated.
+ */
+bool parseRequest(const std::string &payload, Request &out,
+                  ErrorCode &code, std::string &detail);
+
+/**
+ * Canonical description of a run: resolved parameters (explicit refs
+ * and quick-mode defaults collapse to the same string), the seed, and
+ * the binary's git describe. Hashing this is the cache key; baking
+ * the build id in means a rebuilt server never serves results
+ * computed by different code.
+ */
+std::string canonicalRunKey(const RunRequest &run);
+
+/** FNV-1a of canonicalRunKey — the cache/dedup key. */
+std::uint64_t runKeyHash(const RunRequest &run);
+
+/** The git describe string baked into this binary at build time. */
+const char *gitDescribe();
+
+/** Build the success envelope around raw @p result_json bytes. */
+std::string okResponse(const std::string &id, bool cached,
+                       const std::string &result_json);
+
+/** Build the error envelope. @p retry_after_ms < 0 omits the field. */
+std::string errorResponse(const std::string &id, ErrorCode code,
+                          const std::string &detail,
+                          long retry_after_ms = -1);
+
+} // namespace server
+} // namespace memwall
+
+#endif // MEMWALL_SERVER_PROTOCOL_HH

@@ -1,0 +1,628 @@
+#include "server/server.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "server/json.hh"
+#include "server/wire.hh"
+#include "workloads/spec_suite.hh"
+
+namespace memwall {
+namespace server {
+
+namespace {
+
+std::chrono::milliseconds
+ms(std::uint64_t v)
+{
+    return std::chrono::milliseconds(v);
+}
+
+void
+setCloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+} // namespace
+
+/** Scatter/gather context for one deduplicated figure computation.
+ *  remaining/results/failed are guarded by MwServer::mu_; the fault
+ *  countdown is atomic because points decrement it concurrently
+ *  outside the lock. */
+struct MwServer::ComputeJob
+{
+    std::string canonical;
+    std::shared_ptr<Inflight> entry;
+    RunRequest run;
+    MissRateParams params;
+    std::vector<WorkloadMissRates> results;
+    std::size_t remaining = 0;
+    bool failed = false;
+    std::string fail_detail;
+    std::atomic<std::int64_t> fault_countdown{0};
+};
+
+MwServer::~MwServer()
+{
+    shutdownInternal();
+    // The stop pipe outlives shutdown so requestStop() (a signal
+    // handler's write(2)) can never race a close of its fd; it dies
+    // only with the object itself.
+    for (int &fd : stop_pipe_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+MwServer::start(std::string *why)
+{
+    MW_ASSERT(!started_, "server started twice");
+    if (stop_pipe_[0] < 0) {
+        if (::pipe(stop_pipe_) != 0) {
+            if (why)
+                *why = std::string("cannot create stop pipe: ") +
+                       std::strerror(errno);
+            return false;
+        }
+        setCloexec(stop_pipe_[0]);
+        setCloexec(stop_pipe_[1]);
+    } else {
+        // Reused after a shutdown: drain any stale stop byte so the
+        // new accept loop does not exit immediately.
+        const int flags = ::fcntl(stop_pipe_[0], F_GETFL);
+        ::fcntl(stop_pipe_[0], F_SETFL, flags | O_NONBLOCK);
+        char sink[16];
+        while (::read(stop_pipe_[0], sink, sizeof(sink)) > 0) {
+        }
+        ::fcntl(stop_pipe_[0], F_SETFL, flags);
+    }
+
+    if (!cache_.open(opt_.cache_dir, opt_.cache_cap_bytes, why))
+        return false;
+    if (cache_.recovered() > 0)
+        MW_INFORM("mw-server: replayed ", cache_.recovered(),
+                  " cached result(s) from ", opt_.cache_dir);
+    if (cache_.tornBytes() > 0)
+        MW_WARN("mw-server: dropped ", cache_.tornBytes(),
+                " torn byte(s) from the result journal");
+    if (cache_.discardedForeign())
+        MW_INFORM("mw-server: discarded result journal from a "
+                  "different build");
+
+    listen_fd_ = listenUnix(opt_.socket_path, opt_.backlog, why);
+    if (listen_fd_ < 0)
+        return false;
+    setCloexec(listen_fd_);
+
+    pool_ = std::make_unique<ThreadPool>(opt_.jobs);
+    watchdog_ = std::thread([this] { watchdogLoop(); });
+    started_ = true;
+    return true;
+}
+
+void
+MwServer::requestStop()
+{
+    if (stop_pipe_[1] >= 0) {
+        const char c = 's';
+        // Async-signal-safe: one write(2), no locks, no allocation.
+        [[maybe_unused]] const ssize_t n =
+            ::write(stop_pipe_[1], &c, 1);
+    }
+}
+
+void
+MwServer::run()
+{
+    MW_ASSERT(started_, "run() before start()");
+    acceptLoop();
+    shutdownInternal();
+}
+
+void
+MwServer::shutdownInternal()
+{
+    if (!started_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        // Wake every request thread parked on an in-flight entry
+        // (they answer shutting_down) and half-close every
+        // connection so blocked readFrame() calls return.
+        for (auto &[canonical, entry] : inflight_)
+            entry->cv.notify_all();
+        for (auto &[id, conn] : connections_)
+            ::shutdown(conn.fd, SHUT_RDWR);
+    }
+    stop_cv_.notify_all();
+
+    for (;;) {
+        std::vector<std::thread> dead;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (auto &[id, conn] : connections_)
+                if (conn.thread.joinable())
+                    dead.push_back(std::move(conn.thread));
+            connections_.clear();
+            finished_connections_.clear();
+        }
+        if (dead.empty())
+            break;
+        for (auto &t : dead)
+            t.join();
+    }
+
+    if (watchdog_.joinable())
+        watchdog_.join();
+    // Drain outstanding computations before the cache goes away:
+    // finalize still wants to journal their results.
+    pool_.reset();
+    cache_.close();
+
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        ::unlink(opt_.socket_path.c_str());
+    }
+    // stop_pipe_ stays open (see ~MwServer): requestStop() may be
+    // called from a signal handler at any point in the lifetime.
+    started_ = false;
+}
+
+ServerCounters
+MwServer::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+void
+MwServer::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listen_fd_, POLLIN, 0},
+                         {stop_pipe_[0], POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            MW_WARN("mw-server: poll: ", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents != 0)
+            break; // requestStop()
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            MW_WARN("mw-server: accept: ", std::strerror(errno));
+            break;
+        }
+        setCloexec(cfd);
+
+        reapFinishedConnections();
+
+        bool shed = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.connections;
+            if (stopping_ ||
+                connections_.size() >= opt_.max_connections) {
+                ++counters_.shed;
+                shed = true;
+            } else {
+                const std::uint64_t id = next_conn_id_++;
+                Connection &conn = connections_[id];
+                conn.fd = cfd;
+                conn.thread = std::thread(
+                    [this, id, cfd] { serveConnection(id, cfd); });
+            }
+        }
+        if (shed) {
+            // One named rejection, then close: the client learns to
+            // back off instead of hanging on an ignored socket.
+            writeFrame(cfd,
+                       errorResponse(
+                           "", ErrorCode::Overloaded,
+                           "connection limit reached",
+                           static_cast<long>(opt_.backoff_base_ms) *
+                               8),
+                       nullptr);
+            ::close(cfd);
+        }
+    }
+}
+
+void
+MwServer::reapFinishedConnections()
+{
+    std::vector<std::thread> dead;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const std::uint64_t id : finished_connections_) {
+            auto it = connections_.find(id);
+            if (it == connections_.end())
+                continue;
+            dead.push_back(std::move(it->second.thread));
+            connections_.erase(it);
+        }
+        finished_connections_.clear();
+    }
+    for (auto &t : dead)
+        t.join();
+}
+
+void
+MwServer::serveConnection(std::uint64_t conn_id, int fd)
+{
+    std::string payload;
+    for (;;) {
+        std::string why;
+        const FrameStatus st = readFrame(fd, payload, &why);
+        if (st == FrameStatus::Eof || st == FrameStatus::IoError)
+            break;
+        if (st == FrameStatus::BadFrame) {
+            // The stream position is unknown; answer and close.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.bad_requests;
+            }
+            writeFrame(fd,
+                       errorResponse("", ErrorCode::BadFrame, why),
+                       nullptr);
+            break;
+        }
+        if (st == FrameStatus::Oversized) {
+            // The payload was drained; the stream is still framed.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.bad_requests;
+            }
+            if (!writeFrame(
+                    fd, errorResponse("", ErrorCode::Oversized, why),
+                    nullptr))
+                break;
+            continue;
+        }
+        bool close_after = false;
+        const std::string response =
+            handlePayload(payload, close_after);
+        if (!writeFrame(fd, response, &why)) {
+            MW_WARN("mw-server: ", why);
+            break;
+        }
+        if (close_after) {
+            requestStop();
+            break;
+        }
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_connections_.push_back(conn_id);
+}
+
+std::string
+MwServer::handlePayload(const std::string &payload, bool &close_after)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.requests;
+    }
+    Request req;
+    ErrorCode code = ErrorCode::Internal;
+    std::string detail;
+    if (!parseRequest(payload, req, code, detail)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.bad_requests;
+        return errorResponse(req.id, code, detail);
+    }
+    switch (req.cmd) {
+    case Request::Cmd::Ping:
+        return okResponse(req.id, false, "{\"pong\":true}");
+    case Request::Cmd::Stats:
+        return okResponse(req.id, false, statsJson());
+    case Request::Cmd::Shutdown:
+        close_after = true;
+        return okResponse(req.id, false,
+                          "{\"shutting_down\":true}");
+    case Request::Cmd::Run:
+        if (req.run.has_fault && !opt_.allow_test_faults) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.bad_requests;
+            return errorResponse(
+                req.id, ErrorCode::FaultInjectionDisabled,
+                "the server was not started with "
+                "--allow-test-faults");
+        }
+        return handleRun(req);
+    }
+    return errorResponse(req.id, ErrorCode::Internal,
+                         "unhandled command");
+}
+
+std::string
+MwServer::handleRun(const Request &req)
+{
+    const auto arrival = Clock::now();
+    const auto deadline = arrival + ms(req.run.deadline_ms);
+
+    std::string canonical = canonicalRunKey(req.run);
+    if (req.run.has_fault)
+        // Fault-injected runs must never collide with (or poison)
+        // the real entry for the same parameters.
+        canonical += "|fault=" +
+                     std::to_string(req.run.fault_fail_points) + "," +
+                     std::to_string(req.run.fault_hang_ms);
+
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_)
+        return errorResponse(req.id, ErrorCode::ShuttingDown,
+                             "server is draining");
+    if (quarantined_.contains(canonical))
+        return errorResponse(
+            req.id, ErrorCode::Quarantined,
+            "a previous computation of this request wedged; the key "
+            "is fenced off until it completes",
+            static_cast<long>(opt_.wedge_grace_ms));
+    if (!req.run.has_fault) {
+        if (const std::string *hit = cache_.lookup(canonical)) {
+            ++counters_.cache_hits;
+            return okResponse(req.id, true, *hit);
+        }
+    }
+
+    std::shared_ptr<Inflight> entry;
+    if (auto it = inflight_.find(canonical); it != inflight_.end()) {
+        entry = it->second;
+        ++counters_.dedup_joined;
+    } else {
+        if (inflight_.size() >= opt_.max_inflight) {
+            ++counters_.shed;
+            return errorResponse(
+                req.id, ErrorCode::Overloaded,
+                "experiment queue is full",
+                static_cast<long>(opt_.backoff_base_ms) * 8);
+        }
+        entry = std::make_shared<Inflight>();
+        entry->started = arrival;
+        entry->cacheable = !req.run.has_fault;
+        inflight_[canonical] = entry;
+
+        auto job = std::make_shared<ComputeJob>();
+        job->canonical = canonical;
+        job->entry = entry;
+        job->run = req.run;
+        job->params =
+            resolveMissRateParams(req.run.quick, req.run.refs);
+        job->fault_countdown = static_cast<std::int64_t>(
+            req.run.has_fault ? req.run.fault_fail_points : 0);
+        lk.unlock();
+        launchCompute(job);
+        lk.lock();
+    }
+
+    // Owner and joiners alike wait for completion, quarantine, stop
+    // or their own deadline — whichever comes first.
+    const auto done_or_doomed = [&] {
+        return stopping_ ||
+               entry->state != Inflight::State::Running ||
+               entry->quarantined;
+    };
+    bool in_time = true;
+    if (req.run.deadline_ms > 0)
+        in_time = entry->cv.wait_until(lk, deadline, done_or_doomed);
+    else
+        entry->cv.wait(lk, done_or_doomed);
+
+    // A finished result outranks every doom condition: if it is
+    // there, serve it.
+    if (entry->state == Inflight::State::Done)
+        return okResponse(req.id, false, entry->result);
+    if (entry->state == Inflight::State::Failed)
+        return errorResponse(req.id, ErrorCode::WorkerFailed,
+                             entry->error_detail,
+                             static_cast<long>(opt_.backoff_base_ms)
+                                 << opt_.max_retries);
+    if (!in_time) {
+        ++counters_.deadline_misses;
+        return errorResponse(
+            req.id, ErrorCode::DeadlineExceeded,
+            "deadline of " + std::to_string(req.run.deadline_ms) +
+                " ms elapsed; the computation continues and will be "
+                "cached",
+            static_cast<long>(req.run.deadline_ms));
+    }
+    if (entry->quarantined)
+        return errorResponse(
+            req.id, ErrorCode::Quarantined,
+            "the computation wedged past the watchdog grace period",
+            static_cast<long>(opt_.wedge_grace_ms));
+    return errorResponse(req.id, ErrorCode::ShuttingDown,
+                         "server is draining");
+}
+
+void
+MwServer::launchCompute(const std::shared_ptr<ComputeJob> &job)
+{
+    const auto &suite = specSuite();
+    job->results.resize(suite.size());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job->remaining = suite.size();
+    }
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        pool_->submit([this, job, i] { runPoint(job, i); });
+}
+
+void
+MwServer::runPoint(const std::shared_ptr<ComputeJob> &job,
+                   std::size_t index)
+{
+    const auto &suite = specSuite();
+    WorkloadMissRates result;
+    bool success = false;
+    std::string last_error;
+    for (unsigned attempt = 0; attempt <= opt_.max_retries;
+         ++attempt) {
+        if (attempt > 0) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.retries;
+            }
+            std::this_thread::sleep_for(
+                ms(opt_.backoff_base_ms << (attempt - 1)));
+        }
+        if (job->run.fault_hang_ms > 0)
+            std::this_thread::sleep_for(ms(job->run.fault_hang_ms));
+        try {
+            if (job->fault_countdown.fetch_sub(1) > 0)
+                throw std::runtime_error(
+                    "injected transient worker fault");
+            result = measureMissRates(suite[index], job->params);
+            success = true;
+            break;
+        } catch (const std::exception &e) {
+            last_error = e.what();
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (success) {
+        job->results[index] = std::move(result);
+    } else {
+        ++counters_.worker_failures;
+        if (!job->failed) {
+            job->failed = true;
+            job->fail_detail = "workload '" + suite[index].name +
+                               "' failed " +
+                               std::to_string(opt_.max_retries + 1) +
+                               " attempts: " + last_error;
+        }
+    }
+    MW_ASSERT(job->remaining > 0, "compute job over-completed");
+    if (--job->remaining == 0)
+        finalizeLocked(job);
+}
+
+void
+MwServer::finalizeLocked(const std::shared_ptr<ComputeJob> &job)
+{
+    const std::shared_ptr<Inflight> &entry = job->entry;
+    if (job->failed) {
+        entry->state = Inflight::State::Failed;
+        entry->error_detail = job->fail_detail;
+    } else {
+        entry->state = Inflight::State::Done;
+        entry->result =
+            missRateFigureJson(job->run.figure, job->results);
+        ++counters_.computed;
+        if (entry->cacheable) {
+            std::string why;
+            if (!cache_.insert(job->canonical, entry->result, &why))
+                // The response is still served from memory; only
+                // restart durability is lost.
+                MW_WARN("mw-server: result not persisted: ", why);
+        }
+    }
+    if (entry->quarantined) {
+        // The wedged computation finally finished: lift the fence so
+        // the (now cached) key serves normally again.
+        quarantined_.erase(job->canonical);
+        entry->quarantined = false;
+        ++counters_.unquarantines;
+    }
+    inflight_.erase(job->canonical);
+    entry->cv.notify_all();
+}
+
+void
+MwServer::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stopping_) {
+        stop_cv_.wait_for(lk, ms(opt_.watchdog_interval_ms),
+                          [&] { return stopping_; });
+        if (stopping_)
+            break;
+        const auto now = Clock::now();
+        for (auto &[canonical, entry] : inflight_) {
+            if (entry->state != Inflight::State::Running ||
+                entry->quarantined)
+                continue;
+            if (now - entry->started < ms(opt_.wedge_grace_ms))
+                continue;
+            quarantined_.insert(canonical);
+            entry->quarantined = true;
+            ++counters_.quarantines;
+            MW_WARN("mw-server: quarantined wedged computation: ",
+                    canonical);
+            entry->cv.notify_all();
+        }
+    }
+}
+
+std::string
+MwServer::statsJson()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto mirror = cache_.mirrorCounters();
+    std::string out = "{\"build\":\"";
+    out += jsonEscape(gitDescribe());
+    out += "\",\"workers\":" + std::to_string(pool_->workers());
+    out += ",\"steals\":" + std::to_string(pool_->steals());
+    out += ",\"task_exceptions\":" +
+           std::to_string(pool_->taskExceptions());
+    out += ",\"counters\":{";
+    out += "\"connections\":" +
+           std::to_string(counters_.connections);
+    out += ",\"requests\":" + std::to_string(counters_.requests);
+    out += ",\"computed\":" + std::to_string(counters_.computed);
+    out += ",\"cache_hits\":" + std::to_string(counters_.cache_hits);
+    out += ",\"dedup_joined\":" +
+           std::to_string(counters_.dedup_joined);
+    out += ",\"shed\":" + std::to_string(counters_.shed);
+    out += ",\"bad_requests\":" +
+           std::to_string(counters_.bad_requests);
+    out += ",\"deadline_misses\":" +
+           std::to_string(counters_.deadline_misses);
+    out += ",\"retries\":" + std::to_string(counters_.retries);
+    out += ",\"worker_failures\":" +
+           std::to_string(counters_.worker_failures);
+    out += ",\"quarantines\":" +
+           std::to_string(counters_.quarantines);
+    out += ",\"unquarantines\":" +
+           std::to_string(counters_.unquarantines);
+    out += "},\"cache\":{";
+    out += "\"entries\":" + std::to_string(cache_.size());
+    out += ",\"recovered\":" + std::to_string(cache_.recovered());
+    out += ",\"torn_bytes\":" + std::to_string(cache_.tornBytes());
+    out += ",\"compactions\":" +
+           std::to_string(cache_.compactions());
+    out += ",\"mirror_evicted\":" + std::to_string(mirror.evicted);
+    out += ",\"mirror_write_errors\":" +
+           std::to_string(mirror.write_errors);
+    out += "},\"inflight\":" + std::to_string(inflight_.size());
+    out += ",\"quarantined\":" +
+           std::to_string(quarantined_.size());
+    out += "}";
+    return out;
+}
+
+} // namespace server
+} // namespace memwall

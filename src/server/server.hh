@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The resident experiment service (mw-server).
+ *
+ * One process owns the Unix-domain socket, the shared ThreadPool and
+ * the crash-safe ResultCache; clients frame JSON requests at it and
+ * get figure documents back. The interesting parts are the failure
+ * paths:
+ *
+ *  - Deduplication: concurrent requests for the same canonical run
+ *    key share ONE computation. The first requester becomes the
+ *    owner and launches per-workload tasks on the pool; later
+ *    requesters join the in-flight entry as waiters. Cache insert
+ *    and in-flight erase happen under the same lock, so a request
+ *    always either joins the computation or hits the cache — never
+ *    recomputes.
+ *
+ *  - Deadlines: a waiter whose deadline_ms expires gets a
+ *    deadline_exceeded error immediately; the computation itself is
+ *    never torn down (the pool has no preemption and the result is
+ *    still worth caching) — it finishes in the background and the
+ *    next request is a cache hit.
+ *
+ *  - Retry: a workload point that throws is retried with exponential
+ *    backoff (backoff_base_ms << attempt) up to max_retries times;
+ *    only a point that keeps failing fails the request
+ *    (worker_failed).
+ *
+ *  - Admission control: over max_connections the connection is
+ *    answered with one overloaded error (with retry_after_ms) and
+ *    closed; over max_inflight a run request is shed the same way.
+ *
+ *  - Watchdog: a computation still running wedge_grace_ms past its
+ *    start is quarantined — new requests for that key fail fast with
+ *    "quarantined" instead of piling onto a wedged computation. If
+ *    the computation ever does finish, the key is unquarantined and
+ *    the result cached like any other.
+ *
+ *  - Crash recovery: all completed results live in the ResultCache
+ *    journal; a SIGKILL'd server replays it on restart and serves
+ *    the same bytes as cache hits.
+ *
+ * Fault injection (the "fault" request field) is honoured only when
+ * Options::allow_test_faults is set — it exists so the torture bench
+ * can exercise every path above deterministically.
+ */
+
+#ifndef MEMWALL_SERVER_SERVER_HH
+#define MEMWALL_SERVER_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/thread_pool.hh"
+#include "server/protocol.hh"
+#include "server/result_cache.hh"
+
+namespace memwall {
+namespace server {
+
+/** Server configuration; defaults suit interactive use. */
+struct ServerOptions
+{
+    std::string socket_path;
+    std::string cache_dir;
+    unsigned jobs = 0; ///< pool workers; 0 = hardware default
+    int backlog = 64;
+    std::uint64_t cache_cap_bytes = 0; ///< 0 = unbounded
+    std::uint64_t max_connections = 32;
+    std::uint64_t max_inflight = 8;
+    unsigned max_retries = 2;          ///< extra attempts per point
+    std::uint64_t backoff_base_ms = 10;
+    std::uint64_t wedge_grace_ms = 30'000;
+    std::uint64_t watchdog_interval_ms = 100;
+    bool allow_test_faults = false;
+};
+
+/** Monotonic counters, snapshotted for the "stats" command. */
+struct ServerCounters
+{
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t computed = 0;      ///< figure runs actually executed
+    std::uint64_t cache_hits = 0;
+    std::uint64_t dedup_joined = 0;  ///< requests that shared a run
+    std::uint64_t shed = 0;          ///< overload rejections
+    std::uint64_t bad_requests = 0;  ///< schema/frame/json rejections
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t retries = 0;       ///< point attempts after the first
+    std::uint64_t worker_failures = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t unquarantines = 0;
+};
+
+class MwServer
+{
+  public:
+    explicit MwServer(ServerOptions opt) : opt_(std::move(opt)) {}
+    ~MwServer();
+
+    MwServer(const MwServer &) = delete;
+    MwServer &operator=(const MwServer &) = delete;
+
+    /**
+     * Open the cache, bind the socket (reclaiming a stale file from
+     * a killed server) and start the pool and watchdog. Returns
+     * false with @p why on failure.
+     */
+    bool start(std::string *why);
+
+    /** Accept-and-serve until requestStop(); then drain and clean up. */
+    void run();
+
+    /**
+     * Ask the accept loop to exit. Async-signal-safe (one write(2)
+     * to a self-pipe); the natural SIGTERM/SIGINT handler body.
+     */
+    void requestStop();
+
+    /** The socket path actually bound (for tests). */
+    const std::string &socketPath() const { return opt_.socket_path; }
+
+    /** Counter snapshot (thread-safe). */
+    ServerCounters counters() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One deduplicated computation in flight. */
+    struct Inflight
+    {
+        // All fields are guarded by MwServer::mu_; the cv waits on
+        // that same mutex. One lock for the whole server keeps the
+        // dedup/cache/quarantine transitions atomic and TSan-clean.
+        std::condition_variable cv;
+        enum class State { Running, Done, Failed } state =
+            State::Running;
+        std::string result;       ///< figure JSON when Done
+        std::string error_detail; ///< when Failed
+        Clock::time_point started;
+        bool quarantined = false;
+        bool cacheable = true; ///< fault-injected runs are not
+    };
+
+    /** Scatter/gather context for one figure computation. */
+    struct ComputeJob;
+
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+    };
+
+    void acceptLoop();
+    void serveConnection(std::uint64_t conn_id, int fd);
+    /** Handle one request payload; returns the response frame.
+     *  Sets @p close_after for shutdown. */
+    std::string handlePayload(const std::string &payload,
+                              bool &close_after);
+    std::string handleRun(const Request &req);
+    std::string statsJson();
+    /** Launch the pool tasks for @p job (caller holds no locks). */
+    void launchCompute(const std::shared_ptr<ComputeJob> &job);
+    /** One workload point with retry/backoff; runs on the pool. */
+    void runPoint(const std::shared_ptr<ComputeJob> &job,
+                  std::size_t index);
+    /** Last-point completion: publish, cache, unquarantine. */
+    void finalizeLocked(const std::shared_ptr<ComputeJob> &job);
+    void watchdogLoop();
+    /** Join exited connection threads (no locks held on entry). */
+    void reapFinishedConnections();
+    /** Idempotent teardown shared by run() and the destructor. */
+    void shutdownInternal();
+
+    ServerOptions opt_;
+    int listen_fd_ = -1;
+    int stop_pipe_[2] = {-1, -1};
+    bool started_ = false;
+
+    std::unique_ptr<ThreadPool> pool_;
+
+    mutable std::mutex mu_;
+    std::condition_variable stop_cv_; ///< wakes the watchdog at stop
+    bool stopping_ = false;           // guarded by mu_
+    ResultCache cache_;
+    std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+    std::set<std::string> quarantined_;
+    ServerCounters counters_;
+
+    std::map<std::uint64_t, Connection> connections_;
+    std::vector<std::uint64_t> finished_connections_;
+    std::uint64_t next_conn_id_ = 0;
+
+    std::thread watchdog_;
+};
+
+} // namespace server
+} // namespace memwall
+
+#endif // MEMWALL_SERVER_SERVER_HH

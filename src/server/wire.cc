@@ -1,0 +1,283 @@
+#include "server/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace memwall {
+namespace server {
+
+namespace {
+
+std::string
+errnoMessage(const std::string &what)
+{
+    return what + ": " + std::strerror(errno);
+}
+
+/** read(2) with EINTR retry; returns bytes read, 0 on EOF, -1. */
+ssize_t
+readSome(int fd, char *buf, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, len);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+/**
+ * Consume exactly @p len bytes into the bit bucket so the stream
+ * stays frame-aligned after an oversized advertisement.
+ */
+bool
+drain(int fd, std::size_t len, std::string *why)
+{
+    char sink[4096];
+    while (len > 0) {
+        const std::size_t want =
+            len < sizeof(sink) ? len : sizeof(sink);
+        const ssize_t n = readSome(fd, sink, want);
+        if (n < 0) {
+            if (why)
+                *why = errnoMessage("read while draining frame");
+            return false;
+        }
+        if (n == 0) {
+            if (why)
+                *why = "eof while draining oversized frame";
+            return false;
+        }
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Fill a sockaddr_un; rejects paths that do not fit sun_path. */
+bool
+unixAddress(const std::string &path, sockaddr_un &addr,
+            std::string *why)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        if (why)
+            *why = "socket path '" + path +
+                   "' is empty or longer than sun_path allows";
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+FrameStatus
+readFrame(int fd, std::string &payload, std::string *why)
+{
+    // Header: decimal digits then '\n', read byte-wise. Header reads
+    // are tiny and infrequent relative to the payload, and byte-wise
+    // is the only way to avoid reading past the header without
+    // buffering state across calls.
+    std::size_t len = 0;
+    std::size_t digits = 0;
+    for (;;) {
+        char c = 0;
+        const ssize_t n = readSome(fd, &c, 1);
+        if (n < 0) {
+            if (why)
+                *why = errnoMessage("read frame header");
+            return FrameStatus::IoError;
+        }
+        if (n == 0) {
+            if (digits == 0)
+                return FrameStatus::Eof;
+            if (why)
+                *why = "eof inside frame header";
+            return FrameStatus::BadFrame;
+        }
+        if (c == '\n') {
+            if (digits == 0) {
+                if (why)
+                    *why = "empty frame header";
+                return FrameStatus::BadFrame;
+            }
+            break;
+        }
+        if (c < '0' || c > '9') {
+            if (why)
+                *why = "non-digit byte in frame header";
+            return FrameStatus::BadFrame;
+        }
+        // 20 digits can already overflow size_t arithmetic; a sane
+        // header is at most 7 digits under the 4 MiB cap.
+        if (++digits > 12) {
+            if (why)
+                *why = "frame header longer than 12 digits";
+            return FrameStatus::BadFrame;
+        }
+        len = len * 10 + static_cast<std::size_t>(c - '0');
+    }
+
+    if (len > max_frame_bytes) {
+        std::string drain_why;
+        if (!drain(fd, len, &drain_why)) {
+            if (why)
+                *why = "oversized frame (" + std::to_string(len) +
+                       " bytes) and " + drain_why;
+            return FrameStatus::IoError;
+        }
+        if (why)
+            *why = "frame of " + std::to_string(len) +
+                   " bytes exceeds the " +
+                   std::to_string(max_frame_bytes) + "-byte limit";
+        return FrameStatus::Oversized;
+    }
+
+    payload.resize(len);
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            readSome(fd, payload.data() + off, len - off);
+        if (n < 0) {
+            if (why)
+                *why = errnoMessage("read frame payload");
+            return FrameStatus::IoError;
+        }
+        if (n == 0) {
+            if (why)
+                *why = "eof inside frame payload";
+            return FrameStatus::BadFrame;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload, std::string *why)
+{
+    std::string buf = std::to_string(payload.size());
+    buf.push_back('\n');
+    buf += payload;
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n =
+            ::write(fd, buf.data() + off, buf.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (why)
+                *why = errnoMessage("write frame");
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+int
+listenUnix(const std::string &path, int backlog, std::string *why)
+{
+    sockaddr_un addr;
+    if (!unixAddress(path, addr, why))
+        return -1;
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (why)
+            *why = errnoMessage("socket");
+        return -1;
+    }
+
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (errno != EADDRINUSE) {
+            if (why)
+                *why = errnoMessage("bind '" + path + "'");
+            ::close(fd);
+            return -1;
+        }
+        // The path exists. Probe it: a live server accepts the
+        // connect; a stale file from a SIGKILL'd server refuses it.
+        int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (probe < 0) {
+            if (why)
+                *why = errnoMessage("socket (probe)");
+            ::close(fd);
+            return -1;
+        }
+        const int rc = ::connect(
+            probe, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+        const int probe_errno = errno;
+        ::close(probe);
+        if (rc == 0) {
+            if (why)
+                *why = "a server is already listening on '" + path +
+                       "'";
+            ::close(fd);
+            return -1;
+        }
+        if (probe_errno != ECONNREFUSED) {
+            errno = probe_errno;
+            if (why)
+                *why = errnoMessage("probe connect '" + path + "'");
+            ::close(fd);
+            return -1;
+        }
+        if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+            if (why)
+                *why =
+                    errnoMessage("unlink stale socket '" + path + "'");
+            ::close(fd);
+            return -1;
+        }
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            if (why)
+                *why = errnoMessage("rebind '" + path + "'");
+            ::close(fd);
+            return -1;
+        }
+    }
+
+    if (::listen(fd, backlog) != 0) {
+        if (why)
+            *why = errnoMessage("listen '" + path + "'");
+        ::close(fd);
+        ::unlink(path.c_str());
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string *why)
+{
+    sockaddr_un addr;
+    if (!unixAddress(path, addr, why))
+        return -1;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (why)
+            *why = errnoMessage("socket");
+        return -1;
+    }
+    for (;;) {
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        if (errno != EINTR)
+            break;
+    }
+    if (why)
+        *why = errnoMessage("connect '" + path + "'");
+    ::close(fd);
+    return -1;
+}
+
+} // namespace server
+} // namespace memwall

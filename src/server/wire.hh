@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Length-prefixed framing over Unix-domain stream sockets.
+ *
+ * Every message in either direction is one frame:
+ *
+ *     <decimal payload length> '\n' <payload bytes>
+ *
+ * The ASCII header keeps the protocol debuggable with `nc -U`, and
+ * the explicit length is what lets a multi-line JSON document (the
+ * figure results embed verbatim, newlines and all) cross the socket
+ * without in-band delimiters.
+ *
+ * Robustness contract: an oversized frame is NOT a connection error.
+ * readFrame() drains and discards the advertised payload so the
+ * stream stays in sync, then reports Oversized — the server answers
+ * with a named error and the client can keep using the connection. A
+ * malformed header, by contrast, means we no longer know where the
+ * next frame starts, so the only safe response is to close.
+ */
+
+#ifndef MEMWALL_SERVER_WIRE_HH
+#define MEMWALL_SERVER_WIRE_HH
+
+#include <cstddef>
+#include <string>
+
+namespace memwall {
+namespace server {
+
+/** Outcome of readFrame(). */
+enum class FrameStatus {
+    Ok,        ///< payload delivered
+    Eof,       ///< clean end of stream before any header byte
+    BadFrame,  ///< malformed header; stream position unknown
+    Oversized, ///< advertised length over the cap; payload drained
+    IoError,   ///< read(2) failed; why has errno text
+};
+
+/** Frames larger than this are drained and rejected, not read. */
+constexpr std::size_t max_frame_bytes = 4u << 20;
+
+/**
+ * Read one frame from @p fd into @p payload. On Oversized the
+ * advertised payload was consumed from the stream (up to the
+ * advertised length) so the next readFrame() starts at a frame
+ * boundary. @p why carries detail for BadFrame/Oversized/IoError.
+ */
+FrameStatus readFrame(int fd, std::string &payload, std::string *why);
+
+/**
+ * Write @p payload as one frame. Returns false with errno text in
+ * @p why on failure; handles partial writes and EINTR.
+ */
+bool writeFrame(int fd, const std::string &payload, std::string *why);
+
+/**
+ * Bind and listen on Unix-domain socket @p path. A stale socket file
+ * left by a SIGKILL'd server is detected (connect() fails with
+ * ECONNREFUSED), unlinked and rebound; a *live* server on the path is
+ * an error — two servers sharing a cache directory would race. The
+ * caller owns the returned fd; returns -1 with @p why on failure.
+ */
+int listenUnix(const std::string &path, int backlog,
+               std::string *why);
+
+/** Connect to the server socket at @p path; -1 + @p why on failure. */
+int connectUnix(const std::string &path, std::string *why);
+
+} // namespace server
+} // namespace memwall
+
+#endif // MEMWALL_SERVER_WIRE_HH

@@ -1,0 +1,132 @@
+#include "workloads/missrate_figures.hh"
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "harness/thread_pool.hh"
+
+namespace memwall {
+
+namespace {
+
+/** printf into a std::string (the figures were written with printf;
+ *  keeping the exact format strings keeps the exact bytes). */
+template <typename... Args>
+void
+appendf(std::string &out, const char *fmt, Args... args)
+{
+    char buf[512];
+    const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+    MW_ASSERT(n >= 0 && n < static_cast<int>(sizeof(buf)),
+              "figure JSON row overflows the format buffer");
+    out.append(buf, static_cast<std::size_t>(n));
+}
+
+} // namespace
+
+const char *
+missRateFigureName(MissRateFigure fig)
+{
+    switch (fig) {
+    case MissRateFigure::ICache:
+        return "fig7_icache_miss";
+    case MissRateFigure::DCache:
+        return "fig8_dcache_miss";
+    }
+    MW_PANIC("unreachable figure kind");
+}
+
+MissRateParams
+resolveMissRateParams(bool quick, std::uint64_t refs)
+{
+    MissRateParams params;
+    params.measured_refs =
+        refs ? refs : (quick ? 400'000 : 4'000'000);
+    params.warmup_refs = params.measured_refs / 4;
+    return params;
+}
+
+std::vector<WorkloadMissRates>
+runMissRateFigure(MissRateFigure fig, const MissRateParams &params)
+{
+    (void)fig; // both figures measure the same comparison set
+    std::vector<WorkloadMissRates> all;
+    for (const auto &w : specSuite())
+        all.push_back(measureMissRates(w, params));
+    return all;
+}
+
+std::vector<WorkloadMissRates>
+runMissRateFigure(MissRateFigure fig, const MissRateParams &params,
+                  ThreadPool &pool)
+{
+    (void)fig;
+    const auto &suite = specSuite();
+    std::vector<WorkloadMissRates> all(suite.size());
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        pool.submit([&, i] {
+            WorkloadMissRates r = measureMissRates(suite[i], params);
+            std::lock_guard<std::mutex> lock(mu);
+            all[i] = std::move(r);
+            ++done;
+            cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == suite.size(); });
+    return all;
+}
+
+std::string
+missRateFigureJson(MissRateFigure fig,
+                   const std::vector<WorkloadMissRates> &all)
+{
+    using namespace cachelabels;
+    std::string out;
+    appendf(out,
+            "{\n  \"bench\": \"%s\", \"sampled\": false,\n"
+            "  \"workloads\": [\n",
+            missRateFigureName(fig));
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const auto &r = all[i];
+        if (fig == MissRateFigure::ICache) {
+            appendf(out,
+                    "    {\"name\": \"%s\", \"proposed\": %.9g, "
+                    "\"conv8\": %.9g, \"conv16\": %.9g, "
+                    "\"conv32\": %.9g, \"conv64\": %.9g}%s\n",
+                    r.workload.c_str(),
+                    r.icache(proposed).missRate(),
+                    r.icache(conv8).missRate(),
+                    r.icache(conv16).missRate(),
+                    r.icache(conv32).missRate(),
+                    r.icache(conv64).missRate(),
+                    i + 1 < all.size() ? "," : "");
+        } else {
+            const auto &pv = r.dcache(proposed_vc);
+            appendf(out,
+                    "    {\"name\": \"%s\", \"proposed\": %.9g, "
+                    "\"conv16\": %.9g, \"conv16w2\": %.9g, "
+                    "\"conv64\": %.9g, \"conv256w2\": %.9g, "
+                    "\"proposed_vc\": %.9g, \"vc_load_miss\": %.9g, "
+                    "\"vc_store_miss\": %.9g}%s\n",
+                    r.workload.c_str(),
+                    r.dcache(proposed).missRate(),
+                    r.dcache(conv16).missRate(),
+                    r.dcache(conv16w2).missRate(),
+                    r.dcache(conv64).missRate(),
+                    r.dcache(conv256w2).missRate(),
+                    pv.missRate(), pv.stats.loadMissRate(),
+                    pv.stats.storeMissRate(),
+                    i + 1 < all.size() ? "," : "");
+        }
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace memwall

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared runner and JSON renderer for the Figure 7/8 miss-rate
+ * experiments.
+ *
+ * Both the one-shot bench binaries (fig7_icache_miss,
+ * fig8_dcache_miss) and the resident experiment service (mw-server)
+ * produce these figures; factoring the point execution and the JSON
+ * text generation here is what makes "a cached server response is
+ * byte-identical to the one-shot binary's --format=json output" a
+ * structural property instead of a test hope: there is exactly one
+ * piece of code that renders the bytes.
+ */
+
+#ifndef MEMWALL_WORKLOADS_MISSRATE_FIGURES_HH
+#define MEMWALL_WORKLOADS_MISSRATE_FIGURES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/missrate.hh"
+
+namespace memwall {
+
+class ThreadPool;
+
+/** Which miss-rate figure a request regenerates. */
+enum class MissRateFigure {
+    ICache, ///< Figure 7: instruction caches
+    DCache, ///< Figure 8: data caches (with victim-cache split)
+};
+
+/** "fig7_icache_miss" / "fig8_dcache_miss" (the JSON "bench" tag). */
+const char *missRateFigureName(MissRateFigure fig);
+
+/**
+ * Resolve the measurement window exactly like the bench binaries do:
+ * an explicit @p refs wins, otherwise quick/full defaults; warm-up is
+ * a quarter of the measured window. Canonicalizing requests through
+ * this function makes {"quick":true} and {"refs":400000} the same
+ * cache entry.
+ */
+MissRateParams resolveMissRateParams(bool quick, std::uint64_t refs);
+
+/**
+ * Run every specSuite() point of @p fig serially and return the
+ * results in suite order. The non-sampled miss-rate measurement is a
+ * fixed function of (figure, params) — workload streams are seeded
+ * from the workload proxies, not the sweep seed — so the output is
+ * byte-identical no matter where or how often it runs.
+ */
+std::vector<WorkloadMissRates>
+runMissRateFigure(MissRateFigure fig, const MissRateParams &params);
+
+/**
+ * Same sweep sharded across @p pool (one task per workload), results
+ * still committed in suite order. Byte-identical to the serial
+ * overload; points must not touch shared mutable state.
+ */
+std::vector<WorkloadMissRates>
+runMissRateFigure(MissRateFigure fig, const MissRateParams &params,
+                  ThreadPool &pool);
+
+/**
+ * Render @p all as the figure's --format=json document, byte for
+ * byte what the one-shot binary prints (including the trailing
+ * newline).
+ */
+std::string
+missRateFigureJson(MissRateFigure fig,
+                   const std::vector<WorkloadMissRates> &all);
+
+} // namespace memwall
+
+#endif // MEMWALL_WORKLOADS_MISSRATE_FIGURES_HH

@@ -262,6 +262,19 @@ TEST(BenchUtilCkptFlagsDeath, ResumeInUnwritableDirIsUsageError)
         testing::ExitedWithCode(2), "is not writable");
 }
 
+TEST(BenchUtilCkptFlagsDeath, ResumeStatFailureNamesPathAndErrno)
+{
+    // stat("/dev/null/x") fails with ENOTDIR (not ENOENT), so the
+    // error must surface the failing path and the errno text rather
+    // than being treated as a creatable fresh journal.
+    Argv a{"bench", "--resume", "/dev/null/x.mwsj"};
+    auto opt = benchutil::parse(a.argc(), a.argv(), {"--resume"});
+    EXPECT_EXIT(
+        benchutil::resumePathFlag(opt, "bench", {"--resume"}),
+        testing::ExitedWithCode(2),
+        "cannot stat '/dev/null/x\\.mwsj': Not a directory");
+}
+
 TEST(BenchUtilCkptFlags, ResumeAcceptsFreshPathInWritableDir)
 {
     const std::string path = ::testing::TempDir() + "fresh.mwsj";

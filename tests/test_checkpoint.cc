@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "checkpoint/checkpoint.hh"
 #include "checkpoint/journal.hh"
 #include "checkpoint/store.hh"
@@ -469,6 +473,31 @@ TEST(SweepJournal, ForeignRunHashDiscardsContents)
 
 // ---- Checkpoint store --------------------------------------------------
 
+TEST(SweepJournal, AppendAfterCloseIsNamedError)
+{
+    TempDir dir;
+    ckpt::SweepJournal j;
+    ASSERT_TRUE(j.open(dir.file("j.mwsj"), 1));
+    j.close();
+    std::string why;
+    EXPECT_FALSE(j.append(0, {1, 2, 3}, &why));
+    EXPECT_EQ(why, "journal is not open");
+}
+
+TEST(SweepJournal, OpenFailureNamesPathAndErrno)
+{
+    ckpt::SweepJournal j;
+    std::string why;
+    // /dev/null is not a directory: open(2) fails with ENOTDIR.
+    EXPECT_FALSE(j.open("/dev/null/sub/j.mwsj", 1, &why));
+    EXPECT_NE(why.find("cannot open journal"), std::string::npos)
+        << why;
+    EXPECT_NE(why.find("/dev/null/sub/j.mwsj"), std::string::npos)
+        << why;
+    EXPECT_NE(why.find(std::strerror(ENOTDIR)), std::string::npos)
+        << why;
+}
+
 TEST(CheckpointStore, SaveLoadAndCounters)
 {
     TempDir dir;
@@ -562,6 +591,104 @@ TEST(CheckpointStore, WriteErrorIsCountedNotFatal)
     EXPECT_FALSE(why.empty());
     EXPECT_EQ(store.counters().write_errors, 1u);
     EXPECT_EQ(store.counters().written, 0u);
+}
+
+TEST(CheckpointStore, CapEvictsOldestEntriesFirst)
+{
+    TempDir dir;
+    ckpt::CheckpointStore store(dir.path, test_config_hash);
+    ckpt::CheckpointWriter w(store.configHash());
+    w.section(ckpt::fourcc("AAAA")).str(std::string(256, 'x'));
+
+    ASSERT_TRUE(store.save("k0", w));
+    struct stat st;
+    ASSERT_EQ(::stat(store.pathFor("k0").c_str(), &st), 0);
+    const auto entry_size = static_cast<std::uint64_t>(st.st_size);
+
+    // Room for three entries; the fourth save must evict exactly
+    // one, and — with all mtimes in the same second — the name
+    // tiebreak makes "k0" the deterministic victim.
+    store.setCapBytes(3 * entry_size);
+    ASSERT_TRUE(store.save("k1", w));
+    ASSERT_TRUE(store.save("k2", w));
+    ASSERT_TRUE(store.save("k3", w));
+
+    EXPECT_EQ(store.counters().evicted, 1u);
+    ckpt::CheckpointReader r;
+    EXPECT_EQ(store.load("k0", r), ckpt::LoadError::Io);
+    EXPECT_EQ(store.counters().degraded_missing, 1u);
+    for (const char *k : {"k1", "k2", "k3"})
+        EXPECT_EQ(store.load(k, r), ckpt::LoadError::None) << k;
+}
+
+TEST(CheckpointStore, CapNeverEvictsTheEntryJustWritten)
+{
+    TempDir dir;
+    ckpt::CheckpointStore store(dir.path, test_config_hash);
+    store.setCapBytes(1); // nothing fits
+    ckpt::CheckpointWriter w(store.configHash());
+    w.section(ckpt::fourcc("AAAA")).varint(7);
+    ASSERT_TRUE(store.save("only", w));
+    // The just-written entry survives even though it busts the cap.
+    ckpt::CheckpointReader r;
+    EXPECT_EQ(store.load("only", r), ckpt::LoadError::None);
+    ASSERT_TRUE(store.save("next", w));
+    EXPECT_EQ(store.load("next", r), ckpt::LoadError::None);
+    // ...but it is fair game for the following save's sweep.
+    EXPECT_EQ(store.load("only", r), ckpt::LoadError::Io);
+}
+
+TEST(CheckpointStore, TwoProcessSaveLoadRaceNeverShowsTornEntry)
+{
+    // The atomic-rename contract: a reader racing a writer on the
+    // same key sees either a complete old entry or a complete new
+    // one — never a torn file. Run a child process hammering saves
+    // of two distinguishable payloads while the parent loads.
+    TempDir dir;
+    const std::string payload_a(4096, 'a');
+    const std::string payload_b(4096, 'b');
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        ckpt::CheckpointStore store(dir.path, test_config_hash);
+        for (int i = 0; i < 200; ++i) {
+            ckpt::CheckpointWriter w(store.configHash());
+            w.section(ckpt::fourcc("RACE"))
+                .str(i % 2 ? payload_b : payload_a);
+            if (!store.save("race", w))
+                ::_exit(2);
+        }
+        ::_exit(0);
+    }
+
+    ckpt::CheckpointStore store(dir.path, test_config_hash);
+    int loads_ok = 0;
+    int status = 0;
+    bool child_done = false;
+    // Load as fast as possible for the writer's whole lifetime (plus
+    // one final pass), so loads overlap every save/rename window.
+    while (!child_done) {
+        child_done = ::waitpid(pid, &status, WNOHANG) == pid;
+        ckpt::CheckpointReader r;
+        const ckpt::LoadError e = store.load("race", r);
+        if (e == ckpt::LoadError::Io)
+            continue; // not yet written: fine
+        // Any *visible* entry must validate completely...
+        ASSERT_EQ(e, ckpt::LoadError::None) << "torn entry seen";
+        // ...and decode to one of the two full payloads.
+        ckpt::Decoder d = r.section(ckpt::fourcc("RACE"));
+        const std::string got = d.str();
+        ASSERT_TRUE(d.ok());
+        ASSERT_TRUE(got == payload_a || got == payload_b)
+            << "mixed payload of length " << got.size();
+        ++loads_ok;
+    }
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    EXPECT_GT(loads_ok, 0);
+    // After the writer exits the entry is stably loadable.
+    ckpt::CheckpointReader r;
+    EXPECT_EQ(store.load("race", r), ckpt::LoadError::None);
 }
 
 // ---- Component round-trips ----------------------------------------------

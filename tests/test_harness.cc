@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -186,6 +188,79 @@ TEST(ParallelSweep, RealPointsIdenticalAcrossJobCounts)
                       parallel[i].dcaches[c].stats.misses());
         }
     }
+}
+
+// --- Shutdown edge cases the experiment service depends on -------
+
+TEST(ThreadPool, DestructionDrainsQueuedButUnstartedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        // Far more tasks than workers: most are still queued when
+        // the destructor starts. It must run them all, not drop them.
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++ran;
+            });
+    }
+    EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillWorkerOrPool)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("boom"); });
+    pool.submit([] { throw 42; }); // non-std exception
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.waitIdle();
+    EXPECT_EQ(pool.taskExceptions(), 2u);
+    EXPECT_EQ(ran.load(), 50);
+    // The pool is still fully operational after the exceptions.
+    pool.submit([&ran] { ++ran; });
+    pool.waitIdle();
+    EXPECT_EQ(ran.load(), 51);
+}
+
+TEST(ThreadPool, ReentrantSubmitFromWorkerCompletesBeforeShutdown)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        // Each task spawns a child from inside the worker; the chain
+        // must be fully executed before the destructor returns, and
+        // the re-entrant submit must not deadlock on the pool lock.
+        std::function<void(int)> chain = [&](int depth) {
+            ++ran;
+            if (depth > 0)
+                pool.submit([&chain, depth] { chain(depth - 1); });
+        };
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&chain] { chain(10); });
+        pool.waitIdle();
+    }
+    EXPECT_EQ(ran.load(), 8 * 11);
+}
+
+TEST(ThreadPool, ReentrantSubmitDuringDestructorDrain)
+{
+    // A queued task that itself submits while the destructor is
+    // draining: in_flight_ stays nonzero until the child finishes,
+    // so waitIdle() in the destructor covers it.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        pool.submit([&] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+            pool.submit([&ran] { ++ran; });
+        });
+    }
+    EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(ParallelSweep, ManyMorePointsThanWorkers)

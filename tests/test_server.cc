@@ -1,0 +1,772 @@
+/**
+ * @file
+ * Tests of the experiment service: the strict JSON parser, the wire
+ * framing (including oversized-frame re-sync and stale-socket
+ * reclaim), request validation/canonicalization, the crash-safe
+ * result cache, and the live server's dedup / deadline / retry /
+ * quarantine / overload semantics against an in-process MwServer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "checkpoint/checkpoint.hh"
+#include "server/json.hh"
+#include "server/protocol.hh"
+#include "server/result_cache.hh"
+#include "server/server.hh"
+#include "server/wire.hh"
+
+using namespace memwall;
+using namespace memwall::server;
+
+namespace {
+
+/** Self-cleaning scratch directory. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/mw-server-test-XXXXXX";
+        const char *p = ::mkdtemp(tmpl);
+        EXPECT_NE(p, nullptr);
+        path_ = p != nullptr ? p : "";
+    }
+
+    ~TempDir()
+    {
+        if (!path_.empty()) {
+            const std::string cmd = "rm -rf '" + path_ + "'";
+            [[maybe_unused]] int rc = std::system(cmd.c_str());
+        }
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(parseJson(text, v, err)) << err << " in: " << text;
+    return v;
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson(text, v, err)) << "accepted: " << text;
+    return err;
+}
+
+// --------------------------------------------------------------------
+// JSON parser
+
+TEST(ServerJson, ParsesScalarsAndStructure)
+{
+    const JsonValue v = parseOk(
+        R"({"a": 1, "b": -2.5e3, "c": "x\ny", "d": [true, false, null]})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.find("a")->number, 1.0);
+    EXPECT_DOUBLE_EQ(v.find("b")->number, -2500.0);
+    EXPECT_EQ(v.find("c")->text, "x\ny");
+    ASSERT_TRUE(v.find("d")->isArray());
+    ASSERT_EQ(v.find("d")->items.size(), 3u);
+    EXPECT_TRUE(v.find("d")->items[0].boolean);
+    EXPECT_FALSE(v.find("d")->items[1].boolean);
+    EXPECT_TRUE(v.find("d")->items[2].isNull());
+}
+
+TEST(ServerJson, ValueSpansCoverTheExactBytes)
+{
+    const std::string text = R"({"result": {"x":[1, 2]} , "z":3})";
+    const JsonValue v = parseOk(text);
+    const JsonValue *r = v.find("result");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(text.substr(r->begin, r->end - r->begin),
+              R"({"x":[1, 2]})");
+}
+
+TEST(ServerJson, StrictnessRejections)
+{
+    EXPECT_NE(parseErr("{} junk").find("trailing"),
+              std::string::npos);
+    EXPECT_NE(parseErr(R"({"a":1,"a":2})").find("duplicate"),
+              std::string::npos);
+    EXPECT_NE(parseErr("\"raw\ncontrol\"").find("control"),
+              std::string::npos);
+    EXPECT_NE(parseErr(R"("\q")").find("escape"),
+              std::string::npos);
+    EXPECT_NE(parseErr(R"("\ud800x")").find("surrogate"),
+              std::string::npos);
+    EXPECT_NE(parseErr("01").find("trailing"), std::string::npos);
+    EXPECT_NE(parseErr("[1,]").find("invalid"), std::string::npos);
+    EXPECT_NE(parseErr("{\"a\":}").find("invalid"),
+              std::string::npos);
+    EXPECT_NE(parseErr("").find("end of input"), std::string::npos);
+    EXPECT_NE(parseErr("nul").find("literal"), std::string::npos);
+}
+
+TEST(ServerJson, DepthCapStopsNestingBombs)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    EXPECT_NE(parseErr(deep).find("nesting"), std::string::npos);
+}
+
+TEST(ServerJson, SurrogatePairDecodesToUtf8)
+{
+    const JsonValue v = parseOk(R"("😀")");
+    EXPECT_EQ(v.text, "\xF0\x9F\x98\x80"); // U+1F600
+}
+
+TEST(ServerJson, AsU64ExactIntegersOnly)
+{
+    std::uint64_t out = 0;
+    EXPECT_TRUE(parseOk("42").asU64(out));
+    EXPECT_EQ(out, 42u);
+    EXPECT_TRUE(parseOk("18446744073709551615").asU64(out));
+    EXPECT_EQ(out, 18446744073709551615ull);
+    EXPECT_FALSE(parseOk("18446744073709551616").asU64(out));
+    EXPECT_FALSE(parseOk("-1").asU64(out));
+    EXPECT_FALSE(parseOk("1.5").asU64(out));
+    EXPECT_FALSE(parseOk("1e3").asU64(out));
+}
+
+TEST(ServerJson, EscapeRoundTrip)
+{
+    const std::string nasty = "a\"b\\c\n\t\x01z";
+    const JsonValue v = parseOk("\"" + jsonEscape(nasty) + "\"");
+    EXPECT_EQ(v.text, nasty);
+}
+
+// --------------------------------------------------------------------
+// Wire framing
+
+class WirePair : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+    }
+
+    void TearDown() override
+    {
+        ::close(fds_[0]);
+        ::close(fds_[1]);
+    }
+
+    int fds_[2];
+};
+
+TEST_F(WirePair, RoundTripsPayloadsIncludingEmpty)
+{
+    const std::vector<std::string> payloads = {
+        "", "hello", std::string(100000, 'x')};
+    for (const std::string &payload : payloads) {
+        std::string why;
+        ASSERT_TRUE(writeFrame(fds_[0], payload, &why)) << why;
+        std::string got;
+        ASSERT_EQ(readFrame(fds_[1], got, &why), FrameStatus::Ok)
+            << why;
+        EXPECT_EQ(got, payload);
+    }
+}
+
+TEST_F(WirePair, CleanEofBeforeHeader)
+{
+    ::close(fds_[0]);
+    fds_[0] = ::socket(AF_UNIX, SOCK_STREAM, 0); // keep TearDown sane
+    std::string got, why;
+    EXPECT_EQ(readFrame(fds_[1], got, &why), FrameStatus::Eof);
+}
+
+TEST_F(WirePair, MalformedHeaderIsBadFrame)
+{
+    ASSERT_EQ(::write(fds_[0], "5x\nhello", 8), 8);
+    std::string got, why;
+    EXPECT_EQ(readFrame(fds_[1], got, &why), FrameStatus::BadFrame);
+    EXPECT_NE(why.find("non-digit"), std::string::npos);
+}
+
+TEST_F(WirePair, OversizedFrameIsDrainedAndStreamStaysInSync)
+{
+    // An over-cap frame followed by a normal one: the reader must
+    // report Oversized, swallow the big payload, and then read the
+    // next frame intact.
+    const std::string big(max_frame_bytes + 1, 'b');
+    std::string why;
+    std::thread writer([&] {
+        ASSERT_TRUE(writeFrame(fds_[0], big, nullptr));
+        ASSERT_TRUE(writeFrame(fds_[0], "after", nullptr));
+    });
+    std::string got;
+    EXPECT_EQ(readFrame(fds_[1], got, &why), FrameStatus::Oversized);
+    EXPECT_NE(why.find("exceeds"), std::string::npos);
+    ASSERT_EQ(readFrame(fds_[1], got, &why), FrameStatus::Ok) << why;
+    EXPECT_EQ(got, "after");
+    writer.join();
+}
+
+TEST(WireListen, ReclaimsStaleSocketAndRejectsLiveOne)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/srv.sock";
+    std::string why;
+    int fd = listenUnix(path, 4, &why);
+    ASSERT_GE(fd, 0) << why;
+
+    // A second live listener on the same path must be refused.
+    EXPECT_LT(listenUnix(path, 4, &why), 0);
+    EXPECT_NE(why.find("already listening"), std::string::npos);
+
+    // Closing WITHOUT unlink leaves a stale socket file — the
+    // SIGKILL case. A new listener must reclaim it.
+    ::close(fd);
+    fd = listenUnix(path, 4, &why);
+    EXPECT_GE(fd, 0) << why;
+    ::close(fd);
+    ::unlink(path.c_str());
+}
+
+// --------------------------------------------------------------------
+// Protocol
+
+TEST(ServerProtocol, ParsesRunDefaultsAndEchoesId)
+{
+    Request req;
+    ErrorCode code;
+    std::string detail;
+    ASSERT_TRUE(parseRequest(
+        R"({"id":"r1","experiment":"fig8","quick":true})", req, code,
+        detail))
+        << detail;
+    EXPECT_EQ(req.cmd, Request::Cmd::Run);
+    EXPECT_EQ(req.id, "r1");
+    EXPECT_EQ(req.run.figure, MissRateFigure::DCache);
+    EXPECT_TRUE(req.run.quick);
+    EXPECT_EQ(req.run.seed, 42u);
+    EXPECT_EQ(req.run.deadline_ms, 0u);
+    EXPECT_FALSE(req.run.has_fault);
+}
+
+TEST(ServerProtocol, RejectsUnknownFieldsByName)
+{
+    Request req;
+    ErrorCode code;
+    std::string detail;
+    EXPECT_FALSE(parseRequest(
+        R"({"id":"x","experiment":"fig7","qick":true})", req, code,
+        detail));
+    EXPECT_EQ(code, ErrorCode::BadRequest);
+    EXPECT_NE(detail.find("qick"), std::string::npos);
+    EXPECT_EQ(req.id, "x") << "id must survive for correlation";
+}
+
+TEST(ServerProtocol, RejectsBadValuesWithNamedCodes)
+{
+    Request req;
+    ErrorCode code;
+    std::string detail;
+    EXPECT_FALSE(
+        parseRequest(R"({"experiment":"fig9"})", req, code, detail));
+    EXPECT_EQ(code, ErrorCode::UnknownExperiment);
+
+    EXPECT_FALSE(parseRequest(
+        R"({"experiment":"fig7","refs":-1})", req, code, detail));
+    EXPECT_EQ(code, ErrorCode::BadParam);
+
+    EXPECT_FALSE(parseRequest("[1,2]", req, code, detail));
+    EXPECT_EQ(code, ErrorCode::BadRequest);
+
+    EXPECT_FALSE(parseRequest("{nope", req, code, detail));
+    EXPECT_EQ(code, ErrorCode::BadJson);
+
+    EXPECT_FALSE(parseRequest(R"({"cmd":"run"})", req, code, detail));
+    EXPECT_EQ(code, ErrorCode::BadRequest);
+    EXPECT_NE(detail.find("experiment"), std::string::npos);
+}
+
+TEST(ServerProtocol, CanonicalKeyCollapsesEquivalentRequests)
+{
+    RunRequest quick;
+    quick.quick = true;
+    RunRequest explicit_refs;
+    explicit_refs.refs = 400'000; // what quick resolves to
+    EXPECT_EQ(canonicalRunKey(quick),
+              canonicalRunKey(explicit_refs));
+    EXPECT_EQ(runKeyHash(quick), runKeyHash(explicit_refs));
+
+    RunRequest other_seed = quick;
+    other_seed.seed = 7;
+    EXPECT_NE(canonicalRunKey(quick), canonicalRunKey(other_seed));
+
+    RunRequest fig8 = quick;
+    fig8.figure = MissRateFigure::DCache;
+    EXPECT_NE(canonicalRunKey(quick), canonicalRunKey(fig8));
+
+    EXPECT_NE(canonicalRunKey(quick).find(gitDescribe()),
+              std::string::npos)
+        << "the build id must be part of the key";
+}
+
+TEST(ServerProtocol, ResponsesAreWellFormedJson)
+{
+    const JsonValue ok =
+        parseOk(okResponse("a\"b", true, "{\"x\":1}\n"));
+    EXPECT_EQ(ok.find("id")->text, "a\"b");
+    EXPECT_EQ(ok.find("status")->text, "ok");
+    EXPECT_TRUE(ok.find("cached")->boolean);
+    EXPECT_DOUBLE_EQ(ok.find("result")->find("x")->number, 1.0);
+
+    const JsonValue err = parseOk(errorResponse(
+        "r", ErrorCode::Overloaded, "queue \"full\"", 250));
+    EXPECT_EQ(err.find("status")->text, "error");
+    EXPECT_EQ(err.find("error")->find("code")->text, "overloaded");
+    EXPECT_DOUBLE_EQ(
+        err.find("error")->find("retry_after_ms")->number, 250.0);
+
+    const JsonValue no_retry =
+        parseOk(errorResponse("r", ErrorCode::BadJson, "x"));
+    EXPECT_EQ(no_retry.find("error")->find("retry_after_ms"),
+              nullptr);
+}
+
+// --------------------------------------------------------------------
+// Result cache
+
+TEST(ResultCacheTest, InsertLookupAndCrashRecovery)
+{
+    TempDir dir;
+    std::string why;
+    {
+        ResultCache cache;
+        ASSERT_TRUE(cache.open(dir.path() + "/cache", 0, &why))
+            << why;
+        EXPECT_EQ(cache.lookup("k1"), nullptr);
+        ASSERT_TRUE(cache.insert("k1", "result-one\n", &why)) << why;
+        ASSERT_TRUE(cache.insert("k2", "result-two\n", &why)) << why;
+        ASSERT_NE(cache.lookup("k1"), nullptr);
+        EXPECT_EQ(*cache.lookup("k1"), "result-one\n");
+        // No close(): simulates dying with the journal mid-life.
+        // (The journal is fsync'd per append, so everything is on
+        // disk already.)
+    }
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir.path() + "/cache", 0, &why)) << why;
+    EXPECT_EQ(cache.recovered(), 2u);
+    ASSERT_NE(cache.lookup("k2"), nullptr);
+    EXPECT_EQ(*cache.lookup("k2"), "result-two\n");
+}
+
+TEST(ResultCacheTest, TornJournalTailIsDroppedNotFatal)
+{
+    TempDir dir;
+    std::string why;
+    {
+        ResultCache cache;
+        ASSERT_TRUE(cache.open(dir.path(), 0, &why)) << why;
+        ASSERT_TRUE(cache.insert("k1", "one", &why)) << why;
+    }
+    // Append garbage: a crash mid-append leaves exactly this shape.
+    {
+        std::FILE *f =
+            std::fopen((dir.path() + "/results.mwsj").c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        std::fputs("torn-record-garbage", f);
+        std::fclose(f);
+    }
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir.path(), 0, &why)) << why;
+    EXPECT_GT(cache.tornBytes(), 0u);
+    EXPECT_EQ(cache.recovered(), 1u);
+    ASSERT_NE(cache.lookup("k1"), nullptr);
+}
+
+TEST(ResultCacheTest, MirrorEntriesAreValidCheckpoints)
+{
+    TempDir dir;
+    std::string why;
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir.path(), 0, &why)) << why;
+    ASSERT_TRUE(cache.insert("key", "payload", &why)) << why;
+
+    // Exactly one .mwcp mirror entry, loadable with full validation.
+    std::string mwcp;
+    const std::string cmd =
+        "ls " + dir.path() + "/*.mwcp > " + dir.path() + "/ls.txt";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    std::FILE *f = std::fopen((dir.path() + "/ls.txt").c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[512];
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    std::fclose(f);
+    mwcp.assign(buf);
+    if (!mwcp.empty() && mwcp.back() == '\n')
+        mwcp.pop_back();
+
+    ckpt::CheckpointReader reader;
+    EXPECT_EQ(reader.loadFile(mwcp, std::nullopt),
+              ckpt::LoadError::None)
+        << reader.errorDetail();
+}
+
+TEST(ResultCacheTest, CompactionEvictsOldestWhenOverCap)
+{
+    TempDir dir;
+    std::string why;
+    ResultCache cache;
+    // Cap small enough that ~3 of the 600-byte entries fit.
+    ASSERT_TRUE(cache.open(dir.path(), 2048, &why)) << why;
+    const std::string blob(600, 'r');
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(
+            cache.insert("key" + std::to_string(i), blob, &why))
+            << why;
+    EXPECT_GT(cache.compactions(), 0u);
+    EXPECT_LT(cache.size(), 6u);
+    // The newest entry always survives.
+    ASSERT_NE(cache.lookup("key5"), nullptr);
+    // The oldest is the first to go.
+    EXPECT_EQ(cache.lookup("key0"), nullptr);
+
+    // Survivors (and only survivors) come back after reopening.
+    const std::size_t live = cache.size();
+    cache.close();
+    ResultCache reopened;
+    ASSERT_TRUE(reopened.open(dir.path(), 2048, &why)) << why;
+    EXPECT_EQ(reopened.recovered(), live);
+    EXPECT_NE(reopened.lookup("key5"), nullptr);
+}
+
+TEST(ResultCacheTest, DuplicateInsertKeepsLatestAcrossReopen)
+{
+    TempDir dir;
+    std::string why;
+    {
+        ResultCache cache;
+        ASSERT_TRUE(cache.open(dir.path(), 0, &why)) << why;
+        ASSERT_TRUE(cache.insert("k", "old", &why));
+        ASSERT_TRUE(cache.insert("k", "new", &why));
+        EXPECT_EQ(*cache.lookup("k"), "new");
+    }
+    ResultCache cache;
+    ASSERT_TRUE(cache.open(dir.path(), 0, &why)) << why;
+    ASSERT_NE(cache.lookup("k"), nullptr);
+    EXPECT_EQ(*cache.lookup("k"), "new");
+}
+
+// --------------------------------------------------------------------
+// Live server
+
+/** Start an MwServer on a scratch socket and run it on a thread. */
+class LiveServer
+{
+  public:
+    explicit LiveServer(ServerOptions opt) : opt_(std::move(opt))
+    {
+        opt_.socket_path = dir_.path() + "/srv.sock";
+        opt_.cache_dir = dir_.path() + "/cache";
+        server_ = std::make_unique<MwServer>(opt_);
+        std::string why;
+        ok_ = server_->start(&why);
+        EXPECT_TRUE(ok_) << why;
+        if (ok_)
+            thread_ = std::thread([this] { server_->run(); });
+    }
+
+    ~LiveServer()
+    {
+        if (thread_.joinable()) {
+            server_->requestStop();
+            thread_.join();
+        }
+    }
+
+    /** One request/response over a fresh connection. */
+    std::string rpc(const std::string &request)
+    {
+        std::string why;
+        const int fd = connectUnix(opt_.socket_path, &why);
+        EXPECT_GE(fd, 0) << why;
+        if (fd < 0)
+            return "";
+        EXPECT_TRUE(writeFrame(fd, request, &why)) << why;
+        std::string response;
+        EXPECT_EQ(readFrame(fd, response, &why), FrameStatus::Ok)
+            << why;
+        ::close(fd);
+        return response;
+    }
+
+    MwServer &server() { return *server_; }
+    const std::string &socketPath() const { return opt_.socket_path; }
+
+  private:
+    TempDir dir_;
+    ServerOptions opt_;
+    std::unique_ptr<MwServer> server_;
+    std::thread thread_;
+    bool ok_ = false;
+};
+
+/** Small-but-real run request: full suite, tiny windows. */
+std::string
+runRequest(const std::string &id, const std::string &extra = "")
+{
+    return R"({"cmd":"run","id":")" + id +
+           R"(","experiment":"fig7","refs":2000)" + extra + "}";
+}
+
+std::string
+errorCodeOf(const std::string &response)
+{
+    JsonValue v;
+    std::string err;
+    if (!parseJson(response, v, err))
+        return "unparseable: " + response;
+    const JsonValue *e = v.find("error");
+    if (e == nullptr || e->find("code") == nullptr)
+        return "no-error-code: " + response;
+    return e->find("code")->text;
+}
+
+TEST(MwServerTest, ComputesCachesAndDedupesExactlyOnce)
+{
+    ServerOptions opt;
+    opt.jobs = 4;
+    LiveServer srv(opt);
+
+    // Concurrent identical requests: every one gets the same result,
+    // the figure is computed exactly once.
+    constexpr int clients = 6;
+    std::vector<std::string> responses(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int i = 0; i < clients; ++i)
+        threads.emplace_back([&, i] {
+            responses[i] =
+                srv.rpc(runRequest("c" + std::to_string(i)));
+        });
+    for (auto &t : threads)
+        t.join();
+
+    std::string result_bytes;
+    for (int i = 0; i < clients; ++i) {
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(parseJson(responses[i], v, err)) << err;
+        ASSERT_EQ(v.find("status")->text, "ok") << responses[i];
+        const JsonValue *r = v.find("result");
+        const std::string bytes = responses[i].substr(
+            r->begin, r->end - r->begin);
+        if (result_bytes.empty())
+            result_bytes = bytes;
+        EXPECT_EQ(bytes, result_bytes)
+            << "all clients must see identical result bytes";
+    }
+
+    const ServerCounters after = srv.server().counters();
+    EXPECT_EQ(after.computed, 1u) << "dedup must compute once";
+    EXPECT_EQ(after.dedup_joined + after.cache_hits,
+              static_cast<std::uint64_t>(clients - 1));
+
+    // A later identical request is a cache hit.
+    const JsonValue hit = parseOk(srv.rpc(runRequest("late")));
+    EXPECT_EQ(hit.find("status")->text, "ok");
+    EXPECT_TRUE(hit.find("cached")->boolean);
+    EXPECT_EQ(srv.server().counters().computed, 1u);
+}
+
+TEST(MwServerTest, NamedErrorsForBadInput)
+{
+    ServerOptions opt;
+    opt.jobs = 2;
+    LiveServer srv(opt);
+
+    EXPECT_EQ(errorCodeOf(srv.rpc("{nope")), "bad_json");
+    EXPECT_EQ(errorCodeOf(srv.rpc(R"({"cmd":"dance"})")),
+              "bad_request");
+    EXPECT_EQ(errorCodeOf(srv.rpc(R"({"experiment":"fig9"})")),
+              "unknown_experiment");
+    EXPECT_EQ(errorCodeOf(srv.rpc(
+                  R"({"experiment":"fig7","fault":{"hang_ms":1}})")),
+              "fault_injection_disabled");
+
+    // Oversized frame: named error, connection stays usable.
+    std::string why;
+    const int fd = connectUnix(srv.socketPath(), &why);
+    ASSERT_GE(fd, 0) << why;
+    ASSERT_TRUE(
+        writeFrame(fd, std::string(max_frame_bytes + 1, 'x'), &why))
+        << why;
+    std::string response;
+    ASSERT_EQ(readFrame(fd, response, &why), FrameStatus::Ok) << why;
+    EXPECT_EQ(errorCodeOf(response), "oversized");
+    ASSERT_TRUE(writeFrame(fd, R"({"cmd":"ping"})", &why)) << why;
+    ASSERT_EQ(readFrame(fd, response, &why), FrameStatus::Ok) << why;
+    EXPECT_NE(response.find("pong"), std::string::npos);
+    ::close(fd);
+}
+
+TEST(MwServerTest, RetriesTransientFaultsThenSucceeds)
+{
+    ServerOptions opt;
+    opt.jobs = 4;
+    opt.allow_test_faults = true;
+    opt.max_retries = 2;
+    opt.backoff_base_ms = 1;
+    LiveServer srv(opt);
+
+    // Two injected failures, three attempts available: succeeds.
+    const JsonValue v = parseOk(srv.rpc(
+        runRequest("r", R"(,"fault":{"fail_points":2})")));
+    EXPECT_EQ(v.find("status")->text, "ok");
+    const ServerCounters c = srv.server().counters();
+    EXPECT_GE(c.retries, 2u);
+    EXPECT_EQ(c.worker_failures, 0u);
+}
+
+TEST(MwServerTest, PersistentFaultsFailWithWorkerFailed)
+{
+    ServerOptions opt;
+    opt.jobs = 4;
+    opt.allow_test_faults = true;
+    opt.max_retries = 1;
+    opt.backoff_base_ms = 1;
+    LiveServer srv(opt);
+
+    // More injected failures than total attempts: the run fails.
+    EXPECT_EQ(errorCodeOf(srv.rpc(runRequest(
+                  "r", R"(,"fault":{"fail_points":1000})"))),
+              "worker_failed");
+    EXPECT_GT(srv.server().counters().worker_failures, 0u);
+
+    // Fault-injected runs must never be cached: the same request
+    // (same fault spec) computes again rather than hitting a cache.
+    const std::string again = srv.rpc(
+        runRequest("r2", R"(,"fault":{"fail_points":1000})"));
+    EXPECT_EQ(errorCodeOf(again), "worker_failed");
+}
+
+TEST(MwServerTest, DeadlineExpiresButResultIsStillCached)
+{
+    ServerOptions opt;
+    opt.jobs = 4;
+    opt.allow_test_faults = true;
+    LiveServer srv(opt);
+
+    // Points hang 200 ms each; a 40 ms deadline must miss.
+    const std::string slow = runRequest(
+        "slow", R"(,"deadline_ms":40,"fault":{"hang_ms":200})");
+    EXPECT_EQ(errorCodeOf(srv.rpc(slow)), "deadline_exceeded");
+    EXPECT_EQ(srv.server().counters().deadline_misses, 1u);
+
+    // The computation was not torn down: it completes and (being a
+    // run without cacheable semantics — fault runs are not cached)
+    // at least finishes without wedging the server.
+    const JsonValue pong = parseOk(srv.rpc(R"({"cmd":"ping"})"));
+    EXPECT_EQ(pong.find("status")->text, "ok");
+}
+
+TEST(MwServerTest, WatchdogQuarantinesWedgedComputation)
+{
+    ServerOptions opt;
+    opt.jobs = 8;
+    opt.allow_test_faults = true;
+    opt.wedge_grace_ms = 50;
+    opt.watchdog_interval_ms = 5;
+    LiveServer srv(opt);
+
+    // A run whose points hang 400 ms wedges past the 50 ms grace:
+    // the watchdog quarantines it and the request fails fast
+    // instead of hanging forever.
+    const std::string wedged =
+        runRequest("w", R"(,"fault":{"hang_ms":400})");
+    EXPECT_EQ(errorCodeOf(srv.rpc(wedged)), "quarantined");
+    EXPECT_GE(srv.server().counters().quarantines, 1u);
+
+    // While quarantined, duplicates are fenced off immediately.
+    EXPECT_EQ(errorCodeOf(srv.rpc(wedged)), "quarantined");
+
+    // When the computation finally completes, the key is lifted.
+    for (int i = 0; i < 200; ++i) {
+        if (srv.server().counters().unquarantines >= 1)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_GE(srv.server().counters().unquarantines, 1u);
+}
+
+TEST(MwServerTest, AdmissionControlShedsExcessInflight)
+{
+    ServerOptions opt;
+    opt.jobs = 2;
+    opt.allow_test_faults = true;
+    opt.max_inflight = 1;
+    LiveServer srv(opt);
+
+    // Fill the single inflight slot with a hanging run, then ask
+    // for a *different* run: it must be shed with retry_after.
+    std::thread hog([&] {
+        srv.rpc(runRequest("hog", R"(,"fault":{"hang_ms":150})"));
+    });
+    // Give the hog time to occupy the slot.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const std::string response = srv.rpc(
+        R"({"cmd":"run","id":"shed","experiment":"fig8","refs":2000})");
+    EXPECT_EQ(errorCodeOf(response), "overloaded");
+    const JsonValue v = parseOk(response);
+    EXPECT_NE(v.find("error")->find("retry_after_ms"), nullptr);
+    EXPECT_GE(srv.server().counters().shed, 1u);
+    hog.join();
+}
+
+TEST(MwServerTest, ShutdownRequestStopsTheServer)
+{
+    ServerOptions opt;
+    opt.jobs = 2;
+    LiveServer srv(opt);
+    const JsonValue v =
+        parseOk(srv.rpc(R"({"cmd":"shutdown","id":"bye"})"));
+    EXPECT_EQ(v.find("status")->text, "ok");
+    // The LiveServer destructor joins run(); if shutdown did not
+    // propagate, this test would hang (and the suite timeout would
+    // flag it).
+}
+
+TEST(MwServerTest, StatsReportsCountersAndBuild)
+{
+    ServerOptions opt;
+    opt.jobs = 2;
+    LiveServer srv(opt);
+    parseOk(srv.rpc(runRequest("warm")));
+    const JsonValue v = parseOk(srv.rpc(R"({"cmd":"stats"})"));
+    const JsonValue *stats = v.find("result");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->find("build")->text, gitDescribe());
+    EXPECT_DOUBLE_EQ(
+        stats->find("counters")->find("computed")->number, 1.0);
+    EXPECT_DOUBLE_EQ(
+        stats->find("cache")->find("entries")->number, 1.0);
+}
+
+} // namespace
