@@ -166,6 +166,14 @@ parseRequest(const std::string &payload, Request &out,
             if (!takeU64(v, "deadline_ms", out.run.deadline_ms, code,
                          detail))
                 return false;
+            if (out.run.deadline_ms > max_deadline_ms) {
+                code = ErrorCode::BadParam;
+                detail = "\"deadline_ms\" of " +
+                         std::to_string(out.run.deadline_ms) +
+                         " exceeds the maximum of " +
+                         std::to_string(max_deadline_ms);
+                return false;
+            }
         } else if (key == "fault") {
             if (!parseFault(v, out.run, code, detail))
                 return false;

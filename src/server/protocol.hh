@@ -11,7 +11,7 @@
  *       "quick": true|false,                             (default false)
  *       "refs": <uint>,                                  (default 0 = auto)
  *       "seed": <uint>,                                  (default 42)
- *       "deadline_ms": <uint>,                           (default 0 = none)
+ *       "deadline_ms": <uint>,             (default 0 = none; capped)
  *       "fault": {"fail_points": <uint>, "hang_ms": <uint>}
  *     }
  *
@@ -61,6 +61,14 @@ enum class ErrorCode {
 };
 
 const char *errorCodeName(ErrorCode code);
+
+/**
+ * Upper bound on "deadline_ms": one day. Larger values are rejected
+ * with bad_param at parse time — std::chrono::milliseconds has a
+ * signed 64-bit representation, so an unchecked client value near
+ * 2^63 would wrap "arrival + deadline" into the past.
+ */
+constexpr std::uint64_t max_deadline_ms = 86'400'000;
 
 /** What a "run" request asks for, after validation. */
 struct RunRequest

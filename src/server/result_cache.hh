@@ -58,7 +58,8 @@ class ResultCache
     /**
      * The memoized result for @p canonical, or nullptr. The pointer
      * stays valid until the next insert()/close(). Not thread-safe;
-     * the server serializes access under its state mutex.
+     * the server serializes access under a dedicated cache mutex
+     * (never its state mutex — insert() can fsync and compact).
      */
     const std::string *lookup(const std::string &canonical) const;
 

@@ -36,6 +36,18 @@ setCloexec(int fd)
 
 } // namespace
 
+std::uint64_t
+saturatingBackoffMs(std::uint64_t base_ms, unsigned exponent)
+{
+    constexpr std::uint64_t cap_ms = 60'000;
+    if (base_ms == 0)
+        return 0;
+    if (base_ms >= cap_ms || exponent >= 16)
+        return cap_ms;
+    // base_ms < 2^16 and exponent < 16: the shift fits easily.
+    return std::min(base_ms << exponent, cap_ms);
+}
+
 /** Scatter/gather context for one deduplicated figure computation.
  *  remaining/results/failed are guarded by MwServer::mu_; the fault
  *  countdown is atomic because points decrement it concurrently
@@ -241,8 +253,8 @@ MwServer::acceptLoop()
                        errorResponse(
                            "", ErrorCode::Overloaded,
                            "connection limit reached",
-                           static_cast<long>(opt_.backoff_base_ms) *
-                               8),
+                           static_cast<long>(saturatingBackoffMs(
+                               opt_.backoff_base_ms, 3))),
                        nullptr);
             ::close(cfd);
         }
@@ -371,33 +383,54 @@ MwServer::handleRun(const Request &req)
                      std::to_string(req.run.fault_hang_ms);
 
     std::unique_lock<std::mutex> lk(mu_);
-    if (stopping_)
-        return errorResponse(req.id, ErrorCode::ShuttingDown,
-                             "server is draining");
-    if (quarantined_.contains(canonical))
-        return errorResponse(
-            req.id, ErrorCode::Quarantined,
-            "a previous computation of this request wedged; the key "
-            "is fenced off until it completes",
-            static_cast<long>(opt_.wedge_grace_ms));
-    if (!req.run.has_fault) {
-        if (const std::string *hit = cache_.lookup(canonical)) {
-            ++counters_.cache_hits;
-            return okResponse(req.id, true, *hit);
-        }
-    }
-
     std::shared_ptr<Inflight> entry;
-    if (auto it = inflight_.find(canonical); it != inflight_.end()) {
-        entry = it->second;
-        ++counters_.dedup_joined;
-    } else {
+    // Two passes at most: the first may drop mu_ to probe the cache
+    // (the probe must not hold mu_ — the memo journal may be mid-
+    // fsync or compaction under cache_mu_, and request handling must
+    // not stall behind that disk I/O), after which stop/quarantine/
+    // in-flight state must be re-checked from scratch.
+    for (bool probed = false; entry == nullptr;) {
+        if (stopping_)
+            return errorResponse(req.id, ErrorCode::ShuttingDown,
+                                 "server is draining");
+        if (quarantined_.contains(canonical))
+            return errorResponse(
+                req.id, ErrorCode::Quarantined,
+                "a previous computation of this request wedged; the "
+                "key is fenced off until it completes",
+                static_cast<long>(opt_.wedge_grace_ms));
+        if (auto it = inflight_.find(canonical);
+            it != inflight_.end()) {
+            entry = it->second;
+            ++counters_.dedup_joined;
+            break;
+        }
+        if (!req.run.has_fault && !probed) {
+            probed = true;
+            lk.unlock();
+            bool found = false;
+            std::string hit;
+            {
+                std::lock_guard<std::mutex> cache_lock(cache_mu_);
+                if (const std::string *p = cache_.lookup(canonical)) {
+                    hit = *p;
+                    found = true;
+                }
+            }
+            lk.lock();
+            if (found) {
+                ++counters_.cache_hits;
+                return okResponse(req.id, true, hit);
+            }
+            continue;
+        }
         if (inflight_.size() >= opt_.max_inflight) {
             ++counters_.shed;
             return errorResponse(
                 req.id, ErrorCode::Overloaded,
                 "experiment queue is full",
-                static_cast<long>(opt_.backoff_base_ms) * 8);
+                static_cast<long>(saturatingBackoffMs(
+                    opt_.backoff_base_ms, 3)));
         }
         entry = std::make_shared<Inflight>();
         entry->started = arrival;
@@ -437,8 +470,9 @@ MwServer::handleRun(const Request &req)
     if (entry->state == Inflight::State::Failed)
         return errorResponse(req.id, ErrorCode::WorkerFailed,
                              entry->error_detail,
-                             static_cast<long>(opt_.backoff_base_ms)
-                                 << opt_.max_retries);
+                             static_cast<long>(saturatingBackoffMs(
+                                 opt_.backoff_base_ms,
+                                 opt_.max_retries)));
     if (!in_time) {
         ++counters_.deadline_misses;
         return errorResponse(
@@ -485,8 +519,14 @@ MwServer::runPoint(const std::shared_ptr<ComputeJob> &job,
                 std::lock_guard<std::mutex> lock(mu_);
                 ++counters_.retries;
             }
-            std::this_thread::sleep_for(
-                ms(opt_.backoff_base_ms << (attempt - 1)));
+            // This backoff (and the fault hang below) sleeps on the
+            // pool worker itself: with a small pool, enough hung or
+            // retrying points can occupy every worker and unrelated
+            // requests queue behind the sleeps. Accepted for an
+            // experiment service whose points normally never sleep;
+            // resubmit-with-delay is the upgrade path if it hurts.
+            std::this_thread::sleep_for(ms(saturatingBackoffMs(
+                opt_.backoff_base_ms, attempt - 1)));
         }
         if (job->run.fault_hang_ms > 0)
             std::this_thread::sleep_for(ms(job->run.fault_hang_ms));
@@ -502,43 +542,64 @@ MwServer::runPoint(const std::shared_ptr<ComputeJob> &job,
         }
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (success) {
-        job->results[index] = std::move(result);
-    } else {
-        ++counters_.worker_failures;
-        if (!job->failed) {
-            job->failed = true;
-            job->fail_detail = "workload '" + suite[index].name +
-                               "' failed " +
-                               std::to_string(opt_.max_retries + 1) +
-                               " attempts: " + last_error;
+    bool last = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (success) {
+            job->results[index] = std::move(result);
+        } else {
+            ++counters_.worker_failures;
+            if (!job->failed) {
+                job->failed = true;
+                job->fail_detail =
+                    "workload '" + suite[index].name + "' failed " +
+                    std::to_string(opt_.max_retries + 1) +
+                    " attempts: " + last_error;
+            }
         }
+        MW_ASSERT(job->remaining > 0, "compute job over-completed");
+        last = --job->remaining == 0;
     }
-    MW_ASSERT(job->remaining > 0, "compute job over-completed");
-    if (--job->remaining == 0)
-        finalizeLocked(job);
+    if (last)
+        finalize(job);
 }
 
 void
-MwServer::finalizeLocked(const std::shared_ptr<ComputeJob> &job)
+MwServer::finalize(const std::shared_ptr<ComputeJob> &job)
 {
+    // Every point has finished: each one's mu_-guarded decrement
+    // happened-before this thread observed remaining == 0, so the
+    // job fields are safe to read without the lock — and no one
+    // writes them again.
     const std::shared_ptr<Inflight> &entry = job->entry;
+    std::string result_json;
+    if (!job->failed)
+        result_json =
+            missRateFigureJson(job->run.figure, job->results);
+
+    // Journal BEFORE publishing completion: the key stays visible in
+    // inflight_ until the cache holds it, so a duplicate request can
+    // never slip between the two and recompute. The fsync (and any
+    // compaction) runs under cache_mu_ only — never under mu_ — so
+    // request handling, stats and the watchdog do not stall behind
+    // disk I/O.
+    if (!job->failed && entry->cacheable) {
+        std::string why;
+        std::lock_guard<std::mutex> cache_lock(cache_mu_);
+        if (!cache_.insert(job->canonical, result_json, &why))
+            // The response is still served from memory; only
+            // restart durability is lost.
+            MW_WARN("mw-server: result not persisted: ", why);
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
     if (job->failed) {
         entry->state = Inflight::State::Failed;
         entry->error_detail = job->fail_detail;
     } else {
         entry->state = Inflight::State::Done;
-        entry->result =
-            missRateFigureJson(job->run.figure, job->results);
+        entry->result = std::move(result_json);
         ++counters_.computed;
-        if (entry->cacheable) {
-            std::string why;
-            if (!cache_.insert(job->canonical, entry->result, &why))
-                // The response is still served from memory; only
-                // restart durability is lost.
-                MW_WARN("mw-server: result not persisted: ", why);
-        }
     }
     if (entry->quarantined) {
         // The wedged computation finally finished: lift the fence so
@@ -580,8 +641,31 @@ MwServer::watchdogLoop()
 std::string
 MwServer::statsJson()
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto mirror = cache_.mirrorCounters();
+    // Snapshot the two lock domains separately (never nested): the
+    // cache may be mid-fsync under cache_mu_, and stats must not
+    // drag mu_ into waiting on that.
+    ServerCounters counters;
+    std::size_t inflight_count = 0;
+    std::size_t quarantined_count = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        counters = counters_;
+        inflight_count = inflight_.size();
+        quarantined_count = quarantined_.size();
+    }
+    std::size_t cache_entries = 0;
+    std::size_t cache_recovered = 0;
+    std::size_t cache_torn = 0;
+    std::uint64_t cache_compactions = 0;
+    ckpt::StoreCounters mirror;
+    {
+        std::lock_guard<std::mutex> cache_lock(cache_mu_);
+        cache_entries = cache_.size();
+        cache_recovered = cache_.recovered();
+        cache_torn = cache_.tornBytes();
+        cache_compactions = cache_.compactions();
+        mirror = cache_.mirrorCounters();
+    }
     std::string out = "{\"build\":\"";
     out += jsonEscape(gitDescribe());
     out += "\",\"workers\":" + std::to_string(pool_->workers());
@@ -590,36 +674,35 @@ MwServer::statsJson()
            std::to_string(pool_->taskExceptions());
     out += ",\"counters\":{";
     out += "\"connections\":" +
-           std::to_string(counters_.connections);
-    out += ",\"requests\":" + std::to_string(counters_.requests);
-    out += ",\"computed\":" + std::to_string(counters_.computed);
-    out += ",\"cache_hits\":" + std::to_string(counters_.cache_hits);
+           std::to_string(counters.connections);
+    out += ",\"requests\":" + std::to_string(counters.requests);
+    out += ",\"computed\":" + std::to_string(counters.computed);
+    out += ",\"cache_hits\":" + std::to_string(counters.cache_hits);
     out += ",\"dedup_joined\":" +
-           std::to_string(counters_.dedup_joined);
-    out += ",\"shed\":" + std::to_string(counters_.shed);
+           std::to_string(counters.dedup_joined);
+    out += ",\"shed\":" + std::to_string(counters.shed);
     out += ",\"bad_requests\":" +
-           std::to_string(counters_.bad_requests);
+           std::to_string(counters.bad_requests);
     out += ",\"deadline_misses\":" +
-           std::to_string(counters_.deadline_misses);
-    out += ",\"retries\":" + std::to_string(counters_.retries);
+           std::to_string(counters.deadline_misses);
+    out += ",\"retries\":" + std::to_string(counters.retries);
     out += ",\"worker_failures\":" +
-           std::to_string(counters_.worker_failures);
+           std::to_string(counters.worker_failures);
     out += ",\"quarantines\":" +
-           std::to_string(counters_.quarantines);
+           std::to_string(counters.quarantines);
     out += ",\"unquarantines\":" +
-           std::to_string(counters_.unquarantines);
+           std::to_string(counters.unquarantines);
     out += "},\"cache\":{";
-    out += "\"entries\":" + std::to_string(cache_.size());
-    out += ",\"recovered\":" + std::to_string(cache_.recovered());
-    out += ",\"torn_bytes\":" + std::to_string(cache_.tornBytes());
-    out += ",\"compactions\":" +
-           std::to_string(cache_.compactions());
+    out += "\"entries\":" + std::to_string(cache_entries);
+    out += ",\"recovered\":" + std::to_string(cache_recovered);
+    out += ",\"torn_bytes\":" + std::to_string(cache_torn);
+    out += ",\"compactions\":" + std::to_string(cache_compactions);
     out += ",\"mirror_evicted\":" + std::to_string(mirror.evicted);
     out += ",\"mirror_write_errors\":" +
            std::to_string(mirror.write_errors);
-    out += "},\"inflight\":" + std::to_string(inflight_.size());
+    out += "},\"inflight\":" + std::to_string(inflight_count);
     out += ",\"quarantined\":" +
-           std::to_string(quarantined_.size());
+           std::to_string(quarantined_count);
     out += "}";
     return out;
 }

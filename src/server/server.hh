@@ -10,10 +10,13 @@
  *  - Deduplication: concurrent requests for the same canonical run
  *    key share ONE computation. The first requester becomes the
  *    owner and launches per-workload tasks on the pool; later
- *    requesters join the in-flight entry as waiters. Cache insert
- *    and in-flight erase happen under the same lock, so a request
- *    always either joins the computation or hits the cache — never
- *    recomputes.
+ *    requesters join the in-flight entry as waiters. A completed
+ *    result is journaled into the cache BEFORE the in-flight entry
+ *    is erased, so the key is always visible in one of the two and a
+ *    request either joins the computation or hits the cache — never
+ *    recomputes. The journal fsync (and any compaction) runs under a
+ *    dedicated cache mutex, never under the state mutex, so request
+ *    handling and the watchdog never stall behind disk I/O.
  *
  *  - Deadlines: a waiter whose deadline_ms expires gets a
  *    deadline_exceeded error immediately; the computation itself is
@@ -22,9 +25,9 @@
  *    next request is a cache hit.
  *
  *  - Retry: a workload point that throws is retried with exponential
- *    backoff (backoff_base_ms << attempt) up to max_retries times;
- *    only a point that keeps failing fails the request
- *    (worker_failed).
+ *    backoff (saturatingBackoffMs(backoff_base_ms, attempt), capped
+ *    at one minute) up to max_retries times; only a point that keeps
+ *    failing fails the request (worker_failed).
  *
  *  - Admission control: over max_connections the connection is
  *    answered with one overloaded error (with retry_after_ms) and
@@ -65,6 +68,15 @@
 
 namespace memwall {
 namespace server {
+
+/**
+ * base_ms << exponent with saturation at one minute. Every retry
+ * sleep and retry_after_ms hint goes through this, so a configurable
+ * --max-retries can never push the shift to the width of the type
+ * (undefined behaviour at >= 64) or produce an hours-long sleep.
+ */
+std::uint64_t saturatingBackoffMs(std::uint64_t base_ms,
+                                  unsigned exponent);
 
 /** Server configuration; defaults suit interactive use. */
 struct ServerOptions
@@ -172,8 +184,10 @@ class MwServer
     /** One workload point with retry/backoff; runs on the pool. */
     void runPoint(const std::shared_ptr<ComputeJob> &job,
                   std::size_t index);
-    /** Last-point completion: publish, cache, unquarantine. */
-    void finalizeLocked(const std::shared_ptr<ComputeJob> &job);
+    /** Last-point completion: journal the result (under cache_mu_),
+     *  then publish, unquarantine and notify (under mu_). Caller
+     *  holds no locks. */
+    void finalize(const std::shared_ptr<ComputeJob> &job);
     void watchdogLoop();
     /** Join exited connection threads (no locks held on entry). */
     void reapFinishedConnections();
@@ -190,7 +204,11 @@ class MwServer
     mutable std::mutex mu_;
     std::condition_variable stop_cv_; ///< wakes the watchdog at stop
     bool stopping_ = false;           // guarded by mu_
-    ResultCache cache_;
+    // Guards cache_. Held for the journal fsync and compaction, so
+    // it is NEVER acquired while holding mu_ (and vice versa): a
+    // thread drops one before taking the other.
+    mutable std::mutex cache_mu_;
+    ResultCache cache_; // guarded by cache_mu_ once threads exist
     std::map<std::string, std::shared_ptr<Inflight>> inflight_;
     std::set<std::string> quarantined_;
     ServerCounters counters_;

@@ -165,8 +165,14 @@ writeFrame(int fd, const std::string &payload, std::string *why)
     buf += payload;
     std::size_t off = 0;
     while (off < buf.size()) {
-        const ssize_t n =
-            ::write(fd, buf.data() + off, buf.size() - off);
+        // send(MSG_NOSIGNAL) so a peer that vanished mid-response
+        // surfaces as EPIPE on this call instead of a SIGPIPE whose
+        // default action kills the whole process. Tests drive frames
+        // over non-socket fds, hence the ENOTSOCK fallback.
+        ssize_t n = ::send(fd, buf.data() + off, buf.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, buf.data() + off, buf.size() - off);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

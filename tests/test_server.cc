@@ -226,6 +226,18 @@ TEST_F(WirePair, OversizedFrameIsDrainedAndStreamStaysInSync)
     writer.join();
 }
 
+TEST_F(WirePair, WriteToClosedPeerFailsInsteadOfSigpipe)
+{
+    // A peer that closed its end (crashed client, impatient deadline
+    // client) must surface as a writeFrame error, not a SIGPIPE that
+    // kills the process — this test dies if MSG_NOSIGNAL is lost.
+    ::close(fds_[1]);
+    fds_[1] = ::socket(AF_UNIX, SOCK_STREAM, 0); // keep TearDown sane
+    std::string why;
+    EXPECT_FALSE(writeFrame(fds_[0], "into the void", &why));
+    EXPECT_FALSE(why.empty());
+}
+
 TEST(WireListen, ReclaimsStaleSocketAndRejectsLiveOne)
 {
     TempDir dir;
@@ -303,6 +315,47 @@ TEST(ServerProtocol, RejectsBadValuesWithNamedCodes)
     EXPECT_FALSE(parseRequest(R"({"cmd":"run"})", req, code, detail));
     EXPECT_EQ(code, ErrorCode::BadRequest);
     EXPECT_NE(detail.find("experiment"), std::string::npos);
+}
+
+TEST(ServerProtocol, DeadlineIsCappedAtParseTime)
+{
+    Request req;
+    ErrorCode code;
+    std::string detail;
+    // At the cap: accepted.
+    ASSERT_TRUE(parseRequest(R"({"experiment":"fig7","deadline_ms":)" +
+                                 std::to_string(max_deadline_ms) + "}",
+                             req, code, detail))
+        << detail;
+    EXPECT_EQ(req.run.deadline_ms, max_deadline_ms);
+
+    // Past the cap (and far past, where ms(2^63) would wrap the
+    // chrono arithmetic into the past): rejected by name.
+    for (const std::uint64_t bad :
+         {max_deadline_ms + 1, std::uint64_t(1) << 63,
+          ~std::uint64_t(0)}) {
+        EXPECT_FALSE(parseRequest(
+            R"({"experiment":"fig7","deadline_ms":)" +
+                std::to_string(bad) + "}",
+            req, code, detail))
+            << bad;
+        EXPECT_EQ(code, ErrorCode::BadParam);
+        EXPECT_NE(detail.find("deadline_ms"), std::string::npos);
+    }
+}
+
+TEST(ServerBackoff, SaturatesInsteadOfOverflowing)
+{
+    EXPECT_EQ(saturatingBackoffMs(10, 0), 10u);
+    EXPECT_EQ(saturatingBackoffMs(10, 2), 40u);
+    EXPECT_EQ(saturatingBackoffMs(0, 70), 0u);
+    // A shift of >= 64 would be undefined; the helper saturates.
+    EXPECT_EQ(saturatingBackoffMs(10, 64), 60'000u);
+    EXPECT_EQ(saturatingBackoffMs(10, 255), 60'000u);
+    // A huge base is clamped, not shifted into wraparound.
+    EXPECT_EQ(saturatingBackoffMs(~std::uint64_t(0), 1), 60'000u);
+    // The cap itself.
+    EXPECT_EQ(saturatingBackoffMs(1'000, 12), 60'000u);
 }
 
 TEST(ServerProtocol, CanonicalKeyCollapsesEquivalentRequests)

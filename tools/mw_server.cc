@@ -139,6 +139,14 @@ main(int argc, char **argv)
     sa.sa_handler = handleSignal;
     ::sigaction(SIGINT, &sa, nullptr);
     ::sigaction(SIGTERM, &sa, nullptr);
+    // A client that closes its socket before we finish writing must
+    // surface as EPIPE in writeFrame, not SIGPIPE-kill the daemon
+    // (writeFrame also passes MSG_NOSIGNAL; this covers everything
+    // else that might ever write to a dead peer).
+    struct sigaction ign;
+    std::memset(&ign, 0, sizeof(ign));
+    ign.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ign, nullptr);
 
     MW_INFORM("mw-server: listening on ", opt.socket_path,
               " (cache: ", opt.cache_dir,
