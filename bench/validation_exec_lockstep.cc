@@ -203,6 +203,7 @@ struct Totals
     std::uint64_t halts = 0;
     std::uint64_t limits = 0;
     std::uint64_t align_faults = 0;
+    std::uint64_t div_zeros = 0;
     std::uint64_t bad_instr = 0;
 };
 
@@ -214,6 +215,7 @@ stopName(StopReason r)
       case StopReason::InstrLimit: return "instr-limit";
       case StopReason::BadInstruction: return "bad-instruction";
       case StopReason::AlignmentFault: return "alignment-fault";
+      case StopReason::DivideByZero: return "divide-by-zero";
     }
     return "?";
 }
@@ -348,6 +350,7 @@ runLockstep(const AssembledProgram &prog, Rng &rng,
       case StopReason::InstrLimit: ++totals.limits; break;
       case StopReason::BadInstruction: ++totals.bad_instr; break;
       case StopReason::AlignmentFault: ++totals.align_faults; break;
+      case StopReason::DivideByZero: ++totals.div_zeros; break;
     }
     return true;
 }
@@ -405,6 +408,8 @@ main(int argc, char **argv)
                     totals.bad_instr);
         std::printf("  \"alignment_faults\": %" PRIu64 ",\n",
                     totals.align_faults);
+        std::printf("  \"divide_by_zeros\": %" PRIu64 ",\n",
+                    totals.div_zeros);
         std::printf("  \"divergences\": %" PRIu64 "\n", divergences);
         std::printf("}\n");
     } else {
@@ -417,9 +422,9 @@ main(int argc, char **argv)
                     totals.fallback_steps);
         std::printf("stop mix          : %" PRIu64 " halt, %" PRIu64
                     " limit, %" PRIu64 " bad-instr, %" PRIu64
-                    " align-fault\n",
+                    " align-fault, %" PRIu64 " div-zero\n",
                     totals.halts, totals.limits, totals.bad_instr,
-                    totals.align_faults);
+                    totals.align_faults, totals.div_zeros);
         std::printf("divergences       : %" PRIu64 "\n",
                     divergences);
     }

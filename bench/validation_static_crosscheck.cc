@@ -22,6 +22,10 @@
  *   footprint  union of predicted regions within footprint_tol of
  *           touched bytes (a statically incomplete footprint must
  *           instead be a subset: static <= dynamic)
+ *   bound   the abstract interpreter's footprint upper bound exists
+ *           (every site carries an address interval, even the
+ *           data-dependent ones affine analysis calls Unknown) and
+ *           covers the dynamically touched bytes: bound >= dynamic
  *
  * `--format=json` emits the per-kernel deltas machine-readably.
  */
@@ -35,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.hh"
 #include "analysis/charact.hh"
 #include "analysis/lint.hh"
 #include "bench_util.hh"
@@ -107,6 +112,8 @@ struct KernelResult
     double stat[6] = {}, dyn[6] = {};
     std::uint64_t static_footprint = 0, dynamic_footprint = 0;
     bool footprint_complete = true;
+    std::uint64_t footprint_bound = 0;
+    bool footprint_bounded = false;
     struct Site
     {
         unsigned line;
@@ -153,6 +160,8 @@ runKernel(const Kernel &k)
     Cfg cfg = Cfg::build(prog);
     Dataflow df = Dataflow::build(prog, cfg);
     StaticCharacterization chr = characterize(prog, cfg, df);
+    AbsInt ai = AbsInt::build(prog, cfg, df, chr);
+    annotateRanges(prog, chr, ai);
 
     r.stat[0] = chr.counts.alu;
     r.stat[1] = chr.counts.load;
@@ -163,6 +172,8 @@ runKernel(const Kernel &k)
     r.static_total = chr.counts.total();
     r.static_footprint = chr.footprint_bytes;
     r.footprint_complete = chr.footprint_known;
+    r.footprint_bound = chr.footprint_bound_bytes;
+    r.footprint_bounded = chr.footprint_bounded;
 
     // Dynamic side: per-pc class counts, per-site EA deltas,
     // touched-byte intervals.
@@ -317,6 +328,19 @@ runKernel(const Kernel &k)
             std::to_string(r.dynamic_footprint));
     }
 
+    // Every corpus kernel must get a footprint upper bound from the
+    // abstract interpreter — including the data-dependent sites the
+    // affine analysis leaves Unknown — and a sound bound can never
+    // undercut what execution actually touched.
+    if (!r.footprint_bounded)
+        r.failures.push_back(
+            "abstract interpreter left the footprint unbounded");
+    else if (r.footprint_bound < r.dynamic_footprint)
+        r.failures.push_back(
+            "footprint bound below dynamic: " +
+            std::to_string(r.footprint_bound) + " < " +
+            std::to_string(r.dynamic_footprint));
+
     return r;
 }
 
@@ -338,10 +362,13 @@ printJson(const std::vector<KernelResult> &results, int failed)
                         c ? ", " : "", cls_names[c], r.stat[c],
                         r.dyn[c]);
         std::printf("},\n     \"footprint\": {\"static\": %" PRIu64
-                    ", \"dynamic\": %" PRIu64
-                    ", \"complete\": %s},\n     \"memops\": [",
+                    ", \"dynamic\": %" PRIu64 ", \"complete\": %s, "
+                    "\"bound\": %" PRIu64
+                    ", \"bounded\": %s},\n     \"memops\": [",
                     r.static_footprint, r.dynamic_footprint,
-                    r.footprint_complete ? "true" : "false");
+                    r.footprint_complete ? "true" : "false",
+                    r.footprint_bound,
+                    r.footprint_bounded ? "true" : "false");
         for (std::size_t j = 0; j < r.sites.size(); ++j) {
             const auto &s = r.sites[j];
             std::printf("%s\n      {\"line\": %u, \"kind\": \"%s\", "

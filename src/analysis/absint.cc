@@ -1,0 +1,615 @@
+#include "analysis/absint.hh"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+
+namespace memwall {
+
+namespace {
+
+using State = std::array<VRange, 32>;
+
+State
+topState()
+{
+    State st;
+    st.fill(VRange::top());
+    st[0] = VRange::constant(0);
+    return st;
+}
+
+State
+emptyState()
+{
+    State st;
+    st.fill(VRange::empty());
+    return st;
+}
+
+bool
+anyEmpty(const State &st)
+{
+    for (const VRange &r : st)
+        if (r.isEmpty())
+            return true;
+    return false;
+}
+
+State
+joinStates(const State &a, const State &b)
+{
+    State r;
+    for (unsigned i = 0; i < 32; ++i)
+        r[i] = VRange::join(a[i], b[i]);
+    return r;
+}
+
+/** Remove the single value @p c from @p x when it sits on a bound. */
+VRange
+excludeConst(const VRange &x, const VRange &c)
+{
+    if (x.isEmpty() || !c.isConstant())
+        return x;
+    if (x.isConstant())
+        return x.lo == c.lo ? VRange::empty() : x;
+    VRange r = x;
+    if (r.lo == c.lo)
+        r.lo += 1;
+    if (r.hi == c.lo)
+        r.hi -= 1;
+    return r.reduced();
+}
+
+/**
+ * Refine the operand ranges of conditional branch @p in along one
+ * outgoing edge. Unsigned compares refine exactly; signed compares
+ * only when both operands provably sit in one half of the unsigned
+ * line, where signed and unsigned order coincide.
+ */
+void
+applyBranchRefine(State &st, const Instruction &in, bool taken)
+{
+    const VRange a = st[in.rs1];
+    const VRange b = st[in.rs2];
+    VRange na = a, nb = b;
+
+    auto below = [](const VRange &x, const VRange &y, VRange &nx,
+                    VRange &ny) {
+        // x < y (unsigned)
+        nx = y.hi == 0 ? VRange::empty()
+                       : VRange::meet(x, VRange::interval(0, y.hi - 1));
+        ny = x.lo == 0xffffffffu
+                 ? VRange::empty()
+                 : VRange::meet(y, VRange::interval(x.lo + 1,
+                                                    0xffffffffu));
+    };
+    auto atLeast = [](const VRange &x, const VRange &y, VRange &nx,
+                      VRange &ny) {
+        // x >= y (unsigned)
+        nx = VRange::meet(x, VRange::interval(y.lo, 0xffffffffu));
+        ny = VRange::meet(y, VRange::interval(0, x.hi));
+    };
+    const bool signed_ok =
+        (!a.isEmpty() && !b.isEmpty()) &&
+        ((a.hi < 0x80000000u && b.hi < 0x80000000u) ||
+         (a.lo >= 0x80000000u && b.lo >= 0x80000000u));
+
+    switch (in.op) {
+      case Opcode::Beq:
+        if (taken) {
+            na = nb = VRange::meet(a, b);
+        } else {
+            na = excludeConst(a, b);
+            nb = excludeConst(b, a);
+        }
+        break;
+      case Opcode::Bne:
+        if (!taken) {
+            na = nb = VRange::meet(a, b);
+        } else {
+            na = excludeConst(a, b);
+            nb = excludeConst(b, a);
+        }
+        break;
+      case Opcode::Bltu:
+        taken ? below(a, b, na, nb) : atLeast(a, b, na, nb);
+        break;
+      case Opcode::Bgeu:
+        taken ? atLeast(a, b, na, nb) : below(a, b, na, nb);
+        break;
+      case Opcode::Blt:
+        if (signed_ok)
+            taken ? below(a, b, na, nb) : atLeast(a, b, na, nb);
+        break;
+      case Opcode::Bge:
+        if (signed_ok)
+            taken ? atLeast(a, b, na, nb) : below(a, b, na, nb);
+        break;
+      default:
+        break;
+    }
+    if (in.rs1 != 0)
+        st[in.rs1] = na;
+    if (in.rs2 != 0)
+        st[in.rs2] = nb;
+}
+
+class Builder
+{
+  public:
+    Builder(const Program &prog, const Cfg &cfg, const Dataflow &df,
+            const StaticCharacterization &chr)
+        : prog_(prog), cfg_(cfg), df_(df), chr_(chr)
+    {
+        for (const CallSite &c : cfg.calls())
+            call_at_[c.instr] = &c;
+    }
+
+    const Program &prog_;
+    const Cfg &cfg_;
+    const Dataflow &df_;
+    const StaticCharacterization &chr_;
+    std::map<std::size_t, const CallSite *> call_at_;
+    std::set<unsigned> boundary_;
+    /** Loop-header clamps from certified trip counts. */
+    std::map<unsigned, std::vector<std::pair<unsigned, VRange>>>
+        tighten_;
+    std::vector<State> bin_, bout_;
+
+    /** One instruction's abstract semantics (interpreter.cc rules).
+     * Accesses that can trap (misaligned EA, zero divisor) also
+     * refine their operands: only non-trapping executions continue
+     * past the instruction. */
+    void
+    transferInstr(const InstrRecord &rec, State &st) const
+    {
+        if (!rec.decoded)
+            return;  // execution stops here; no successor state
+        const Instruction &in = rec.inst;
+        const auto uimm = static_cast<std::uint32_t>(in.imm);
+        auto setRd = [&](unsigned rd, const VRange &v) {
+            if (rd != 0)
+                st[rd] = v;
+        };
+        const VRange &a = st[in.rs1];
+        const VRange &b = st[in.rs2];
+
+        auto alignRefine = [&](unsigned size) {
+            if (size <= 1 || in.rs1 == 0)
+                return;
+            // Misaligned accesses trap (the default execution
+            // mode), so surviving paths have rs1 == -imm (mod size).
+            st[in.rs1] = VRange::meet(
+                st[in.rs1],
+                VRange::bits(size - 1, (0u - uimm) & (size - 1)));
+        };
+        auto divRefine = [&]() {
+            // A zero divisor traps: survivors have rs2 != 0.
+            if (in.rs2 == 0) {
+                st = emptyState();  // div by r0 always traps
+                return;
+            }
+            if (st[in.rs2].lo == 0)
+                st[in.rs2] = VRange::meet(
+                    st[in.rs2], VRange::interval(1, 0xffffffffu));
+        };
+
+        switch (in.op) {
+          case Opcode::Add: setRd(in.rd, VRange::add(a, b)); break;
+          case Opcode::Sub: setRd(in.rd, VRange::sub(a, b)); break;
+          case Opcode::And: setRd(in.rd, VRange::and_(a, b)); break;
+          case Opcode::Or: setRd(in.rd, VRange::or_(a, b)); break;
+          case Opcode::Xor: setRd(in.rd, VRange::xor_(a, b)); break;
+          case Opcode::Sll: setRd(in.rd, VRange::shl(a, b)); break;
+          case Opcode::Srl: setRd(in.rd, VRange::shr(a, b)); break;
+          case Opcode::Sra: setRd(in.rd, VRange::sar(a, b)); break;
+          case Opcode::Slt: setRd(in.rd, VRange::slt(a, b)); break;
+          case Opcode::Sltu: setRd(in.rd, VRange::sltu(a, b)); break;
+          case Opcode::Mul: setRd(in.rd, VRange::mul(a, b)); break;
+          case Opcode::Div: {
+            const VRange res = VRange::div(a, b);
+            divRefine();
+            setRd(in.rd, res);
+            break;
+          }
+          case Opcode::Rem: {
+            const VRange res = VRange::rem(a, b);
+            divRefine();
+            setRd(in.rd, res);
+            break;
+          }
+
+          case Opcode::Addi:
+            setRd(in.rd, VRange::add(a, VRange::constant(uimm)));
+            break;
+          case Opcode::Andi:
+            setRd(in.rd,
+                  VRange::and_(a, VRange::constant(uimm & 0xffffu)));
+            break;
+          case Opcode::Ori:
+            setRd(in.rd,
+                  VRange::or_(a, VRange::constant(uimm & 0xffffu)));
+            break;
+          case Opcode::Xori:
+            setRd(in.rd,
+                  VRange::xor_(a, VRange::constant(uimm & 0xffffu)));
+            break;
+          case Opcode::Slli:
+            setRd(in.rd, VRange::shl(a, VRange::constant(uimm & 31)));
+            break;
+          case Opcode::Srli:
+            setRd(in.rd, VRange::shr(a, VRange::constant(uimm & 31)));
+            break;
+          case Opcode::Srai:
+            setRd(in.rd, VRange::sar(a, VRange::constant(uimm & 31)));
+            break;
+          case Opcode::Slti:
+            setRd(in.rd, VRange::slt(a, VRange::constant(uimm)));
+            break;
+          case Opcode::Lui:
+            setRd(in.rd, VRange::constant(uimm << 16));
+            break;
+
+          case Opcode::Lb:
+            setRd(in.rd, VRange::top());
+            break;
+          case Opcode::Lbu:
+            setRd(in.rd, VRange::interval(0, 0xff));
+            break;
+          case Opcode::Lh:
+            alignRefine(2);
+            setRd(in.rd, VRange::top());
+            break;
+          case Opcode::Lhu:
+            alignRefine(2);
+            setRd(in.rd, VRange::interval(0, 0xffff));
+            break;
+          case Opcode::Lw:
+            alignRefine(4);
+            setRd(in.rd, VRange::top());
+            break;
+          case Opcode::Sb:
+            break;
+          case Opcode::Sh:
+            alignRefine(2);
+            break;
+          case Opcode::Sw:
+            alignRefine(4);
+            break;
+
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+          case Opcode::Bltu:
+          case Opcode::Bgeu:
+            break;
+
+          case Opcode::Jal:
+          case Opcode::Jalr:
+            if (in.rd != 0) {
+                // A call: the callee may rewrite its transitive
+                // write set (including registers it restores — a
+                // "restore" is only a restore when the callee really
+                // saved the caller's value first, which we do not
+                // prove here).
+                std::uint32_t writes = 0xfffffffeu;
+                auto it = call_at_.find(
+                    prog_.indexOf(rec.addr));
+                if (it != call_at_.end() && it->second->known)
+                    writes = df_.calleeWrites(it->second->target);
+                for (unsigned r = 1; r < 32; ++r)
+                    if (writes & (1u << r))
+                        st[r] = VRange::top();
+                setRd(in.rd,
+                      VRange::constant(static_cast<std::uint32_t>(
+                          rec.addr + 4)));
+            }
+            break;
+
+          case Opcode::Halt:
+          case Opcode::Sync:
+            break;
+        }
+    }
+
+    /** Run @p block from @p in; optionally record per-instruction
+     * before-states. Returns the block's out-state. */
+    State
+    walkBlock(unsigned block, const State &in,
+              std::vector<State> *record) const
+    {
+        const BasicBlock &bb = cfg_.block(block);
+        State st = in;
+        for (std::size_t i = bb.first; i <= bb.last; ++i) {
+            if (anyEmpty(st))
+                st = emptyState();  // point is unreachable
+            if (record)
+                (*record)[i] = st;
+            transferInstr(prog_.instr(i), st);
+        }
+        return st;
+    }
+
+    /** State flowing along the edge @p p -> @p b. */
+    State
+    edgeState(unsigned p, unsigned b) const
+    {
+        State out = bout_[p];
+        const std::size_t t = cfg_.block(p).last;
+        const InstrRecord &term = prog_.instr(t);
+        if (!term.decoded || !isBranch(term.inst.op))
+            return out;
+        const Addr taddr =
+            term.addr + 4 +
+            static_cast<Addr>(
+                static_cast<std::int64_t>(term.inst.imm) * 4);
+        const std::size_t ti = prog_.indexOf(taddr);
+        const bool contiguous =
+            t + 1 < prog_.size() &&
+            prog_.instr(t + 1).addr == term.addr + 4;
+        const bool is_taken =
+            ti != Program::npos && cfg_.blockOf(ti) == b;
+        const bool is_fall =
+            contiguous && cfg_.blockOf(t + 1) == b;
+        if (is_taken == is_fall)
+            return out;  // same block on both edges: no refinement
+        applyBranchRefine(out, term.inst, is_taken);
+        return out;
+    }
+
+    void
+    applyTighten(unsigned b, State &in) const
+    {
+        auto it = tighten_.find(b);
+        if (it == tighten_.end())
+            return;
+        for (const auto &[reg, vr] : it->second)
+            in[reg] = VRange::meet(in[reg], vr);
+    }
+
+    State
+    computeIn(unsigned b) const
+    {
+        if (boundary_.contains(b))
+            return topState();
+        State in = emptyState();
+        for (unsigned p : cfg_.block(b).preds)
+            if (cfg_.reachable()[p])
+                in = joinStates(in, edgeState(p, b));
+        return in;
+    }
+};
+
+} // namespace
+
+AbsInt
+AbsInt::build(const Program &prog, const Cfg &cfg,
+              const Dataflow &df, const StaticCharacterization &chr)
+{
+    AbsInt ai;
+    ai.prog_ = &prog;
+    const std::size_t n = prog.size();
+    ai.before_.assign(n, topState());
+    if (n == 0)
+        return ai;
+
+    // Degrade to top when any reachable control transfer is
+    // unbounded: an unresolved indirect jump can land anywhere, and
+    // a call into the unknown can come back with anything.
+    for (const BasicBlock &bb : cfg.blocks())
+        if (cfg.reachable()[bb.id] && bb.has_unknown_succ)
+            ai.top_mode_ = true;
+    for (const CallSite &c : cfg.calls())
+        if (cfg.reachable()[c.block] && !c.known)
+            ai.top_mode_ = true;
+    if (ai.top_mode_)
+        return ai;
+
+    Builder bld(prog, cfg, df, chr);
+
+    // Boundary blocks start from top: the entry (registers are
+    // runtime-seeded), callee entries (arbitrary call sites), and
+    // address-taken blocks (indirect-jump landing pads).
+    bld.boundary_.insert(cfg.entry());
+    for (const CallSite &c : cfg.calls())
+        if (c.known) {
+            const std::size_t i = prog.indexOf(c.target);
+            if (i != Program::npos)
+                bld.boundary_.insert(cfg.blockOf(i));
+        }
+    for (Addr a : cfg.addressTaken()) {
+        const std::size_t i = prog.indexOf(a);
+        if (i != Program::npos)
+            bld.boundary_.insert(cfg.blockOf(i));
+    }
+
+    // Certified loop-trip clamps: at the k-th header visit each
+    // recovered IV holds init + k*step with k <= trip, so (wrap
+    // permitting) it stays inside [init, init + step*trip] and
+    // keeps init's low bits below the step's trailing zeros.
+    for (const LoopChar &lc : chr.loops) {
+        if (!lc.trip_sound || lc.loop < 0)
+            continue;
+        const unsigned header = cfg.loops()[lc.loop].header;
+        if (bld.boundary_.contains(header))
+            continue;  // enterable around the preheader: unsound
+        for (const LoopIv &iv : lc.ivs) {
+            if (iv.reg == 0 || iv.step == 0)
+                continue;
+            const std::int64_t a = iv.init;
+            const std::int64_t b =
+                iv.init +
+                iv.step * static_cast<std::int64_t>(lc.trip);
+            const std::int64_t lo64 = std::min(a, b);
+            const std::int64_t hi64 = std::max(a, b);
+            if (lo64 < 0 || hi64 >= (std::int64_t{1} << 32))
+                continue;  // would wrap: no clamp
+            VRange clamp = VRange::interval(
+                static_cast<std::uint32_t>(lo64),
+                static_cast<std::uint32_t>(hi64));
+            const auto step_u =
+                static_cast<std::uint32_t>(iv.step);
+            const unsigned tz = static_cast<unsigned>(
+                std::countr_zero(step_u));
+            if (tz > 0 && tz < 32)
+                clamp = VRange::meet(
+                    clamp,
+                    VRange::bits(
+                        (std::uint32_t{1} << tz) - 1,
+                        static_cast<std::uint32_t>(iv.init)));
+            bld.tighten_[header].emplace_back(iv.reg, clamp);
+        }
+    }
+
+    // Fixpoint over reachable blocks in RPO, widening at
+    // retreating-edge targets from the third visit on.
+    std::vector<unsigned> order;
+    std::map<unsigned, std::size_t> pos;
+    for (unsigned b : cfg.rpo())
+        if (cfg.reachable()[b]) {
+            pos[b] = order.size();
+            order.push_back(b);
+        }
+    const std::size_t nb = cfg.size();
+    bld.bin_.assign(nb, emptyState());
+    bld.bout_.assign(nb, emptyState());
+    std::vector<bool> widen_at(nb, false);
+    for (unsigned b : order)
+        for (unsigned p : cfg.block(b).preds)
+            if (cfg.reachable()[p] && pos.contains(p) &&
+                pos[p] >= pos[b])
+                widen_at[b] = true;
+
+    std::vector<int> visits(nb, 0);
+    bool stable = false;
+    for (int pass = 0; pass < 64 && !stable; ++pass) {
+        stable = true;
+        for (unsigned b : order) {
+            State in = bld.computeIn(b);
+            ++visits[b];
+            if (widen_at[b] && visits[b] > 2)
+                for (unsigned r = 0; r < 32; ++r)
+                    in[r] = VRange::widen(bld.bin_[b][r], in[r]);
+            bld.applyTighten(b, in);
+            if (!(in == bld.bin_[b])) {
+                bld.bin_[b] = in;
+                bld.bout_[b] = bld.walkBlock(b, in, nullptr);
+                stable = false;
+            }
+        }
+    }
+    if (!stable) {
+        // Safety valve: no convergence within the pass budget.
+        ai.top_mode_ = true;
+        return ai;
+    }
+
+    // Two narrowing sweeps claw back precision the widening threw
+    // away: re-applying the (sound) transfer to a post-fixpoint
+    // stays sound, and intersecting two sound states stays sound.
+    for (int k = 0; k < 2; ++k) {
+        for (unsigned b : order) {
+            State in = bld.computeIn(b);
+            bld.applyTighten(b, in);
+            for (unsigned r = 0; r < 32; ++r)
+                in[r] = VRange::meet(bld.bin_[b][r], in[r]);
+            bld.bin_[b] = in;
+            bld.bout_[b] = bld.walkBlock(b, in, nullptr);
+        }
+    }
+
+    for (unsigned b : order)
+        bld.walkBlock(b, bld.bin_[b], &ai.before_);
+
+    // A-posteriori validation of recovered jump tables: the decoded
+    // successor set is exhaustive only if the table load provably
+    // stays inside the table. (Checking with the computed states is
+    // sound by induction on execution steps: a first out-of-range
+    // table jump would need an earlier state violation.)
+    bool contained = true;
+    for (const JumpTable &jt : cfg.jumpTables()) {
+        if (!cfg.reachable()[cfg.blockOf(jt.jump_instr)])
+            continue;
+        const VRange ea = ai.addressRange(jt.load_instr);
+        ai.table_eas_.emplace_back(jt.load_instr, ea);
+        if (ea.isEmpty())
+            continue;  // load provably never executes
+        if (!(ea.lo >= jt.begin && ea.hi < jt.end))
+            contained = false;
+    }
+    if (!contained) {
+        ai.top_mode_ = true;
+        ai.before_.assign(n, topState());
+    }
+    return ai;
+}
+
+const VRange &
+AbsInt::before(std::size_t instr, unsigned reg) const
+{
+    return before_[instr][reg];
+}
+
+VRange
+AbsInt::addressRange(std::size_t instr) const
+{
+    const InstrRecord &rec = prog_->instr(instr);
+    if (!rec.decoded)
+        return VRange::top();
+    const Opcode op = rec.inst.op;
+    if (!isLoad(op) && !isStore(op))
+        return VRange::top();
+    return VRange::add(
+        before_[instr][rec.inst.rs1],
+        VRange::constant(static_cast<std::uint32_t>(rec.inst.imm)));
+}
+
+void
+annotateRanges(const Program &prog, StaticCharacterization &chr,
+               const AbsInt &ai)
+{
+    (void)prog;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> regions;
+    bool bounded = true;
+    for (MemOpChar &m : chr.memops) {
+        const VRange ea = ai.addressRange(m.instr);
+        if (ea.isEmpty())
+            continue;  // provably never executes: no bytes
+        if (!(ea.lo == 0 && ea.hi == 0xffffffffu)) {
+            m.range_known = true;
+            m.range_begin = ea.lo;
+            m.range_end = static_cast<Addr>(ea.hi) + m.size;
+        }
+        // The footprint bound prefers the affine region (exact,
+        // hole-aware upstream) over the interval hull.
+        if (m.region_known)
+            regions.emplace_back(m.region_begin, m.region_end);
+        else if (m.range_known)
+            regions.emplace_back(m.range_begin, m.range_end);
+        else
+            bounded = false;
+    }
+    std::sort(regions.begin(), regions.end());
+    std::uint64_t bytes = 0, cur_b = 0, cur_e = 0;
+    bool open = false;
+    for (const auto &[b, e] : regions) {
+        if (open && b <= cur_e) {
+            cur_e = std::max(cur_e, e);
+        } else {
+            if (open)
+                bytes += cur_e - cur_b;
+            cur_b = b;
+            cur_e = e;
+            open = true;
+        }
+    }
+    if (open)
+        bytes += cur_e - cur_b;
+    chr.footprint_bounded = bounded;
+    chr.footprint_bound_bytes = bounded ? bytes : 0;
+}
+
+} // namespace memwall

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * AbsInt — a forward abstract interpreter over the MW32 CFG with the
+ * VRange (interval x known-bits) domain, computing a sound register
+ * state for every program point.
+ *
+ * Fixpoint structure:
+ *  - reverse-post-order worklist over reachable blocks;
+ *  - widening at retreating-edge targets (loop headers) once a block
+ *    has been revisited, followed by two narrowing sweeps;
+ *  - per-edge refinement out of conditional branches (unsigned
+ *    compares refine exactly; signed compares refine only when both
+ *    operands provably sit in a half where signed and unsigned order
+ *    agree);
+ *  - loop headers with a charact-certified trip count
+ *    (LoopChar::trip_sound) additionally clamp each recovered
+ *    induction variable to [init, init + step*trip] (wrap-checked);
+ *  - calls kill the callee's transitive write set and define the
+ *    link register; callee entries and address-taken blocks start
+ *    from top.
+ *
+ * Soundness contract (enforced by validation_absint_crosscheck):
+ * for every execution that (a) starts at the program entry with
+ * arbitrary register values, (b) runs with misaligned-access
+ * trapping enabled (the default), and (c) returns only to the
+ * continuation of the matching dynamic call (no wild `jalr r0, ra`
+ * through a clobbered link register), every register value observed
+ * immediately before an instruction executes is contained in
+ * before(instr, reg).
+ *
+ * When any reachable control transfer cannot be bounded statically —
+ * an unresolved indirect jump, a call with unknown target, or a
+ * recovered jump table whose index load is not provably contained in
+ * the table — the analysis degrades to TOP for every point
+ * (topMode()): trivially sound, never silently wrong.
+ */
+
+#ifndef MEMWALL_ANALYSIS_ABSINT_HH
+#define MEMWALL_ANALYSIS_ABSINT_HH
+
+#include <array>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/charact.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/program.hh"
+#include "analysis/vrange.hh"
+
+namespace memwall {
+
+class AbsInt
+{
+  public:
+    static AbsInt build(const Program &prog, const Cfg &cfg,
+                        const Dataflow &df,
+                        const StaticCharacterization &chr);
+
+    /** Range of @p reg immediately before instruction @p instr
+     * executes. r0 is always the constant 0. */
+    const VRange &before(std::size_t instr, unsigned reg) const;
+
+    /** Range of the effective address rs1 + imm of the load/store
+     * (or jump-table load) at @p instr. Top when not a memory op. */
+    VRange addressRange(std::size_t instr) const;
+
+    /** The analysis degraded to top everywhere (unbounded control
+     * flow); all queries return trivial answers. */
+    bool topMode() const { return top_mode_; }
+
+    /** Effective-address ranges of jump-table index loads, keyed by
+     * load instruction index, captured *before* any containment
+     * failure degrades the analysis to top. Sound for every
+     * execution up to its first out-of-table jump, which makes them
+     * usable evidence for the jump-oob diagnostic even in topMode().
+     */
+    const std::vector<std::pair<std::size_t, VRange>> &
+    tableEas() const
+    {
+        return table_eas_;
+    }
+
+  private:
+    const Program *prog_ = nullptr;
+    std::vector<std::array<VRange, 32>> before_;
+    std::vector<std::pair<std::size_t, VRange>> table_eas_;
+    bool top_mode_ = false;
+};
+
+/**
+ * Fold the abstract interpreter's results back into the
+ * characterization: fill MemOpChar::range_* for every reference the
+ * affine analysis could not bound, and compute the footprint upper
+ * bound (exact regions where known, address ranges elsewhere).
+ */
+void annotateRanges(const Program &prog,
+                    StaticCharacterization &chr, const AbsInt &ai);
+
+} // namespace memwall
+
+#endif // MEMWALL_ANALYSIS_ABSINT_HH

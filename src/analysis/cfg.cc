@@ -17,6 +17,8 @@ struct AddrVal
         TableLoad  ///< register was loaded from .word data at `value`
     } kind = Kind::Unknown;
     std::uint32_t value = 0;
+    /** For TableLoad: index of the `lw` that read the table. */
+    std::size_t load_instr = Program::npos;
 
     static AddrVal none() { return {}; }
     static AddrVal constant(std::uint32_t v)
@@ -139,7 +141,7 @@ class ChainResolver
             const AddrVal base = sub(inst.rs1);
             if (base.kind == AddrVal::Kind::Const)
                 return AddrVal{AddrVal::Kind::TableLoad,
-                               base.value + uimm};
+                               base.value + uimm, at};
             return AddrVal::none();
           }
           default:
@@ -214,8 +216,8 @@ Cfg::build(const Program &prog)
         } else if (v.kind == AddrVal::Kind::TableLoad) {
             // Decode the jump table: consecutive data words whose
             // values are instruction addresses.
-            for (Addr slot = v.value; prog.isDataWord(slot);
-                 slot += 4) {
+            Addr slot = v.value;
+            for (; prog.isDataWord(slot); slot += 4) {
                 const auto it = prog.assembled().words.find(slot);
                 if (it == prog.assembled().words.end() ||
                     prog.indexOf(it->second) == Program::npos)
@@ -224,6 +226,9 @@ Cfg::build(const Program &prog)
             }
             if (indirect_targets[i].empty())
                 indirect_unknown[i] = true;
+            else
+                cfg.jump_tables_.push_back(
+                    {i, v.load_instr, v.value, slot});
         } else {
             indirect_unknown[i] = true;
         }

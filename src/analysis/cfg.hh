@@ -57,6 +57,19 @@ struct CallSite
     bool known = false;     ///< target resolved statically
 };
 
+/** A recovered jump table: `jump_instr` is an indirect jump whose
+ * target register was loaded (by `load_instr`) from the decoded
+ * .word table at [begin, end). The recovered successor set of the
+ * jump is exhaustive only for loads that stay inside the table —
+ * mw32-lint's jump-oob check and the abstract interpreter's
+ * containment validation both key off these bounds. */
+struct JumpTable
+{
+    std::size_t jump_instr = 0;  ///< the `jalr r0` instruction
+    std::size_t load_instr = 0;  ///< the `lw` feeding its target
+    Addr begin = 0, end = 0;     ///< table bytes [begin, end)
+};
+
 /** A natural loop. */
 struct Loop
 {
@@ -129,6 +142,12 @@ class Cfg
         return address_taken_;
     }
 
+    /** Jump tables recovered while resolving indirect jumps. */
+    const std::vector<JumpTable> &jumpTables() const
+    {
+        return jump_tables_;
+    }
+
   private:
     std::vector<BasicBlock> blocks_;
     std::vector<unsigned> block_of_;
@@ -138,6 +157,7 @@ class Cfg
     std::vector<unsigned> rpo_;
     std::vector<Loop> loops_;
     std::vector<Addr> address_taken_;
+    std::vector<JumpTable> jump_tables_;
     std::vector<unsigned> rpo_num_;
     std::vector<unsigned> rootsuccs_;
     unsigned entry_ = 0;

@@ -197,6 +197,7 @@ struct LoopScope
     std::array<std::optional<std::int64_t>, 32> delta;
     std::optional<std::uint64_t> trip;
     bool top_test = false;
+    bool trip_sound = false;  ///< see LoopChar::trip_sound
 };
 
 /** Normalised continue-condition comparators (IV on the left). */
@@ -341,7 +342,8 @@ class Characterizer
     void findTrip(int li);
     std::optional<std::uint64_t> tripFromBranch(int li,
                                                 std::size_t j,
-                                                bool bottom_test);
+                                                bool bottom_test,
+                                                bool &sound);
     std::optional<std::int64_t> preheaderConst(int li,
                                                unsigned reg) const;
     std::optional<std::int64_t> strideAt(int li,
@@ -551,8 +553,10 @@ Characterizer::findTrip(int li)
                 exits = true;
         if (!exits)
             continue;
-        if (auto t = tripFromBranch(li, bb.last, true)) {
+        bool sound = false;
+        if (auto t = tripFromBranch(li, bb.last, true, sound)) {
             sc.trip = t;
+            sc.trip_sound = sound;
             return;
         }
     }
@@ -565,17 +569,21 @@ Characterizer::findTrip(int li)
             if (!loop.contains(s))
                 exits = true;
         if (exits) {
-            if (auto t = tripFromBranch(li, hb.last, false)) {
+            bool sound = false;
+            if (auto t = tripFromBranch(li, hb.last, false, sound)) {
                 sc.trip = t;
                 sc.top_test = true;
+                sc.trip_sound = sound;
             }
         }
     }
 }
 
 std::optional<std::uint64_t>
-Characterizer::tripFromBranch(int li, std::size_t j, bool bottom_test)
+Characterizer::tripFromBranch(int li, std::size_t j, bool bottom_test,
+                              bool &sound)
 {
+    sound = false;
     const Loop &loop = cfg_.loops()[li];
     const InstrRecord &rec = prog_.instr(j);
     auto cmp = cmpOf(rec.inst.op);
@@ -641,6 +649,43 @@ Characterizer::tripFromBranch(int li, std::size_t j, bool bottom_test)
         std::int64_t trips = bottom_test ? *fail + 1 : *fail;
         if (trips < 0)
             continue;
+
+        // Certify the count as a sound upper bound on header visits
+        // (the abstract interpreter may then clamp the IVs with it).
+        // The mathematical model above must provably agree with the
+        // machine: every tested value and the bound stay inside the
+        // domain where the 32-bit compare matches the exact-integer
+        // compare — [0, 2^31) for signed Blt/Bge (where signed and
+        // unsigned readings coincide), [0, 2^32) for the rest — and
+        // no intermediate value wraps. Structurally, the test must
+        // run on every round trip: the latch carrying a bottom test
+        // must be the loop's only latch, and inner loops would make
+        // the affine round-trip model depend on their own (possibly
+        // early-exiting) trip counts, so only innermost loops
+        // qualify.
+        bool ok = true;
+        const std::int64_t dom_hi =
+            (rec.inst.op == Opcode::Blt ||
+             rec.inst.op == Opcode::Bge)
+                ? (std::int64_t{1} << 31)
+                : (std::int64_t{1} << 32);
+        const std::int64_t xT = x0 + *step * trips;
+        for (std::int64_t v : {x0, xT, *bval})
+            if (v < 0 || v >= dom_hi)
+                ok = false;
+        if (bottom_test) {
+            unsigned latches = 0;
+            for (unsigned p : cfg_.block(loop.header).preds)
+                if (loop.contains(p))
+                    ++latches;
+            if (latches != 1)
+                ok = false;
+        }
+        for (std::size_t other = 0; other < cfg_.loops().size();
+             ++other)
+            if (cfg_.loops()[other].parent == li)
+                ok = false;
+        sound = ok;
         return static_cast<std::uint64_t>(trips);
     }
     return std::nullopt;
@@ -992,9 +1037,24 @@ Characterizer::run()
         lc.header_line = prog_.line(cfg_.block(loop.header).first);
         lc.depth = loop.depth;
         lc.trip = scopes_[li].trip.value_or(0);
+        lc.trip_sound = scopes_[li].trip_sound && lc.trip != 0;
         for (unsigned b : loop.blocks) {
             const BasicBlock &bb = cfg_.block(b);
             lc.body_instrs += bb.last - bb.first + 1;
+        }
+        if (lc.trip_sound) {
+            // Round-trip deltas merge over every latch path, so a
+            // recovered (init, step) pair holds on all executions
+            // entering through the preheader.
+            for (unsigned r = 1; r < 32; ++r) {
+                auto d = scopes_[li].delta[r];
+                if (!d || *d == 0)
+                    continue;
+                auto v0 = preheaderConst(static_cast<int>(li), r);
+                if (!v0)
+                    continue;
+                lc.ivs.push_back(LoopIv{r, *v0, *d});
+            }
         }
         out_.loops.push_back(lc);
     }

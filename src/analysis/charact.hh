@@ -56,6 +56,16 @@ struct MixCounts
     }
 };
 
+/** An induction variable recovered for one loop: at the k-th visit
+ * of the loop header the register holds init + k*step (as exact
+ * integers — callers must check for 32-bit wrap themselves). */
+struct LoopIv
+{
+    unsigned reg = 0;
+    std::int64_t init = 0;  ///< value on entry through the preheader
+    std::int64_t step = 0;  ///< per-round-trip delta (non-zero)
+};
+
 /** Static summary of one natural loop. */
 struct LoopChar
 {
@@ -64,6 +74,18 @@ struct LoopChar
     unsigned depth = 1;
     std::uint64_t trip = 0;  ///< 0 = unknown
     std::uint64_t body_instrs = 0;  ///< static instruction count
+
+    /** The trip count is a PROVEN upper bound on header visits for
+     * any execution entering through the preheader: the loop is
+     * innermost, has a unique controlling test, and the affine
+     * model provably agrees with the machine comparison (no 32-bit
+     * wrap, operands inside the signedness-agreeing domain). Only a
+     * sound trip may strengthen the abstract interpreter; the plain
+     * `trip` stays a best-effort prediction for the mix model. */
+    bool trip_sound = false;
+    /** Induction variables with known entry value and step; only
+     * populated when trip_sound (the two are consumed together). */
+    std::vector<LoopIv> ivs;
 };
 
 /** Static classification of one load/store site. */
@@ -95,6 +117,14 @@ struct MemOpChar
      * interval sets, which exclude inter-row holes. */
     bool region_known = false;
     Addr region_begin = 0, region_end = 0;
+
+    /** Sound effective-address bound [range_begin, range_end) from
+     * the abstract interpreter (annotateRanges in absint.hh): every
+     * dynamic access of this site falls inside it. Coarser than
+     * region_* but available for data-dependent addresses the
+     * affine analysis gives up on. */
+    bool range_known = false;
+    Addr range_begin = 0, range_end = 0;
 };
 
 /** Whole-program static characterization. */
@@ -114,6 +144,14 @@ struct StaticCharacterization
     std::uint64_t footprint_bytes = 0;
     /** Every reference's region was provable. */
     bool footprint_known = true;
+
+    /** Upper bound on the footprint: exact regions where known,
+     * abstract-interpreter address ranges elsewhere (annotateRanges
+     * fills these in). Always >= the true dynamic footprint when
+     * footprint_bounded. */
+    std::uint64_t footprint_bound_bytes = 0;
+    /** Every reference has at least a bounded address range. */
+    bool footprint_bounded = false;
 };
 
 /** Run the characterizer. */

@@ -151,21 +151,31 @@ Dataflow::transfer(const Program &prog, const Dataflow *df,
             return x * y;
         });
         break;
+      // A zero divisor traps (StopReason::DivideByZero): no value
+      // reaches rd, so only a known non-zero divisor folds. The
+      // INT_MIN / -1 case wraps like the interpreter instead of
+      // tripping host signed-overflow UB.
       case Opcode::Div:
-        fromBinary([](std::uint32_t x, std::uint32_t y) {
-            return y == 0 ? 0xffffffffu
-                          : static_cast<std::uint32_t>(
-                                static_cast<std::int32_t>(x) /
-                                static_cast<std::int32_t>(y));
-        });
+        if (a && b && *b != 0) {
+            set(*b == 0xffffffffu
+                    ? std::uint32_t{0} - *a
+                    : static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(*a) /
+                          static_cast<std::int32_t>(*b)));
+        } else {
+            state.kill(rd);
+        }
         break;
       case Opcode::Rem:
-        fromBinary([](std::uint32_t x, std::uint32_t y) {
-            return y == 0 ? x
-                          : static_cast<std::uint32_t>(
-                                static_cast<std::int32_t>(x) %
-                                static_cast<std::int32_t>(y));
-        });
+        if (a && b && *b != 0) {
+            set(*b == 0xffffffffu
+                    ? 0u
+                    : static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(*a) %
+                          static_cast<std::int32_t>(*b)));
+        } else {
+            state.kill(rd);
+        }
         break;
       case Opcode::Addi:
         fromUnary([&](std::uint32_t x) { return x + uimm; });

@@ -1,7 +1,10 @@
 #include "analysis/lint.hh"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
+
+#include "isa/opcodes.hh"
 
 namespace memwall {
 
@@ -9,7 +12,8 @@ namespace {
 
 const std::vector<std::string> kIds = {
     "use-undef",   "dead-store",   "unreachable", "uninit-load",
-    "misaligned",  "call-clobber", "no-exit-loop",
+    "misaligned",  "call-clobber", "no-exit-loop", "div-by-zero",
+    "oob-access",  "jump-oob",
 };
 
 std::string
@@ -51,7 +55,13 @@ struct Linter
     const Cfg &cfg;
     const Dataflow &df;
     const StaticCharacterization &chr;
+    const AbsInt &ai;
     std::vector<Diagnostic> out;
+    /** Instructions the charact-based memory checks already
+     * reported, so the range-strengthened variants don't repeat
+     * them under the same ID. */
+    std::set<std::size_t> mis_reported;
+    std::set<std::size_t> uninit_reported;
 
     void
     report(const char *id, std::size_t instr, std::string msg)
@@ -76,6 +86,11 @@ struct Linter
     void checkMemory();   // uninit-load + misaligned
     void checkCallClobber();
     void checkNoExitLoop();
+    // Range-driven checks (AbsInt): provable violations only.
+    void checkDivByZero();
+    void checkOob();
+    void checkJumpOob();
+    void checkRangeMemory();  // strengthened misaligned/uninit-load
 };
 
 void
@@ -156,11 +171,13 @@ Linter::checkMemory()
                       m.stride % static_cast<std::int64_t>(m.size) ==
                           0;
         }
-        if (mis)
+        if (mis) {
             report("misaligned", m.instr,
                    "misaligned " + std::to_string(m.size) +
                        "-byte access at " + hexAddr(m.region_begin) +
                        " (traps at runtime by default)");
+            mis_reported.insert(m.instr);
+        }
 
         if (m.is_store || !stores_known || !m.region_known)
             continue;
@@ -173,11 +190,13 @@ Linter::checkMemory()
                 s.region_begin < m.region_end &&
                 m.region_begin < s.region_end)
                 covered = true;
-        if (!covered)
+        if (!covered) {
             report("uninit-load", m.instr,
                    "load from .space region at " +
                        hexAddr(m.region_begin) +
                        " which no store ever initialises");
+            uninit_reported.insert(m.instr);
+        }
     }
 }
 
@@ -230,6 +249,157 @@ Linter::checkNoExitLoop()
     }
 }
 
+void
+Linter::checkDivByZero()
+{
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const InstrRecord &rec = prog.instr(i);
+        if (!rec.decoded || !reachableInstr(i))
+            continue;
+        if (rec.inst.op != Opcode::Div && rec.inst.op != Opcode::Rem)
+            continue;
+        const VRange &d = ai.before(i, rec.inst.rs2);
+        if (d.isEmpty())
+            continue;  // point provably never executes
+        if (d.isConstant() && d.lo == 0)
+            report("div-by-zero", i,
+                   "divisor " + regName(rec.inst.rs2) +
+                       " is provably zero (traps at runtime)");
+    }
+}
+
+void
+Linter::checkOob()
+{
+    const SourceMap &sm = prog.assembled().source_map;
+    // Without declared data the program is address soup (or built
+    // programmatically); any address is as good as another.
+    if (sm.data_lines.empty() && sm.space_regions.empty())
+        return;
+    // The assembled footprint: every emitted word plus every .space
+    // reservation, as a sorted merged interval set.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sect;
+    for (const auto &[a, w] : prog.assembled().words) {
+        (void)w;
+        sect.emplace_back(a, a + 4);
+    }
+    for (const auto &[b, e] : sm.space_regions)
+        sect.emplace_back(b, e);
+    std::sort(sect.begin(), sect.end());
+
+    for (const MemOpChar &m : chr.memops) {
+        if (!reachableInstr(m.instr))
+            continue;
+        const InstrRecord &rec = prog.instr(m.instr);
+        // Stack traffic through r30 addresses memory the program
+        // never declares; that is the calling convention, not a bug.
+        if (rec.inst.rs1 == 30)
+            continue;
+        const VRange ea = ai.addressRange(m.instr);
+        if (ea.isEmpty() || ea.isTop())
+            continue;
+        const std::uint64_t b = ea.lo;
+        const std::uint64_t e =
+            static_cast<std::uint64_t>(ea.hi) + m.size;
+        bool hits = false;
+        for (const auto &[sb, se] : sect)
+            if (sb < e && b < se) {
+                hits = true;
+                break;
+            }
+        if (!hits)
+            report("oob-access", m.instr,
+                   std::string(m.is_store ? "store" : "load") +
+                       " provably outside every assembled section "
+                       "(address in [" +
+                       hexAddr(ea.lo) + ", " + hexAddr(ea.hi) + "])");
+    }
+}
+
+void
+Linter::checkJumpOob()
+{
+    for (const JumpTable &jt : cfg.jumpTables()) {
+        if (!reachableInstr(jt.jump_instr))
+            continue;
+        const VRange *ea = nullptr;
+        for (const auto &[li, r] : ai.tableEas())
+            if (li == jt.load_instr)
+                ea = &r;
+        if (ea == nullptr || ea->isEmpty() || ea->isTop())
+            continue;
+        const std::uint64_t b = ea->lo;
+        const std::uint64_t e = static_cast<std::uint64_t>(ea->hi) + 4;
+        if (e <= jt.begin || b >= jt.end)
+            report("jump-oob", jt.load_instr,
+                   "jump-table index load provably outside the "
+                   "table at [" +
+                       hexAddr(jt.begin) + ", " + hexAddr(jt.end) +
+                       ")");
+    }
+}
+
+void
+Linter::checkRangeMemory()
+{
+    // Strengthened misaligned: the known low bits of the effective
+    // address prove every execution breaks alignment, even when no
+    // affine region was recovered.
+    for (const MemOpChar &m : chr.memops) {
+        if (m.size <= 1 || mis_reported.contains(m.instr) ||
+            !reachableInstr(m.instr))
+            continue;
+        const VRange ea = ai.addressRange(m.instr);
+        if (ea.isEmpty())
+            continue;
+        const std::uint32_t low = m.size - 1;
+        if ((ea.known_mask & low) == low &&
+            (ea.known_val & low) != 0)
+            report("misaligned", m.instr,
+                   "misaligned " + std::to_string(m.size) +
+                       "-byte access (address is provably " +
+                       std::to_string(ea.known_val & low) + " mod " +
+                       std::to_string(m.size) +
+                       "; traps at runtime by default)");
+    }
+
+    // Strengthened uninit-load: the load's address range sits
+    // entirely in .space and every store's (sound) address range
+    // misses it — so no execution can have initialised any byte the
+    // load might read. Needs every store bounded.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> stores;
+    for (const MemOpChar &s : chr.memops) {
+        if (!s.is_store)
+            continue;
+        if (!s.range_known)
+            return;  // an unbounded store may initialise anything
+        stores.emplace_back(s.range_begin, s.range_end);
+    }
+    for (const MemOpChar &m : chr.memops) {
+        if (m.is_store || uninit_reported.contains(m.instr) ||
+            !m.range_known || !reachableInstr(m.instr))
+            continue;
+        const std::uint64_t b = m.range_begin, e = m.range_end;
+        if (e - b > 4096)
+            continue;  // keep the byte scan cheap
+        bool in_space = true;
+        for (std::uint64_t a = b; a < e; ++a)
+            if (!prog.inSpace(a))
+                in_space = false;
+        if (!in_space)
+            continue;
+        bool covered = false;
+        for (const auto &[sb, se] : stores)
+            if (sb < e && b < se)
+                covered = true;
+        if (!covered)
+            report("uninit-load", m.instr,
+                   "load from .space bytes in [" + hexAddr(b) + ", " +
+                       hexAddr(e) +
+                       ") which no store ever initialises");
+    }
+}
+
 } // namespace
 
 std::string
@@ -244,9 +414,9 @@ Diagnostic::format(const std::string &file) const
 
 std::vector<Diagnostic>
 lint(const Program &prog, const Cfg &cfg, const Dataflow &df,
-     const StaticCharacterization &chr)
+     const StaticCharacterization &chr, const AbsInt &ai)
 {
-    Linter l{prog, cfg, df, chr, {}};
+    Linter l{prog, cfg, df, chr, ai, {}, {}, {}};
     if (prog.size() != 0) {
         l.checkUnreachable();
         l.checkUseUndef();
@@ -254,6 +424,10 @@ lint(const Program &prog, const Cfg &cfg, const Dataflow &df,
         l.checkMemory();
         l.checkCallClobber();
         l.checkNoExitLoop();
+        l.checkDivByZero();
+        l.checkOob();
+        l.checkJumpOob();
+        l.checkRangeMemory();
     }
     std::stable_sort(l.out.begin(), l.out.end(),
                      [](const Diagnostic &a, const Diagnostic &b) {
@@ -269,7 +443,9 @@ lintProgram(const AssembledProgram &asmprog)
     Cfg cfg = Cfg::build(prog);
     Dataflow df = Dataflow::build(prog, cfg);
     StaticCharacterization chr = characterize(prog, cfg, df);
-    return lint(prog, cfg, df, chr);
+    AbsInt ai = AbsInt::build(prog, cfg, df, chr);
+    annotateRanges(prog, chr, ai);
+    return lint(prog, cfg, df, chr, ai);
 }
 
 bool

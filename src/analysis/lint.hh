@@ -2,8 +2,9 @@
  * @file
  * The mw32-lint diagnostics pass.
  *
- * Seven checks over the CFG/dataflow/characterization results, each
- * with a stable ID that `--error-on` can promote to an error:
+ * Ten checks over the CFG/dataflow/characterization/abstract-
+ * interpretation results, each with a stable ID that `--error-on`
+ * can promote to an error:
  *
  *   use-undef     read of a register no path ever defines
  *   dead-store    definition overwritten before any read
@@ -12,12 +13,22 @@
  *   misaligned    access whose provable address breaks alignment
  *   call-clobber  caller value live across a call that clobbers it
  *   no-exit-loop  natural loop with no exit edge and no way to halt
+ *   div-by-zero   div/rem whose divisor is provably zero (traps)
+ *   oob-access    access provably outside every assembled section
+ *   jump-oob      jump-table index load provably outside the table
  *
  * All checks run on reachable code only (except `unreachable`
  * itself) and are tuned to be quiet on the idioms the corpus
  * actually uses: calls conservatively use/define everything, exits
  * keep every register live, and callee save/restore through the
  * stack is recognised — see dataflow.hh for the conventions.
+ *
+ * The last three checks (and the range-strengthened variants of
+ * `misaligned` and `uninit-load`) consume AbsInt value ranges and
+ * fire only on *provable* violations — a diagnostic is emitted only
+ * when every execution reaching the instruction exhibits the
+ * behaviour, so they have zero false positives by construction.
+ * validation_absint_crosscheck enforces this dynamically.
  */
 
 #ifndef MEMWALL_ANALYSIS_LINT_HH
@@ -26,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.hh"
 #include "analysis/cfg.hh"
 #include "analysis/charact.hh"
 #include "analysis/dataflow.hh"
@@ -50,7 +62,8 @@ struct Diagnostic
 /** Run every check. Diagnostics are sorted by source line. */
 std::vector<Diagnostic> lint(const Program &prog, const Cfg &cfg,
                              const Dataflow &df,
-                             const StaticCharacterization &chr);
+                             const StaticCharacterization &chr,
+                             const AbsInt &ai);
 
 /** Convenience wrapper: build the whole pipeline and lint. */
 std::vector<Diagnostic> lintProgram(const AssembledProgram &prog);

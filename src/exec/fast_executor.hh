@@ -25,7 +25,8 @@
  *     instruction budget landing mid-trace cuts the trace short
  *     (StopReason::InstrLimit with the pc after the last retired
  *     instruction), a misaligned access warns, records faultAddr()
- *     and stops with AlignmentFault without retiring, an
+ *     and stops with AlignmentFault without retiring, a zero
+ *     divisor warns and stops with DivideByZero without retiring, an
  *     undecodable word stops with BadInstruction after emitting its
  *     fetch ref, and halt retires with the pc left on the halt.
  *
@@ -260,6 +261,19 @@ class FastExecutor
         }                                                             \
     } while (0)
 
+// Divide-by-zero side exit: warn exactly like Interpreter::step, do
+// not retire the faulting op, stop at its pc.
+#define MW_EXEC_DIVZERO_CHECK(sb)                                     \
+    do {                                                              \
+        if ((sb) == 0) {                                              \
+            MW_WARN("divide by zero at pc 0x", std::hex, op->pc,      \
+                    std::dec);                                        \
+            interp_.last_stop_ = StopReason::DivideByZero;            \
+            interp_.state_.pc = op->pc;                               \
+            goto flush_and_stop;                                      \
+        }                                                             \
+    } while (0)
+
 template <bool kTrap, bool kEmit, typename Sink>
 StopReason
 FastExecutor::runLoop(std::uint64_t max, Sink &sink)
@@ -441,10 +455,11 @@ FastExecutor::runLoop(std::uint64_t max, Sink &sink)
         {
             const auto sa = static_cast<std::int32_t>(r[op->rs1]);
             const auto sb = static_cast<std::int32_t>(r[op->rs2]);
-            r[op->rd] = sb == 0    ? 0xffffffffu
-                        : sb == -1 ? std::uint32_t{0} - r[op->rs1]
-                                   : static_cast<std::uint32_t>(
-                                         sa / sb);
+            MW_EXEC_DIVZERO_CHECK(sb);
+            if (op->rd != 0)
+                r[op->rd] = sb == -1
+                                ? std::uint32_t{0} - r[op->rs1]
+                                : static_cast<std::uint32_t>(sa / sb);
         }
         ++n_ret;
         MW_EXEC_NEXT();
@@ -453,10 +468,11 @@ FastExecutor::runLoop(std::uint64_t max, Sink &sink)
         {
             const auto sa = static_cast<std::int32_t>(r[op->rs1]);
             const auto sb = static_cast<std::int32_t>(r[op->rs2]);
-            r[op->rd] = sb == 0    ? r[op->rs1]
-                        : sb == -1 ? 0
-                                   : static_cast<std::uint32_t>(
-                                         sa % sb);
+            MW_EXEC_DIVZERO_CHECK(sb);
+            if (op->rd != 0)
+                r[op->rd] = sb == -1
+                                ? 0
+                                : static_cast<std::uint32_t>(sa % sb);
         }
         ++n_ret;
         MW_EXEC_NEXT();
@@ -819,6 +835,7 @@ FastExecutor::runLoop(std::uint64_t max, Sink &sink)
 #undef MW_EXEC_NEXT
 #undef MW_EXEC_FETCH
 #undef MW_EXEC_ALIGN_CHECK
+#undef MW_EXEC_DIVZERO_CHECK
 
 } // namespace memwall
 

@@ -44,6 +44,15 @@ Interpreter::step(const RefSink *sink)
         return true;
     };
 
+    auto divideByZero = [&](std::int32_t divisor) {
+        if (divisor != 0)
+            return false;
+        MW_WARN("divide by zero at pc 0x", std::hex, pc, std::dec);
+        last_stop_ = StopReason::DivideByZero;
+        --stats_.instructions;  // the faulting div/rem doesn't retire
+        return true;
+    };
+
     auto branch = [&](bool take) {
         ++stats_.branches;
         if (take) {
@@ -73,19 +82,23 @@ Interpreter::step(const RefSink *sink)
         state_.setReg(inst.rd, a < b ? 1 : 0);
         break;
       case Opcode::Mul: state_.setReg(inst.rd, a * b); break;
-      // Division overflow (INT_MIN / -1) wraps like the hardware
-      // instead of tripping signed-overflow UB in the host.
+      // A zero divisor traps with DivideByZero rather than producing
+      // an incidental value; division overflow (INT_MIN / -1) wraps
+      // like the hardware instead of tripping signed-overflow UB in
+      // the host.
       case Opcode::Div:
+        if (divideByZero(sb))
+            return false;
         state_.setReg(inst.rd,
-                      sb == 0    ? 0xffffffffu
-                      : sb == -1 ? std::uint32_t{0} - a
-                                 : static_cast<std::uint32_t>(sa / sb));
+                      sb == -1 ? std::uint32_t{0} - a
+                               : static_cast<std::uint32_t>(sa / sb));
         break;
       case Opcode::Rem:
+        if (divideByZero(sb))
+            return false;
         state_.setReg(inst.rd,
-                      sb == 0    ? a
-                      : sb == -1 ? 0
-                                 : static_cast<std::uint32_t>(sa % sb));
+                      sb == -1 ? 0
+                               : static_cast<std::uint32_t>(sa % sb));
         break;
 
       case Opcode::Addi: state_.setReg(inst.rd, a + uimm); break;

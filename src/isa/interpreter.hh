@@ -42,7 +42,8 @@ enum class StopReason {
     Halted,         ///< executed a halt instruction
     InstrLimit,     ///< reached the max_instructions budget
     BadInstruction, ///< decoded an invalid opcode
-    AlignmentFault  ///< misaligned word/halfword access (trap on)
+    AlignmentFault, ///< misaligned word/halfword access (trap on)
+    DivideByZero    ///< div/rem with a zero divisor
 };
 
 /** Execution statistics of an interpreter run. */

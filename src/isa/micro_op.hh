@@ -15,7 +15,8 @@
  *  - shift immediates are pre-masked to 5 bits;
  *  - lui carries the final 32-bit constant (kind LoadConst);
  *  - addi/ori with rs1 == r0 also fold to LoadConst;
- *  - ALU ops writing r0 fold to Nop (retires, defines nothing);
+ *  - ALU ops writing r0 fold to Nop (retires, defines nothing) —
+ *    except Div/Rem, which can trap and so always keep their kind;
  *  - branch/jal displacements are pre-scaled to byte offsets from
  *    the instruction's own pc (disp = imm*4 + 4);
  *  - undecodable words become kind BadWord carrying the raw word so
@@ -147,8 +148,10 @@ lowerMicroOp(const Instruction &inst, Addr pc, bool decoded,
       case Opcode::Slt: alu(MicroKind::Slt); break;
       case Opcode::Sltu: alu(MicroKind::Sltu); break;
       case Opcode::Mul: alu(MicroKind::Mul); break;
-      case Opcode::Div: alu(MicroKind::Div); break;
-      case Opcode::Rem: alu(MicroKind::Rem); break;
+      // Div/Rem can trap (DivideByZero) even with rd == r0, so they
+      // never fold to Nop; the handler discards the r0 write instead.
+      case Opcode::Div: op.kind = MicroKind::Div; break;
+      case Opcode::Rem: op.kind = MicroKind::Rem; break;
 
       case Opcode::Addi:
         if (inst.rs1 == 0) {

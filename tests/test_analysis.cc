@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <string>
 
+#include "analysis/absint.hh"
 #include "analysis/cfg.hh"
 #include "analysis/charact.hh"
 #include "analysis/dataflow.hh"
 #include "analysis/program.hh"
+#include "analysis/vrange.hh"
 #include "isa/assembler.hh"
 
 using namespace memwall;
@@ -365,4 +367,258 @@ TEST(Charact, DataDependentAccessDegradesToUnknown)
     EXPECT_EQ(chr.memops[0].kind, MemOpChar::Kind::Strided);
     EXPECT_EQ(chr.memops[1].kind, MemOpChar::Kind::Unknown);
     EXPECT_FALSE(chr.footprint_known);
+}
+
+TEST(Dataflow, R0FoldsToZeroThroughCalls)
+{
+    // r0 is architecture-constant: a call's may-def set must never
+    // cover it, and constants derived from r0 after the call must
+    // still fold.
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    jal  ra, f\n"
+        "    addi r1, r0, 7\n"
+        "    add  r2, r1, r1\n"
+        "    halt\n"
+        "f:\n"
+        "    addi r1, r0, 9\n"
+        "    ret\n");
+
+    const std::size_t after_call = a.prog.indexOf(0x1004);
+    // r0 is always-defined by convention, before and after calls.
+    EXPECT_TRUE(a.df.mayDefIn(after_call) & 1u);
+    EXPECT_TRUE(a.df.mayDefIn(a.prog.indexOf(0x1000)) & 1u);
+    const auto z = a.df.constBefore(after_call, 0);
+    ASSERT_TRUE(z.has_value());
+    EXPECT_EQ(*z, 0u);
+    const auto v = a.df.constBefore(a.prog.indexOf(0x1008), 1);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7u);
+}
+
+TEST(Dataflow, SaveRestoreRecognizedAcrossNestedCalls)
+{
+    // f spills r5 around a nested call to g, which spills it again
+    // in its own frame. Both callee summaries must report r5 as
+    // written but NOT clobbered (the frame restores it).
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    jal  ra, f\n"
+        "    halt\n"
+        "f:\n"
+        "    addi sp, sp, -8\n"
+        "    sw   r5, 0(sp)\n"
+        "    sw   ra, 4(sp)\n"
+        "    addi r5, r0, 1\n"
+        "    jal  ra, g\n"
+        "    lw   r5, 0(sp)\n"
+        "    lw   ra, 4(sp)\n"
+        "    addi sp, sp, 8\n"
+        "    ret\n"
+        "g:\n"
+        "    addi sp, sp, -4\n"
+        "    sw   r5, 0(sp)\n"
+        "    addi r5, r0, 2\n"
+        "    lw   r5, 0(sp)\n"
+        "    addi sp, sp, 4\n"
+        "    ret\n");
+
+    const Addr f = a.prog.assembled().symbol("f");
+    const Addr g = a.prog.assembled().symbol("g");
+    EXPECT_TRUE(a.df.calleeWrites(f) & (1u << 5));
+    EXPECT_FALSE(a.df.calleeClobbers(f) & (1u << 5));
+    EXPECT_TRUE(a.df.calleeWrites(g) & (1u << 5));
+    EXPECT_FALSE(a.df.calleeClobbers(g) & (1u << 5));
+}
+
+TEST(Cfg, JumpTableLastInDataSection)
+{
+    // The table decode walk runs to the very end of the assembled
+    // image: nothing follows the table, so the walk must stop at
+    // the last word without running off the map.
+    Analyzed a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    li   r1, table\n"
+        "    lw   r2, 0(r1)\n"
+        "    jalr r0, r2, 0\n"
+        "case0:\n"
+        "    halt\n"
+        "case1:\n"
+        "    halt\n"
+        "table:\n"
+        "    .word case0\n"
+        "    .word case1\n");
+
+    const unsigned jumper = a.blockAt(0x1000);
+    EXPECT_FALSE(a.cfg.block(jumper).has_unknown_succ);
+    ASSERT_EQ(a.cfg.jumpTables().size(), 1u);
+    const JumpTable &jt = a.cfg.jumpTables()[0];
+    const Addr table = a.prog.assembled().symbol("table");
+    EXPECT_EQ(jt.begin, table);
+    EXPECT_EQ(jt.end, table + 8);
+    EXPECT_EQ(a.prog.instr(jt.jump_instr).inst.op, Opcode::Jalr);
+    EXPECT_EQ(a.prog.instr(jt.load_instr).inst.op, Opcode::Lw);
+}
+
+TEST(VRange, IntervalAndBitsStayReduced)
+{
+    const VRange iv = VRange::interval(0x10, 0x13);
+    EXPECT_TRUE((iv.known_mask & 0xfffffffcu) == 0xfffffffcu);
+    EXPECT_EQ(iv.known_val & 0xfffffffcu, 0x10u);
+
+    const VRange b = VRange::bits(0x3, 0x0);
+    EXPECT_EQ(b.lo, 0u);
+    EXPECT_EQ(b.hi, 0xfffffffcu);
+    EXPECT_TRUE(b.contains(0x100u));
+    EXPECT_FALSE(b.contains(0x101u));
+}
+
+TEST(VRange, LatticeOperations)
+{
+    const VRange a = VRange::interval(4, 8);
+    const VRange b = VRange::interval(6, 20);
+    const VRange j = VRange::join(a, b);
+    EXPECT_EQ(j.lo, 4u);
+    EXPECT_EQ(j.hi, 20u);
+    const VRange m = VRange::meet(a, b);
+    EXPECT_EQ(m.lo, 6u);
+    EXPECT_EQ(m.hi, 8u);
+    EXPECT_TRUE(VRange::meet(VRange::constant(1),
+                             VRange::constant(2)).isEmpty());
+    // Widening blows an unstable bound to the domain extreme, but
+    // known bits shared by both steps still clamp it: [0,4] and
+    // [0,5] agree that bits 31..3 are zero, so the widened top is 7.
+    const VRange w =
+        VRange::widen(VRange::interval(0, 4), VRange::interval(0, 5));
+    EXPECT_EQ(w.lo, 0u);
+    EXPECT_EQ(w.hi, 7u);
+    // With no surviving bits the bound goes all the way.
+    const VRange w2 = VRange::widen(
+        VRange::interval(0, 0x7fffffffu),
+        VRange::interval(0, 0x80000000u));
+    EXPECT_EQ(w2.hi, 0xffffffffu);
+}
+
+TEST(VRange, TransfersAreExactOnConstantsAndSoundOnWrap)
+{
+    const VRange c = VRange::add(VRange::constant(3),
+                                 VRange::constant(4));
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.lo, 7u);
+    // A potentially wrapping add over-approximates to top rather
+    // than producing a wrapped (unsound) interval.
+    const VRange w = VRange::add(VRange::interval(0xfffffff0u,
+                                                  0xffffffffu),
+                                 VRange::interval(0, 0x100));
+    EXPECT_TRUE(w.contains(0u));
+    EXPECT_TRUE(w.contains(0xfffffff0u));
+    // Masking keeps the result inside the mask.
+    const VRange m = VRange::and_(VRange::top(),
+                                  VRange::constant(0xc));
+    EXPECT_TRUE(m.hi <= 0xcu);
+    EXPECT_FALSE(m.contains(1u));
+}
+
+namespace {
+
+/** Analyzed plus the characterizer and abstract interpreter. */
+struct Ranged : Analyzed
+{
+    StaticCharacterization chr;
+    AbsInt ai;
+
+    explicit Ranged(const std::string &src)
+        : Analyzed(src),
+          chr(characterize(prog, cfg, df)),
+          ai(AbsInt::build(prog, cfg, df, chr))
+    {
+    }
+
+    /** Index of the first instruction satisfying @p pred. */
+    template <typename Pred>
+    std::size_t
+    firstInstr(Pred pred) const
+    {
+        for (std::size_t i = 0; i < prog.size(); ++i)
+            if (pred(prog.instr(i).inst))
+                return i;
+        return Program::npos;
+    }
+};
+
+} // namespace
+
+TEST(AbsInt, CountedLoopIndexBounded)
+{
+    Ranged a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    li   r10, 0x20000\n"
+        "    addi r5, r0, 8\n"
+        "    addi r1, r0, 0\n"
+        "loop:\n"
+        "    slli r2, r1, 2\n"
+        "    add  r3, r10, r2\n"
+        "    sw   r1, 0(r3)\n"
+        "    addi r1, r1, 1\n"
+        "    bne  r1, r5, loop\n"
+        "    halt\n");
+
+    ASSERT_FALSE(a.ai.topMode());
+    const std::size_t st = a.firstInstr(
+        [](const Instruction &in) { return in.op == Opcode::Sw; });
+    ASSERT_NE(st, Program::npos);
+    const VRange idx = a.ai.before(st, 1);
+    EXPECT_EQ(idx.lo, 0u);
+    EXPECT_EQ(idx.hi, 7u);
+    const VRange ea = a.ai.addressRange(st);
+    EXPECT_EQ(ea.lo, 0x20000u);
+    EXPECT_EQ(ea.hi, 0x2001cu);
+    // Word alignment of the strided address is known bit-wise.
+    EXPECT_EQ(ea.known_mask & 0x3u, 0x3u);
+    EXPECT_EQ(ea.known_val & 0x3u, 0u);
+}
+
+TEST(AbsInt, BranchRefinementNarrowsGuardedValue)
+{
+    Ranged a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    li   r2, 0x20000\n"
+        "    lw   r1, 0(r2)\n"
+        "    addi r3, r0, 16\n"
+        "    bltu r1, r3, small\n"
+        "    halt\n"
+        "small:\n"
+        "    add  r4, r1, r0\n"
+        "    halt\n");
+
+    ASSERT_FALSE(a.ai.topMode());
+    const std::size_t use = a.prog.indexOf(
+        a.prog.assembled().symbol("small"));
+    ASSERT_NE(use, Program::npos);
+    const VRange r = a.ai.before(use, 1);
+    EXPECT_EQ(r.lo, 0u);
+    EXPECT_EQ(r.hi, 15u);
+}
+
+TEST(AbsInt, UnknownIndirectDegradesToTopMode)
+{
+    Ranged a(
+        ".org 0x1000\n"
+        "start:\n"
+        "    lw   r2, 0(r5)\n"
+        "    jalr r0, r2, 0\n"
+        "other:\n"
+        "    halt\n"
+        "ptr:\n"
+        "    .word other\n");
+
+    EXPECT_TRUE(a.ai.topMode());
+    // Top mode still answers queries, conservatively.
+    EXPECT_TRUE(a.ai.before(0, 5).isTop());
+    EXPECT_TRUE(a.ai.before(0, 0).isConstant());
 }

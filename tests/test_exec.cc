@@ -171,16 +171,31 @@ TEST(FastExec, DivisionOverflowEquivalence)
         addi r2, r0, -1
         div  r3, r1, r2
         rem  r4, r1, r2
-        div  r5, r1, r0
-        rem  r6, r1, r0
         halt
     )");
     m.expectLockstep(100);
     // INT_MIN / -1 wraps; INT_MIN % -1 is zero (no UB on the host).
     EXPECT_EQ(m.fcpu.state().reg(3), 0x80000000u);
     EXPECT_EQ(m.fcpu.state().reg(4), 0u);
-    EXPECT_EQ(m.fcpu.state().reg(5), 0xffffffffu);
-    EXPECT_EQ(m.fcpu.state().reg(6), 0x80000000u);
+}
+
+TEST(FastExec, DivideByZeroFaultMidTrace)
+{
+    // The trapping div sits mid-trace between retiring adds: the
+    // side exit must stop at its pc without retiring it — exactly
+    // like the interpreter, even with rd == r0.
+    DualMachine m(R"(
+        addi r1, r0, 1
+        addi r2, r0, 2
+        div  r0, r1, r0
+        addi r4, r0, 4
+        halt
+    )");
+    m.expectLockstep(100);
+    EXPECT_EQ(m.fcpu.lastStop(), StopReason::DivideByZero);
+    EXPECT_EQ(m.fcpu.stats().instructions, 2u);
+    EXPECT_EQ(m.fcpu.state().reg(4), 0u);
+    EXPECT_EQ(m.fcpu.state().pc, m.prog.entry + 8);
 }
 
 TEST(FastExec, InstrLimitMidTrace)

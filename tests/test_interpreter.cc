@@ -154,13 +154,38 @@ TEST(Interpreter, DivisionSemantics)
         addi r2, r0, 2
         div  r3, r1, r2
         rem  r4, r1, r2
-        div  r5, r1, r0    ; divide by zero -> all ones
         halt
     )");
     m.cpu.run(100);
     EXPECT_EQ(m.cpu.state().reg(3), 3u);
     EXPECT_EQ(m.cpu.state().reg(4), 1u);
-    EXPECT_EQ(m.cpu.state().reg(5), 0xffffffffu);
+}
+
+TEST(Interpreter, DivideByZeroTraps)
+{
+    TestMachine m(R"(
+        addi r1, r0, 7
+        div  r5, r1, r0    ; zero divisor -> trap
+        halt
+    )");
+    const Addr entry = m.cpu.state().pc;
+    EXPECT_EQ(m.cpu.run(100), StopReason::DivideByZero);
+    // The faulting div doesn't retire, writes nothing, and leaves
+    // the pc on itself.
+    EXPECT_EQ(m.cpu.stats().instructions, 1u);
+    EXPECT_EQ(m.cpu.state().reg(5), 0u);
+    EXPECT_EQ(m.cpu.state().pc, entry + 4);
+}
+
+TEST(Interpreter, RemainderByZeroTraps)
+{
+    TestMachine m(R"(
+        addi r1, r0, 7
+        rem  r0, r1, r0    ; traps even though rd is r0
+        halt
+    )");
+    EXPECT_EQ(m.cpu.run(100), StopReason::DivideByZero);
+    EXPECT_EQ(m.cpu.stats().instructions, 1u);
 }
 
 TEST(Interpreter, InstructionLimitStops)

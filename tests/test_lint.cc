@@ -191,6 +191,173 @@ TEST(Lint, NoExitLoopSilencedByExitEdge)
     EXPECT_TRUE(diags.empty());
 }
 
+TEST(Lint, DivByZero)
+{
+    const auto diags = lintSrc(".org 0x1000\n"          // 1
+                               "start:\n"               // 2
+                               "    addi r1, r0, 7\n"   // 3
+                               "    div  r2, r1, r0\n"  // 4
+                               "    halt\n");           // 5
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "div-by-zero");
+    EXPECT_EQ(diags[0].line, 4u);
+}
+
+TEST(Lint, DivByZeroThroughRange)
+{
+    // The divisor is zero through a (constant-range) computation,
+    // not literally r0.
+    const auto diags = lintSrc(".org 0x1000\n"          // 1
+                               "start:\n"               // 2
+                               "    addi r1, r0, 5\n"   // 3
+                               "    sub  r1, r1, r1\n"  // 4
+                               "    addi r2, r0, 9\n"   // 5
+                               "    rem  r3, r2, r1\n"  // 6
+                               "    halt\n");           // 7
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "div-by-zero");
+    EXPECT_EQ(diags[0].line, 6u);
+}
+
+TEST(Lint, DivByZeroSilencedByNonzeroRange)
+{
+    const auto diags = lintSrc(".org 0x1000\n"
+                               "start:\n"
+                               "    addi r1, r0, 4\n"
+                               "    addi r2, r0, 20\n"
+                               "    div  r3, r2, r1\n"
+                               "    halt\n");
+    EXPECT_EQ(countId(diags, "div-by-zero"), 0u);
+}
+
+TEST(Lint, OobAccess)
+{
+    const auto diags = lintSrc(".org 0x1000\n"           // 1
+                               "start:\n"                // 2
+                               "    li   r1, 0x90000\n"  // 3
+                               "    sw   r0, 0(r1)\n"    // 4
+                               "    halt\n"              // 5
+                               "buf:\n"                  // 6
+                               "    .word 1\n");         // 7
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].id, "oob-access");
+    EXPECT_EQ(diags[0].line, 4u);
+}
+
+TEST(Lint, OobAccessStandsDownOnStackTraffic)
+{
+    // r30-relative traffic addresses undeclared memory by design.
+    const auto diags = lintSrc(".org 0x1000\n"
+                               "start:\n"
+                               "    li   sp, 0x90000\n"
+                               "    addi sp, sp, -4\n"
+                               "    sw   r0, 0(sp)\n"
+                               "    lw   r1, 0(sp)\n"
+                               "    halt\n"
+                               "buf:\n"
+                               "    .word 1\n");
+    EXPECT_EQ(countId(diags, "oob-access"), 0u);
+}
+
+TEST(Lint, JumpOob)
+{
+    // The index chain hides from the CFG's constant folder (it
+    // cannot see through sub), so the table is recovered from the
+    // add's constant side — but the abstract interpreter proves the
+    // actual load address sits past the table's end.
+    const auto diags = lintSrc(".org 0x1000\n"           // 1
+                               "start:\n"                // 2
+                               "    li   r1, table\n"    // 3
+                               "    addi r2, r0, 12\n"   // 4
+                               "    sub  r2, r2, r0\n"   // 5
+                               "    add  r3, r1, r2\n"   // 6
+                               "    lw   r4, 0(r3)\n"    // 7
+                               "    jalr r0, r4\n"       // 8
+                               "t0:\n"                   // 9
+                               "    halt\n"              // 10
+                               "table:\n"                // 11
+                               "    .word t0\n"          // 12
+                               "    .word t0\n");        // 13
+    ASSERT_EQ(countId(diags, "jump-oob"), 1u);
+    EXPECT_EQ(only(diags, "jump-oob").line, 7u);
+}
+
+TEST(Lint, JumpInsideTableStaysQuiet)
+{
+    const auto diags = lintSrc(".org 0x1000\n"
+                               "start:\n"
+                               "    li   r1, table\n"
+                               "    addi r2, r0, 4\n"
+                               "    sub  r2, r2, r0\n"
+                               "    add  r3, r1, r2\n"
+                               "    lw   r4, 0(r3)\n"
+                               "    jalr r0, r4\n"
+                               "t0:\n"
+                               "    halt\n"
+                               "table:\n"
+                               "    .word t0\n"
+                               "    .word t0\n");
+    EXPECT_EQ(countId(diags, "jump-oob"), 0u);
+}
+
+TEST(Lint, RangeMisaligned)
+{
+    // No affine region exists (the base is loaded from memory), but
+    // ori pins the low address bit to 1: provably misaligned.
+    const auto diags = lintSrc(".org 0x1000\n"          // 1
+                               "start:\n"               // 2
+                               "    li   r1, v\n"       // 3
+                               "    lw   r2, 0(r1)\n"   // 4
+                               "    ori  r3, r2, 1\n"   // 5
+                               "    lh   r4, 0(r3)\n"   // 6
+                               "    halt\n"             // 7
+                               "v:\n"                   // 8
+                               "    .word 4\n");        // 9
+    ASSERT_EQ(countId(diags, "misaligned"), 1u);
+    EXPECT_EQ(only(diags, "misaligned").line, 6u);
+}
+
+TEST(Lint, RangeUninitLoad)
+{
+    // The index is unknown but andi bounds it to [0, 12]: the load
+    // range [buf, buf+16) is entirely .space and nothing stores.
+    const auto diags = lintSrc(".org 0x1000\n"           // 1
+                               "start:\n"                // 2
+                               "    li   r1, buf\n"      // 3
+                               "    li   r2, idx\n"      // 4
+                               "    lw   r3, 0(r2)\n"    // 5
+                               "    andi r3, r3, 12\n"   // 6
+                               "    add  r3, r1, r3\n"   // 7
+                               "    lw   r4, 0(r3)\n"    // 8
+                               "    halt\n"              // 9
+                               "buf:\n"                  // 10
+                               "    .space 16\n"         // 11
+                               "idx:\n"                  // 12
+                               "    .word 2\n");         // 13
+    ASSERT_EQ(countId(diags, "uninit-load"), 1u);
+    EXPECT_EQ(only(diags, "uninit-load").line, 8u);
+}
+
+TEST(Lint, RangeUninitLoadSilencedByStore)
+{
+    // Same shape, but one store lands inside the load's range.
+    const auto diags = lintSrc(".org 0x1000\n"
+                               "start:\n"
+                               "    li   r1, buf\n"
+                               "    li   r2, idx\n"
+                               "    sw   r0, 4(r1)\n"
+                               "    lw   r3, 0(r2)\n"
+                               "    andi r3, r3, 12\n"
+                               "    add  r3, r1, r3\n"
+                               "    lw   r4, 0(r3)\n"
+                               "    halt\n"
+                               "buf:\n"
+                               "    .space 16\n"
+                               "idx:\n"
+                               "    .word 2\n");
+    EXPECT_EQ(countId(diags, "uninit-load"), 0u);
+}
+
 TEST(Lint, CleanKernelStaysQuiet)
 {
     // A representative strided-loop kernel: no diagnostics at all.
@@ -254,8 +421,9 @@ TEST(Lint, AllIdsCoveredByFixtures)
     // Every documented ID fires on at least one fixture above; keep
     // the registry and the fixture set in sync.
     const std::vector<std::string> expected = {
-        "use-undef",  "dead-store",   "unreachable", "uninit-load",
-        "misaligned", "call-clobber", "no-exit-loop",
+        "use-undef",  "dead-store",   "unreachable",  "uninit-load",
+        "misaligned", "call-clobber", "no-exit-loop", "div-by-zero",
+        "oob-access", "jump-oob",
     };
     EXPECT_EQ(lintIds(), expected);
 }

@@ -8,6 +8,9 @@
  *   --error-on=ID[,ID...]  promote diagnostics to errors ("all")
  *   --cfg                  dump basic blocks, edges and loops
  *   --charact              dump the static workload characterization
+ *   --ranges               dump abstract value ranges (loop IVs and
+ *                          memory effective addresses)
+ *   --format=json          machine-readable diagnostics + ranges
  *   -q                     suppress the per-file summary line
  *
  * Exit status: 2 on assembly failure or bad usage, 1 if any
@@ -20,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/absint.hh"
 #include "analysis/charact.hh"
 #include "analysis/lint.hh"
 #include "isa/assembler.hh"
@@ -34,7 +38,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: mw32-lint [--error-on=ID[,ID...]] [--cfg] "
-        "[--charact] [-q] prog.mw32s ...\n       IDs:");
+        "[--charact] [--ranges] [--format=json] [-q] "
+        "prog.mw32s ...\n       IDs:");
     for (const std::string &id : lintIds())
         std::fprintf(stderr, " %s", id.c_str());
     std::fprintf(stderr, " all\n");
@@ -112,6 +117,122 @@ dumpCharact(const StaticCharacterization &chr)
                 chr.footprint_known ? "" : " (incomplete)");
 }
 
+void
+dumpRanges(const Program &prog, const StaticCharacterization &chr,
+           const AbsInt &ai)
+{
+    if (ai.topMode()) {
+        std::printf("; ranges: top (unbounded control flow)\n");
+        return;
+    }
+    for (const LoopChar &l : chr.loops) {
+        if (!l.trip_sound)
+            continue;
+        for (const LoopIv &iv : l.ivs)
+            std::printf("; ranges: loop line %u r%u = %lld + "
+                        "k*%lld, k <= %llu\n",
+                        l.header_line, iv.reg,
+                        static_cast<long long>(iv.init),
+                        static_cast<long long>(iv.step),
+                        static_cast<unsigned long long>(l.trip));
+    }
+    for (const MemOpChar &m : chr.memops)
+        std::printf("; ranges: %s line %u ea %s\n",
+                    m.is_store ? "store" : "load", m.line,
+                    ai.addressRange(m.instr).str().c_str());
+    if (chr.footprint_bounded)
+        std::printf("; ranges: footprint <= %llu bytes\n",
+                    static_cast<unsigned long long>(
+                        chr.footprint_bound_bytes));
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+printJson(const std::string &file,
+          const std::vector<Diagnostic> &diags,
+          const StaticCharacterization &chr, const AbsInt &ai,
+          bool last)
+{
+    std::printf("  {\n    \"file\": \"%s\",\n",
+                jsonEscape(file).c_str());
+    std::printf("    \"top_mode\": %s,\n",
+                ai.topMode() ? "true" : "false");
+    std::printf("    \"diagnostics\": [");
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        std::printf(
+            "%s\n      {\"id\": \"%s\", \"severity\": \"%s\", "
+            "\"line\": %u, \"addr\": %llu, \"message\": \"%s\"}",
+            i ? "," : "", jsonEscape(d.id).c_str(),
+            d.severity == Severity::Error ? "error" : "warning",
+            d.line, static_cast<unsigned long long>(d.addr),
+            jsonEscape(d.message).c_str());
+    }
+    std::printf("%s],\n", diags.empty() ? "" : "\n    ");
+    std::printf("    \"loops\": [");
+    bool first = true;
+    for (const LoopChar &l : chr.loops) {
+        std::printf("%s\n      {\"line\": %u, \"depth\": %u, "
+                    "\"trip\": %llu, \"trip_sound\": %s, "
+                    "\"ivs\": [",
+                    first ? "" : ",", l.header_line, l.depth,
+                    static_cast<unsigned long long>(l.trip),
+                    l.trip_sound ? "true" : "false");
+        for (std::size_t i = 0; i < l.ivs.size(); ++i)
+            std::printf("%s{\"reg\": %u, \"init\": %lld, "
+                        "\"step\": %lld}",
+                        i ? ", " : "", l.ivs[i].reg,
+                        static_cast<long long>(l.ivs[i].init),
+                        static_cast<long long>(l.ivs[i].step));
+        std::printf("]}");
+        first = false;
+    }
+    std::printf("%s],\n", first ? "" : "\n    ");
+    std::printf("    \"memops\": [");
+    first = true;
+    for (const MemOpChar &m : chr.memops) {
+        std::printf("%s\n      {\"line\": %u, \"store\": %s, "
+                    "\"size\": %u, \"ea\": \"%s\"",
+                    first ? "" : ",", m.line,
+                    m.is_store ? "true" : "false", m.size,
+                    jsonEscape(ai.addressRange(m.instr).str())
+                        .c_str());
+        if (m.range_known)
+            std::printf(", \"range\": [%llu, %llu]",
+                        static_cast<unsigned long long>(
+                            m.range_begin),
+                        static_cast<unsigned long long>(
+                            m.range_end));
+        std::printf("}");
+        first = false;
+    }
+    std::printf("%s],\n", first ? "" : "\n    ");
+    std::printf("    \"footprint_bounded\": %s,\n",
+                chr.footprint_bounded ? "true" : "false");
+    std::printf("    \"footprint_bound_bytes\": %llu\n",
+                static_cast<unsigned long long>(
+                    chr.footprint_bound_bytes));
+    std::printf("  }%s\n", last ? "" : ",");
+}
+
 } // namespace
 
 int
@@ -119,8 +240,9 @@ main(int argc, char **argv)
 {
     std::string error_on;
     bool show_cfg = false, show_charact = false, quiet = false;
-    int nerrors = 0, nwarnings = 0;
-    bool any_file = false;
+    bool show_ranges = false, json = false;
+    int nerrors = 0;
+    std::vector<const char *> files;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -138,14 +260,33 @@ main(int argc, char **argv)
             show_charact = true;
             continue;
         }
+        if (std::strcmp(arg, "--ranges") == 0) {
+            show_ranges = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--format=json") == 0) {
+            json = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--format=text") == 0) {
+            json = false;
+            continue;
+        }
         if (std::strcmp(arg, "-q") == 0) {
             quiet = true;
             continue;
         }
         if (arg[0] == '-')
             return usage();
+        files.push_back(arg);
+    }
+    if (files.empty())
+        return usage();
 
-        any_file = true;
+    if (json)
+        std::printf("[\n");
+    for (std::size_t fi = 0; fi < files.size(); ++fi) {
+        const char *arg = files[fi];
         std::ifstream is(arg);
         if (!is) {
             std::fprintf(stderr, "mw32-lint: cannot open '%s'\n",
@@ -167,13 +308,10 @@ main(int argc, char **argv)
         Cfg cfg = Cfg::build(prog);
         Dataflow df = Dataflow::build(prog, cfg);
         StaticCharacterization chr = characterize(prog, cfg, df);
+        AbsInt ai = AbsInt::build(prog, cfg, df, chr);
+        annotateRanges(prog, chr, ai);
 
-        if (show_cfg)
-            dumpCfg(prog, cfg);
-        if (show_charact)
-            dumpCharact(chr);
-
-        auto diags = lint(prog, cfg, df, chr);
+        auto diags = lint(prog, cfg, df, chr, ai);
         if (!promoteErrors(diags, error_on)) {
             std::fprintf(stderr,
                          "mw32-lint: unknown ID in --error-on=%s\n",
@@ -182,21 +320,31 @@ main(int argc, char **argv)
         }
 
         int ferr = 0, fwarn = 0;
-        for (const Diagnostic &d : diags) {
-            std::printf("%s\n", d.format(arg).c_str());
+        for (const Diagnostic &d : diags)
             if (d.severity == Severity::Error)
                 ++ferr;
             else
                 ++fwarn;
-        }
         nerrors += ferr;
-        nwarnings += fwarn;
+
+        if (json) {
+            printJson(arg, diags, chr, ai,
+                      fi + 1 == files.size());
+            continue;
+        }
+        if (show_cfg)
+            dumpCfg(prog, cfg);
+        if (show_charact)
+            dumpCharact(chr);
+        if (show_ranges)
+            dumpRanges(prog, chr, ai);
+        for (const Diagnostic &d : diags)
+            std::printf("%s\n", d.format(arg).c_str());
         if (!quiet)
             std::printf("%s: %d error(s), %d warning(s)\n", arg,
                         ferr, fwarn);
     }
-
-    if (!any_file)
-        return usage();
+    if (json)
+        std::printf("]\n");
     return nerrors != 0 ? 1 : 0;
 }

@@ -134,6 +134,7 @@ cmdRun(int argc, char **argv)
     const char *why = stop == StopReason::Halted ? "halt"
         : stop == StopReason::InstrLimit         ? "instruction limit"
         : stop == StopReason::AlignmentFault     ? "alignment fault"
+        : stop == StopReason::DivideByZero       ? "divide by zero"
                                                  : "bad instruction";
     std::printf("stopped: %s after %llu instructions "
                 "(%llu loads, %llu stores, %llu branches)\n",
@@ -176,7 +177,8 @@ cmdRun(int argc, char **argv)
                         (r % 4 == 3) ? "\n" : "   ");
     }
     return (stop == StopReason::BadInstruction ||
-            stop == StopReason::AlignmentFault)
+            stop == StopReason::AlignmentFault ||
+            stop == StopReason::DivideByZero)
                ? 1
                : 0;
 }
