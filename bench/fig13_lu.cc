@@ -12,5 +12,5 @@ int
 main(int argc, char **argv)
 {
     return memwall::benchutil::runSplashFigure(
-        "Figure 13", "lu", "200x200-matrix", argc, argv, 0.5);
+        memwall::SplashFigure::Fig13Lu, argc, argv);
 }

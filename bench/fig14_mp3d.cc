@@ -12,5 +12,5 @@ int
 main(int argc, char **argv)
 {
     return memwall::benchutil::runSplashFigure(
-        "Figure 14", "mp3d", "10K-particles-10-steps", argc, argv, 1.0);
+        memwall::SplashFigure::Fig14Mp3d, argc, argv);
 }

@@ -12,5 +12,5 @@ int
 main(int argc, char **argv)
 {
     return memwall::benchutil::runSplashFigure(
-        "Figure 15", "ocean", "128x128-grid", argc, argv, 1.0);
+        memwall::SplashFigure::Fig15Ocean, argc, argv);
 }

@@ -12,5 +12,5 @@ int
 main(int argc, char **argv)
 {
     return memwall::benchutil::runSplashFigure(
-        "Figure 16", "water", "288-molecules-4-steps", argc, argv, 1.0);
+        memwall::SplashFigure::Fig16Water, argc, argv);
 }

@@ -12,5 +12,5 @@ int
 main(int argc, char **argv)
 {
     return memwall::benchutil::runSplashFigure(
-        "Figure 17", "pthor", "RISC-circuit-1000-steps", argc, argv, 0.3);
+        memwall::SplashFigure::Fig17Pthor, argc, argv);
 }

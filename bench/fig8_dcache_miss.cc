@@ -36,15 +36,6 @@ ciCell(const SampledCacheMissRate &r)
            TextTable::num(r.ci.half_width * 100, 3);
 }
 
-/** JSON field for one sampled config: {"mean": m, "half": h}. */
-void
-jsonSampledField(const char *key, const SampledCacheMissRate &r,
-                 bool last = false)
-{
-    std::printf("\"%s\": {\"mean\": %.9g, \"half\": %.9g}%s", key,
-                r.mean(), r.ci.half_width, last ? "" : ", ");
-}
-
 /** Sampled variant: mean ± CI half-width per configuration. */
 int
 runSampled(const benchutil::Options &opt, const MissRateParams &params,
@@ -93,22 +84,12 @@ runSampled(const benchutil::Options &opt, const MissRateParams &params,
     sweep.finish();
 
     if (opt.json()) {
-        std::printf("{\n  \"bench\": \"fig8_dcache_miss\", "
-                    "\"sampled\": true,\n  \"workloads\": [\n");
-        for (std::size_t i = 0; i < all.size(); ++i) {
-            const auto &r = all[i];
-            std::printf("    {\"name\": \"%s\", ",
-                        r.workload.c_str());
-            jsonSampledField("proposed", r.dcache(proposed));
-            jsonSampledField("conv16", r.dcache(conv16));
-            jsonSampledField("conv16w2", r.dcache(conv16w2));
-            jsonSampledField("conv64", r.dcache(conv64));
-            jsonSampledField("conv256w2", r.dcache(conv256w2));
-            jsonSampledField("proposed_vc", r.dcache(proposed_vc));
-            std::printf("\"units\": %" PRIu64 "}%s\n", r.units,
-                        i + 1 < all.size() ? "," : "");
-        }
-        std::printf("  ]\n}\n");
+        // Shared with mw-server: one renderer, one set of bytes
+        // (non-finite moments render as null, never bare nan/inf).
+        std::fputs(
+            missRateFigureSampledJson(MissRateFigure::DCache, all)
+                .c_str(),
+            stdout);
         return 0;
     }
 

@@ -5,11 +5,16 @@
  * Section 6 and prints execution time normalised to the 1-CPU
  * reference CC-NUMA run (the paper plots absolute time; the curves'
  * relative positions are what carries the result).
+ *
+ * Figure metadata, point execution and the --format=json renderers
+ * live in workloads/splash_figures so mw-server serves the same
+ * bytes; this header keeps the CLI plumbing and the text output.
  */
 
 #ifndef MEMWALL_BENCH_SPLASH_DRIVER_HH
 #define MEMWALL_BENCH_SPLASH_DRIVER_HH
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,25 +22,14 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "harness/parallel_sweep.hh"
-#include "workloads/splash/splash.hh"
+#include "workloads/splash_figures.hh"
 
 namespace memwall::benchutil {
 
 inline NumaConfig
 machineFor(const std::string &arch, unsigned nodes)
 {
-    NumaConfig config;
-    config.nodes = nodes;
-    if (arch == "reference") {
-        config.arch = NodeArch::ReferenceCcNuma;
-    } else if (arch == "integrated") {
-        config.arch = NodeArch::Integrated;
-        config.victim_cache = false;
-    } else {  // "integrated+vc"
-        config.arch = NodeArch::Integrated;
-        config.victim_cache = true;
-    }
-    return config;
+    return splashMachineFor(arch, nodes);
 }
 
 inline void
@@ -59,6 +53,66 @@ printLatencyTable()
     std::cout << '\n';
 }
 
+/** The --nodes flag: 0 (default) sweeps the full {1,2,4,8,16} axis;
+ *  N limits the sweep to that single processor count. */
+inline std::uint64_t
+splashNodesFlag(const Options &opt, const char *prog,
+                std::initializer_list<const char *> extra_flags)
+{
+    const std::string text = opt.extraOr("--nodes", "");
+    if (text.empty())
+        return 0;
+    const std::uint64_t nodes =
+        parseU64Flag(text.c_str(), "--nodes", prog, extra_flags);
+    if (nodes == 0 || nodes > splash_max_nodes)
+        usageError(prog, extra_flags,
+                   "--nodes must be between 1 and " +
+                       std::to_string(splash_max_nodes));
+    return nodes;
+}
+
+/**
+ * Run the (arch x ncpus) sweep across opt.jobs workers and return
+ * the results in submission order (arch-major). Commits run in
+ * submission order on this thread, so the vector matches the
+ * library's serial memwall::runSplashFigure() and the output is
+ * byte-identical to --jobs 1. checksum_ok reports the
+ * cross-architecture validation (sampling never perturbs results,
+ * only timing).
+ */
+inline std::vector<SplashResult>
+sweepSplashPoints(SplashFigure fig, const Options &opt, double scale,
+                  std::uint64_t nodes, const SamplingPlan *plan,
+                  bool &checksum_ok)
+{
+    std::vector<SplashResult> points;
+    double checksum0 = 0.0;
+    checksum_ok = true;
+    ParallelSweep<SplashResult> sweep(opt.jobs, opt.seed);
+    for (const auto &arch : splashArchs()) {
+        for (unsigned ncpus : splashCpuCounts(nodes)) {
+            sweep.submit(
+                [fig, &arch, ncpus, scale,
+                 plan](const PointContext &) {
+                    return runSplashFigurePoint(fig, arch, ncpus,
+                                                scale, plan);
+                },
+                [&points, &checksum0,
+                 &checksum_ok](const PointContext &ctx,
+                               SplashResult res) {
+                    if (ctx.index == 0)
+                        checksum0 = res.checksum;
+                    if (std::abs(res.checksum - checksum0) >
+                        1e-6 * (1.0 + std::abs(checksum0)))
+                        checksum_ok = false;
+                    points.push_back(std::move(res));
+                });
+        }
+    }
+    sweep.finish();
+    return points;
+}
+
 /**
  * Sampled variant of the figure sweep: same (arch x ncpus) points,
  * but each run interleaves detail/warm/fast-forward per the plan and
@@ -69,56 +123,47 @@ printLatencyTable()
  * cross-validated.
  */
 inline int
-runSplashFigureSampled(const std::string &kernel, const Options &opt,
-                       double scale, const SamplingPlan &plan)
+runSplashFigureSampled(SplashFigure fig, const Options &opt,
+                       double scale, std::uint64_t nodes,
+                       const SamplingPlan &plan)
 {
-    std::cout << "sampling plan: " << plan.describe()
-              << " (units = data accesses)\n\n";
-    const std::vector<unsigned> cpu_counts{1, 2, 4, 8, 16};
-    const std::vector<std::string> archs{
-        "reference", "integrated", "integrated+vc"};
+    if (!opt.json())
+        std::cout << "sampling plan: " << plan.describe()
+                  << " (units = data accesses)\n\n";
 
+    bool checksum_ok = true;
+    const std::vector<SplashResult> points =
+        sweepSplashPoints(fig, opt, scale, nodes, &plan,
+                          checksum_ok);
+
+    if (opt.json()) {
+        // Shared with mw-server: one renderer, one set of bytes.
+        std::fputs(
+            splashFigureSampledJson(fig, scale, nodes, points)
+                .c_str(),
+            stdout);
+        return checksum_ok ? 0 : 1;
+    }
+
+    const std::string kernel = splashFigureKernel(fig);
     TextTable table("Sampled mean data-access latency, " + kernel +
                     " (cycles ± " +
                     TextTable::num(plan.level * 100, 0) + "% CI)");
     table.setHeader({"arch", "cpus", "latency", "units",
                      "detail refs", "ff refs"});
-    double checksum0 = 0.0;
-    bool checksum_ok = true;
-
-    ParallelSweep<SplashResult> sweep(opt.jobs, opt.seed);
-    for (const auto &arch : archs) {
-        for (unsigned ncpus : cpu_counts) {
-            sweep.submit(
-                [&kernel, &arch, ncpus, scale,
-                 &plan](const PointContext &) {
-                    SplashParams params;
-                    params.nprocs = ncpus;
-                    params.machine = machineFor(arch, ncpus);
-                    params.scale = scale;
-                    params.sampling = &plan;
-                    return runSplash(kernel, params);
-                },
-                [&table, &checksum0, &checksum_ok, &arch,
-                 ncpus](const PointContext &ctx, SplashResult res) {
-                    if (ctx.index == 0)
-                        checksum0 = res.checksum;
-                    if (std::abs(res.checksum - checksum0) >
-                        1e-6 * (1.0 + std::abs(checksum0)))
-                        checksum_ok = false;
-                    table.addRow(
-                        {arch, std::to_string(ncpus),
-                         TextTable::num(res.sampled_latency, 2) +
-                             "±" +
-                             TextTable::num(res.sampled_latency_half,
-                                            2),
-                         std::to_string(res.sample_units),
-                         std::to_string(res.detail_accesses),
-                         std::to_string(res.ff_accesses)});
-                });
+    std::size_t i = 0;
+    for (const auto &arch : splashArchs()) {
+        for (unsigned ncpus : splashCpuCounts(nodes)) {
+            const SplashResult &res = points[i++];
+            table.addRow(
+                {arch, std::to_string(ncpus),
+                 TextTable::num(res.sampled_latency, 2) + "±" +
+                     TextTable::num(res.sampled_latency_half, 2),
+                 std::to_string(res.sample_units),
+                 std::to_string(res.detail_accesses),
+                 std::to_string(res.ff_accesses)});
         }
     }
-    sweep.finish();
     table.print(std::cout);
     std::cout << "\ncross-architecture checksums "
               << (checksum_ok ? "MATCH" : "MISMATCH -- BUG")
@@ -127,73 +172,58 @@ runSplashFigureSampled(const std::string &kernel, const Options &opt,
 }
 
 inline int
-runSplashFigure(const std::string &figure, const std::string &kernel,
-                const std::string &dataset, int argc, char **argv,
-                double full_scale)
+runSplashFigure(SplashFigure fig, int argc, char **argv)
 {
-    auto opt = parse(argc, argv, {"--sample"});
-    banner(figure + " - SPLASH " + kernel + " (" + dataset + ")",
-           opt);
-    printLatencyTable();
+    const std::initializer_list<const char *> extra_flags = {
+        "--sample", "--nodes"};
+    auto opt = parse(argc, argv, extra_flags);
+    const std::uint64_t nodes =
+        splashNodesFlag(opt, argv[0], extra_flags);
+    if (!opt.json()) {
+        banner(std::string(splashFigureTitle(fig)) + " - SPLASH " +
+                   splashFigureKernel(fig) + " (" +
+                   splashFigureDataset(fig) + ")",
+               opt);
+        printLatencyTable();
+    }
 
-    const double scale =
-        opt.quick ? full_scale / 6.0 : full_scale;
+    const double scale = resolveSplashScale(fig, opt.quick);
 
     const std::string sample = opt.extraOr("--sample", "");
     if (!sample.empty())
-        return runSplashFigureSampled(kernel, opt, scale,
+        return runSplashFigureSampled(fig, opt, scale, nodes,
                                       parseSamplingPlan(sample));
 
-    std::cout << "problem scale: " << scale
-              << " (1.0 = the paper's data set; runtimes below are "
-                 "relative,\nso the architecture comparison is "
-                 "scale-consistent)\n\n";
-    const std::vector<unsigned> cpu_counts{1, 2, 4, 8, 16};
-    const std::vector<std::string> archs{
-        "reference", "integrated", "integrated+vc"};
+    if (!opt.json())
+        std::cout << "problem scale: " << scale
+                  << " (1.0 = the paper's data set; runtimes below "
+                     "are relative,\nso the architecture comparison "
+                     "is scale-consistent)\n\n";
 
-    SeriesChart chart("Execution time, " + kernel +
+    bool checksum_ok = true;
+    const std::vector<SplashResult> points = sweepSplashPoints(
+        fig, opt, scale, nodes, nullptr, checksum_ok);
+
+    if (opt.json()) {
+        // Shared with mw-server: one renderer, one set of bytes.
+        std::fputs(splashFigureJson(fig, scale, nodes, points)
+                       .c_str(),
+                   stdout);
+        return checksum_ok ? 0 : 1;
+    }
+
+    SeriesChart chart("Execution time, " +
+                          std::string(splashFigureKernel(fig)) +
                           " (normalised to 1-cpu reference)",
                       "processors", "relative time");
-    double base = 0.0;
-    double checksum0 = 0.0;
-    bool checksum_ok = true;
-
-    // The (arch x ncpus) points are independent simulations; sweep
-    // them across opt.jobs workers. Commits run in submission order
-    // on this thread, so the normalisation base (first point:
-    // reference, 1 cpu) is always set before any later point is
-    // charted and the output is byte-identical to --jobs 1.
-    ParallelSweep<SplashResult> sweep(opt.jobs, opt.seed);
-    for (const auto &arch : archs) {
-        for (unsigned ncpus : cpu_counts) {
-            sweep.submit(
-                [&kernel, &arch, ncpus,
-                 scale](const PointContext &) {
-                    SplashParams params;
-                    params.nprocs = ncpus;
-                    params.machine = machineFor(arch, ncpus);
-                    params.scale = scale;
-                    return runSplash(kernel, params);
-                },
-                [&chart, &base, &checksum0, &checksum_ok, &arch,
-                 ncpus](const PointContext &ctx,
-                        SplashResult res) {
-                    if (ctx.index == 0) {
-                        base = static_cast<double>(res.makespan);
-                        checksum0 = res.checksum;
-                    }
-                    if (std::abs(res.checksum - checksum0) >
-                        1e-6 * (1.0 + std::abs(checksum0)))
-                        checksum_ok = false;
-                    chart.addPoint(arch, ncpus,
-                                   static_cast<double>(
-                                       res.makespan) /
-                                       base);
-                });
-        }
-    }
-    sweep.finish();
+    const double base = static_cast<double>(points[0].makespan);
+    std::size_t i = 0;
+    for (const auto &arch : splashArchs())
+        for (unsigned ncpus : splashCpuCounts(nodes))
+            chart.addPoint(arch, ncpus,
+                           static_cast<double>(
+                               points[i++].makespan) /
+                               base);
     chart.print(std::cout);
     std::cout << "\ncross-architecture checksums "
               << (checksum_ok ? "MATCH" : "MISMATCH -- BUG")

@@ -11,100 +11,49 @@
  * per billion instructions and the SS-10/SS-5 runtime ratio (paper:
  * 44 min / 32 min = 1.38 on Synopsys, and the inverse relation on
  * SPEC'92).
+ *
+ * Point execution and the --format=json renderer live in
+ * workloads/spec_tables so mw-server serves the same bytes.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "mem/hierarchy.hh"
-#include "workloads/spec_suite.hh"
+#include "workloads/spec_tables.hh"
 
 using namespace memwall;
-
-namespace {
-
-struct MachineRun
-{
-    double cpi = 0.0;
-    double seconds_per_ginstr = 0.0;
-    double mem_cpi = 0.0;
-};
-
-MachineRun
-run(const SpecWorkload &w, const HierarchyConfig &config,
-    std::uint64_t refs)
-{
-    MemoryHierarchy machine(config);
-    SyntheticWorkload source(w.proxy);
-
-    std::uint64_t instructions = 0;
-    double cycles = 0;
-    const RefSink sink = [&](const MemRef &ref) {
-        const RefKind kind = ref.type == RefType::IFetch
-            ? RefKind::IFetch
-            : (ref.type == RefType::Store ? RefKind::Store
-                                          : RefKind::Load);
-        const auto res = machine.access(kind, ref.addr);
-        if (kind == RefKind::IFetch) {
-            ++instructions;
-            // Base issue slot (superscalar cores spend less than a
-            // cycle per instruction) plus any fetch stall.
-            cycles += 1.0 / config.issue_width +
-                      static_cast<double>(res.latency - 1);
-        } else {
-            // Data latency beyond one cycle stalls the pipeline.
-            cycles += static_cast<double>(res.latency - 1);
-        }
-    };
-    // Warm up.
-    source.generate(refs / 4, sink);
-    instructions = 0;
-    cycles = 0;
-    source.generate(refs, sink);
-
-    MachineRun out;
-    out.cpi = instructions
-        ? cycles / static_cast<double>(instructions)
-        : 0.0;
-    out.seconds_per_ginstr =
-        out.cpi * 1e9 / (config.freq_mhz * 1e6);
-    return out;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     auto opt = benchutil::parse(argc, argv);
-    benchutil::banner("Table 1 - SS-5 vs SS-10/61 on Synopsys", opt);
+    if (!opt.json())
+        benchutil::banner("Table 1 - SS-5 vs SS-10/61 on Synopsys",
+                          opt);
 
     const std::uint64_t refs =
-        opt.refs ? opt.refs : (opt.quick ? 500'000 : 6'000'000);
+        resolveTable1Refs(opt.quick, opt.refs);
 
-    const HierarchyConfig ss5 = HierarchyConfig::ss5();
-    const HierarchyConfig ss10 = HierarchyConfig::ss10();
+    // Canonical point order: synopsys, 130.li, 132.ijpeg on SS-5
+    // then SS-10/61 each (the composite runs at refs/2).
+    const std::vector<MachineRun> points = runTable1(refs);
 
-    // Large-working-set EDA workload (the paper's Synopsys run).
-    const SpecWorkload &synopsys = findWorkload("synopsys");
-    const MachineRun syn5 = run(synopsys, ss5, refs);
-    const MachineRun syn10 = run(synopsys, ss10, refs);
+    if (opt.json()) {
+        // Shared with mw-server: one renderer, one set of bytes.
+        std::fputs(table1Json(points).c_str(), stdout);
+        return 0;
+    }
 
-    // A cache-friendly composite standing in for the SPEC'92 rating:
-    // small-working-set integer codes.
-    const SpecWorkload &small1 = findWorkload("130.li");
-    const SpecWorkload &small2 = findWorkload("132.ijpeg");
-    const MachineRun li5 = run(small1, ss5, refs / 2);
-    const MachineRun li10 = run(small1, ss10, refs / 2);
-    const MachineRun jp5 = run(small2, ss5, refs / 2);
-    const MachineRun jp10 = run(small2, ss10, refs / 2);
+    const MachineRun &syn5 = points[0];
+    const MachineRun &syn10 = points[1];
     // "Spec'92-like" score: instructions/second on the composite,
     // normalised to the SS-5 = 64 of the paper's table.
-    const double ips5 =
-        2.0 / (li5.seconds_per_ginstr + jp5.seconds_per_ginstr);
-    const double ips10 =
-        2.0 / (li10.seconds_per_ginstr + jp10.seconds_per_ginstr);
+    const double ips5 = 2.0 / (points[2].seconds_per_ginstr +
+                               points[4].seconds_per_ginstr);
+    const double ips10 = 2.0 / (points[3].seconds_per_ginstr +
+                                points[5].seconds_per_ginstr);
     const double spec5 = 64.0;
     const double spec10 = 64.0 * ips10 / ips5;
 

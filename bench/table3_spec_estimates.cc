@@ -4,14 +4,19 @@
  * ratio of the proposed 200 MHz integrated device with a 30 ns DRAM
  * array and NO victim cache. The paper's own numbers are printed
  * alongside for comparison.
+ *
+ * Parameter resolution, per-point seeding and the --format=json
+ * renderer live in workloads/spec_tables so mw-server serves the
+ * same bytes.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "harness/parallel_sweep.hh"
-#include "workloads/spec_eval.hh"
+#include "workloads/spec_tables.hh"
 
 using namespace memwall;
 
@@ -19,56 +24,60 @@ int
 main(int argc, char **argv)
 {
     auto opt = benchutil::parse(argc, argv);
-    benchutil::banner("Table 3 - SPEC'95 estimates, no victim cache",
-                      opt);
+    if (!opt.json())
+        benchutil::banner(
+            "Table 3 - SPEC'95 estimates, no victim cache", opt);
 
-    SpecEvalParams params;
-    params.seed = opt.seed;
-    if (opt.quick) {
-        params.missrate.measured_refs = 400'000;
-        params.missrate.warmup_refs = 100'000;
-        params.gspn_instructions = 30'000;
-    }
-    if (opt.refs) {
-        params.missrate.measured_refs = opt.refs;
-        params.missrate.warmup_refs = opt.refs / 4;
-    }
+    const SpecEvalParams params =
+        resolveSpecEvalParams(opt.quick, opt.refs, opt.seed);
 
-    TextTable table("Table 3: SPEC'95 estimates (no victim cache)");
-    table.setHeader({"name", "CPI [cpu+mem]", "Spec-ratio",
-                     "paper CPI", "paper ratio"});
-
-    bool fp_rule_done = false;
+    // Estimate every row as an independent sweep point; commits land
+    // in suite order, so `rows` matches the serial library runner.
+    std::vector<SpecEstimate> rows;
     ParallelSweep<SpecEstimate> sweep(opt.jobs, opt.seed);
-    for (const auto &w : specSuite()) {
-        if (!w.in_spec_tables)
-            continue;
+    for (const SpecWorkload *w : specTableWorkloads()) {
         sweep.submit(
-            [&w, &params](const PointContext &ctx) {
+            [w, &params](const PointContext &ctx) {
                 // Per-point stream derived from (--seed, index):
                 // reordering or parallelising points cannot perturb
                 // another point's draws.
                 SpecEvalParams p = params;
                 p.seed = ctx.seed;
-                return estimateIntegrated(w, /*victim_cache=*/false,
-                                          p);
+                return runSpecTablePoint(*w, /*victim_cache=*/false,
+                                         p);
             },
-            [&, &w = w](const PointContext &, SpecEstimate est) {
-                if (w.floating_point && !fp_rule_done) {
-                    table.addRule();
-                    fp_rule_done = true;
-                }
-                table.addRow(
-                    {w.name,
-                     TextTable::num(est.cpi.base, 2) + " + " +
-                         TextTable::num(est.cpi.memory, 2),
-                     TextTable::num(est.spec_ratio, 1),
-                     TextTable::num(w.base_cpi, 2) + " + " +
-                         TextTable::num(w.paper_mem_cpi_novc, 2),
-                     TextTable::num(w.paper_ratio_novc, 1)});
+            [&rows](const PointContext &, SpecEstimate est) {
+                rows.push_back(std::move(est));
             });
     }
     sweep.finish();
+
+    if (opt.json()) {
+        // Shared with mw-server: one renderer, one set of bytes.
+        std::fputs(specTableJson(false, rows).c_str(), stdout);
+        return 0;
+    }
+
+    TextTable table("Table 3: SPEC'95 estimates (no victim cache)");
+    table.setHeader({"name", "CPI [cpu+mem]", "Spec-ratio",
+                     "paper CPI", "paper ratio"});
+    bool fp_rule_done = false;
+    const auto workloads = specTableWorkloads();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SpecWorkload &w = *workloads[i];
+        const SpecEstimate &est = rows[i];
+        if (w.floating_point && !fp_rule_done) {
+            table.addRule();
+            fp_rule_done = true;
+        }
+        table.addRow({w.name,
+                      TextTable::num(est.cpi.base, 2) + " + " +
+                          TextTable::num(est.cpi.memory, 2),
+                      TextTable::num(est.spec_ratio, 1),
+                      TextTable::num(w.base_cpi, 2) + " + " +
+                          TextTable::num(w.paper_mem_cpi_novc, 2),
+                      TextTable::num(w.paper_ratio_novc, 1)});
+    }
     table.print(std::cout);
     return 0;
 }

@@ -4,14 +4,19 @@
  * device WITH the victim cache, alongside the paper's numbers and
  * the published Alpha 21164 (DEC 8200 5/300) ratios the paper quotes
  * for comparison.
+ *
+ * Parameter resolution, per-point seeding and the --format=json
+ * renderer live in workloads/spec_tables so mw-server serves the
+ * same bytes.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "harness/parallel_sweep.hh"
-#include "workloads/spec_eval.hh"
+#include "workloads/spec_tables.hh"
 
 using namespace memwall;
 
@@ -19,51 +24,53 @@ int
 main(int argc, char **argv)
 {
     auto opt = benchutil::parse(argc, argv);
-    benchutil::banner("Table 4 - SPEC'95 estimates, with victim cache",
-                      opt);
+    if (!opt.json())
+        benchutil::banner(
+            "Table 4 - SPEC'95 estimates, with victim cache", opt);
 
-    SpecEvalParams params;
-    params.seed = opt.seed;
-    if (opt.quick) {
-        params.missrate.measured_refs = 400'000;
-        params.missrate.warmup_refs = 100'000;
-        params.gspn_instructions = 30'000;
+    const SpecEvalParams params =
+        resolveSpecEvalParams(opt.quick, opt.refs, opt.seed);
+
+    std::vector<SpecEstimate> rows;
+    ParallelSweep<SpecEstimate> sweep(opt.jobs, opt.seed);
+    for (const SpecWorkload *w : specTableWorkloads()) {
+        sweep.submit(
+            [w, &params](const PointContext &ctx) {
+                SpecEvalParams p = params;
+                p.seed = ctx.seed;
+                return runSpecTablePoint(*w, /*victim_cache=*/true,
+                                         p);
+            },
+            [&rows](const PointContext &, SpecEstimate est) {
+                rows.push_back(std::move(est));
+            });
     }
-    if (opt.refs) {
-        params.missrate.measured_refs = opt.refs;
-        params.missrate.warmup_refs = opt.refs / 4;
+    sweep.finish();
+
+    if (opt.json()) {
+        // Shared with mw-server: one renderer, one set of bytes.
+        std::fputs(specTableJson(true, rows).c_str(), stdout);
+        return 0;
     }
 
     TextTable table("Table 4: SPEC'95 estimates (with victim cache)");
     table.setHeader({"name", "Total CPI", "Spec-ratio", "paper CPI",
                      "paper ratio", "Alpha 21164"});
-
     bool fp_rule_done = false;
-    ParallelSweep<SpecEstimate> sweep(opt.jobs, opt.seed);
-    for (const auto &w : specSuite()) {
-        if (!w.in_spec_tables)
-            continue;
-        sweep.submit(
-            [&w, &params](const PointContext &ctx) {
-                SpecEvalParams p = params;
-                p.seed = ctx.seed;
-                return estimateIntegrated(w, /*victim_cache=*/true,
-                                          p);
-            },
-            [&, &w = w](const PointContext &, SpecEstimate est) {
-                if (w.floating_point && !fp_rule_done) {
-                    table.addRule();
-                    fp_rule_done = true;
-                }
-                table.addRow(
-                    {w.name, TextTable::num(est.cpi.total(), 2),
-                     TextTable::num(est.spec_ratio, 1),
-                     TextTable::num(w.paper_total_cpi_vc, 2),
-                     TextTable::num(w.paper_ratio_vc, 1),
-                     TextTable::num(w.alpha_ratio, 1)});
-            });
+    const auto workloads = specTableWorkloads();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SpecWorkload &w = *workloads[i];
+        const SpecEstimate &est = rows[i];
+        if (w.floating_point && !fp_rule_done) {
+            table.addRule();
+            fp_rule_done = true;
+        }
+        table.addRow({w.name, TextTable::num(est.cpi.total(), 2),
+                      TextTable::num(est.spec_ratio, 1),
+                      TextTable::num(w.paper_total_cpi_vc, 2),
+                      TextTable::num(w.paper_ratio_vc, 1),
+                      TextTable::num(w.alpha_ratio, 1)});
     }
-    sweep.finish();
     table.print(std::cout);
     return 0;
 }

@@ -30,6 +30,25 @@
  *                full inflight table sheds with overloaded plus a
  *                retry_after_ms hint;
  *
+ *   catalog      every other catalog entry — table1, table3, a
+ *                SPLASH figure and a sampled fig7 — is served
+ *                byte-identical to the shared in-process renderers,
+ *                fresh, under a mixed-catalog storm, and replayed
+ *                from cache after the SIGKILL;
+ *
+ *   batching     two distinct in-flight keys landing in one batch
+ *                window (fig7 + fig8, whose per-workload units are
+ *                identical) share one pool pass: the stats counters
+ *                prove the second figure's points all rode along,
+ *                and the batched pass beats sequential wall-clock
+ *                by >= 1.3x;
+ *
+ *   client       the mw-client binary itself: exit 0 on success,
+ *                nonzero on a server-side error response
+ *                (worker_failed), and --timeout-ms bounds a connect
+ *                to a bound-but-wedged socket whose accept backlog
+ *                is full (the case a read timeout can never catch);
+ *
  *   shutdown     a "shutdown" request drains the server to a clean
  *                exit status.
  *
@@ -56,16 +75,23 @@
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "sampling/plan.hh"
 #include "server/json.hh"
 #include "server/protocol.hh"
 #include "server/wire.hh"
 #include "workloads/missrate_figures.hh"
+#include "workloads/spec_suite.hh"
+#include "workloads/spec_tables.hh"
+#include "workloads/splash_figures.hh"
 
 using namespace memwall;
 using namespace memwall::server;
 
 #ifndef MWSERVER_BIN
 #error "MWSERVER_BIN must point at the mw-server executable"
+#endif
+#ifndef MWCLIENT_BIN
+#error "MWCLIENT_BIN must point at the mw-client executable"
 #endif
 
 namespace {
@@ -234,6 +260,107 @@ runRequest(const std::string &experiment, std::uint64_t refs,
            ",\"seed\":" + std::to_string(seed) + extra + "}";
 }
 
+/** Outcome of one mw-client invocation. */
+struct ClientRun
+{
+    int exit_code = -1;
+    std::uint64_t elapsed_ms = 0;
+};
+
+/**
+ * fork/exec mw-client with @p args (stdout to /dev/null — the gates
+ * judge the exit code and wall clock, the byte-identity gates go
+ * through rpc() where the bytes are in hand).
+ */
+ClientRun
+runClient(const std::vector<std::string> &args)
+{
+    std::vector<std::string> full = {MWCLIENT_BIN};
+    full.insert(full.end(), args.begin(), args.end());
+
+    // The child inherits our buffered stdout; empty it first or the
+    // child's freopen() flushes a duplicate copy of everything
+    // printed so far.
+    std::fflush(stdout);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        MW_FATAL("fork: ", std::strerror(errno));
+    if (pid == 0) {
+        std::FILE *sink = std::freopen("/dev/null", "w", stdout);
+        (void)sink;
+        std::vector<char *> argv;
+        argv.reserve(full.size() + 1);
+        for (std::string &a : full)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        _exit(127);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    ClientRun out;
+    out.elapsed_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return out;
+}
+
+// ---- in-process golden renders for the catalog leg -----------------
+// Each reproduces exactly what the one-shot binary prints with
+// --format json, through the same library entry points.
+
+std::string
+goldenTable1()
+{
+    const std::uint64_t refs = resolveTable1Refs(true, 0);
+    std::vector<MachineRun> rows;
+    for (std::size_t i = 0; i < table1_points; ++i)
+        rows.push_back(runTable1Point(i, refs));
+    return table1Json(rows);
+}
+
+std::string
+goldenTable3(std::uint64_t seed)
+{
+    const SpecEvalParams base = resolveSpecEvalParams(true, 0, seed);
+    std::vector<SpecEstimate> rows;
+    const auto workloads = specTableWorkloads();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        SpecEvalParams p = base;
+        p.seed = specTablePointSeed(seed, i);
+        rows.push_back(runSpecTablePoint(*workloads[i], false, p));
+    }
+    return specTableJson(false, rows);
+}
+
+std::string
+goldenFig13Nodes1()
+{
+    const SplashFigure fig = SplashFigure::Fig13Lu;
+    const double scale = resolveSplashScale(fig, true);
+    std::vector<SplashResult> rows;
+    for (const std::string &arch : splashArchs())
+        for (unsigned ncpus : splashCpuCounts(1))
+            rows.push_back(runSplashFigurePoint(fig, arch, ncpus,
+                                                scale, nullptr));
+    return splashFigureJson(fig, scale, 1, rows);
+}
+
+std::string
+goldenFig7Sampled(const std::string &plan_text)
+{
+    const SamplingPlan plan = parseSamplingPlan(plan_text);
+    const MissRateParams params = resolveMissRateParams(true, 0);
+    return missRateFigureSampledJson(
+        MissRateFigure::ICache,
+        runMissRateFigureSampled(MissRateFigure::ICache, params,
+                                 plan));
+}
+
 } // namespace
 
 int
@@ -251,7 +378,11 @@ main(int argc, char **argv)
     const std::string cache_dir = scratch + "/cache";
 
     // ---- spawn -----------------------------------------------------
-    pid_t pid = spawnServer(socket_path, cache_dir, jobs, {});
+    // A modest batch window so concurrent distinct keys coalesce —
+    // the batching leg depends on it; every other leg just rides the
+    // few extra milliseconds of collection latency.
+    pid_t pid = spawnServer(socket_path, cache_dir, jobs,
+                            {"--batch-window-ms", "60"});
     gate("server came up", waitForServer(socket_path, pid),
          "fork/exec + socket accept within 5s");
 
@@ -349,6 +480,134 @@ main(int argc, char **argv)
              ", distinct keys=" +
              std::to_string((long long)expect_computed));
 
+    // ---- catalog leg ----------------------------------------------
+    // Golden bytes for the rest of the catalog, from the same
+    // library entry points the one-shot binaries print through.
+    const std::string plan_text = "U=500,W=1000,k=20";
+    const std::string golden_t1 = goldenTable1();
+    const std::string golden_t3 = goldenTable3(opt.seed);
+    const std::string golden_lu = goldenFig13Nodes1();
+    const std::string golden_f7s = goldenFig7Sampled(plan_text);
+
+    const std::string seed_field =
+        ",\"seed\":" + std::to_string(opt.seed);
+    const std::string req_t1 =
+        R"({"cmd":"run","experiment":"table1","quick":true)" +
+        seed_field + "}";
+    const std::string req_t3 =
+        R"({"cmd":"run","experiment":"table3","quick":true)" +
+        seed_field + "}";
+    const std::string req_lu =
+        R"({"cmd":"run","experiment":"fig13","quick":true,"nodes":1)" +
+        seed_field + "}";
+    const std::string req_f7s =
+        R"({"cmd":"run","experiment":"fig7","quick":true,"sample":")" +
+        plan_text + "\"" + seed_field + "}";
+
+    // Mixed-catalog storm: all four entries land on the server at
+    // once (one shared batch window, four unrelated plans).
+    const std::vector<std::pair<const std::string *,
+                                const std::string *>>
+        catalog = {{&req_t1, &golden_t1},
+                   {&req_t3, &golden_t3},
+                   {&req_lu, &golden_lu},
+                   {&req_f7s, &golden_f7s}};
+    std::vector<int> cat_bad(catalog.size(), 0);
+    std::vector<std::thread> cat_threads;
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+        cat_threads.emplace_back([&, i] {
+            if (resultBytes(rpc(socket_path, *catalog[i].first)) !=
+                *catalog[i].second)
+                cat_bad[i] = 1;
+        });
+    for (auto &th : cat_threads)
+        th.join();
+    gate("catalog storm serves renderer bytes",
+         cat_bad[0] + cat_bad[1] + cat_bad[2] + cat_bad[3] == 0,
+         "table1/table3/fig13(nodes=1)/fig7-sampled, concurrent");
+
+    // ---- batching leg ---------------------------------------------
+    // Sequential baseline: two fresh keys, one at a time — each pass
+    // computes every per-workload unit itself.
+    const auto timed_rpc = [&](const std::string &req) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string resp = rpc(socket_path, req);
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        return std::make_pair(resp, static_cast<std::uint64_t>(ms));
+    };
+    const auto seq7 = timed_rpc(runRequest("fig7", refs, 9'001));
+    const auto seq8 = timed_rpc(runRequest("fig8", refs, 9'002));
+    const std::uint64_t t_seq = seq7.second + seq8.second;
+    bool seq_golden = resultBytes(seq7.first) == golden7 &&
+                      resultBytes(seq8.first) == golden8;
+
+    // Batched pass: the same two figures fired together. fig7 and
+    // fig8 at one window decompose into IDENTICAL per-workload units
+    // (one measureMissRates() pass yields both figures), so one
+    // batch computes the suite once and renders both documents.
+    // Retried with fresh seeds in case a scheduling stall makes the
+    // two requests miss one 60 ms window.
+    const double suite_points =
+        static_cast<double>(specSuite().size());
+    bool coalesced = false, shared_exact = false,
+         batch_golden = false;
+    std::uint64_t t_batch = 0;
+    for (int attempt = 0; attempt < 3 && !coalesced; ++attempt) {
+        const std::string before =
+            rpc(socket_path, R"({"cmd":"stats"})");
+        const std::uint64_t seed7 = 9'100 + 2 * attempt;
+        std::string b7, b8;
+        const auto t0 = std::chrono::steady_clock::now();
+        std::thread th7([&] {
+            b7 = rpc(socket_path, runRequest("fig7", refs, seed7));
+        });
+        std::thread th8([&] {
+            b8 = rpc(socket_path,
+                     runRequest("fig8", refs, seed7 + 1));
+        });
+        th7.join();
+        th8.join();
+        t_batch = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        const std::string after =
+            rpc(socket_path, R"({"cmd":"stats"})");
+        const auto delta = [&](const char *name) {
+            return statNumber(after, "counters", name) -
+                   statNumber(before, "counters", name);
+        };
+        coalesced = delta("batches") == 1.0 &&
+                    delta("batched_keys") == 2.0;
+        shared_exact = delta("points_computed") == suite_points &&
+                       delta("points_shared") == suite_points;
+        batch_golden = resultBytes(b7) == golden7 &&
+                       resultBytes(b8) == golden8;
+    }
+    gate("batch coalesces distinct in-flight keys",
+         coalesced && batch_golden && seq_golden,
+         "fig7+fig8 in one batch, both documents golden");
+    gate("batch shares units exactly-once",
+         shared_exact,
+         "points_computed=+" +
+             std::to_string((long long)suite_points) +
+             ", points_shared=+" +
+             std::to_string((long long)suite_points));
+    const double speedup =
+        t_batch > 0 ? static_cast<double>(t_seq) /
+                          static_cast<double>(t_batch)
+                    : 0.0;
+    char speedup_txt[96];
+    std::snprintf(speedup_txt, sizeof(speedup_txt),
+                  "seq %llums vs batched %llums = %.2fx",
+                  (unsigned long long)t_seq,
+                  (unsigned long long)t_batch, speedup);
+    gate("batched pass beats sequential >= 1.3x", speedup >= 1.3,
+         speedup_txt);
+
     // ---- crash leg -------------------------------------------------
     ::kill(pid, SIGKILL);
     int status = 0;
@@ -367,20 +626,37 @@ main(int argc, char **argv)
          waitForServer(socket_path, pid),
          "bind over the dead server's socket file");
 
+    // By the SIGKILL the journal held the identity + storm keys plus
+    // the four catalog entries and the four batching-leg keys.
+    const double expect_recovered = expect_computed + 8.0;
     const std::string stats2 =
         rpc(socket_path, R"({"cmd":"stats"})");
     gate("journal replayed after SIGKILL",
-         statNumber(stats2, "cache", "recovered") >= expect_computed,
+         statNumber(stats2, "cache", "recovered") >=
+             expect_recovered,
          "recovered=" +
              std::to_string((long long)statNumber(
                  stats2, "cache", "recovered")) +
-             " >= " + std::to_string((long long)expect_computed));
+             " >= " + std::to_string((long long)expect_recovered));
 
     const std::string replay =
         rpc(socket_path, runRequest("fig7", refs, opt.seed));
     gate("cached replay is byte-identical",
          isCached(replay) && resultBytes(replay) == golden7,
          "served from the journal-recovered cache");
+
+    // Every catalog entry replays from the recovered cache with the
+    // exact renderer bytes — the crash lost nothing and changed
+    // nothing.
+    int cat_replay_bad = 0;
+    for (const auto &entry : catalog) {
+        const std::string r = rpc(socket_path, *entry.first);
+        if (!isCached(r) || resultBytes(r) != *entry.second)
+            ++cat_replay_bad;
+    }
+    gate("catalog crash replay byte-identical", cat_replay_bad == 0,
+         "table1/table3/fig13/fig7-sampled from the journal");
+
     gate("replay recomputed nothing",
          statNumber(rpc(socket_path, R"({"cmd":"stats"})"),
                     "counters", "computed") == 0.0,
@@ -435,6 +711,55 @@ main(int argc, char **argv)
          errorCodeOf(shed_resp) == "overloaded" && has_retry_after,
          "max-inflight=1, slot hogged by a hanging run");
     hog.join();
+
+    // ---- client leg -----------------------------------------------
+    // The real mw-client binary. Success is exit 0 (a cached key, so
+    // it returns at once)...
+    const ClientRun client_ok = runClient(
+        {"--socket", socket_path, "--timeout-ms", "120000", "run",
+         "--experiment", "fig7", "--refs", std::to_string(refs),
+         "--seed", std::to_string(opt.seed)});
+    gate("mw-client exits 0 on success", client_ok.exit_code == 0,
+         "exit=" + std::to_string(client_ok.exit_code));
+
+    // ...and a server-side error response — worker_failed from an
+    // injected persistent fault — is exit 1, not a swallowed "ok".
+    const ClientRun client_fail = runClient(
+        {"--socket", socket_path, "--timeout-ms", "120000", "send",
+         runRequest("fig7", refs, 7'101,
+                    R"(,"fault":{"fail_points":10000})")});
+    gate("mw-client exits nonzero on worker_failed",
+         client_fail.exit_code == 1,
+         "exit=" + std::to_string(client_fail.exit_code));
+
+    // A bound-but-wedged socket: listening, backlog full, nobody
+    // accepting. A plain connect(2) would block indefinitely — no
+    // read timeout ever fires because the connect never completes.
+    // --timeout-ms must bound the connect itself.
+    {
+        const std::string decoy = scratch + "/wedged.sock";
+        std::string why;
+        const int lfd = listenUnix(decoy, 0, &why);
+        gate("decoy wedged listener bound", lfd >= 0, why);
+        // Fill the (zero-length) backlog so the client's connect
+        // cannot complete. If the filler itself cannot get in, the
+        // client's connect will — and then its I/O timeout bounds
+        // the read instead; either way the gate must see a prompt
+        // nonzero exit.
+        const int filler = connectUnixTimeout(decoy, 2'000, &why);
+        const ClientRun hung = runClient({"--socket", decoy,
+                                          "--timeout-ms", "400",
+                                          "ping"});
+        gate("mw-client timeout bounds a wedged connect",
+             hung.exit_code != 0 && hung.elapsed_ms < 5'000,
+             "exit=" + std::to_string(hung.exit_code) + " after " +
+                 std::to_string(hung.elapsed_ms) + "ms");
+        if (filler >= 0)
+            ::close(filler);
+        if (lfd >= 0)
+            ::close(lfd);
+        ::unlink(decoy.c_str());
+    }
 
     // ---- shutdown leg ---------------------------------------------
     const std::string bye =

@@ -7,27 +7,42 @@
 
 namespace memwall {
 
+bool
+SamplingPlan::tryValidate(std::string *why) const
+{
+    const auto fail = [&](const std::string &reason) {
+        if (why != nullptr)
+            *why = "sampling plan: " + reason;
+        return false;
+    };
+    if (unit_refs == 0)
+        return fail("unit length U must be positive");
+    if (period_units == 0)
+        return fail("period k must be positive");
+    // k*U can overflow on hostile input; compare via division.
+    const std::uint64_t warm_units =
+        warmup_refs / unit_refs + (warmup_refs % unit_refs != 0);
+    if (scheme == SampleScheme::Systematic &&
+        warm_units > period_units - 1)
+        return fail("period k*U cannot fit the detail unit plus W = " +
+                    std::to_string(warmup_refs) + " warmup refs");
+    if (scheme == SampleScheme::Stratified && units == 0)
+        return fail("stratified mode needs n >= 1 units");
+    if (!(level > 0.5) || !(level < 1.0))
+        return fail("confidence level must be in (0.5, 1)");
+    if (!(target_ci >= 0.0))
+        return fail("target ci must be >= 0");
+    if (max_units < units)
+        return fail("max units below the minimum");
+    return true;
+}
+
 void
 SamplingPlan::validate() const
 {
-    if (unit_refs == 0)
-        MW_FATAL("sampling plan: unit length U must be positive");
-    if (period_units == 0)
-        MW_FATAL("sampling plan: period k must be positive");
-    if (scheme == SampleScheme::Systematic &&
-        period_units * unit_refs < unit_refs + warmup_refs)
-        MW_FATAL("sampling plan: period k*U = ",
-                 period_units * unit_refs,
-                 " refs cannot fit the detail unit plus W = ",
-                 warmup_refs, " warmup refs");
-    if (scheme == SampleScheme::Stratified && units == 0)
-        MW_FATAL("sampling plan: stratified mode needs n >= 1 units");
-    if (level <= 0.5 || level >= 1.0)
-        MW_FATAL("sampling plan: confidence level must be in (0.5, 1)");
-    if (target_ci < 0.0)
-        MW_FATAL("sampling plan: target ci must be >= 0");
-    if (max_units < units)
-        MW_FATAL("sampling plan: max units below the minimum");
+    std::string why;
+    if (!tryValidate(&why))
+        MW_FATAL(why);
 }
 
 std::string
@@ -47,14 +62,18 @@ SamplingPlan::describe() const
     return os.str();
 }
 
-SamplingPlan
-parseSamplingPlan(const std::string &text)
+bool
+tryParseSamplingPlan(const std::string &text, SamplingPlan &plan,
+                     std::string *why)
 {
-    SamplingPlan plan;
-    if (text.empty()) {
-        plan.validate();
-        return plan;
-    }
+    const auto fail = [&](const std::string &reason) {
+        if (why != nullptr)
+            *why = "--sample: " + reason;
+        return false;
+    };
+    plan = SamplingPlan{};
+    if (text.empty())
+        return plan.tryValidate(why);
 
     std::size_t start = 0;
     while (start <= text.size()) {
@@ -66,25 +85,24 @@ parseSamplingPlan(const std::string &text)
         const std::size_t eq = item.find('=');
         if (eq == std::string::npos || eq == 0 ||
             eq + 1 == item.size())
-            MW_FATAL("--sample: malformed item '", item,
-                     "' (expected key=value)");
+            return fail("malformed item '" + item +
+                        "' (expected key=value)");
         const std::string key = item.substr(0, eq);
         const std::string value = item.substr(eq + 1);
 
         char *end = nullptr;
+        bool bad_number = false;
         const auto u64 = [&]() -> std::uint64_t {
             const std::uint64_t v =
                 std::strtoull(value.c_str(), &end, 0);
             if (end == value.c_str() || *end != '\0')
-                MW_FATAL("--sample: invalid number '", value,
-                         "' for key '", key, "'");
+                bad_number = true;
             return v;
         };
         const auto f64 = [&]() -> double {
             const double v = std::strtod(value.c_str(), &end);
             if (end == value.c_str() || *end != '\0')
-                MW_FATAL("--sample: invalid number '", value,
-                         "' for key '", key, "'");
+                bad_number = true;
             return v;
         };
 
@@ -110,11 +128,14 @@ parseSamplingPlan(const std::string &text)
             else if (value == "strat" || value == "stratified")
                 plan.scheme = SampleScheme::Stratified;
             else
-                MW_FATAL("--sample: unknown mode '", value,
-                         "' (want sys|strat)");
+                return fail("unknown mode '" + value +
+                            "' (want sys|strat)");
         } else {
-            MW_FATAL("--sample: unknown key '", key, "'");
+            return fail("unknown key '" + key + "'");
         }
+        if (bad_number)
+            return fail("invalid number '" + value + "' for key '" +
+                        key + "'");
 
         if (comma == std::string::npos)
             break;
@@ -122,7 +143,16 @@ parseSamplingPlan(const std::string &text)
     }
     if (plan.max_units < plan.units)
         plan.max_units = plan.units;
-    plan.validate();
+    return plan.tryValidate(why);
+}
+
+SamplingPlan
+parseSamplingPlan(const std::string &text)
+{
+    SamplingPlan plan;
+    std::string why;
+    if (!tryParseSamplingPlan(text, plan, &why))
+        MW_FATAL(why);
     return plan;
 }
 

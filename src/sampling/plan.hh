@@ -69,6 +69,12 @@ struct SamplingPlan
     bool adaptive() const { return target_ci > 0.0; }
     /** Validate; fatal on inconsistency (e.g. W does not fit k*U). */
     void validate() const;
+    /**
+     * Non-fatal validation: returns false with a reason in @p why.
+     * The form servers use on untrusted request parameters, where a
+     * bad plan must become an error response, not a process abort.
+     */
+    bool tryValidate(std::string *why) const;
     /** Human-readable one-line summary. */
     std::string describe() const;
 };
@@ -82,6 +88,14 @@ struct SamplingPlan
  * plan.
  */
 SamplingPlan parseSamplingPlan(const std::string &text);
+
+/**
+ * Non-fatal variant of parseSamplingPlan for untrusted input (the
+ * server's "sample" request field): returns false with a reason in
+ * @p why instead of aborting, leaving @p plan validated on success.
+ */
+bool tryParseSamplingPlan(const std::string &text, SamplingPlan &plan,
+                          std::string *why);
 
 /**
  * FNV-1a hash over every plan parameter. Checkpoints taken under a

@@ -4,9 +4,14 @@
 
 #include "checkpoint/codec.hh"
 #include "server/json.hh"
+#include "workloads/spec_tables.hh"
+#include "workloads/splash_figures.hh"
 
 #ifndef MEMWALL_GIT_DESCRIBE
-#define MEMWALL_GIT_DESCRIBE "unknown"
+#define MEMWALL_GIT_DESCRIBE ""
+#endif
+#ifndef MEMWALL_SOURCE_DIGEST
+#define MEMWALL_SOURCE_DIGEST "nodigest"
 #endif
 
 namespace memwall {
@@ -35,6 +40,90 @@ errorCodeName(ErrorCode code)
 }
 
 namespace {
+
+struct ExperimentEntry
+{
+    Experiment exp;
+    const char *name;
+};
+
+constexpr ExperimentEntry experiment_table[] = {
+    {Experiment::Fig7, "fig7"},
+    {Experiment::Fig8, "fig8"},
+    {Experiment::Table1, "table1"},
+    {Experiment::Table3, "table3"},
+    {Experiment::Table4, "table4"},
+    {Experiment::Fig13Lu, "fig13"},
+    {Experiment::Fig14Mp3d, "fig14"},
+    {Experiment::Fig15Ocean, "fig15"},
+    {Experiment::Fig16Water, "fig16"},
+    {Experiment::Fig17Pthor, "fig17"},
+};
+
+} // namespace
+
+const char *
+experimentName(Experiment exp)
+{
+    for (const auto &e : experiment_table)
+        if (e.exp == exp)
+            return e.name;
+    return "?";
+}
+
+bool
+parseExperimentName(const std::string &name, Experiment &out)
+{
+    for (const auto &e : experiment_table) {
+        if (name == e.name) {
+            out = e.exp;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+experimentIsSplash(Experiment exp)
+{
+    switch (exp) {
+    case Experiment::Fig13Lu:
+    case Experiment::Fig14Mp3d:
+    case Experiment::Fig15Ocean:
+    case Experiment::Fig16Water:
+    case Experiment::Fig17Pthor:
+        return true;
+    default:
+        return false;
+    }
+}
+
+bool
+experimentIsMissRate(Experiment exp)
+{
+    return exp == Experiment::Fig7 || exp == Experiment::Fig8;
+}
+
+bool
+experimentAcceptsSample(Experiment exp)
+{
+    return experimentIsMissRate(exp) || experimentIsSplash(exp);
+}
+
+namespace {
+
+/** The SPLASH figure behind a catalogued splash experiment. */
+SplashFigure
+splashFigureOf(Experiment exp)
+{
+    switch (exp) {
+    case Experiment::Fig13Lu: return SplashFigure::Fig13Lu;
+    case Experiment::Fig14Mp3d: return SplashFigure::Fig14Mp3d;
+    case Experiment::Fig15Ocean: return SplashFigure::Fig15Ocean;
+    case Experiment::Fig16Water: return SplashFigure::Fig16Water;
+    default: return SplashFigure::Fig17Pthor;
+    }
+}
 
 /** Schema-check one field as an exact uint64, with a named error. */
 bool
@@ -74,6 +163,44 @@ parseFault(const JsonValue &v, RunRequest &run, ErrorCode &code,
             detail = "unknown fault field \"" + m.first + "\"";
             return false;
         }
+    }
+    return true;
+}
+
+/**
+ * Fields apply per experiment: a field the catalog entry would
+ * silently ignore is rejected instead, so a client never believes it
+ * configured something it did not.
+ */
+bool
+validateRun(const RunRequest &run, ErrorCode &code,
+            std::string &detail)
+{
+    const std::string name = experimentName(run.experiment);
+    if (run.has_sample && !experimentAcceptsSample(run.experiment)) {
+        code = ErrorCode::BadParam;
+        detail = "\"sample\" does not apply to experiment \"" + name +
+                 "\" (tables are deterministic full runs)";
+        return false;
+    }
+    if (run.nodes != 0 && !experimentIsSplash(run.experiment)) {
+        code = ErrorCode::BadParam;
+        detail = "\"nodes\" only applies to the SPLASH figures, not "
+                 "\"" + name + "\"";
+        return false;
+    }
+    if (run.nodes > splash_max_nodes) {
+        code = ErrorCode::BadParam;
+        detail = "\"nodes\" of " + std::to_string(run.nodes) +
+                 " exceeds the maximum of " +
+                 std::to_string(splash_max_nodes);
+        return false;
+    }
+    if (run.refs != 0 && experimentIsSplash(run.experiment)) {
+        code = ErrorCode::BadParam;
+        detail = "\"refs\" does not apply to experiment \"" + name +
+                 "\" (SPLASH problem size is set by \"quick\")";
+        return false;
     }
     return true;
 }
@@ -138,14 +265,11 @@ parseRequest(const std::string &payload, Request &out,
                 detail = "field \"experiment\" must be a string";
                 return false;
             }
-            if (v.text == "fig7")
-                out.run.figure = MissRateFigure::ICache;
-            else if (v.text == "fig8")
-                out.run.figure = MissRateFigure::DCache;
-            else {
+            if (!parseExperimentName(v.text, out.run.experiment)) {
                 code = ErrorCode::UnknownExperiment;
                 detail = "unknown experiment \"" + v.text +
-                         "\" (expected \"fig7\" or \"fig8\")";
+                         "\" (catalog: fig7 fig8 table1 table3 "
+                         "table4 fig13 fig14 fig15 fig16 fig17)";
                 return false;
             }
             have_experiment = true;
@@ -162,6 +286,24 @@ parseRequest(const std::string &payload, Request &out,
         } else if (key == "seed") {
             if (!takeU64(v, "seed", out.run.seed, code, detail))
                 return false;
+        } else if (key == "nodes") {
+            if (!takeU64(v, "nodes", out.run.nodes, code, detail))
+                return false;
+        } else if (key == "sample") {
+            if (!v.isString()) {
+                code = ErrorCode::BadRequest;
+                detail = "field \"sample\" must be a string (the "
+                         "--sample plan syntax)";
+                return false;
+            }
+            std::string why;
+            if (!tryParseSamplingPlan(v.text, out.run.sample,
+                                      &why)) {
+                code = ErrorCode::BadParam;
+                detail = "field \"sample\": " + why;
+                return false;
+            }
+            out.run.has_sample = true;
         } else if (key == "deadline_ms") {
             if (!takeU64(v, "deadline_ms", out.run.deadline_ms, code,
                          detail))
@@ -184,10 +326,14 @@ parseRequest(const std::string &payload, Request &out,
         }
     }
 
-    if (out.cmd == Request::Cmd::Run && !have_experiment) {
-        code = ErrorCode::BadRequest;
-        detail = "run request is missing \"experiment\"";
-        return false;
+    if (out.cmd == Request::Cmd::Run) {
+        if (!have_experiment) {
+            code = ErrorCode::BadRequest;
+            detail = "run request is missing \"experiment\"";
+            return false;
+        }
+        if (!validateRun(out.run, code, detail))
+            return false;
     }
     return true;
 }
@@ -195,19 +341,83 @@ parseRequest(const std::string &payload, Request &out,
 std::string
 canonicalRunKey(const RunRequest &run)
 {
-    // Canonicalize through the same resolver the bench binaries use:
-    // {"quick":true} and {"refs":400000} request identical work and
-    // must collapse to one cache entry.
-    const MissRateParams params =
-        resolveMissRateParams(run.quick, run.refs);
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%s|measured=%llu|warmup=%llu|seed=%llu|build=%s",
-                  missRateFigureName(run.figure),
-                  static_cast<unsigned long long>(params.measured_refs),
-                  static_cast<unsigned long long>(params.warmup_refs),
-                  static_cast<unsigned long long>(run.seed),
-                  gitDescribe());
+    // Canonicalize through the same resolvers the bench binaries
+    // use: {"quick":true} and the explicit refs it implies request
+    // identical work and must collapse to one cache entry. The seed
+    // and build id always close the key; a sampled request also
+    // carries the plan hash, which covers every plan parameter.
+    char buf[320];
+    char sample[40] = "";
+    if (run.has_sample)
+        std::snprintf(sample, sizeof(sample), "|sample=%016llx",
+                      static_cast<unsigned long long>(
+                          samplingPlanHash(run.sample)));
+
+    switch (run.experiment) {
+    case Experiment::Fig7:
+    case Experiment::Fig8: {
+        const MissRateParams params =
+            resolveMissRateParams(run.quick, run.refs);
+        const MissRateFigure fig = run.experiment == Experiment::Fig7
+            ? MissRateFigure::ICache
+            : MissRateFigure::DCache;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s|measured=%llu|warmup=%llu|seed=%llu%s|build=%s",
+            missRateFigureName(fig),
+            static_cast<unsigned long long>(params.measured_refs),
+            static_cast<unsigned long long>(params.warmup_refs),
+            static_cast<unsigned long long>(run.seed), sample,
+            gitDescribe());
+        break;
+    }
+    case Experiment::Table1:
+        std::snprintf(
+            buf, sizeof(buf),
+            "table1_ss5_vs_ss10|refs=%llu|seed=%llu|build=%s",
+            static_cast<unsigned long long>(
+                resolveTable1Refs(run.quick, run.refs)),
+            static_cast<unsigned long long>(run.seed),
+            gitDescribe());
+        break;
+    case Experiment::Table3:
+    case Experiment::Table4: {
+        const bool vc = run.experiment == Experiment::Table4;
+        const SpecEvalParams params =
+            resolveSpecEvalParams(run.quick, run.refs, run.seed);
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s|measured=%llu|warmup=%llu|gspn=%llu|seed=%llu"
+            "|build=%s",
+            specTableName(vc),
+            static_cast<unsigned long long>(
+                params.missrate.measured_refs),
+            static_cast<unsigned long long>(
+                params.missrate.warmup_refs),
+            static_cast<unsigned long long>(
+                params.gspn_instructions),
+            static_cast<unsigned long long>(run.seed),
+            gitDescribe());
+        break;
+    }
+    default: {
+        const SplashFigure fig = splashFigureOf(run.experiment);
+        char cpus[24];
+        if (run.nodes == 0)
+            std::snprintf(cpus, sizeof(cpus), "all");
+        else
+            std::snprintf(cpus, sizeof(cpus), "%llu",
+                          static_cast<unsigned long long>(run.nodes));
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s|scale=%.9g|cpus=%s|seed=%llu%s|build=%s",
+            splashFigureName(fig),
+            resolveSplashScale(fig, run.quick), cpus,
+            static_cast<unsigned long long>(run.seed), sample,
+            gitDescribe());
+        break;
+    }
+    }
     return buf;
 }
 
@@ -217,10 +427,26 @@ runKeyHash(const RunRequest &run)
     return ckpt::fnv1a64(canonicalRunKey(run));
 }
 
+std::string
+sanitizeBuildId(const std::string &raw,
+                const std::string &source_digest)
+{
+    if (raw.empty())
+        return "src-" + source_digest;
+    const std::string dirty = "-dirty";
+    if (raw.size() >= dirty.size() &&
+        raw.compare(raw.size() - dirty.size(), dirty.size(),
+                    dirty) == 0)
+        return raw + "+" + source_digest;
+    return raw;
+}
+
 const char *
 gitDescribe()
 {
-    return MEMWALL_GIT_DESCRIBE;
+    static const std::string id =
+        sanitizeBuildId(MEMWALL_GIT_DESCRIBE, MEMWALL_SOURCE_DIGEST);
+    return id.c_str();
 }
 
 std::string

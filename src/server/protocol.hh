@@ -7,18 +7,25 @@
  *     {
  *       "cmd": "run" | "stats" | "ping" | "shutdown",   (default "run")
  *       "id": "<opaque string, echoed back>",            (optional)
- *       "experiment": "fig7" | "fig8",                   (run only)
+ *       "experiment": "fig7" | "fig8" | "table1" | "table3" |
+ *                     "table4" | "fig13" | "fig14" | "fig15" |
+ *                     "fig16" | "fig17",                 (run only)
  *       "quick": true|false,                             (default false)
- *       "refs": <uint>,                                  (default 0 = auto)
+ *       "refs": <uint>,                    (default 0 = auto; not splash)
  *       "seed": <uint>,                                  (default 42)
+ *       "sample": "U=..,W=..,k=..[,..]",   (fig7/fig8/splash only)
+ *       "nodes": <uint 1..16>,             (splash only; 0 = full axis)
  *       "deadline_ms": <uint>,             (default 0 = none; capped)
  *       "fault": {"fail_points": <uint>, "hang_ms": <uint>}
  *     }
  *
  * Unknown top-level or fault fields are rejected by name — a typo'd
- * "qick" must not silently run the full-size experiment. "fault" is
- * only honoured when the server runs with --allow-test-faults; it
- * exists for the torture harness and makes a request non-cacheable.
+ * "qick" must not silently run the full-size experiment — and fields
+ * that do not apply to the requested experiment (refs on a SPLASH
+ * figure, sample on a table) are rejected rather than ignored.
+ * "fault" is only honoured when the server runs with
+ * --allow-test-faults; it exists for the torture harness and makes a
+ * request non-cacheable.
  *
  * Responses (one frame each):
  *
@@ -26,10 +33,11 @@
  *     {"id":"...","status":"error",
  *      "error":{"code":"<name>","detail":"...","retry_after_ms":N}}
  *
- * "result" is deliberately the LAST member: the figure document is
- * spliced in verbatim (the same bytes missRateFigureJson produced,
- * trailing newline included) so a client that extracts the member's
- * byte span gets output byte-identical to the one-shot binary.
+ * "result" is deliberately the LAST member: the experiment document
+ * is spliced in verbatim (the same bytes the one-shot binary's
+ * --format=json renderer produced, trailing newline included) so a
+ * client that extracts the member's byte span gets output
+ * byte-identical to that binary.
  */
 
 #ifndef MEMWALL_SERVER_PROTOCOL_HH
@@ -38,6 +46,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sampling/plan.hh"
 #include "workloads/missrate_figures.hh"
 
 namespace memwall {
@@ -49,7 +58,7 @@ enum class ErrorCode {
     Oversized,       ///< frame over the size cap (stream re-synced)
     BadJson,         ///< payload is not valid strict JSON
     BadRequest,      ///< schema violation (unknown/missing/mistyped)
-    UnknownExperiment, ///< "experiment" not fig7/fig8
+    UnknownExperiment, ///< "experiment" not in the catalog
     BadParam,        ///< a field parsed but its value is unusable
     FaultInjectionDisabled, ///< "fault" without --allow-test-faults
     Overloaded,      ///< admission control shed the request
@@ -63,6 +72,42 @@ enum class ErrorCode {
 const char *errorCodeName(ErrorCode code);
 
 /**
+ * The experiment catalog: every table and figure the one-shot bench
+ * binaries regenerate is addressable by the wire names below. Each
+ * entry resolves to the same parameter defaults, the same point
+ * schedule (including per-point seeding) and the same JSON renderer
+ * as its binary, so served bytes are byte-identical to
+ * `<binary> --format json`.
+ */
+enum class Experiment {
+    Fig7,       ///< fig7_icache_miss
+    Fig8,       ///< fig8_dcache_miss
+    Table1,     ///< table1_ss5_vs_ss10
+    Table3,     ///< table3_spec_estimates
+    Table4,     ///< table4_spec_estimates_vc
+    Fig13Lu,    ///< fig13_lu
+    Fig14Mp3d,  ///< fig14_mp3d
+    Fig15Ocean, ///< fig15_ocean
+    Fig16Water, ///< fig16_water
+    Fig17Pthor, ///< fig17_pthor
+};
+
+/** Wire name of @p exp ("fig7", "table3", "fig15", ...). */
+const char *experimentName(Experiment exp);
+
+/** Reverse of experimentName(); false if @p name is not catalogued. */
+bool parseExperimentName(const std::string &name, Experiment &out);
+
+/** True for the five SPLASH figures (fig13..fig17). */
+bool experimentIsSplash(Experiment exp);
+
+/** True for the miss-rate figures (fig7/fig8). */
+bool experimentIsMissRate(Experiment exp);
+
+/** True when "sample" applies to @p exp (miss-rate + SPLASH). */
+bool experimentAcceptsSample(Experiment exp);
+
+/**
  * Upper bound on "deadline_ms": one day. Larger values are rejected
  * with bad_param at parse time — std::chrono::milliseconds has a
  * signed 64-bit representation, so an unchecked client value near
@@ -73,10 +118,13 @@ constexpr std::uint64_t max_deadline_ms = 86'400'000;
 /** What a "run" request asks for, after validation. */
 struct RunRequest
 {
-    MissRateFigure figure = MissRateFigure::ICache;
+    Experiment experiment = Experiment::Fig7;
     bool quick = false;
-    std::uint64_t refs = 0; ///< 0 = figure default for quick/full
+    std::uint64_t refs = 0; ///< 0 = experiment default for quick/full
     std::uint64_t seed = 42;
+    std::uint64_t nodes = 0; ///< SPLASH only; 0 = full {1,2,4,8,16}
+    bool has_sample = false;
+    SamplingPlan sample; ///< valid when has_sample
     std::uint64_t deadline_ms = 0; ///< 0 = no deadline
     // Fault injection (torture harness only; gated server-side).
     bool has_fault = false;
@@ -103,18 +151,34 @@ bool parseRequest(const std::string &payload, Request &out,
                   ErrorCode &code, std::string &detail);
 
 /**
- * Canonical description of a run: resolved parameters (explicit refs
- * and quick-mode defaults collapse to the same string), the seed, and
- * the binary's git describe. Hashing this is the cache key; baking
- * the build id in means a rebuilt server never serves results
- * computed by different code.
+ * Canonical description of a run: the experiment, its resolved
+ * parameters (explicit refs and quick-mode defaults collapse to the
+ * same string), the seed, the sampling-plan hash when sampled, and
+ * the binary's build id. Hashing this is the cache key; baking the
+ * build id in means a rebuilt server never serves results computed
+ * by different code.
  */
 std::string canonicalRunKey(const RunRequest &run);
 
 /** FNV-1a of canonicalRunKey — the cache/dedup key. */
 std::uint64_t runKeyHash(const RunRequest &run);
 
-/** The git describe string baked into this binary at build time. */
+/**
+ * Collapse a raw `git describe --always --dirty` string into a build
+ * id that never aliases distinct code. @p source_digest is a hash of
+ * the source tree contents:
+ *  - raw empty (git missing, not a repo, describe failed): the id is
+ *    "src-<digest>" — two different source trees without git history
+ *    must not collapse to one constant;
+ *  - raw ending in "-dirty": the id is "<raw>+<digest>" — two dirty
+ *    worktrees at the same commit differ in uncommitted edits, which
+ *    only the content digest can tell apart;
+ *  - otherwise raw names the commit exactly and is used verbatim.
+ */
+std::string sanitizeBuildId(const std::string &raw,
+                            const std::string &source_digest);
+
+/** The sanitized build id baked into this binary at build time. */
 const char *gitDescribe();
 
 /** Build the success envelope around raw @p result_json bytes. */

@@ -11,9 +11,9 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "server/catalog.hh"
 #include "server/json.hh"
 #include "server/wire.hh"
-#include "workloads/spec_suite.hh"
 
 namespace memwall {
 namespace server {
@@ -48,21 +48,39 @@ saturatingBackoffMs(std::uint64_t base_ms, unsigned exponent)
     return std::min(base_ms << exponent, cap_ms);
 }
 
-/** Scatter/gather context for one deduplicated figure computation.
+/** Scatter/gather context for one deduplicated experiment run.
  *  remaining/results/failed are guarded by MwServer::mu_; the fault
- *  countdown is atomic because points decrement it concurrently
+ *  countdown is atomic because units decrement it concurrently
  *  outside the lock. */
 struct MwServer::ComputeJob
 {
     std::string canonical;
     std::shared_ptr<Inflight> entry;
     RunRequest run;
-    MissRateParams params;
-    std::vector<WorkloadMissRates> results;
+    CatalogPlan plan;
+    std::vector<std::shared_ptr<void>> results; ///< one per point
     std::size_t remaining = 0;
     bool failed = false;
     std::string fail_detail;
     std::atomic<std::int64_t> fault_countdown{0};
+};
+
+/** One deduplicated computation inside a batch pass: the compute
+ *  closure of the first point that named this unit key, plus every
+ *  (job, point index) its result must be delivered to. Immutable
+ *  after the batcher publishes it to the pool, except through the
+ *  subscribing jobs' own synchronization. */
+struct MwServer::ComputeUnit
+{
+    std::string label;
+    std::function<std::shared_ptr<void>()> compute;
+    /** The owning job when this unit is fault-injected; unit keys of
+     *  fault runs are scoped to their canonical key, so a fault unit
+     *  has exactly one subscriber and this is it. Null for clean
+     *  units. */
+    std::shared_ptr<ComputeJob> fault_job;
+    std::vector<std::pair<std::shared_ptr<ComputeJob>, std::size_t>>
+        subscribers;
 };
 
 MwServer::~MwServer()
@@ -120,7 +138,14 @@ MwServer::start(std::string *why)
     setCloexec(listen_fd_);
 
     pool_ = std::make_unique<ThreadPool>(opt_.jobs);
+    // A restart after shutdownInternal() must not inherit the old
+    // stop flag or runs that were queued but never batched.
+    stopping_ = false;
+    pending_.clear();
+    inflight_.clear();
+    last_unit_done_ = Clock::now();
     watchdog_ = std::thread([this] { watchdogLoop(); });
+    batcher_ = std::thread([this] { batcherLoop(); });
     started_ = true;
     return true;
 }
@@ -161,6 +186,7 @@ MwServer::shutdownInternal()
             ::shutdown(conn.fd, SHUT_RDWR);
     }
     stop_cv_.notify_all();
+    batch_cv_.notify_all();
 
     for (;;) {
         std::vector<std::thread> dead;
@@ -180,6 +206,9 @@ MwServer::shutdownInternal()
 
     if (watchdog_.joinable())
         watchdog_.join();
+    // The batcher must stop submitting before the pool dies.
+    if (batcher_.joinable())
+        batcher_.join();
     // Drain outstanding computations before the cache goes away:
     // finalize still wants to journal their results.
     pool_.reset();
@@ -433,7 +462,7 @@ MwServer::handleRun(const Request &req)
                     opt_.backoff_base_ms, 3)));
         }
         entry = std::make_shared<Inflight>();
-        entry->started = arrival;
+        entry->last_progress = arrival;
         entry->cacheable = !req.run.has_fault;
         inflight_[canonical] = entry;
 
@@ -441,13 +470,19 @@ MwServer::handleRun(const Request &req)
         job->canonical = canonical;
         job->entry = entry;
         job->run = req.run;
-        job->params =
-            resolveMissRateParams(req.run.quick, req.run.refs);
+        // Fault-injected units are scoped to this run's canonical
+        // key (unique while in flight), so they can never coalesce
+        // with — or poison — a clean request's unit.
+        job->plan = buildCatalogPlan(
+            req.run, req.run.has_fault ? canonical : std::string());
+        MW_ASSERT(!job->plan.points.empty(),
+                  "catalog plan with no points");
+        job->results.resize(job->plan.points.size());
+        job->remaining = job->plan.points.size();
         job->fault_countdown = static_cast<std::int64_t>(
             req.run.has_fault ? req.run.fault_fail_points : 0);
-        lk.unlock();
-        launchCompute(job);
-        lk.lock();
+        pending_.push_back(std::move(job));
+        batch_cv_.notify_one();
     }
 
     // Owner and joiners alike wait for completion, quarantine, stop
@@ -492,26 +527,70 @@ MwServer::handleRun(const Request &req)
 }
 
 void
-MwServer::launchCompute(const std::shared_ptr<ComputeJob> &job)
+MwServer::batcherLoop()
 {
-    const auto &suite = specSuite();
-    job->results.resize(suite.size());
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        job->remaining = suite.size();
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stopping_) {
+        batch_cv_.wait(
+            lk, [&] { return stopping_ || !pending_.empty(); });
+        if (stopping_)
+            break;
+        if (opt_.batch_window_ms > 0) {
+            // Linger with the queue open so near-simultaneous
+            // requests coalesce into this pass.
+            lk.unlock();
+            std::this_thread::sleep_for(ms(opt_.batch_window_ms));
+            lk.lock();
+            if (stopping_)
+                break;
+        }
+        std::vector<std::shared_ptr<ComputeJob>> batch;
+        batch.swap(pending_);
+
+        // Coalesce equal unit keys across every run in the batch:
+        // one computation, delivered to all subscribers. Submission
+        // order follows first appearance, so a solo batch schedules
+        // exactly like the pre-batching server did.
+        std::map<std::string, std::shared_ptr<ComputeUnit>> units;
+        std::vector<std::shared_ptr<ComputeUnit>> order;
+        std::size_t points_total = 0;
+        for (const auto &job : batch) {
+            for (std::size_t i = 0; i < job->plan.points.size();
+                 ++i) {
+                CatalogPoint &pt = job->plan.points[i];
+                std::shared_ptr<ComputeUnit> &slot =
+                    units[pt.unit_key];
+                if (!slot) {
+                    slot = std::make_shared<ComputeUnit>();
+                    slot->label = pt.label;
+                    slot->compute = std::move(pt.compute);
+                    if (job->run.has_fault)
+                        slot->fault_job = job;
+                    order.push_back(slot);
+                }
+                slot->subscribers.emplace_back(job, i);
+                ++points_total;
+            }
+        }
+        ++counters_.batches;
+        counters_.batched_keys += batch.size();
+        counters_.points_computed += order.size();
+        counters_.points_shared += points_total - order.size();
+
+        lk.unlock();
+        for (const auto &unit : order)
+            pool_->submit([this, unit] { runUnit(unit); });
+        lk.lock();
     }
-    for (std::size_t i = 0; i < suite.size(); ++i)
-        pool_->submit([this, job, i] { runPoint(job, i); });
 }
 
 void
-MwServer::runPoint(const std::shared_ptr<ComputeJob> &job,
-                   std::size_t index)
+MwServer::runUnit(const std::shared_ptr<ComputeUnit> &unit)
 {
-    const auto &suite = specSuite();
-    WorkloadMissRates result;
+    std::shared_ptr<void> result;
     bool success = false;
     std::string last_error;
+    const std::shared_ptr<ComputeJob> &fault = unit->fault_job;
     for (unsigned attempt = 0; attempt <= opt_.max_retries;
          ++attempt) {
         if (attempt > 0) {
@@ -521,20 +600,21 @@ MwServer::runPoint(const std::shared_ptr<ComputeJob> &job,
             }
             // This backoff (and the fault hang below) sleeps on the
             // pool worker itself: with a small pool, enough hung or
-            // retrying points can occupy every worker and unrelated
+            // retrying units can occupy every worker and unrelated
             // requests queue behind the sleeps. Accepted for an
-            // experiment service whose points normally never sleep;
+            // experiment service whose units normally never sleep;
             // resubmit-with-delay is the upgrade path if it hurts.
             std::this_thread::sleep_for(ms(saturatingBackoffMs(
                 opt_.backoff_base_ms, attempt - 1)));
         }
-        if (job->run.fault_hang_ms > 0)
-            std::this_thread::sleep_for(ms(job->run.fault_hang_ms));
+        if (fault && fault->run.fault_hang_ms > 0)
+            std::this_thread::sleep_for(
+                ms(fault->run.fault_hang_ms));
         try {
-            if (job->fault_countdown.fetch_sub(1) > 0)
+            if (fault && fault->fault_countdown.fetch_sub(1) > 0)
                 throw std::runtime_error(
                     "injected transient worker fault");
-            result = measureMissRates(suite[index], job->params);
+            result = unit->compute();
             success = true;
             break;
         } catch (const std::exception &e) {
@@ -542,25 +622,38 @@ MwServer::runPoint(const std::shared_ptr<ComputeJob> &job,
         }
     }
 
-    bool last = false;
+    // Deliver to every subscriber; finalize each job whose last
+    // point this was. finalize() journals under cache_mu_, so it
+    // must run with mu_ dropped.
+    std::vector<std::shared_ptr<ComputeJob>> completed;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (success) {
-            job->results[index] = std::move(result);
-        } else {
-            ++counters_.worker_failures;
-            if (!job->failed) {
-                job->failed = true;
-                job->fail_detail =
-                    "workload '" + suite[index].name + "' failed " +
-                    std::to_string(opt_.max_retries + 1) +
-                    " attempts: " + last_error;
+        const auto now = Clock::now();
+        last_unit_done_ = now;
+        for (const auto &[job, index] : unit->subscribers) {
+            // Even a failed attempt is forward motion: the watchdog
+            // fences off computations where NO unit resolves for a
+            // whole grace period, not merely slow ones.
+            job->entry->last_progress = now;
+            if (success) {
+                job->results[index] = result;
+            } else {
+                ++counters_.worker_failures;
+                if (!job->failed) {
+                    job->failed = true;
+                    job->fail_detail =
+                        unit->label + " failed " +
+                        std::to_string(opt_.max_retries + 1) +
+                        " attempts: " + last_error;
+                }
             }
+            MW_ASSERT(job->remaining > 0,
+                      "compute job over-completed");
+            if (--job->remaining == 0)
+                completed.push_back(job);
         }
-        MW_ASSERT(job->remaining > 0, "compute job over-completed");
-        last = --job->remaining == 0;
     }
-    if (last)
+    for (const auto &job : completed)
         finalize(job);
 }
 
@@ -574,8 +667,7 @@ MwServer::finalize(const std::shared_ptr<ComputeJob> &job)
     const std::shared_ptr<Inflight> &entry = job->entry;
     std::string result_json;
     if (!job->failed)
-        result_json =
-            missRateFigureJson(job->run.figure, job->results);
+        result_json = job->plan.render(job->results);
 
     // Journal BEFORE publishing completion: the key stays visible in
     // inflight_ until the cache holds it, so a duplicate request can
@@ -626,7 +718,16 @@ MwServer::watchdogLoop()
             if (entry->state != Inflight::State::Running ||
                 entry->quarantined)
                 continue;
-            if (now - entry->started < ms(opt_.wedge_grace_ms))
+            // A wedged computation is one where no unit has resolved
+            // for a whole grace period — total age alone would
+            // quarantine a big batched job steadily chewing through
+            // its units on a small pool. And the pool-wide stamp
+            // must be equally stale: a job whose units sit queued
+            // behind someone else's long batch refreshes no stamp of
+            // its own, yet it is waiting its turn, not wedged.
+            if (now - entry->last_progress < ms(opt_.wedge_grace_ms))
+                continue;
+            if (now - last_unit_done_ < ms(opt_.wedge_grace_ms))
                 continue;
             quarantined_.insert(canonical);
             entry->quarantined = true;
@@ -692,6 +793,13 @@ MwServer::statsJson()
            std::to_string(counters.quarantines);
     out += ",\"unquarantines\":" +
            std::to_string(counters.unquarantines);
+    out += ",\"batches\":" + std::to_string(counters.batches);
+    out += ",\"batched_keys\":" +
+           std::to_string(counters.batched_keys);
+    out += ",\"points_computed\":" +
+           std::to_string(counters.points_computed);
+    out += ",\"points_shared\":" +
+           std::to_string(counters.points_shared);
     out += "},\"cache\":{";
     out += "\"entries\":" + std::to_string(cache_entries);
     out += ",\"recovered\":" + std::to_string(cache_recovered);

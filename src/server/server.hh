@@ -9,14 +9,25 @@
  *
  *  - Deduplication: concurrent requests for the same canonical run
  *    key share ONE computation. The first requester becomes the
- *    owner and launches per-workload tasks on the pool; later
- *    requesters join the in-flight entry as waiters. A completed
- *    result is journaled into the cache BEFORE the in-flight entry
- *    is erased, so the key is always visible in one of the two and a
- *    request either joins the computation or hits the cache — never
- *    recomputes. The journal fsync (and any compaction) runs under a
- *    dedicated cache mutex, never under the state mutex, so request
- *    handling and the watchdog never stall behind disk I/O.
+ *    owner and enqueues the run; later requesters join the in-flight
+ *    entry as waiters. A completed result is journaled into the
+ *    cache BEFORE the in-flight entry is erased, so the key is
+ *    always visible in one of the two and a request either joins the
+ *    computation or hits the cache — never recomputes. The journal
+ *    fsync (and any compaction) runs under a dedicated cache mutex,
+ *    never under the state mutex, so request handling and the
+ *    watchdog never stall behind disk I/O.
+ *
+ *  - Batching: enqueued runs are decomposed into catalog points
+ *    (see server/catalog.hh) by a batcher thread that drains the
+ *    queue in one pass — optionally after a short batch window — and
+ *    coalesces points with equal unit keys across DISTINCT in-flight
+ *    keys into one pool task each. A fig7 and a fig8 request at the
+ *    same window need the same per-workload miss-rate pass; batched
+ *    together, that pass runs once and both documents render from
+ *    it. Completion distributes the shared result to every
+ *    subscribing request; a request is finalized when its last point
+ *    lands, exactly once, whether or not any point was shared.
  *
  *  - Deadlines: a waiter whose deadline_ms expires gets a
  *    deadline_exceeded error immediately; the computation itself is
@@ -90,8 +101,12 @@ struct ServerOptions
     std::uint64_t max_inflight = 8;
     unsigned max_retries = 2;          ///< extra attempts per point
     std::uint64_t backoff_base_ms = 10;
-    std::uint64_t wedge_grace_ms = 30'000;
+    std::uint64_t wedge_grace_ms = 30'000; ///< no-unit-progress stall
     std::uint64_t watchdog_interval_ms = 100;
+    /** Batcher linger before draining the run queue: 0 drains
+     *  immediately (requests still coalesce while the pool is
+     *  busy); >0 trades latency for larger batches. */
+    std::uint64_t batch_window_ms = 0;
     bool allow_test_faults = false;
 };
 
@@ -110,6 +125,10 @@ struct ServerCounters
     std::uint64_t worker_failures = 0;
     std::uint64_t quarantines = 0;
     std::uint64_t unquarantines = 0;
+    std::uint64_t batches = 0;       ///< batcher pool passes
+    std::uint64_t batched_keys = 0;  ///< runs drained into a batch
+    std::uint64_t points_computed = 0; ///< unit computations executed
+    std::uint64_t points_shared = 0; ///< unit results reused in-batch
 };
 
 class MwServer
@@ -157,13 +176,20 @@ class MwServer
             State::Running;
         std::string result;       ///< figure JSON when Done
         std::string error_detail; ///< when Failed
-        Clock::time_point started;
+        /** Last time any compute unit delivered a result to this
+         *  entry (its arrival time until the first unit lands). The
+         *  watchdog quarantines on a stall of this timestamp, not on
+         *  total age: a large batched job that is steadily finishing
+         *  units is slow, not wedged. */
+        Clock::time_point last_progress;
         bool quarantined = false;
         bool cacheable = true; ///< fault-injected runs are not
     };
 
-    /** Scatter/gather context for one figure computation. */
+    /** Scatter/gather context for one experiment computation. */
     struct ComputeJob;
+    /** One deduplicated unit of work inside a batch pass. */
+    struct ComputeUnit;
 
     struct Connection
     {
@@ -179,11 +205,12 @@ class MwServer
                               bool &close_after);
     std::string handleRun(const Request &req);
     std::string statsJson();
-    /** Launch the pool tasks for @p job (caller holds no locks). */
-    void launchCompute(const std::shared_ptr<ComputeJob> &job);
-    /** One workload point with retry/backoff; runs on the pool. */
-    void runPoint(const std::shared_ptr<ComputeJob> &job,
-                  std::size_t index);
+    /** Drain the run queue into batches; coalesce unit keys across
+     *  the batch and submit one pool task per unique unit. */
+    void batcherLoop();
+    /** One compute unit with retry/backoff; runs on the pool.
+     *  Distributes the result to every subscribing job. */
+    void runUnit(const std::shared_ptr<ComputeUnit> &unit);
     /** Last-point completion: journal the result (under cache_mu_),
      *  then publish, unquarantine and notify (under mu_). Caller
      *  holds no locks. */
@@ -210,14 +237,23 @@ class MwServer
     mutable std::mutex cache_mu_;
     ResultCache cache_; // guarded by cache_mu_ once threads exist
     std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+    /** Last time ANY unit resolved, pool-wide; guarded by mu_. A
+     *  request queued behind a busy pool refreshes no per-entry
+     *  stamp, yet it is waiting, not wedged — the watchdog only
+     *  quarantines when the pool as a whole has also stalled. */
+    Clock::time_point last_unit_done_;
     std::set<std::string> quarantined_;
     ServerCounters counters_;
+    /** Runs awaiting a batch pass; guarded by mu_. */
+    std::vector<std::shared_ptr<ComputeJob>> pending_;
+    std::condition_variable batch_cv_; ///< wakes the batcher
 
     std::map<std::uint64_t, Connection> connections_;
     std::vector<std::uint64_t> finished_connections_;
     std::uint64_t next_conn_id_ = 0;
 
     std::thread watchdog_;
+    std::thread batcher_;
 };
 
 } // namespace server

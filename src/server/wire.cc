@@ -1,8 +1,11 @@
 #include "server/wire.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -283,6 +286,113 @@ connectUnix(const std::string &path, std::string *why)
         *why = errnoMessage("connect '" + path + "'");
     ::close(fd);
     return -1;
+}
+
+int
+connectUnixTimeout(const std::string &path,
+                   std::uint64_t timeout_ms, std::string *why)
+{
+    if (timeout_ms == 0)
+        return connectUnix(path, why);
+
+    sockaddr_un addr;
+    if (!unixAddress(path, addr, why))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (why)
+            *why = errnoMessage("socket");
+        return -1;
+    }
+    const int flags = ::fcntl(fd, F_GETFL);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    const auto timed_out = [&]() -> int {
+        if (why)
+            *why = "connect '" + path + "' timed out after " +
+                   std::to_string(timeout_ms) + " ms";
+        ::close(fd);
+        return -1;
+    };
+
+    for (;;) {
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        if (errno == EINPROGRESS) {
+            // In-flight connect: poll for the outcome.
+            for (;;) {
+                const auto left =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(deadline -
+                                                   Clock::now())
+                        .count();
+                if (left <= 0)
+                    return timed_out();
+                pollfd pfd{fd, POLLOUT, 0};
+                const int rc =
+                    ::poll(&pfd, 1, static_cast<int>(left));
+                if (rc < 0 && errno == EINTR)
+                    continue;
+                if (rc <= 0)
+                    return timed_out();
+                break;
+            }
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            if (err != 0) {
+                errno = err;
+                if (why)
+                    *why = errnoMessage("connect '" + path + "'");
+                ::close(fd);
+                return -1;
+            }
+            break;
+        }
+        if (errno == EAGAIN) {
+            // Unix-domain specialty: a full accept backlog answers a
+            // non-blocking connect with EAGAIN (a blocking one would
+            // have parked us indefinitely — the hang this timeout
+            // exists to prevent). Retry until the deadline.
+            if (Clock::now() >= deadline)
+                return timed_out();
+            ::poll(nullptr, 0, 10);
+            continue;
+        }
+        if (why)
+            *why = errnoMessage("connect '" + path + "'");
+        ::close(fd);
+        return -1;
+    }
+
+    ::fcntl(fd, F_SETFL, flags);
+    return fd;
+}
+
+bool
+setIoTimeout(int fd, std::uint64_t timeout_ms, std::string *why)
+{
+    if (timeout_ms == 0)
+        return true;
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                     sizeof(tv)) != 0 ||
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                     sizeof(tv)) != 0) {
+        if (why)
+            *why = errnoMessage("setsockopt io timeout");
+        return false;
+    }
+    return true;
 }
 
 } // namespace server

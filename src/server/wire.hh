@@ -23,6 +23,7 @@
 #define MEMWALL_SERVER_WIRE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace memwall {
@@ -66,6 +67,27 @@ int listenUnix(const std::string &path, int backlog,
 
 /** Connect to the server socket at @p path; -1 + @p why on failure. */
 int connectUnix(const std::string &path, std::string *why);
+
+/**
+ * connectUnix() with an upper bound on the connect itself.
+ * @p timeout_ms of 0 means no bound (plain connectUnix). The bound
+ * matters for Unix-domain sockets specifically: connect(2) to a
+ * bound-and-listening socket whose accept backlog is full BLOCKS
+ * until the server accepts — a wedged (but not dead) server hangs
+ * its clients before a single byte is written, where no read/write
+ * timeout can help. Implemented with a non-blocking connect polled
+ * against the deadline; the returned fd is blocking again.
+ */
+int connectUnixTimeout(const std::string &path,
+                       std::uint64_t timeout_ms, std::string *why);
+
+/**
+ * Bound every subsequent read/write on @p fd to @p timeout_ms
+ * (SO_RCVTIMEO/SO_SNDTIMEO); 0 leaves the socket unbounded. A timed
+ * out read surfaces as FrameStatus::IoError with an EAGAIN message.
+ */
+bool setIoTimeout(int fd, std::uint64_t timeout_ms,
+                  std::string *why);
 
 } // namespace server
 } // namespace memwall

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tiny helpers for the hand-rolled JSON renderers in src/workloads.
+ *
+ * The figure/table documents are built with printf-style formatting
+ * (the formats ARE the byte contract between the one-shot binaries
+ * and mw-server), so the helpers here exist for two jobs only:
+ * appending formatted text to a growing document, and formatting a
+ * double so that a non-finite value becomes the JSON literal `null`
+ * instead of the bare `nan`/`inf` printf would produce — which the
+ * strict parser on the other end rightly rejects.
+ */
+
+#ifndef MEMWALL_WORKLOADS_JSON_TEXT_HH
+#define MEMWALL_WORKLOADS_JSON_TEXT_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace memwall {
+namespace jsontext {
+
+/** printf into a std::string (the figures were written with printf;
+ *  keeping the exact format strings keeps the exact bytes). */
+template <typename... Args>
+void
+appendf(std::string &out, const char *fmt, Args... args)
+{
+    char buf[512];
+    const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+    MW_ASSERT(n >= 0 && n < static_cast<int>(sizeof(buf)),
+              "figure JSON row overflows the format buffer");
+    out.append(buf, static_cast<std::size_t>(n));
+}
+
+/**
+ * A double as a JSON number token: %.9g for finite values, `null`
+ * for NaN/inf (e.g. a confidence half-width from a single-unit
+ * sample, where the variance is undefined). Splice the returned
+ * token with %s.
+ */
+inline std::string
+num(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof(buf), "%.9g", v);
+    MW_ASSERT(n > 0 && n < static_cast<int>(sizeof(buf)),
+              "JSON number overflows the format buffer");
+    return std::string(buf, static_cast<std::size_t>(n));
+}
+
+} // namespace jsontext
+} // namespace memwall
+
+#endif // MEMWALL_WORKLOADS_JSON_TEXT_HH

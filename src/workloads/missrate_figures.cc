@@ -1,30 +1,17 @@
 #include "workloads/missrate_figures.hh"
 
+#include <cinttypes>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
 
 #include "common/logging.hh"
 #include "harness/thread_pool.hh"
+#include "workloads/json_text.hh"
 
 namespace memwall {
 
-namespace {
-
-/** printf into a std::string (the figures were written with printf;
- *  keeping the exact format strings keeps the exact bytes). */
-template <typename... Args>
-void
-appendf(std::string &out, const char *fmt, Args... args)
-{
-    char buf[512];
-    const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
-    MW_ASSERT(n >= 0 && n < static_cast<int>(sizeof(buf)),
-              "figure JSON row overflows the format buffer");
-    out.append(buf, static_cast<std::size_t>(n));
-}
-
-} // namespace
+using jsontext::appendf;
 
 const char *
 missRateFigureName(MissRateFigure fig)
@@ -124,6 +111,69 @@ missRateFigureJson(MissRateFigure fig,
                     pv.stats.storeMissRate(),
                     i + 1 < all.size() ? "," : "");
         }
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::vector<SampledWorkloadMissRates>
+runMissRateFigureSampled(MissRateFigure fig,
+                         const MissRateParams &params,
+                         const SamplingPlan &plan)
+{
+    (void)fig; // both figures measure the same comparison set
+    std::vector<SampledWorkloadMissRates> all;
+    for (const auto &w : specSuite())
+        all.push_back(measureMissRatesSampled(w, params, plan));
+    return all;
+}
+
+namespace {
+
+/** One sampled config as `"key": {"mean": m, "half": h}`; a
+ *  non-finite moment renders as null, never bare nan/inf. */
+void
+appendSampledField(std::string &out, const char *key,
+                   const SampledCacheMissRate &r, bool last = false)
+{
+    appendf(out, "\"%s\": {\"mean\": %s, \"half\": %s}%s", key,
+            jsontext::num(r.mean()).c_str(),
+            jsontext::num(r.ci.half_width).c_str(),
+            last ? "" : ", ");
+}
+
+} // namespace
+
+std::string
+missRateFigureSampledJson(
+    MissRateFigure fig, const std::vector<SampledWorkloadMissRates> &all)
+{
+    using namespace cachelabels;
+    std::string out;
+    appendf(out,
+            "{\n  \"bench\": \"%s\", \"sampled\": true,\n"
+            "  \"workloads\": [\n",
+            missRateFigureName(fig));
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const auto &r = all[i];
+        appendf(out, "    {\"name\": \"%s\", ", r.workload.c_str());
+        if (fig == MissRateFigure::ICache) {
+            appendSampledField(out, "proposed", r.icache(proposed));
+            appendSampledField(out, "conv8", r.icache(conv8));
+            appendSampledField(out, "conv16", r.icache(conv16));
+            appendSampledField(out, "conv32", r.icache(conv32));
+            appendSampledField(out, "conv64", r.icache(conv64));
+        } else {
+            appendSampledField(out, "proposed", r.dcache(proposed));
+            appendSampledField(out, "conv16", r.dcache(conv16));
+            appendSampledField(out, "conv16w2", r.dcache(conv16w2));
+            appendSampledField(out, "conv64", r.dcache(conv64));
+            appendSampledField(out, "conv256w2", r.dcache(conv256w2));
+            appendSampledField(out, "proposed_vc",
+                               r.dcache(proposed_vc));
+        }
+        appendf(out, "\"units\": %" PRIu64 "}%s\n", r.units,
+                i + 1 < all.size() ? "," : "");
     }
     out += "  ]\n}\n";
     return out;

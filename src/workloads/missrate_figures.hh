@@ -71,6 +71,29 @@ std::string
 missRateFigureJson(MissRateFigure fig,
                    const std::vector<WorkloadMissRates> &all);
 
+/**
+ * Run every specSuite() point of the figure under @p plan serially,
+ * in suite order. The sampled measurement is a fixed function of
+ * (params, plan) — stratified substreams are seeded from the plan,
+ * not the sweep — so the result is position- and schedule-
+ * independent, like the exhaustive runner above.
+ */
+std::vector<SampledWorkloadMissRates>
+runMissRateFigureSampled(MissRateFigure fig,
+                         const MissRateParams &params,
+                         const SamplingPlan &plan);
+
+/**
+ * Render sampled results as the figure's --format=json document:
+ * per-config {"mean": m, "half": h} objects plus the unit count.
+ * A non-finite value (a single-unit sample has no variance, so its
+ * half-width is NaN) renders as `null` — bare nan/inf would not be
+ * JSON at all, and the service's strict parser rejects it.
+ */
+std::string missRateFigureSampledJson(
+    MissRateFigure fig,
+    const std::vector<SampledWorkloadMissRates> &all);
+
 } // namespace memwall
 
 #endif // MEMWALL_WORKLOADS_MISSRATE_FIGURES_HH

@@ -19,12 +19,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cmath>
+
 #include "checkpoint/checkpoint.hh"
 #include "server/json.hh"
 #include "server/protocol.hh"
 #include "server/result_cache.hh"
 #include "server/server.hh"
 #include "server/wire.hh"
+#include "workloads/json_text.hh"
+#include "workloads/missrate.hh"
+#include "workloads/missrate_figures.hh"
+#include "workloads/spec_suite.hh"
 
 using namespace memwall;
 using namespace memwall::server;
@@ -273,9 +279,11 @@ TEST(ServerProtocol, ParsesRunDefaultsAndEchoesId)
         << detail;
     EXPECT_EQ(req.cmd, Request::Cmd::Run);
     EXPECT_EQ(req.id, "r1");
-    EXPECT_EQ(req.run.figure, MissRateFigure::DCache);
+    EXPECT_EQ(req.run.experiment, Experiment::Fig8);
     EXPECT_TRUE(req.run.quick);
     EXPECT_EQ(req.run.seed, 42u);
+    EXPECT_EQ(req.run.nodes, 0u);
+    EXPECT_FALSE(req.run.has_sample);
     EXPECT_EQ(req.run.deadline_ms, 0u);
     EXPECT_FALSE(req.run.has_fault);
 }
@@ -373,12 +381,164 @@ TEST(ServerProtocol, CanonicalKeyCollapsesEquivalentRequests)
     EXPECT_NE(canonicalRunKey(quick), canonicalRunKey(other_seed));
 
     RunRequest fig8 = quick;
-    fig8.figure = MissRateFigure::DCache;
+    fig8.experiment = Experiment::Fig8;
     EXPECT_NE(canonicalRunKey(quick), canonicalRunKey(fig8));
 
     EXPECT_NE(canonicalRunKey(quick).find(gitDescribe()),
               std::string::npos)
         << "the build id must be part of the key";
+}
+
+TEST(ServerProtocol, ParsesTheFullCatalogByName)
+{
+    const char *names[] = {"fig7",  "fig8",  "table1", "table3",
+                           "table4", "fig13", "fig14",  "fig15",
+                           "fig16",  "fig17"};
+    for (const char *name : names) {
+        Request req;
+        ErrorCode code;
+        std::string detail;
+        ASSERT_TRUE(parseRequest(
+            std::string(R"({"experiment":")") + name + "\"}", req,
+            code, detail))
+            << name << ": " << detail;
+        EXPECT_STREQ(experimentName(req.run.experiment), name);
+    }
+    // The unknown-experiment detail names the whole catalog, so a
+    // user typo'ing "tabel3" can see what exists.
+    Request req;
+    ErrorCode code;
+    std::string detail;
+    EXPECT_FALSE(parseRequest(R"({"experiment":"tabel3"})", req,
+                              code, detail));
+    EXPECT_EQ(code, ErrorCode::UnknownExperiment);
+    EXPECT_NE(detail.find("table3"), std::string::npos) << detail;
+    EXPECT_NE(detail.find("fig17"), std::string::npos) << detail;
+}
+
+TEST(ServerProtocol, RejectsInapplicableCatalogFields)
+{
+    Request req;
+    ErrorCode code;
+    std::string detail;
+
+    // Sampling plans only apply to the miss-rate and SPLASH
+    // experiments; the tables are deterministic full runs.
+    EXPECT_FALSE(parseRequest(
+        R"({"experiment":"table1","sample":"U=500,W=1000,k=4"})",
+        req, code, detail));
+    EXPECT_EQ(code, ErrorCode::BadParam);
+    EXPECT_NE(detail.find("sample"), std::string::npos) << detail;
+
+    // "nodes" restricts a SPLASH sweep; the others have no axis.
+    EXPECT_FALSE(parseRequest(
+        R"({"experiment":"fig7","nodes":4})", req, code, detail));
+    EXPECT_EQ(code, ErrorCode::BadParam);
+    EXPECT_NE(detail.find("nodes"), std::string::npos) << detail;
+
+    // The machine axis tops out at 16 processors.
+    EXPECT_FALSE(parseRequest(
+        R"({"experiment":"fig13","nodes":17})", req, code, detail));
+    EXPECT_EQ(code, ErrorCode::BadParam);
+
+    // SPLASH runs have no reference-count knob ("refs" would be
+    // silently ignored — reject it instead).
+    EXPECT_FALSE(parseRequest(
+        R"({"experiment":"fig13","refs":2000})", req, code, detail));
+    EXPECT_EQ(code, ErrorCode::BadParam);
+    EXPECT_NE(detail.find("refs"), std::string::npos) << detail;
+
+    // A malformed plan string is rejected with the parser's reason.
+    EXPECT_FALSE(parseRequest(
+        R"({"experiment":"fig7","sample":"bogus"})", req, code,
+        detail));
+    EXPECT_EQ(code, ErrorCode::BadParam);
+    EXPECT_NE(detail.find("sample"), std::string::npos) << detail;
+
+    // And the valid combinations parse.
+    ASSERT_TRUE(parseRequest(
+        R"({"experiment":"fig13","nodes":4,"quick":true})", req,
+        code, detail))
+        << detail;
+    EXPECT_EQ(req.run.nodes, 4u);
+    ASSERT_TRUE(parseRequest(
+        R"({"experiment":"fig7","sample":"U=500,W=1000,k=4"})", req,
+        code, detail))
+        << detail;
+    EXPECT_TRUE(req.run.has_sample);
+}
+
+TEST(ServerProtocol, CanonicalKeysSeparateCatalogEntries)
+{
+    // Every catalog entry at its defaults must canonicalize to a
+    // distinct key — a collision would serve one experiment's bytes
+    // for another from the cache.
+    std::vector<std::string> keys;
+    for (const char *name :
+         {"fig7", "fig8", "table1", "table3", "table4", "fig13",
+          "fig14", "fig15", "fig16", "fig17"}) {
+        RunRequest run;
+        ASSERT_TRUE(parseExperimentName(name, run.experiment));
+        run.quick = true;
+        keys.push_back(canonicalRunKey(run));
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        for (std::size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]);
+
+    // A sampled run keys differently from the exhaustive run, and
+    // different plans key differently from each other.
+    RunRequest sampled;
+    sampled.quick = true;
+    sampled.has_sample = true;
+    std::string why;
+    ASSERT_TRUE(tryParseSamplingPlan("U=500,W=1000,k=4",
+                                     sampled.sample, &why))
+        << why;
+    EXPECT_NE(canonicalRunKey(sampled), keys[0]);
+    RunRequest sampled2 = sampled;
+    ASSERT_TRUE(tryParseSamplingPlan("U=500,W=1000,k=8",
+                                     sampled2.sample, &why))
+        << why;
+    EXPECT_NE(canonicalRunKey(sampled), canonicalRunKey(sampled2));
+
+    // A node-restricted SPLASH sweep keys differently from the full
+    // axis.
+    RunRequest lu;
+    ASSERT_TRUE(parseExperimentName("fig13", lu.experiment));
+    lu.quick = true;
+    RunRequest lu4 = lu;
+    lu4.nodes = 4;
+    EXPECT_NE(canonicalRunKey(lu), canonicalRunKey(lu4));
+}
+
+TEST(ServerProtocol, SanitizedBuildIdNeverAliasesBuilds)
+{
+    // git absent / not a repo / describe failed: the source digest
+    // carries the identity. Distinct trees => distinct ids.
+    EXPECT_EQ(sanitizeBuildId("", "0123456789abcdef"),
+              "src-0123456789abcdef");
+    EXPECT_NE(sanitizeBuildId("", "aaaaaaaaaaaaaaaa"),
+              sanitizeBuildId("", "bbbbbbbbbbbbbbbb"));
+
+    // A dirty worktree names its commit but not its edits; the
+    // digest disambiguates two dirty trees at the same commit.
+    EXPECT_EQ(sanitizeBuildId("v2.0-4-gdeadbee-dirty", "feedc0de"),
+              "v2.0-4-gdeadbee-dirty+feedc0de");
+    EXPECT_NE(
+        sanitizeBuildId("v2.0-4-gdeadbee-dirty", "aaaaaaaaaaaaaaaa"),
+        sanitizeBuildId("v2.0-4-gdeadbee-dirty", "bbbbbbbbbbbbbbbb"));
+
+    // A clean describe names the commit exactly: used verbatim.
+    EXPECT_EQ(sanitizeBuildId("v2.0-4-gdeadbee", "feedc0de"),
+              "v2.0-4-gdeadbee");
+
+    // The baked-in id went through the same rules: never empty, and
+    // never the old constant fallback that aliased every gitless
+    // build to "unversioned".
+    const std::string baked = gitDescribe();
+    EXPECT_FALSE(baked.empty());
+    EXPECT_NE(baked, "unversioned");
 }
 
 TEST(ServerProtocol, ResponsesAreWellFormedJson)
@@ -401,6 +561,49 @@ TEST(ServerProtocol, ResponsesAreWellFormedJson)
         parseOk(errorResponse("r", ErrorCode::BadJson, "x"));
     EXPECT_EQ(no_retry.find("error")->find("retry_after_ms"),
               nullptr);
+}
+
+// --------------------------------------------------------------------
+// Renderer JSON hygiene
+
+TEST(RendererJson, NonFiniteValuesRenderAsNull)
+{
+    EXPECT_EQ(jsontext::num(std::nan("")), "null");
+    EXPECT_EQ(jsontext::num(INFINITY), "null");
+    EXPECT_EQ(jsontext::num(-INFINITY), "null");
+    EXPECT_EQ(jsontext::num(0.5), "0.5");
+}
+
+TEST(RendererJson, SingleUnitSampledFigureIsStillStrictJson)
+{
+    // A one-unit sample has no variance: every confidence half-width
+    // is NaN. The rendered document must say `null` there — a bare
+    // `nan` token would make the server cache bytes its own strict
+    // parser (and every downstream consumer) rejects.
+    SamplingPlan plan;
+    std::string why;
+    ASSERT_TRUE(tryParseSamplingPlan("mode=strat,n=1,U=500,W=1000",
+                                     plan, &why))
+        << why;
+    MissRateParams params;
+    params.measured_refs = 2000;
+    params.warmup_refs = 1000;
+    const SampledWorkloadMissRates one =
+        measureMissRatesSampled(specSuite()[0], params, plan);
+    ASSERT_EQ(one.units, 1u);
+    ASSERT_FALSE(one.icaches[0].ci.valid);
+    EXPECT_TRUE(std::isinf(one.icaches[0].ci.half_width));
+
+    for (const MissRateFigure fig :
+         {MissRateFigure::ICache, MissRateFigure::DCache}) {
+        const std::string doc = missRateFigureSampledJson(fig, {one});
+        EXPECT_EQ(doc.find("nan"), std::string::npos);
+        EXPECT_EQ(doc.find("inf"), std::string::npos);
+        EXPECT_NE(doc.find("null"), std::string::npos);
+        JsonValue v;
+        std::string err;
+        EXPECT_TRUE(parseJson(doc, v, err)) << err << "\n" << doc;
+    }
 }
 
 // --------------------------------------------------------------------
@@ -791,6 +994,132 @@ TEST(MwServerTest, AdmissionControlShedsExcessInflight)
     EXPECT_NE(v.find("error")->find("retry_after_ms"), nullptr);
     EXPECT_GE(srv.server().counters().shed, 1u);
     hog.join();
+}
+
+TEST(MwServerTest, BatchingComputesSharedUnitsOnce)
+{
+    // fig7 and fig8 at the same window decompose into the SAME
+    // per-workload units (one measureMissRates() pass yields both
+    // figures). Landing in one batch, the shared units must be
+    // computed once and distributed to both requests.
+    ServerOptions opt;
+    opt.jobs = 4;
+    opt.batch_window_ms = 250;
+    LiveServer srv(opt);
+
+    std::string r7, r8;
+    std::thread t7([&] {
+        r7 = srv.rpc(
+            R"({"cmd":"run","id":"b7","experiment":"fig7","refs":2000})");
+    });
+    std::thread t8([&] {
+        r8 = srv.rpc(
+            R"({"cmd":"run","id":"b8","experiment":"fig8","refs":2000})");
+    });
+    t7.join();
+    t8.join();
+
+    const JsonValue v7 = parseOk(r7);
+    const JsonValue v8 = parseOk(r8);
+    ASSERT_EQ(v7.find("status")->text, "ok") << r7;
+    ASSERT_EQ(v8.find("status")->text, "ok") << r8;
+    // Each request got its own figure's document.
+    EXPECT_NE(r7.find("fig7"), std::string::npos);
+    EXPECT_NE(r8.find("fig8"), std::string::npos);
+
+    const std::uint64_t suite = specSuite().size();
+    const ServerCounters c = srv.server().counters();
+    EXPECT_EQ(c.computed, 2u) << "both requests completed";
+    EXPECT_EQ(c.batches, 1u)
+        << "the window must have coalesced both requests";
+    EXPECT_EQ(c.batched_keys, 2u);
+    EXPECT_EQ(c.points_computed, suite)
+        << "one shared unit per workload";
+    EXPECT_EQ(c.points_shared, suite)
+        << "the second figure's points all rode along";
+}
+
+TEST(MwServerTest, OversizedFrameMidBatchDoesNotPoisonTheBatch)
+{
+    // A malformed client hitting the server while a batch is open
+    // must get its named error while the batched computation carries
+    // on untouched.
+    ServerOptions opt;
+    opt.jobs = 4;
+    opt.batch_window_ms = 250;
+    LiveServer srv(opt);
+
+    std::string r7;
+    std::thread t7([&] {
+        r7 = srv.rpc(
+            R"({"cmd":"run","id":"q7","experiment":"fig7","refs":2000})");
+    });
+    // While that run sits in the batch window, storm the server with
+    // an oversized frame on a second connection...
+    std::string why;
+    const int fd = connectUnix(srv.socketPath(), &why);
+    ASSERT_GE(fd, 0) << why;
+    ASSERT_TRUE(
+        writeFrame(fd, std::string(max_frame_bytes + 1, 'x'), &why))
+        << why;
+    std::string response;
+    ASSERT_EQ(readFrame(fd, response, &why), FrameStatus::Ok) << why;
+    EXPECT_EQ(errorCodeOf(response), "oversized");
+    // ...then join the SAME in-flight key over the drained stream.
+    ASSERT_TRUE(writeFrame(
+        fd,
+        R"({"cmd":"run","id":"q8","experiment":"fig7","refs":2000})",
+        &why))
+        << why;
+    ASSERT_EQ(readFrame(fd, response, &why), FrameStatus::Ok) << why;
+    ::close(fd);
+    t7.join();
+
+    const JsonValue v7 = parseOk(r7);
+    const JsonValue v8 = parseOk(response);
+    EXPECT_EQ(v7.find("status")->text, "ok") << r7;
+    EXPECT_EQ(v8.find("status")->text, "ok") << response;
+
+    // Identical result bytes, computed exactly once between them.
+    const JsonValue *s7 = v7.find("result");
+    const JsonValue *s8 = v8.find("result");
+    ASSERT_NE(s7, nullptr);
+    ASSERT_NE(s8, nullptr);
+    EXPECT_EQ(r7.substr(s7->begin, s7->end - s7->begin),
+              response.substr(s8->begin, s8->end - s8->begin));
+    const ServerCounters c = srv.server().counters();
+    EXPECT_EQ(c.computed, 1u);
+    EXPECT_EQ(c.dedup_joined + c.cache_hits, 1u);
+}
+
+TEST(MwServerTest, ServesTheWholeCatalog)
+{
+    // Every catalog entry must round-trip through the service: ok
+    // status, parseable result, and a distinct cache entry.
+    ServerOptions opt;
+    opt.jobs = 4;
+    LiveServer srv(opt);
+
+    const char *quick_entries[] = {"table1", "table3", "table4"};
+    int n = 0;
+    for (const char *name : quick_entries) {
+        const std::string resp = srv.rpc(
+            std::string(R"({"cmd":"run","id":"cat","experiment":")") +
+            name + R"(","quick":true})");
+        const JsonValue v = parseOk(resp);
+        ASSERT_EQ(v.find("status")->text, "ok")
+            << name << ": " << resp;
+        ++n;
+        EXPECT_EQ(srv.server().counters().computed,
+                  static_cast<std::uint64_t>(n))
+            << name;
+    }
+    // One SPLASH figure, restricted to a single machine size to stay
+    // test-sized, plus its sampled variant keyed separately.
+    const std::string lu = srv.rpc(
+        R"({"cmd":"run","id":"lu","experiment":"fig13","quick":true,"nodes":1})");
+    EXPECT_EQ(parseOk(lu).find("status")->text, "ok") << lu;
+    EXPECT_NE(lu.find("fig13"), std::string::npos);
 }
 
 TEST(MwServerTest, ShutdownRequestStopsTheServer)

@@ -2,13 +2,24 @@
  * @file
  * mw-client — one-shot client for the mw-server experiment service.
  *
- *   mw-client --socket PATH run --experiment fig7|fig8 [--quick]
- *             [--refs N] [--seed N] [--deadline-ms N] [--id STR]
+ *   mw-client --socket PATH run --experiment NAME [--quick]
+ *             [--refs N] [--seed N] [--sample PLAN] [--nodes N]
+ *             [--deadline-ms N] [--timeout-ms N] [--id STR]
  *             [--raw-result]
  *   mw-client --socket PATH stats
  *   mw-client --socket PATH ping
  *   mw-client --socket PATH shutdown
  *   mw-client --socket PATH send JSON     (raw request passthrough)
+ *
+ * NAME is a catalog entry: fig7, fig8, table1, table3, table4, or a
+ * SPLASH figure fig13..fig17. --sample forwards a sampling plan (the
+ * bench --sample syntax) for the experiments that accept one;
+ * --nodes restricts a SPLASH sweep to one processor count.
+ *
+ * --timeout-ms bounds the WHOLE transaction per syscall: the
+ * connect itself (a wedged server whose accept backlog is full hangs
+ * a plain connect(2) forever — no read timeout would ever fire) and
+ * every subsequent read/write. 0 (default) means wait indefinitely.
  *
  * Prints the server's response envelope to stdout. With
  * --raw-result, prints only the bytes of the embedded "result"
@@ -42,11 +53,15 @@ usage(const char *why)
         std::fprintf(stderr, "mw-client: %s\n", why);
     std::fprintf(
         stderr,
-        "usage: mw-client --socket PATH run --experiment fig7|fig8\n"
+        "usage: mw-client --socket PATH run --experiment NAME\n"
         "                 [--quick] [--refs N] [--seed N]\n"
-        "                 [--deadline-ms N] [--id STR] [--raw-result]\n"
+        "                 [--sample PLAN] [--nodes N]\n"
+        "                 [--deadline-ms N] [--timeout-ms N]\n"
+        "                 [--id STR] [--raw-result]\n"
         "       mw-client --socket PATH stats|ping|shutdown\n"
-        "       mw-client --socket PATH send JSON\n");
+        "       mw-client --socket PATH send JSON\n"
+        "catalog: fig7 fig8 table1 table3 table4 fig13 fig14 fig15 "
+        "fig16 fig17\n");
     std::exit(2);
 }
 
@@ -83,8 +98,10 @@ main(int argc, char **argv)
     std::string cmd;
     std::string experiment;
     std::string id;
+    std::string sample;
     bool quick = false;
     std::uint64_t refs = 0, seed = 42, deadline_ms = 0;
+    std::uint64_t nodes = 0, timeout_ms = 0;
     bool have_seed_flag = false;
     std::string raw_json;
 
@@ -101,8 +118,14 @@ main(int argc, char **argv)
         else if (arg == "--seed") {
             seed = numberArg("--seed", value(arg));
             have_seed_flag = true;
-        } else if (arg == "--deadline-ms")
+        } else if (arg == "--sample")
+            sample = value(arg);
+        else if (arg == "--nodes")
+            nodes = numberArg("--nodes", value(arg));
+        else if (arg == "--deadline-ms")
             deadline_ms = numberArg("--deadline-ms", value(arg));
+        else if (arg == "--timeout-ms")
+            timeout_ms = numberArg("--timeout-ms", value(arg));
         else if (arg == "--id")
             id = value(arg);
         else if (arg == "--raw-result")
@@ -126,7 +149,8 @@ main(int argc, char **argv)
         request = raw_json;
     } else if (cmd == "run") {
         if (experiment.empty())
-            usage("run needs --experiment fig7|fig8");
+            usage("run needs --experiment NAME (fig7 fig8 table1 "
+                  "table3 table4 fig13 fig14 fig15 fig16 fig17)");
         request = "{\"cmd\":\"run\",\"experiment\":\"" +
                   jsonEscape(experiment) + "\"";
         if (!id.empty())
@@ -137,6 +161,10 @@ main(int argc, char **argv)
             request += ",\"refs\":" + std::to_string(refs);
         if (have_seed_flag)
             request += ",\"seed\":" + std::to_string(seed);
+        if (!sample.empty())
+            request += ",\"sample\":\"" + jsonEscape(sample) + "\"";
+        if (nodes > 0)
+            request += ",\"nodes\":" + std::to_string(nodes);
         if (deadline_ms > 0)
             request +=
                 ",\"deadline_ms\":" + std::to_string(deadline_ms);
@@ -149,9 +177,14 @@ main(int argc, char **argv)
     }
 
     std::string why;
-    const int fd = connectUnix(socket_path, &why);
+    const int fd = connectUnixTimeout(socket_path, timeout_ms, &why);
     if (fd < 0) {
         std::fprintf(stderr, "mw-client: %s\n", why.c_str());
+        return 1;
+    }
+    if (!setIoTimeout(fd, timeout_ms, &why)) {
+        std::fprintf(stderr, "mw-client: %s\n", why.c_str());
+        ::close(fd);
         return 1;
     }
     if (!writeFrame(fd, request, &why)) {

@@ -6,11 +6,13 @@
  *             [--cache-cap-bytes N] [--max-connections N]
  *             [--max-inflight N] [--max-retries N]
  *             [--backoff-base-ms N] [--wedge-grace-ms N]
- *             [--watchdog-interval-ms N] [--allow-test-faults]
+ *             [--watchdog-interval-ms N] [--batch-window-ms N]
+ *             [--allow-test-faults]
  *
  * Listens on a Unix-domain socket for framed JSON requests (see
- * src/server/protocol.hh for the schema), computes Figure 7/8
- * experiments on a shared thread pool with request deduplication,
+ * src/server/protocol.hh for the schema), computes the experiment
+ * catalog (figures 7/8, the SPEC tables, the SPLASH figures)
+ * on a shared thread pool with request deduplication and batching,
  * and memoizes results in a crash-safe on-disk cache under
  * --cache-dir. SIGINT/SIGTERM (or a "shutdown" request) drain and
  * exit cleanly; a SIGKILL'd server replays its journal on restart.
@@ -55,6 +57,7 @@ usage(const char *why)
         "                 [--max-inflight N] [--max-retries N]\n"
         "                 [--backoff-base-ms N] [--wedge-grace-ms N]\n"
         "                 [--watchdog-interval-ms N]\n"
+        "                 [--batch-window-ms N]\n"
         "                 [--allow-test-faults]\n");
     std::exit(2);
 }
@@ -116,6 +119,9 @@ main(int argc, char **argv)
         else if (arg == "--watchdog-interval-ms")
             opt.watchdog_interval_ms =
                 numberArg("--watchdog-interval-ms", value());
+        else if (arg == "--batch-window-ms")
+            opt.batch_window_ms =
+                numberArg("--batch-window-ms", value());
         else if (arg == "--allow-test-faults")
             opt.allow_test_faults = true;
         else
